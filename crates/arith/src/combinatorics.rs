@@ -1,0 +1,156 @@
+//! Exact combinatorics over [`Natural`]: factorials, binomial
+//! coefficients, and the Shapley permutation weights
+//! `k! (n - k - 1)! / n!` from Section 5.6 of the paper.
+
+use crate::natural::Natural;
+use crate::rational::Rational;
+
+/// Exact factorial `n!`.
+pub fn factorial(n: u64) -> Natural {
+    let mut acc = Natural::one();
+    for k in 2..=n {
+        acc = acc.mul_small(k);
+    }
+    acc
+}
+
+/// Exact binomial coefficient `C(n, k)`.
+///
+/// Uses the multiplicative formula with exact division at every step
+/// (each intermediate value is itself a binomial coefficient, hence the
+/// divisions are exact).
+pub fn binomial(n: u64, k: u64) -> Natural {
+    if k > n {
+        return Natural::zero();
+    }
+    let k = k.min(n - k);
+    let mut acc = Natural::one();
+    for i in 0..k {
+        acc = acc.mul_small(n - i).div_exact_small(i + 1);
+    }
+    acc
+}
+
+/// The full Pascal row `[C(n,0), ..., C(n,n)]`.
+pub fn binomial_row(n: u64) -> Vec<Natural> {
+    let mut row = Vec::with_capacity(n as usize + 1);
+    let mut acc = Natural::one();
+    row.push(acc.clone());
+    for i in 0..n {
+        acc = acc.mul_small(n - i).div_exact_small(i + 1);
+        row.push(acc.clone());
+    }
+    row
+}
+
+/// The Shapley coefficient `k! (n - k - 1)! / n!` as an exact rational.
+///
+/// This is the probability that, in a uniformly random permutation of `n`
+/// endogenous facts, a designated fact arrives in position `k + 1` — the
+/// weight each `#Sat(k)` difference receives in the reduction of
+/// Section 5.6.
+///
+/// # Panics
+/// Panics if `k >= n` (there is no position `k + 1` among `n` facts).
+pub fn shapley_weight(n: u64, k: u64) -> Rational {
+    assert!(k < n, "shapley_weight requires k < n (got k={k}, n={n})");
+    // k! (n-k-1)! / n! == 1 / (n * C(n-1, k))
+    let den = binomial(n - 1, k).mul_small(n);
+    Rational::from_naturals(Natural::one(), den)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factorial_small() {
+        assert_eq!(factorial(0).to_u64(), Some(1));
+        assert_eq!(factorial(1).to_u64(), Some(1));
+        assert_eq!(factorial(5).to_u64(), Some(120));
+        assert_eq!(factorial(20).to_u64(), Some(2_432_902_008_176_640_000));
+    }
+
+    #[test]
+    fn factorial_large_digits() {
+        // 100! has 158 decimal digits and starts with 9332621544...
+        let f = factorial(100).to_string();
+        assert_eq!(f.len(), 158);
+        assert!(f.starts_with("9332621544"));
+    }
+
+    #[test]
+    fn binomial_small() {
+        assert_eq!(binomial(0, 0).to_u64(), Some(1));
+        assert_eq!(binomial(5, 2).to_u64(), Some(10));
+        assert_eq!(binomial(10, 10).to_u64(), Some(1));
+        assert_eq!(binomial(10, 11), Natural::zero());
+        assert_eq!(binomial(52, 5).to_u64(), Some(2_598_960));
+    }
+
+    #[test]
+    fn binomial_symmetry_and_pascal() {
+        for n in 0..20u64 {
+            for k in 0..=n {
+                assert_eq!(binomial(n, k), binomial(n, n - k));
+                if n > 0 && k > 0 && k < n {
+                    let pascal = binomial(n - 1, k - 1) + binomial(n - 1, k);
+                    assert_eq!(binomial(n, k), pascal);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_row_sums_to_pow2() {
+        for n in 0..64u64 {
+            let mut sum = Natural::zero();
+            for c in binomial_row(n) {
+                sum.add_assign_ref(&c);
+            }
+            assert_eq!(sum, Natural::from(2u64).pow(n as u32));
+        }
+    }
+
+    #[test]
+    fn binomial_exceeds_u64() {
+        // C(100, 50) ~ 1.008e29
+        let c = binomial(100, 50);
+        assert!(c.to_u64().is_none());
+        assert_eq!(c.to_string(), "100891344545564193334812497256");
+    }
+
+    #[test]
+    fn shapley_weights_sum_to_one() {
+        // Summing the arrival-position probabilities over all subsets:
+        // sum_k C(n-1, k) * k!(n-k-1)!/n! == 1.
+        for n in 1..=12u64 {
+            let mut total = Rational::zero();
+            for k in 0..n {
+                let count = Rational::from_naturals(binomial(n - 1, k), Natural::one());
+                total = &total + &(&count * &shapley_weight(n, k));
+            }
+            assert_eq!(total, Rational::one());
+        }
+    }
+
+    #[test]
+    fn shapley_weight_matches_definition() {
+        // Direct k!(n-k-1)!/n! comparison.
+        for n in 1..=10u64 {
+            for k in 0..n {
+                let direct = Rational::from_naturals(
+                    factorial(k).mul_ref(&factorial(n - k - 1)),
+                    factorial(n),
+                );
+                assert_eq!(shapley_weight(n, k), direct);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "requires k < n")]
+    fn shapley_weight_rejects_k_ge_n() {
+        let _ = shapley_weight(3, 3);
+    }
+}

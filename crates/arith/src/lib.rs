@@ -1,0 +1,26 @@
+//! # hq-arith — exact arithmetic for hierarchical-query algorithms
+//!
+//! Arbitrary-precision [`Natural`] numbers, exact signed [`Rational`]s,
+//! and the combinatorial helpers (factorials, binomials, Shapley
+//! permutation weights) required by the Shapley-value instantiation of
+//! the unifying algorithm from *A Unifying Algorithm for Hierarchical
+//! Queries* (PODS 2025).
+//!
+//! The `#Sat` counting vectors of Definition 5.14 hold subset counts up
+//! to `C(n, n/2)`, and exact Shapley values are rationals with
+//! `n!`-scale denominators — both far beyond machine integers for the
+//! database sizes the complexity theorems cover. Everything in this
+//! crate is implemented from scratch (no external bignum dependency) and
+//! is deliberately simple: schoolbook multiplication and binary GCD are
+//! ample for numbers of a few hundred digits.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod combinatorics;
+pub mod natural;
+pub mod rational;
+
+pub use combinatorics::{binomial, binomial_row, factorial, shapley_weight};
+pub use natural::Natural;
+pub use rational::Rational;

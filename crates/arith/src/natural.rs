@@ -1,0 +1,610 @@
+//! Arbitrary-precision natural numbers.
+//!
+//! [`Natural`] is an unsigned big integer stored as little-endian `u64`
+//! limbs. The representation is always *normalized*: no trailing zero
+//! limbs, and zero is the empty limb vector.
+//!
+//! The Shapley-value instantiation of the unifying algorithm counts
+//! subsets of the endogenous database (`#Sat`, Definition 5.13 of the
+//! paper), and those counts reach `C(n, n/2)` which overflows any fixed
+//! machine integer long before the instance sizes used in the
+//! experiments. Shapley values themselves are exact rationals with
+//! `n!`-scale denominators, built on top of this type in
+//! [`crate::rational`].
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul};
+use std::str::FromStr;
+
+/// An arbitrary-precision natural number (unsigned big integer).
+///
+/// Cheap to clone for small magnitudes (a single `Vec` allocation), with
+/// schoolbook multiplication — entirely adequate for the counting
+/// workloads in this crate, where numbers have at most a few hundred
+/// decimal digits.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Natural {
+    /// Little-endian base-2^64 limbs; normalized (no trailing zeros).
+    limbs: Vec<u64>,
+}
+
+impl Natural {
+    /// The natural number zero.
+    #[inline]
+    pub fn zero() -> Self {
+        Natural { limbs: Vec::new() }
+    }
+
+    /// The natural number one.
+    #[inline]
+    pub fn one() -> Self {
+        Natural { limbs: vec![1] }
+    }
+
+    /// Returns `true` if this number is zero.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Returns `true` if this number is one.
+    #[inline]
+    pub fn is_one(&self) -> bool {
+        self.limbs.len() == 1 && self.limbs[0] == 1
+    }
+
+    /// Returns `true` if the number is even (zero counts as even).
+    #[inline]
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
+    }
+
+    /// Drops trailing zero limbs to restore the normalized form.
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// Number of significant bits (0 for zero).
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => 64 * (self.limbs.len() - 1) + (64 - top.leading_zeros() as usize),
+        }
+    }
+
+    /// Converts to `u64` if the value fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    /// Converts to `u128` if the value fits.
+    pub fn to_u128(&self) -> Option<u128> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u128),
+            2 => Some((self.limbs[1] as u128) << 64 | self.limbs[0] as u128),
+            _ => None,
+        }
+    }
+
+    /// Lossy conversion to `f64`.
+    ///
+    /// Values above `f64::MAX` become `f64::INFINITY`. The top 128 bits
+    /// are used, so the result is correctly rounded to well under one ulp
+    /// of relative error — plenty for reporting probabilities and ratios.
+    pub fn to_f64(&self) -> f64 {
+        match self.limbs.len() {
+            0 => 0.0,
+            1 => self.limbs[0] as f64,
+            2 => (self.limbs[1] as f64) * 2f64.powi(64) + self.limbs[0] as f64,
+            n => {
+                let hi = self.limbs[n - 1] as f64;
+                let mid = self.limbs[n - 2] as f64;
+                (hi * 2f64.powi(64) + mid) * 2f64.powi(64 * (n as i32 - 2))
+            }
+        }
+    }
+
+    /// In-place addition.
+    pub fn add_assign_ref(&mut self, rhs: &Natural) {
+        let mut carry = 0u64;
+        let n = self.limbs.len().max(rhs.limbs.len());
+        self.limbs.resize(n, 0);
+        for i in 0..n {
+            let r = *rhs.limbs.get(i).unwrap_or(&0);
+            let (s1, c1) = self.limbs[i].overflowing_add(r);
+            let (s2, c2) = s1.overflowing_add(carry);
+            self.limbs[i] = s2;
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        if carry != 0 {
+            self.limbs.push(carry);
+        }
+    }
+
+    /// Subtraction, returning `None` on underflow (`self < rhs`).
+    pub fn checked_sub(&self, rhs: &Natural) -> Option<Natural> {
+        if self < rhs {
+            return None;
+        }
+        let mut out = self.limbs.clone();
+        let mut borrow = 0u64;
+        for (i, limb) in out.iter_mut().enumerate() {
+            let r = *rhs.limbs.get(i).unwrap_or(&0);
+            let (d1, b1) = limb.overflowing_sub(r);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            *limb = d2;
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        debug_assert_eq!(borrow, 0, "checked_sub: borrow out of range after cmp guard");
+        let mut n = Natural { limbs: out };
+        n.normalize();
+        Some(n)
+    }
+
+    /// Multiplication by a machine word.
+    pub fn mul_small(&self, m: u64) -> Natural {
+        if m == 0 || self.is_zero() {
+            return Natural::zero();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() + 1);
+        let mut carry = 0u128;
+        for &l in &self.limbs {
+            let p = (l as u128) * (m as u128) + carry;
+            out.push(p as u64);
+            carry = p >> 64;
+        }
+        if carry != 0 {
+            out.push(carry as u64);
+        }
+        Natural { limbs: out }
+    }
+
+    /// Schoolbook multiplication.
+    pub fn mul_ref(&self, rhs: &Natural) -> Natural {
+        if self.is_zero() || rhs.is_zero() {
+            return Natural::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + rhs.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u128;
+            for (j, &b) in rhs.limbs.iter().enumerate() {
+                let idx = i + j;
+                let p = (a as u128) * (b as u128) + (out[idx] as u128) + carry;
+                out[idx] = p as u64;
+                carry = p >> 64;
+            }
+            let mut idx = i + rhs.limbs.len();
+            while carry != 0 {
+                let p = (out[idx] as u128) + carry;
+                out[idx] = p as u64;
+                carry = p >> 64;
+                idx += 1;
+            }
+        }
+        let mut n = Natural { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Division by a machine word; returns `(quotient, remainder)`.
+    ///
+    /// # Panics
+    /// Panics if `d == 0`.
+    pub fn div_rem_small(&self, d: u64) -> (Natural, u64) {
+        assert!(d != 0, "division by zero");
+        let mut q = vec![0u64; self.limbs.len()];
+        let mut rem = 0u128;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = (rem << 64) | self.limbs[i] as u128;
+            q[i] = (cur / d as u128) as u64;
+            rem = cur % d as u128;
+        }
+        let mut n = Natural { limbs: q };
+        n.normalize();
+        (n, rem as u64)
+    }
+
+    /// Halves the number in place (shift right by one bit).
+    pub fn shr1_assign(&mut self) {
+        let mut carry = 0u64;
+        for l in self.limbs.iter_mut().rev() {
+            let new_carry = *l & 1;
+            *l = (*l >> 1) | (carry << 63);
+            carry = new_carry;
+        }
+        self.normalize();
+    }
+
+    /// Doubles the number in place (shift left by one bit).
+    pub fn shl1_assign(&mut self) {
+        let mut carry = 0u64;
+        for l in self.limbs.iter_mut() {
+            let new_carry = *l >> 63;
+            *l = (*l << 1) | carry;
+            carry = new_carry;
+        }
+        if carry != 0 {
+            self.limbs.push(carry);
+        }
+    }
+
+    /// Greatest common divisor (binary GCD).
+    pub fn gcd(&self, other: &Natural) -> Natural {
+        if self.is_zero() {
+            return other.clone();
+        }
+        if other.is_zero() {
+            return self.clone();
+        }
+        let mut a = self.clone();
+        let mut b = other.clone();
+        // Factor out common powers of two.
+        let mut shift = 0usize;
+        while a.is_even() && b.is_even() {
+            a.shr1_assign();
+            b.shr1_assign();
+            shift += 1;
+        }
+        while a.is_even() {
+            a.shr1_assign();
+        }
+        loop {
+            while b.is_even() {
+                b.shr1_assign();
+            }
+            if a > b {
+                std::mem::swap(&mut a, &mut b);
+            }
+            b = b
+                .checked_sub(&a)
+                .expect("binary gcd: b >= a after ordering swap");
+            if b.is_zero() {
+                break;
+            }
+        }
+        for _ in 0..shift {
+            a.shl1_assign();
+        }
+        a
+    }
+
+    /// Exact division: divides `self` by `d`, panicking if `d` does not
+    /// divide `self` exactly. Used by combinatorics where divisibility is
+    /// an invariant (e.g. the running product in `binomial`).
+    pub fn div_exact_small(&self, d: u64) -> Natural {
+        let (q, r) = self.div_rem_small(d);
+        assert_eq!(r, 0, "div_exact_small: {d} does not divide the operand");
+        q
+    }
+
+    /// Raises `self` to a small power.
+    pub fn pow(&self, mut exp: u32) -> Natural {
+        let mut base = self.clone();
+        let mut acc = Natural::one();
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = acc.mul_ref(&base);
+            }
+            base = base.mul_ref(&base);
+            exp >>= 1;
+        }
+        acc
+    }
+}
+
+impl From<u64> for Natural {
+    fn from(v: u64) -> Self {
+        if v == 0 {
+            Natural::zero()
+        } else {
+            Natural { limbs: vec![v] }
+        }
+    }
+}
+
+impl From<u128> for Natural {
+    fn from(v: u128) -> Self {
+        let lo = v as u64;
+        let hi = (v >> 64) as u64;
+        let mut n = Natural { limbs: vec![lo, hi] };
+        n.normalize();
+        n
+    }
+}
+
+impl From<usize> for Natural {
+    fn from(v: usize) -> Self {
+        Natural::from(v as u64)
+    }
+}
+
+impl PartialOrd for Natural {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Natural {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {
+                for i in (0..self.limbs.len()).rev() {
+                    match self.limbs[i].cmp(&other.limbs[i]) {
+                        Ordering::Equal => continue,
+                        ord => return ord,
+                    }
+                }
+                Ordering::Equal
+            }
+            ord => ord,
+        }
+    }
+}
+
+impl Add<&Natural> for &Natural {
+    type Output = Natural;
+    fn add(self, rhs: &Natural) -> Natural {
+        let mut out = self.clone();
+        out.add_assign_ref(rhs);
+        out
+    }
+}
+
+impl Add for Natural {
+    type Output = Natural;
+    fn add(mut self, rhs: Natural) -> Natural {
+        self.add_assign_ref(&rhs);
+        self
+    }
+}
+
+impl AddAssign<&Natural> for Natural {
+    fn add_assign(&mut self, rhs: &Natural) {
+        self.add_assign_ref(rhs);
+    }
+}
+
+impl Mul<&Natural> for &Natural {
+    type Output = Natural;
+    fn mul(self, rhs: &Natural) -> Natural {
+        self.mul_ref(rhs)
+    }
+}
+
+impl Mul for Natural {
+    type Output = Natural;
+    fn mul(self, rhs: Natural) -> Natural {
+        self.mul_ref(&rhs)
+    }
+}
+
+impl fmt::Display for Natural {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        // Peel off 19 decimal digits at a time (10^19 < 2^64).
+        const CHUNK: u64 = 10_000_000_000_000_000_000;
+        let mut chunks = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            let (q, r) = cur.div_rem_small(CHUNK);
+            chunks.push(r);
+            cur = q;
+        }
+        let mut s = chunks.last().copied().unwrap_or(0).to_string();
+        for &c in chunks.iter().rev().skip(1) {
+            s.push_str(&format!("{c:019}"));
+        }
+        f.pad_integral(true, "", &s)
+    }
+}
+
+impl fmt::Debug for Natural {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Natural({self})")
+    }
+}
+
+/// Error parsing a decimal string into a [`Natural`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseNaturalError;
+
+impl fmt::Display for ParseNaturalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid decimal natural number")
+    }
+}
+
+impl std::error::Error for ParseNaturalError {}
+
+impl FromStr for Natural {
+    type Err = ParseNaturalError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.is_empty() || !s.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(ParseNaturalError);
+        }
+        let mut out = Natural::zero();
+        for b in s.bytes() {
+            out = out.mul_small(10);
+            out.add_assign_ref(&Natural::from((b - b'0') as u64));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nat(v: u128) -> Natural {
+        Natural::from(v)
+    }
+
+    #[test]
+    fn zero_and_one_basics() {
+        assert!(Natural::zero().is_zero());
+        assert!(!Natural::one().is_zero());
+        assert!(Natural::one().is_one());
+        assert_eq!(Natural::zero().to_u64(), Some(0));
+        assert_eq!(Natural::one().to_u64(), Some(1));
+        assert_eq!(Natural::default(), Natural::zero());
+    }
+
+    #[test]
+    fn add_small_values() {
+        assert_eq!((&nat(2) + &nat(3)).to_u64(), Some(5));
+        assert_eq!((&nat(0) + &nat(7)).to_u64(), Some(7));
+    }
+
+    #[test]
+    fn add_with_carry_across_limbs() {
+        let a = nat(u64::MAX as u128);
+        let b = nat(1);
+        assert_eq!((&a + &b).to_u128(), Some(u64::MAX as u128 + 1));
+        let c = nat(u128::MAX);
+        let d = &c + &nat(1);
+        assert_eq!(d.bit_len(), 129);
+        assert_eq!(d.to_u128(), None);
+    }
+
+    #[test]
+    fn checked_sub_basics() {
+        assert_eq!(nat(10).checked_sub(&nat(3)).unwrap().to_u64(), Some(7));
+        assert_eq!(nat(3).checked_sub(&nat(3)).unwrap(), Natural::zero());
+        assert!(nat(3).checked_sub(&nat(4)).is_none());
+    }
+
+    #[test]
+    fn sub_with_borrow_across_limbs() {
+        let big = nat(1u128 << 64);
+        let r = big.checked_sub(&nat(1)).unwrap();
+        assert_eq!(r.to_u128(), Some((1u128 << 64) - 1));
+    }
+
+    #[test]
+    fn mul_matches_u128() {
+        let a = nat(123_456_789_012_345);
+        let b = nat(987_654_321_098);
+        assert_eq!(
+            a.mul_ref(&b).to_u128(),
+            Some(123_456_789_012_345u128 * 987_654_321_098u128)
+        );
+    }
+
+    #[test]
+    fn mul_by_zero_and_one() {
+        let a = nat(42);
+        assert!(a.mul_ref(&Natural::zero()).is_zero());
+        assert_eq!(a.mul_ref(&Natural::one()), a);
+    }
+
+    #[test]
+    fn mul_small_carries() {
+        let a = nat(u128::MAX);
+        let r = a.mul_small(u64::MAX);
+        // (2^128 - 1) * (2^64 - 1) = 2^192 - 2^128 - 2^64 + 1
+        let expected = Natural::from(2u64).pow(192);
+        let expected = expected
+            .checked_sub(&Natural::from(2u64).pow(128))
+            .unwrap()
+            .checked_sub(&Natural::from(2u64).pow(64))
+            .unwrap()
+            + Natural::one();
+        assert_eq!(r, expected);
+    }
+
+    #[test]
+    fn div_rem_small_roundtrip() {
+        let a = Natural::from_str("340282366920938463463374607431768211455999").unwrap();
+        let (q, r) = a.div_rem_small(997);
+        let back = q.mul_small(997) + Natural::from(r);
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = nat(1).div_rem_small(0);
+    }
+
+    #[test]
+    fn display_and_parse_roundtrip() {
+        let cases = [
+            "0",
+            "1",
+            "18446744073709551616",
+            "340282366920938463463374607431768211456",
+            "99999999999999999999999999999999999999999999999",
+        ];
+        for c in cases {
+            let n = Natural::from_str(c).unwrap();
+            assert_eq!(n.to_string(), c);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Natural::from_str("").is_err());
+        assert!(Natural::from_str("12a").is_err());
+        assert!(Natural::from_str("-5").is_err());
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(nat(5) < nat(6));
+        assert!(nat(1u128 << 64) > nat(u64::MAX as u128));
+        assert_eq!(nat(77).cmp(&nat(77)), Ordering::Equal);
+    }
+
+    #[test]
+    fn gcd_small_cases() {
+        assert_eq!(nat(12).gcd(&nat(18)).to_u64(), Some(6));
+        assert_eq!(nat(17).gcd(&nat(13)).to_u64(), Some(1));
+        assert_eq!(nat(0).gcd(&nat(5)).to_u64(), Some(5));
+        assert_eq!(nat(5).gcd(&nat(0)).to_u64(), Some(5));
+        assert_eq!(nat(0).gcd(&nat(0)), Natural::zero());
+        assert_eq!(nat(48).gcd(&nat(64)).to_u64(), Some(16));
+    }
+
+    #[test]
+    fn shifts_are_inverse() {
+        let mut a = Natural::from_str("123456789123456789123456789").unwrap();
+        let orig = a.clone();
+        a.shl1_assign();
+        a.shr1_assign();
+        assert_eq!(a, orig);
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        assert_eq!(nat(3).pow(0), Natural::one());
+        assert_eq!(nat(3).pow(5).to_u64(), Some(243));
+        assert_eq!(nat(2).pow(130).bit_len(), 131);
+    }
+
+    #[test]
+    fn to_f64_accuracy() {
+        assert_eq!(nat(0).to_f64(), 0.0);
+        assert_eq!(nat(1 << 40).to_f64(), (1u64 << 40) as f64);
+        let big = Natural::from(2u64).pow(100);
+        let rel = (big.to_f64() - 2f64.powi(100)).abs() / 2f64.powi(100);
+        assert!(rel < 1e-12);
+    }
+
+    #[test]
+    fn div_exact_small_ok_and_panic() {
+        assert_eq!(nat(42).div_exact_small(7).to_u64(), Some(6));
+        let res = std::panic::catch_unwind(|| nat(43).div_exact_small(7));
+        assert!(res.is_err());
+    }
+}

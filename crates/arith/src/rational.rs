@@ -1,0 +1,404 @@
+//! Exact signed rational numbers over [`Natural`].
+//!
+//! Shapley values (Definition 5.12 / Eq. (14) of the paper) are exact
+//! rationals whose denominators scale like `|D_n|!`; computing them in
+//! floating point loses all precision long before the instance sizes we
+//! benchmark. [`Rational`] keeps every intermediate value exact, and the
+//! exact-probability PQE oracle uses it as well.
+
+use crate::natural::Natural;
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// An exact rational number: `sign * num / den` with `den > 0`, always in
+/// lowest terms, and zero represented canonically as `+0/1`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Rational {
+    neg: bool,
+    num: Natural,
+    den: Natural,
+}
+
+impl Rational {
+    /// The rational zero.
+    pub fn zero() -> Self {
+        Rational { neg: false, num: Natural::zero(), den: Natural::one() }
+    }
+
+    /// The rational one.
+    pub fn one() -> Self {
+        Rational { neg: false, num: Natural::one(), den: Natural::one() }
+    }
+
+    /// Builds `num / den` in lowest terms.
+    ///
+    /// # Panics
+    /// Panics if `den` is zero.
+    pub fn from_naturals(num: Natural, den: Natural) -> Self {
+        assert!(!den.is_zero(), "rational with zero denominator");
+        Rational { neg: false, num, den }.reduced()
+    }
+
+    /// Builds the integer `v`.
+    pub fn from_u64(v: u64) -> Self {
+        Rational { neg: false, num: Natural::from(v), den: Natural::one() }
+    }
+
+    /// Builds the integer `v` (signed).
+    pub fn from_i64(v: i64) -> Self {
+        Rational {
+            neg: v < 0,
+            num: Natural::from(v.unsigned_abs()),
+            den: Natural::one(),
+        }
+        .reduced()
+    }
+
+    /// Builds `p / q` from machine words.
+    ///
+    /// # Panics
+    /// Panics if `q == 0`.
+    pub fn ratio(p: u64, q: u64) -> Self {
+        Self::from_naturals(Natural::from(p), Natural::from(q))
+    }
+
+    /// Returns `true` if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// Returns `true` if the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.neg
+    }
+
+    /// The numerator magnitude (always in lowest terms).
+    pub fn numer(&self) -> &Natural {
+        &self.num
+    }
+
+    /// The denominator (always positive and in lowest terms).
+    pub fn denom(&self) -> &Natural {
+        &self.den
+    }
+
+    /// Lossy conversion to `f64`.
+    pub fn to_f64(&self) -> f64 {
+        let mag = self.num.to_f64() / self.den.to_f64();
+        if self.neg {
+            -mag
+        } else {
+            mag
+        }
+    }
+
+    fn reduced(mut self) -> Self {
+        if self.num.is_zero() {
+            return Rational::zero();
+        }
+        let g = self.num.gcd(&self.den);
+        if !g.is_one() {
+            self.num = divide_exact(&self.num, &g);
+            self.den = divide_exact(&self.den, &g);
+        }
+        self
+    }
+
+    /// Magnitude-only addition of two reduced fractions, ignoring signs.
+    fn add_magnitudes(a: &Rational, b: &Rational) -> (Natural, Natural) {
+        let num = a.num.mul_ref(&b.den) + b.num.mul_ref(&a.den);
+        let den = a.den.mul_ref(&b.den);
+        (num, den)
+    }
+
+    /// Magnitude-only subtraction `|a| - |b|`; returns sign with result.
+    fn sub_magnitudes(a: &Rational, b: &Rational) -> (bool, Natural, Natural) {
+        let lhs = a.num.mul_ref(&b.den);
+        let rhs = b.num.mul_ref(&a.den);
+        let den = a.den.mul_ref(&b.den);
+        match lhs.cmp(&rhs) {
+            Ordering::Less => (true, rhs.checked_sub(&lhs).expect("ordered sub"), den),
+            _ => (false, lhs.checked_sub(&rhs).expect("ordered sub"), den),
+        }
+    }
+
+    /// Exact reciprocal.
+    ///
+    /// # Panics
+    /// Panics if the value is zero.
+    pub fn recip(&self) -> Rational {
+        assert!(!self.is_zero(), "reciprocal of zero");
+        Rational { neg: self.neg, num: self.den.clone(), den: self.num.clone() }
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Rational {
+        Rational { neg: false, num: self.num.clone(), den: self.den.clone() }
+    }
+}
+
+/// General big division used only for GCD reduction, where divisibility is
+/// guaranteed. Implemented via binary long division to avoid requiring a
+/// full multiprecision divider.
+fn divide_exact(a: &Natural, d: &Natural) -> Natural {
+    debug_assert!(!d.is_zero());
+    if a.is_zero() {
+        return Natural::zero();
+    }
+    if let (Some(a128), Some(d128)) = (a.to_u128(), d.to_u128()) {
+        debug_assert_eq!(a128 % d128, 0);
+        return Natural::from(a128 / d128);
+    }
+    // Binary long division: find q such that q*d == a.
+    let shift = a.bit_len() - d.bit_len();
+    let mut divisor = d.clone();
+    for _ in 0..shift {
+        divisor.shl1_assign();
+    }
+    let mut rem = a.clone();
+    let mut q = Natural::zero();
+    for _ in 0..=shift {
+        q.shl1_assign();
+        if let Some(r) = rem.checked_sub(&divisor) {
+            rem = r;
+            q.add_assign_ref(&Natural::one());
+        }
+        divisor.shr1_assign();
+    }
+    debug_assert!(rem.is_zero(), "divide_exact: inputs were not divisible");
+    q
+}
+
+impl Add<&Rational> for &Rational {
+    type Output = Rational;
+    fn add(self, rhs: &Rational) -> Rational {
+        if self.is_zero() {
+            return rhs.clone();
+        }
+        if rhs.is_zero() {
+            return self.clone();
+        }
+        if self.neg == rhs.neg {
+            let (num, den) = Rational::add_magnitudes(self, rhs);
+            Rational { neg: self.neg, num, den }.reduced()
+        } else {
+            let (flip, num, den) = Rational::sub_magnitudes(self, rhs);
+            let neg = self.neg ^ flip;
+            Rational { neg, num, den }.reduced()
+        }
+    }
+}
+
+impl Sub<&Rational> for &Rational {
+    type Output = Rational;
+    fn sub(self, rhs: &Rational) -> Rational {
+        self + &(-rhs.clone())
+    }
+}
+
+impl Mul<&Rational> for &Rational {
+    type Output = Rational;
+    // Sign XOR and multiply-by-reciprocal are the intended arithmetic here.
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    fn mul(self, rhs: &Rational) -> Rational {
+        Rational {
+            neg: self.neg ^ rhs.neg,
+            num: self.num.mul_ref(&rhs.num),
+            den: self.den.mul_ref(&rhs.den),
+        }
+        .reduced()
+    }
+}
+
+impl Div<&Rational> for &Rational {
+    type Output = Rational;
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    fn div(self, rhs: &Rational) -> Rational {
+        self * &rhs.recip()
+    }
+}
+
+impl Add for Rational {
+    type Output = Rational;
+    fn add(self, rhs: Rational) -> Rational {
+        &self + &rhs
+    }
+}
+
+impl Sub for Rational {
+    type Output = Rational;
+    fn sub(self, rhs: Rational) -> Rational {
+        &self - &rhs
+    }
+}
+
+impl Mul for Rational {
+    type Output = Rational;
+    fn mul(self, rhs: Rational) -> Rational {
+        &self * &rhs
+    }
+}
+
+impl Div for Rational {
+    type Output = Rational;
+    fn div(self, rhs: Rational) -> Rational {
+        &self / &rhs
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        if self.is_zero() {
+            self
+        } else {
+            Rational { neg: !self.neg, ..self }
+        }
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self.neg, other.neg) {
+            (false, true) => Ordering::Greater,
+            (true, false) => Ordering::Less,
+            (neg, _) => {
+                let lhs = self.num.mul_ref(&other.den);
+                let rhs = other.num.mul_ref(&self.den);
+                if neg {
+                    rhs.cmp(&lhs)
+                } else {
+                    lhs.cmp(&rhs)
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sign = if self.neg { "-" } else { "" };
+        if self.den.is_one() {
+            write!(f, "{sign}{}", self.num)
+        } else {
+            write!(f, "{sign}{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Debug for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Rational({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(p: i64, q: u64) -> Rational {
+        let neg = p < 0;
+        let mag = Rational::ratio(p.unsigned_abs(), q);
+        if neg {
+            -mag
+        } else {
+            mag
+        }
+    }
+
+    #[test]
+    fn construction_reduces() {
+        assert_eq!(Rational::ratio(2, 4), Rational::ratio(1, 2));
+        assert_eq!(Rational::ratio(0, 7), Rational::zero());
+        assert_eq!(Rational::ratio(9, 3).to_string(), "3");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = Rational::ratio(1, 0);
+    }
+
+    #[test]
+    fn arithmetic_small_cases() {
+        assert_eq!(r(1, 2) + r(1, 3), r(5, 6));
+        assert_eq!(r(1, 2) - r(1, 3), r(1, 6));
+        assert_eq!(r(1, 3) - r(1, 2), r(-1, 6));
+        assert_eq!(r(2, 3) * r(3, 4), r(1, 2));
+        assert_eq!(r(1, 2) / r(1, 4), r(2, 1));
+    }
+
+    #[test]
+    fn signed_arithmetic() {
+        assert_eq!(r(-1, 2) + r(-1, 2), r(-1, 1));
+        assert_eq!(r(-1, 2) + r(1, 2), Rational::zero());
+        assert_eq!(r(-1, 2) * r(-1, 2), r(1, 4));
+        assert_eq!(r(-1, 2) * r(1, 2), r(-1, 4));
+        assert_eq!(-Rational::zero(), Rational::zero());
+    }
+
+    #[test]
+    fn from_i64_roundtrip() {
+        assert_eq!(Rational::from_i64(-7).to_f64(), -7.0);
+        assert_eq!(Rational::from_i64(0), Rational::zero());
+    }
+
+    #[test]
+    fn comparison_total_order() {
+        assert!(r(1, 3) < r(1, 2));
+        assert!(r(-1, 2) < r(-1, 3));
+        assert!(r(-1, 2) < r(1, 100));
+        assert_eq!(r(3, 9), r(1, 3));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(r(1, 2).to_string(), "1/2");
+        assert_eq!(r(-3, 6).to_string(), "-1/2");
+        assert_eq!(r(4, 2).to_string(), "2");
+        assert_eq!(Rational::zero().to_string(), "0");
+    }
+
+    #[test]
+    fn to_f64_matches() {
+        assert!((r(1, 3).to_f64() - 1.0 / 3.0).abs() < 1e-15);
+        assert!((r(-7, 8).to_f64() + 0.875).abs() < 1e-15);
+    }
+
+    #[test]
+    fn recip_and_abs() {
+        assert_eq!(r(2, 3).recip(), r(3, 2));
+        assert_eq!(r(-2, 3).recip(), r(-3, 2));
+        assert_eq!(r(-2, 3).abs(), r(2, 3));
+    }
+
+    #[test]
+    fn big_values_stay_exact() {
+        // sum_{k=1..50} 1/k as an exact fraction, then verify against a
+        // second evaluation order.
+        let mut forward = Rational::zero();
+        for k in 1..=50u64 {
+            forward = &forward + &Rational::ratio(1, k);
+        }
+        let mut backward = Rational::zero();
+        for k in (1..=50u64).rev() {
+            backward = &backward + &Rational::ratio(1, k);
+        }
+        assert_eq!(forward, backward);
+        assert!((forward.to_f64() - 4.4992053383).abs() < 1e-9);
+    }
+
+    #[test]
+    fn divide_exact_large() {
+        let a = Natural::from(2u64).pow(200);
+        let d = Natural::from(2u64).pow(77);
+        assert_eq!(super::divide_exact(&a, &d), Natural::from(2u64).pow(123));
+    }
+}

@@ -1,0 +1,181 @@
+//! Brute-force Bag-Set Maximization by repair-subset enumeration.
+//!
+//! The definitional algorithm: try every subset of `D_r \ D` of size
+//! `≤ θ` (`Σ_{i≤θ} C(|D_r|, i)` candidates) and take the best bag-set
+//! value. Works for *any* SJF-BCQ — including the non-hierarchical ones
+//! where this exponential search is essentially unavoidable
+//! (Theorem 4.4) — and serves as the correctness oracle for the
+//! unifying algorithm on hierarchical queries.
+
+use hq_db::{count_matches, Database, Fact, Interner, Pattern};
+use hq_query::Query;
+
+/// The brute-force result: best value and one optimal repair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BruteBsm {
+    /// The maximum bag-set value `Q(D')`.
+    pub optimum: u64,
+    /// The facts added by one optimal repair (not necessarily unique).
+    pub witness: Vec<Fact>,
+}
+
+fn search(
+    pattern: &Pattern,
+    base: &mut Database,
+    candidates: &[Fact],
+    budget: usize,
+    chosen: &mut Vec<Fact>,
+    best: &mut BruteBsm,
+) {
+    let value = count_matches(base, pattern).expect("validated pattern");
+    if value > best.optimum {
+        best.optimum = value;
+        best.witness = chosen.clone();
+    }
+    if budget == 0 {
+        return;
+    }
+    for (i, f) in candidates.iter().enumerate() {
+        base.insert(f.clone());
+        chosen.push(f.clone());
+        search(pattern, base, &candidates[i + 1..], budget - 1, chosen, best);
+        chosen.pop();
+        base.remove(f);
+    }
+}
+
+/// Solves Bag-Set Maximization exactly by subset enumeration.
+///
+/// # Panics
+/// Panics if the candidate pool `D_r \ D` exceeds 30 facts (the
+/// enumeration would be astronomically slow).
+pub fn maximize_bruteforce(
+    q: &Query,
+    interner: &Interner,
+    d: &Database,
+    d_r: &Database,
+    theta: usize,
+) -> BruteBsm {
+    let mut i2 = interner.clone();
+    let pattern = q.to_pattern(&mut i2);
+    let candidates: Vec<Fact> = d_r
+        .facts()
+        .into_iter()
+        .filter(|f| !d.contains(f))
+        .collect();
+    assert!(
+        candidates.len() <= 30,
+        "brute-force BSM beyond 30 candidate facts"
+    );
+    // Make sure every query relation exists in the working database so
+    // pattern validation is stable even when D misses a relation.
+    let mut base = d.clone();
+    for f in &candidates {
+        base.declare(f.rel, f.tuple.arity());
+    }
+    let mut best = BruteBsm {
+        optimum: count_matches(&base, &pattern).expect("validated pattern"),
+        witness: Vec::new(),
+    };
+    let mut chosen = Vec::new();
+    search(&pattern, &mut base, &candidates, theta, &mut chosen, &mut best);
+    best
+}
+
+/// The Bag-Set Maximization *Decision* problem (Definition 4.2): is a
+/// value of at least `tau` reachable within budget `theta`?
+pub fn decide_bruteforce(
+    q: &Query,
+    interner: &Interner,
+    d: &Database,
+    d_r: &Database,
+    theta: usize,
+    tau: u64,
+) -> bool {
+    maximize_bruteforce(q, interner, d, d_r, theta).optimum >= tau
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hq_db::{db_from_ints, Tuple};
+    use hq_query::{example_query, q_non_hierarchical, Query};
+
+    fn fig1() -> (Database, Database, Interner) {
+        let (d, mut i) = db_from_ints(&[
+            ("R", &[&[1, 5]]),
+            ("S", &[&[1, 1], &[1, 2]]),
+            ("T", &[&[1, 2, 4]]),
+        ]);
+        let r = i.intern("R");
+        let t = i.intern("T");
+        let mut d_r = Database::new();
+        d_r.insert_tuple(r, Tuple::ints(&[1, 6]));
+        d_r.insert_tuple(r, Tuple::ints(&[1, 7]));
+        d_r.insert_tuple(t, Tuple::ints(&[1, 1, 4]));
+        d_r.insert_tuple(t, Tuple::ints(&[1, 2, 9]));
+        (d, d_r, i)
+    }
+
+    #[test]
+    fn figure_1_bruteforce_agrees_with_paper() {
+        let (d, d_r, i) = fig1();
+        let q = example_query();
+        let res = maximize_bruteforce(&q, &i, &d, &d_r, 2);
+        assert_eq!(res.optimum, 4);
+        assert_eq!(res.witness.len(), 2);
+        // Every optimal repair pairs one new R-fact with one new T-fact
+        // (the paper exhibits R(1,6) + T(1,2,9); R(1,6) + T(1,1,4) ties).
+        let names: Vec<String> =
+            res.witness.iter().map(|f| f.display(&i).to_string()).collect();
+        assert!(names.iter().any(|n| n.starts_with("R(1, ")), "{names:?}");
+        assert!(names.iter().any(|n| n.starts_with("T(1, ")), "{names:?}");
+    }
+
+    #[test]
+    fn decision_thresholds() {
+        let (d, d_r, i) = fig1();
+        let q = example_query();
+        assert!(decide_bruteforce(&q, &i, &d, &d_r, 2, 4));
+        assert!(!decide_bruteforce(&q, &i, &d, &d_r, 2, 5));
+        assert!(decide_bruteforce(&q, &i, &d, &d_r, 0, 1));
+        assert!(!decide_bruteforce(&q, &i, &d, &d_r, 0, 2));
+    }
+
+    #[test]
+    fn handles_non_hierarchical_queries() {
+        // R(X), S(X,Y), T(Y): D has S(1,2) only; repair can add R(1), T(2).
+        let q = q_non_hierarchical();
+        let (d, mut i) = db_from_ints(&[("S", &[&[1, 2]])]);
+        let r = i.intern("R");
+        let t = i.intern("T");
+        let mut d_r = Database::new();
+        d_r.insert_tuple(r, Tuple::ints(&[1]));
+        d_r.insert_tuple(t, Tuple::ints(&[2]));
+        let res = maximize_bruteforce(&q, &i, &d, &d_r, 2);
+        assert_eq!(res.optimum, 1);
+        let res1 = maximize_bruteforce(&q, &i, &d, &d_r, 1);
+        assert_eq!(res1.optimum, 0, "one fact is not enough");
+    }
+
+    #[test]
+    fn empty_budget_no_search() {
+        let (d, d_r, i) = fig1();
+        let q = example_query();
+        let res = maximize_bruteforce(&q, &i, &d, &d_r, 0);
+        assert_eq!(res.optimum, 1);
+        assert!(res.witness.is_empty());
+    }
+
+    #[test]
+    fn duplicate_repair_facts_are_free() {
+        let (d, i) = db_from_ints(&[("R", &[&[1]])]);
+        let r = i.get("R").unwrap();
+        let mut d_r = Database::new();
+        d_r.insert_tuple(r, Tuple::ints(&[1])); // already in D
+        d_r.insert_tuple(r, Tuple::ints(&[2]));
+        let q = Query::new(&[("R", &["X"])]).unwrap();
+        let res = maximize_bruteforce(&q, &i, &d, &d_r, 1);
+        assert_eq!(res.optimum, 2);
+    }
+}

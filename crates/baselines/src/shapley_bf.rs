@@ -1,0 +1,231 @@
+//! Brute-force `#Sat` and Shapley values.
+//!
+//! Two definitional algorithms:
+//!
+//! * [`sat_counts_bruteforce`] — enumerate all `2^|D_n|` endogenous
+//!   subsets and evaluate `Q` on each (Definition 5.13);
+//! * [`shapley_by_permutations`] — Definition 5.12 verbatim: walk every
+//!   permutation of `D_n` and count the arrivals of `f` that flip `Q`
+//!   from false to true.
+//!
+//! Both are oracles for the unifying algorithm's Shapley front-end.
+
+use hq_arith::{factorial, Natural, Rational};
+use hq_db::{satisfiable, Database, Fact, Interner, Pattern};
+use hq_query::Query;
+
+fn build_pattern(q: &Query, interner: &Interner) -> Pattern {
+    let mut i2 = interner.clone();
+    q.to_pattern(&mut i2)
+}
+
+fn holds(pattern: &Pattern, exo: &[Fact], chosen: &[&Fact], all: &[Fact]) -> bool {
+    let mut db = Database::new();
+    for f in exo.iter().chain(chosen.iter().copied()) {
+        db.insert(f.clone());
+    }
+    // Declare every relation appearing anywhere so arity validation is
+    // consistent across subsets.
+    for f in all {
+        db.declare(f.rel, f.tuple.arity());
+    }
+    satisfiable(&db, pattern).expect("validated pattern")
+}
+
+/// `#Sat(k)` for `k = 0..=|D_n|` by subset enumeration.
+///
+/// # Panics
+/// Panics if `|D_n| > 24`.
+pub fn sat_counts_bruteforce(
+    q: &Query,
+    interner: &Interner,
+    exogenous: &[Fact],
+    endogenous: &[Fact],
+) -> Vec<Natural> {
+    let n = endogenous.len();
+    assert!(n <= 24, "brute-force #Sat beyond 24 endogenous facts");
+    let pattern = build_pattern(q, interner);
+    let all: Vec<Fact> = exogenous.iter().chain(endogenous).cloned().collect();
+    let mut counts = vec![Natural::zero(); n + 1];
+    for mask in 0u64..(1 << n) {
+        let chosen: Vec<&Fact> = endogenous
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask >> i & 1 == 1)
+            .map(|(_, f)| f)
+            .collect();
+        if holds(&pattern, exogenous, &chosen, &all) {
+            let k = mask.count_ones() as usize;
+            counts[k].add_assign_ref(&Natural::one());
+        }
+    }
+    counts
+}
+
+/// The Shapley value of `fact` by exhaustive permutation walk
+/// (Definition 5.12 / Eq. (14) verbatim).
+///
+/// # Panics
+/// Panics if `|D_n| > 9` (factorial blowup) or `fact` is not
+/// endogenous.
+pub fn shapley_by_permutations(
+    q: &Query,
+    interner: &Interner,
+    exogenous: &[Fact],
+    endogenous: &[Fact],
+    fact: &Fact,
+) -> Rational {
+    let n = endogenous.len();
+    assert!(n <= 9, "permutation-walk Shapley beyond 9 endogenous facts");
+    assert!(endogenous.contains(fact), "fact must be endogenous");
+    let pattern = build_pattern(q, interner);
+    let all: Vec<Fact> = exogenous.iter().chain(endogenous).cloned().collect();
+    let mut indices: Vec<usize> = (0..n).collect();
+    let mut flips = Natural::zero();
+    permute(&mut indices, 0, &mut |perm| {
+        // Find the arrival position of `fact` and evaluate before/after.
+        let pos = perm
+            .iter()
+            .position(|&i| &endogenous[i] == fact)
+            .expect("fact is endogenous");
+        let before: Vec<&Fact> = perm[..pos].iter().map(|&i| &endogenous[i]).collect();
+        let mut after = before.clone();
+        after.push(fact);
+        if !holds(&pattern, exogenous, &before, &all) && holds(&pattern, exogenous, &after, &all)
+        {
+            flips.add_assign_ref(&Natural::one());
+        }
+    });
+    Rational::from_naturals(flips, factorial(n as u64))
+}
+
+fn permute(indices: &mut Vec<usize>, k: usize, visit: &mut impl FnMut(&[usize])) {
+    if k == indices.len() {
+        visit(indices);
+        return;
+    }
+    for i in k..indices.len() {
+        indices.swap(k, i);
+        permute(indices, k + 1, visit);
+        indices.swap(k, i);
+    }
+}
+
+/// The Shapley value of `fact` via the subset-sum formula (the middle
+/// line of the Section 5.6 derivation) — an independent second oracle
+/// with `2^(n-1)` work instead of `n!`.
+///
+/// # Panics
+/// Panics if `|D_n| > 20` or `fact` is not endogenous.
+pub fn shapley_by_subsets(
+    q: &Query,
+    interner: &Interner,
+    exogenous: &[Fact],
+    endogenous: &[Fact],
+    fact: &Fact,
+) -> Rational {
+    let n = endogenous.len();
+    assert!(n <= 20, "subset-sum Shapley beyond 20 endogenous facts");
+    let pos = endogenous
+        .iter()
+        .position(|f| f == fact)
+        .expect("fact must be endogenous");
+    let rest: Vec<Fact> = endogenous
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != pos)
+        .map(|(_, f)| f.clone())
+        .collect();
+    let pattern = build_pattern(q, interner);
+    let all: Vec<Fact> = exogenous.iter().chain(endogenous).cloned().collect();
+    let n_fact = factorial(n as u64);
+    let mut total = Rational::zero();
+    for mask in 0u64..(1 << rest.len()) {
+        let chosen: Vec<&Fact> = rest
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask >> i & 1 == 1)
+            .map(|(_, f)| f)
+            .collect();
+        let k = mask.count_ones() as u64;
+        let without = holds(&pattern, exogenous, &chosen, &all);
+        let mut with_f = chosen.clone();
+        with_f.push(fact);
+        let with = holds(&pattern, exogenous, &with_f, &all);
+        if with && !without {
+            // weight = k! (n-k-1)! / n!
+            let w = Rational::from_naturals(
+                factorial(k).mul_ref(&factorial(n as u64 - k - 1)),
+                n_fact.clone(),
+            );
+            total = &total + &w;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hq_db::db_from_ints;
+    use hq_query::{q_hierarchical, q_non_hierarchical, Query};
+
+    #[test]
+    fn sat_counts_single_atom() {
+        let q = Query::new(&[("R", &["X"])]).unwrap();
+        let (db, i) = db_from_ints(&[("R", &[&[1], &[2]])]);
+        let endo = db.facts();
+        let counts = sat_counts_bruteforce(&q, &i, &[], &endo);
+        let as_u64: Vec<u64> = counts.iter().map(|c| c.to_u64().unwrap()).collect();
+        assert_eq!(as_u64, vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn permutation_and_subset_oracles_agree() {
+        let q = q_hierarchical();
+        let (db, i) = db_from_ints(&[("E", &[&[1, 2]]), ("F", &[&[2, 8], &[2, 9]])]);
+        let endo = db.facts();
+        for f in &endo {
+            let by_perm = shapley_by_permutations(&q, &i, &[], &endo, f);
+            let by_subset = shapley_by_subsets(&q, &i, &[], &endo, f);
+            assert_eq!(by_perm, by_subset, "{}", f.display(&i));
+        }
+    }
+
+    #[test]
+    fn known_asymmetric_values() {
+        // Same instance as the unify test: Shapley(E)=2/3, Shapley(F)=1/6.
+        let q = q_hierarchical();
+        let (db, i) = db_from_ints(&[("E", &[&[1, 2]]), ("F", &[&[2, 8], &[2, 9]])]);
+        let endo = db.facts();
+        let e_fact = endo.iter().find(|f| f.rel == i.get("E").unwrap()).unwrap();
+        assert_eq!(
+            shapley_by_permutations(&q, &i, &[], &endo, e_fact),
+            Rational::ratio(2, 3)
+        );
+    }
+
+    #[test]
+    fn works_for_non_hierarchical() {
+        // The definitional algorithms are query-agnostic.
+        let q = q_non_hierarchical();
+        let (db, i) = db_from_ints(&[("R", &[&[1]]), ("S", &[&[1, 2]]), ("T", &[&[2]])]);
+        let endo = db.facts();
+        let total: Rational = endo
+            .iter()
+            .map(|f| shapley_by_permutations(&q, &i, &[], &endo, f))
+            .fold(Rational::zero(), |acc, v| &acc + &v);
+        // Efficiency: all three facts needed, total value 1.
+        assert_eq!(total, Rational::one());
+    }
+
+    #[test]
+    fn exogenous_facts_respected() {
+        let q = Query::new(&[("R", &["X"])]).unwrap();
+        let (db, i) = db_from_ints(&[("R", &[&[1], &[2]])]);
+        let facts = db.facts();
+        let (exo, endo) = facts.split_at(1);
+        let v = shapley_by_permutations(&q, &i, exo, endo, &endo[0]);
+        assert_eq!(v, Rational::zero(), "query already true exogenously");
+    }
+}

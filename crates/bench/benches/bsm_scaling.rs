@@ -1,0 +1,35 @@
+//! E5: Bag-Set Maximization runtime is O((|D|+|D_r|)·|D_r|²)
+//! (Theorem 5.11): linear in |D| at fixed budget, quadratic in the
+//! budget cap θ.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hq_bench::bsm_workload;
+use hq_unify::bsm;
+use std::time::Duration;
+
+fn bench_bsm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bsm_scaling");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    // (a) sweep |D| at fixed θ.
+    for d_size in [500usize, 1_000, 2_000] {
+        let w = bsm_workload(d_size, 40, 17);
+        group.throughput(Throughput::Elements(3 * d_size as u64));
+        group.bench_with_input(BenchmarkId::new("sweep_d", 3 * d_size), &w, |b, w| {
+            b.iter(|| bsm::maximize(&w.query, &w.interner, &w.d, &w.d_r, 10).unwrap())
+        });
+    }
+    // (b) sweep θ at fixed |D|.
+    for theta in [8usize, 16, 32, 64] {
+        let w = bsm_workload(300, 200, 19);
+        group.bench_with_input(BenchmarkId::new("sweep_theta", theta), &w, |b, w| {
+            b.iter(|| bsm::maximize(&w.query, &w.interner, &w.d, &w.d_r, theta).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bsm);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! E4/E6/E9: the dichotomy, measured. Unified algorithm vs the
+//! definitional exponential baselines on matched instances — the
+//! baselines double per added fact while the unified algorithm stays
+//! polynomial (and is only available for hierarchical queries).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hq_baselines::{maximize_bruteforce, probability_exhaustive};
+use hq_bench::{bsm_workload, chain_tid};
+use hq_unify::{bsm, pqe};
+use std::time::Duration;
+
+fn bench_pqe_dichotomy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pqe_dichotomy");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for n in [4usize, 6, 8] {
+        let w = chain_tid(n, 13);
+        group.bench_with_input(BenchmarkId::new("unified", 2 * n), &w, |b, w| {
+            b.iter(|| pqe::probability(&w.query, &w.interner, &w.tid).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("possible_worlds", 2 * n), &w, |b, w| {
+            b.iter(|| probability_exhaustive(&w.query, &w.interner, &w.tid))
+        });
+    }
+    group.finish();
+}
+
+fn bench_bsm_dichotomy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bsm_dichotomy");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for m in [4usize, 6, 8] {
+        let w = bsm_workload(10, m, 23);
+        let theta = m;
+        group.bench_with_input(BenchmarkId::new("unified", m), &w, |b, w| {
+            b.iter(|| bsm::maximize(&w.query, &w.interner, &w.d, &w.d_r, theta).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("subset_enumeration", m), &w, |b, w| {
+            b.iter(|| maximize_bruteforce(&w.query, &w.interner, &w.d, &w.d_r, theta))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pqe_dichotomy, bench_bsm_dichotomy);
+criterion_main!(benches);

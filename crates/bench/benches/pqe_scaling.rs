@@ -1,0 +1,31 @@
+//! E3: Probabilistic Query Evaluation scales linearly in |D|
+//! (Theorem 5.8). Series over chain and star (Eq. 1) queries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hq_bench::{chain_tid, star_tid};
+use hq_unify::pqe;
+use std::time::Duration;
+
+fn bench_pqe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pqe_scaling");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for n in [1_000usize, 4_000, 16_000] {
+        let w = chain_tid(n, 11);
+        group.throughput(Throughput::Elements(w.tid.len() as u64));
+        group.bench_with_input(BenchmarkId::new("chain", w.tid.len()), &w, |b, w| {
+            b.iter(|| pqe::probability(&w.query, &w.interner, &w.tid).unwrap())
+        });
+        let w = star_tid(n, 12);
+        group.throughput(Throughput::Elements(w.tid.len() as u64));
+        group.bench_with_input(BenchmarkId::new("star_eq1", w.tid.len()), &w, |b, w| {
+            b.iter(|| pqe::probability(&w.query, &w.interner, &w.tid).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pqe);
+criterion_main!(benches);

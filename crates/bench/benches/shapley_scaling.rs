@@ -1,0 +1,44 @@
+//! E7: #Sat / Shapley runtime is O((|D_x|+|D_n|)·|D_n|²)
+//! (Theorem 5.16): one Algorithm-1 run per #Sat vector, two per
+//! Shapley value.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hq_bench::shapley_workload;
+use hq_unify::shapley;
+use std::time::Duration;
+
+fn bench_shapley(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shapley_scaling");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for n_rel in [20usize, 40, 80] {
+        let w = shapley_workload(n_rel, 0.5, 29);
+        group.bench_with_input(
+            BenchmarkId::new("sat_counts", w.endogenous.len()),
+            &w,
+            |b, w| {
+                b.iter(|| {
+                    shapley::sat_counts(&w.query, &w.interner, &w.exogenous, &w.endogenous)
+                        .unwrap()
+                })
+            },
+        );
+        let f = w.endogenous[0].clone();
+        group.bench_with_input(
+            BenchmarkId::new("shapley_value", w.endogenous.len()),
+            &(&w, f),
+            |b, (w, f)| {
+                b.iter(|| {
+                    shapley::shapley_value(&w.query, &w.interner, &w.exogenous, &w.endogenous, f)
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shapley);
+criterion_main!(benches);

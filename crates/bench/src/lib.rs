@@ -1,0 +1,272 @@
+//! # hq-bench — workload builders shared by the benches and the
+//! experiments harness
+//!
+//! Every experiment in `EXPERIMENTS.md` (and every criterion bench)
+//! draws its inputs from the seeded builders here, so the harness and
+//! the benches measure the same distributions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use hq_db::generate::{fill_relation, rng, ColumnDist};
+use hq_db::{Database, Fact, Interner};
+use hq_query::{example_query, q_hierarchical, Query};
+use rand::Rng;
+use std::time::Instant;
+
+/// A tuple-independent probabilistic-database workload.
+pub struct TidWorkload {
+    /// The (hierarchical) query.
+    pub query: Query,
+    /// Interner binding the relation names.
+    pub interner: Interner,
+    /// The underlying set database.
+    pub database: Database,
+    /// Facts with probabilities.
+    pub tid: Vec<(Fact, f64)>,
+}
+
+/// Builds a TID workload for `Q_h() :- E(X,Y), F(Y,Z)` with
+/// `facts_per_relation` facts per relation over a join-friendly domain
+/// (`√n`-sized join column so matches actually occur).
+pub fn chain_tid(facts_per_relation: usize, seed: u64) -> TidWorkload {
+    let query = q_hierarchical();
+    let mut interner = Interner::new();
+    let mut r = rng(seed);
+    let mut database = Database::new();
+    let join_dom = ((facts_per_relation as f64).sqrt().ceil() as u64).max(2);
+    let wide_dom = (facts_per_relation as u64 * 4).max(8);
+    let e = interner.intern("E");
+    let f = interner.intern("F");
+    fill_relation(
+        &mut database,
+        e,
+        &[ColumnDist::Uniform { domain: wide_dom }, ColumnDist::Uniform { domain: join_dom }],
+        facts_per_relation,
+        &mut r,
+    );
+    fill_relation(
+        &mut database,
+        f,
+        &[ColumnDist::Uniform { domain: join_dom }, ColumnDist::Uniform { domain: wide_dom }],
+        facts_per_relation,
+        &mut r,
+    );
+    let tid = database
+        .facts()
+        .into_iter()
+        .map(|fact| (fact, r.gen_range(0.05..0.95)))
+        .collect();
+    TidWorkload { query, interner, database, tid }
+}
+
+/// Builds a TID workload for the paper's Eq. (1) query
+/// `Q() :- R(A,B), S(A,C), T(A,C,D)`.
+pub fn star_tid(facts_per_relation: usize, seed: u64) -> TidWorkload {
+    let query = example_query();
+    let mut interner = Interner::new();
+    let mut r = rng(seed);
+    let mut database = Database::new();
+    let a_dom = ((facts_per_relation as f64).sqrt().ceil() as u64).max(2);
+    let c_dom = 4u64;
+    let wide = (facts_per_relation as u64 * 4).max(8);
+    let rel_r = interner.intern("R");
+    let rel_s = interner.intern("S");
+    let rel_t = interner.intern("T");
+    fill_relation(
+        &mut database,
+        rel_r,
+        &[ColumnDist::Uniform { domain: a_dom }, ColumnDist::Uniform { domain: wide }],
+        facts_per_relation,
+        &mut r,
+    );
+    fill_relation(
+        &mut database,
+        rel_s,
+        &[ColumnDist::Uniform { domain: a_dom }, ColumnDist::Uniform { domain: c_dom }],
+        facts_per_relation,
+        &mut r,
+    );
+    fill_relation(
+        &mut database,
+        rel_t,
+        &[
+            ColumnDist::Uniform { domain: a_dom },
+            ColumnDist::Uniform { domain: c_dom },
+            ColumnDist::Uniform { domain: wide },
+        ],
+        facts_per_relation,
+        &mut r,
+    );
+    let tid = database
+        .facts()
+        .into_iter()
+        .map(|fact| (fact, r.gen_range(0.05..0.95)))
+        .collect();
+    TidWorkload { query, interner, database, tid }
+}
+
+/// A Bag-Set Maximization workload `(Q, D, D_r)` over the Eq. (1)
+/// schema with the same join-friendly domains as [`star_tid`].
+pub struct BsmWorkload {
+    /// The query.
+    pub query: Query,
+    /// Interner binding names.
+    pub interner: Interner,
+    /// The database to repair.
+    pub d: Database,
+    /// The repair database.
+    pub d_r: Database,
+}
+
+/// Builds a BSM workload: `d_size` facts per relation in `D` and
+/// `dr_size` per relation in `D_r` (same domains, so repairs join).
+pub fn bsm_workload(d_size: usize, dr_size: usize, seed: u64) -> BsmWorkload {
+    let base = star_tid(d_size, seed);
+    let mut interner = base.interner;
+    let mut r = rng(seed ^ 0xBEEF);
+    let mut d_r = Database::new();
+    let a_dom = ((d_size as f64).sqrt().ceil() as u64).max(2);
+    let c_dom = 4u64;
+    let wide = (d_size as u64 * 4).max(8);
+    for (name, cols) in [
+        ("R", vec![ColumnDist::Uniform { domain: a_dom }, ColumnDist::Uniform { domain: wide }]),
+        ("S", vec![ColumnDist::Uniform { domain: a_dom }, ColumnDist::Uniform { domain: c_dom }]),
+        (
+            "T",
+            vec![
+                ColumnDist::Uniform { domain: a_dom },
+                ColumnDist::Uniform { domain: c_dom },
+                ColumnDist::Uniform { domain: wide },
+            ],
+        ),
+    ] {
+        let rel = interner.intern(name);
+        fill_relation(&mut d_r, rel, &cols, dr_size, &mut r);
+    }
+    BsmWorkload { query: base.query, interner, d: base.database, d_r }
+}
+
+/// A Shapley workload: chain query with an exogenous/endogenous split.
+pub struct ShapleyWorkload {
+    /// The query.
+    pub query: Query,
+    /// Interner binding names.
+    pub interner: Interner,
+    /// Exogenous facts.
+    pub exogenous: Vec<Fact>,
+    /// Endogenous facts.
+    pub endogenous: Vec<Fact>,
+}
+
+/// Builds a Shapley workload with roughly `endo_fraction` of the facts
+/// endogenous.
+pub fn shapley_workload(facts_per_relation: usize, endo_fraction: f64, seed: u64) -> ShapleyWorkload {
+    let base = chain_tid(facts_per_relation, seed);
+    let mut r = rng(seed ^ 0xFACE);
+    let (exogenous, endogenous) =
+        hq_db::generate::random_endogenous_split(&base.database, endo_fraction, &mut r);
+    ShapleyWorkload { query: base.query, interner: base.interner, exogenous, endogenous }
+}
+
+/// Times a closure, returning `(result, milliseconds)`.
+pub fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Renders an aligned text table (used by the experiments harness).
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let line = |cells: &[String]| -> String {
+        let mut s = String::from("|");
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!(" {:<w$} |", c, w = widths[i]));
+        }
+        s.push('\n');
+        s
+    };
+    let mut out = line(&headers.iter().map(|h| (*h).to_owned()).collect::<Vec<_>>());
+    out.push('|');
+    for w in &widths {
+        out.push_str(&format!("{}-|", "-".repeat(w + 2 - 1)));
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str(&line(row));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_workload_sizes() {
+        let w = chain_tid(100, 1);
+        assert_eq!(w.tid.len(), 200);
+        assert!(w.tid.iter().all(|&(_, p)| (0.05..0.95).contains(&p)));
+    }
+
+    #[test]
+    fn workloads_are_deterministic() {
+        let w1 = chain_tid(50, 7);
+        let w2 = chain_tid(50, 7);
+        assert_eq!(w1.tid, w2.tid);
+        let b1 = bsm_workload(20, 10, 3);
+        let b2 = bsm_workload(20, 10, 3);
+        assert_eq!(b1.d, b2.d);
+        assert_eq!(b1.d_r, b2.d_r);
+    }
+
+    #[test]
+    fn chain_workload_actually_joins() {
+        // The domains are tuned so the query has non-trivial probability.
+        let w = chain_tid(200, 2);
+        let p = hq_unify::pqe::probability(&w.query, &w.interner, &w.tid).unwrap();
+        assert!(p > 0.5, "workload should produce matches, got p={p}");
+    }
+
+    #[test]
+    fn star_workload_joins() {
+        let w = star_tid(200, 3);
+        let p = hq_unify::pqe::probability(&w.query, &w.interner, &w.tid).unwrap();
+        assert!(p > 0.1, "got p={p}");
+    }
+
+    #[test]
+    fn bsm_workload_repair_helps() {
+        let b = bsm_workload(30, 20, 4);
+        let zero = hq_unify::bsm::maximize(&b.query, &b.interner, &b.d, &b.d_r, 0)
+            .unwrap()
+            .optimum();
+        let five = hq_unify::bsm::maximize(&b.query, &b.interner, &b.d, &b.d_r, 5)
+            .unwrap()
+            .optimum();
+        assert!(five >= zero);
+    }
+
+    #[test]
+    fn shapley_workload_splits() {
+        let w = shapley_workload(30, 0.3, 5);
+        assert_eq!(w.exogenous.len() + w.endogenous.len(), 60);
+        assert!(!w.endogenous.is_empty());
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            &["n", "time"],
+            &[vec!["10".into(), "1.5".into()], vec!["1000".into(), "2.25".into()]],
+        );
+        assert!(t.contains("| n    | time |"));
+        assert_eq!(t.lines().count(), 4);
+    }
+}

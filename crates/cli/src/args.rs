@@ -1,0 +1,100 @@
+//! Minimal `--key value` / `--flag` argument parsing (no external
+//! dependencies; the CLI surface is small enough that a hand-rolled
+//! parser is clearer than pulling in a framework).
+
+use std::collections::BTreeMap;
+
+/// Parsed command-line options.
+#[derive(Debug, Default, Clone)]
+pub struct Args {
+    values: BTreeMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses `--key value` pairs and bare `--flag`s.
+    ///
+    /// # Errors
+    /// Rejects positional arguments and repeated keys.
+    pub fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut out = Args::default();
+        let mut iter = argv.iter().peekable();
+        while let Some(arg) = iter.next() {
+            let Some(key) = arg.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument '{arg}'"));
+            };
+            if key.is_empty() {
+                return Err("empty option name '--'".into());
+            }
+            match iter.peek() {
+                Some(next) if !next.starts_with("--") => {
+                    let value = iter.next().expect("peeked").clone();
+                    if out.values.insert(key.to_owned(), value).is_some() {
+                        return Err(format!("option '--{key}' given twice"));
+                    }
+                }
+                _ => out.flags.push(key.to_owned()),
+            }
+        }
+        Ok(out)
+    }
+
+    /// The value of `--key value`, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// The value of a mandatory option.
+    ///
+    /// # Errors
+    /// Returns a usage message when missing.
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing required option '--{key}'"))
+    }
+
+    /// Whether a bare `--flag` was given.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Args, String> {
+        let owned: Vec<String> = args.iter().map(|s| (*s).to_owned()).collect();
+        Args::parse(&owned)
+    }
+
+    #[test]
+    fn key_values_and_flags() {
+        let a = parse(&["--query", "Q() :- R(X)", "--exact", "--db", "x.facts"]).unwrap();
+        assert_eq!(a.get("query"), Some("Q() :- R(X)"));
+        assert_eq!(a.get("db"), Some("x.facts"));
+        assert!(a.flag("exact"));
+        assert!(!a.flag("missing"));
+        assert_eq!(a.get("nope"), None);
+    }
+
+    #[test]
+    fn require_reports_missing() {
+        let a = parse(&["--db", "x"]).unwrap();
+        assert!(a.require("db").is_ok());
+        assert!(a.require("query").unwrap_err().contains("--query"));
+    }
+
+    #[test]
+    fn rejects_positional_and_duplicates() {
+        assert!(parse(&["stray"]).is_err());
+        assert!(parse(&["--db", "a", "--db", "b"]).is_err());
+        assert!(parse(&["--"]).is_err());
+    }
+
+    #[test]
+    fn trailing_flag() {
+        let a = parse(&["--theta", "2", "--verbose"]).unwrap();
+        assert_eq!(a.get("theta"), Some("2"));
+        assert!(a.flag("verbose"));
+    }
+}

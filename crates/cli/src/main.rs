@@ -1,0 +1,403 @@
+//! `hq` — command-line interface for hierarchical-query evaluation.
+//!
+//! ```text
+//! hq check   "Q() :- R(A,B), S(A,C)"                     # hierarchy analysis + plan trace
+//! hq count   --query Q --db d.facts                      # bag-set value Q(D)
+//! hq pqe     --query Q --db d.facts [--exact]            # marginal probability (weights after '@')
+//! hq bsm     --query Q --db d.facts --repair r.facts --theta N
+//! hq shapley --query Q --db endo.facts [--exogenous x.facts]
+//! ```
+//!
+//! Database files use the `hq-db` text format: one fact per line
+//! (`R(1, alice)`), optional probability after `@`, `#` comments.
+
+use hq_arith::Rational;
+use hq_db::text::parse_database;
+use hq_db::{Database, Fact, Interner};
+use hq_query::{
+    is_hierarchical, non_hierarchical_witness, parse_query, plan, witness_forest, Query,
+};
+use hq_unify::{bsm, pqe, shapley};
+use std::process::ExitCode;
+
+mod args;
+use args::Args;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Executes a full CLI invocation, returning the text to print.
+/// Split from `main` so the test suite can drive it directly.
+fn run(argv: &[String]) -> Result<String, String> {
+    let Some((cmd, rest)) = argv.split_first() else {
+        return Ok(usage());
+    };
+    match cmd.as_str() {
+        "check" => cmd_check(rest),
+        "count" => cmd_count(&Args::parse(rest)?),
+        "pqe" => cmd_pqe(&Args::parse(rest)?),
+        "bsm" => cmd_bsm(&Args::parse(rest)?),
+        "expected" => cmd_expected(&Args::parse(rest)?),
+        "provenance" => cmd_provenance(&Args::parse(rest)?),
+        "shapley" => cmd_shapley(&Args::parse(rest)?),
+        "help" | "--help" | "-h" => Ok(usage()),
+        other => Err(format!("unknown command '{other}'; try 'hq help'")),
+    }
+}
+
+fn usage() -> String {
+    "hq — the unifying algorithm for hierarchical queries (PODS 2025)\n\
+     \n\
+     commands:\n\
+     \x20 check   <query>                                  hierarchy analysis and elimination trace\n\
+     \x20 count   --query <q> --db <file>                  bag-set value Q(D)\n\
+     \x20 pqe     --query <q> --db <file> [--exact]        probabilistic query evaluation\n\
+     \x20 bsm     --query <q> --db <file> --repair <file> --theta <n> [--witness]\n\
+     \x20 expected --query <q> --db <file>                 expected bag-set value E[Q(D)]\n\
+     \x20 provenance --query <q> --db <file>               provenance tree of Q over D\n\
+     \x20 shapley --query <q> --db <file> [--exogenous <file>]\n\
+     \n\
+     database files: one fact per line, e.g. `R(1, alice) @ 0.9`\n"
+        .to_owned()
+}
+
+fn parse_query_arg(src: &str) -> Result<Query, String> {
+    parse_query(src).map_err(|e| format!("query: {e}"))
+}
+
+fn load_db(path: &str, interner: &mut Interner) -> Result<(Database, Vec<(Fact, f64)>), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let parsed = parse_database(&text, interner).map_err(|e| format!("{path}: {e}"))?;
+    Ok((parsed.database, parsed.weights))
+}
+
+fn cmd_check(rest: &[String]) -> Result<String, String> {
+    let Some(src) = rest.first() else {
+        return Err("check: expected a query argument".into());
+    };
+    let q = parse_query_arg(src)?;
+    let mut out = format!("query: {q}\n");
+    if is_hierarchical(&q) {
+        out.push_str("hierarchical: yes\n\n");
+        let p = plan(&q).expect("hierarchical queries always plan");
+        out.push_str("elimination trace (Prop. 5.1):\n");
+        out.push_str(&p.trace(&q));
+        out.push('\n');
+        if let Some(forest) = witness_forest(&q) {
+            out.push_str("\nwitness forest (Prop. 5.5):\n");
+            for v in q.vars() {
+                match forest.parent(v) {
+                    Some(p) => out.push_str(&format!(
+                        "  {} -> parent {}\n",
+                        q.var_name(v),
+                        q.var_name(p)
+                    )),
+                    None => out.push_str(&format!("  {} (root)\n", q.var_name(v))),
+                }
+            }
+        }
+    } else {
+        out.push_str("hierarchical: no\n");
+        let w = non_hierarchical_witness(&q).expect("non-hierarchical witness exists");
+        out.push_str(&format!(
+            "witness (Thm. 4.4 shape): vars {}, {} with atoms {}, {}, {}\n\
+             all three problems are intractable for this query\n\
+             (PQE #P-complete, Shapley FP#P-complete, BSM NP-complete).\n",
+            q.var_name(w.a),
+            q.var_name(w.b),
+            q.atoms()[w.r_atom].rel,
+            q.atoms()[w.s_atom].rel,
+            q.atoms()[w.t_atom].rel,
+        ));
+    }
+    Ok(out)
+}
+
+fn cmd_count(args: &Args) -> Result<String, String> {
+    let q = parse_query_arg(args.require("query")?)?;
+    let mut interner = Interner::new();
+    let (db, _) = load_db(args.require("db")?, &mut interner)?;
+    let pattern = q.to_pattern(&mut interner);
+    let count = hq_db::count_matches(&db, &pattern).map_err(|e| e.to_string())?;
+    Ok(format!("Q(D) = {count}\n"))
+}
+
+fn cmd_pqe(args: &Args) -> Result<String, String> {
+    let q = parse_query_arg(args.require("query")?)?;
+    let mut interner = Interner::new();
+    let (db, weights) = load_db(args.require("db")?, &mut interner)?;
+    // Facts without explicit weights default to probability 1.
+    let mut tid: Vec<(Fact, f64)> = Vec::new();
+    let weighted: std::collections::BTreeMap<&Fact, f64> =
+        weights.iter().map(|(f, w)| (f, *w)).collect();
+    for f in db.facts() {
+        let p = weighted.get(&f).copied().unwrap_or(1.0);
+        tid.push((f, p));
+    }
+    if args.flag("exact") {
+        let exact: Vec<(Fact, Rational)> = tid
+            .iter()
+            .map(|(f, p)| {
+                let scaled = (p * 1_000_000.0).round() as u64;
+                (f.clone(), Rational::ratio(scaled, 1_000_000))
+            })
+            .collect();
+        let prob =
+            pqe::probability_exact(&q, &interner, &exact).map_err(|e| e.to_string())?;
+        Ok(format!(
+            "P(Q) = {prob} ≈ {:.9}\n(probabilities rounded to 1e-6 for exact mode)\n",
+            prob.to_f64()
+        ))
+    } else {
+        let prob = pqe::probability(&q, &interner, &tid).map_err(|e| e.to_string())?;
+        Ok(format!("P(Q) = {prob:.9}\n"))
+    }
+}
+
+fn cmd_bsm(args: &Args) -> Result<String, String> {
+    let q = parse_query_arg(args.require("query")?)?;
+    let theta: usize = args
+        .require("theta")?
+        .parse()
+        .map_err(|_| "theta: expected a non-negative integer".to_string())?;
+    let mut interner = Interner::new();
+    let (d, _) = load_db(args.require("db")?, &mut interner)?;
+    let (d_r, _) = load_db(args.require("repair")?, &mut interner)?;
+    if args.flag("witness") {
+        let sol = bsm::maximize_with_repair(&q, &interner, &d, &d_r, theta)
+            .map_err(|e| e.to_string())?;
+        let mut out = format!(
+            "max Q(D') within budget θ={theta}: {}\n",
+            sol.value_at(theta)
+        );
+        out.push_str("budget curve with optimal repairs:\n");
+        for i in 0..=theta {
+            let names: Vec<String> = sol
+                .repair_at(i)
+                .iter()
+                .map(|f| f.display(&interner).to_string())
+                .collect();
+            out.push_str(&format!(
+                "  θ={i}: {} via {{{}}}\n",
+                sol.value_at(i),
+                names.join(", ")
+            ));
+        }
+        return Ok(out);
+    }
+    let sol = bsm::maximize(&q, &interner, &d, &d_r, theta).map_err(|e| e.to_string())?;
+    let mut out = format!("max Q(D') within budget θ={theta}: {}\n", sol.optimum());
+    out.push_str("budget curve:\n");
+    for i in 0..=theta {
+        out.push_str(&format!("  θ={i}: {}\n", sol.value_at(i)));
+    }
+    Ok(out)
+}
+
+fn cmd_expected(args: &Args) -> Result<String, String> {
+    let q = parse_query_arg(args.require("query")?)?;
+    let mut interner = Interner::new();
+    let (db, weights) = load_db(args.require("db")?, &mut interner)?;
+    let weighted: std::collections::BTreeMap<&Fact, f64> =
+        weights.iter().map(|(f, w)| (f, *w)).collect();
+    let tid: Vec<(Fact, f64)> = db
+        .facts()
+        .into_iter()
+        .map(|f| {
+            let p = weighted.get(&f).copied().unwrap_or(1.0);
+            (f, p)
+        })
+        .collect();
+    let e = pqe::expected_count(&q, &interner, &tid).map_err(|e| e.to_string())?;
+    Ok(format!("E[Q(D)] = {e:.9}\n"))
+}
+
+fn cmd_provenance(args: &Args) -> Result<String, String> {
+    let q = parse_query_arg(args.require("query")?)?;
+    let mut interner = Interner::new();
+    let (db, _) = load_db(args.require("db")?, &mut interner)?;
+    let facts = db.facts();
+    let prov =
+        hq_unify::provenance_tree(&q, &interner, &facts).map_err(|e| e.to_string())?;
+    let mut out = String::from("fact symbols:\n");
+    for (i, f) in prov.symbols.iter().enumerate() {
+        out.push_str(&format!("  f{i} = {}\n", f.display(&interner)));
+    }
+    out.push_str(&format!("provenance tree: {}\n", prov.tree));
+    out.push_str(&format!(
+        "decomposable: {}; support size: {}\n",
+        prov.tree.is_decomposable(),
+        prov.tree.support().len()
+    ));
+    Ok(out)
+}
+
+fn cmd_shapley(args: &Args) -> Result<String, String> {
+    let q = parse_query_arg(args.require("query")?)?;
+    let mut interner = Interner::new();
+    let (endo_db, _) = load_db(args.require("db")?, &mut interner)?;
+    let exogenous = match args.get("exogenous") {
+        Some(path) => load_db(path, &mut interner)?.0.facts(),
+        None => Vec::new(),
+    };
+    let endogenous = endo_db.facts();
+    let values = shapley::shapley_values(&q, &interner, &exogenous, &endogenous)
+        .map_err(|e| e.to_string())?;
+    let mut out = String::from("Shapley values (exact):\n");
+    let mut total = Rational::zero();
+    for (f, v) in &values {
+        out.push_str(&format!(
+            "  {:<30} {} ≈ {:.6}\n",
+            f.display(&interner).to_string(),
+            v,
+            v.to_f64()
+        ));
+        total = &total + v;
+    }
+    out.push_str(&format!("  total = {total} ≈ {:.6}\n", total.to_f64()));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_temp(name: &str, content: &str) -> String {
+        let dir = std::env::temp_dir().join("hq-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, content).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    fn run_strs(args: &[&str]) -> Result<String, String> {
+        let owned: Vec<String> = args.iter().map(|s| (*s).to_owned()).collect();
+        run(&owned)
+    }
+
+    #[test]
+    fn check_hierarchical_query() {
+        let out = run_strs(&["check", "Q() :- R(A,B), S(A,C), T(A,C,D)"]).unwrap();
+        assert!(out.contains("hierarchical: yes"));
+        assert!(out.contains("Rule 1"));
+        assert!(out.contains("witness forest"));
+    }
+
+    #[test]
+    fn check_non_hierarchical_query() {
+        let out = run_strs(&["check", "Q() :- R(X), S(X,Y), T(Y)"]).unwrap();
+        assert!(out.contains("hierarchical: no"));
+        assert!(out.contains("NP-complete"));
+    }
+
+    #[test]
+    fn count_command() {
+        let db = write_temp("count.facts", "R(1,5)\nS(1,1)\nS(1,2)\nT(1,2,4)\n");
+        let out = run_strs(&[
+            "count",
+            "--query",
+            "Q() :- R(A,B), S(A,C), T(A,C,D)",
+            "--db",
+            &db,
+        ])
+        .unwrap();
+        assert_eq!(out, "Q(D) = 1\n");
+    }
+
+    #[test]
+    fn pqe_command() {
+        let db = write_temp("pqe.facts", "E(1,2) @ 0.5\nF(2,3) @ 0.5\n");
+        let out = run_strs(&["pqe", "--query", "Q() :- E(X,Y), F(Y,Z)", "--db", &db]).unwrap();
+        assert!(out.contains("P(Q) = 0.25"), "{out}");
+        let exact =
+            run_strs(&["pqe", "--query", "Q() :- E(X,Y), F(Y,Z)", "--db", &db, "--exact"])
+                .unwrap();
+        assert!(exact.contains("1/4"), "{exact}");
+    }
+
+    #[test]
+    fn bsm_command_reproduces_figure_1() {
+        let d = write_temp("bsm_d.facts", "R(1,5)\nS(1,1)\nS(1,2)\nT(1,2,4)\n");
+        let dr = write_temp("bsm_dr.facts", "R(1,6)\nR(1,7)\nT(1,1,4)\nT(1,2,9)\n");
+        let out = run_strs(&[
+            "bsm",
+            "--query",
+            "Q() :- R(A,B), S(A,C), T(A,C,D)",
+            "--db",
+            &d,
+            "--repair",
+            &dr,
+            "--theta",
+            "2",
+        ])
+        .unwrap();
+        assert!(out.contains("budget θ=2: 4"), "{out}");
+        assert!(out.contains("θ=0: 1"));
+        assert!(out.contains("θ=1: 2"));
+    }
+
+    #[test]
+    fn shapley_command() {
+        let db = write_temp("shap.facts", "R(1)\nR(2)\n");
+        let out = run_strs(&["shapley", "--query", "Q() :- R(X)", "--db", &db]).unwrap();
+        assert!(out.contains("1/2"), "{out}");
+        assert!(out.contains("total = 1"), "{out}");
+    }
+
+    #[test]
+    fn bsm_witness_flag() {
+        let d = write_temp("bsmw_d.facts", "R(1,5)\nS(1,1)\nS(1,2)\nT(1,2,4)\n");
+        let dr = write_temp("bsmw_dr.facts", "R(1,6)\nR(1,7)\nT(1,1,4)\nT(1,2,9)\n");
+        let out = run_strs(&[
+            "bsm",
+            "--query",
+            "Q() :- R(A,B), S(A,C), T(A,C,D)",
+            "--db",
+            &d,
+            "--repair",
+            &dr,
+            "--theta",
+            "2",
+            "--witness",
+        ])
+        .unwrap();
+        assert!(out.contains("θ=2: 4 via {"), "{out}");
+        assert!(out.contains("R(1, "), "{out}");
+    }
+
+    #[test]
+    fn expected_command() {
+        let db = write_temp("exp.facts", "R(1) @ 0.25\nR(2) @ 0.25\n");
+        let out = run_strs(&["expected", "--query", "Q() :- R(X)", "--db", &db]).unwrap();
+        assert!(out.contains("E[Q(D)] = 0.5"), "{out}");
+    }
+
+    #[test]
+    fn provenance_command() {
+        let db = write_temp("prov.facts", "E(1,2)\nF(2,3)\n");
+        let out =
+            run_strs(&["provenance", "--query", "Q() :- E(X,Y), F(Y,Z)", "--db", &db]).unwrap();
+        assert!(out.contains("f0 = E(1, 2)"), "{out}");
+        assert!(out.contains("∧"), "{out}");
+        assert!(out.contains("decomposable: true"), "{out}");
+    }
+
+    #[test]
+    fn helpful_errors() {
+        assert!(run_strs(&["frobnicate"]).is_err());
+        assert!(run_strs(&["count", "--query", "R(A), R(B)"]).is_err());
+        let out = run_strs(&[]).unwrap();
+        assert!(out.contains("commands:"));
+    }
+}

@@ -1,0 +1,510 @@
+//! A backtracking conjunctive-pattern join engine.
+//!
+//! Computes the bag-set value `Q(D)` — the number of *distinct*
+//! satisfying assignments of a conjunctive pattern over a set database
+//! (Section 1 of the paper) — and enumerates those assignments. This is
+//! the ground truth every brute-force baseline is built on: possible
+//! worlds (PQE), repair subsets (Bag-Set Maximization), and endogenous
+//! subsets (`#Sat`) all re-evaluate patterns through this engine.
+//!
+//! The engine is deliberately query-generic: atoms are relation symbols
+//! with slots holding variable ids (repeats allowed). Atom order is
+//! chosen greedily (bound-connected first, then smallest relation), and
+//! each atom gets a hash index on the positions bound at its turn, built
+//! once before the search.
+
+use crate::database::Database;
+use crate::tuple::Tuple;
+use crate::value::{Sym, Value};
+use std::collections::HashMap;
+
+/// One atom of a conjunctive pattern: `rel(vars[0], vars[1], …)`.
+/// Variable ids may repeat within an atom (the engine filters for
+/// consistency), although self-join-free queries never produce repeats.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternAtom {
+    /// Relation symbol.
+    pub rel: Sym,
+    /// Variable id per argument position.
+    pub vars: Vec<usize>,
+}
+
+/// A conjunctive pattern: `∃ x₀ … x_{n-1}. atom₁ ∧ … ∧ atom_m`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pattern {
+    /// The atoms, in arbitrary order.
+    pub atoms: Vec<PatternAtom>,
+    /// Number of distinct variables; every id in `atoms` must be `< var_count`,
+    /// and every variable must occur in at least one atom.
+    pub var_count: usize,
+}
+
+/// Errors detectable from the pattern/database shape alone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PatternError {
+    /// A variable id is `>= var_count`.
+    VarOutOfRange {
+        /// The offending variable id.
+        var: usize,
+    },
+    /// A variable occurs in no atom (the match set would be infinite).
+    UnusedVariable {
+        /// The unused variable id.
+        var: usize,
+    },
+    /// An atom's slot count disagrees with the relation arity in the database.
+    ArityMismatch {
+        /// The relation symbol.
+        rel: Sym,
+        /// Slots in the pattern atom.
+        pattern_arity: usize,
+        /// Arity of the relation instance.
+        relation_arity: usize,
+    },
+}
+
+impl std::fmt::Display for PatternError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PatternError::VarOutOfRange { var } => {
+                write!(f, "variable id {var} out of range")
+            }
+            PatternError::UnusedVariable { var } => {
+                write!(f, "variable id {var} occurs in no atom")
+            }
+            PatternError::ArityMismatch { rel, pattern_arity, relation_arity } => write!(
+                f,
+                "atom over relation #{} has {pattern_arity} slots but the relation has arity {relation_arity}",
+                rel.0
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PatternError {}
+
+impl Pattern {
+    /// Validates the pattern against a database (arity checks are
+    /// skipped for relations absent from the database — they simply
+    /// yield zero matches).
+    pub fn validate(&self, db: &Database) -> Result<(), PatternError> {
+        let mut used = vec![false; self.var_count];
+        for atom in &self.atoms {
+            for &v in &atom.vars {
+                if v >= self.var_count {
+                    return Err(PatternError::VarOutOfRange { var: v });
+                }
+                used[v] = true;
+            }
+            if let Some(r) = db.relation(atom.rel) {
+                if r.arity() != atom.vars.len() {
+                    return Err(PatternError::ArityMismatch {
+                        rel: atom.rel,
+                        pattern_arity: atom.vars.len(),
+                        relation_arity: r.arity(),
+                    });
+                }
+            }
+        }
+        if let Some(var) = used.iter().position(|&u| !u) {
+            return Err(PatternError::UnusedVariable { var });
+        }
+        Ok(())
+    }
+}
+
+/// Greedy atom order: repeatedly pick the atom with the most
+/// already-bound variables, breaking ties by smaller relation
+/// cardinality. Keeps the search bound-connected whenever the pattern is
+/// connected.
+fn atom_order(db: &Database, pattern: &Pattern) -> Vec<usize> {
+    let n = pattern.atoms.len();
+    let size = |i: usize| {
+        db.relation(pattern.atoms[i].rel)
+            .map_or(0, |r| r.len())
+    };
+    let mut bound = vec![false; pattern.var_count];
+    let mut remaining: Vec<usize> = (0..n).collect();
+    let mut order = Vec::with_capacity(n);
+    while !remaining.is_empty() {
+        let (pos, &best) = remaining
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &i)| {
+                let bound_vars = pattern.atoms[i]
+                    .vars
+                    .iter()
+                    .filter(|&&v| bound[v])
+                    .count();
+                // More bound vars first; then smaller relations.
+                (bound_vars, std::cmp::Reverse(size(i)))
+            })
+            .expect("remaining is non-empty");
+        order.push(best);
+        remaining.swap_remove(pos);
+        for &v in &pattern.atoms[best].vars {
+            bound[v] = true;
+        }
+    }
+    order
+}
+
+/// A per-atom hash index keyed on the positions bound at this atom's
+/// turn in the join order.
+struct AtomIndex<'a> {
+    vars: &'a [usize],
+    /// Positions (into the atom) whose variables are bound before this atom.
+    bound_positions: Vec<usize>,
+    /// Map from key tuple (values at `bound_positions`) to matching rows.
+    index: HashMap<Tuple, Vec<&'a Tuple>>,
+}
+
+impl<'a> AtomIndex<'a> {
+    fn build(db: &'a Database, atom: &'a PatternAtom, already_bound: &[bool]) -> Self {
+        let bound_positions: Vec<usize> = atom
+            .vars
+            .iter()
+            .enumerate()
+            .filter(|&(_, &v)| already_bound[v])
+            .map(|(p, _)| p)
+            .collect();
+        let mut index: HashMap<Tuple, Vec<&Tuple>> = HashMap::new();
+        if let Some(rel) = db.relation(atom.rel) {
+            for t in rel {
+                // Skip rows inconsistent with repeated variables.
+                if !row_self_consistent(atom, t) {
+                    continue;
+                }
+                index
+                    .entry(t.project(&bound_positions))
+                    .or_default()
+                    .push(t);
+            }
+        }
+        AtomIndex { vars: &atom.vars, bound_positions, index }
+    }
+
+    fn candidates(&self, binding: &[Option<Value>]) -> &[&'a Tuple] {
+        let key: Tuple = self
+            .bound_positions
+            .iter()
+            .map(|&p| binding[self.vars[p]].expect("position marked bound"))
+            .collect();
+        self.index.get(&key).map_or(&[], Vec::as_slice)
+    }
+}
+
+/// Checks repeated-variable consistency inside a single atom.
+fn row_self_consistent(atom: &PatternAtom, t: &Tuple) -> bool {
+    for (i, &v) in atom.vars.iter().enumerate() {
+        for (j, &w) in atom.vars.iter().enumerate().take(i) {
+            if v == w && t.get(i) != t.get(j) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Visitor outcome: continue enumerating or stop early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Flow {
+    /// Keep enumerating.
+    Continue,
+    /// Stop the search (e.g. Boolean evaluation found a witness).
+    Stop,
+}
+
+/// Enumerates every distinct satisfying assignment of `pattern` over
+/// `db`, invoking `visit` with the full variable binding. Returns the
+/// number of assignments visited (all of them unless `visit` stopped
+/// early).
+///
+/// # Errors
+/// Returns [`PatternError`] if the pattern is malformed for this database.
+pub fn enumerate(
+    db: &Database,
+    pattern: &Pattern,
+    mut visit: impl FnMut(&[Value]) -> Flow,
+) -> Result<u64, PatternError> {
+    pattern.validate(db)?;
+    if pattern.atoms.is_empty() {
+        // An empty conjunction with no variables has exactly the empty
+        // assignment (var_count == 0 is guaranteed by validate).
+        visit(&[]);
+        return Ok(1);
+    }
+    let order = atom_order(db, pattern);
+    // Build per-step indexes keyed on the bound positions at that step.
+    let mut bound = vec![false; pattern.var_count];
+    let mut indexes = Vec::with_capacity(order.len());
+    for &i in &order {
+        let atom = &pattern.atoms[i];
+        indexes.push(AtomIndex::build(db, atom, &bound));
+        for &v in &atom.vars {
+            bound[v] = true;
+        }
+    }
+    let mut binding: Vec<Option<Value>> = vec![None; pattern.var_count];
+    let mut count = 0u64;
+    let mut stopped = false;
+    search(&indexes, 0, &mut binding, &mut count, &mut stopped, &mut visit);
+    Ok(count)
+}
+
+fn search(
+    indexes: &[AtomIndex<'_>],
+    depth: usize,
+    binding: &mut Vec<Option<Value>>,
+    count: &mut u64,
+    stopped: &mut bool,
+    visit: &mut impl FnMut(&[Value]) -> Flow,
+) {
+    if *stopped {
+        return;
+    }
+    if depth == indexes.len() {
+        *count += 1;
+        let full: Vec<Value> = binding
+            .iter()
+            .map(|v| v.expect("all variables bound at a leaf"))
+            .collect();
+        if visit(&full) == Flow::Stop {
+            *stopped = true;
+        }
+        return;
+    }
+    let idx = &indexes[depth];
+    'rows: for row in idx.candidates(binding) {
+        // Bind the free positions of this atom, checking consistency
+        // against variables bound earlier in the same atom.
+        let mut newly_bound = Vec::new();
+        for (p, &v) in idx.vars.iter().enumerate() {
+            match binding[v] {
+                Some(existing) => {
+                    if existing != row.get(p) {
+                        for &nb in &newly_bound {
+                            binding[nb] = None;
+                        }
+                        continue 'rows;
+                    }
+                }
+                None => {
+                    binding[v] = Some(row.get(p));
+                    newly_bound.push(v);
+                }
+            }
+        }
+        search(indexes, depth + 1, binding, count, stopped, visit);
+        for &nb in &newly_bound {
+            binding[nb] = None;
+        }
+        if *stopped {
+            return;
+        }
+    }
+}
+
+/// The bag-set value `Q(D)`: the number of distinct satisfying
+/// assignments of `pattern` over `db`.
+///
+/// # Errors
+/// Returns [`PatternError`] if the pattern is malformed for this database.
+pub fn count_matches(db: &Database, pattern: &Pattern) -> Result<u64, PatternError> {
+    enumerate(db, pattern, |_| Flow::Continue)
+}
+
+/// Boolean evaluation: does at least one satisfying assignment exist?
+///
+/// # Errors
+/// Returns [`PatternError`] if the pattern is malformed for this database.
+pub fn satisfiable(db: &Database, pattern: &Pattern) -> Result<bool, PatternError> {
+    Ok(enumerate(db, pattern, |_| Flow::Stop)? > 0)
+}
+
+/// Collects all satisfying assignments (test convenience).
+///
+/// # Errors
+/// Returns [`PatternError`] if the pattern is malformed for this database.
+pub fn all_matches(db: &Database, pattern: &Pattern) -> Result<Vec<Vec<Value>>, PatternError> {
+    let mut out = Vec::new();
+    enumerate(db, pattern, |b| {
+        out.push(b.to_vec());
+        Flow::Continue
+    })?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::db_from_ints;
+
+    fn atom(rel: Sym, vars: &[usize]) -> PatternAtom {
+        PatternAtom { rel, vars: vars.to_vec() }
+    }
+
+    /// The Fig. 1 / Eq. (1) query: Q() :- R(A,B), S(A,C), T(A,C,D).
+    #[test]
+    fn fig1_initial_database_has_one_match() {
+        let (db, mut i) = db_from_ints(&[
+            ("R", &[&[1, 5]]),
+            ("S", &[&[1, 1], &[1, 2]]),
+            ("T", &[&[1, 2, 4]]),
+        ]);
+        let (r, s, t) = (i.intern("R"), i.intern("S"), i.intern("T"));
+        // vars: A=0 B=1 C=2 D=3
+        let p = Pattern {
+            atoms: vec![atom(r, &[0, 1]), atom(s, &[0, 2]), atom(t, &[0, 2, 3])],
+            var_count: 4,
+        };
+        assert_eq!(count_matches(&db, &p).unwrap(), 1);
+        let ms = all_matches(&db, &p).unwrap();
+        assert_eq!(
+            ms,
+            vec![vec![
+                Value::Int(1),
+                Value::Int(5),
+                Value::Int(2),
+                Value::Int(4)
+            ]]
+        );
+    }
+
+    #[test]
+    fn cartesian_product_counts_multiply() {
+        let (db, mut i) = db_from_ints(&[("R", &[&[1], &[2], &[3]]), ("S", &[&[7], &[8]])]);
+        let (r, s) = (i.intern("R"), i.intern("S"));
+        let p = Pattern {
+            atoms: vec![atom(r, &[0]), atom(s, &[1])],
+            var_count: 2,
+        };
+        assert_eq!(count_matches(&db, &p).unwrap(), 6);
+    }
+
+    #[test]
+    fn chain_join_counts() {
+        // R(A,B), S(B,C): path counting.
+        let (db, mut i) = db_from_ints(&[
+            ("R", &[&[1, 2], &[1, 3], &[4, 2]]),
+            ("S", &[&[2, 9], &[2, 8], &[3, 9]]),
+        ]);
+        let (r, s) = (i.intern("R"), i.intern("S"));
+        let p = Pattern {
+            atoms: vec![atom(r, &[0, 1]), atom(s, &[1, 2])],
+            var_count: 3,
+        };
+        // (1,2)->{9,8}, (1,3)->{9}, (4,2)->{9,8} = 5 paths
+        assert_eq!(count_matches(&db, &p).unwrap(), 5);
+    }
+
+    #[test]
+    fn missing_relation_means_zero() {
+        let (db, mut i) = db_from_ints(&[("R", &[&[1]])]);
+        let (r, s) = (i.intern("R"), i.intern("S_missing"));
+        let p = Pattern {
+            atoms: vec![atom(r, &[0]), atom(s, &[0])],
+            var_count: 1,
+        };
+        assert_eq!(count_matches(&db, &p).unwrap(), 0);
+        assert!(!satisfiable(&db, &p).unwrap());
+    }
+
+    #[test]
+    fn repeated_variable_in_atom_filters() {
+        let (db, mut i) = db_from_ints(&[("E", &[&[1, 1], &[1, 2], &[3, 3]])]);
+        let e = i.intern("E");
+        let p = Pattern { atoms: vec![atom(e, &[0, 0])], var_count: 1 };
+        // Only self-loops match E(X, X).
+        assert_eq!(count_matches(&db, &p).unwrap(), 2);
+    }
+
+    #[test]
+    fn shared_variable_across_atoms_filters() {
+        let (db, mut i) = db_from_ints(&[("R", &[&[1], &[2]]), ("S", &[&[2], &[3]])]);
+        let (r, s) = (i.intern("R"), i.intern("S"));
+        let p = Pattern {
+            atoms: vec![atom(r, &[0]), atom(s, &[0])],
+            var_count: 1,
+        };
+        assert_eq!(all_matches(&db, &p).unwrap(), vec![vec![Value::Int(2)]]);
+    }
+
+    #[test]
+    fn satisfiable_stops_early() {
+        let (db, mut i) =
+            db_from_ints(&[("R", &[&[1], &[2], &[3], &[4], &[5], &[6], &[7]])]);
+        let r = i.intern("R");
+        let p = Pattern { atoms: vec![atom(r, &[0])], var_count: 1 };
+        let mut seen = 0;
+        enumerate(&db, &p, |_| {
+            seen += 1;
+            Flow::Stop
+        })
+        .unwrap();
+        assert_eq!(seen, 1);
+    }
+
+    #[test]
+    fn nullary_atom_checks_presence() {
+        let mut i = crate::value::Interner::new();
+        let r = i.intern("R0");
+        let mut db = Database::new();
+        db.declare(r, 0);
+        let p = Pattern { atoms: vec![atom(r, &[])], var_count: 0 };
+        assert_eq!(count_matches(&db, &p).unwrap(), 0);
+        db.insert_tuple(r, Tuple::empty());
+        assert_eq!(count_matches(&db, &p).unwrap(), 1);
+    }
+
+    #[test]
+    fn validate_rejects_bad_patterns() {
+        let (db, mut i) = db_from_ints(&[("R", &[&[1, 2]])]);
+        let r = i.intern("R");
+        let out_of_range = Pattern { atoms: vec![atom(r, &[0, 3])], var_count: 2 };
+        assert!(matches!(
+            count_matches(&db, &out_of_range),
+            Err(PatternError::VarOutOfRange { var: 3 })
+        ));
+        let unused = Pattern { atoms: vec![atom(r, &[0, 0])], var_count: 2 };
+        assert!(matches!(
+            count_matches(&db, &unused),
+            Err(PatternError::UnusedVariable { var: 1 })
+        ));
+        let bad_arity = Pattern { atoms: vec![atom(r, &[0])], var_count: 1 };
+        assert!(matches!(
+            count_matches(&db, &bad_arity),
+            Err(PatternError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn disconnected_pattern_still_correct() {
+        let (db, mut i) = db_from_ints(&[("R", &[&[1], &[2]]), ("S", &[&[5, 6], &[7, 8]])]);
+        let (r, s) = (i.intern("R"), i.intern("S"));
+        let p = Pattern {
+            atoms: vec![atom(r, &[0]), atom(s, &[1, 2])],
+            var_count: 3,
+        };
+        assert_eq!(count_matches(&db, &p).unwrap(), 4);
+    }
+
+    #[test]
+    fn triangle_query() {
+        // E(A,B), F(B,C), G(C,A) over a directed triangle split across
+        // three relations.
+        let (db, mut i) = db_from_ints(&[
+            ("E", &[&[1, 2], &[2, 3]]),
+            ("F", &[&[2, 3], &[3, 1]]),
+            ("G", &[&[3, 1], &[1, 2]]),
+        ]);
+        let (e, f, g) = (i.intern("E"), i.intern("F"), i.intern("G"));
+        let p = Pattern {
+            atoms: vec![atom(e, &[0, 1]), atom(f, &[1, 2]), atom(g, &[2, 0])],
+            var_count: 3,
+        };
+        // Matches: (1,2,3) via E(1,2),F(2,3),G(3,1); and (2,3,1) via
+        // E(2,3),F(3,1),G(1,2).
+        assert_eq!(count_matches(&db, &p).unwrap(), 2);
+    }
+}

@@ -1,0 +1,136 @@
+//! Set relations: named collections of distinct tuples of fixed arity.
+
+use crate::tuple::Tuple;
+use std::collections::HashSet;
+
+/// A *set* relation instance (the paper's input model never allows
+/// duplicate facts; bags only appear in query *outputs*).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Relation {
+    arity: usize,
+    tuples: HashSet<Tuple>,
+}
+
+impl Relation {
+    /// Creates an empty relation of the given arity.
+    pub fn new(arity: usize) -> Self {
+        Relation { arity, tuples: HashSet::new() }
+    }
+
+    /// The arity every tuple must have.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Inserts a tuple; returns `true` if it was not already present.
+    ///
+    /// # Panics
+    /// Panics if the tuple arity does not match the relation arity.
+    pub fn insert(&mut self, tuple: Tuple) -> bool {
+        assert_eq!(
+            tuple.arity(),
+            self.arity,
+            "tuple arity {} does not match relation arity {}",
+            tuple.arity(),
+            self.arity
+        );
+        self.tuples.insert(tuple)
+    }
+
+    /// Removes a tuple; returns `true` if it was present.
+    pub fn remove(&mut self, tuple: &Tuple) -> bool {
+        self.tuples.remove(tuple)
+    }
+
+    /// Whether the tuple is present.
+    pub fn contains(&self, tuple: &Tuple) -> bool {
+        self.tuples.contains(tuple)
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the relation has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Iterates over the tuples (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.iter()
+    }
+
+    /// Returns the tuples in sorted order (deterministic iteration for
+    /// display, hashing-independent tests, and reproducible benchmarks).
+    pub fn sorted(&self) -> Vec<&Tuple> {
+        let mut v: Vec<&Tuple> = self.tuples.iter().collect();
+        v.sort();
+        v
+    }
+}
+
+impl<'a> IntoIterator for &'a Relation {
+    type Item = &'a Tuple;
+    type IntoIter = std::collections::hash_set::Iter<'a, Tuple>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.tuples.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_dedups() {
+        let mut r = Relation::new(2);
+        assert!(r.insert(Tuple::ints(&[1, 2])));
+        assert!(!r.insert(Tuple::ints(&[1, 2])));
+        assert!(r.insert(Tuple::ints(&[2, 1])));
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut r = Relation::new(2);
+        r.insert(Tuple::ints(&[1]));
+    }
+
+    #[test]
+    fn remove_and_contains() {
+        let mut r = Relation::new(1);
+        r.insert(Tuple::ints(&[7]));
+        assert!(r.contains(&Tuple::ints(&[7])));
+        assert!(r.remove(&Tuple::ints(&[7])));
+        assert!(!r.remove(&Tuple::ints(&[7])));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn sorted_is_deterministic() {
+        let mut r = Relation::new(1);
+        for v in [5, 1, 3, 2, 4] {
+            r.insert(Tuple::ints(&[v]));
+        }
+        let sorted: Vec<i64> = r
+            .sorted()
+            .iter()
+            .map(|t| match t.get(0) {
+                crate::value::Value::Int(i) => i,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(sorted, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn nullary_relation_holds_one_tuple() {
+        let mut r = Relation::new(0);
+        assert!(r.insert(Tuple::empty()));
+        assert!(!r.insert(Tuple::empty()));
+        assert_eq!(r.len(), 1);
+    }
+}

@@ -1,0 +1,123 @@
+//! Tuples of domain values.
+
+use crate::value::{Interner, Value};
+use std::fmt;
+
+/// An immutable tuple of [`Value`]s — one row of a relation, or one
+/// assignment to a set of variables.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tuple(Box<[Value]>);
+
+impl Tuple {
+    /// Builds a tuple from values.
+    pub fn new(values: impl Into<Box<[Value]>>) -> Self {
+        Tuple(values.into())
+    }
+
+    /// The empty (nullary) tuple, the `()` of a query `Q() :- R()`.
+    pub fn empty() -> Self {
+        Tuple(Box::new([]))
+    }
+
+    /// Builds a tuple of integer values (test and generator convenience).
+    pub fn ints(values: &[i64]) -> Self {
+        Tuple(values.iter().map(|&v| Value::Int(v)).collect())
+    }
+
+    /// Number of values (the arity).
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The values as a slice.
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// The value at position `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= self.arity()`.
+    pub fn get(&self, i: usize) -> Value {
+        self.0[i]
+    }
+
+    /// Projects the tuple onto the given positions, in order.
+    pub fn project(&self, positions: &[usize]) -> Tuple {
+        Tuple(positions.iter().map(|&p| self.0[p]).collect())
+    }
+
+    /// Renders the tuple as `(v1, v2, …)` using `interner`.
+    pub fn display<'a>(&'a self, interner: &'a Interner) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a Tuple, &'a Interner);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "(")?;
+                for (i, v) in self.0 .0.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}", v.display(self.1))?;
+                }
+                write!(f, ")")
+            }
+        }
+        D(self, interner)
+    }
+}
+
+impl FromIterator<Value> for Tuple {
+    fn from_iter<T: IntoIterator<Item = Value>>(iter: T) -> Self {
+        Tuple(iter.into_iter().collect())
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(v: Vec<Value>) -> Self {
+        Tuple(v.into_boxed_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let t = Tuple::ints(&[1, 2, 3]);
+        assert_eq!(t.arity(), 3);
+        assert_eq!(t.get(1), Value::Int(2));
+        assert_eq!(t.values(), &[Value::Int(1), Value::Int(2), Value::Int(3)]);
+    }
+
+    #[test]
+    fn empty_tuple() {
+        let t = Tuple::empty();
+        assert_eq!(t.arity(), 0);
+        assert_eq!(t, Tuple::ints(&[]));
+    }
+
+    #[test]
+    fn projection_reorders_and_repeats() {
+        let t = Tuple::ints(&[10, 20, 30]);
+        assert_eq!(t.project(&[2, 0]), Tuple::ints(&[30, 10]));
+        assert_eq!(t.project(&[1, 1]), Tuple::ints(&[20, 20]));
+        assert_eq!(t.project(&[]), Tuple::empty());
+    }
+
+    #[test]
+    fn display_uses_interner() {
+        let mut i = Interner::new();
+        let t: Tuple = vec![Value::int(5), i.value("x")].into();
+        assert_eq!(t.display(&i).to_string(), "(5, x)");
+    }
+
+    #[test]
+    fn equality_and_hash_as_map_key() {
+        use std::collections::HashMap;
+        let mut m = HashMap::new();
+        m.insert(Tuple::ints(&[1, 2]), "a");
+        assert_eq!(m.get(&Tuple::ints(&[1, 2])), Some(&"a"));
+        assert_eq!(m.get(&Tuple::ints(&[2, 1])), None);
+    }
+}

@@ -1,0 +1,154 @@
+//! Domain values and string interning.
+//!
+//! The paper draws values from a countably infinite domain `Dom`. We
+//! represent a value as either a 64-bit integer or an interned string
+//! symbol; interning keeps [`Value`] `Copy` (16 bytes) so tuples hash and
+//! compare fast, which dominates the cost of the annotated-relation
+//! operations in the unifying algorithm.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned string symbol. Only meaningful relative to the
+/// [`Interner`] that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Sym(pub u32);
+
+/// A domain value: an integer or an interned string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// An integer constant.
+    Int(i64),
+    /// An interned string constant.
+    Str(Sym),
+}
+
+impl Value {
+    /// Convenience constructor for integer values.
+    #[inline]
+    pub fn int(v: i64) -> Value {
+        Value::Int(v)
+    }
+
+    /// Renders the value using `interner` to resolve string symbols.
+    pub fn display<'a>(&'a self, interner: &'a Interner) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a Value, &'a Interner);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                match self.0 {
+                    Value::Int(i) => write!(f, "{i}"),
+                    Value::Str(s) => write!(f, "{}", self.1.resolve(*s)),
+                }
+            }
+        }
+        D(self, interner)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+/// A bidirectional string ↔ [`Sym`] table.
+///
+/// All databases participating in one problem instance (e.g. `D` and the
+/// repair database `D_r` of Bag-Set Maximization) must share one
+/// interner so their facts are directly comparable.
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    strings: Vec<String>,
+    lookup: HashMap<String, Sym>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `s`, returning its symbol (stable across repeat calls).
+    pub fn intern(&mut self, s: &str) -> Sym {
+        if let Some(&sym) = self.lookup.get(s) {
+            return sym;
+        }
+        let sym = Sym(u32::try_from(self.strings.len()).expect("interner overflow"));
+        self.strings.push(s.to_owned());
+        self.lookup.insert(s.to_owned(), sym);
+        sym
+    }
+
+    /// Returns the symbol for `s` if it was interned before.
+    pub fn get(&self, s: &str) -> Option<Sym> {
+        self.lookup.get(s).copied()
+    }
+
+    /// Resolves a symbol back to its string.
+    ///
+    /// # Panics
+    /// Panics if `sym` was not produced by this interner.
+    pub fn resolve(&self, sym: Sym) -> &str {
+        &self.strings[sym.0 as usize]
+    }
+
+    /// Interns a string value directly into a [`Value`].
+    pub fn value(&mut self, s: &str) -> Value {
+        Value::Str(self.intern(s))
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether the interner is empty.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable() {
+        let mut i = Interner::new();
+        let a = i.intern("alice");
+        let b = i.intern("bob");
+        let a2 = i.intern("alice");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(i.resolve(a), "alice");
+        assert_eq!(i.resolve(b), "bob");
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn get_without_intern() {
+        let mut i = Interner::new();
+        assert_eq!(i.get("x"), None);
+        let s = i.intern("x");
+        assert_eq!(i.get("x"), Some(s));
+    }
+
+    #[test]
+    fn value_ordering_and_display() {
+        let mut i = Interner::new();
+        let v1 = Value::int(3);
+        let v2 = i.value("three");
+        assert_ne!(v1, v2);
+        assert_eq!(v1.display(&i).to_string(), "3");
+        assert_eq!(v2.display(&i).to_string(), "three");
+        assert!(Value::int(1) < Value::int(2));
+    }
+
+    #[test]
+    fn value_is_small_and_copy() {
+        assert!(std::mem::size_of::<Value>() <= 16);
+        let v = Value::int(1);
+        let w = v; // Copy
+        assert_eq!(v, w);
+    }
+}

@@ -1,0 +1,238 @@
+//! The Bag-Set Maximization 2-monoid (Definition 5.9).
+//!
+//! Carrier: monotone vectors `x ∈ ℕ^ℕ` where `x(i)` is the best
+//! multiplicity achievable with repair budget `i`. The operators are
+//! convolutions over the `(ℕ, max, +)` and `(ℕ, max, ×)` semirings
+//! (Eqs. (10)–(11)):
+//!
+//! ```text
+//! (x ⊕ y)(i) = max_{i₁+i₂=i} x(i₁) + y(i₂)
+//! (x ⊗ y)(i) = max_{i₁+i₂=i} x(i₁) × y(i₂)
+//! ```
+//!
+//! Vectors are truncated to `cap + 1 = θ + 1` entries: a convolution
+//! entry `i` only reads positions `≤ i`, so truncation is exact for
+//! every budget up to `θ`. Each operation is `O(θ²)` time and `O(θ)`
+//! space, which is where the `|D_r|²` factor in Theorem 5.11's runtime
+//! comes from.
+
+use crate::traits::TwoMonoid;
+use std::fmt;
+
+/// A truncated monotone budget vector.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BudgetVec(pub Vec<u64>);
+
+impl BudgetVec {
+    /// Entry `i`: best multiplicity within repair budget `i`.
+    pub fn get(&self, i: usize) -> u64 {
+        self.0[i]
+    }
+
+    /// Number of stored entries (`θ + 1`).
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the vector stores no entries.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Whether entries are non-decreasing — the Definition 5.9 carrier
+    /// invariant. Both ⊕ and ⊗ preserve it (property-tested).
+    pub fn is_monotone(&self) -> bool {
+        self.0.windows(2).all(|w| w[0] <= w[1])
+    }
+}
+
+impl fmt::Debug for BudgetVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BudgetVec{:?}", self.0)
+    }
+}
+
+/// The Bag-Set Maximization 2-monoid with budget cap `θ`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BagMaxMonoid {
+    /// Maximum budget `θ`; vectors carry `θ + 1` entries.
+    pub cap: usize,
+}
+
+impl BagMaxMonoid {
+    /// Creates the monoid for budget cap `θ`.
+    pub fn new(cap: usize) -> Self {
+        BagMaxMonoid { cap }
+    }
+
+    fn len(&self) -> usize {
+        self.cap + 1
+    }
+
+    /// The `★` vector of Definition 5.10: multiplicity 0 for free, 1
+    /// from budget 1 on — the annotation of facts available only in the
+    /// repair database.
+    pub fn star(&self) -> BudgetVec {
+        let mut v = vec![1; self.len()];
+        v[0] = 0;
+        BudgetVec(v)
+    }
+
+    /// Builds a vector from explicit entries (padded by repeating the
+    /// last entry; test convenience).
+    ///
+    /// # Panics
+    /// Panics if `entries` is empty.
+    pub fn vec_from(&self, entries: &[u64]) -> BudgetVec {
+        assert!(!entries.is_empty());
+        let mut v = Vec::with_capacity(self.len());
+        for i in 0..self.len() {
+            v.push(*entries.get(i).unwrap_or(entries.last().expect("non-empty")));
+        }
+        BudgetVec(v)
+    }
+
+    fn convolve(&self, a: &BudgetVec, b: &BudgetVec, f: impl Fn(u64, u64) -> u64) -> BudgetVec {
+        debug_assert_eq!(a.len(), self.len(), "operand built for a different cap");
+        debug_assert_eq!(b.len(), self.len(), "operand built for a different cap");
+        let n = self.len();
+        let mut out = vec![0u64; n];
+        for (i, slot) in out.iter_mut().enumerate() {
+            let mut best = 0;
+            for i1 in 0..=i {
+                best = best.max(f(a.0[i1], b.0[i - i1]));
+            }
+            *slot = best;
+        }
+        BudgetVec(out)
+    }
+}
+
+impl TwoMonoid for BagMaxMonoid {
+    type Elem = BudgetVec;
+
+    /// The all-zeros vector.
+    fn zero(&self) -> BudgetVec {
+        BudgetVec(vec![0; self.len()])
+    }
+
+    /// The all-ones vector (a fact already present in `D`).
+    fn one(&self) -> BudgetVec {
+        BudgetVec(vec![1; self.len()])
+    }
+
+    /// Eq. (10): max-plus convolution.
+    fn add(&self, a: &BudgetVec, b: &BudgetVec) -> BudgetVec {
+        self.convolve(a, b, |x, y| x.saturating_add(y))
+    }
+
+    /// Eq. (11): max-times convolution.
+    fn mul(&self, a: &BudgetVec, b: &BudgetVec) -> BudgetVec {
+        self.convolve(a, b, |x, y| x.saturating_mul(y))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laws::{check_laws, distributivity_counterexample};
+
+    fn m() -> BagMaxMonoid {
+        BagMaxMonoid::new(4)
+    }
+
+    fn sample() -> Vec<BudgetVec> {
+        let m = m();
+        vec![
+            m.zero(),
+            m.one(),
+            m.star(),
+            m.vec_from(&[0, 2, 3, 3, 7]),
+            m.vec_from(&[1, 1, 4, 4, 4]),
+            m.vec_from(&[0, 0, 0, 5, 5]),
+        ]
+    }
+
+    #[test]
+    fn identities_have_right_shape() {
+        let m = m();
+        assert_eq!(m.zero().0, vec![0, 0, 0, 0, 0]);
+        assert_eq!(m.one().0, vec![1, 1, 1, 1, 1]);
+        assert_eq!(m.star().0, vec![0, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn laws_hold() {
+        let report = check_laws(&m(), &sample(), |a, b| a == b);
+        assert!(report.all_hold(), "{report:?}");
+    }
+
+    #[test]
+    fn not_distributive() {
+        // Definition 5.9's structure is a 2-monoid but NOT a semiring.
+        // The canonical witness: a = 1̄ fails a ⊗ (b ⊕ c) = ab ⊕ ac when
+        // b and c must split budget.
+        let sample = sample();
+        let w = distributivity_counterexample(&m(), &sample, |a, b| a == b);
+        assert!(w.is_some(), "bag-max monoid must not be distributive");
+    }
+
+    #[test]
+    fn add_is_maxplus_convolution() {
+        let m = m();
+        // star ⊕ star: with budget i you can buy min(i,2) facts,
+        // multiplicities add.
+        let s = m.add(&m.star(), &m.star());
+        assert_eq!(s.0, vec![0, 1, 2, 2, 2]);
+    }
+
+    #[test]
+    fn mul_is_maxtimes_convolution() {
+        let m = m();
+        // (0,1,1,1,1) ⊗ (0,1,1,1,1): need one budget unit each side.
+        let p = m.mul(&m.star(), &m.star());
+        assert_eq!(p.0, vec![0, 0, 1, 1, 1]);
+        // one ⊗ star = star (identity on the other side costs nothing).
+        assert_eq!(m.mul(&m.one(), &m.star()), m.star());
+    }
+
+    #[test]
+    fn fig1_hand_convolution() {
+        // Mini version of the Fig. 1 reasoning: two repairable R-facts
+        // (star each) ⊕ one existing fact (one) gives multiplicities
+        // 1, 2, 3 at budgets 0, 1, 2.
+        let m = m();
+        let r = m.sum(&[m.star(), m.star(), m.one()]);
+        assert_eq!(r.0, vec![1, 2, 3, 3, 3]);
+    }
+
+    #[test]
+    fn operations_preserve_monotonicity() {
+        let m = m();
+        let s = sample();
+        for a in &s {
+            assert!(a.is_monotone());
+            for b in &s {
+                assert!(m.add(a, b).is_monotone(), "{a:?} ⊕ {b:?}");
+                assert!(m.mul(a, b).is_monotone(), "{a:?} ⊗ {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn saturates_instead_of_overflowing() {
+        let m = BagMaxMonoid::new(1);
+        let huge = BudgetVec(vec![u64::MAX, u64::MAX]);
+        let r = m.mul(&huge, &huge);
+        assert_eq!(r.0[0], u64::MAX);
+    }
+
+    #[test]
+    fn cap_zero_degenerates_to_plain_maxtimes() {
+        let m = BagMaxMonoid::new(0);
+        let a = BudgetVec(vec![3]);
+        let b = BudgetVec(vec![4]);
+        assert_eq!(m.add(&a, &b).0, vec![7]);
+        assert_eq!(m.mul(&a, &b).0, vec![12]);
+    }
+}

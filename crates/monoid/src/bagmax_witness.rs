@@ -1,0 +1,288 @@
+//! Witness-tracking variant of the Bag-Set Maximization 2-monoid.
+//!
+//! [`super::bagmax::BagMaxMonoid`] answers *how large* `Q(D')` can get
+//! per budget; this monoid additionally answers *which facts to add*.
+//! Every budget entry carries the set of repair facts realising it, and
+//! the convolutions (Eqs. (10)–(11)) propagate the argmax split's
+//! witnesses. A witness never exceeds the budget index, so vectors stay
+//! `O(θ²)` fact-ids — the same asymptotics as Theorem 5.11 with a θ
+//! factor on the constants.
+//!
+//! Algebraic status: the *value* components form the Definition 5.9
+//! 2-monoid exactly; witnesses are tie-broken deterministically
+//! (lexicographically smallest fact-id set among maximal values) so the
+//! operations remain commutative and the law checkers pass. Associativity
+//! of the witness component holds up to value-equivalence — different
+//! association orders may pick different, equally-optimal witnesses —
+//! which is why correctness is stated (and property-tested) as "the
+//! returned set is a *valid* optimal repair", not as structural equality.
+
+use crate::traits::TwoMonoid;
+use std::fmt;
+
+/// One budget entry: best multiplicity and a repair-fact set achieving it.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct WitnessEntry {
+    /// Best multiplicity within this budget.
+    pub value: u64,
+    /// Sorted ids of the repair facts used (length ≤ budget index).
+    pub facts: Vec<u32>,
+}
+
+/// A budget vector with witnesses.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct WitnessVec(pub Vec<WitnessEntry>);
+
+impl WitnessVec {
+    /// The best value within budget `i`.
+    pub fn value_at(&self, i: usize) -> u64 {
+        self.0[i].value
+    }
+
+    /// The witness fact-ids for budget `i`.
+    pub fn facts_at(&self, i: usize) -> &[u32] {
+        &self.0[i].facts
+    }
+
+    /// Number of entries (`θ + 1`).
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the vector stores no entries.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The plain value vector (for comparison with the value-only monoid).
+    pub fn values(&self) -> Vec<u64> {
+        self.0.iter().map(|e| e.value).collect()
+    }
+}
+
+impl fmt::Debug for WitnessVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "WitnessVec[")?;
+        for (i, e) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}@{:?}", e.value, e.facts)?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Merges two sorted fact-id lists (witnesses are disjoint by
+/// construction: supports of combined sub-formulas are disjoint).
+fn merge_facts(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i] <= b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// The witness-tracking Bag-Set Maximization 2-monoid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BagMaxWitnessMonoid {
+    /// Maximum budget `θ`.
+    pub cap: usize,
+}
+
+impl BagMaxWitnessMonoid {
+    /// Creates the monoid for budget cap `θ`.
+    pub fn new(cap: usize) -> Self {
+        BagMaxWitnessMonoid { cap }
+    }
+
+    fn len(&self) -> usize {
+        self.cap + 1
+    }
+
+    /// The `★` annotation for the repair fact with id `fact`.
+    pub fn star(&self, fact: u32) -> WitnessVec {
+        let mut v = Vec::with_capacity(self.len());
+        v.push(WitnessEntry { value: 0, facts: Vec::new() });
+        for _ in 1..self.len() {
+            v.push(WitnessEntry { value: 1, facts: vec![fact] });
+        }
+        WitnessVec(v)
+    }
+
+    /// Deterministic preference between equal-value candidates:
+    /// fewer facts first, then lexicographically smaller.
+    fn better(candidate: &(u64, Vec<u32>), incumbent: &Option<(u64, Vec<u32>)>) -> bool {
+        match incumbent {
+            None => true,
+            Some(inc) => {
+                candidate.0 > inc.0
+                    || (candidate.0 == inc.0
+                        && (candidate.1.len(), &candidate.1) < (inc.1.len(), &inc.1))
+            }
+        }
+    }
+
+    fn convolve(
+        &self,
+        a: &WitnessVec,
+        b: &WitnessVec,
+        f: impl Fn(u64, u64) -> u64,
+    ) -> WitnessVec {
+        debug_assert_eq!(a.len(), self.len());
+        debug_assert_eq!(b.len(), self.len());
+        let n = self.len();
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut best: Option<(u64, Vec<u32>)> = None;
+            for i1 in 0..=i {
+                let (ea, eb) = (&a.0[i1], &b.0[i - i1]);
+                let value = f(ea.value, eb.value);
+                let candidate = (value, merge_facts(&ea.facts, &eb.facts));
+                if Self::better(&candidate, &best) {
+                    best = Some(candidate);
+                }
+            }
+            let (value, facts) = best.expect("at least one split exists");
+            out.push(WitnessEntry { value, facts });
+        }
+        WitnessVec(out)
+    }
+}
+
+impl TwoMonoid for BagMaxWitnessMonoid {
+    type Elem = WitnessVec;
+
+    fn zero(&self) -> WitnessVec {
+        WitnessVec(vec![WitnessEntry { value: 0, facts: Vec::new() }; self.len()])
+    }
+
+    fn one(&self) -> WitnessVec {
+        WitnessVec(vec![WitnessEntry { value: 1, facts: Vec::new() }; self.len()])
+    }
+
+    fn add(&self, a: &WitnessVec, b: &WitnessVec) -> WitnessVec {
+        self.convolve(a, b, |x, y| x.saturating_add(y))
+    }
+
+    fn mul(&self, a: &WitnessVec, b: &WitnessVec) -> WitnessVec {
+        self.convolve(a, b, |x, y| x.saturating_mul(y))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bagmax::BagMaxMonoid;
+
+    fn m() -> BagMaxWitnessMonoid {
+        BagMaxWitnessMonoid::new(3)
+    }
+
+    #[test]
+    fn identities_carry_empty_witnesses() {
+        let m = m();
+        assert!(m.zero().0.iter().all(|e| e.value == 0 && e.facts.is_empty()));
+        assert!(m.one().0.iter().all(|e| e.value == 1 && e.facts.is_empty()));
+    }
+
+    #[test]
+    fn star_records_its_fact() {
+        let m = m();
+        let s = m.star(7);
+        assert_eq!(s.value_at(0), 0);
+        assert_eq!(s.value_at(1), 1);
+        assert_eq!(s.facts_at(1), &[7]);
+        assert_eq!(s.facts_at(0), &[] as &[u32]);
+    }
+
+    #[test]
+    fn values_match_plain_bagmax() {
+        // The value component must equal the witness-free monoid on
+        // matched expressions.
+        let wm = m();
+        let vm = BagMaxMonoid::new(3);
+        let w_expr = wm.mul(
+            &wm.add(&wm.star(0), &wm.add(&wm.star(1), &wm.one())),
+            &wm.add(&wm.star(2), &wm.one()),
+        );
+        let v_expr = vm.mul(
+            &vm.add(&vm.star(), &vm.add(&vm.star(), &vm.one())),
+            &vm.add(&vm.star(), &vm.one()),
+        );
+        assert_eq!(w_expr.values(), v_expr.0);
+    }
+
+    #[test]
+    fn witnesses_respect_budget() {
+        let m = m();
+        let expr = m.mul(
+            &m.add(&m.star(0), &m.star(1)),
+            &m.add(&m.star(2), &m.star(3)),
+        );
+        for i in 0..expr.len() {
+            assert!(expr.facts_at(i).len() <= i, "budget {i}: {:?}", expr.facts_at(i));
+        }
+    }
+
+    #[test]
+    fn conjunction_witness_needs_both_sides() {
+        // star(0) ⊗ star(1): value 1 needs budget 2 and both facts.
+        let m = m();
+        let p = m.mul(&m.star(0), &m.star(1));
+        assert_eq!(p.value_at(1), 0);
+        assert_eq!(p.value_at(2), 1);
+        assert_eq!(p.facts_at(2), &[0, 1]);
+    }
+
+    #[test]
+    fn tie_break_prefers_fewer_then_smaller() {
+        // one ⊕ star(5): at budget 1, value 2 needs the star; at equal
+        // value, the smaller witness wins.
+        let m = m();
+        let s = m.add(&m.one(), &m.star(5));
+        assert_eq!(s.value_at(0), 1);
+        assert_eq!(s.value_at(1), 2);
+        assert_eq!(s.facts_at(1), &[5]);
+        // star(3) ⊕ star(9) at budget 1: both give value 1; prefer [3].
+        let t = m.add(&m.star(3), &m.star(9));
+        assert_eq!(t.facts_at(1), &[3]);
+    }
+
+    #[test]
+    fn commutativity_with_tie_breaking() {
+        let m = m();
+        let a = m.add(&m.star(3), &m.one());
+        let b = m.mul(&m.star(1), &m.add(&m.star(2), &m.one()));
+        assert_eq!(m.add(&a, &b), m.add(&b, &a));
+        assert_eq!(m.mul(&a, &b), m.mul(&b, &a));
+    }
+
+    #[test]
+    fn value_component_laws_hold() {
+        // Identity/commutativity on values via the law checker, using
+        // value-only equality (witness ties may differ across
+        // associations; values may not).
+        use crate::laws::check_laws;
+        let m = m();
+        let sample = vec![
+            m.zero(),
+            m.one(),
+            m.star(0),
+            m.star(1),
+            m.add(&m.star(0), &m.one()),
+            m.mul(&m.star(1), &m.star(2)),
+        ];
+        let report = check_laws(&m, &sample, |a, b| a.values() == b.values());
+        assert!(report.all_hold(), "{report:?}");
+    }
+}

@@ -1,0 +1,180 @@
+//! Generic algebraic-law checkers for 2-monoids.
+//!
+//! Every instantiation's property-test suite runs these over random
+//! elements. Equality is a caller-supplied predicate so floating-point
+//! monoids can use approximate comparison.
+//!
+//! [`distributivity_counterexample`] searches for witnesses that
+//! ⊗ does **not** distribute over ⊕ — the paper's Section 1 argument
+//! for why the unifying algorithm is limited to hierarchical queries is
+//! made executable by exhibiting such witnesses for all three problem
+//! monoids (experiment E12).
+
+use crate::traits::TwoMonoid;
+
+/// All the law checks in one report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LawReport {
+    /// ⊕ commutative on the sample.
+    pub add_commutative: bool,
+    /// ⊕ associative on the sample.
+    pub add_associative: bool,
+    /// `a ⊕ 0 == a` on the sample.
+    pub add_identity: bool,
+    /// ⊗ commutative on the sample.
+    pub mul_commutative: bool,
+    /// ⊗ associative on the sample.
+    pub mul_associative: bool,
+    /// `a ⊗ 1 == a` on the sample.
+    pub mul_identity: bool,
+    /// `0 ⊗ 0 == 0`.
+    pub zero_mul_zero: bool,
+}
+
+impl LawReport {
+    /// Whether every 2-monoid law held.
+    pub fn all_hold(&self) -> bool {
+        self.add_commutative
+            && self.add_associative
+            && self.add_identity
+            && self.mul_commutative
+            && self.mul_associative
+            && self.mul_identity
+            && self.zero_mul_zero
+    }
+}
+
+/// Checks every Definition 5.6 law over all pairs/triples drawn from
+/// `sample`.
+pub fn check_laws<M: TwoMonoid>(
+    m: &M,
+    sample: &[M::Elem],
+    eq: impl Fn(&M::Elem, &M::Elem) -> bool,
+) -> LawReport {
+    let mut report = LawReport {
+        add_commutative: true,
+        add_associative: true,
+        add_identity: true,
+        mul_commutative: true,
+        mul_associative: true,
+        mul_identity: true,
+        zero_mul_zero: eq(&m.mul(&m.zero(), &m.zero()), &m.zero()),
+    };
+    let zero = m.zero();
+    let one = m.one();
+    for a in sample {
+        if !eq(&m.add(a, &zero), a) {
+            report.add_identity = false;
+        }
+        if !eq(&m.mul(a, &one), a) {
+            report.mul_identity = false;
+        }
+        for b in sample {
+            if !eq(&m.add(a, b), &m.add(b, a)) {
+                report.add_commutative = false;
+            }
+            if !eq(&m.mul(a, b), &m.mul(b, a)) {
+                report.mul_commutative = false;
+            }
+            for c in sample {
+                if !eq(&m.add(&m.add(a, b), c), &m.add(a, &m.add(b, c))) {
+                    report.add_associative = false;
+                }
+                if !eq(&m.mul(&m.mul(a, b), c), &m.mul(a, &m.mul(b, c))) {
+                    report.mul_associative = false;
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Searches `sample` for a triple violating
+/// `a ⊗ (b ⊕ c) == (a ⊗ b) ⊕ (a ⊗ c)`; returns the first witness.
+pub fn distributivity_counterexample<'a, M: TwoMonoid>(
+    m: &M,
+    sample: &'a [M::Elem],
+    eq: impl Fn(&M::Elem, &M::Elem) -> bool,
+) -> Option<(&'a M::Elem, &'a M::Elem, &'a M::Elem)> {
+    for a in sample {
+        for b in sample {
+            for c in sample {
+                let lhs = m.mul(a, &m.add(b, c));
+                let rhs = m.add(&m.mul(a, b), &m.mul(a, c));
+                if !eq(&lhs, &rhs) {
+                    return Some((a, b, c));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Searches for a violation of annihilation-by-zero `a ⊗ 0 == 0`.
+pub fn annihilation_counterexample<'a, M: TwoMonoid>(
+    m: &M,
+    sample: &'a [M::Elem],
+    eq: impl Fn(&M::Elem, &M::Elem) -> bool,
+) -> Option<&'a M::Elem> {
+    let zero = m.zero();
+    sample.iter().find(|a| !eq(&m.mul(a, &zero), &zero))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// (u64, +, ×): a genuine semiring — all laws hold, distributive,
+    /// annihilating.
+    struct NatSemiring;
+    impl TwoMonoid for NatSemiring {
+        type Elem = u64;
+        fn zero(&self) -> u64 {
+            0
+        }
+        fn one(&self) -> u64 {
+            1
+        }
+        fn add(&self, a: &u64, b: &u64) -> u64 {
+            a + b
+        }
+        fn mul(&self, a: &u64, b: &u64) -> u64 {
+            a * b
+        }
+    }
+
+    /// A broken structure (subtraction is not commutative).
+    struct Broken;
+    impl TwoMonoid for Broken {
+        type Elem = i64;
+        fn zero(&self) -> i64 {
+            0
+        }
+        fn one(&self) -> i64 {
+            0
+        }
+        fn add(&self, a: &i64, b: &i64) -> i64 {
+            a - b
+        }
+        fn mul(&self, a: &i64, b: &i64) -> i64 {
+            a + b
+        }
+    }
+
+    #[test]
+    fn semiring_passes_all_laws() {
+        let sample: Vec<u64> = (0..6).collect();
+        let report = check_laws(&NatSemiring, &sample, |a, b| a == b);
+        assert!(report.all_hold(), "{report:?}");
+        assert!(distributivity_counterexample(&NatSemiring, &sample, |a, b| a == b).is_none());
+        assert!(annihilation_counterexample(&NatSemiring, &sample, |a, b| a == b).is_none());
+    }
+
+    #[test]
+    fn broken_structure_is_flagged() {
+        let sample: Vec<i64> = (-2..3).collect();
+        let report = check_laws(&Broken, &sample, |a, b| a == b);
+        assert!(!report.add_commutative);
+        assert!(!report.all_hold());
+    }
+}

@@ -1,0 +1,40 @@
+//! # hq-monoid — 2-monoids and their instantiations
+//!
+//! The algebraic core of *A Unifying Algorithm for Hierarchical
+//! Queries* (PODS 2025): the [`TwoMonoid`] abstraction
+//! (Definition 5.6) and every instantiation the paper uses —
+//!
+//! * [`prob::ProbMonoid`] / [`prob::ExactProbMonoid`] — Probabilistic
+//!   Query Evaluation (Definition 5.7);
+//! * [`bagmax::BagMaxMonoid`] — Bag-Set Maximization via max-plus /
+//!   max-times convolutions of budget vectors (Definition 5.9);
+//! * [`satcount::SatCountMonoid`] — `#Sat` counting vectors for Shapley
+//!   values (Definition 5.14);
+//! * [`provenance::ProvMonoid`] — the universal provenance 2-monoid of
+//!   the generic correctness proof (Definition 6.2);
+//! * [`semirings`] — classical Boolean / counting / tropical semirings,
+//!   showing the framework subsumes semiring evaluation.
+//!
+//! The [`laws`] module provides the executable algebra: law checkers
+//! plus distributivity/annihilation counterexample search — the paper's
+//! "none of these are semirings" remarks, made testable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bagmax;
+pub mod bagmax_witness;
+pub mod laws;
+pub mod prob;
+pub mod provenance;
+pub mod satcount;
+pub mod semirings;
+pub mod traits;
+
+pub use bagmax::{BagMaxMonoid, BudgetVec};
+pub use bagmax_witness::{BagMaxWitnessMonoid, WitnessEntry, WitnessVec};
+pub use prob::{ExactProbMonoid, ProbMonoid};
+pub use provenance::{Prov, ProvMonoid};
+pub use satcount::{SatCountMonoid, SatVec};
+pub use semirings::{BoolMonoid, CountMonoid, RealSemiring, TropicalMinMonoid, TROPICAL_INF};
+pub use traits::{Semiring, TwoMonoid};

@@ -1,0 +1,155 @@
+//! The Probabilistic Query Evaluation 2-monoid (Definition 5.7).
+//!
+//! Carrier `K = [0, 1]`; `p ⊗ q = p·q` is the probability of the
+//! conjunction of independent events and `p ⊕ q = 1 − (1−p)(1−q)` the
+//! probability of their disjunction. ⊗ does **not** distribute over ⊕
+//! (e.g. `a ⊗ (b ⊕ c) ≠ (a⊗b) ⊕ (a⊗c)` for `a = b = c = 1/2`), which is
+//! expected: PQE is #P-hard for non-hierarchical queries, so a
+//! distributive instantiation would be too strong.
+//!
+//! Two carriers are provided: fast `f64` ([`ProbMonoid`]) for
+//! benchmarks, and exact [`Rational`] ([`ExactProbMonoid`]) used as the
+//! correctness oracle in differential tests.
+
+use crate::traits::TwoMonoid;
+use hq_arith::Rational;
+
+/// Floating-point probability 2-monoid over `[0, 1]`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProbMonoid;
+
+impl TwoMonoid for ProbMonoid {
+    type Elem = f64;
+
+    fn zero(&self) -> f64 {
+        0.0
+    }
+
+    fn one(&self) -> f64 {
+        1.0
+    }
+
+    /// Eq. (3): `p ⊕ q = 1 − (1−p)(1−q)`.
+    fn add(&self, a: &f64, b: &f64) -> f64 {
+        // The multiplied-out form `a + b - a*b` loses precision when
+        // both probabilities are near 1; the complement form is exact
+        // there and equally cheap.
+        1.0 - (1.0 - a) * (1.0 - b)
+    }
+
+    /// Eq. (2): `p ⊗ q = p·q`.
+    fn mul(&self, a: &f64, b: &f64) -> f64 {
+        a * b
+    }
+}
+
+/// Exact-rational probability 2-monoid.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExactProbMonoid;
+
+impl TwoMonoid for ExactProbMonoid {
+    type Elem = Rational;
+
+    fn zero(&self) -> Rational {
+        Rational::zero()
+    }
+
+    fn one(&self) -> Rational {
+        Rational::one()
+    }
+
+    fn add(&self, a: &Rational, b: &Rational) -> Rational {
+        let one = Rational::one();
+        &one - &(&(&one - a) * &(&one - b))
+    }
+
+    fn mul(&self, a: &Rational, b: &Rational) -> Rational {
+        a * b
+    }
+}
+
+/// Approximate equality for floating-point probability tests.
+pub fn approx_eq(a: &f64, b: &f64) -> bool {
+    (a - b).abs() <= 1e-9 * (1.0 + a.abs() + b.abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laws::{annihilation_counterexample, check_laws, distributivity_counterexample};
+
+    fn sample_f64() -> Vec<f64> {
+        vec![0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0]
+    }
+
+    fn sample_rat() -> Vec<Rational> {
+        [(0, 1), (1, 10), (1, 4), (1, 2), (3, 4), (9, 10), (1, 1)]
+            .iter()
+            .map(|&(p, q)| Rational::ratio(p, q))
+            .collect()
+    }
+
+    #[test]
+    fn f64_monoid_laws_hold() {
+        let report = check_laws(&ProbMonoid, &sample_f64(), approx_eq);
+        assert!(report.all_hold(), "{report:?}");
+    }
+
+    #[test]
+    fn exact_monoid_laws_hold() {
+        let report = check_laws(&ExactProbMonoid, &sample_rat(), |a, b| a == b);
+        assert!(report.all_hold(), "{report:?}");
+    }
+
+    #[test]
+    fn not_distributive() {
+        // The paper stresses ⊗ does not distribute over ⊕; exhibit it.
+        let sf = sample_f64();
+        let w = distributivity_counterexample(&ProbMonoid, &sf, approx_eq);
+        assert!(w.is_some(), "probability monoid must not be distributive");
+        let sr = sample_rat();
+        let w = distributivity_counterexample(&ExactProbMonoid, &sr, |a, b| a == b);
+        assert!(w.is_some());
+    }
+
+    #[test]
+    fn annihilation_does_hold_here() {
+        // p ⊗ 0 = 0 happens to hold for probabilities (unlike the
+        // Shapley monoid) — the 2-monoid definition just doesn't demand it.
+        let sf = sample_f64();
+        assert!(annihilation_counterexample(&ProbMonoid, &sf, approx_eq).is_none());
+    }
+
+    #[test]
+    fn add_matches_inclusion_exclusion() {
+        let m = ProbMonoid;
+        let p = m.add(&0.5, &0.5);
+        assert!(approx_eq(&p, &0.75));
+        let q = m.add(&0.3, &0.4);
+        assert!(approx_eq(&q, &(0.3 + 0.4 - 0.12)));
+    }
+
+    #[test]
+    fn exact_and_float_agree() {
+        let fm = ProbMonoid;
+        let em = ExactProbMonoid;
+        let cases = [(0.25, 0.5), (0.1, 0.9), (0.75, 0.75)];
+        for (a, b) in cases {
+            let (ra, rb) = (
+                Rational::ratio((a * 100.0) as u64, 100),
+                Rational::ratio((b * 100.0) as u64, 100),
+            );
+            assert!(approx_eq(&fm.add(&a, &b), &em.add(&ra, &rb).to_f64()));
+            assert!(approx_eq(&fm.mul(&a, &b), &em.mul(&ra, &rb).to_f64()));
+        }
+    }
+
+    #[test]
+    fn sum_of_independent_events() {
+        // 1 - (1-p)^3 for three events of probability 1/3.
+        let m = ProbMonoid;
+        let xs = [1.0 / 3.0; 3];
+        let expected = 1.0 - (2.0f64 / 3.0).powi(3);
+        assert!(approx_eq(&m.sum(&xs), &expected));
+    }
+}

@@ -1,0 +1,352 @@
+//! The universal provenance 2-monoid (Definition 6.2).
+//!
+//! Elements are ∧/∨ provenance trees over uniquely-labelled fact
+//! symbols. Children are kept as *sorted* vectors (commutativity) and
+//! same-operator parent/child nodes are merged (associativity), exactly
+//! as the paper prescribes. The ⊕-identity is the single `false` leaf
+//! and the ⊗-identity the single `true` leaf; the only simplifications
+//! performed are the identity laws themselves (drop `false` under ∨,
+//! drop `true` under ∧) plus `false ⊗ false = false` — *no absorption*,
+//! because 2-monoids do not annihilate by zero (the Shapley
+//! homomorphism depends on `x ⊗ 0` keeping `x`'s leaves!).
+//!
+//! The provenance monoid is the engine of the generic correctness proof
+//! (Theorem 6.4): running Algorithm 1 over it and then applying a
+//! problem's homomorphism `φ` must equal running the algorithm over the
+//! problem monoid directly. Our cross-crate property tests execute
+//! that theorem literally.
+
+use crate::traits::TwoMonoid;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A provenance tree over fact symbols (`u64` leaf labels).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Prov {
+    /// The constant-false leaf (⊕-identity `0̄`).
+    False,
+    /// The constant-true leaf (⊗-identity `1̄`).
+    True,
+    /// A fact symbol from Σ.
+    Leaf(u64),
+    /// A disjunction node (children sorted, ≥ 2 of them).
+    Or(Vec<Prov>),
+    /// A conjunction node (children sorted, ≥ 2 of them).
+    And(Vec<Prov>),
+}
+
+impl Prov {
+    /// The support: all fact symbols at the leaves (excluding
+    /// `true`/`false`), per Definition 6.1.
+    pub fn support(&self) -> BTreeSet<u64> {
+        let mut out = BTreeSet::new();
+        self.collect_support(&mut out);
+        out
+    }
+
+    fn collect_support(&self, out: &mut BTreeSet<u64>) {
+        match self {
+            Prov::False | Prov::True => {}
+            Prov::Leaf(s) => {
+                out.insert(*s);
+            }
+            Prov::Or(cs) | Prov::And(cs) => {
+                for c in cs {
+                    c.collect_support(out);
+                }
+            }
+        }
+    }
+
+    /// Whether the tree is *decomposable*: all fact-symbol leaves carry
+    /// distinct labels (Definition 6.1).
+    ///
+    /// Deviation from the paper's phrasing: Definition 6.1 also asks
+    /// for distinct `true`/`false` labels, under footnote 8's
+    /// assumption that constants are always simplified away. Our trees
+    /// deliberately keep `x ⊗ 0` unsimplified (the Shapley
+    /// homomorphism needs `x`'s support preserved), so a `⊥` may
+    /// appear in several *disjoint* branches; that multiplicity is
+    /// harmless — every homomorphism `φ` of Theorem 6.4 maps each
+    /// branch independently, and constants carry no support.
+    pub fn is_decomposable(&self) -> bool {
+        let mut syms = BTreeSet::new();
+        self.distinct_symbols(&mut syms)
+    }
+
+    fn distinct_symbols(&self, syms: &mut BTreeSet<u64>) -> bool {
+        match self {
+            Prov::True | Prov::False => true,
+            Prov::Leaf(s) => syms.insert(*s),
+            Prov::Or(cs) | Prov::And(cs) => {
+                cs.iter().all(|c| c.distinct_symbols(syms))
+            }
+        }
+    }
+
+    /// Evaluates the corresponding Boolean formula `F_x`, with each
+    /// leaf's truth value supplied by `leaf`.
+    pub fn eval_bool(&self, leaf: &impl Fn(u64) -> bool) -> bool {
+        match self {
+            Prov::False => false,
+            Prov::True => true,
+            Prov::Leaf(s) => leaf(*s),
+            Prov::Or(cs) => cs.iter().any(|c| c.eval_bool(leaf)),
+            Prov::And(cs) => cs.iter().all(|c| c.eval_bool(leaf)),
+        }
+    }
+
+    /// Evaluates the bag-set *multiplicity* of the formula: leaves
+    /// carry multiplicities, ∨ adds, ∧ multiplies. For decomposable
+    /// trees produced by the algorithm this is exactly the number of
+    /// satisfying assignments contributed.
+    pub fn multiplicity(&self, leaf: &impl Fn(u64) -> u64) -> u64 {
+        match self {
+            Prov::False => 0,
+            Prov::True => 1,
+            Prov::Leaf(s) => leaf(*s),
+            Prov::Or(cs) => cs.iter().map(|c| c.multiplicity(leaf)).sum(),
+            Prov::And(cs) => cs.iter().map(|c| c.multiplicity(leaf)).product(),
+        }
+    }
+
+    /// Number of nodes (for size diagnostics).
+    pub fn node_count(&self) -> usize {
+        match self {
+            Prov::False | Prov::True | Prov::Leaf(_) => 1,
+            Prov::Or(cs) | Prov::And(cs) => {
+                1 + cs.iter().map(Prov::node_count).sum::<usize>()
+            }
+        }
+    }
+}
+
+impl fmt::Display for Prov {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Prov::False => write!(f, "⊥"),
+            Prov::True => write!(f, "⊤"),
+            Prov::Leaf(s) => write!(f, "f{s}"),
+            Prov::Or(cs) => {
+                write!(f, "(")?;
+                for (i, c) in cs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∨ ")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                write!(f, ")")
+            }
+            Prov::And(cs) => {
+                write!(f, "(")?;
+                for (i, c) in cs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∧ ")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// Flattens `x` into `out` if it is the same operator kind (`or` =
+/// true for Or), otherwise pushes it whole.
+fn flatten_into(x: Prov, or: bool, out: &mut Vec<Prov>) {
+    match (or, x) {
+        (true, Prov::Or(cs)) => out.extend(cs),
+        (false, Prov::And(cs)) => out.extend(cs),
+        (_, other) => out.push(other),
+    }
+}
+
+/// The provenance 2-monoid.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProvMonoid;
+
+impl TwoMonoid for ProvMonoid {
+    type Elem = Prov;
+
+    fn zero(&self) -> Prov {
+        Prov::False
+    }
+
+    fn one(&self) -> Prov {
+        Prov::True
+    }
+
+    /// Builds the ∨-node of `a` and `b`, merging same-labelled
+    /// children and dropping `false` (the identity law).
+    fn add(&self, a: &Prov, b: &Prov) -> Prov {
+        match (a, b) {
+            (Prov::False, x) | (x, Prov::False) => x.clone(),
+            _ => {
+                let mut children = Vec::new();
+                flatten_into(a.clone(), true, &mut children);
+                flatten_into(b.clone(), true, &mut children);
+                children.sort();
+                Prov::Or(children)
+            }
+        }
+    }
+
+    /// Builds the ∧-node of `a` and `b`, merging same-labelled
+    /// children and dropping `true`; duplicate `false` children are
+    /// collapsed to one — sound because every 2-monoid satisfies
+    /// `0 ⊗ 0 = 0` (Definition 5.6), and required for structural
+    /// associativity. **No absorption**: `x ∧ ⊥` keeps `x` (the Shapley
+    /// monoid needs its support).
+    fn mul(&self, a: &Prov, b: &Prov) -> Prov {
+        match (a, b) {
+            (Prov::True, x) | (x, Prov::True) => x.clone(),
+            _ => {
+                let mut children = Vec::new();
+                flatten_into(a.clone(), false, &mut children);
+                flatten_into(b.clone(), false, &mut children);
+                children.sort();
+                // Children are sorted, so duplicate `False`s (which sort
+                // first) are adjacent at the front; keep at most one.
+                let mut falses = 0;
+                children.retain(|c| {
+                    if *c == Prov::False {
+                        falses += 1;
+                        falses == 1
+                    } else {
+                        true
+                    }
+                });
+                if children.len() == 1 {
+                    children.pop().expect("len checked")
+                } else {
+                    Prov::And(children)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laws::check_laws;
+
+    fn leaf(s: u64) -> Prov {
+        Prov::Leaf(s)
+    }
+
+    fn sample() -> Vec<Prov> {
+        let m = ProvMonoid;
+        vec![
+            Prov::False,
+            Prov::True,
+            leaf(1),
+            leaf(2),
+            m.add(&leaf(3), &leaf(4)),
+            m.mul(&leaf(5), &leaf(6)),
+            m.mul(&leaf(7), &m.add(&leaf(8), &leaf(9))),
+        ]
+    }
+
+    #[test]
+    fn laws_hold_structurally() {
+        let report = check_laws(&ProvMonoid, &sample(), |a, b| a == b);
+        assert!(report.all_hold(), "{report:?}");
+    }
+
+    #[test]
+    fn commutativity_via_sorted_children() {
+        let m = ProvMonoid;
+        assert_eq!(m.add(&leaf(2), &leaf(1)), m.add(&leaf(1), &leaf(2)));
+        assert_eq!(m.mul(&leaf(9), &leaf(3)), m.mul(&leaf(3), &leaf(9)));
+    }
+
+    #[test]
+    fn associativity_via_flattening() {
+        let m = ProvMonoid;
+        let lhs = m.add(&m.add(&leaf(1), &leaf(2)), &leaf(3));
+        let rhs = m.add(&leaf(1), &m.add(&leaf(2), &leaf(3)));
+        assert_eq!(lhs, rhs);
+        assert_eq!(lhs, Prov::Or(vec![leaf(1), leaf(2), leaf(3)]));
+    }
+
+    #[test]
+    fn no_absorption_by_false_under_and() {
+        // x ⊗ ⊥ must keep x's leaves (the Shapley homomorphism relies
+        // on the support being preserved).
+        let m = ProvMonoid;
+        let r = m.mul(&leaf(1), &Prov::False);
+        assert_eq!(r, Prov::And(vec![Prov::False, leaf(1)]));
+        assert_eq!(r.support().into_iter().collect::<Vec<_>>(), vec![1]);
+        // But 0 ⊗ 0 = 0 holds.
+        assert_eq!(m.mul(&Prov::False, &Prov::False), Prov::False);
+    }
+
+    #[test]
+    fn false_chains_stay_associative() {
+        // (0 ⊗ 0) ⊗ x vs 0 ⊗ (0 ⊗ x): the duplicate-⊥ collapse keeps
+        // these structurally equal (0 ⊗ 0 = 0 in every 2-monoid).
+        let m = ProvMonoid;
+        let lhs = m.mul(&m.mul(&Prov::False, &Prov::False), &leaf(1));
+        let rhs = m.mul(&Prov::False, &m.mul(&Prov::False, &leaf(1)));
+        assert_eq!(lhs, rhs);
+        assert_eq!(lhs, Prov::And(vec![Prov::False, leaf(1)]));
+        assert_eq!(m.mul(&Prov::False, &Prov::False), Prov::False);
+    }
+
+    #[test]
+    fn no_absorption_by_true_under_or() {
+        // x ⊕ ⊤ keeps x (needed when exogenous facts join a
+        // disjunction in the Shapley instantiation).
+        let m = ProvMonoid;
+        let r = m.add(&leaf(1), &Prov::True);
+        assert_eq!(r, Prov::Or(vec![Prov::True, leaf(1)]));
+    }
+
+    #[test]
+    fn support_and_decomposability() {
+        let m = ProvMonoid;
+        let x = m.mul(&leaf(1), &m.add(&leaf(2), &leaf(3)));
+        assert_eq!(x.support().into_iter().collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert!(x.is_decomposable());
+        let dup = m.add(&leaf(1), &m.mul(&leaf(1), &leaf(2)));
+        assert!(!dup.is_decomposable());
+    }
+
+    #[test]
+    fn eval_bool_matches_formula() {
+        let m = ProvMonoid;
+        let x = m.mul(&leaf(1), &m.add(&leaf(2), &leaf(3)));
+        // f1 ∧ (f2 ∨ f3)
+        assert!(x.eval_bool(&|s| s == 1 || s == 2));
+        assert!(!x.eval_bool(&|s| s == 2 || s == 3));
+        assert!(!x.eval_bool(&|s| s == 1));
+        assert!(Prov::True.eval_bool(&|_| false));
+        assert!(!Prov::False.eval_bool(&|_| true));
+    }
+
+    #[test]
+    fn multiplicity_sums_and_multiplies() {
+        let m = ProvMonoid;
+        // (f1 ∨ f2) ∧ (f3 ∨ f4) with all multiplicities 1 → 2 * 2 = 4.
+        let x = m.mul(&m.add(&leaf(1), &leaf(2)), &m.add(&leaf(3), &leaf(4)));
+        assert_eq!(x.multiplicity(&|_| 1), 4);
+        assert_eq!(x.multiplicity(&|s| if s == 1 { 0 } else { 1 }), 2);
+        assert_eq!(Prov::True.multiplicity(&|_| 0), 1);
+        assert_eq!(Prov::False.multiplicity(&|_| 7), 0);
+    }
+
+    #[test]
+    fn display_round_trips_structure() {
+        let m = ProvMonoid;
+        let x = m.mul(&leaf(1), &m.add(&leaf(2), &leaf(3)));
+        assert_eq!(x.to_string(), "(f1 ∧ (f2 ∨ f3))");
+    }
+
+    #[test]
+    fn node_count() {
+        let m = ProvMonoid;
+        let x = m.mul(&leaf(1), &m.add(&leaf(2), &leaf(3)));
+        assert_eq!(x.node_count(), 5);
+    }
+}

@@ -1,0 +1,312 @@
+//! The `#Sat` counting 2-monoid for Shapley values (Definition 5.14).
+//!
+//! Carrier: vectors `x ∈ ℕ^(ℕ×𝔹)` where `x(k, b)` counts size-`k`
+//! subsets of the endogenous facts making the (sub)formula evaluate to
+//! `b`. The operators are counting convolutions (Eqs. (15)–(16)):
+//!
+//! ```text
+//! (x ⊕ y)(i, b) = Σ_{i₁+i₂=i} Σ_{b₁∨b₂=b} x(i₁,b₁) · y(i₂,b₂)
+//! (x ⊗ y)(i, b) = Σ_{i₁+i₂=i} Σ_{b₁∧b₂=b} x(i₁,b₁) · y(i₂,b₂)
+//! ```
+//!
+//! This monoid famously violates annihilation-by-zero: `a ⊗ 0 ≠ 0` —
+//! a conjunction with a false sub-formula is never satisfied, but its
+//! subsets still have to be *counted*. It satisfies the weaker
+//! `0 ⊗ 0 = 0` required by Definition 5.6, which is exactly what keeps
+//! supports from growing in the unifying algorithm (Lemma 6.6).
+//!
+//! Counts are exact [`Natural`]s (they reach `C(n, n/2)`), truncated at
+//! `max_k + 1 = |D_n| + 1` entries; each operation is `O(|D_n|²)`
+//! [`Natural`]-multiplications, giving Theorem 5.16's runtime.
+
+use crate::traits::TwoMonoid;
+use hq_arith::Natural;
+use std::fmt;
+
+/// A truncated `#Sat` vector: `t[k]` counts size-`k` endogenous subsets
+/// making the formula true, `f[k]` those making it false.
+#[derive(Clone, PartialEq, Eq)]
+pub struct SatVec {
+    /// Counts for `b = true`.
+    pub t: Vec<Natural>,
+    /// Counts for `b = false`.
+    pub f: Vec<Natural>,
+}
+
+impl SatVec {
+    /// `x(k, true)`.
+    pub fn true_count(&self, k: usize) -> &Natural {
+        &self.t[k]
+    }
+
+    /// `x(k, false)`.
+    pub fn false_count(&self, k: usize) -> &Natural {
+        &self.f[k]
+    }
+
+    /// `x(k, true) + x(k, false)` — for a formula over `n` endogenous
+    /// facts this must equal `C(n, k)`, a completeness invariant the
+    /// property tests enforce.
+    pub fn total(&self, k: usize) -> Natural {
+        &self.t[k] + &self.f[k]
+    }
+
+    /// Number of stored budget entries (`max_k + 1`).
+    pub fn len(&self) -> usize {
+        self.t.len()
+    }
+
+    /// Whether the vector stores no entries.
+    pub fn is_empty(&self) -> bool {
+        self.t.is_empty()
+    }
+}
+
+impl fmt::Debug for SatVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let t: Vec<String> = self.t.iter().map(|n| n.to_string()).collect();
+        let fv: Vec<String> = self.f.iter().map(|n| n.to_string()).collect();
+        write!(f, "SatVec{{t:[{}], f:[{}]}}", t.join(","), fv.join(","))
+    }
+}
+
+/// The `#Sat` 2-monoid truncated at subset size `max_k`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SatCountMonoid {
+    /// Largest subset size tracked (use `|D_n|`).
+    pub max_k: usize,
+}
+
+impl SatCountMonoid {
+    /// Creates the monoid tracking subset sizes `0..=max_k`.
+    pub fn new(max_k: usize) -> Self {
+        SatCountMonoid { max_k }
+    }
+
+    fn len(&self) -> usize {
+        self.max_k + 1
+    }
+
+    fn zeros(&self) -> Vec<Natural> {
+        vec![Natural::zero(); self.len()]
+    }
+
+    /// The `★` vector of Definition 5.15: an endogenous fact — absent
+    /// (false) as a size-0 choice, present (true) as a size-1 choice.
+    pub fn star(&self) -> SatVec {
+        let mut t = self.zeros();
+        let mut f = self.zeros();
+        f[0] = Natural::one();
+        if self.max_k >= 1 {
+            t[1] = Natural::one();
+        }
+        SatVec { t, f }
+    }
+
+    /// Truncated counting convolution `Σ_{i₁+i₂=i} a(i₁)·b(i₂)`.
+    fn convolve(&self, a: &[Natural], b: &[Natural]) -> Vec<Natural> {
+        let n = self.len();
+        let mut out = vec![Natural::zero(); n];
+        for (i1, av) in a.iter().enumerate() {
+            if av.is_zero() {
+                continue;
+            }
+            for (i2, bv) in b.iter().enumerate() {
+                if i1 + i2 >= n {
+                    break;
+                }
+                if bv.is_zero() {
+                    continue;
+                }
+                out[i1 + i2].add_assign_ref(&av.mul_ref(bv));
+            }
+        }
+        out
+    }
+
+    fn vec_add(mut a: Vec<Natural>, b: Vec<Natural>) -> Vec<Natural> {
+        for (x, y) in a.iter_mut().zip(b) {
+            x.add_assign_ref(&y);
+        }
+        a
+    }
+}
+
+impl TwoMonoid for SatCountMonoid {
+    type Elem = SatVec;
+
+    /// `0(i, b) = 1` iff `i = 0 ∧ b = false` — "the empty formula that
+    /// is false", contributing nothing to any disjunction.
+    fn zero(&self) -> SatVec {
+        let t = self.zeros();
+        let mut f = self.zeros();
+        f[0] = Natural::one();
+        SatVec { t, f }
+    }
+
+    /// `1(i, b) = 1` iff `i = 0 ∧ b = true` — an exogenous fact.
+    fn one(&self) -> SatVec {
+        let mut t = self.zeros();
+        let f = self.zeros();
+        t[0] = Natural::one();
+        SatVec { t, f }
+    }
+
+    /// Eq. (15): disjunction convolution. `b₁ ∨ b₂ = true` for the
+    /// pairs (t,t), (t,f), (f,t); `false` only for (f,f).
+    fn add(&self, a: &SatVec, b: &SatVec) -> SatVec {
+        let tt = self.convolve(&a.t, &b.t);
+        let tf = self.convolve(&a.t, &b.f);
+        let ft = self.convolve(&a.f, &b.t);
+        let t = Self::vec_add(Self::vec_add(tt, tf), ft);
+        let f = self.convolve(&a.f, &b.f);
+        SatVec { t, f }
+    }
+
+    /// Eq. (16): conjunction convolution. `b₁ ∧ b₂ = true` only for
+    /// (t,t); `false` for (f,f), (f,t), (t,f).
+    fn mul(&self, a: &SatVec, b: &SatVec) -> SatVec {
+        let t = self.convolve(&a.t, &b.t);
+        let ff = self.convolve(&a.f, &b.f);
+        let ft = self.convolve(&a.f, &b.t);
+        let tf = self.convolve(&a.t, &b.f);
+        let f = Self::vec_add(Self::vec_add(ff, ft), tf);
+        SatVec { t, f }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laws::{annihilation_counterexample, check_laws, distributivity_counterexample};
+    use hq_arith::binomial;
+
+    fn m() -> SatCountMonoid {
+        SatCountMonoid::new(4)
+    }
+
+    fn nat(v: u64) -> Natural {
+        Natural::from(v)
+    }
+
+    fn sample() -> Vec<SatVec> {
+        let m = m();
+        let s2 = m.add(&m.star(), &m.star()); // two endogenous facts or-ed
+        let p2 = m.mul(&m.star(), &m.star()); // two endogenous facts and-ed
+        vec![m.zero(), m.one(), m.star(), s2, p2]
+    }
+
+    #[test]
+    fn identities_shape() {
+        let m = m();
+        let zero = m.zero();
+        assert_eq!(zero.f[0], nat(1));
+        assert!(zero.t.iter().all(Natural::is_zero));
+        let one = m.one();
+        assert_eq!(one.t[0], nat(1));
+        assert!(one.f.iter().all(Natural::is_zero));
+        let star = m.star();
+        assert_eq!(star.f[0], nat(1));
+        assert_eq!(star.t[1], nat(1));
+    }
+
+    #[test]
+    fn laws_hold() {
+        let report = check_laws(&m(), &sample(), |a, b| a == b);
+        assert!(report.all_hold(), "{report:?}");
+    }
+
+    #[test]
+    fn violates_annihilation_but_not_zero_mul_zero() {
+        let m = m();
+        // a ⊗ 0 ≠ 0 for a = star: the conjunction is never true, but
+        // subsets {∅, {f}} are still counted on the false side.
+        let sample = sample();
+        let w = annihilation_counterexample(&m, &sample, |a, b| a == b);
+        assert!(w.is_some(), "Shapley monoid must violate annihilation");
+        // Yet 0 ⊗ 0 = 0 (Definition 5.6's weaker requirement).
+        assert_eq!(m.mul(&m.zero(), &m.zero()), m.zero());
+    }
+
+    #[test]
+    fn not_distributive() {
+        let sample = sample();
+        let w = distributivity_counterexample(&m(), &sample, |a, b| a == b);
+        assert!(w.is_some(), "Shapley monoid must not be distributive");
+    }
+
+    #[test]
+    fn star_conjunction_counts_subsets() {
+        // F = f1 ∧ f2 over endogenous {f1, f2}:
+        // k=0: {} → false (1 way). k=1: {f1},{f2} → false (2 ways).
+        // k=2: {f1,f2} → true (1 way).
+        let m = m();
+        let v = m.mul(&m.star(), &m.star());
+        assert_eq!(v.f[0], nat(1));
+        assert_eq!(v.f[1], nat(2));
+        assert_eq!(v.t[2], nat(1));
+        assert_eq!(v.t[0], nat(0));
+        assert_eq!(v.t[1], nat(0));
+    }
+
+    #[test]
+    fn star_disjunction_counts_subsets() {
+        // F = f1 ∨ f2: k=1 → both singletons true; k=2 → true.
+        let m = m();
+        let v = m.add(&m.star(), &m.star());
+        assert_eq!(v.f[0], nat(1));
+        assert_eq!(v.t[1], nat(2));
+        assert_eq!(v.f[1], nat(0));
+        assert_eq!(v.t[2], nat(1));
+    }
+
+    #[test]
+    fn totals_are_binomials() {
+        // Or-ing / and-ing n distinct endogenous facts must yield
+        // total(k) = C(n, k): every subset is counted exactly once.
+        let m = SatCountMonoid::new(6);
+        for n in 0..=6usize {
+            let stars: Vec<SatVec> = (0..n).map(|_| m.star()).collect();
+            for v in [m.sum(&stars), m.product(&stars)] {
+                for k in 0..=6usize {
+                    assert_eq!(
+                        v.total(k),
+                        binomial(n as u64, k as u64),
+                        "n={n} k={k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exogenous_fact_is_transparent() {
+        // 1 ⊗ x = x and mixing 1 into a disjunction makes it always true.
+        let m = m();
+        let x = m.add(&m.star(), &m.star());
+        assert_eq!(m.mul(&m.one(), &x), x);
+        let always = m.add(&m.one(), &m.star());
+        // Formula true regardless of the single endogenous fact:
+        assert_eq!(always.t[0], nat(1));
+        assert_eq!(always.t[1], nat(1));
+        assert!(always.f.iter().all(Natural::is_zero));
+    }
+
+    #[test]
+    fn truncation_is_exact_prefix() {
+        // Computing with a larger cap and truncating equals computing
+        // with the smaller cap directly.
+        let big = SatCountMonoid::new(8);
+        let small = SatCountMonoid::new(3);
+        let vb = big.mul(
+            &big.add(&big.star(), &big.star()),
+            &big.add(&big.star(), &big.one()),
+        );
+        let vs = small.mul(
+            &small.add(&small.star(), &small.star()),
+            &small.add(&small.star(), &small.one()),
+        );
+        assert_eq!(&vb.t[..4], &vs.t[..]);
+        assert_eq!(&vb.f[..4], &vs.f[..]);
+    }
+}

@@ -1,0 +1,190 @@
+//! Classical commutative semirings, packaged as 2-monoids.
+//!
+//! Every commutative semiring *is* a 2-monoid (Definition 5.6 drops
+//! distributivity and weakens annihilation, it does not forbid them),
+//! so the unifying algorithm also runs over these — recovering
+//! classical semiring query evaluation on hierarchical queries:
+//!
+//! * [`BoolMonoid`] — Boolean query evaluation (`Q(D)` true/false);
+//! * [`CountMonoid`] — the bag-set value `Q(D)` (number of distinct
+//!   satisfying assignments);
+//! * [`TropicalMinMonoid`] — minimum total fact-weight of a witness
+//!   (min-plus provenance).
+//!
+//! These also serve as the experiment E12 contrast: the law-checkers
+//! find *no* distributivity counterexample here, while they do for all
+//! three problem monoids — which is exactly why those problems are
+//! hard beyond hierarchical queries while semiring evaluation extends
+//! to all acyclic queries.
+
+use crate::traits::{Semiring, TwoMonoid};
+
+/// The Boolean semiring `({⊥,⊤}, ∨, ∧)`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BoolMonoid;
+
+impl TwoMonoid for BoolMonoid {
+    type Elem = bool;
+
+    fn zero(&self) -> bool {
+        false
+    }
+
+    fn one(&self) -> bool {
+        true
+    }
+
+    fn add(&self, a: &bool, b: &bool) -> bool {
+        *a || *b
+    }
+
+    fn mul(&self, a: &bool, b: &bool) -> bool {
+        *a && *b
+    }
+}
+
+impl Semiring for BoolMonoid {}
+
+/// The counting semiring `(ℕ, +, ×)` (saturating at `u64::MAX`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CountMonoid;
+
+impl TwoMonoid for CountMonoid {
+    type Elem = u64;
+
+    fn zero(&self) -> u64 {
+        0
+    }
+
+    fn one(&self) -> u64 {
+        1
+    }
+
+    fn add(&self, a: &u64, b: &u64) -> u64 {
+        a.saturating_add(*b)
+    }
+
+    fn mul(&self, a: &u64, b: &u64) -> u64 {
+        a.saturating_mul(*b)
+    }
+}
+
+impl Semiring for CountMonoid {}
+
+/// The real sum-product semiring `(ℝ≥0, +, ×)`.
+///
+/// Running Algorithm 1 over it with probability annotations computes
+/// the **expected bag-set value** `E[Q(D)] = Σ_assignments Π p(fact)`
+/// on a tuple-independent database — a useful companion statistic to
+/// the PQE marginal probability (linearity of expectation needs no
+/// independence bookkeeping, so a plain semiring suffices).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RealSemiring;
+
+impl TwoMonoid for RealSemiring {
+    type Elem = f64;
+
+    fn zero(&self) -> f64 {
+        0.0
+    }
+
+    fn one(&self) -> f64 {
+        1.0
+    }
+
+    fn add(&self, a: &f64, b: &f64) -> f64 {
+        a + b
+    }
+
+    fn mul(&self, a: &f64, b: &f64) -> f64 {
+        a * b
+    }
+}
+
+impl Semiring for RealSemiring {}
+
+/// The min-plus (tropical) semiring `(ℕ ∪ {∞}, min, +)` with
+/// `∞ = u64::MAX` as the ⊕-identity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TropicalMinMonoid;
+
+/// The tropical "infinity".
+pub const TROPICAL_INF: u64 = u64::MAX;
+
+impl TwoMonoid for TropicalMinMonoid {
+    type Elem = u64;
+
+    fn zero(&self) -> u64 {
+        TROPICAL_INF
+    }
+
+    fn one(&self) -> u64 {
+        0
+    }
+
+    fn add(&self, a: &u64, b: &u64) -> u64 {
+        *a.min(b)
+    }
+
+    fn mul(&self, a: &u64, b: &u64) -> u64 {
+        a.saturating_add(*b)
+    }
+}
+
+impl Semiring for TropicalMinMonoid {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laws::{annihilation_counterexample, check_laws, distributivity_counterexample};
+
+    #[test]
+    fn bool_semiring_laws_and_distributivity() {
+        let sample = [false, true];
+        let report = check_laws(&BoolMonoid, &sample, |a, b| a == b);
+        assert!(report.all_hold(), "{report:?}");
+        assert!(distributivity_counterexample(&BoolMonoid, &sample, |a, b| a == b).is_none());
+        assert!(annihilation_counterexample(&BoolMonoid, &sample, |a, b| a == b).is_none());
+    }
+
+    #[test]
+    fn count_semiring_laws_and_distributivity() {
+        let sample: Vec<u64> = (0..8).collect();
+        let report = check_laws(&CountMonoid, &sample, |a, b| a == b);
+        assert!(report.all_hold(), "{report:?}");
+        assert!(distributivity_counterexample(&CountMonoid, &sample, |a, b| a == b).is_none());
+    }
+
+    #[test]
+    fn tropical_semiring_laws_and_distributivity() {
+        let sample = [0u64, 1, 2, 5, 10, TROPICAL_INF];
+        let report = check_laws(&TropicalMinMonoid, &sample, |a, b| a == b);
+        assert!(report.all_hold(), "{report:?}");
+        assert!(
+            distributivity_counterexample(&TropicalMinMonoid, &sample, |a, b| a == b).is_none()
+        );
+        assert!(
+            annihilation_counterexample(&TropicalMinMonoid, &sample, |a, b| a == b).is_none()
+        );
+    }
+
+    #[test]
+    fn real_semiring_laws_and_distributivity() {
+        let sample = [0.0, 0.25, 0.5, 1.0, 2.0];
+        let eq = |a: &f64, b: &f64| (a - b).abs() < 1e-12;
+        let report = check_laws(&RealSemiring, &sample, eq);
+        assert!(report.all_hold(), "{report:?}");
+        assert!(distributivity_counterexample(&RealSemiring, &sample, eq).is_none());
+    }
+
+    #[test]
+    fn tropical_picks_cheapest_witness() {
+        let m = TropicalMinMonoid;
+        // min over {3+4, 2+9} = 7
+        let lhs = m.mul(&3, &4);
+        let rhs = m.mul(&2, &9);
+        assert_eq!(m.add(&lhs, &rhs), 7);
+        assert_eq!(m.add(&TROPICAL_INF, &5), 5);
+        assert_eq!(m.mul(&TROPICAL_INF, &5), TROPICAL_INF);
+    }
+}

@@ -1,0 +1,109 @@
+//! The 2-monoid abstraction (Definition 5.6 of the paper).
+//!
+//! A 2-monoid `K = (K, ⊕, ⊗)` consists of two commutative monoids over
+//! the same carrier, with identities `0` and `1`, satisfying the single
+//! interaction law `0 ⊗ 0 = 0`. Crucially it is **not** required to be
+//! distributive, and none of the paper's three problem instantiations
+//! are — that is exactly what limits the unifying algorithm to
+//! hierarchical (rather than all acyclic) queries.
+//!
+//! The trait is *instance-based* (`&self` on every operation) because
+//! two of the paper's monoids carry runtime context: the Bag-Set
+//! Maximization monoid truncates its budget vectors at `θ + 1` entries
+//! and the `#Sat` monoid at `|D_n| + 1` — the truncations that yield the
+//! complexity bounds of Theorems 5.11 and 5.16.
+
+use std::fmt::Debug;
+
+/// A commutative 2-monoid (Definition 5.6).
+///
+/// Implementations must guarantee, for all `a`, `b`, `c`:
+///
+/// * `add`/`mul` are associative and commutative;
+/// * `add(a, zero()) == a` and `mul(a, one()) == a`;
+/// * `mul(zero(), zero()) == zero()`.
+///
+/// They need **not** satisfy distributivity or annihilation-by-zero.
+/// The [`crate::laws`] module provides generic checkers used by every
+/// instantiation's property tests.
+pub trait TwoMonoid {
+    /// The carrier type `K`.
+    type Elem: Clone + PartialEq + Debug;
+
+    /// The ⊕-identity `0`.
+    fn zero(&self) -> Self::Elem;
+
+    /// The ⊗-identity `1`.
+    fn one(&self) -> Self::Elem;
+
+    /// The commutative-monoid operation ⊕.
+    fn add(&self, a: &Self::Elem, b: &Self::Elem) -> Self::Elem;
+
+    /// The commutative-monoid operation ⊗.
+    fn mul(&self, a: &Self::Elem, b: &Self::Elem) -> Self::Elem;
+
+    /// Folds ⊕ over an iterator (`0` for an empty iterator).
+    fn sum<'a, I>(&self, items: I) -> Self::Elem
+    where
+        Self::Elem: 'a,
+        I: IntoIterator<Item = &'a Self::Elem>,
+    {
+        let mut acc = self.zero();
+        for x in items {
+            acc = self.add(&acc, x);
+        }
+        acc
+    }
+
+    /// Folds ⊗ over an iterator (`1` for an empty iterator).
+    fn product<'a, I>(&self, items: I) -> Self::Elem
+    where
+        Self::Elem: 'a,
+        I: IntoIterator<Item = &'a Self::Elem>,
+    {
+        let mut acc = self.one();
+        for x in items {
+            acc = self.mul(&acc, x);
+        }
+        acc
+    }
+}
+
+/// Marker-style helper: a 2-monoid that *is* a commutative semiring
+/// (distributive, zero-annihilating). The classical semiring
+/// instantiations (Boolean, counting, tropical) implement this; the
+/// three problem monoids deliberately do not.
+pub trait Semiring: TwoMonoid {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy 2-monoid over (u32, max, +) for exercising the defaults.
+    struct MaxPlus;
+    impl TwoMonoid for MaxPlus {
+        type Elem = u32;
+        fn zero(&self) -> u32 {
+            0
+        }
+        fn one(&self) -> u32 {
+            0
+        }
+        fn add(&self, a: &u32, b: &u32) -> u32 {
+            *a.max(b)
+        }
+        fn mul(&self, a: &u32, b: &u32) -> u32 {
+            a + b
+        }
+    }
+
+    #[test]
+    fn sum_and_product_fold() {
+        let m = MaxPlus;
+        let xs = [3u32, 1, 4, 1, 5];
+        assert_eq!(m.sum(&xs), 5);
+        assert_eq!(m.product(&xs), 14);
+        assert_eq!(m.sum(&[]), 0);
+        assert_eq!(m.product(&[]), 0);
+    }
+}

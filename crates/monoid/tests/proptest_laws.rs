@@ -1,0 +1,165 @@
+//! Property tests: the Definition 5.6 laws over *random* elements of
+//! every 2-monoid (the in-module tests use small fixed samples; these
+//! push the same laws through arbitrary vectors and trees).
+
+use hq_arith::Natural;
+use hq_monoid::laws::check_laws;
+use hq_monoid::{
+    BagMaxMonoid, BudgetVec, Prov, ProvMonoid, SatCountMonoid, SatVec, TwoMonoid,
+};
+use proptest::prelude::*;
+
+const CAP: usize = 4;
+
+/// Strategy: a monotone budget vector of length CAP+1.
+fn budget_vec() -> impl Strategy<Value = BudgetVec> {
+    proptest::collection::vec(0u64..50, CAP + 1).prop_map(|mut v| {
+        // Make monotone by prefix-max.
+        for i in 1..v.len() {
+            v[i] = v[i].max(v[i - 1]);
+        }
+        BudgetVec(v)
+    })
+}
+
+/// Strategy: a SatVec built as a random ⊕/⊗ combination of generators,
+/// so every sampled element is reachable (arbitrary raw vectors need
+/// not be — the carrier is the closure of the ψ annotations).
+fn sat_vec() -> impl Strategy<Value = SatVec> {
+    proptest::collection::vec(0u8..3, 1..5).prop_map(|ops| {
+        let m = SatCountMonoid::new(CAP);
+        let mut acc = m.star();
+        for op in ops {
+            let next = match op {
+                0 => m.star(),
+                1 => m.one(),
+                _ => m.zero(),
+            };
+            if op % 2 == 0 {
+                acc = m.add(&acc, &next);
+            } else {
+                acc = m.mul(&acc, &next);
+            }
+        }
+        acc
+    })
+}
+
+/// Strategy: a provenance tree with distinct leaves (built through the
+/// monoid operators, like the engine does).
+fn prov_tree(offset: u64) -> impl Strategy<Value = Prov> {
+    proptest::collection::vec(0u8..4, 0..5).prop_map(move |ops| {
+        let m = ProvMonoid;
+        let mut next_leaf = offset * 100;
+        let mut leaf = || {
+            next_leaf += 1;
+            Prov::Leaf(next_leaf)
+        };
+        let mut acc = leaf();
+        for op in ops {
+            let rhs = match op {
+                0 | 1 => leaf(),
+                2 => Prov::True,
+                _ => Prov::False,
+            };
+            if op % 2 == 0 {
+                acc = m.add(&acc, &rhs);
+            } else {
+                acc = m.mul(&acc, &rhs);
+            }
+        }
+        acc
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn bagmax_laws_on_random_vectors(a in budget_vec(), b in budget_vec(), c in budget_vec()) {
+        let m = BagMaxMonoid::new(CAP);
+        let sample = [a, b, c, m.zero(), m.one(), m.star()];
+        let report = check_laws(&m, &sample, |x, y| x == y);
+        prop_assert!(report.all_hold(), "{report:?}");
+    }
+
+    #[test]
+    fn bagmax_ops_preserve_monotonicity(a in budget_vec(), b in budget_vec()) {
+        let m = BagMaxMonoid::new(CAP);
+        prop_assert!(m.add(&a, &b).is_monotone());
+        prop_assert!(m.mul(&a, &b).is_monotone());
+    }
+
+    #[test]
+    fn satcount_laws_on_random_vectors(a in sat_vec(), b in sat_vec(), c in sat_vec()) {
+        let m = SatCountMonoid::new(CAP);
+        let sample = [a, b, c, m.zero(), m.one(), m.star()];
+        let report = check_laws(&m, &sample, |x, y| x == y);
+        prop_assert!(report.all_hold(), "{report:?}");
+    }
+
+    #[test]
+    fn satcount_totals_multiply(a in sat_vec(), b in sat_vec()) {
+        // total(x ⊕ y)(k) == total(x ⊗ y)(k) == Σ_{k1+k2=k} total_x(k1)·total_y(k2):
+        // both operators count all subset pairs, only the bool split differs.
+        let m = SatCountMonoid::new(CAP);
+        let sum = m.add(&a, &b);
+        let prod = m.mul(&a, &b);
+        for k in 0..=CAP {
+            let mut expect = Natural::zero();
+            for k1 in 0..=k {
+                expect.add_assign_ref(&a.total(k1).mul_ref(&b.total(k - k1)));
+            }
+            prop_assert_eq!(sum.total(k), expect.clone(), "⊕ k={}", k);
+            prop_assert_eq!(prod.total(k), expect, "⊗ k={}", k);
+        }
+    }
+
+    #[test]
+    fn provenance_laws_on_random_trees(
+        a in prov_tree(1),
+        b in prov_tree(2),
+        c in prov_tree(3),
+    ) {
+        let m = ProvMonoid;
+        let sample = [a, b, c, Prov::True, Prov::False];
+        let report = check_laws(&m, &sample, |x, y| x == y);
+        prop_assert!(report.all_hold(), "{report:?}");
+    }
+
+    #[test]
+    fn provenance_ops_preserve_decomposability(a in prov_tree(1), b in prov_tree(2)) {
+        // Disjoint leaf ranges → operations keep trees decomposable
+        // (the engine-level Lemma 6.3 in miniature).
+        let m = ProvMonoid;
+        prop_assert!(a.is_decomposable());
+        prop_assert!(b.is_decomposable());
+        prop_assert!(m.add(&a, &b).is_decomposable());
+        prop_assert!(m.mul(&a, &b).is_decomposable());
+    }
+
+    #[test]
+    fn provenance_semantics_respected_by_ops(a in prov_tree(4), b in prov_tree(5)) {
+        // eval_bool of ⊕/⊗ is the ∨/∧ of the children's evaluations.
+        let m = ProvMonoid;
+        let assign = |s: u64| !s.is_multiple_of(3);
+        prop_assert_eq!(
+            m.add(&a, &b).eval_bool(&assign),
+            a.eval_bool(&assign) || b.eval_bool(&assign)
+        );
+        prop_assert_eq!(
+            m.mul(&a, &b).eval_bool(&assign),
+            a.eval_bool(&assign) && b.eval_bool(&assign)
+        );
+        // multiplicity of ⊕/⊗ is sum/product.
+        let mult = |s: u64| s % 3;
+        prop_assert_eq!(
+            m.add(&a, &b).multiplicity(&mult),
+            a.multiplicity(&mult) + b.multiplicity(&mult)
+        );
+        prop_assert_eq!(
+            m.mul(&a, &b).multiplicity(&mult),
+            a.multiplicity(&mult) * b.multiplicity(&mult)
+        );
+    }
+}

@@ -1,0 +1,428 @@
+//! The elimination procedure for hierarchical queries
+//! (Proposition 5.1) compiled into an executable plan.
+//!
+//! * **Rule 1** eliminates a *private* variable `Y` occurring in exactly
+//!   one atom `R(X̄)`, replacing it with `R'(X̄ \ {Y})` — the engine will
+//!   realise this as a ⊕-aggregating projection.
+//! * **Rule 2** merges two atoms `R₁(X̄)`, `R₂(X̄)` with the *same*
+//!   variable set into one atom `R'(X̄)` — realised as a ⊗-join.
+//!
+//! The procedure reduces `Q` to a single nullary atom iff `Q` is
+//! hierarchical, and any application order reaches the same conclusion;
+//! we fix a deterministic order (lowest variable id for Rule 1, lowest
+//! atom-index pair for Rule 2, Rule 1 preferred) so plans, traces, and
+//! benchmarks are reproducible. An alternative order is available for
+//! the ablation study ([`PlanOrder`]).
+
+use crate::ast::{Atom, Query, Var};
+use crate::hierarchy::{non_hierarchical_witness, NonHierarchicalWitness};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One step of the elimination plan. Atom slots are indices into the
+/// original query's atom list; a [`Step::Merge`] leaves its result in
+/// the `left` slot and kills the `right` slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// Rule 1: project variable `var` out of atom slot `atom`,
+    /// aggregating annotations with ⊕.
+    ProjectOut {
+        /// The atom slot.
+        atom: usize,
+        /// The private variable being eliminated.
+        var: Var,
+    },
+    /// Rule 2: merge atom slots `left` and `right` (equal variable
+    /// sets), combining annotations with ⊗. The result lives in `left`.
+    Merge {
+        /// Surviving slot.
+        left: usize,
+        /// Slot that disappears.
+        right: usize,
+    },
+}
+
+/// Deterministic tie-breaking policy for plan construction — the
+/// subject of the engine-ablation bench (plan order cannot change the
+/// result, per Proposition 5.1, but changes intermediate sizes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlanOrder {
+    /// Prefer Rule 1; lowest variable id / lowest atom pair first.
+    #[default]
+    Rule1First,
+    /// Prefer Rule 2 (merge eagerly); then Rule 1.
+    Rule2First,
+    /// Prefer Rule 1 with the *highest* variable id.
+    Rule1HighVar,
+}
+
+/// A compiled elimination plan: the step sequence plus the slot holding
+/// the final nullary relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EliminationPlan {
+    steps: Vec<Step>,
+    root: usize,
+}
+
+impl EliminationPlan {
+    /// The steps in execution order.
+    pub fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    /// The atom slot holding the final nullary relation `R()`.
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// Number of Rule 1 applications (equals `|vars(Q)|` for any
+    /// hierarchical query).
+    pub fn rule1_count(&self) -> usize {
+        self.steps
+            .iter()
+            .filter(|s| matches!(s, Step::ProjectOut { .. }))
+            .count()
+    }
+
+    /// Number of Rule 2 applications (equals `|at(Q)| - 1`).
+    pub fn rule2_count(&self) -> usize {
+        self.steps.len() - self.rule1_count()
+    }
+
+    /// Renders the plan as a paper-style trace: the evolving query after
+    /// each rule application, with primes added to relation names.
+    pub fn trace(&self, q: &Query) -> String {
+        let mut names: Vec<String> = q.atoms().iter().map(|a| a.rel.clone()).collect();
+        let mut var_sets: Vec<Option<BTreeSet<Var>>> =
+            q.atoms().iter().map(|a| Some(a.var_set())).collect();
+        let render = |names: &[String], var_sets: &[Option<BTreeSet<Var>>]| {
+            let atoms: Vec<String> = var_sets
+                .iter()
+                .enumerate()
+                .filter_map(|(i, vs)| {
+                    vs.as_ref().map(|vs| {
+                        let vars: Vec<&str> =
+                            vs.iter().map(|&v| q.var_name(v)).collect();
+                        format!("{}({})", names[i], vars.join(", "))
+                    })
+                })
+                .collect();
+            format!("Q() :- {}", atoms.join(" ∧ "))
+        };
+        let mut out = String::new();
+        out.push_str(&render(&names, &var_sets));
+        for step in &self.steps {
+            match *step {
+                Step::ProjectOut { atom, var } => {
+                    let vs = var_sets[atom].as_mut().expect("alive slot");
+                    vs.remove(&var);
+                    names[atom].push('\'');
+                    out.push_str(&format!(
+                        "\n  (Rule 1: eliminate {})\n{}",
+                        q.var_name(var),
+                        render(&names, &var_sets)
+                    ));
+                }
+                Step::Merge { left, right } => {
+                    let right_name = names[right].clone();
+                    var_sets[right] = None;
+                    names[left] = format!("[{}⊗{}]", names[left], right_name);
+                    out.push_str(&format!(
+                        "\n  (Rule 2: merge)\n{}",
+                        render(&names, &var_sets)
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for EliminationPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, s) in self.steps.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            match s {
+                Step::ProjectOut { atom, var } => {
+                    write!(f, "{i}: project var v{} out of slot {atom}", var.0)?
+                }
+                Step::Merge { left, right } => {
+                    write!(f, "{i}: merge slot {right} into slot {left}")?
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Planning failure: the query is not hierarchical, with the
+/// Theorem 4.4 witness attached.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NotHierarchical {
+    /// The certificate found by the pairwise test.
+    pub witness: NonHierarchicalWitness,
+}
+
+impl fmt::Display for NotHierarchical {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "query is not hierarchical (witness vars v{}, v{})",
+            self.witness.a.0, self.witness.b.0
+        )
+    }
+}
+
+impl std::error::Error for NotHierarchical {}
+
+/// Compiles the elimination plan for `q` under the given order policy.
+///
+/// # Errors
+/// Returns [`NotHierarchical`] (with a witness) iff `q` is not
+/// hierarchical — Proposition 5.1 guarantees the procedure gets stuck
+/// exactly then.
+pub fn plan_with_order(q: &Query, order: PlanOrder) -> Result<EliminationPlan, NotHierarchical> {
+    let mut var_sets: Vec<Option<BTreeSet<Var>>> =
+        q.atoms().iter().map(|a| Some(a.var_set())).collect();
+    let mut steps = Vec::new();
+    loop {
+        let alive: Vec<usize> = (0..var_sets.len())
+            .filter(|&i| var_sets[i].is_some())
+            .collect();
+        // Done: a single nullary atom.
+        if alive.len() == 1 && var_sets[alive[0]].as_ref().expect("alive").is_empty() {
+            return Ok(EliminationPlan { steps, root: alive[0] });
+        }
+        let rule1 = find_rule1(q, &var_sets, &alive, order);
+        let rule2 = find_rule2(&var_sets, &alive);
+        let chosen = match order {
+            PlanOrder::Rule1First | PlanOrder::Rule1HighVar => {
+                rule1.map(StepChoice::R1).or(rule2.map(StepChoice::R2))
+            }
+            PlanOrder::Rule2First => rule2.map(StepChoice::R2).or(rule1.map(StepChoice::R1)),
+        };
+        match chosen {
+            Some(StepChoice::R1((atom, var))) => {
+                var_sets[atom].as_mut().expect("alive").remove(&var);
+                steps.push(Step::ProjectOut { atom, var });
+            }
+            Some(StepChoice::R2((left, right))) => {
+                var_sets[right] = None;
+                steps.push(Step::Merge { left, right });
+            }
+            None => {
+                let witness = non_hierarchical_witness(q)
+                    .expect("elimination stuck implies non-hierarchical (Prop. 5.1)");
+                return Err(NotHierarchical { witness });
+            }
+        }
+    }
+}
+
+enum StepChoice {
+    R1((usize, Var)),
+    R2((usize, usize)),
+}
+
+fn find_rule1(
+    q: &Query,
+    var_sets: &[Option<BTreeSet<Var>>],
+    alive: &[usize],
+    order: PlanOrder,
+) -> Option<(usize, Var)> {
+    let mut candidates: Vec<(usize, Var)> = Vec::new();
+    for v in q.vars() {
+        let occurrences: Vec<usize> = alive
+            .iter()
+            .copied()
+            .filter(|&i| var_sets[i].as_ref().expect("alive").contains(&v))
+            .collect();
+        if occurrences.len() == 1 {
+            candidates.push((occurrences[0], v));
+        }
+    }
+    match order {
+        PlanOrder::Rule1HighVar => candidates.into_iter().max_by_key(|&(_, v)| v),
+        _ => candidates.into_iter().min_by_key(|&(_, v)| v),
+    }
+}
+
+fn find_rule2(var_sets: &[Option<BTreeSet<Var>>], alive: &[usize]) -> Option<(usize, usize)> {
+    for (i, &a) in alive.iter().enumerate() {
+        for &b in &alive[i + 1..] {
+            if var_sets[a] == var_sets[b] {
+                return Some((a, b));
+            }
+        }
+    }
+    None
+}
+
+/// Compiles the elimination plan with the default deterministic order.
+///
+/// # Errors
+/// Returns [`NotHierarchical`] iff `q` is not hierarchical.
+pub fn plan(q: &Query) -> Result<EliminationPlan, NotHierarchical> {
+    plan_with_order(q, PlanOrder::default())
+}
+
+/// Hierarchy test via the elimination procedure (Proposition 5.1). The
+/// property-test suite checks this agrees with the pairwise `at(·)`
+/// definition on random queries.
+pub fn is_hierarchical_by_elimination(q: &Query) -> bool {
+    plan(q).is_ok()
+}
+
+/// Replays the plan symbolically and returns the variable set of every
+/// intermediate atom — used by tests and by the engine to size its
+/// annotated relations.
+pub fn replay_var_sets(q: &Query, p: &EliminationPlan) -> Vec<Vec<Option<Vec<Var>>>> {
+    let mut var_sets: Vec<Option<BTreeSet<Var>>> =
+        q.atoms().iter().map(|a| Some(a.var_set())).collect();
+    let snapshot = |vs: &[Option<BTreeSet<Var>>]| {
+        vs.iter()
+            .map(|o| o.as_ref().map(|s| s.iter().copied().collect()))
+            .collect::<Vec<Option<Vec<Var>>>>()
+    };
+    let mut out = vec![snapshot(&var_sets)];
+    for step in p.steps() {
+        match *step {
+            Step::ProjectOut { atom, var } => {
+                var_sets[atom].as_mut().expect("alive").remove(&var);
+            }
+            Step::Merge { left: _, right } => {
+                var_sets[right] = None;
+            }
+        }
+        out.push(snapshot(&var_sets));
+    }
+    out
+}
+
+/// Convenience: returns the atoms of `q` as `(slot, Atom)` pairs — the
+/// engine seeds its annotated-relation slots from this.
+pub fn initial_slots(q: &Query) -> Vec<(usize, &Atom)> {
+    q.atoms().iter().enumerate().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{example_query, q_hierarchical, q_non_hierarchical, Query};
+
+    #[test]
+    fn example_52_plan_shape() {
+        // Q() :- R(A,B), S(A,C), T(A,C,D): 4 vars, 3 atoms →
+        // 4 Rule-1 steps + 2 Rule-2 steps, exactly as in Example 5.2.
+        let q = example_query();
+        let p = plan(&q).unwrap();
+        assert_eq!(p.rule1_count(), 4);
+        assert_eq!(p.rule2_count(), 2);
+        assert_eq!(p.steps().len(), 6);
+    }
+
+    #[test]
+    fn example_53_gets_stuck() {
+        // Q() :- R(A,B), S(B,C), T(C,D) is not hierarchical.
+        let q = Query::new(&[("R", &["A", "B"]), ("S", &["B", "C"]), ("T", &["C", "D"])])
+            .unwrap();
+        let e = plan(&q).unwrap_err();
+        // The witness must involve B and C (the only overlapping pair).
+        let (a, b) = (e.witness.a, e.witness.b);
+        assert_eq!(
+            [q.var_name(a), q.var_name(b)],
+            ["B", "C"]
+        );
+    }
+
+    #[test]
+    fn example_54_disconnected_reduces_to_one_atom() {
+        // Q() :- R(A), S(B): 2 Rule-1 + 1 Rule-2.
+        let q = Query::new(&[("R", &["A"]), ("S", &["B"])]).unwrap();
+        let p = plan(&q).unwrap();
+        assert_eq!(p.rule1_count(), 2);
+        assert_eq!(p.rule2_count(), 1);
+    }
+
+    #[test]
+    fn q_h_plan_matches_eqs_4_to_9() {
+        // Q_h() :- E(X,Y), F(Y,Z) reduces with 3 Rule-1 + 1 Rule-2.
+        let p = plan(&q_hierarchical()).unwrap();
+        assert_eq!(p.rule1_count(), 3);
+        assert_eq!(p.rule2_count(), 1);
+    }
+
+    #[test]
+    fn step_counts_invariant_across_orders() {
+        let q = example_query();
+        for order in [PlanOrder::Rule1First, PlanOrder::Rule2First, PlanOrder::Rule1HighVar] {
+            let p = plan_with_order(&q, order).unwrap();
+            assert_eq!(p.rule1_count(), q.var_count(), "{order:?}");
+            assert_eq!(p.rule2_count(), q.atom_count() - 1, "{order:?}");
+        }
+    }
+
+    #[test]
+    fn all_orders_agree_on_classification() {
+        for q in [example_query(), q_hierarchical(), q_non_hierarchical()] {
+            let verdicts: Vec<bool> =
+                [PlanOrder::Rule1First, PlanOrder::Rule2First, PlanOrder::Rule1HighVar]
+                    .iter()
+                    .map(|&o| plan_with_order(&q, o).is_ok())
+                    .collect();
+            assert!(verdicts.windows(2).all(|w| w[0] == w[1]), "{q}");
+        }
+    }
+
+    #[test]
+    fn nullary_only_query() {
+        let q = Query::new(&[("R", &[])]).unwrap();
+        let p = plan(&q).unwrap();
+        assert!(p.steps().is_empty());
+        assert_eq!(p.root(), 0);
+    }
+
+    #[test]
+    fn two_nullary_atoms_merge() {
+        let q = Query::new(&[("R", &[]), ("S", &[])]).unwrap();
+        let p = plan(&q).unwrap();
+        assert_eq!(p.steps(), &[Step::Merge { left: 0, right: 1 }]);
+    }
+
+    #[test]
+    fn trace_renders_rules() {
+        let q = example_query();
+        let p = plan(&q).unwrap();
+        let trace = p.trace(&q);
+        assert!(trace.contains("Rule 1"));
+        assert!(trace.contains("Rule 2"));
+        assert!(trace.lines().next().unwrap().contains("R(A, B)"));
+    }
+
+    #[test]
+    fn replay_ends_with_single_empty_slot() {
+        let q = example_query();
+        let p = plan(&q).unwrap();
+        let states = replay_var_sets(&q, &p);
+        let last = states.last().unwrap();
+        let alive: Vec<_> = last.iter().flatten().collect();
+        assert_eq!(alive.len(), 1);
+        assert!(alive[0].is_empty());
+    }
+
+    #[test]
+    fn matches_pairwise_definition_on_examples() {
+        use crate::hierarchy::is_hierarchical;
+        for q in [
+            example_query(),
+            q_hierarchical(),
+            q_non_hierarchical(),
+            Query::new(&[("R", &["A"]), ("S", &["B"])]).unwrap(),
+            Query::new(&[("R", &["A", "B"]), ("S", &["B", "C"]), ("T", &["C", "D"])]).unwrap(),
+        ] {
+            assert_eq!(is_hierarchical(&q), is_hierarchical_by_elimination(&q), "{q}");
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Random query generators for property tests and benchmarks.
+//!
+//! * [`random_hierarchical`] builds a random variable forest and takes
+//!   atoms to be node-to-root paths — *exactly* the hierarchical
+//!   queries, by Proposition 5.5.
+//! * [`random_query`] samples arbitrary SJF-BCQs (for differential
+//!   testing of the three hierarchy characterisations).
+//! * [`random_non_hierarchical`] rejection-samples non-hierarchical
+//!   queries, falling back to embedding the canonical `R, S, T`
+//!   pattern.
+
+use crate::ast::Query;
+use crate::hierarchy::is_hierarchical;
+use rand::Rng;
+
+fn var_name(i: usize) -> String {
+    format!("V{i}")
+}
+
+fn rel_name(i: usize) -> String {
+    format!("R{i}")
+}
+
+/// Generates a random hierarchical query with up to `max_vars`
+/// variables and between 1 and `max_atoms` atoms.
+pub fn random_hierarchical(rng: &mut impl Rng, max_vars: usize, max_atoms: usize) -> Query {
+    let n_vars = rng.gen_range(0..=max_vars.max(1));
+    // Random forest: parent[i] in 0..i or none.
+    let mut parent: Vec<Option<usize>> = Vec::with_capacity(n_vars);
+    for i in 0..n_vars {
+        if i == 0 || rng.gen_bool(0.3) {
+            parent.push(None);
+        } else {
+            parent.push(Some(rng.gen_range(0..i)));
+        }
+    }
+    let n_atoms = rng.gen_range(1..=max_atoms.max(1));
+    let mut atoms: Vec<(String, Vec<String>)> = Vec::with_capacity(n_atoms);
+    for a in 0..n_atoms {
+        let vars: Vec<String> = if n_vars == 0 || rng.gen_bool(0.1) {
+            Vec::new() // occasional nullary atom
+        } else {
+            let mut node = rng.gen_range(0..n_vars);
+            let mut path = vec![var_name(node)];
+            while let Some(p) = parent[node] {
+                path.push(var_name(p));
+                node = p;
+            }
+            path
+        };
+        atoms.push((rel_name(a), vars));
+    }
+    build(&atoms)
+}
+
+/// Generates an arbitrary random SJF-BCQ (hierarchical or not).
+pub fn random_query(rng: &mut impl Rng, max_vars: usize, max_atoms: usize) -> Query {
+    let n_vars = rng.gen_range(1..=max_vars.max(1));
+    let n_atoms = rng.gen_range(1..=max_atoms.max(1));
+    let mut atoms: Vec<(String, Vec<String>)> = Vec::with_capacity(n_atoms);
+    for a in 0..n_atoms {
+        let arity = rng.gen_range(0..=n_vars.min(4));
+        // Sample `arity` distinct variables.
+        let mut pool: Vec<usize> = (0..n_vars).collect();
+        let mut vars = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            let k = rng.gen_range(0..pool.len());
+            vars.push(var_name(pool.swap_remove(k)));
+        }
+        atoms.push((rel_name(a), vars));
+    }
+    build(&atoms)
+}
+
+/// Generates a random *non-hierarchical* query. Tries rejection
+/// sampling first; falls back to the canonical `R(X), S(X,Y), T(Y)`
+/// core extended with random extra atoms.
+pub fn random_non_hierarchical(rng: &mut impl Rng, max_vars: usize, max_atoms: usize) -> Query {
+    for _ in 0..64 {
+        let q = random_query(rng, max_vars.max(2), max_atoms.max(3));
+        if !is_hierarchical(&q) {
+            return q;
+        }
+    }
+    // Deterministic fallback: the canonical hard pattern plus padding.
+    let extra = rng.gen_range(0..=max_atoms.saturating_sub(3));
+    let mut atoms: Vec<(String, Vec<String>)> = vec![
+        ("R".into(), vec!["X".into()]),
+        ("S".into(), vec!["X".into(), "Y".into()]),
+        ("T".into(), vec!["Y".into()]),
+    ];
+    for i in 0..extra {
+        atoms.push((format!("P{i}"), vec![format!("W{i}")]));
+    }
+    let q = build(&atoms);
+    debug_assert!(!is_hierarchical(&q));
+    q
+}
+
+fn build(atoms: &[(String, Vec<String>)]) -> Query {
+    let borrowed: Vec<(&str, Vec<&str>)> = atoms
+        .iter()
+        .map(|(n, vs)| (n.as_str(), vs.iter().map(String::as_str).collect()))
+        .collect();
+    let slices: Vec<(&str, &[&str])> =
+        borrowed.iter().map(|(n, vs)| (*n, vs.as_slice())).collect();
+    Query::new(&slices).expect("generated queries are structurally valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elimination::is_hierarchical_by_elimination;
+    use crate::tree::is_hierarchical_by_tree;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn hierarchical_generator_is_sound() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..300 {
+            let q = random_hierarchical(&mut rng, 6, 6);
+            assert!(is_hierarchical(&q), "generator must be sound: {q}");
+        }
+    }
+
+    #[test]
+    fn non_hierarchical_generator_is_sound() {
+        let mut rng = StdRng::seed_from_u64(43);
+        for _ in 0..200 {
+            let q = random_non_hierarchical(&mut rng, 5, 5);
+            assert!(!is_hierarchical(&q), "generator must be sound: {q}");
+        }
+    }
+
+    #[test]
+    fn characterisations_agree_on_random_queries() {
+        let mut rng = StdRng::seed_from_u64(44);
+        let mut seen_hier = 0;
+        let mut seen_non = 0;
+        for _ in 0..500 {
+            let q = random_query(&mut rng, 5, 5);
+            let pairwise = is_hierarchical(&q);
+            assert_eq!(pairwise, is_hierarchical_by_elimination(&q), "{q}");
+            assert_eq!(pairwise, is_hierarchical_by_tree(&q), "{q}");
+            if pairwise {
+                seen_hier += 1;
+            } else {
+                seen_non += 1;
+            }
+        }
+        assert!(seen_hier > 20, "sampler should produce hierarchical queries");
+        assert!(seen_non > 20, "sampler should produce non-hierarchical queries");
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        let q1 = random_hierarchical(&mut StdRng::seed_from_u64(7), 5, 5);
+        let q2 = random_hierarchical(&mut StdRng::seed_from_u64(7), 5, 5);
+        assert_eq!(q1, q2);
+    }
+}

@@ -1,0 +1,131 @@
+//! The hierarchical-query test via the pairwise `at(·)` definition.
+//!
+//! A SJF-BCQ `Q` is *hierarchical* iff for every pair of variables
+//! `X, Y`, either `at(X) ⊆ at(Y)`, `at(Y) ⊆ at(X)`, or
+//! `at(X) ∩ at(Y) = ∅` (Section 1 of the paper). This module implements
+//! that definition directly, and extracts the canonical witness shape
+//! used by the hardness reduction of Theorem 4.4 when the test fails:
+//! variables `A, B` and atoms `R ∈ at(A)\at(B)`, `S ∈ at(A)∩at(B)`,
+//! `T ∈ at(B)\at(A)`.
+//!
+//! Two independent characterisations live elsewhere and are
+//! property-tested to agree with this one: the elimination procedure of
+//! Proposition 5.1 ([`crate::elimination`]) and the witness-tree
+//! criterion of Proposition 5.5 ([`crate::tree`]).
+
+use crate::ast::{Query, Var};
+use std::collections::BTreeSet;
+
+/// A certificate that a query is non-hierarchical: the `R(A,X̄)`,
+/// `S(A,B,Ȳ)`, `T(B,Z̄)` sub-structure from the proof of Theorem 4.4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NonHierarchicalWitness {
+    /// Variable `A` (in `r_atom` and `s_atom` but not `t_atom`).
+    pub a: Var,
+    /// Variable `B` (in `s_atom` and `t_atom` but not `r_atom`).
+    pub b: Var,
+    /// Index of an atom containing `A` but not `B`.
+    pub r_atom: usize,
+    /// Index of an atom containing both `A` and `B`.
+    pub s_atom: usize,
+    /// Index of an atom containing `B` but not `A`.
+    pub t_atom: usize,
+}
+
+/// Searches for a non-hierarchical witness; `None` means the query is
+/// hierarchical.
+pub fn non_hierarchical_witness(q: &Query) -> Option<NonHierarchicalWitness> {
+    let at_sets: Vec<BTreeSet<usize>> = q
+        .vars()
+        .map(|v| q.at(v).into_iter().collect())
+        .collect();
+    for a in q.vars() {
+        for b in q.vars() {
+            if a >= b {
+                continue;
+            }
+            let at_a = &at_sets[a.0];
+            let at_b = &at_sets[b.0];
+            let inter: Vec<usize> = at_a.intersection(at_b).copied().collect();
+            if inter.is_empty() || at_a.is_subset(at_b) || at_b.is_subset(at_a) {
+                continue;
+            }
+            let r_atom = *at_a.difference(at_b).next().expect("not a subset");
+            let t_atom = *at_b.difference(at_a).next().expect("not a superset");
+            let s_atom = inter[0];
+            return Some(NonHierarchicalWitness { a, b, r_atom, s_atom, t_atom });
+        }
+    }
+    None
+}
+
+/// Whether `q` is hierarchical (pairwise `at(·)` definition).
+pub fn is_hierarchical(q: &Query) -> bool {
+    non_hierarchical_witness(q).is_none()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{example_query, q_hierarchical, q_non_hierarchical, Query};
+
+    #[test]
+    fn paper_examples_classified() {
+        assert!(is_hierarchical(&example_query()));
+        assert!(is_hierarchical(&q_hierarchical()));
+        assert!(!is_hierarchical(&q_non_hierarchical()));
+    }
+
+    #[test]
+    fn witness_shape_is_correct() {
+        let q = q_non_hierarchical(); // R(X), S(X,Y), T(Y)
+        let w = non_hierarchical_witness(&q).unwrap();
+        let a_atoms = q.at(w.a);
+        let b_atoms = q.at(w.b);
+        assert!(a_atoms.contains(&w.r_atom) && !b_atoms.contains(&w.r_atom));
+        assert!(a_atoms.contains(&w.s_atom) && b_atoms.contains(&w.s_atom));
+        assert!(b_atoms.contains(&w.t_atom) && !a_atoms.contains(&w.t_atom));
+    }
+
+    #[test]
+    fn chain_of_length_three_not_hierarchical() {
+        // Example 5.3: R(A,B), S(B,C), T(C,D) — stuck after eliminating
+        // the private endpoints.
+        let q = Query::new(&[("R", &["A", "B"]), ("S", &["B", "C"]), ("T", &["C", "D"])])
+            .unwrap();
+        assert!(!is_hierarchical(&q));
+    }
+
+    #[test]
+    fn disconnected_query_hierarchical() {
+        // Example 5.4: R(A), S(B).
+        let q = Query::new(&[("R", &["A"]), ("S", &["B"])]).unwrap();
+        assert!(is_hierarchical(&q));
+    }
+
+    #[test]
+    fn single_atom_always_hierarchical() {
+        let q = Query::new(&[("R", &["A", "B", "C"])]).unwrap();
+        assert!(is_hierarchical(&q));
+        let q0 = Query::new(&[("R", &[])]).unwrap();
+        assert!(is_hierarchical(&q0));
+    }
+
+    #[test]
+    fn star_query_hierarchical() {
+        // R(A,B), S(A,C), T(A,D): A dominates, leaves are private.
+        let q = Query::new(&[("R", &["A", "B"]), ("S", &["A", "C"]), ("T", &["A", "D"])])
+            .unwrap();
+        assert!(is_hierarchical(&q));
+    }
+
+    #[test]
+    fn two_overlapping_pairs_not_hierarchical() {
+        // R(A,B), S(B,C): at(A)={R}, at(B)={R,S}, at(C)={S} — this IS
+        // hierarchical. Adding T(A,C) breaks it: at(A)={R,T},
+        // at(C)={S,T} overlap without containment.
+        let q = Query::new(&[("R", &["A", "B"]), ("S", &["B", "C"]), ("T", &["A", "C"])])
+            .unwrap();
+        assert!(!is_hierarchical(&q));
+    }
+}

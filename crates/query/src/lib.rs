@@ -1,0 +1,27 @@
+//! # hq-query — self-join-free Boolean conjunctive queries
+//!
+//! Query representation, parsing, and the structural theory of
+//! *hierarchical* queries from *A Unifying Algorithm for Hierarchical
+//! Queries* (PODS 2025): the pairwise `at(·)` definition, the
+//! elimination procedure of Proposition 5.1 (compiled into executable
+//! [`EliminationPlan`]s that the unifying algorithm replays over
+//! annotated databases), and the witness trees of Proposition 5.5.
+//!
+//! The three hierarchy characterisations are implemented independently
+//! and property-tested to agree — a strong check on each.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod elimination;
+pub mod gen;
+pub mod hierarchy;
+pub mod parser;
+pub mod tree;
+
+pub use ast::{example_query, q_hierarchical, q_non_hierarchical, Atom, Query, QueryError, Var};
+pub use elimination::{plan, plan_with_order, EliminationPlan, NotHierarchical, PlanOrder, Step};
+pub use hierarchy::{is_hierarchical, non_hierarchical_witness, NonHierarchicalWitness};
+pub use parser::{parse_query, ParseQueryError};
+pub use tree::{witness_forest, HierarchyForest};

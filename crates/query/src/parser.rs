@@ -1,0 +1,325 @@
+//! A hand-rolled parser for the textual query syntax.
+//!
+//! Accepted forms (whitespace-insensitive, optional trailing `.`):
+//!
+//! ```text
+//! Q() :- R(A, B), S(A, C), T(A, C, D)
+//! R(A, B), S(A, C)                     # headless body
+//! Q() :- R(A, B) ∧ S(A, C)             # ∧ as a separator
+//! ```
+//!
+//! Identifiers are `[A-Za-z_][A-Za-z0-9_']*`; the primes let query
+//! traces like `R''(A)` round-trip.
+
+use crate::ast::{Query, QueryError};
+use std::fmt;
+
+/// A parse or validation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseQueryError {
+    /// Lexical/syntactic failure at a byte offset.
+    Syntax {
+        /// Byte offset into the input.
+        offset: usize,
+        /// Description of what was expected.
+        message: String,
+    },
+    /// The parsed query violated SJF-BCQ constraints.
+    Invalid(QueryError),
+}
+
+impl fmt::Display for ParseQueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseQueryError::Syntax { offset, message } => {
+                write!(f, "syntax error at offset {offset}: {message}")
+            }
+            ParseQueryError::Invalid(e) => write!(f, "invalid query: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseQueryError {}
+
+struct Lexer<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok<'a> {
+    Ident(&'a str),
+    LParen,
+    RParen,
+    Comma,
+    Turnstile,
+    Dot,
+    Eof,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { src, pos: 0 }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(c) = self.src[self.pos..].chars().next() {
+            if c.is_whitespace() {
+                self.pos += c.len_utf8();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn next(&mut self) -> Result<Tok<'a>, ParseQueryError> {
+        self.skip_ws();
+        let rest = &self.src[self.pos..];
+        let Some(c) = rest.chars().next() else {
+            return Ok(Tok::Eof);
+        };
+        let tok = match c {
+            '(' => {
+                self.pos += 1;
+                Tok::LParen
+            }
+            ')' => {
+                self.pos += 1;
+                Tok::RParen
+            }
+            ',' => {
+                self.pos += 1;
+                Tok::Comma
+            }
+            '∧' => {
+                self.pos += c.len_utf8();
+                Tok::Comma
+            }
+            '.' => {
+                self.pos += 1;
+                Tok::Dot
+            }
+            ':' => {
+                if rest.starts_with(":-") {
+                    self.pos += 2;
+                    Tok::Turnstile
+                } else {
+                    return Err(ParseQueryError::Syntax {
+                        offset: self.pos,
+                        message: "expected ':-'".into(),
+                    });
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let len = rest
+                    .char_indices()
+                    .find(|&(_, ch)| {
+                        !(ch.is_ascii_alphanumeric() || ch == '_' || ch == '\'')
+                    })
+                    .map_or(rest.len(), |(i, _)| i);
+                let ident = &rest[..len];
+                self.pos += len;
+                Tok::Ident(ident)
+            }
+            other => {
+                return Err(ParseQueryError::Syntax {
+                    offset: self.pos,
+                    message: format!("unexpected character '{other}'"),
+                })
+            }
+        };
+        Ok(tok)
+    }
+
+    fn peek(&mut self) -> Result<Tok<'a>, ParseQueryError> {
+        let save = self.pos;
+        let t = self.next();
+        self.pos = save;
+        t
+    }
+
+    fn expect(&mut self, want: Tok<'_>) -> Result<(), ParseQueryError> {
+        let offset = self.pos;
+        let got = self.next()?;
+        if got == want {
+            Ok(())
+        } else {
+            Err(ParseQueryError::Syntax {
+                offset,
+                message: format!("expected {want:?}, found {got:?}"),
+            })
+        }
+    }
+}
+
+/// Parses one atom `Name(v1, …, vk)`; returns `(name, vars)`.
+fn parse_atom<'a>(lex: &mut Lexer<'a>) -> Result<(&'a str, Vec<&'a str>), ParseQueryError> {
+    let offset = lex.pos;
+    let name = match lex.next()? {
+        Tok::Ident(n) => n,
+        other => {
+            return Err(ParseQueryError::Syntax {
+                offset,
+                message: format!("expected relation name, found {other:?}"),
+            })
+        }
+    };
+    lex.expect(Tok::LParen)?;
+    let mut vars = Vec::new();
+    if lex.peek()? == Tok::RParen {
+        lex.next()?;
+        return Ok((name, vars));
+    }
+    loop {
+        let offset = lex.pos;
+        match lex.next()? {
+            Tok::Ident(v) => vars.push(v),
+            other => {
+                return Err(ParseQueryError::Syntax {
+                    offset,
+                    message: format!("expected variable, found {other:?}"),
+                })
+            }
+        }
+        match lex.next()? {
+            Tok::Comma => continue,
+            Tok::RParen => break,
+            other => {
+                return Err(ParseQueryError::Syntax {
+                    offset: lex.pos,
+                    message: format!("expected ',' or ')', found {other:?}"),
+                })
+            }
+        }
+    }
+    Ok((name, vars))
+}
+
+/// Parses a query in any of the accepted forms.
+///
+/// # Errors
+/// Returns [`ParseQueryError`] on malformed syntax or SJF-BCQ violations.
+pub fn parse_query(src: &str) -> Result<Query, ParseQueryError> {
+    let mut lex = Lexer::new(src);
+    // Optional head "Name() :-".
+    let save = lex.pos;
+    let mut has_head = false;
+    if let (Ok(Tok::Ident(_)), ) = (lex.next(), ) {
+        if lex.next() == Ok(Tok::LParen) && lex.next() == Ok(Tok::RParen)
+            && lex.peek()? == Tok::Turnstile {
+                lex.next()?;
+                has_head = true;
+            }
+    }
+    if !has_head {
+        lex.pos = save;
+    }
+    let mut atoms: Vec<(String, Vec<String>)> = Vec::new();
+    loop {
+        let (name, vars) = parse_atom(&mut lex)?;
+        atoms.push((
+            name.to_owned(),
+            vars.into_iter().map(str::to_owned).collect(),
+        ));
+        match lex.next()? {
+            Tok::Comma => continue,
+            Tok::Dot | Tok::Eof => break,
+            other => {
+                return Err(ParseQueryError::Syntax {
+                    offset: lex.pos,
+                    message: format!("expected ',' or end of query, found {other:?}"),
+                })
+            }
+        }
+    }
+    let borrowed: Vec<(&str, Vec<&str>)> = atoms
+        .iter()
+        .map(|(n, vs)| (n.as_str(), vs.iter().map(String::as_str).collect()))
+        .collect();
+    let slices: Vec<(&str, &[&str])> =
+        borrowed.iter().map(|(n, vs)| (*n, vs.as_slice())).collect();
+    Query::new(&slices).map_err(ParseQueryError::Invalid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::example_query;
+
+    #[test]
+    fn parses_with_head() {
+        let q = parse_query("Q() :- R(A, B), S(A, C), T(A, C, D)").unwrap();
+        assert_eq!(q, example_query());
+    }
+
+    #[test]
+    fn parses_headless() {
+        let q = parse_query("R(A,B), S(A,C), T(A,C,D).").unwrap();
+        assert_eq!(q, example_query());
+    }
+
+    #[test]
+    fn parses_wedge_separator() {
+        let q = parse_query("Q() :- E(X, Y) ∧ F(Y, Z)").unwrap();
+        assert_eq!(q.to_string(), "Q() :- E(X, Y), F(Y, Z)");
+    }
+
+    #[test]
+    fn parses_nullary_atom() {
+        let q = parse_query("Q() :- R()").unwrap();
+        assert_eq!(q.atom_count(), 1);
+        assert_eq!(q.var_count(), 0);
+    }
+
+    #[test]
+    fn parses_primed_identifiers() {
+        let q = parse_query("R''(A), S'(A, B)").unwrap();
+        assert_eq!(q.to_string(), "Q() :- R''(A), S'(A, B)");
+    }
+
+    #[test]
+    fn reports_syntax_errors() {
+        assert!(matches!(
+            parse_query("R(A,,B)"),
+            Err(ParseQueryError::Syntax { .. })
+        ));
+        assert!(matches!(
+            parse_query("R(A"),
+            Err(ParseQueryError::Syntax { .. })
+        ));
+        assert!(matches!(
+            parse_query("Q() : R(A)"),
+            Err(ParseQueryError::Syntax { .. })
+        ));
+        assert!(matches!(
+            parse_query(""),
+            Err(ParseQueryError::Syntax { .. })
+        ));
+    }
+
+    #[test]
+    fn reports_validation_errors() {
+        assert!(matches!(
+            parse_query("R(A), R(B)"),
+            Err(ParseQueryError::Invalid(QueryError::SelfJoin { .. }))
+        ));
+        assert!(matches!(
+            parse_query("R(A, A)"),
+            Err(ParseQueryError::Invalid(QueryError::RepeatedVariable { .. }))
+        ));
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        for src in [
+            "Q() :- R(A, B), S(A, C), T(A, C, D)",
+            "Q() :- E(X, Y), F(Y, Z)",
+            "Q() :- R(X), S(X, Y), T(Y)",
+            "Q() :- A(X), B(Y)",
+        ] {
+            let q = parse_query(src).unwrap();
+            let q2 = parse_query(&q.to_string()).unwrap();
+            assert_eq!(q, q2);
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! Witness trees for hierarchical queries (Proposition 5.5).
+//!
+//! A *connected* SJF-BCQ `Q` is hierarchical iff there is a rooted tree
+//! on `vars(Q)` such that every atom's variable set is exactly the set
+//! of variables on some node-to-root path. This module constructs such
+//! a tree (a forest, one tree per connected component) and verifies the
+//! path property — giving a third, independently checkable
+//! characterisation of hierarchy next to the pairwise `at(·)` test and
+//! the elimination procedure.
+
+use crate::ast::{Query, Var};
+use std::collections::BTreeSet;
+
+/// A forest over the query's variables: `parent[v]` is the parent of
+/// variable `v`, or `None` if `v` is a root.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HierarchyForest {
+    parent: Vec<Option<Var>>,
+    roots: Vec<Var>,
+}
+
+impl HierarchyForest {
+    /// The parent of `v` (`None` for roots).
+    pub fn parent(&self, v: Var) -> Option<Var> {
+        self.parent[v.0]
+    }
+
+    /// The component roots.
+    pub fn roots(&self) -> &[Var] {
+        &self.roots
+    }
+
+    /// The set of variables on the path from `v` to its root,
+    /// inclusive.
+    pub fn path_to_root(&self, v: Var) -> BTreeSet<Var> {
+        let mut out = BTreeSet::new();
+        let mut cur = Some(v);
+        while let Some(c) = cur {
+            out.insert(c);
+            cur = self.parent[c.0];
+        }
+        out
+    }
+
+    /// Depth of `v` (root has depth 0).
+    pub fn depth(&self, v: Var) -> usize {
+        let mut d = 0;
+        let mut cur = self.parent[v.0];
+        while let Some(c) = cur {
+            d += 1;
+            cur = self.parent[c.0];
+        }
+        d
+    }
+}
+
+/// Attempts to build a witness forest; `None` iff the query is not
+/// hierarchical (per Proposition 5.5, extended to forests for
+/// disconnected queries).
+pub fn witness_forest(q: &Query) -> Option<HierarchyForest> {
+    let mut parent: Vec<Option<Var>> = vec![None; q.var_count()];
+    let mut roots = Vec::new();
+    for comp in q.connected_components() {
+        // Variables in scope for this component.
+        let vars: BTreeSet<Var> = comp
+            .iter()
+            .flat_map(|&i| q.atoms()[i].vars.iter().copied())
+            .collect();
+        if vars.is_empty() {
+            continue; // purely nullary component: nothing to place
+        }
+        let root = build_component(q, &comp, &vars, None, &mut parent)?;
+        roots.push(root);
+    }
+    Some(HierarchyForest { parent, roots })
+}
+
+/// Recursively builds the tree for the atoms `comp` restricted to the
+/// in-scope variables `scope`, hanging the subtree under `attach`.
+/// Returns the topmost variable placed.
+fn build_component(
+    q: &Query,
+    comp: &[usize],
+    scope: &BTreeSet<Var>,
+    attach: Option<Var>,
+    parent: &mut Vec<Option<Var>>,
+) -> Option<Var> {
+    // Universal variables: in-scope vars occurring in *every* atom of
+    // the component. A connected hierarchical component must have one.
+    let universal: Vec<Var> = scope
+        .iter()
+        .copied()
+        .filter(|&v| {
+            comp.iter().all(|&i| q.atoms()[i].vars.contains(&v))
+        })
+        .collect();
+    if universal.is_empty() {
+        return None; // stuck: not hierarchical
+    }
+    // Chain the universal variables (order within the chain is
+    // irrelevant: every atom contains all of them).
+    let mut above = attach;
+    for &u in &universal {
+        parent[u.0] = above;
+        above = Some(u);
+    }
+    let deepest = *universal.last().expect("non-empty");
+    // Remove them from scope; atoms whose remaining var set is empty
+    // drop out; the rest splits into sub-components.
+    let remaining: BTreeSet<Var> = scope
+        .iter()
+        .copied()
+        .filter(|v| !universal.contains(v))
+        .collect();
+    let live_atoms: Vec<usize> = comp
+        .iter()
+        .copied()
+        .filter(|&i| q.atoms()[i].vars.iter().any(|v| remaining.contains(v)))
+        .collect();
+    for sub in sub_components(q, &live_atoms, &remaining) {
+        let sub_scope: BTreeSet<Var> = sub
+            .iter()
+            .flat_map(|&i| q.atoms()[i].vars.iter().copied())
+            .filter(|v| remaining.contains(v))
+            .collect();
+        build_component(q, &sub, &sub_scope, Some(deepest), parent)?;
+    }
+    Some(universal[0])
+}
+
+/// Connected components of `atoms` where adjacency is sharing an
+/// *in-scope* variable.
+fn sub_components(q: &Query, atoms: &[usize], scope: &BTreeSet<Var>) -> Vec<Vec<usize>> {
+    let mut assigned: Vec<bool> = vec![false; atoms.len()];
+    let scoped_vars = |i: usize| -> BTreeSet<Var> {
+        q.atoms()[atoms[i]]
+            .vars
+            .iter()
+            .copied()
+            .filter(|v| scope.contains(v))
+            .collect()
+    };
+    let mut out = Vec::new();
+    for start in 0..atoms.len() {
+        if assigned[start] {
+            continue;
+        }
+        let mut group = vec![atoms[start]];
+        assigned[start] = true;
+        let mut frontier = vec![start];
+        while let Some(i) = frontier.pop() {
+            let vi = scoped_vars(i);
+            for j in 0..atoms.len() {
+                if !assigned[j] && scoped_vars(j).intersection(&vi).next().is_some() {
+                    assigned[j] = true;
+                    group.push(atoms[j]);
+                    frontier.push(j);
+                }
+            }
+        }
+        out.push(group);
+    }
+    out
+}
+
+/// Checks the Proposition 5.5 property: every atom's variable set is
+/// exactly some node-to-root path in the forest.
+pub fn verify_forest(q: &Query, forest: &HierarchyForest) -> bool {
+    q.atoms().iter().all(|atom| {
+        let vs = atom.var_set();
+        if vs.is_empty() {
+            return true; // nullary atoms carry no path constraint
+        }
+        vs.iter().any(|&y| forest.path_to_root(y) == vs)
+    })
+}
+
+/// Hierarchy test via witness-tree existence — the third
+/// characterisation, cross-checked against the other two by property
+/// tests.
+pub fn is_hierarchical_by_tree(q: &Query) -> bool {
+    match witness_forest(q) {
+        Some(f) => {
+            debug_assert!(verify_forest(q, &f), "constructed forest must verify");
+            true
+        }
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{example_query, q_hierarchical, q_non_hierarchical, Query};
+
+    #[test]
+    fn example_query_tree() {
+        let q = example_query(); // R(A,B), S(A,C), T(A,C,D)
+        let f = witness_forest(&q).unwrap();
+        assert!(verify_forest(&q, &f));
+        // A must be the root (it is the only variable in all atoms).
+        assert_eq!(f.roots(), &[Var(0)]);
+        assert_eq!(f.parent(Var(0)), None);
+        // B hangs off A; C off A; D off C.
+        assert_eq!(f.parent(Var(1)), Some(Var(0)));
+        assert_eq!(f.parent(Var(2)), Some(Var(0)));
+        assert_eq!(f.parent(Var(3)), Some(Var(2)));
+    }
+
+    #[test]
+    fn q_h_tree() {
+        let q = q_hierarchical(); // E(X,Y), F(Y,Z)
+        let f = witness_forest(&q).unwrap();
+        assert!(verify_forest(&q, &f));
+        // Y is universal → root; X and Z are leaves under Y.
+        assert_eq!(f.roots().len(), 1);
+        let root = f.roots()[0];
+        assert_eq!(q.var_name(root), "Y");
+    }
+
+    #[test]
+    fn non_hierarchical_has_no_tree() {
+        assert!(witness_forest(&q_non_hierarchical()).is_none());
+        let chain = Query::new(&[("R", &["A", "B"]), ("S", &["B", "C"]), ("T", &["C", "D"])])
+            .unwrap();
+        assert!(witness_forest(&chain).is_none());
+    }
+
+    #[test]
+    fn disconnected_query_gets_forest() {
+        let q = Query::new(&[("R", &["A"]), ("S", &["B"])]).unwrap();
+        let f = witness_forest(&q).unwrap();
+        assert_eq!(f.roots().len(), 2);
+        assert!(verify_forest(&q, &f));
+    }
+
+    #[test]
+    fn chained_universal_vars() {
+        // R(A,B), S(A,B): both vars universal — must be chained so the
+        // single path {A,B} covers both atoms.
+        let q = Query::new(&[("R", &["A", "B"]), ("S", &["A", "B"])]).unwrap();
+        let f = witness_forest(&q).unwrap();
+        assert!(verify_forest(&q, &f));
+        assert_eq!(f.roots().len(), 1);
+        let depths: Vec<usize> = q.vars().map(|v| f.depth(v)).collect();
+        let mut sorted = depths.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1]);
+    }
+
+    #[test]
+    fn path_to_root_is_inclusive() {
+        let q = example_query();
+        let f = witness_forest(&q).unwrap();
+        let path = f.path_to_root(Var(3)); // D → C → A
+        let expected: BTreeSet<Var> = [Var(0), Var(2), Var(3)].into_iter().collect();
+        assert_eq!(path, expected);
+    }
+
+    #[test]
+    fn three_characterisations_agree_on_examples() {
+        use crate::elimination::is_hierarchical_by_elimination;
+        use crate::hierarchy::is_hierarchical;
+        let queries = [
+            example_query(),
+            q_hierarchical(),
+            q_non_hierarchical(),
+            Query::new(&[("R", &["A"]), ("S", &["B"])]).unwrap(),
+            Query::new(&[("R", &["A", "B"]), ("S", &["A", "B"])]).unwrap(),
+            Query::new(&[("R", &["A", "B"]), ("S", &["B", "C"]), ("T", &["A", "C"])])
+                .unwrap(),
+        ];
+        for q in queries {
+            let pairwise = is_hierarchical(&q);
+            assert_eq!(pairwise, is_hierarchical_by_elimination(&q), "{q}");
+            assert_eq!(pairwise, is_hierarchical_by_tree(&q), "{q}");
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Property tests for the query layer: parser round-trips, hierarchy
+//! characterisation agreement, and plan invariants on random queries.
+
+use hq_query::gen::{random_hierarchical, random_query};
+use hq_query::{
+    is_hierarchical, non_hierarchical_witness, parse_query, plan, plan_with_order, witness_forest,
+    PlanOrder, Step,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// Display → parse is the identity on random queries.
+    #[test]
+    fn display_parse_roundtrip(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let q = random_query(&mut rng, 6, 6);
+        let reparsed = parse_query(&q.to_string()).unwrap();
+        prop_assert_eq!(q, reparsed);
+    }
+
+    /// The three hierarchy characterisations agree on arbitrary queries.
+    #[test]
+    fn characterisations_agree(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let q = random_query(&mut rng, 6, 6);
+        let pairwise = is_hierarchical(&q);
+        prop_assert_eq!(pairwise, plan(&q).is_ok(), "{}", q);
+        prop_assert_eq!(pairwise, witness_forest(&q).is_some(), "{}", q);
+        // Witness exists exactly when non-hierarchical.
+        prop_assert_eq!(pairwise, non_hierarchical_witness(&q).is_none());
+    }
+
+    /// Plans of hierarchical queries always have |vars| Rule-1 steps,
+    /// |atoms|-1 Rule-2 steps, and only reference alive slots.
+    #[test]
+    fn plan_shape_invariants(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let q = random_hierarchical(&mut rng, 6, 6);
+        for order in [PlanOrder::Rule1First, PlanOrder::Rule2First, PlanOrder::Rule1HighVar] {
+            let p = plan_with_order(&q, order).unwrap();
+            prop_assert_eq!(p.rule1_count(), q.var_count(), "{} {:?}", q, order);
+            prop_assert_eq!(p.rule2_count(), q.atom_count() - 1, "{} {:?}", q, order);
+            // Replay: every referenced slot must be alive, and each var
+            // projected exactly once.
+            let mut alive = vec![true; q.atom_count()];
+            let mut projected = vec![false; q.var_count()];
+            for step in p.steps() {
+                match *step {
+                    Step::ProjectOut { atom, var } => {
+                        prop_assert!(alive[atom]);
+                        prop_assert!(!projected[var.0], "var projected twice");
+                        projected[var.0] = true;
+                    }
+                    Step::Merge { left, right } => {
+                        prop_assert!(alive[left] && alive[right] && left != right);
+                        alive[right] = false;
+                    }
+                }
+            }
+            prop_assert!(alive[p.root()]);
+            prop_assert_eq!(alive.iter().filter(|&&a| a).count(), 1);
+        }
+    }
+
+    /// Witness forests satisfy the Prop. 5.5 path property on every
+    /// random hierarchical query.
+    #[test]
+    fn witness_forest_verifies(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let q = random_hierarchical(&mut rng, 6, 6);
+        let forest = witness_forest(&q).expect("generator is sound");
+        prop_assert!(hq_query::tree::verify_forest(&q, &forest), "{}", q);
+    }
+}

@@ -1,0 +1,217 @@
+//! K-annotated relations and databases.
+//!
+//! The unifying algorithm operates on relations whose tuples carry
+//! annotations from a 2-monoid carrier `K` (Section 2 of the paper).
+//! We store only the *support* — tuples with annotation ≠ `0` — since
+//! `0` is the ⊕-identity and `0 ⊗ 0 = 0` guarantees absent-on-both-sides
+//! tuples stay absent (Lemma 6.6). Tuples absent from exactly one side
+//! of a merge are filled with `0` explicitly, because 2-monoids need
+//! not annihilate (`a ⊗ 0 ≠ 0` in the Shapley monoid).
+//!
+//! Column order is canonicalised to ascending variable id so that two
+//! atoms with equal variable *sets* (the Rule 2 precondition) have
+//! directly comparable keys. Maps are `BTreeMap`s: deterministic
+//! iteration makes floating-point results and benchmarks reproducible.
+
+use hq_db::{Fact, Interner, Tuple};
+use hq_query::{Query, Var};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A relation annotated with values from a 2-monoid carrier `K`,
+/// storing its support only.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnnotatedRelation<K> {
+    /// The schema: variable ids in ascending order.
+    pub vars: Vec<Var>,
+    /// Support tuples (keyed in `vars` order) and their annotations.
+    pub map: BTreeMap<Tuple, K>,
+}
+
+impl<K> AnnotatedRelation<K> {
+    /// An empty relation over the given (sorted) variable list.
+    pub fn empty(vars: Vec<Var>) -> Self {
+        debug_assert!(vars.windows(2).all(|w| w[0] < w[1]), "vars must be sorted");
+        AnnotatedRelation { vars, map: BTreeMap::new() }
+    }
+
+    /// Support size `|supp(R)|` (Definition 6.5).
+    pub fn support_size(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// A K-annotated database: one relation slot per query atom, in the
+/// query's atom order. Slots become `None` as Rule 2 merges consume
+/// them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnnotatedDb<K> {
+    /// One slot per original atom.
+    pub slots: Vec<Option<AnnotatedRelation<K>>>,
+}
+
+impl<K> AnnotatedDb<K> {
+    /// Total support size `|D|` across alive slots (Definition 6.5).
+    pub fn support_size(&self) -> usize {
+        self.slots
+            .iter()
+            .flatten()
+            .map(AnnotatedRelation::support_size)
+            .sum()
+    }
+}
+
+/// Errors building an annotated database from facts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnnotateError {
+    /// A fact's tuple arity disagrees with the query atom.
+    ArityMismatch {
+        /// Relation name.
+        rel: String,
+        /// Arity in the query atom.
+        atom_arity: usize,
+        /// Arity of the offending fact.
+        fact_arity: usize,
+    },
+    /// The same fact was supplied twice (ambiguous annotation).
+    DuplicateFact {
+        /// Rendered fact.
+        fact: String,
+    },
+}
+
+impl fmt::Display for AnnotateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnnotateError::ArityMismatch { rel, atom_arity, fact_arity } => write!(
+                f,
+                "fact for relation '{rel}' has arity {fact_arity}, query atom has arity {atom_arity}"
+            ),
+            AnnotateError::DuplicateFact { fact } => {
+                write!(f, "fact {fact} annotated twice")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnnotateError {}
+
+/// Builds a K-annotated database for `q` from `(fact, annotation)`
+/// pairs. Facts over relations that do not occur in the query are
+/// ignored (they cannot influence a self-join-free query). Each slot's
+/// key tuples are reordered from the atom's written variable order to
+/// ascending variable id.
+///
+/// # Errors
+/// Returns [`AnnotateError`] on arity mismatches or duplicate facts.
+pub fn annotate<K>(
+    q: &Query,
+    interner: &Interner,
+    facts: impl IntoIterator<Item = (Fact, K)>,
+) -> Result<AnnotatedDb<K>, AnnotateError> {
+    // Map relation symbol → (slot index, projection positions).
+    let mut by_rel: BTreeMap<hq_db::Sym, (usize, Vec<usize>)> = BTreeMap::new();
+    let mut slots: Vec<Option<AnnotatedRelation<K>>> = Vec::with_capacity(q.atom_count());
+    for (i, atom) in q.atoms().iter().enumerate() {
+        let mut sorted = atom.vars.clone();
+        sorted.sort_unstable();
+        // For each sorted var, the position it occupies in the written atom.
+        let positions: Vec<usize> = sorted
+            .iter()
+            .map(|v| {
+                atom.vars
+                    .iter()
+                    .position(|w| w == v)
+                    .expect("sorted vars come from the atom")
+            })
+            .collect();
+        if let Some(sym) = interner.get(&atom.rel) {
+            by_rel.insert(sym, (i, positions));
+        }
+        slots.push(Some(AnnotatedRelation::empty(sorted)));
+    }
+    for (fact, k) in facts {
+        let Some(&(slot, ref positions)) = by_rel.get(&fact.rel) else {
+            continue; // relation not mentioned by the query
+        };
+        let atom = &q.atoms()[slot];
+        if fact.tuple.arity() != atom.vars.len() {
+            return Err(AnnotateError::ArityMismatch {
+                rel: atom.rel.clone(),
+                atom_arity: atom.vars.len(),
+                fact_arity: fact.tuple.arity(),
+            });
+        }
+        let key = fact.tuple.project(positions);
+        let rel = slots[slot].as_mut().expect("slots all alive during annotate");
+        if rel.map.insert(key, k).is_some() {
+            return Err(AnnotateError::DuplicateFact {
+                fact: fact.display(interner).to_string(),
+            });
+        }
+    }
+    Ok(AnnotatedDb { slots })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hq_db::db_from_ints;
+    use hq_query::{example_query, Query};
+
+    #[test]
+    fn annotate_reorders_to_sorted_vars() {
+        // A is var 0 (appears first in V), B is var 1. The atom U(B, A)
+        // is written in reverse id order, so its key tuples must be
+        // reordered to ascending id order (A, B).
+        let q = Query::new(&[("V", &["A"]), ("U", &["B", "A"])]).unwrap();
+        let (db, i) = db_from_ints(&[("U", &[&[10, 20]])]); // U(B=10, A=20)
+        let annotated =
+            annotate(&q, &i, db.facts().into_iter().map(|f| (f, 1u64))).unwrap();
+        let rel = annotated.slots[1].as_ref().unwrap();
+        assert_eq!(rel.vars, vec![Var(0), Var(1)]);
+        // Key must be (A=20, B=10).
+        let key = rel.map.keys().next().unwrap();
+        assert_eq!(key, &Tuple::ints(&[20, 10]));
+    }
+
+    #[test]
+    fn ignores_unrelated_relations() {
+        let q = example_query();
+        let (db, i) = db_from_ints(&[("R", &[&[1, 5]]), ("Unrelated", &[&[9]])]);
+        let annotated =
+            annotate(&q, &i, db.facts().into_iter().map(|f| (f, 1.0f64))).unwrap();
+        assert_eq!(annotated.support_size(), 1);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let q = example_query();
+        let (db, i) = db_from_ints(&[("R", &[&[1]])]); // R should be binary
+        let err =
+            annotate(&q, &i, db.facts().into_iter().map(|f| (f, 1.0f64))).unwrap_err();
+        assert!(matches!(err, AnnotateError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn duplicate_fact_rejected() {
+        let q = example_query();
+        let (db, i) = db_from_ints(&[("R", &[&[1, 5]])]);
+        let fact = db.facts().pop().unwrap();
+        let err = annotate(&q, &i, vec![(fact.clone(), 1u64), (fact, 2u64)]).unwrap_err();
+        assert!(matches!(err, AnnotateError::DuplicateFact { .. }));
+    }
+
+    #[test]
+    fn support_size_counts_all_slots() {
+        let q = example_query();
+        let (db, i) = db_from_ints(&[
+            ("R", &[&[1, 5]]),
+            ("S", &[&[1, 1], &[1, 2]]),
+            ("T", &[&[1, 2, 4]]),
+        ]);
+        let annotated =
+            annotate(&q, &i, db.facts().into_iter().map(|f| (f, 1u64))).unwrap();
+        assert_eq!(annotated.support_size(), 4);
+    }
+}

@@ -1,0 +1,321 @@
+//! Bag-Set Maximization front-end (Theorem 5.11).
+//!
+//! Given `(D, D_r, θ)`, computes — for *every* budget `i ≤ θ` at once —
+//! the maximum bag-set value `Q(D')` over valid repairs
+//! `D ⊆ D' ⊆ D ∪ D_r` with `|D' \ D| ≤ i`, in time
+//! `O((|D| + |D_r|) · |D_r|²)`.
+//!
+//! The ψ-encoding of Definition 5.10 annotates facts already in `D`
+//! with the all-ones vector `1` (multiplicity 1 for free), facts only
+//! in `D_r` with `★ = (0, 1, 1, …)` (multiplicity 1 after paying one
+//! budget unit), and everything else implicitly with `0`.
+
+use crate::engine::{evaluate, EngineStats, UnifyError};
+use hq_db::{Database, Fact, Interner};
+use hq_monoid::{BagMaxMonoid, BudgetVec, TwoMonoid};
+use hq_query::Query;
+
+/// The result of a Bag-Set Maximization run: the full budget curve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BsmSolution {
+    /// `curve.get(i)` is the best achievable `Q(D')` with ≤ `i` added facts.
+    pub curve: BudgetVec,
+    /// Engine instrumentation.
+    pub stats: EngineStats,
+}
+
+impl BsmSolution {
+    /// The answer to the Bag-Set Maximization instance: `q(θ)`.
+    pub fn optimum(&self) -> u64 {
+        self.curve.get(self.curve.len() - 1)
+    }
+
+    /// The best value within budget `i`.
+    ///
+    /// # Panics
+    /// Panics if `i > θ`.
+    pub fn value_at(&self, i: usize) -> u64 {
+        self.curve.get(i)
+    }
+}
+
+/// Builds the ψ-annotated fact list of Definition 5.10.
+///
+/// Facts present in `d` get `1`; facts in `d_r` but not `d` get `★`.
+/// The encoding is restricted to relations mentioned by the query —
+/// other facts cannot affect a self-join-free query.
+pub fn psi_encoding(
+    monoid: &BagMaxMonoid,
+    d: &Database,
+    d_r: &Database,
+) -> Vec<(Fact, BudgetVec)> {
+    let mut out = Vec::with_capacity(d.fact_count() + d_r.fact_count());
+    for f in d.facts() {
+        out.push((f, monoid.one()));
+    }
+    for f in d_r.facts() {
+        if !d.contains(&f) {
+            out.push((f, monoid.star()));
+        }
+    }
+    out
+}
+
+/// Solves Bag-Set Maximization for a hierarchical query.
+///
+/// # Errors
+/// Returns [`UnifyError::NotHierarchical`] for non-hierarchical queries
+/// (for which the problem is NP-complete — Theorem 4.4) and
+/// [`UnifyError::Annotate`] for schema mismatches.
+pub fn maximize(
+    q: &Query,
+    interner: &Interner,
+    d: &Database,
+    d_r: &Database,
+    theta: usize,
+) -> Result<BsmSolution, UnifyError> {
+    let monoid = BagMaxMonoid::new(theta);
+    let facts = psi_encoding(&monoid, d, d_r);
+    let (curve, stats) = evaluate(&monoid, q, interner, facts)?;
+    debug_assert!(curve.is_monotone(), "output curve must be monotone");
+    Ok(BsmSolution { curve, stats })
+}
+
+/// A Bag-Set Maximization solution carrying an optimal repair per
+/// budget, not just its value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BsmRepairSolution {
+    /// Witness-carrying budget curve.
+    pub curve: hq_monoid::WitnessVec,
+    /// The repair-candidate facts referenced by the curve's ids.
+    pub candidates: Vec<Fact>,
+    /// Engine instrumentation.
+    pub stats: EngineStats,
+}
+
+impl BsmRepairSolution {
+    /// The best value within budget `i`.
+    pub fn value_at(&self, i: usize) -> u64 {
+        self.curve.value_at(i)
+    }
+
+    /// One optimal repair (facts to add) for budget `i`.
+    pub fn repair_at(&self, i: usize) -> Vec<Fact> {
+        self.curve
+            .facts_at(i)
+            .iter()
+            .map(|&id| self.candidates[id as usize].clone())
+            .collect()
+    }
+}
+
+/// Solves Bag-Set Maximization *and* extracts an optimal repair set
+/// for every budget `i ≤ θ`, by running Algorithm 1 over the
+/// witness-tracking variant of the Definition 5.9 monoid. Same
+/// asymptotics as [`maximize`] with an extra `O(θ)` factor on the
+/// convolution constants.
+///
+/// ```
+/// use hq_db::{db_from_ints, Database, Tuple};
+/// use hq_query::parse_query;
+///
+/// let q = parse_query("Q() :- R(X)").unwrap();
+/// let (d, i) = db_from_ints(&[("R", &[&[1]])]);
+/// let (d_r, _) = db_from_ints(&[("R", &[&[2], &[3]])]);
+/// let sol = hq_unify::bsm::maximize_with_repair(&q, &i, &d, &d_r, 1).unwrap();
+/// assert_eq!(sol.value_at(1), 2);
+/// assert_eq!(sol.repair_at(1).len(), 1); // one bought fact suffices
+/// ```
+///
+/// # Errors
+/// Same failure modes as [`maximize`].
+pub fn maximize_with_repair(
+    q: &Query,
+    interner: &Interner,
+    d: &Database,
+    d_r: &Database,
+    theta: usize,
+) -> Result<BsmRepairSolution, UnifyError> {
+    use hq_monoid::BagMaxWitnessMonoid;
+    let monoid = BagMaxWitnessMonoid::new(theta);
+    let candidates: Vec<Fact> = d_r
+        .facts()
+        .into_iter()
+        .filter(|f| !d.contains(f))
+        .collect();
+    let mut facts = Vec::with_capacity(d.fact_count() + candidates.len());
+    for f in d.facts() {
+        facts.push((f, monoid.one()));
+    }
+    for (id, f) in candidates.iter().enumerate() {
+        facts.push((f.clone(), monoid.star(u32::try_from(id).expect("fact id fits u32"))));
+    }
+    let (curve, stats) = evaluate(&monoid, q, interner, facts)?;
+    Ok(BsmRepairSolution { curve, candidates, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hq_db::{count_matches, db_from_ints, Tuple};
+    use hq_query::{example_query, q_non_hierarchical, Query};
+
+    /// The exact instance of Figure 1 with the query of Eq. (1).
+    fn fig1() -> (Database, Database, Interner) {
+        let (d, mut i) = db_from_ints(&[
+            ("R", &[&[1, 5]]),
+            ("S", &[&[1, 1], &[1, 2]]),
+            ("T", &[&[1, 2, 4]]),
+        ]);
+        let r = i.intern("R");
+        let t = i.intern("T");
+        let mut d_r = Database::new();
+        d_r.insert_tuple(r, Tuple::ints(&[1, 6]));
+        d_r.insert_tuple(r, Tuple::ints(&[1, 7]));
+        d_r.insert_tuple(t, Tuple::ints(&[1, 1, 4]));
+        d_r.insert_tuple(t, Tuple::ints(&[1, 2, 9]));
+        (d, d_r, i)
+    }
+
+    #[test]
+    fn figure_1_optimum_is_4() {
+        // The paper's worked example: θ = 2 → optimum 4, achieved by
+        // adding R(1,6) and T(1,2,9).
+        let (d, d_r, i) = fig1();
+        let sol = maximize(&example_query(), &i, &d, &d_r, 2).unwrap();
+        assert_eq!(sol.optimum(), 4);
+        // And the whole budget curve: 1 at θ=0, 2 at θ=1.
+        assert_eq!(sol.value_at(0), 1);
+        assert_eq!(sol.value_at(1), 2);
+    }
+
+    #[test]
+    fn figure_1_larger_budgets() {
+        // θ=3: R(1,6) + R(1,7) + T(1,2,9) → R-block 3 × (S,T)-block 2 = 6.
+        // θ=4: all four repair facts → 3 R-facts × (T(1,1,4)+2·T(1,2,*))
+        //      = 3 × 3 = 9.
+        let (d, d_r, i) = fig1();
+        let sol = maximize(&example_query(), &i, &d, &d_r, 4).unwrap();
+        assert_eq!(sol.value_at(3), 6);
+        assert_eq!(sol.value_at(4), 9);
+    }
+
+    #[test]
+    fn zero_budget_equals_plain_count() {
+        let (d, d_r, mut i) = fig1();
+        let q = example_query();
+        let sol = maximize(&q, &i, &d, &d_r, 0).unwrap();
+        let pattern = q.to_pattern(&mut i);
+        assert_eq!(sol.optimum(), hq_db::count_matches(&d, &pattern).unwrap());
+    }
+
+    #[test]
+    fn budget_beyond_repair_db_saturates() {
+        let (d, d_r, i) = fig1();
+        let q = example_query();
+        let full = maximize(&q, &i, &d, &d_r, 10).unwrap();
+        // Adding everything: 3 R-facts × 3 (S⋈T) combos = 9.
+        assert_eq!(full.optimum(), 9);
+        assert_eq!(full.value_at(4), 9, "all useful facts bought by θ=4");
+    }
+
+    #[test]
+    fn curve_is_monotone() {
+        let (d, d_r, i) = fig1();
+        let sol = maximize(&example_query(), &i, &d, &d_r, 6).unwrap();
+        assert!(sol.curve.is_monotone());
+    }
+
+    #[test]
+    fn empty_repair_database() {
+        let (d, _, i) = fig1();
+        let sol = maximize(&example_query(), &i, &d, &Database::new(), 3).unwrap();
+        assert_eq!(sol.optimum(), 1);
+    }
+
+    #[test]
+    fn repair_facts_already_in_d_cost_nothing() {
+        // If D_r duplicates a fact of D, it must be annotated 1, not ★.
+        let (d, i) = db_from_ints(&[("R", &[&[1]])]);
+        let r = i.get("R").unwrap();
+        let mut d_r = Database::new();
+        d_r.insert_tuple(r, Tuple::ints(&[1])); // duplicate of D
+        d_r.insert_tuple(r, Tuple::ints(&[2]));
+        let q = Query::new(&[("R", &["X"])]).unwrap();
+        let sol = maximize(&q, &i, &d, &d_r, 1).unwrap();
+        assert_eq!(sol.value_at(0), 1);
+        assert_eq!(sol.value_at(1), 2);
+    }
+
+    #[test]
+    fn rejects_non_hierarchical() {
+        let (d, d_r, i) = fig1();
+        assert!(matches!(
+            maximize(&q_non_hierarchical(), &i, &d, &d_r, 2),
+            Err(UnifyError::NotHierarchical(_))
+        ));
+        assert!(matches!(
+            maximize_with_repair(&q_non_hierarchical(), &i, &d, &d_r, 2),
+            Err(UnifyError::NotHierarchical(_))
+        ));
+    }
+
+    #[test]
+    fn witness_values_match_plain_solver() {
+        let (d, d_r, i) = fig1();
+        let q = example_query();
+        let plain = maximize(&q, &i, &d, &d_r, 4).unwrap();
+        let with = maximize_with_repair(&q, &i, &d, &d_r, 4).unwrap();
+        for t in 0..=4 {
+            assert_eq!(plain.value_at(t), with.value_at(t), "θ'={t}");
+        }
+    }
+
+    #[test]
+    fn extracted_repairs_are_valid_and_optimal() {
+        // Materialise each budget's repair and re-count: the value must
+        // be exactly the claimed optimum and the repair within budget.
+        let (d, d_r, mut i) = fig1();
+        let q = example_query();
+        let sol = maximize_with_repair(&q, &i, &d, &d_r, 4).unwrap();
+        let pattern = q.to_pattern(&mut i);
+        for t in 0..=4 {
+            let repair = sol.repair_at(t);
+            assert!(repair.len() <= t, "budget exceeded at θ'={t}");
+            let mut repaired = d.clone();
+            for f in &repair {
+                assert!(d_r.contains(f), "repair fact must come from D_r");
+                assert!(!d.contains(f), "repair fact must be new");
+                repaired.insert(f.clone());
+            }
+            assert_eq!(
+                count_matches(&repaired, &pattern).unwrap(),
+                sol.value_at(t),
+                "θ'={t} repair {repair:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fig1_theta2_repair_pairs_r_with_t() {
+        let (d, d_r, i) = fig1();
+        let q = example_query();
+        let sol = maximize_with_repair(&q, &i, &d, &d_r, 2).unwrap();
+        assert_eq!(sol.value_at(2), 4);
+        let names: Vec<String> = sol
+            .repair_at(2)
+            .iter()
+            .map(|f| f.display(&i).to_string())
+            .collect();
+        assert_eq!(names.len(), 2);
+        assert!(names.iter().any(|n| n.starts_with("R(1, ")), "{names:?}");
+        assert!(names.iter().any(|n| n.starts_with("T(1, ")), "{names:?}");
+    }
+
+    #[test]
+    fn support_never_grows() {
+        let (d, d_r, i) = fig1();
+        let sol = maximize(&example_query(), &i, &d, &d_r, 3).unwrap();
+        assert!(sol.stats.support_never_grew());
+    }
+}

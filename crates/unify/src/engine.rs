@@ -1,0 +1,409 @@
+//! Algorithm 1: the general-purpose unifying algorithm for
+//! hierarchical queries.
+//!
+//! The engine replays a precompiled [`EliminationPlan`] over a
+//! K-annotated database:
+//!
+//! * **Rule 1** (`ProjectOut`) becomes a ⊕-aggregating projection:
+//!   `R'(x̄') = ⊕_y R(x̄', y)`, restricted to the support since `0` is
+//!   the ⊕-identity (line 4 of Algorithm 1).
+//! * **Rule 2** (`Merge`) becomes a ⊗-*outer* join on the shared
+//!   variable set: `R'(x̄) = R₁(x̄) ⊗ R₂(x̄)` over the **union** of the
+//!   two supports, filling the missing side with `0` — required because
+//!   2-monoids need not annihilate (`a ⊗ 0 ≠ 0` in the Shapley monoid);
+//!   tuples absent from *both* sides stay absent thanks to `0 ⊗ 0 = 0`
+//!   (Lemma 6.6).
+//!
+//! The engine counts ⊕/⊗ operations and tracks support sizes per step,
+//! making Theorem 6.7 (linearly many operations) and Lemma 6.6
+//! (support never grows) directly measurable (experiment E11).
+
+use crate::annotated::{annotate, AnnotateError, AnnotatedDb, AnnotatedRelation};
+use hq_db::{Fact, Interner, Tuple};
+use hq_monoid::TwoMonoid;
+use hq_query::{plan, EliminationPlan, NotHierarchical, Query, Step};
+use std::fmt;
+
+/// Instrumentation collected by a run of Algorithm 1.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Number of ⊕ applications.
+    pub add_ops: u64,
+    /// Number of ⊗ applications.
+    pub mul_ops: u64,
+    /// Total support size after each step (index 0 = initial).
+    pub support_sizes: Vec<usize>,
+}
+
+impl EngineStats {
+    /// Lemma 6.6: the K-annotated database size never increases.
+    pub fn support_never_grew(&self) -> bool {
+        self.support_sizes.windows(2).all(|w| w[1] <= w[0])
+    }
+
+    /// Total ⊕ + ⊗ operations (Theorem 6.7 bounds this by `O(|D|)`).
+    pub fn total_ops(&self) -> u64 {
+        self.add_ops + self.mul_ops
+    }
+}
+
+/// Errors from the high-level entry points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UnifyError {
+    /// The query is not hierarchical; Algorithm 1 does not apply
+    /// (and the problem is intractable in general — Theorem 4.4).
+    NotHierarchical(NotHierarchical),
+    /// The fact list did not match the query schema.
+    Annotate(AnnotateError),
+}
+
+impl fmt::Display for UnifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnifyError::NotHierarchical(e) => write!(f, "{e}"),
+            UnifyError::Annotate(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for UnifyError {}
+
+impl From<NotHierarchical> for UnifyError {
+    fn from(e: NotHierarchical) -> Self {
+        UnifyError::NotHierarchical(e)
+    }
+}
+
+impl From<AnnotateError> for UnifyError {
+    fn from(e: AnnotateError) -> Self {
+        UnifyError::Annotate(e)
+    }
+}
+
+/// Executes a compiled plan over an annotated database, returning the
+/// final annotation of the nullary tuple `()` and the run statistics.
+///
+/// The result is `0` when the final relation has empty support (no
+/// fact combination reaches the root), mirroring `⊕` over an empty
+/// index set.
+pub fn run_plan<M: TwoMonoid>(
+    monoid: &M,
+    plan: &EliminationPlan,
+    mut db: AnnotatedDb<M::Elem>,
+) -> (M::Elem, EngineStats) {
+    let mut stats = EngineStats::default();
+    stats.support_sizes.push(db.support_size());
+    for step in plan.steps() {
+        match *step {
+            Step::ProjectOut { atom, var } => {
+                let rel = db.slots[atom].take().expect("plan references alive slot");
+                db.slots[atom] = Some(project_out(monoid, rel, var, &mut stats));
+            }
+            Step::Merge { left, right } => {
+                let l = db.slots[left].take().expect("plan references alive slot");
+                let r = db.slots[right].take().expect("plan references alive slot");
+                db.slots[left] = Some(merge(monoid, l, r, &mut stats));
+            }
+        }
+        stats.support_sizes.push(db.support_size());
+    }
+    let root = db.slots[plan.root()].take().expect("root slot alive at end");
+    debug_assert!(root.vars.is_empty(), "root must be nullary");
+    let result = root
+        .map
+        .get(&Tuple::empty())
+        .cloned()
+        .unwrap_or_else(|| monoid.zero());
+    (result, stats)
+}
+
+/// Rule 1: `R'(x̄') = ⊕_y R(x̄', y)` over the support.
+pub(crate) fn project_out<M: TwoMonoid>(
+    monoid: &M,
+    rel: AnnotatedRelation<M::Elem>,
+    var: hq_query::Var,
+    stats: &mut EngineStats,
+) -> AnnotatedRelation<M::Elem> {
+    let pos = rel
+        .vars
+        .iter()
+        .position(|&v| v == var)
+        .expect("projected variable must be in the relation schema");
+    let keep: Vec<usize> = (0..rel.vars.len()).filter(|&i| i != pos).collect();
+    let new_vars: Vec<hq_query::Var> = keep.iter().map(|&i| rel.vars[i]).collect();
+    let mut out = AnnotatedRelation::empty(new_vars);
+    let zero = monoid.zero();
+    for (tuple, k) in rel.map {
+        let key = tuple.project(&keep);
+        match out.map.remove(&key) {
+            Some(acc) => {
+                stats.add_ops += 1;
+                out.map.insert(key, monoid.add(&acc, &k));
+            }
+            None => {
+                out.map.insert(key, k);
+            }
+        }
+    }
+    // Prune exact zeros: annotation 0 is semantically "absent"
+    // (⊕-identity on every future aggregation; merges fill with 0
+    // anyway), and pruning realises Lemma 6.6's support semantics.
+    out.map.retain(|_, v| *v != zero);
+    out
+}
+
+/// Rule 2: `R'(x̄) = R₁(x̄) ⊗ R₂(x̄)` over the union of supports, with
+/// 0-fill for one-sided tuples.
+pub(crate) fn merge<M: TwoMonoid>(
+    monoid: &M,
+    left: AnnotatedRelation<M::Elem>,
+    mut right: AnnotatedRelation<M::Elem>,
+    stats: &mut EngineStats,
+) -> AnnotatedRelation<M::Elem> {
+    assert_eq!(
+        left.vars, right.vars,
+        "Rule 2 merges atoms with identical variable sets"
+    );
+    let zero = monoid.zero();
+    let mut out = AnnotatedRelation::empty(left.vars.clone());
+    for (tuple, lk) in left.map {
+        let v = match right.map.remove(&tuple) {
+            Some(rk) => monoid.mul(&lk, &rk),
+            None => monoid.mul(&lk, &zero),
+        };
+        stats.mul_ops += 1;
+        if v != zero {
+            out.map.insert(tuple, v);
+        }
+    }
+    for (tuple, rk) in right.map {
+        stats.mul_ops += 1;
+        let v = monoid.mul(&zero, &rk);
+        if v != zero {
+            out.map.insert(tuple, v);
+        }
+    }
+    out
+}
+
+/// One-call entry point: plans the query, annotates the facts, and
+/// runs Algorithm 1.
+///
+/// # Errors
+/// Returns [`UnifyError::NotHierarchical`] for non-hierarchical
+/// queries, or [`UnifyError::Annotate`] if the facts do not fit the
+/// query schema.
+pub fn evaluate<M: TwoMonoid>(
+    monoid: &M,
+    q: &Query,
+    interner: &Interner,
+    facts: impl IntoIterator<Item = (Fact, M::Elem)>,
+) -> Result<(M::Elem, EngineStats), UnifyError> {
+    let p = plan(q)?;
+    let db = annotate(q, interner, facts)?;
+    Ok(run_plan(monoid, &p, db))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hq_db::db_from_ints;
+    use hq_monoid::{BoolMonoid, CountMonoid, ProbMonoid, TropicalMinMonoid, TROPICAL_INF};
+    use hq_query::{example_query, q_hierarchical, q_non_hierarchical, Query};
+
+    fn fig1_db() -> (hq_db::Database, Interner) {
+        db_from_ints(&[
+            ("R", &[&[1, 5]]),
+            ("S", &[&[1, 1], &[1, 2]]),
+            ("T", &[&[1, 2, 4]]),
+        ])
+    }
+
+    #[test]
+    fn counting_monoid_matches_join_engine() {
+        // Algorithm 1 over (ℕ, +, ×) computes the bag-set value Q(D).
+        let q = example_query();
+        let (db, mut i) = fig1_db();
+        let (count, stats) = evaluate(
+            &CountMonoid,
+            &q,
+            &i,
+            db.facts().into_iter().map(|f| (f, 1u64)),
+        )
+        .unwrap();
+        assert_eq!(count, 1);
+        assert!(stats.support_never_grew(), "{:?}", stats.support_sizes);
+        let pattern = q.to_pattern(&mut i);
+        assert_eq!(hq_db::count_matches(&db, &pattern).unwrap(), count);
+    }
+
+    #[test]
+    fn bool_monoid_decides_satisfiability() {
+        let q = q_hierarchical(); // E(X,Y), F(Y,Z)
+        let (db, i) = db_from_ints(&[("E", &[&[1, 2]]), ("F", &[&[2, 3]])]);
+        let (sat, _) = evaluate(
+            &BoolMonoid,
+            &q,
+            &i,
+            db.facts().into_iter().map(|f| (f, true)),
+        )
+        .unwrap();
+        assert!(sat);
+        // Break the join: F(9, 3) does not connect.
+        let (db2, i2) = db_from_ints(&[("E", &[&[1, 2]]), ("F", &[&[9, 3]])]);
+        let (sat2, _) = evaluate(
+            &BoolMonoid,
+            &q,
+            &i2,
+            db2.facts().into_iter().map(|f| (f, true)),
+        )
+        .unwrap();
+        assert!(!sat2);
+    }
+
+    #[test]
+    fn prob_monoid_single_chain() {
+        // Q_h over E(1,2) (p=0.5) and F(2,3) (p=0.5): P(Q) = 0.25.
+        let q = q_hierarchical();
+        let (db, i) = db_from_ints(&[("E", &[&[1, 2]]), ("F", &[&[2, 3]])]);
+        let (p, _) = evaluate(
+            &ProbMonoid,
+            &q,
+            &i,
+            db.facts().into_iter().map(|f| (f, 0.5f64)),
+        )
+        .unwrap();
+        assert!((p - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prob_monoid_fig1_structure() {
+        // All facts p = 1 → query certainly true.
+        let q = example_query();
+        let (db, i) = fig1_db();
+        let (p, _) = evaluate(
+            &ProbMonoid,
+            &q,
+            &i,
+            db.facts().into_iter().map(|f| (f, 1.0f64)),
+        )
+        .unwrap();
+        assert!((p - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_database_yields_zero() {
+        let q = q_hierarchical();
+        let i = Interner::new();
+        let (p, _) = evaluate(&ProbMonoid, &q, &i, Vec::<(Fact, f64)>::new()).unwrap();
+        assert_eq!(p, 0.0);
+        let (c, _) = evaluate(&CountMonoid, &q, &i, Vec::<(Fact, u64)>::new()).unwrap();
+        assert_eq!(c, 0);
+    }
+
+    #[test]
+    fn non_hierarchical_query_rejected() {
+        let q = q_non_hierarchical();
+        let i = Interner::new();
+        let err = evaluate(&BoolMonoid, &q, &i, Vec::<(Fact, bool)>::new()).unwrap_err();
+        assert!(matches!(err, UnifyError::NotHierarchical(_)));
+    }
+
+    #[test]
+    fn tropical_monoid_finds_cheapest_witness() {
+        // Two disjoint witnesses with different total weights.
+        let q = q_hierarchical();
+        let (db, i) = db_from_ints(&[("E", &[&[1, 2], &[7, 8]]), ("F", &[&[2, 3], &[8, 9]])]);
+        let weights = |f: &Fact| {
+            // Witness 1-2-3 costs 10+1; witness 7-8-9 costs 2+3.
+            let first = f.tuple.get(0);
+            match first {
+                hq_db::Value::Int(1) => 10u64,
+                hq_db::Value::Int(2) => 1,
+                hq_db::Value::Int(7) => 2,
+                hq_db::Value::Int(8) => 3,
+                _ => TROPICAL_INF,
+            }
+        };
+        let (cost, _) = evaluate(
+            &TropicalMinMonoid,
+            &q,
+            &i,
+            db.facts().into_iter().map(|f| {
+                let w = weights(&f);
+                (f, w)
+            }),
+        )
+        .unwrap();
+        assert_eq!(cost, 5);
+    }
+
+    #[test]
+    fn op_counts_scale_linearly() {
+        // Theorem 6.7: #ops = O(|D|). Build Q_h over n chained pairs and
+        // check ops grow linearly (ratio between sizes ~ size ratio).
+        let q = q_hierarchical();
+        let mut ops = Vec::new();
+        for n in [50i64, 100, 200] {
+            let mut i = Interner::new();
+            let e = i.intern("E");
+            let f = i.intern("F");
+            let mut db = hq_db::Database::new();
+            for k in 0..n {
+                db.insert_tuple(e, hq_db::Tuple::ints(&[k, k]));
+                db.insert_tuple(f, hq_db::Tuple::ints(&[k, k + 1]));
+            }
+            let (_, stats) = evaluate(
+                &CountMonoid,
+                &q,
+                &i,
+                db.facts().into_iter().map(|fact| (fact, 1u64)),
+            )
+            .unwrap();
+            assert!(stats.support_never_grew());
+            ops.push(stats.total_ops() as f64);
+        }
+        let r1 = ops[1] / ops[0];
+        let r2 = ops[2] / ops[1];
+        assert!((1.5..=2.5).contains(&r1), "ops not linear: {ops:?}");
+        assert!((1.5..=2.5).contains(&r2), "ops not linear: {ops:?}");
+    }
+
+    #[test]
+    fn disconnected_query_multiplies_components() {
+        // Q() :- A(X), B(Y) over 3 A-facts and 2 B-facts: count = 6.
+        let q = Query::new(&[("A", &["X"]), ("B", &["Y"])]).unwrap();
+        let (db, i) = db_from_ints(&[("A", &[&[1], &[2], &[3]]), ("B", &[&[7], &[8]])]);
+        let (count, _) = evaluate(
+            &CountMonoid,
+            &q,
+            &i,
+            db.facts().into_iter().map(|f| (f, 1u64)),
+        )
+        .unwrap();
+        assert_eq!(count, 6);
+    }
+
+    #[test]
+    fn zero_annotations_prune_support() {
+        // A fact annotated exactly 0 behaves as absent.
+        let q = q_hierarchical();
+        let (db, i) = db_from_ints(&[("E", &[&[1, 2]]), ("F", &[&[2, 3]])]);
+        let (p, stats) = evaluate(
+            &ProbMonoid,
+            &q,
+            &i,
+            db.facts().into_iter().map(|f| {
+                let p = if f.tuple.arity() == 2 && f.tuple.get(0) == hq_db::Value::Int(1) {
+                    0.0
+                } else {
+                    0.9
+                };
+                (f, p)
+            }),
+        )
+        .unwrap();
+        assert_eq!(p, 0.0);
+        assert!(stats.support_never_grew());
+    }
+}

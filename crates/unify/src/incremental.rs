@@ -1,0 +1,483 @@
+//! Incremental maintenance of Algorithm 1 under annotation updates.
+//!
+//! The paper's concluding remarks (Question 2) point at query
+//! answering **under updates** as the natural next target for the
+//! 2-monoid framework. This module is a first-order-of-business
+//! executable answer: materialise the K-annotated state *before every
+//! elimination step*, and on a single-fact annotation change re-walk
+//! the plan touching only the dirty keys.
+//!
+//! Because ⊕ in a 2-monoid need not be invertible (max-plus
+//! convolutions have no subtraction!), a changed input cannot be
+//! "subtracted out" of an aggregate; each dirty Rule 1 group is
+//! *refolded* from its current members instead. Groups are located by
+//! one scan of the step's input relation per update batch, so an
+//! update costs `O(|D|)` monoid operations in the worst case — already
+//! far better than the `O(|D| · steps)` of a full re-run when few keys
+//! are dirty, and the honest baseline for true delta-indexing. The
+//! differential test suite re-runs the full engine after every update
+//! and demands exact agreement, for all monoids.
+//!
+//! Inserting a fact = updating its annotation from `0`; deleting =
+//! updating to `0` (the ψ-encodings make `0` mean "absent" in every
+//! instantiation), so annotation updates subsume set-level updates
+//! over a fixed active domain.
+
+use crate::annotated::{annotate, AnnotateError, AnnotatedDb};
+use hq_db::{Fact, Interner, Tuple};
+use hq_monoid::TwoMonoid;
+use hq_query::{plan, EliminationPlan, Query, Step};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A materialised Algorithm 1 run that supports annotation updates.
+pub struct IncrementalRun<M: TwoMonoid> {
+    monoid: M,
+    plan: EliminationPlan,
+    /// `states[i]` is the slot state *before* step `i`;
+    /// `states[plan.steps().len()]` is the final state.
+    states: Vec<AnnotatedDb<M::Elem>>,
+    /// Fact → (slot, key) resolution for updates.
+    fact_index: BTreeMap<Fact, (usize, Tuple)>,
+    /// Current query result.
+    result: M::Elem,
+}
+
+/// Errors constructing or updating an incremental run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IncrementalError {
+    /// The query is not hierarchical.
+    NotHierarchical(hq_query::NotHierarchical),
+    /// The initial fact list did not match the query schema.
+    Annotate(AnnotateError),
+    /// An updated fact's relation does not occur in the query.
+    UnknownFact {
+        /// Rendered fact.
+        fact: String,
+    },
+}
+
+impl std::fmt::Display for IncrementalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IncrementalError::NotHierarchical(e) => write!(f, "{e}"),
+            IncrementalError::Annotate(e) => write!(f, "{e}"),
+            IncrementalError::UnknownFact { fact } => {
+                write!(f, "fact {fact} is over a relation the query does not mention")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IncrementalError {}
+
+impl<M: TwoMonoid> IncrementalRun<M> {
+    /// Builds the run: plans the query, annotates the facts, and
+    /// materialises the state before every step.
+    ///
+    /// # Errors
+    /// Rejects non-hierarchical queries and schema mismatches.
+    pub fn new(
+        monoid: M,
+        q: &Query,
+        interner: &Interner,
+        facts: impl IntoIterator<Item = (Fact, M::Elem)>,
+    ) -> Result<Self, IncrementalError> {
+        let p = plan(q).map_err(IncrementalError::NotHierarchical)?;
+        let fact_list: Vec<(Fact, M::Elem)> = facts.into_iter().collect();
+        let db = annotate(q, interner, fact_list.iter().cloned())
+            .map_err(IncrementalError::Annotate)?;
+        // Build the fact → (slot, key) index the same way `annotate` does.
+        let mut fact_index = BTreeMap::new();
+        for (i, atom) in q.atoms().iter().enumerate() {
+            let mut sorted = atom.vars.clone();
+            sorted.sort_unstable();
+            let positions: Vec<usize> = sorted
+                .iter()
+                .map(|v| atom.vars.iter().position(|w| w == v).expect("own var"))
+                .collect();
+            if let Some(sym) = interner.get(&atom.rel) {
+                for (fact, _) in &fact_list {
+                    if fact.rel == sym {
+                        fact_index
+                            .insert(fact.clone(), (i, fact.tuple.project(&positions)));
+                    }
+                }
+            }
+        }
+        // Materialise the state before every step.
+        let mut states = vec![db];
+        for (idx, step) in p.steps().iter().enumerate() {
+            let mut next = states[idx].clone();
+            apply_step(&monoid, &mut next, step);
+            states.push(next);
+        }
+        let result = extract(&monoid, &p, &states);
+        Ok(IncrementalRun { monoid, plan: p, states, fact_index, result })
+    }
+
+    /// The current query result.
+    pub fn result(&self) -> &M::Elem {
+        &self.result
+    }
+
+    /// Updates one fact's annotation and re-propagates the change
+    /// through the materialised pipeline, touching only dirty keys.
+    /// Setting the annotation to `0` deletes the fact; updating a fact
+    /// absent from the initial list is an error (the active domain is
+    /// fixed at construction).
+    ///
+    /// Returns the new query result.
+    ///
+    /// # Errors
+    /// [`IncrementalError::UnknownFact`] if the fact was not part of
+    /// the initial annotation (including facts over unmentioned
+    /// relations).
+    pub fn update(
+        &mut self,
+        interner: &Interner,
+        fact: &Fact,
+        value: M::Elem,
+    ) -> Result<&M::Elem, IncrementalError> {
+        let Some(&(slot, ref key)) = self.fact_index.get(fact) else {
+            return Err(IncrementalError::UnknownFact {
+                fact: fact.display(interner).to_string(),
+            });
+        };
+        let key = key.clone();
+        let zero = self.monoid.zero();
+        // Stage 0: update the base snapshot.
+        {
+            let rel = self.states[0].slots[slot].as_mut().expect("base slot alive");
+            if value == zero {
+                rel.map.remove(&key);
+            } else {
+                rel.map.insert(key.clone(), value);
+            }
+        }
+        // Dirty keys per slot, re-walked through every step.
+        let mut dirty: BTreeMap<usize, BTreeSet<Tuple>> = BTreeMap::new();
+        dirty.entry(slot).or_default().insert(key);
+        let steps: Vec<Step> = self.plan.steps().to_vec();
+        for (idx, step) in steps.iter().enumerate() {
+            // `states[idx]` is already up to date for all dirty keys;
+            // propagate into `states[idx + 1]`.
+            let new_dirty = self.propagate(idx, step, &dirty);
+            // Slots untouched by this step keep their dirty keys; the
+            // touched slot's dirty set is replaced by the step output's.
+            match *step {
+                Step::ProjectOut { atom, .. } => {
+                    let mut carried = dirty.clone();
+                    carried.remove(&atom);
+                    // Copy untouched dirty-key values forward.
+                    copy_dirty_forward(&mut self.states, idx, &carried);
+                    if let Some(keys) = new_dirty {
+                        if !keys.is_empty() {
+                            carried.insert(atom, keys);
+                        }
+                    }
+                    dirty = carried;
+                }
+                Step::Merge { left, right } => {
+                    let mut carried = dirty.clone();
+                    carried.remove(&left);
+                    carried.remove(&right);
+                    copy_dirty_forward(&mut self.states, idx, &carried);
+                    if let Some(keys) = new_dirty {
+                        if !keys.is_empty() {
+                            carried.insert(left, keys);
+                        }
+                    }
+                    dirty = carried;
+                }
+            }
+            if dirty.is_empty() {
+                // Converged early: downstream snapshots are already
+                // consistent.
+                self.result = extract(&self.monoid, &self.plan, &self.states);
+                return Ok(&self.result);
+            }
+            let _ = idx;
+        }
+        self.result = extract(&self.monoid, &self.plan, &self.states);
+        Ok(&self.result)
+    }
+
+    /// Recomputes the dirty part of step `idx`, updating
+    /// `states[idx + 1]`. Returns the set of output keys whose value
+    /// changed (`None` if this step's slot had no dirty input).
+    fn propagate(
+        &mut self,
+        idx: usize,
+        step: &Step,
+        dirty: &BTreeMap<usize, BTreeSet<Tuple>>,
+    ) -> Option<BTreeSet<Tuple>> {
+        let zero = self.monoid.zero();
+        match *step {
+            Step::ProjectOut { atom, var } => {
+                let keys = dirty.get(&atom)?;
+                let (groups, mut folded) = {
+                    let input = self.states[idx].slots[atom].as_ref().expect("alive");
+                    let pos = input
+                        .vars
+                        .iter()
+                        .position(|&v| v == var)
+                        .expect("var in schema");
+                    let keep: Vec<usize> =
+                        (0..input.vars.len()).filter(|&i| i != pos).collect();
+                    // The dirty output groups.
+                    let groups: BTreeSet<Tuple> =
+                        keys.iter().map(|k| k.project(&keep)).collect();
+                    // Refold each dirty group by one scan of the input.
+                    let mut folded: BTreeMap<Tuple, M::Elem> = BTreeMap::new();
+                    for (t, k) in &input.map {
+                        let g = t.project(&keep);
+                        if !groups.contains(&g) {
+                            continue;
+                        }
+                        match folded.remove(&g) {
+                            Some(acc) => {
+                                folded.insert(g, self.monoid.add(&acc, k));
+                            }
+                            None => {
+                                folded.insert(g, k.clone());
+                            }
+                        }
+                    }
+                    (groups, folded)
+                };
+                let output = self.states[idx + 1].slots[atom].as_mut().expect("alive");
+                let mut changed = BTreeSet::new();
+                for g in groups {
+                    let new = folded.remove(&g);
+                    let old = output.map.remove(&g);
+                    match new {
+                        Some(v) if v != zero => {
+                            if old.as_ref() != Some(&v) {
+                                changed.insert(g.clone());
+                            }
+                            output.map.insert(g, v);
+                        }
+                        _ => {
+                            if old.is_some() {
+                                changed.insert(g);
+                            }
+                        }
+                    }
+                }
+                Some(changed)
+            }
+            Step::Merge { left, right } => {
+                let mut keys: BTreeSet<Tuple> = BTreeSet::new();
+                if let Some(ks) = dirty.get(&left) {
+                    keys.extend(ks.iter().cloned());
+                }
+                if let Some(ks) = dirty.get(&right) {
+                    keys.extend(ks.iter().cloned());
+                }
+                if keys.is_empty() {
+                    return None;
+                }
+                let (l, r) = {
+                    let input = &self.states[idx];
+                    (
+                        input.slots[left].as_ref().expect("alive"),
+                        input.slots[right].as_ref().expect("alive"),
+                    )
+                };
+                let mut updates: Vec<(Tuple, Option<M::Elem>)> = Vec::new();
+                for key in keys.iter() {
+                    let lv = l.map.get(key);
+                    let rv = r.map.get(key);
+                    let new = match (lv, rv) {
+                        (None, None) => None, // 0 ⊗ 0 = 0: stays absent
+                        (Some(a), Some(b)) => Some(self.monoid.mul(a, b)),
+                        (Some(a), None) => Some(self.monoid.mul(a, &zero)),
+                        (None, Some(b)) => Some(self.monoid.mul(&zero, b)),
+                    };
+                    updates.push((key.clone(), new.filter(|v| *v != zero)));
+                }
+                let output = self.states[idx + 1].slots[left].as_mut().expect("alive");
+                let mut changed = BTreeSet::new();
+                for (key, new) in updates {
+                    let old = output.map.remove(&key);
+                    match new {
+                        Some(v) => {
+                            if old.as_ref() != Some(&v) {
+                                changed.insert(key.clone());
+                            }
+                            output.map.insert(key, v);
+                        }
+                        None => {
+                            if old.is_some() {
+                                changed.insert(key);
+                            }
+                        }
+                    }
+                }
+                Some(changed)
+            }
+        }
+    }
+}
+
+/// For slots whose dirty keys are *not* consumed by step `idx`, copy
+/// the updated values from `states[idx]` into `states[idx + 1]` so the
+/// next step sees them.
+fn copy_dirty_forward<K: Clone + PartialEq>(
+    states: &mut [AnnotatedDb<K>],
+    idx: usize,
+    dirty: &BTreeMap<usize, BTreeSet<Tuple>>,
+) {
+    for (&slot, keys) in dirty {
+        for key in keys {
+            let v = states[idx].slots[slot]
+                .as_ref()
+                .and_then(|r| r.map.get(key).cloned());
+            let out = states[idx + 1].slots[slot].as_mut().expect("alive slot");
+            match v {
+                Some(v) => {
+                    out.map.insert(key.clone(), v);
+                }
+                None => {
+                    out.map.remove(key);
+                }
+            }
+        }
+    }
+}
+
+/// Applies one step eagerly (construction path): same semantics as the
+/// batch engine in [`crate::engine`].
+fn apply_step<M: TwoMonoid>(monoid: &M, db: &mut AnnotatedDb<M::Elem>, step: &Step) {
+    let mut stats = crate::engine::EngineStats::default();
+    match *step {
+        Step::ProjectOut { atom, var } => {
+            let rel = db.slots[atom].take().expect("alive");
+            db.slots[atom] = Some(crate::engine::project_out(monoid, rel, var, &mut stats));
+        }
+        Step::Merge { left, right } => {
+            let l = db.slots[left].take().expect("alive");
+            let r = db.slots[right].take().expect("alive");
+            db.slots[left] = Some(crate::engine::merge(monoid, l, r, &mut stats));
+        }
+    }
+}
+
+/// Reads the final result out of the last materialised state.
+fn extract<M: TwoMonoid>(
+    monoid: &M,
+    plan: &EliminationPlan,
+    states: &[AnnotatedDb<M::Elem>],
+) -> M::Elem {
+    let last = states.last().expect("states non-empty");
+    let root = last.slots[plan.root()]
+        .as_ref()
+        .expect("root alive in final state");
+    root.map
+        .get(&Tuple::empty())
+        .cloned()
+        .unwrap_or_else(|| monoid.zero())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hq_db::db_from_ints;
+    use hq_monoid::{CountMonoid, ProbMonoid};
+    use hq_query::{example_query, q_hierarchical};
+
+    #[test]
+    fn matches_full_run_after_probability_updates() {
+        let q = q_hierarchical();
+        let (db, i) = db_from_ints(&[
+            ("E", &[&[1, 2], &[1, 3], &[4, 3]]),
+            ("F", &[&[2, 9], &[3, 8], &[3, 9]]),
+        ]);
+        let facts = db.facts();
+        let tid: Vec<(Fact, f64)> = facts.iter().map(|f| (f.clone(), 0.5)).collect();
+        let mut run = IncrementalRun::new(ProbMonoid, &q, &i, tid.clone()).unwrap();
+        let (expected, _) =
+            crate::engine::evaluate(&ProbMonoid, &q, &i, tid.clone()).unwrap();
+        assert!((run.result() - expected).abs() < 1e-12);
+        // Update every fact in turn and compare to a fresh run.
+        let mut current = tid;
+        for (j, f) in facts.iter().enumerate() {
+            let new_p = 0.1 + 0.15 * j as f64;
+            current[j].1 = new_p;
+            let got = *run.update(&i, f, new_p).unwrap();
+            let (fresh, _) =
+                crate::engine::evaluate(&ProbMonoid, &q, &i, current.clone()).unwrap();
+            assert!(
+                (got - fresh).abs() < 1e-12,
+                "after updating {}: incremental {got} vs fresh {fresh}",
+                f.display(&i)
+            );
+        }
+    }
+
+    #[test]
+    fn insert_and_delete_via_zero_annotations() {
+        // Counting monoid: deleting a fact = annotation 0, re-inserting = 1.
+        let q = example_query();
+        let (db, i) = db_from_ints(&[
+            ("R", &[&[1, 5], &[1, 6]]),
+            ("S", &[&[1, 1], &[1, 2]]),
+            ("T", &[&[1, 2, 4], &[1, 1, 9]]),
+        ]);
+        let facts = db.facts();
+        let annotated: Vec<(Fact, u64)> = facts.iter().map(|f| (f.clone(), 1)).collect();
+        let mut run = IncrementalRun::new(CountMonoid, &q, &i, annotated).unwrap();
+        let base = *run.result();
+        assert_eq!(base, 4, "2 R-facts × 2 (S,T) combos");
+        // Delete one R fact: count halves.
+        let r_fact = facts
+            .iter()
+            .find(|f| f.rel == i.get("R").unwrap())
+            .unwrap()
+            .clone();
+        assert_eq!(*run.update(&i, &r_fact, 0).unwrap(), 2);
+        // Re-insert: back to base.
+        assert_eq!(*run.update(&i, &r_fact, 1).unwrap(), base);
+        // Delete a T fact.
+        let t_fact = facts
+            .iter()
+            .find(|f| f.rel == i.get("T").unwrap())
+            .unwrap()
+            .clone();
+        let after_t = *run.update(&i, &t_fact, 0).unwrap();
+        assert_eq!(after_t, 2);
+    }
+
+    #[test]
+    fn unknown_fact_rejected() {
+        let q = q_hierarchical();
+        let (db, mut i) = db_from_ints(&[("E", &[&[1, 2]]), ("F", &[&[2, 3]])]);
+        let tid: Vec<(Fact, f64)> =
+            db.facts().into_iter().map(|f| (f, 0.5)).collect();
+        let mut run = IncrementalRun::new(ProbMonoid, &q, &i, tid).unwrap();
+        let other = i.intern("Other");
+        let stranger = Fact::new(other, Tuple::ints(&[1]));
+        assert!(matches!(
+            run.update(&i, &stranger, 0.9),
+            Err(IncrementalError::UnknownFact { .. })
+        ));
+        // A fact of a query relation that was never annotated is also
+        // outside the fixed active domain.
+        let e = i.get("E").unwrap();
+        let new_e = Fact::new(e, Tuple::ints(&[7, 7]));
+        assert!(run.update(&i, &new_e, 0.9).is_err());
+    }
+
+    #[test]
+    fn early_convergence_on_no_op_update() {
+        let q = q_hierarchical();
+        let (db, i) = db_from_ints(&[("E", &[&[1, 2]]), ("F", &[&[2, 3]])]);
+        let facts = db.facts();
+        let tid: Vec<(Fact, f64)> = facts.iter().map(|f| (f.clone(), 0.5)).collect();
+        let mut run = IncrementalRun::new(ProbMonoid, &q, &i, tid).unwrap();
+        let before = *run.result();
+        // Setting the same annotation converges without changing anything.
+        let got = *run.update(&i, &facts[0], 0.5).unwrap();
+        assert_eq!(got, before);
+    }
+}

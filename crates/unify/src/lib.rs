@@ -1,0 +1,59 @@
+//! # hq-unify — the unifying algorithm for hierarchical queries
+//!
+//! Algorithm 1 of *A Unifying Algorithm for Hierarchical Queries*
+//! (PODS 2025): a single polynomial-time engine over K-annotated
+//! relations, parameterized by a 2-monoid, that solves —
+//!
+//! * **Probabilistic Query Evaluation** ([`pqe`], Theorem 5.8, `O(|D|)`),
+//! * **Bag-Set Maximization** ([`bsm`], Theorem 5.11,
+//!   `O((|D|+|D_r|)·|D_r|²)`),
+//! * **Shapley value computation** ([`shapley`], Theorem 5.16,
+//!   `O((|D_x|+|D_n|)·|D_n|²)`),
+//!
+//! plus classical semiring evaluation and the universal
+//! [`provenance`] instantiation used by the generic correctness proof.
+//!
+//! ```
+//! use hq_db::{db_from_ints};
+//! use hq_query::parse_query;
+//! use hq_unify::bsm;
+//!
+//! // Figure 1 of the paper: repair D with ≤ 2 facts from D_r.
+//! let q = parse_query("Q() :- R(A,B), S(A,C), T(A,C,D)").unwrap();
+//! let (d, mut interner) = db_from_ints(&[
+//!     ("R", &[&[1, 5]]),
+//!     ("S", &[&[1, 1], &[1, 2]]),
+//!     ("T", &[&[1, 2, 4]]),
+//! ]);
+//! let (d_r, _) = {
+//!     let r = interner.intern("R");
+//!     let t = interner.intern("T");
+//!     let mut d_r = hq_db::Database::new();
+//!     d_r.insert_tuple(r, hq_db::Tuple::ints(&[1, 6]));
+//!     d_r.insert_tuple(r, hq_db::Tuple::ints(&[1, 7]));
+//!     d_r.insert_tuple(t, hq_db::Tuple::ints(&[1, 1, 4]));
+//!     d_r.insert_tuple(t, hq_db::Tuple::ints(&[1, 2, 9]));
+//!     (d_r, ())
+//! };
+//! let solution = bsm::maximize(&q, &interner, &d, &d_r, 2).unwrap();
+//! assert_eq!(solution.optimum(), 4); // the paper's optimal repair
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod annotated;
+pub mod bsm;
+pub mod engine;
+pub mod incremental;
+pub mod pqe;
+pub mod provenance;
+pub mod shapley;
+
+pub use annotated::{annotate, AnnotateError, AnnotatedDb, AnnotatedRelation};
+pub use bsm::{maximize, maximize_with_repair, BsmRepairSolution, BsmSolution};
+pub use engine::{evaluate, run_plan, EngineStats, UnifyError};
+pub use incremental::{IncrementalError, IncrementalRun};
+pub use pqe::{expected_count, probability, probability_exact, PqeError};
+pub use provenance::{provenance_tree, Provenance};
+pub use shapley::{sat_counts, shapley_value, shapley_values, ShapleyError};

@@ -1,0 +1,278 @@
+//! Probabilistic Query Evaluation front-end (Theorem 5.8).
+//!
+//! Given a tuple-independent probabilistic database — a set of facts
+//! each carrying an independent presence probability — computes the
+//! marginal probability that a hierarchical SJF-BCQ evaluates to true,
+//! in time `O(|D|)`. This instantiation of Algorithm 1 specialises
+//! exactly to the Dalvi–Suciu algorithm.
+
+use crate::engine::{evaluate, EngineStats, UnifyError};
+use hq_arith::Rational;
+use hq_db::{Fact, Interner};
+use hq_monoid::{ExactProbMonoid, ProbMonoid};
+use hq_query::Query;
+use std::fmt;
+
+/// Errors specific to PQE inputs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PqeError {
+    /// A probability was outside `[0, 1]` (or not finite).
+    InvalidProbability {
+        /// The offending value.
+        value: f64,
+    },
+    /// Planning or annotation failed.
+    Unify(UnifyError),
+}
+
+impl fmt::Display for PqeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PqeError::InvalidProbability { value } => {
+                write!(f, "probability {value} outside [0, 1]")
+            }
+            PqeError::Unify(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for PqeError {}
+
+impl From<UnifyError> for PqeError {
+    fn from(e: UnifyError) -> Self {
+        PqeError::Unify(e)
+    }
+}
+
+/// Computes `P(Q = true)` over the tuple-independent database given as
+/// `(fact, probability)` pairs, along with engine statistics.
+///
+/// # Errors
+/// Rejects non-hierarchical queries, malformed fact lists, and
+/// probabilities outside `[0, 1]`.
+pub fn probability_with_stats(
+    q: &Query,
+    interner: &Interner,
+    tid: &[(Fact, f64)],
+) -> Result<(f64, EngineStats), PqeError> {
+    for &(_, p) in tid {
+        if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+            return Err(PqeError::InvalidProbability { value: p });
+        }
+    }
+    let out = evaluate(
+        &ProbMonoid,
+        q,
+        interner,
+        tid.iter().map(|(f, p)| (f.clone(), *p)),
+    )?;
+    Ok(out)
+}
+
+/// Computes `P(Q = true)` (probability only).
+///
+/// ```
+/// use hq_db::db_from_ints;
+/// use hq_query::parse_query;
+///
+/// // Two fact-disjoint witnesses, each holding with probability
+/// // 1/2 · 1/2 = 1/4, so P(Q) = 1 − (1 − 1/4)² = 0.4375.
+/// let q = parse_query("Q() :- E(X,Y), F(Y,Z)").unwrap();
+/// let (db, i) = db_from_ints(&[
+///     ("E", &[&[1, 2], &[7, 8]]),
+///     ("F", &[&[2, 3], &[8, 9]]),
+/// ]);
+/// let tid: Vec<_> = db.facts().into_iter().map(|f| (f, 0.5)).collect();
+/// let p = hq_unify::pqe::probability(&q, &i, &tid).unwrap();
+/// assert!((p - 0.4375).abs() < 1e-12);
+/// ```
+///
+/// # Errors
+/// See [`probability_with_stats`].
+pub fn probability(q: &Query, interner: &Interner, tid: &[(Fact, f64)]) -> Result<f64, PqeError> {
+    probability_with_stats(q, interner, tid).map(|(p, _)| p)
+}
+
+/// Exact-rational PQE: same algorithm over the exact probability
+/// 2-monoid. Used as the oracle in differential tests and by the CLI's
+/// `--exact` mode.
+///
+/// # Errors
+/// Rejects non-hierarchical queries and malformed fact lists.
+pub fn probability_exact(
+    q: &Query,
+    interner: &Interner,
+    tid: &[(Fact, Rational)],
+) -> Result<Rational, UnifyError> {
+    let (p, _) = evaluate(
+        &ExactProbMonoid,
+        q,
+        interner,
+        tid.iter().map(|(f, p)| (f.clone(), p.clone())),
+    )?;
+    Ok(p)
+}
+
+/// Computes the **expected bag-set value** `E[Q(D)]` — the expected
+/// number of distinct satisfying assignments over the possible worlds
+/// of the tuple-independent database. Runs Algorithm 1 over the real
+/// sum-product semiring; by linearity of expectation this equals
+/// `Σ_assignments Π p(fact)`.
+///
+/// # Errors
+/// Same failure modes as [`probability`].
+pub fn expected_count(
+    q: &Query,
+    interner: &Interner,
+    tid: &[(Fact, f64)],
+) -> Result<f64, PqeError> {
+    for &(_, p) in tid {
+        if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+            return Err(PqeError::InvalidProbability { value: p });
+        }
+    }
+    let (e, _) = evaluate(
+        &hq_monoid::RealSemiring,
+        q,
+        interner,
+        tid.iter().map(|(f, p)| (f.clone(), *p)),
+    )?;
+    Ok(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hq_db::db_from_ints;
+    use hq_query::{example_query, q_hierarchical, q_non_hierarchical, Query};
+
+    fn tid_uniform(db: &hq_db::Database, p: f64) -> Vec<(Fact, f64)> {
+        db.facts().into_iter().map(|f| (f, p)).collect()
+    }
+
+    #[test]
+    fn single_atom_query_is_disjunction() {
+        // Q() :- R(X) with facts p each: P = 1 - (1-p)^n.
+        let q = Query::new(&[("R", &["X"])]).unwrap();
+        let (db, i) = db_from_ints(&[("R", &[&[1], &[2], &[3]])]);
+        let p = probability(&q, &i, &tid_uniform(&db, 0.5)).unwrap();
+        assert!((p - (1.0 - 0.125)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dalvi_suciu_example_structure() {
+        // Eq. (4)-(9) on the Fig. 1 database with p = 1/2 everywhere.
+        // Hand evaluation:
+        //   T'(1,2) = 1/2; S'(1,1) = 1/2*0 = 0 (no T fact), so only
+        //   S'(1,2) = 1/4 → S''(1) = 1/4; R'(1) = 1/2;
+        //   R''(1) = 1/8 → P = 1/8.
+        let q = example_query();
+        let (db, i) = db_from_ints(&[
+            ("R", &[&[1, 5]]),
+            ("S", &[&[1, 1], &[1, 2]]),
+            ("T", &[&[1, 2, 4]]),
+        ]);
+        let p = probability(&q, &i, &tid_uniform(&db, 0.5)).unwrap();
+        assert!((p - 0.125).abs() < 1e-12, "got {p}");
+    }
+
+    #[test]
+    fn exact_matches_float() {
+        let q = q_hierarchical();
+        let (db, i) = db_from_ints(&[
+            ("E", &[&[1, 2], &[1, 3], &[4, 3]]),
+            ("F", &[&[2, 9], &[3, 8], &[3, 9]]),
+        ]);
+        let tid = tid_uniform(&db, 0.25);
+        let p = probability(&q, &i, &tid).unwrap();
+        let exact: Vec<(Fact, Rational)> = tid
+            .iter()
+            .map(|(f, _)| (f.clone(), Rational::ratio(1, 4)))
+            .collect();
+        let pe = probability_exact(&q, &i, &exact).unwrap();
+        assert!((p - pe.to_f64()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn certain_and_impossible_facts() {
+        let q = q_hierarchical();
+        let (db, i) = db_from_ints(&[("E", &[&[1, 2]]), ("F", &[&[2, 3]])]);
+        assert_eq!(probability(&q, &i, &tid_uniform(&db, 1.0)).unwrap(), 1.0);
+        assert_eq!(probability(&q, &i, &tid_uniform(&db, 0.0)).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn rejects_bad_probability() {
+        let q = q_hierarchical();
+        let (db, i) = db_from_ints(&[("E", &[&[1, 2]])]);
+        let tid = tid_uniform(&db, 1.5);
+        assert!(matches!(
+            probability(&q, &i, &tid),
+            Err(PqeError::InvalidProbability { .. })
+        ));
+        let tid = tid_uniform(&db, f64::NAN);
+        assert!(probability(&q, &i, &tid).is_err());
+    }
+
+    #[test]
+    fn rejects_non_hierarchical() {
+        let q = q_non_hierarchical();
+        let i = Interner::new();
+        assert!(matches!(
+            probability(&q, &i, &[]),
+            Err(PqeError::Unify(UnifyError::NotHierarchical(_)))
+        ));
+        assert!(expected_count(&q, &i, &[]).is_err());
+    }
+
+    #[test]
+    fn expected_count_single_atom() {
+        // E[Q] for Q() :- R(X) over n facts with probability p is n·p.
+        let q = Query::new(&[("R", &["X"])]).unwrap();
+        let (db, i) = db_from_ints(&[("R", &[&[1], &[2], &[3]])]);
+        let e = expected_count(&q, &i, &tid_uniform(&db, 0.25)).unwrap();
+        assert!((e - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_count_product_structure() {
+        // Q() :- E(X,Y), F(Y,Z): each joined pair contributes the
+        // product of its two probabilities.
+        let q = q_hierarchical();
+        let (db, i) = db_from_ints(&[
+            ("E", &[&[1, 2]]),
+            ("F", &[&[2, 8], &[2, 9]]),
+        ]);
+        let e = expected_count(&q, &i, &tid_uniform(&db, 0.5)).unwrap();
+        // Two assignments, each with probability 1/2 * 1/2.
+        assert!((e - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_count_with_certain_facts_is_plain_count() {
+        let q = example_query();
+        let (db, mut i) = db_from_ints(&[
+            ("R", &[&[1, 5], &[1, 6]]),
+            ("S", &[&[1, 1], &[1, 2]]),
+            ("T", &[&[1, 2, 4]]),
+        ]);
+        let e = expected_count(&q, &i, &tid_uniform(&db, 1.0)).unwrap();
+        let pattern = q.to_pattern(&mut i);
+        let exact = hq_db::count_matches(&db, &pattern).unwrap();
+        assert!((e - exact as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expectation_bounds_probability() {
+        // Markov: P(Q) = P(count ≥ 1) ≤ E[count].
+        let q = q_hierarchical();
+        let (db, i) = db_from_ints(&[
+            ("E", &[&[1, 2], &[1, 3], &[4, 3]]),
+            ("F", &[&[2, 9], &[3, 8], &[3, 9]]),
+        ]);
+        let tid = tid_uniform(&db, 0.35);
+        let p = probability(&q, &i, &tid).unwrap();
+        let e = expected_count(&q, &i, &tid).unwrap();
+        assert!(p <= e + 1e-12, "P={p} E={e}");
+    }
+}

@@ -1,0 +1,93 @@
+//! Probabilistic sensor network — the PQE instantiation on a realistic
+//! monitoring scenario.
+//!
+//! A building has noisy presence sensors. Each reading is a
+//! tuple-independent probabilistic fact:
+//!
+//! * `Reading(room, sensor)` — sensor fired in a room (prob = sensor
+//!   reliability),
+//! * `Calibrated(sensor)`    — the sensor is currently calibrated,
+//! * `Critical(room)`        — the room is on the critical list
+//!   (certain facts, probability 1).
+//!
+//! The alarm condition is the hierarchical query
+//! `Q() :- Critical(R), Reading(R, S), Calibrated(S)`? — careful: that
+//! query is NOT hierarchical (it is the R–S–T pattern!). The example
+//! demonstrates the dichotomy on real modelling choices: the safe
+//! variant keys calibration by (room, sensor) pairs, restoring the
+//! hierarchy, and the unifying algorithm evaluates it exactly; for the
+//! non-hierarchical variant we must fall back to exponential
+//! enumeration or Monte-Carlo estimation.
+//!
+//! Run with: `cargo run --release --example sensor_network`
+
+use hierarchical_queries::baselines;
+use hierarchical_queries::prelude::*;
+
+fn main() {
+    let mut interner = Interner::new();
+    let mut rng = hierarchical_queries::db::generate::rng(2024);
+
+    // Build the scenario: 6 rooms × 3 sensors each.
+    let reading = interner.intern("Reading");
+    let calibrated = interner.intern("CalibratedAt");
+    let critical = interner.intern("Critical");
+    let mut tid: Vec<(Fact, f64)> = Vec::new();
+    for room in 0..6i64 {
+        // Rooms 0 and 1 are critical (certain knowledge).
+        if room < 2 {
+            tid.push((Fact::new(critical, Tuple::ints(&[room])), 1.0));
+        }
+        for sensor in 0..3i64 {
+            let sensor_id = room * 10 + sensor;
+            let reliability = 0.5 + 0.1 * sensor as f64;
+            tid.push((
+                Fact::new(reading, Tuple::ints(&[room, sensor_id])),
+                reliability,
+            ));
+            // Calibration recorded per (room, sensor) deployment.
+            tid.push((
+                Fact::new(calibrated, Tuple::ints(&[room, sensor_id])),
+                0.9,
+            ));
+        }
+    }
+
+    // Hierarchical variant: calibration keyed by (room, sensor).
+    // at(R) ⊇ at(S): Reading(R,S), CalibratedAt(R,S), Critical(R).
+    let q = parse_query("Q() :- Critical(R), Reading(R, S), CalibratedAt(R, S)").unwrap();
+    assert!(is_hierarchical(&q));
+    let p = pqe::probability(&q, &interner, &tid).unwrap();
+    println!("alarm query: {q}");
+    println!("P(some critical room has a calibrated, firing sensor) = {p:.6}");
+
+    // Cross-check against Monte-Carlo sampling.
+    let est = baselines::probability_monte_carlo(&q, &interner, &tid, 30_000, &mut rng);
+    println!("Monte-Carlo (30k samples) ............................ {est:.4}");
+    assert!((p - est).abs() < 0.02, "estimator should agree with exact value");
+
+    // Non-hierarchical variant: calibration as a global per-sensor
+    // table — the classic R(X), S(X,Y), T(Y) hard pattern.
+    let q_bad = parse_query("Q() :- Critical(R), Reading(R, S), CalibratedGlobal(S)").unwrap();
+    assert!(!is_hierarchical(&q_bad));
+    println!("\nnon-hierarchical variant: {q_bad}");
+    match pqe::probability(&q_bad, &interner, &tid) {
+        Err(e) => println!("unifying algorithm correctly refuses: {e}"),
+        Ok(_) => unreachable!("must be rejected"),
+    }
+
+    // For a small instance, the exponential baseline still works.
+    let calibrated_global = interner.intern("CalibratedGlobal");
+    let mut small: Vec<(Fact, f64)> = Vec::new();
+    small.push((Fact::new(critical, Tuple::ints(&[0])), 1.0));
+    for sensor in 0..4i64 {
+        small.push((Fact::new(reading, Tuple::ints(&[0, sensor])), 0.6));
+        small.push((Fact::new(calibrated_global, Tuple::ints(&[sensor])), 0.9));
+    }
+    let p_bad = baselines::probability_exhaustive(&q_bad, &interner, &small);
+    println!(
+        "small instance ({} facts) via possible worlds ........ {p_bad:.6}",
+        small.len()
+    );
+    println!("\n(the dichotomy in practice: schema design decides which side you are on)");
+}

@@ -1,0 +1,196 @@
+//! Differential testing of Bag-Set Maximization: the unifying
+//! algorithm's whole budget curve vs repair-subset enumeration on
+//! random hierarchical instances (Theorem 5.11's correctness,
+//! empirically).
+
+mod common;
+
+use common::{cap_facts, random_instance};
+use hq_db::generate::{fill_relation, ColumnDist};
+use hq_db::Database;
+use hq_unify::bsm;
+use proptest::prelude::*;
+use rand::Rng;
+
+/// Builds a repair database over the same schema as the instance.
+fn repair_db(inst: &mut common::Instance, per_relation: usize, domain: u64) -> Database {
+    let mut d_r = Database::new();
+    let atoms: Vec<(String, usize)> = inst
+        .query
+        .atoms()
+        .iter()
+        .map(|a| (a.rel.clone(), a.vars.len()))
+        .collect();
+    for (rel_name, arity) in atoms {
+        let rel = inst.interner.intern(&rel_name);
+        let cols = vec![ColumnDist::Uniform { domain }; arity];
+        let count = inst.rng.gen_range(0..=per_relation);
+        fill_relation(&mut d_r, rel, &cols, count, &mut inst.rng);
+    }
+    d_r
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 80, ..ProptestConfig::default() })]
+
+    /// The entire budget curve matches brute force at every θ' ≤ θ.
+    #[test]
+    fn curve_matches_bruteforce(seed in 0u64..1_000_000) {
+        let mut inst = random_instance(seed, 4, 4, 3, 3);
+        let d = cap_facts(&inst.database, 8);
+        let d_r = cap_facts(&repair_db(&mut inst, 3, 3), 8);
+        let theta = 4usize;
+        let sol = bsm::maximize(&inst.query, &inst.interner, &d, &d_r, theta).unwrap();
+        for t in 0..=theta {
+            let brute = hq_baselines::maximize_bruteforce(
+                &inst.query,
+                &inst.interner,
+                &d,
+                &d_r,
+                t,
+            );
+            prop_assert_eq!(
+                sol.value_at(t),
+                brute.optimum,
+                "query {} θ'={} curve {:?}",
+                inst.query,
+                t,
+                sol.curve
+            );
+        }
+    }
+
+    /// The curve is monotone and stabilises once every useful repair
+    /// fact is bought.
+    #[test]
+    fn curve_monotone_and_saturating(seed in 0u64..1_000_000) {
+        let mut inst = random_instance(seed, 4, 4, 3, 3);
+        let d = cap_facts(&inst.database, 8);
+        let d_r = cap_facts(&repair_db(&mut inst, 3, 3), 8);
+        let candidates = d_r.difference(&d).len();
+        let theta = candidates + 2;
+        let sol = bsm::maximize(&inst.query, &inst.interner, &d, &d_r, theta).unwrap();
+        prop_assert!(sol.curve.is_monotone());
+        // Beyond |D_r \ D| extra budget cannot help.
+        prop_assert_eq!(sol.value_at(candidates), sol.value_at(theta));
+    }
+
+    /// θ = 0 equals the plain bag-set value Q(D).
+    #[test]
+    fn zero_budget_is_plain_count(seed in 0u64..1_000_000) {
+        let mut inst = random_instance(seed, 4, 4, 4, 3);
+        let d = inst.database.clone();
+        let d_r = repair_db(&mut inst, 3, 3);
+        let sol = bsm::maximize(&inst.query, &inst.interner, &d, &d_r, 0).unwrap();
+        let pattern = inst.query.to_pattern(&mut inst.interner);
+        prop_assert_eq!(
+            sol.optimum(),
+            hq_db::count_matches(&d, &pattern).unwrap(),
+            "query {}",
+            inst.query
+        );
+    }
+
+    /// Adding the whole repair database equals Q(D ∪ D_r).
+    #[test]
+    fn full_budget_is_union_count(seed in 0u64..1_000_000) {
+        let mut inst = random_instance(seed, 4, 4, 3, 3);
+        let d = cap_facts(&inst.database, 8);
+        let d_r = cap_facts(&repair_db(&mut inst, 3, 3), 8);
+        let theta = d_r.fact_count() + 1;
+        let sol = bsm::maximize(&inst.query, &inst.interner, &d, &d_r, theta).unwrap();
+        let union = d.union(&d_r);
+        let pattern = inst.query.to_pattern(&mut inst.interner);
+        prop_assert_eq!(
+            sol.optimum(),
+            hq_db::count_matches(&union, &pattern).unwrap(),
+            "query {}",
+            inst.query
+        );
+    }
+
+    /// Witness extraction: `maximize_with_repair` returns, for every
+    /// budget, a repair that is (a) within budget, (b) drawn from
+    /// `D_r \ D`, and (c) *actually achieves* the claimed optimum when
+    /// materialised and re-counted.
+    #[test]
+    fn extracted_repairs_are_valid_and_optimal(seed in 0u64..1_000_000) {
+        let mut inst = random_instance(seed, 4, 4, 3, 3);
+        let d = cap_facts(&inst.database, 8);
+        let d_r = cap_facts(&repair_db(&mut inst, 3, 3), 8);
+        let theta = 3usize;
+        let plain = bsm::maximize(&inst.query, &inst.interner, &d, &d_r, theta).unwrap();
+        let with = bsm::maximize_with_repair(&inst.query, &inst.interner, &d, &d_r, theta)
+            .unwrap();
+        let pattern = inst.query.to_pattern(&mut inst.interner);
+        for t in 0..=theta {
+            prop_assert_eq!(plain.value_at(t), with.value_at(t), "values diverged at {}", t);
+            let repair = with.repair_at(t);
+            prop_assert!(repair.len() <= t, "budget exceeded at {}", t);
+            let mut repaired = d.clone();
+            for f in &repair {
+                prop_assert!(d_r.contains(f) && !d.contains(f), "invalid repair fact");
+                repaired.insert(f.clone());
+            }
+            prop_assert_eq!(
+                hq_db::count_matches(&repaired, &pattern).unwrap(),
+                with.value_at(t),
+                "repair does not achieve the optimum at budget {} (query {})",
+                t,
+                inst.query
+            );
+        }
+    }
+
+    /// Expected bag-set count: the semiring instantiation equals the
+    /// definitional sum over possible worlds of Q(world), computed by
+    /// exhaustive enumeration.
+    #[test]
+    fn expected_count_matches_world_average(seed in 0u64..1_000_000) {
+        use rand::Rng;
+        let mut inst = random_instance(seed, 4, 4, 3, 3);
+        let facts = cap_facts(&inst.database, 8).facts();
+        let tid: Vec<(hq_db::Fact, f64)> = facts
+            .into_iter()
+            .map(|f| {
+                let p = inst.rng.gen_range(0.0..=1.0);
+                (f, p)
+            })
+            .collect();
+        let unified =
+            hq_unify::pqe::expected_count(&inst.query, &inst.interner, &tid).unwrap();
+        // Definitional: Σ_worlds P(world) · Q(world).
+        let pattern = inst.query.to_pattern(&mut inst.interner);
+        let mut expected = 0.0;
+        for mask in 0u64..(1 << tid.len()) {
+            let mut db = hq_db::Database::new();
+            let mut p_world = 1.0;
+            for (i, (f, p)) in tid.iter().enumerate() {
+                db.declare(f.rel, f.tuple.arity());
+                if mask >> i & 1 == 1 {
+                    db.insert(f.clone());
+                    p_world *= p;
+                } else {
+                    p_world *= 1.0 - p;
+                }
+            }
+            expected +=
+                p_world * hq_db::count_matches(&db, &pattern).unwrap() as f64;
+        }
+        prop_assert!(
+            (unified - expected).abs() < 1e-9 * (1.0 + expected.abs()),
+            "query {} unified={unified} worlds={expected}",
+            inst.query
+        );
+    }
+
+    /// The engine's support never grows during BSM runs (Lemma 6.6).
+    #[test]
+    fn support_never_grows(seed in 0u64..1_000_000) {
+        let mut inst = random_instance(seed, 4, 4, 4, 3);
+        let d = inst.database.clone();
+        let d_r = repair_db(&mut inst, 4, 3);
+        let sol = bsm::maximize(&inst.query, &inst.interner, &d, &d_r, 3).unwrap();
+        prop_assert!(sol.stats.support_never_grew(), "{:?}", sol.stats.support_sizes);
+    }
+}

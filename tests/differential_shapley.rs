@@ -1,0 +1,162 @@
+//! Differential testing of `#Sat` and Shapley values: the unifying
+//! algorithm vs subset enumeration and the verbatim permutation
+//! definition (Theorem 5.16 + the Section 5.6 reduction, empirically).
+
+mod common;
+
+use common::{cap_facts, random_instance};
+use hq_arith::{binomial, Rational};
+use hq_db::Fact;
+use hq_unify::shapley;
+use proptest::prelude::*;
+use rand::Rng;
+
+fn split_exo_endo(
+    inst: &mut common::Instance,
+    max_endo: usize,
+) -> (Vec<Fact>, Vec<Fact>) {
+    let facts = cap_facts(&inst.database, 10).facts();
+    let mut exo = Vec::new();
+    let mut endo = Vec::new();
+    for f in facts {
+        if endo.len() < max_endo && inst.rng.gen_bool(0.7) {
+            endo.push(f);
+        } else {
+            exo.push(f);
+        }
+    }
+    (exo, endo)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// The unified #Sat vector equals subset enumeration, entry by
+    /// entry, as exact naturals.
+    #[test]
+    fn sat_counts_match_bruteforce(seed in 0u64..1_000_000) {
+        let mut inst = random_instance(seed, 4, 4, 3, 3);
+        let (exo, endo) = split_exo_endo(&mut inst, 8);
+        let unified =
+            shapley::sat_counts(&inst.query, &inst.interner, &exo, &endo).unwrap();
+        let brute = hq_baselines::sat_counts_bruteforce(
+            &inst.query,
+            &inst.interner,
+            &exo,
+            &endo,
+        );
+        for (k, expected) in brute.iter().enumerate() {
+            prop_assert_eq!(
+                unified.true_count(k),
+                expected,
+                "query {} k={}",
+                inst.query,
+                k
+            );
+        }
+    }
+
+    /// Completeness: true-counts plus false-counts are binomials —
+    /// every subset of D_n is counted exactly once.
+    #[test]
+    fn sat_totals_are_binomial(seed in 0u64..1_000_000) {
+        let mut inst = random_instance(seed, 4, 4, 4, 3);
+        let (exo, endo) = split_exo_endo(&mut inst, 10);
+        let v = shapley::sat_counts(&inst.query, &inst.interner, &exo, &endo).unwrap();
+        for k in 0..=endo.len() {
+            prop_assert_eq!(
+                v.total(k),
+                binomial(endo.len() as u64, k as u64),
+                "query {} k={}",
+                inst.query,
+                k
+            );
+        }
+    }
+
+    /// The unified Shapley value equals the subset-sum oracle exactly.
+    #[test]
+    fn shapley_matches_subset_oracle(seed in 0u64..1_000_000) {
+        let mut inst = random_instance(seed, 4, 3, 3, 3);
+        let (exo, endo) = split_exo_endo(&mut inst, 7);
+        if endo.is_empty() {
+            return Ok(());
+        }
+        let f = endo[inst.rng.gen_range(0..endo.len())].clone();
+        let unified =
+            shapley::shapley_value(&inst.query, &inst.interner, &exo, &endo, &f).unwrap();
+        let oracle = hq_baselines::shapley_by_subsets(
+            &inst.query,
+            &inst.interner,
+            &exo,
+            &endo,
+            &f,
+        );
+        prop_assert_eq!(unified, oracle, "query {} fact {}", inst.query, f.display(&inst.interner));
+    }
+
+    /// The unified Shapley value equals Definition 5.12 verbatim
+    /// (permutation walk) on small instances.
+    #[test]
+    fn shapley_matches_permutation_definition(seed in 0u64..1_000_000) {
+        let mut inst = random_instance(seed, 3, 3, 2, 3);
+        let (exo, mut endo) = split_exo_endo(&mut inst, 5);
+        endo.truncate(5);
+        if endo.is_empty() {
+            return Ok(());
+        }
+        let f = endo[inst.rng.gen_range(0..endo.len())].clone();
+        let unified =
+            shapley::shapley_value(&inst.query, &inst.interner, &exo, &endo, &f).unwrap();
+        let by_perm = hq_baselines::shapley_by_permutations(
+            &inst.query,
+            &inst.interner,
+            &exo,
+            &endo,
+            &f,
+        );
+        prop_assert_eq!(unified, by_perm, "query {}", inst.query);
+    }
+
+    /// Efficiency axiom: Shapley values over all endogenous facts sum
+    /// to Q(D_x ∪ D_n) − Q(D_x) (as 0/1 indicators).
+    #[test]
+    fn efficiency_axiom(seed in 0u64..1_000_000) {
+        let mut inst = random_instance(seed, 4, 3, 3, 3);
+        let (exo, endo) = split_exo_endo(&mut inst, 6);
+        let values =
+            shapley::shapley_values(&inst.query, &inst.interner, &exo, &endo).unwrap();
+        let total = values.iter().fold(Rational::zero(), |acc, (_, v)| &acc + v);
+        // Evaluate Q on D_x and on D_x ∪ D_n.
+        let pattern = inst.query.to_pattern(&mut inst.interner);
+        let mut dx = hq_db::Database::new();
+        for f in exo.iter().chain(endo.iter()) {
+            dx.declare(f.rel, f.tuple.arity());
+        }
+        for f in &exo {
+            dx.insert(f.clone());
+        }
+        let q_exo = hq_db::satisfiable(&dx, &pattern).unwrap();
+        for f in &endo {
+            dx.insert(f.clone());
+        }
+        let q_all = hq_db::satisfiable(&dx, &pattern).unwrap();
+        let expected = match (q_exo, q_all) {
+            (false, true) => Rational::one(),
+            _ => Rational::zero(),
+        };
+        prop_assert_eq!(total, expected, "query {}", inst.query);
+    }
+
+    /// Shapley values of a monotone query are non-negative.
+    #[test]
+    fn values_nonnegative(seed in 0u64..1_000_000) {
+        let mut inst = random_instance(seed, 4, 3, 3, 3);
+        let (exo, endo) = split_exo_endo(&mut inst, 6);
+        let values =
+            shapley::shapley_values(&inst.query, &inst.interner, &exo, &endo).unwrap();
+        for (f, v) in values {
+            prop_assert!(!v.is_negative(), "{} got {}", f.display(&inst.interner), v);
+        }
+    }
+}

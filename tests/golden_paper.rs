@@ -1,0 +1,187 @@
+//! Golden tests: every worked example and concrete claim in the paper,
+//! verified end-to-end.
+
+use hierarchical_queries::prelude::*;
+use hq_monoid::laws::{annihilation_counterexample, distributivity_counterexample};
+use hq_monoid::{BagMaxMonoid, SatCountMonoid};
+use hq_query::{non_hierarchical_witness, plan_with_order, witness_forest, PlanOrder};
+
+/// The Figure 1 instance with the Eq. (1) query.
+fn fig1() -> (Query, Database, Database, Interner) {
+    let q = parse_query("Q() :- R(A,B), S(A,C), T(A,C,D)").unwrap();
+    let (d, mut interner) = db_from_ints(&[
+        ("R", &[&[1, 5]]),
+        ("S", &[&[1, 1], &[1, 2]]),
+        ("T", &[&[1, 2, 4]]),
+    ]);
+    let r = interner.intern("R");
+    let t = interner.intern("T");
+    let mut d_r = Database::new();
+    d_r.insert_tuple(r, Tuple::ints(&[1, 6]));
+    d_r.insert_tuple(r, Tuple::ints(&[1, 7]));
+    d_r.insert_tuple(t, Tuple::ints(&[1, 1, 4]));
+    d_r.insert_tuple(t, Tuple::ints(&[1, 2, 9]));
+    (q, d, d_r, interner)
+}
+
+#[test]
+fn section1_example_queries_classified() {
+    // "the query Q_h() :- E(X,Y) ∧ F(Y,Z) is hierarchical, while
+    //  Q_nh() :- R(X) ∧ S(X,Y) ∧ T(Y) is not."
+    assert!(is_hierarchical(&q_hierarchical()));
+    assert!(!is_hierarchical(&q_non_hierarchical()));
+}
+
+#[test]
+fn fig1_initial_value_is_1() {
+    // "Initially, Q has one satisfying assignment over D, namely
+    //  (A,B,C,D) = (1,5,2,4)."
+    let (q, d, _, mut interner) = fig1();
+    let pattern = q.to_pattern(&mut interner);
+    assert_eq!(hq_db::count_matches(&d, &pattern).unwrap(), 1);
+    let matches = hq_db::all_matches(&d, &pattern).unwrap();
+    assert_eq!(
+        matches,
+        vec![vec![Value::Int(1), Value::Int(5), Value::Int(2), Value::Int(4)]]
+    );
+}
+
+#[test]
+fn fig1_suboptimal_repair_reaches_3() {
+    // "We could amend D with the two facts R(1,6) and R(1,7) from D_r,
+    //  which would bring Q(D) to 3."
+    let (q, d, _, mut interner) = fig1();
+    let r = interner.intern("R");
+    let mut d2 = d.clone();
+    d2.insert_tuple(r, Tuple::ints(&[1, 6]));
+    d2.insert_tuple(r, Tuple::ints(&[1, 7]));
+    let pattern = q.to_pattern(&mut interner);
+    assert_eq!(hq_db::count_matches(&d2, &pattern).unwrap(), 3);
+}
+
+#[test]
+fn fig1_optimal_repair_reaches_4() {
+    // "a better repair is to amend D with the two facts R(1,6) and
+    //  T(1,2,9), since this would bring Q(D) to 4. [...] the answer to
+    //  this Bag-Set Maximization instance is 4."
+    let (q, d, d_r, mut interner) = fig1();
+    let sol = bsm::maximize(&q, &interner, &d, &d_r, 2).unwrap();
+    assert_eq!(sol.optimum(), 4);
+    // And the specific repair the paper names achieves it:
+    let r = interner.intern("R");
+    let t = interner.intern("T");
+    let mut d2 = d.clone();
+    d2.insert_tuple(r, Tuple::ints(&[1, 6]));
+    d2.insert_tuple(t, Tuple::ints(&[1, 2, 9]));
+    let pattern = q.to_pattern(&mut interner);
+    assert_eq!(hq_db::count_matches(&d2, &pattern).unwrap(), 4);
+}
+
+#[test]
+fn example_52_elimination_succeeds_with_paper_step_counts() {
+    // Example 5.2: 6 steps (4 × Rule 1, 2 × Rule 2), ending in Q():-R().
+    let q = parse_query("Q() :- R(A,B), S(A,C), T(A,C,D)").unwrap();
+    for order in [PlanOrder::Rule1First, PlanOrder::Rule2First, PlanOrder::Rule1HighVar] {
+        let p = plan_with_order(&q, order).unwrap();
+        assert_eq!(p.rule1_count(), 4);
+        assert_eq!(p.rule2_count(), 2);
+    }
+}
+
+#[test]
+fn example_53_elimination_gets_stuck() {
+    // Example 5.3: R(A,B), S(B,C), T(C,D) reduces to
+    // R'(B), S(B,C), T'(C) and then no rule applies.
+    let q = parse_query("Q() :- R(A,B), S(B,C), T(C,D)").unwrap();
+    let err = plan(&q).unwrap_err();
+    let (a, b) = (err.witness.a, err.witness.b);
+    assert_eq!([q.var_name(a), q.var_name(b)], ["B", "C"]);
+    assert!(witness_forest(&q).is_none());
+}
+
+#[test]
+fn example_54_disconnected_reduces_to_single_nullary_atom() {
+    let q = parse_query("Q() :- R(A), S(B)").unwrap();
+    let p = plan(&q).unwrap();
+    assert_eq!(p.rule1_count(), 2);
+    assert_eq!(p.rule2_count(), 1);
+}
+
+#[test]
+fn section2_dalvi_suciu_pipeline_hand_value() {
+    // Running Eqs. (4)–(9) on the Fig. 1 database with p = 1/2
+    // everywhere gives P(Q) = 1/8 (worked by hand in pqe.rs tests; here
+    // we pin the exact rational).
+    let (q, d, _, interner) = fig1();
+    let tid: Vec<(Fact, Rational)> = d
+        .facts()
+        .into_iter()
+        .map(|f| (f, Rational::ratio(1, 2)))
+        .collect();
+    let p = pqe::probability_exact(&q, &interner, &tid).unwrap();
+    assert_eq!(p, Rational::ratio(1, 8));
+}
+
+#[test]
+fn section2_bsm_star_annotation_semantics() {
+    // Definition 5.10: facts in D ↦ 1̄; facts only in D_r ↦ ★ = (0,1,1,…).
+    let m = BagMaxMonoid::new(3);
+    assert_eq!(m.star().0, vec![0, 1, 1, 1]);
+    assert_eq!(m.one().0, vec![1, 1, 1, 1]);
+    assert_eq!(m.zero().0, vec![0, 0, 0, 0]);
+}
+
+#[test]
+fn section1_none_of_the_three_monoids_distribute() {
+    // "each instantiation of the 2-monoid that we consider for each of
+    //  the three problems is not going to be a semiring."
+    let pm = ProbMonoid;
+    let ps = [0.0, 0.5, 1.0];
+    assert!(distributivity_counterexample(&pm, &ps, |a, b| (a - b).abs() < 1e-12).is_some());
+    let bm = BagMaxMonoid::new(2);
+    let bs = [bm.zero(), bm.one(), bm.star()];
+    assert!(distributivity_counterexample(&bm, &bs, |a, b| a == b).is_some());
+    let sm = SatCountMonoid::new(2);
+    let ss = [sm.zero(), sm.one(), sm.star()];
+    assert!(distributivity_counterexample(&sm, &ss, |a, b| a == b).is_some());
+}
+
+#[test]
+fn section56_shapley_monoid_non_annihilating() {
+    // "the above 2-monoid does not satisfy the annihilation-by-zero
+    //  property [...] It does however satisfy the weaker property
+    //  0 ⊗ 0 = 0."
+    let sm = SatCountMonoid::new(2);
+    let ss = [sm.zero(), sm.one(), sm.star()];
+    assert!(annihilation_counterexample(&sm, &ss, |a, b| a == b).is_some());
+    assert_eq!(sm.mul(&sm.zero(), &sm.zero()), sm.zero());
+}
+
+#[test]
+fn theorem_44_witness_shape_for_every_non_hierarchical_query() {
+    // The hardness proof's canonical form: A in R,S but not T; B in S,T
+    // but not R.
+    for src in [
+        "Q() :- R(X), S(X,Y), T(Y)",
+        "Q() :- R(A,B), S(B,C), T(C,D)",
+        "Q() :- R(A,B), S(B,C), T(A,C)",
+        "Q() :- R(A,U), S(A,B), T(B,W), P(A,V)",
+    ] {
+        let q = parse_query(src).unwrap();
+        let w = non_hierarchical_witness(&q).expect(src);
+        let at_a = q.at(w.a);
+        let at_b = q.at(w.b);
+        assert!(at_a.contains(&w.r_atom) && !at_b.contains(&w.r_atom), "{src}");
+        assert!(at_a.contains(&w.s_atom) && at_b.contains(&w.s_atom), "{src}");
+        assert!(!at_a.contains(&w.t_atom) && at_b.contains(&w.t_atom), "{src}");
+    }
+}
+
+#[test]
+fn footnote_example_probability_operators() {
+    // Eq. (2)/(3): p1 ⊗ p2 = p1·p2 and p1 ⊕ p2 = p1 + p2 − p1·p2.
+    let m = ProbMonoid;
+    assert_eq!(m.mul(&0.5, &0.5), 0.25);
+    assert!((m.add(&0.5, &0.5) - 0.75).abs() < 1e-15);
+    assert!((m.add(&0.3, &0.4) - 0.58).abs() < 1e-15);
+}

@@ -1,0 +1,195 @@
+//! Theorem 6.4, executed: the provenance 2-monoid is universal.
+//!
+//! For each problem we implement the homomorphism `φ` *independently*
+//! (by brute force over the provenance formula — not by reusing the
+//! monoid operators), run Algorithm 1 once over the provenance monoid
+//! and once over the problem monoid, and check
+//! `φ(provenance result) == direct result` on random hierarchical
+//! instances. This is the paper's generic correctness proof turned
+//! into a property test.
+
+mod common;
+
+use common::{cap_facts, random_instance};
+use hq_arith::Natural;
+use hq_db::Fact;
+use hq_monoid::{
+    BagMaxMonoid, BoolMonoid, CountMonoid, ProbMonoid, Prov, SatCountMonoid, TwoMonoid,
+};
+use hq_unify::{evaluate, provenance_tree};
+use proptest::prelude::*;
+use rand::Rng;
+
+/// φ for the probability monoid: independent-events evaluation of the
+/// formula (valid because algorithm outputs are decomposable).
+fn phi_prob(tree: &Prov, probs: &[f64]) -> f64 {
+    match tree {
+        Prov::False => 0.0,
+        Prov::True => 1.0,
+        Prov::Leaf(s) => probs[*s as usize],
+        Prov::Or(cs) => 1.0 - cs.iter().map(|c| 1.0 - phi_prob(c, probs)).product::<f64>(),
+        Prov::And(cs) => cs.iter().map(|c| phi_prob(c, probs)).product(),
+    }
+}
+
+/// φ for the BSM monoid, by brute force: best formula multiplicity per
+/// budget over all repair subsets.
+fn phi_bagmax(tree: &Prov, free: &[bool], theta: usize) -> Vec<u64> {
+    let repair: Vec<usize> = (0..free.len()).filter(|&i| !free[i]).collect();
+    let mut best = vec![0u64; theta + 1];
+    for mask in 0u64..(1 << repair.len()) {
+        let cost = mask.count_ones() as usize;
+        if cost > theta {
+            continue;
+        }
+        let mult = tree.multiplicity(&|s| {
+            let i = s as usize;
+            let selected =
+                free[i] || repair.iter().position(|&r| r == i).is_some_and(|p| mask >> p & 1 == 1);
+            u64::from(selected)
+        });
+        for slot in best.iter_mut().take(theta + 1).skip(cost) {
+            *slot = (*slot).max(mult);
+        }
+    }
+    best
+}
+
+/// φ for the #Sat monoid, by brute force: subset counts per (k, bool).
+fn phi_satcount(tree: &Prov, exo: &[bool]) -> (Vec<Natural>, Vec<Natural>) {
+    let endo: Vec<usize> = (0..exo.len()).filter(|&i| !exo[i]).collect();
+    let n = endo.len();
+    let mut t = vec![Natural::zero(); n + 1];
+    let mut f = vec![Natural::zero(); n + 1];
+    for mask in 0u64..(1 << n) {
+        let k = mask.count_ones() as usize;
+        let value = tree.eval_bool(&|s| {
+            let i = s as usize;
+            exo[i] || endo.iter().position(|&e| e == i).is_some_and(|p| mask >> p & 1 == 1)
+        });
+        if value {
+            t[k].add_assign_ref(&Natural::one());
+        } else {
+            f[k].add_assign_ref(&Natural::one());
+        }
+    }
+    (t, f)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// φ_bool: formula satisfiability == Boolean-monoid run.
+    #[test]
+    fn boolean_homomorphism(seed in 0u64..1_000_000) {
+        let inst = random_instance(seed, 4, 4, 4, 3);
+        let facts = inst.database.facts();
+        let prov = provenance_tree(&inst.query, &inst.interner, &facts).unwrap();
+        prop_assert!(prov.tree.is_decomposable(), "Lemma 6.3 violated: {}", prov.tree);
+        let (direct, _) = evaluate(
+            &BoolMonoid,
+            &inst.query,
+            &inst.interner,
+            facts.iter().map(|f| (f.clone(), true)),
+        )
+        .unwrap();
+        prop_assert_eq!(prov.tree.eval_bool(&|_| true), direct, "query {}", inst.query);
+    }
+
+    /// φ_count: formula multiplicity == counting-semiring run == the
+    /// join engine's bag-set value.
+    #[test]
+    fn counting_homomorphism(seed in 0u64..1_000_000) {
+        let mut inst = random_instance(seed, 4, 4, 4, 3);
+        let facts = inst.database.facts();
+        let prov = provenance_tree(&inst.query, &inst.interner, &facts).unwrap();
+        let (direct, _) = evaluate(
+            &CountMonoid,
+            &inst.query,
+            &inst.interner,
+            facts.iter().map(|f| (f.clone(), 1u64)),
+        )
+        .unwrap();
+        prop_assert_eq!(prov.tree.multiplicity(&|_| 1), direct);
+        let pattern = inst.query.to_pattern(&mut inst.interner);
+        prop_assert_eq!(
+            hq_db::count_matches(&inst.database, &pattern).unwrap(),
+            direct,
+            "query {}",
+            inst.query
+        );
+    }
+
+    /// φ_prob: independent-events formula probability == probability-
+    /// monoid run.
+    #[test]
+    fn probability_homomorphism(seed in 0u64..1_000_000) {
+        let mut inst = random_instance(seed, 4, 4, 4, 3);
+        let facts = inst.database.facts();
+        let prov = provenance_tree(&inst.query, &inst.interner, &facts).unwrap();
+        let probs: Vec<f64> =
+            facts.iter().map(|_| inst.rng.gen_range(0.0..=1.0)).collect();
+        let phi = phi_prob(&prov.tree, &probs);
+        let (direct, _) = evaluate(
+            &ProbMonoid,
+            &inst.query,
+            &inst.interner,
+            facts
+                .iter()
+                .enumerate()
+                .map(|(i, f)| (f.clone(), probs[i])),
+        )
+        .unwrap();
+        prop_assert!((phi - direct).abs() < 1e-9, "query {} φ={phi} direct={direct}", inst.query);
+    }
+
+    /// φ_bagmax: brute-force best-multiplicity-per-budget == BSM-monoid
+    /// run with the ψ annotations of Definition 5.10.
+    #[test]
+    fn bagmax_homomorphism(seed in 0u64..1_000_000) {
+        let mut inst = random_instance(seed, 4, 4, 3, 3);
+        let facts = cap_facts(&inst.database, 9).facts();
+        let prov = provenance_tree(&inst.query, &inst.interner, &facts).unwrap();
+        let free: Vec<bool> = facts.iter().map(|_| inst.rng.gen_bool(0.5)).collect();
+        let theta = 3usize;
+        let monoid = BagMaxMonoid::new(theta);
+        let annotated: Vec<(Fact, _)> = facts
+            .iter()
+            .enumerate()
+            .map(|(i, f)| {
+                let ann = if free[i] { monoid.one() } else { monoid.star() };
+                (f.clone(), ann)
+            })
+            .collect();
+        let (direct, _) =
+            evaluate(&monoid, &inst.query, &inst.interner, annotated).unwrap();
+        let phi = phi_bagmax(&prov.tree, &free, theta);
+        prop_assert_eq!(direct.0, phi, "query {}", inst.query);
+    }
+
+    /// φ_#Sat: brute-force subset counts per (k, bool) == #Sat-monoid
+    /// run with the ψ annotations of Definition 5.15 — including the
+    /// false-side counts, which exercise the non-annihilating ⊗.
+    #[test]
+    fn satcount_homomorphism(seed in 0u64..1_000_000) {
+        let mut inst = random_instance(seed, 4, 4, 3, 3);
+        let facts = cap_facts(&inst.database, 9).facts();
+        let prov = provenance_tree(&inst.query, &inst.interner, &facts).unwrap();
+        let exo: Vec<bool> = facts.iter().map(|_| inst.rng.gen_bool(0.4)).collect();
+        let n_endo = exo.iter().filter(|&&e| !e).count();
+        let monoid = SatCountMonoid::new(n_endo);
+        let annotated: Vec<(Fact, _)> = facts
+            .iter()
+            .enumerate()
+            .map(|(i, f)| {
+                let ann = if exo[i] { monoid.one() } else { monoid.star() };
+                (f.clone(), ann)
+            })
+            .collect();
+        let (direct, _) =
+            evaluate(&monoid, &inst.query, &inst.interner, annotated).unwrap();
+        let (t, f) = phi_satcount(&prov.tree, &exo);
+        prop_assert_eq!(&direct.t[..], &t[..], "true-side, query {}", inst.query);
+        prop_assert_eq!(&direct.f[..], &f[..], "false-side, query {}", inst.query);
+    }
+}
