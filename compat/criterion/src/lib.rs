@@ -1,0 +1,293 @@
+//! Minimal, dependency-free stand-in for the `criterion` API surface
+//! used by this workspace's benches: benchmark groups with
+//! `sample_size`/`warm_up_time`/`measurement_time`/`throughput`,
+//! `bench_with_input`/`bench_function`, `BenchmarkId`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Reporting is plain text: mean wall-clock per iteration (and
+//! elements/second when a throughput is set). No statistics beyond the
+//! mean over the sampled batches are computed.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name}");
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            sample_size: 10,
+            warm_up: Duration::from_millis(100),
+            measurement: Duration::from_millis(500),
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let group = self.benchmark_group(name.to_owned());
+        let mut b = Bencher::new(group.sample_size, group.warm_up, group.measurement);
+        f(&mut b);
+        group.report(name, &b);
+        self
+    }
+}
+
+/// A benchmark identifier `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Builds a parameter-only id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Input size used to derive a rate column.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Number of logical elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of measured samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Warm-up duration before measurement.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Target total measurement duration.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Sets the throughput basis for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks `f` with the given input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.sample_size, self.warm_up, self.measurement);
+        f(&mut b, input);
+        self.report(&id.label, &b);
+        self
+    }
+
+    /// Benchmarks `f` without an explicit input.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: BenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size, self.warm_up, self.measurement);
+        f(&mut b);
+        self.report(&id.label, &b);
+        self
+    }
+
+    /// Ends the group (reporting already happened per benchmark).
+    pub fn finish(self) {}
+
+    fn report(&self, label: &str, b: &Bencher) {
+        let Some(mean) = b.mean_ns() else {
+            println!("{}/{label}: no measurement", self.name);
+            return;
+        };
+        let time = format_ns(mean);
+        match self.throughput {
+            Some(Throughput::Elements(n)) if mean > 0.0 => {
+                let rate = n as f64 / (mean * 1e-9);
+                println!(
+                    "{}/{label}: {time}/iter ({:.3} Melem/s, {} iters)",
+                    self.name,
+                    rate / 1e6,
+                    b.total_iters
+                );
+            }
+            Some(Throughput::Bytes(n)) if mean > 0.0 => {
+                let rate = n as f64 / (mean * 1e-9);
+                println!(
+                    "{}/{label}: {time}/iter ({:.3} MiB/s, {} iters)",
+                    self.name,
+                    rate / (1024.0 * 1024.0),
+                    b.total_iters
+                );
+            }
+            _ => println!(
+                "{}/{label}: {time}/iter ({} iters)",
+                self.name, b.total_iters
+            ),
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Runs and times the measured closure.
+pub struct Bencher {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    total_time: Duration,
+    total_iters: u64,
+}
+
+impl Bencher {
+    fn new(sample_size: usize, warm_up: Duration, measurement: Duration) -> Self {
+        Bencher {
+            sample_size,
+            warm_up,
+            measurement,
+            total_time: Duration::ZERO,
+            total_iters: 0,
+        }
+    }
+
+    /// Times repeated runs of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run until the warm-up budget is spent, estimating
+        // the per-iteration cost as we go.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        loop {
+            black_box(f());
+            warm_iters += 1;
+            if warm_start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        // Size batches so `sample_size` batches fill the measurement
+        // budget.
+        let budget = self.measurement.as_secs_f64();
+        let batch = ((budget / self.sample_size as f64 / per_iter.max(1e-9)).ceil() as u64).max(1);
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            total += start.elapsed();
+            iters += batch;
+        }
+        self.total_time = total;
+        self.total_iters = iters;
+    }
+
+    fn mean_ns(&self) -> Option<f64> {
+        if self.total_iters == 0 {
+            return None;
+        }
+        Some(self.total_time.as_secs_f64() * 1e9 / self.total_iters as f64)
+    }
+}
+
+/// Collects benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim_smoke");
+        group
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        group.throughput(Throughput::Elements(64));
+        group.bench_with_input(BenchmarkId::new("sum", 64), &64u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group!(smoke, quick);
+
+    #[test]
+    fn runs_and_measures() {
+        smoke();
+    }
+}

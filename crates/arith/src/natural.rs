@@ -143,7 +143,10 @@ impl Natural {
             *limb = d2;
             borrow = (b1 as u64) + (b2 as u64);
         }
-        debug_assert_eq!(borrow, 0, "checked_sub: borrow out of range after cmp guard");
+        debug_assert_eq!(
+            borrow, 0,
+            "checked_sub: borrow out of range after cmp guard"
+        );
         let mut n = Natural { limbs: out };
         n.normalize();
         Some(n)
@@ -314,7 +317,9 @@ impl From<u128> for Natural {
     fn from(v: u128) -> Self {
         let lo = v as u64;
         let hi = (v >> 64) as u64;
-        let mut n = Natural { limbs: vec![lo, hi] };
+        let mut n = Natural {
+            limbs: vec![lo, hi],
+        };
         n.normalize();
         n
     }

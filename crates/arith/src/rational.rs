@@ -23,12 +23,20 @@ pub struct Rational {
 impl Rational {
     /// The rational zero.
     pub fn zero() -> Self {
-        Rational { neg: false, num: Natural::zero(), den: Natural::one() }
+        Rational {
+            neg: false,
+            num: Natural::zero(),
+            den: Natural::one(),
+        }
     }
 
     /// The rational one.
     pub fn one() -> Self {
-        Rational { neg: false, num: Natural::one(), den: Natural::one() }
+        Rational {
+            neg: false,
+            num: Natural::one(),
+            den: Natural::one(),
+        }
     }
 
     /// Builds `num / den` in lowest terms.
@@ -37,12 +45,21 @@ impl Rational {
     /// Panics if `den` is zero.
     pub fn from_naturals(num: Natural, den: Natural) -> Self {
         assert!(!den.is_zero(), "rational with zero denominator");
-        Rational { neg: false, num, den }.reduced()
+        Rational {
+            neg: false,
+            num,
+            den,
+        }
+        .reduced()
     }
 
     /// Builds the integer `v`.
     pub fn from_u64(v: u64) -> Self {
-        Rational { neg: false, num: Natural::from(v), den: Natural::one() }
+        Rational {
+            neg: false,
+            num: Natural::from(v),
+            den: Natural::one(),
+        }
     }
 
     /// Builds the integer `v` (signed).
@@ -129,12 +146,20 @@ impl Rational {
     /// Panics if the value is zero.
     pub fn recip(&self) -> Rational {
         assert!(!self.is_zero(), "reciprocal of zero");
-        Rational { neg: self.neg, num: self.den.clone(), den: self.num.clone() }
+        Rational {
+            neg: self.neg,
+            num: self.den.clone(),
+            den: self.num.clone(),
+        }
     }
 
     /// Absolute value.
     pub fn abs(&self) -> Rational {
-        Rational { neg: false, num: self.num.clone(), den: self.den.clone() }
+        Rational {
+            neg: false,
+            num: self.num.clone(),
+            den: self.den.clone(),
+        }
     }
 }
 
@@ -181,7 +206,12 @@ impl Add<&Rational> for &Rational {
         }
         if self.neg == rhs.neg {
             let (num, den) = Rational::add_magnitudes(self, rhs);
-            Rational { neg: self.neg, num, den }.reduced()
+            Rational {
+                neg: self.neg,
+                num,
+                den,
+            }
+            .reduced()
         } else {
             let (flip, num, den) = Rational::sub_magnitudes(self, rhs);
             let neg = self.neg ^ flip;
@@ -253,7 +283,10 @@ impl Neg for Rational {
         if self.is_zero() {
             self
         } else {
-            Rational { neg: !self.neg, ..self }
+            Rational {
+                neg: !self.neg,
+                ..self
+            }
         }
     }
 }

@@ -156,7 +156,10 @@ mod tests {
     #[test]
     fn bcbs_rejects_sparse_graph() {
         // A single edge has no K_{2,2}.
-        let g = Graph { n: 4, edges: vec![(0, 1)] };
+        let g = Graph {
+            n: 4,
+            edges: vec![(0, 1)],
+        };
         assert!(bcbs_decision(&g, 1)); // one edge IS a K_{1,1}
         assert!(!bcbs_decision(&g, 2));
     }
@@ -186,14 +189,8 @@ mod tests {
             let g = random_graph(n, 0.5, &mut r);
             for k in 1..=2usize {
                 let inst = reduce_bcbs_to_bsm(&q, &g, k);
-                let bsm = decide_bruteforce(
-                    &q,
-                    &inst.interner,
-                    &inst.d,
-                    &inst.d_r,
-                    inst.theta,
-                    inst.tau,
-                );
+                let bsm =
+                    decide_bruteforce(&q, &inst.interner, &inst.d, &inst.d_r, inst.theta, inst.tau);
                 assert_eq!(
                     bcbs_decision(&g, k),
                     bsm,
@@ -221,14 +218,8 @@ mod tests {
             let g = random_graph(5, 0.6, &mut r);
             let k = 2;
             let inst = reduce_bcbs_to_bsm(&q, &g, k);
-            let bsm = decide_bruteforce(
-                &q,
-                &inst.interner,
-                &inst.d,
-                &inst.d_r,
-                inst.theta,
-                inst.tau,
-            );
+            let bsm =
+                decide_bruteforce(&q, &inst.interner, &inst.d, &inst.d_r, inst.theta, inst.tau);
             assert_eq!(bcbs_decision(&g, k), bsm, "trial {trial}");
         }
     }
@@ -251,7 +242,10 @@ mod tests {
     #[test]
     fn empty_graph_is_no_for_positive_k() {
         let q = q_non_hierarchical();
-        let g = Graph { n: 4, edges: vec![] };
+        let g = Graph {
+            n: 4,
+            edges: vec![],
+        };
         let inst = reduce_bcbs_to_bsm(&q, &g, 1);
         assert!(!decide_bruteforce(
             &q,

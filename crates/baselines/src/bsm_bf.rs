@@ -38,7 +38,14 @@ fn search(
     for (i, f) in candidates.iter().enumerate() {
         base.insert(f.clone());
         chosen.push(f.clone());
-        search(pattern, base, &candidates[i + 1..], budget - 1, chosen, best);
+        search(
+            pattern,
+            base,
+            &candidates[i + 1..],
+            budget - 1,
+            chosen,
+            best,
+        );
         chosen.pop();
         base.remove(f);
     }
@@ -58,11 +65,7 @@ pub fn maximize_bruteforce(
 ) -> BruteBsm {
     let mut i2 = interner.clone();
     let pattern = q.to_pattern(&mut i2);
-    let candidates: Vec<Fact> = d_r
-        .facts()
-        .into_iter()
-        .filter(|f| !d.contains(f))
-        .collect();
+    let candidates: Vec<Fact> = d_r.facts().into_iter().filter(|f| !d.contains(f)).collect();
     assert!(
         candidates.len() <= 30,
         "brute-force BSM beyond 30 candidate facts"
@@ -78,7 +81,14 @@ pub fn maximize_bruteforce(
         witness: Vec::new(),
     };
     let mut chosen = Vec::new();
-    search(&pattern, &mut base, &candidates, theta, &mut chosen, &mut best);
+    search(
+        &pattern,
+        &mut base,
+        &candidates,
+        theta,
+        &mut chosen,
+        &mut best,
+    );
     best
 }
 
@@ -126,8 +136,11 @@ mod tests {
         assert_eq!(res.witness.len(), 2);
         // Every optimal repair pairs one new R-fact with one new T-fact
         // (the paper exhibits R(1,6) + T(1,2,9); R(1,6) + T(1,1,4) ties).
-        let names: Vec<String> =
-            res.witness.iter().map(|f| f.display(&i).to_string()).collect();
+        let names: Vec<String> = res
+            .witness
+            .iter()
+            .map(|f| f.display(&i).to_string())
+            .collect();
         assert!(names.iter().any(|n| n.starts_with("R(1, ")), "{names:?}");
         assert!(names.iter().any(|n| n.starts_with("T(1, ")), "{names:?}");
     }

@@ -91,8 +91,7 @@ pub fn shapley_by_permutations(
         let before: Vec<&Fact> = perm[..pos].iter().map(|&i| &endogenous[i]).collect();
         let mut after = before.clone();
         after.push(fact);
-        if !holds(&pattern, exogenous, &before, &all) && holds(&pattern, exogenous, &after, &all)
-        {
+        if !holds(&pattern, exogenous, &before, &all) && holds(&pattern, exogenous, &after, &all) {
             flips.add_assign_ref(&Natural::one());
         }
     });

@@ -38,7 +38,10 @@ fn world_satisfies(pattern: &Pattern, facts: &[(Fact, f64)], mask: u64) -> bool 
 /// Panics if more than 62 facts are supplied (the enumeration would
 /// not terminate in any reasonable time anyway).
 pub fn probability_exhaustive(q: &Query, interner: &Interner, facts: &[(Fact, f64)]) -> f64 {
-    assert!(facts.len() <= 62, "possible-world enumeration beyond 62 facts");
+    assert!(
+        facts.len() <= 62,
+        "possible-world enumeration beyond 62 facts"
+    );
     let mut i2 = interner.clone();
     let pattern = q.to_pattern(&mut i2);
     let mut total = 0.0;
@@ -65,8 +68,7 @@ pub fn probability_exhaustive_exact(
     assert!(facts.len() <= 30, "exact enumeration beyond 30 facts");
     let mut i2 = interner.clone();
     let pattern = q.to_pattern(&mut i2);
-    let float_facts: Vec<(Fact, f64)> =
-        facts.iter().map(|(f, _)| (f.clone(), 0.0)).collect();
+    let float_facts: Vec<(Fact, f64)> = facts.iter().map(|(f, _)| (f.clone(), 0.0)).collect();
     let one = Rational::one();
     let mut total = Rational::zero();
     for mask in 0..(1u64 << facts.len()) {
@@ -88,7 +90,7 @@ pub fn probability_exhaustive_exact(
 }
 
 /// Exact `P(Q)` by possible-world enumeration, parallelised with
-/// crossbeam scoped threads over the top bits of the world mask.
+/// std scoped threads over the top bits of the world mask.
 ///
 /// # Panics
 /// Panics if more than 62 facts are supplied.
@@ -98,17 +100,20 @@ pub fn probability_exhaustive_parallel(
     facts: &[(Fact, f64)],
     threads: usize,
 ) -> f64 {
-    assert!(facts.len() <= 62, "possible-world enumeration beyond 62 facts");
+    assert!(
+        facts.len() <= 62,
+        "possible-world enumeration beyond 62 facts"
+    );
     let threads = threads.max(1);
     let mut i2 = interner.clone();
     let pattern = q.to_pattern(&mut i2);
     let total_worlds: u64 = 1u64 << facts.len();
     let chunk = total_worlds.div_ceil(threads as u64);
     let mut partials = vec![0.0f64; threads];
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (t, slot) in partials.iter_mut().enumerate() {
             let pattern = &pattern;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let lo = chunk * t as u64;
                 let hi = (lo + chunk).min(total_worlds);
                 let mut acc = 0.0;
@@ -125,8 +130,7 @@ pub fn probability_exhaustive_parallel(
                 *slot = acc;
             });
         }
-    })
-    .expect("world-sweep worker panicked");
+    });
     partials.iter().sum()
 }
 

@@ -37,7 +37,11 @@ fn bench_orders(c: &mut Criterion) {
     }
     // Sanity: all orders produce the same probability.
     let mut results = Vec::new();
-    for order in [PlanOrder::Rule1First, PlanOrder::Rule2First, PlanOrder::Rule1HighVar] {
+    for order in [
+        PlanOrder::Rule1First,
+        PlanOrder::Rule2First,
+        PlanOrder::Rule1HighVar,
+    ] {
         let p = plan_with_order(&w.query, order).unwrap();
         let db = annotate(
             &w.query,

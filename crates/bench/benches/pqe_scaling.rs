@@ -1,9 +1,12 @@
 //! E3: Probabilistic Query Evaluation scales linearly in |D|
-//! (Theorem 5.8). Series over chain and star (Eq. 1) queries.
+//! (Theorem 5.8). Series over chain and star (Eq. 1) queries, racing
+//! the ordered-map and columnar storage backends on identical
+//! workloads (they return bit-identical probabilities; only the
+//! constants differ).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use hq_bench::{chain_tid, star_tid};
-use hq_unify::pqe;
+use hq_unify::{pqe, Backend};
 use std::time::Duration;
 
 fn bench_pqe(c: &mut Criterion) {
@@ -13,17 +16,36 @@ fn bench_pqe(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_millis(600));
     for n in [1_000usize, 4_000, 16_000] {
-        let w = chain_tid(n, 11);
-        group.throughput(Throughput::Elements(w.tid.len() as u64));
-        group.bench_with_input(BenchmarkId::new("chain", w.tid.len()), &w, |b, w| {
-            b.iter(|| pqe::probability(&w.query, &w.interner, &w.tid).unwrap())
-        });
-        let w = star_tid(n, 12);
-        group.throughput(Throughput::Elements(w.tid.len() as u64));
-        group.bench_with_input(BenchmarkId::new("star_eq1", w.tid.len()), &w, |b, w| {
-            b.iter(|| pqe::probability(&w.query, &w.interner, &w.tid).unwrap())
-        });
+        for backend in Backend::ALL {
+            let w = chain_tid(n, 11);
+            group.throughput(Throughput::Elements(w.tid.len() as u64));
+            group.bench_with_input(
+                BenchmarkId::new(format!("chain_{backend}"), w.tid.len()),
+                &w,
+                |b, w| {
+                    b.iter(|| pqe::probability_on(backend, &w.query, &w.interner, &w.tid).unwrap())
+                },
+            );
+            let w = star_tid(n, 12);
+            group.throughput(Throughput::Elements(w.tid.len() as u64));
+            group.bench_with_input(
+                BenchmarkId::new(format!("star_eq1_{backend}"), w.tid.len()),
+                &w,
+                |b, w| {
+                    b.iter(|| pqe::probability_on(backend, &w.query, &w.interner, &w.tid).unwrap())
+                },
+            );
+        }
     }
+    // Sanity: the backends agree bit-for-bit on the largest workload.
+    let w = chain_tid(16_000, 11);
+    let pm = pqe::probability_on(Backend::Map, &w.query, &w.interner, &w.tid).unwrap();
+    let pc = pqe::probability_on(Backend::Columnar, &w.query, &w.interner, &w.tid).unwrap();
+    assert_eq!(
+        pm.to_bits(),
+        pc.to_bits(),
+        "backends disagreed: {pm} vs {pc}"
+    );
     group.finish();
 }
 

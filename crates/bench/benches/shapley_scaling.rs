@@ -20,8 +20,7 @@ fn bench_shapley(c: &mut Criterion) {
             &w,
             |b, w| {
                 b.iter(|| {
-                    shapley::sat_counts(&w.query, &w.interner, &w.exogenous, &w.endogenous)
-                        .unwrap()
+                    shapley::sat_counts(&w.query, &w.interner, &w.exogenous, &w.endogenous).unwrap()
                 })
             },
         );

@@ -41,14 +41,20 @@ pub fn chain_tid(facts_per_relation: usize, seed: u64) -> TidWorkload {
     fill_relation(
         &mut database,
         e,
-        &[ColumnDist::Uniform { domain: wide_dom }, ColumnDist::Uniform { domain: join_dom }],
+        &[
+            ColumnDist::Uniform { domain: wide_dom },
+            ColumnDist::Uniform { domain: join_dom },
+        ],
         facts_per_relation,
         &mut r,
     );
     fill_relation(
         &mut database,
         f,
-        &[ColumnDist::Uniform { domain: join_dom }, ColumnDist::Uniform { domain: wide_dom }],
+        &[
+            ColumnDist::Uniform { domain: join_dom },
+            ColumnDist::Uniform { domain: wide_dom },
+        ],
         facts_per_relation,
         &mut r,
     );
@@ -57,7 +63,12 @@ pub fn chain_tid(facts_per_relation: usize, seed: u64) -> TidWorkload {
         .into_iter()
         .map(|fact| (fact, r.gen_range(0.05..0.95)))
         .collect();
-    TidWorkload { query, interner, database, tid }
+    TidWorkload {
+        query,
+        interner,
+        database,
+        tid,
+    }
 }
 
 /// Builds a TID workload for the paper's Eq. (1) query
@@ -76,14 +87,20 @@ pub fn star_tid(facts_per_relation: usize, seed: u64) -> TidWorkload {
     fill_relation(
         &mut database,
         rel_r,
-        &[ColumnDist::Uniform { domain: a_dom }, ColumnDist::Uniform { domain: wide }],
+        &[
+            ColumnDist::Uniform { domain: a_dom },
+            ColumnDist::Uniform { domain: wide },
+        ],
         facts_per_relation,
         &mut r,
     );
     fill_relation(
         &mut database,
         rel_s,
-        &[ColumnDist::Uniform { domain: a_dom }, ColumnDist::Uniform { domain: c_dom }],
+        &[
+            ColumnDist::Uniform { domain: a_dom },
+            ColumnDist::Uniform { domain: c_dom },
+        ],
         facts_per_relation,
         &mut r,
     );
@@ -103,7 +120,12 @@ pub fn star_tid(facts_per_relation: usize, seed: u64) -> TidWorkload {
         .into_iter()
         .map(|fact| (fact, r.gen_range(0.05..0.95)))
         .collect();
-    TidWorkload { query, interner, database, tid }
+    TidWorkload {
+        query,
+        interner,
+        database,
+        tid,
+    }
 }
 
 /// A Bag-Set Maximization workload `(Q, D, D_r)` over the Eq. (1)
@@ -130,8 +152,20 @@ pub fn bsm_workload(d_size: usize, dr_size: usize, seed: u64) -> BsmWorkload {
     let c_dom = 4u64;
     let wide = (d_size as u64 * 4).max(8);
     for (name, cols) in [
-        ("R", vec![ColumnDist::Uniform { domain: a_dom }, ColumnDist::Uniform { domain: wide }]),
-        ("S", vec![ColumnDist::Uniform { domain: a_dom }, ColumnDist::Uniform { domain: c_dom }]),
+        (
+            "R",
+            vec![
+                ColumnDist::Uniform { domain: a_dom },
+                ColumnDist::Uniform { domain: wide },
+            ],
+        ),
+        (
+            "S",
+            vec![
+                ColumnDist::Uniform { domain: a_dom },
+                ColumnDist::Uniform { domain: c_dom },
+            ],
+        ),
         (
             "T",
             vec![
@@ -144,7 +178,12 @@ pub fn bsm_workload(d_size: usize, dr_size: usize, seed: u64) -> BsmWorkload {
         let rel = interner.intern(name);
         fill_relation(&mut d_r, rel, &cols, dr_size, &mut r);
     }
-    BsmWorkload { query: base.query, interner, d: base.database, d_r }
+    BsmWorkload {
+        query: base.query,
+        interner,
+        d: base.database,
+        d_r,
+    }
 }
 
 /// A Shapley workload: chain query with an exogenous/endogenous split.
@@ -161,12 +200,21 @@ pub struct ShapleyWorkload {
 
 /// Builds a Shapley workload with roughly `endo_fraction` of the facts
 /// endogenous.
-pub fn shapley_workload(facts_per_relation: usize, endo_fraction: f64, seed: u64) -> ShapleyWorkload {
+pub fn shapley_workload(
+    facts_per_relation: usize,
+    endo_fraction: f64,
+    seed: u64,
+) -> ShapleyWorkload {
     let base = chain_tid(facts_per_relation, seed);
     let mut r = rng(seed ^ 0xFACE);
     let (exogenous, endogenous) =
         hq_db::generate::random_endogenous_split(&base.database, endo_fraction, &mut r);
-    ShapleyWorkload { query: base.query, interner: base.interner, exogenous, endogenous }
+    ShapleyWorkload {
+        query: base.query,
+        interner: base.interner,
+        exogenous,
+        endogenous,
+    }
 }
 
 /// Times a closure, returning `(result, milliseconds)`.
@@ -264,7 +312,10 @@ mod tests {
     fn table_renders_aligned() {
         let t = render_table(
             &["n", "time"],
-            &[vec!["10".into(), "1.5".into()], vec!["1000".into(), "2.25".into()]],
+            &[
+                vec!["10".into(), "1.5".into()],
+                vec!["1000".into(), "2.25".into()],
+            ],
         );
         assert!(t.contains("| n    | time |"));
         assert_eq!(t.lines().count(), 4);

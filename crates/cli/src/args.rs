@@ -49,7 +49,8 @@ impl Args {
     /// # Errors
     /// Returns a usage message when missing.
     pub fn require(&self, key: &str) -> Result<&str, String> {
-        self.get(key).ok_or_else(|| format!("missing required option '--{key}'"))
+        self.get(key)
+            .ok_or_else(|| format!("missing required option '--{key}'"))
     }
 
     /// Whether a bare `--flag` was given.

@@ -10,6 +10,10 @@
 //!
 //! Database files use the `hq-db` text format: one fact per line
 //! (`R(1, alice)`), optional probability after `@`, `#` comments.
+//!
+//! Solver commands accept `--backend map|columnar` to pick the
+//! annotated-relation storage layout (default: columnar, the fast
+//! path; both produce bit-identical answers).
 
 use hq_arith::Rational;
 use hq_db::text::parse_database;
@@ -17,7 +21,7 @@ use hq_db::{Database, Fact, Interner};
 use hq_query::{
     is_hierarchical, non_hierarchical_witness, parse_query, plan, witness_forest, Query,
 };
-use hq_unify::{bsm, pqe, shapley};
+use hq_unify::{bsm, pqe, shapley, Backend};
 use std::process::ExitCode;
 
 mod args;
@@ -68,12 +72,23 @@ fn usage() -> String {
      \x20 provenance --query <q> --db <file>               provenance tree of Q over D\n\
      \x20 shapley --query <q> --db <file> [--exogenous <file>]\n\
      \n\
+     solver options:\n\
+     \x20 --backend map|columnar    annotated-relation storage layout (default: columnar)\n\
+     \n\
      database files: one fact per line, e.g. `R(1, alice) @ 0.9`\n"
         .to_owned()
 }
 
 fn parse_query_arg(src: &str) -> Result<Query, String> {
     parse_query(src).map_err(|e| format!("query: {e}"))
+}
+
+/// The storage backend selected by `--backend` (columnar by default).
+fn backend_arg(args: &Args) -> Result<Backend, String> {
+    match args.get("backend") {
+        Some(name) => name.parse(),
+        None => Ok(Backend::default()),
+    }
 }
 
 fn load_db(path: &str, interner: &mut Interner) -> Result<(Database, Vec<(Fact, f64)>), String> {
@@ -135,6 +150,7 @@ fn cmd_count(args: &Args) -> Result<String, String> {
 
 fn cmd_pqe(args: &Args) -> Result<String, String> {
     let q = parse_query_arg(args.require("query")?)?;
+    let backend = backend_arg(args)?;
     let mut interner = Interner::new();
     let (db, weights) = load_db(args.require("db")?, &mut interner)?;
     // Facts without explicit weights default to probability 1.
@@ -154,19 +170,20 @@ fn cmd_pqe(args: &Args) -> Result<String, String> {
             })
             .collect();
         let prob =
-            pqe::probability_exact(&q, &interner, &exact).map_err(|e| e.to_string())?;
+            pqe::probability_exact_on(backend, &q, &interner, &exact).map_err(|e| e.to_string())?;
         Ok(format!(
             "P(Q) = {prob} ≈ {:.9}\n(probabilities rounded to 1e-6 for exact mode)\n",
             prob.to_f64()
         ))
     } else {
-        let prob = pqe::probability(&q, &interner, &tid).map_err(|e| e.to_string())?;
+        let prob = pqe::probability_on(backend, &q, &interner, &tid).map_err(|e| e.to_string())?;
         Ok(format!("P(Q) = {prob:.9}\n"))
     }
 }
 
 fn cmd_bsm(args: &Args) -> Result<String, String> {
     let q = parse_query_arg(args.require("query")?)?;
+    let backend = backend_arg(args)?;
     let theta: usize = args
         .require("theta")?
         .parse()
@@ -175,7 +192,7 @@ fn cmd_bsm(args: &Args) -> Result<String, String> {
     let (d, _) = load_db(args.require("db")?, &mut interner)?;
     let (d_r, _) = load_db(args.require("repair")?, &mut interner)?;
     if args.flag("witness") {
-        let sol = bsm::maximize_with_repair(&q, &interner, &d, &d_r, theta)
+        let sol = bsm::maximize_with_repair_on(backend, &q, &interner, &d, &d_r, theta)
             .map_err(|e| e.to_string())?;
         let mut out = format!(
             "max Q(D') within budget θ={theta}: {}\n",
@@ -196,7 +213,8 @@ fn cmd_bsm(args: &Args) -> Result<String, String> {
         }
         return Ok(out);
     }
-    let sol = bsm::maximize(&q, &interner, &d, &d_r, theta).map_err(|e| e.to_string())?;
+    let sol =
+        bsm::maximize_on(backend, &q, &interner, &d, &d_r, theta).map_err(|e| e.to_string())?;
     let mut out = format!("max Q(D') within budget θ={theta}: {}\n", sol.optimum());
     out.push_str("budget curve:\n");
     for i in 0..=theta {
@@ -207,6 +225,7 @@ fn cmd_bsm(args: &Args) -> Result<String, String> {
 
 fn cmd_expected(args: &Args) -> Result<String, String> {
     let q = parse_query_arg(args.require("query")?)?;
+    let backend = backend_arg(args)?;
     let mut interner = Interner::new();
     let (db, weights) = load_db(args.require("db")?, &mut interner)?;
     let weighted: std::collections::BTreeMap<&Fact, f64> =
@@ -219,7 +238,7 @@ fn cmd_expected(args: &Args) -> Result<String, String> {
             (f, p)
         })
         .collect();
-    let e = pqe::expected_count(&q, &interner, &tid).map_err(|e| e.to_string())?;
+    let e = pqe::expected_count_on(backend, &q, &interner, &tid).map_err(|e| e.to_string())?;
     Ok(format!("E[Q(D)] = {e:.9}\n"))
 }
 
@@ -228,8 +247,7 @@ fn cmd_provenance(args: &Args) -> Result<String, String> {
     let mut interner = Interner::new();
     let (db, _) = load_db(args.require("db")?, &mut interner)?;
     let facts = db.facts();
-    let prov =
-        hq_unify::provenance_tree(&q, &interner, &facts).map_err(|e| e.to_string())?;
+    let prov = hq_unify::provenance_tree(&q, &interner, &facts).map_err(|e| e.to_string())?;
     let mut out = String::from("fact symbols:\n");
     for (i, f) in prov.symbols.iter().enumerate() {
         out.push_str(&format!("  f{i} = {}\n", f.display(&interner)));
@@ -245,6 +263,7 @@ fn cmd_provenance(args: &Args) -> Result<String, String> {
 
 fn cmd_shapley(args: &Args) -> Result<String, String> {
     let q = parse_query_arg(args.require("query")?)?;
+    let backend = backend_arg(args)?;
     let mut interner = Interner::new();
     let (endo_db, _) = load_db(args.require("db")?, &mut interner)?;
     let exogenous = match args.get("exogenous") {
@@ -252,7 +271,7 @@ fn cmd_shapley(args: &Args) -> Result<String, String> {
         None => Vec::new(),
     };
     let endogenous = endo_db.facts();
-    let values = shapley::shapley_values(&q, &interner, &exogenous, &endogenous)
+    let values = shapley::shapley_values_on(backend, &q, &interner, &exogenous, &endogenous)
         .map_err(|e| e.to_string())?;
     let mut out = String::from("Shapley values (exact):\n");
     let mut total = Rational::zero();
@@ -320,9 +339,15 @@ mod tests {
         let db = write_temp("pqe.facts", "E(1,2) @ 0.5\nF(2,3) @ 0.5\n");
         let out = run_strs(&["pqe", "--query", "Q() :- E(X,Y), F(Y,Z)", "--db", &db]).unwrap();
         assert!(out.contains("P(Q) = 0.25"), "{out}");
-        let exact =
-            run_strs(&["pqe", "--query", "Q() :- E(X,Y), F(Y,Z)", "--db", &db, "--exact"])
-                .unwrap();
+        let exact = run_strs(&[
+            "pqe",
+            "--query",
+            "Q() :- E(X,Y), F(Y,Z)",
+            "--db",
+            &db,
+            "--exact",
+        ])
+        .unwrap();
         assert!(exact.contains("1/4"), "{exact}");
     }
 
@@ -386,11 +411,63 @@ mod tests {
     #[test]
     fn provenance_command() {
         let db = write_temp("prov.facts", "E(1,2)\nF(2,3)\n");
-        let out =
-            run_strs(&["provenance", "--query", "Q() :- E(X,Y), F(Y,Z)", "--db", &db]).unwrap();
+        let out = run_strs(&[
+            "provenance",
+            "--query",
+            "Q() :- E(X,Y), F(Y,Z)",
+            "--db",
+            &db,
+        ])
+        .unwrap();
         assert!(out.contains("f0 = E(1, 2)"), "{out}");
         assert!(out.contains("∧"), "{out}");
         assert!(out.contains("decomposable: true"), "{out}");
+    }
+
+    #[test]
+    fn backend_selection_is_observably_identical() {
+        let db = write_temp("backend.facts", "E(1,2) @ 0.5\nF(2,3) @ 0.5\n");
+        let base = &["pqe", "--query", "Q() :- E(X,Y), F(Y,Z)", "--db", &db];
+        let default_out = run_strs(base).unwrap();
+        for backend in ["map", "columnar"] {
+            let mut args: Vec<&str> = base.to_vec();
+            args.extend(["--backend", backend]);
+            assert_eq!(run_strs(&args).unwrap(), default_out, "{backend}");
+        }
+        let err = run_strs(&[
+            "pqe",
+            "--query",
+            "Q() :- E(X,Y), F(Y,Z)",
+            "--db",
+            &db,
+            "--backend",
+            "btree",
+        ])
+        .unwrap_err();
+        assert!(err.contains("unknown backend"), "{err}");
+    }
+
+    #[test]
+    fn bsm_backend_flag_accepted() {
+        let d = write_temp("bsmb_d.facts", "R(1,5)\nS(1,1)\nS(1,2)\nT(1,2,4)\n");
+        let dr = write_temp("bsmb_dr.facts", "R(1,6)\nR(1,7)\nT(1,1,4)\nT(1,2,9)\n");
+        for backend in ["map", "columnar"] {
+            let out = run_strs(&[
+                "bsm",
+                "--query",
+                "Q() :- R(A,B), S(A,C), T(A,C,D)",
+                "--db",
+                &d,
+                "--repair",
+                &dr,
+                "--theta",
+                "2",
+                "--backend",
+                backend,
+            ])
+            .unwrap();
+            assert!(out.contains("budget θ=2: 4"), "{backend}: {out}");
+        }
     }
 
     #[test]

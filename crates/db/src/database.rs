@@ -62,12 +62,11 @@ impl Database {
     /// # Panics
     /// Panics if the relation exists with a different arity.
     pub fn declare(&mut self, rel: Sym, arity: usize) -> &mut Relation {
-        let r = self.relations.entry(rel).or_insert_with(|| Relation::new(arity));
-        assert_eq!(
-            r.arity(),
-            arity,
-            "relation redeclared with different arity"
-        );
+        let r = self
+            .relations
+            .entry(rel)
+            .or_insert_with(|| Relation::new(arity));
+        assert_eq!(r.arity(), arity, "relation redeclared with different arity");
         r
     }
 
@@ -233,8 +232,7 @@ mod tests {
         let (db, i) = db_from_ints(&[("S", &[&[2]]), ("R", &[&[1]])]);
         let facts = db.facts();
         assert_eq!(facts.len(), 2);
-        let rendered: Vec<String> =
-            facts.iter().map(|f| f.display(&i).to_string()).collect();
+        let rendered: Vec<String> = facts.iter().map(|f| f.display(&i).to_string()).collect();
         // BTreeMap orders by symbol id: R was interned second in the
         // groups list? No — groups insert S first, so S has symbol 0.
         assert!(rendered.contains(&"R(1)".to_string()));

@@ -1,0 +1,167 @@
+//! Order-preserving dictionary encoding of domain values.
+//!
+//! The columnar annotated-relation backend stores rows as dense
+//! [`RowCode`] matrices instead of boxed [`Tuple`]s. A [`ValueDict`]
+//! assigns every distinct [`Value`] of a problem instance a dense
+//! `u32` code **in value order**, so that
+//!
+//! * comparing code sequences lexicographically is exactly comparing
+//!   the decoded tuples lexicographically (the ordered-map backend's
+//!   `BTreeMap<Tuple, K>` iteration order), and
+//! * codes are 4 bytes instead of 16, quadrupling the row density of
+//!   sort/merge loops.
+//!
+//! The dictionary is built **once per instance**: Algorithm 1 only
+//! projects and merges, so no new domain value ever appears after the
+//! initial annotation — the closed-dictionary assumption is an
+//! invariant of the engine, not a wish.
+
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// A code assigned by a [`ValueDict`]: dense, order-preserving.
+pub type RowCode = u32;
+
+/// An immutable value ↔ code table over the distinct values of one
+/// problem instance.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ValueDict {
+    /// Distinct values in ascending order; the code of `sorted[i]` is
+    /// `i`.
+    sorted: Vec<Value>,
+}
+
+impl ValueDict {
+    /// Builds the dictionary over the distinct values of `values`.
+    ///
+    /// # Panics
+    /// Panics if more than `u32::MAX` distinct values are supplied.
+    pub fn build(values: impl IntoIterator<Item = Value>) -> Self {
+        let mut sorted: Vec<Value> = values.into_iter().collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert!(
+            u32::try_from(sorted.len()).is_ok(),
+            "value dictionary overflow"
+        );
+        ValueDict { sorted }
+    }
+
+    /// Wraps an already-sorted, duplicate-free value list (the
+    /// scatter-encoding build path produces one as a side effect).
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if `sorted` is not strictly ascending,
+    /// or (always) on more than `u32::MAX` values.
+    pub fn from_sorted(sorted: Vec<Value>) -> Self {
+        debug_assert!(
+            sorted.windows(2).all(|w| w[0] < w[1]),
+            "values must be sorted"
+        );
+        assert!(
+            u32::try_from(sorted.len()).is_ok(),
+            "value dictionary overflow"
+        );
+        ValueDict { sorted }
+    }
+
+    /// The code of `v`, if `v` was present at build time.
+    #[inline]
+    pub fn code(&self, v: Value) -> Option<RowCode> {
+        self.sorted.binary_search(&v).ok().map(|i| i as RowCode)
+    }
+
+    /// Decodes a code back to its value.
+    ///
+    /// # Panics
+    /// Panics if `code` was not produced by this dictionary.
+    #[inline]
+    pub fn value(&self, code: RowCode) -> Value {
+        self.sorted[code as usize]
+    }
+
+    /// Encodes a tuple into `out` (appending `tuple.arity()` codes).
+    /// Returns `false` (leaving `out` truncated back to its original
+    /// length) if any value is outside the dictionary.
+    pub fn encode_into(&self, tuple: &Tuple, out: &mut Vec<RowCode>) -> bool {
+        let start = out.len();
+        for &v in tuple.values() {
+            match self.code(v) {
+                Some(c) => out.push(c),
+                None => {
+                    out.truncate(start);
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Decodes a code row back into a [`Tuple`].
+    pub fn decode(&self, codes: &[RowCode]) -> Tuple {
+        codes.iter().map(|&c| self.value(c)).collect()
+    }
+
+    /// Number of distinct values.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Interner;
+
+    #[test]
+    fn codes_preserve_value_order() {
+        let mut i = Interner::new();
+        let vals = vec![
+            Value::int(30),
+            Value::int(-5),
+            i.value("b"),
+            i.value("a"),
+            Value::int(30), // duplicate
+        ];
+        let d = ValueDict::build(vals.clone());
+        assert_eq!(d.len(), 4);
+        for a in &vals {
+            for b in &vals {
+                let (ca, cb) = (d.code(*a).unwrap(), d.code(*b).unwrap());
+                assert_eq!(ca.cmp(&cb), a.cmp(b), "{a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let d = ValueDict::build([1, 5, 9].map(Value::int));
+        let t = Tuple::ints(&[9, 1, 5]);
+        let mut codes = Vec::new();
+        assert!(d.encode_into(&t, &mut codes));
+        assert_eq!(d.decode(&codes), t);
+    }
+
+    #[test]
+    fn unknown_value_rejected_and_buffer_restored() {
+        let d = ValueDict::build([1, 2].map(Value::int));
+        let mut codes = vec![7u32];
+        assert!(!d.encode_into(&Tuple::ints(&[1, 3]), &mut codes));
+        assert_eq!(codes, vec![7u32], "partial encode must be rolled back");
+        assert_eq!(d.code(Value::int(3)), None);
+    }
+
+    #[test]
+    fn empty_dictionary() {
+        let d = ValueDict::build([]);
+        assert!(d.is_empty());
+        let mut codes = Vec::new();
+        assert!(d.encode_into(&Tuple::empty(), &mut codes));
+        assert!(codes.is_empty());
+    }
+}

@@ -48,7 +48,9 @@ impl Zipf {
     /// Samples an index in `0..n`.
     pub fn sample(&self, rng: &mut impl Rng) -> usize {
         let u: f64 = rng.gen();
-        self.cumulative.partition_point(|&c| c < u).min(self.cumulative.len() - 1)
+        self.cumulative
+            .partition_point(|&c| c < u)
+            .min(self.cumulative.len() - 1)
     }
 }
 
@@ -280,7 +282,10 @@ mod tests {
         let n = fill_relation(
             &mut db,
             rel,
-            &[ColumnDist::Uniform { domain: 1000 }, ColumnDist::Uniform { domain: 1000 }],
+            &[
+                ColumnDist::Uniform { domain: 1000 },
+                ColumnDist::Uniform { domain: 1000 },
+            ],
             500,
             &mut r,
         );
@@ -294,7 +299,13 @@ mod tests {
         let mut db = Database::new();
         let rel = i.intern("R");
         let mut r = rng(4);
-        let n = fill_relation(&mut db, rel, &[ColumnDist::Uniform { domain: 3 }], 100, &mut r);
+        let n = fill_relation(
+            &mut db,
+            rel,
+            &[ColumnDist::Uniform { domain: 3 }],
+            100,
+            &mut r,
+        );
         assert!(n <= 3);
     }
 

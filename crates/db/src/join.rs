@@ -119,10 +119,7 @@ impl Pattern {
 /// connected.
 fn atom_order(db: &Database, pattern: &Pattern) -> Vec<usize> {
     let n = pattern.atoms.len();
-    let size = |i: usize| {
-        db.relation(pattern.atoms[i].rel)
-            .map_or(0, |r| r.len())
-    };
+    let size = |i: usize| db.relation(pattern.atoms[i].rel).map_or(0, |r| r.len());
     let mut bound = vec![false; pattern.var_count];
     let mut remaining: Vec<usize> = (0..n).collect();
     let mut order = Vec::with_capacity(n);
@@ -131,11 +128,7 @@ fn atom_order(db: &Database, pattern: &Pattern) -> Vec<usize> {
             .iter()
             .enumerate()
             .max_by_key(|&(_, &i)| {
-                let bound_vars = pattern.atoms[i]
-                    .vars
-                    .iter()
-                    .filter(|&&v| bound[v])
-                    .count();
+                let bound_vars = pattern.atoms[i].vars.iter().filter(|&&v| bound[v]).count();
                 // More bound vars first; then smaller relations.
                 (bound_vars, std::cmp::Reverse(size(i)))
             })
@@ -181,7 +174,11 @@ impl<'a> AtomIndex<'a> {
                     .push(t);
             }
         }
-        AtomIndex { vars: &atom.vars, bound_positions, index }
+        AtomIndex {
+            vars: &atom.vars,
+            bound_positions,
+            index,
+        }
     }
 
     fn candidates(&self, binding: &[Option<Value>]) -> &[&'a Tuple] {
@@ -248,7 +245,14 @@ pub fn enumerate(
     let mut binding: Vec<Option<Value>> = vec![None; pattern.var_count];
     let mut count = 0u64;
     let mut stopped = false;
-    search(&indexes, 0, &mut binding, &mut count, &mut stopped, &mut visit);
+    search(
+        &indexes,
+        0,
+        &mut binding,
+        &mut count,
+        &mut stopped,
+        &mut visit,
+    );
     Ok(count)
 }
 
@@ -341,7 +345,10 @@ mod tests {
     use crate::database::db_from_ints;
 
     fn atom(rel: Sym, vars: &[usize]) -> PatternAtom {
-        PatternAtom { rel, vars: vars.to_vec() }
+        PatternAtom {
+            rel,
+            vars: vars.to_vec(),
+        }
     }
 
     /// The Fig. 1 / Eq. (1) query: Q() :- R(A,B), S(A,C), T(A,C,D).
@@ -414,7 +421,10 @@ mod tests {
     fn repeated_variable_in_atom_filters() {
         let (db, mut i) = db_from_ints(&[("E", &[&[1, 1], &[1, 2], &[3, 3]])]);
         let e = i.intern("E");
-        let p = Pattern { atoms: vec![atom(e, &[0, 0])], var_count: 1 };
+        let p = Pattern {
+            atoms: vec![atom(e, &[0, 0])],
+            var_count: 1,
+        };
         // Only self-loops match E(X, X).
         assert_eq!(count_matches(&db, &p).unwrap(), 2);
     }
@@ -432,10 +442,12 @@ mod tests {
 
     #[test]
     fn satisfiable_stops_early() {
-        let (db, mut i) =
-            db_from_ints(&[("R", &[&[1], &[2], &[3], &[4], &[5], &[6], &[7]])]);
+        let (db, mut i) = db_from_ints(&[("R", &[&[1], &[2], &[3], &[4], &[5], &[6], &[7]])]);
         let r = i.intern("R");
-        let p = Pattern { atoms: vec![atom(r, &[0])], var_count: 1 };
+        let p = Pattern {
+            atoms: vec![atom(r, &[0])],
+            var_count: 1,
+        };
         let mut seen = 0;
         enumerate(&db, &p, |_| {
             seen += 1;
@@ -451,7 +463,10 @@ mod tests {
         let r = i.intern("R0");
         let mut db = Database::new();
         db.declare(r, 0);
-        let p = Pattern { atoms: vec![atom(r, &[])], var_count: 0 };
+        let p = Pattern {
+            atoms: vec![atom(r, &[])],
+            var_count: 0,
+        };
         assert_eq!(count_matches(&db, &p).unwrap(), 0);
         db.insert_tuple(r, Tuple::empty());
         assert_eq!(count_matches(&db, &p).unwrap(), 1);
@@ -461,17 +476,26 @@ mod tests {
     fn validate_rejects_bad_patterns() {
         let (db, mut i) = db_from_ints(&[("R", &[&[1, 2]])]);
         let r = i.intern("R");
-        let out_of_range = Pattern { atoms: vec![atom(r, &[0, 3])], var_count: 2 };
+        let out_of_range = Pattern {
+            atoms: vec![atom(r, &[0, 3])],
+            var_count: 2,
+        };
         assert!(matches!(
             count_matches(&db, &out_of_range),
             Err(PatternError::VarOutOfRange { var: 3 })
         ));
-        let unused = Pattern { atoms: vec![atom(r, &[0, 0])], var_count: 2 };
+        let unused = Pattern {
+            atoms: vec![atom(r, &[0, 0])],
+            var_count: 2,
+        };
         assert!(matches!(
             count_matches(&db, &unused),
             Err(PatternError::UnusedVariable { var: 1 })
         ));
-        let bad_arity = Pattern { atoms: vec![atom(r, &[0])], var_count: 1 };
+        let bad_arity = Pattern {
+            atoms: vec![atom(r, &[0])],
+            var_count: 1,
+        };
         assert!(matches!(
             count_matches(&db, &bad_arity),
             Err(PatternError::ArityMismatch { .. })

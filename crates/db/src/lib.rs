@@ -14,6 +14,7 @@
 #![warn(missing_docs)]
 
 pub mod database;
+pub mod dict;
 pub mod generate;
 pub mod join;
 pub mod relation;
@@ -22,6 +23,7 @@ pub mod tuple;
 pub mod value;
 
 pub use database::{db_from_ints, Database, Fact};
+pub use dict::{RowCode, ValueDict};
 pub use join::{all_matches, count_matches, satisfiable, Pattern, PatternAtom};
 pub use relation::Relation;
 pub use tuple::Tuple;

@@ -1,20 +1,28 @@
 //! Set relations: named collections of distinct tuples of fixed arity.
 
 use crate::tuple::Tuple;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// A *set* relation instance (the paper's input model never allows
 /// duplicate facts; bags only appear in query *outputs*).
+///
+/// Tuples are kept in an ordered set: iteration is always sorted,
+/// which the annotated-relation storage layer exploits to build its
+/// columnar code matrices without re-sorting, and which makes every
+/// display/bench/test path deterministic by construction.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Relation {
     arity: usize,
-    tuples: HashSet<Tuple>,
+    tuples: BTreeSet<Tuple>,
 }
 
 impl Relation {
     /// Creates an empty relation of the given arity.
     pub fn new(arity: usize) -> Self {
-        Relation { arity, tuples: HashSet::new() }
+        Relation {
+            arity,
+            tuples: BTreeSet::new(),
+        }
     }
 
     /// The arity every tuple must have.
@@ -57,23 +65,21 @@ impl Relation {
         self.tuples.is_empty()
     }
 
-    /// Iterates over the tuples (arbitrary order).
+    /// Iterates over the tuples in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
         self.tuples.iter()
     }
 
-    /// Returns the tuples in sorted order (deterministic iteration for
-    /// display, hashing-independent tests, and reproducible benchmarks).
+    /// Returns the tuples in sorted order (kept for API compatibility;
+    /// iteration is already sorted, so this is a plain collect).
     pub fn sorted(&self) -> Vec<&Tuple> {
-        let mut v: Vec<&Tuple> = self.tuples.iter().collect();
-        v.sort();
-        v
+        self.tuples.iter().collect()
     }
 }
 
 impl<'a> IntoIterator for &'a Relation {
     type Item = &'a Tuple;
-    type IntoIter = std::collections::hash_set::Iter<'a, Tuple>;
+    type IntoIter = std::collections::btree_set::Iter<'a, Tuple>;
     fn into_iter(self) -> Self::IntoIter {
         self.tuples.iter()
     }

@@ -47,7 +47,10 @@ pub struct ParsedDatabase {
 }
 
 fn err(line: usize, message: impl Into<String>) -> ParseError {
-    ParseError { line, message: message.into() }
+    ParseError {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Parses one value: integer if possible, otherwise interned string.

@@ -3,7 +3,9 @@
 //! rests on this engine, so it gets its own independent check.
 
 use hq_db::generate::{fill_relation, rng, ColumnDist};
-use hq_db::{all_matches, count_matches, satisfiable, Database, Interner, Pattern, PatternAtom, Value};
+use hq_db::{
+    all_matches, count_matches, satisfiable, Database, Interner, Pattern, PatternAtom, Value,
+};
 use proptest::prelude::*;
 use rand::Rng;
 use std::collections::BTreeSet;

@@ -95,12 +95,40 @@ impl BagMaxMonoid {
     fn convolve(&self, a: &BudgetVec, b: &BudgetVec, f: impl Fn(u64, u64) -> u64) -> BudgetVec {
         debug_assert_eq!(a.len(), self.len(), "operand built for a different cap");
         debug_assert_eq!(b.len(), self.len(), "operand built for a different cap");
+        // Fast path for *step vectors* `[v0, v1, v1, …]` — which is the
+        // shape of `0`, `1̄`, and `★`, i.e. every ψ-annotation, so the
+        // bulk of an Algorithm 1 run's convolutions land here. Against a
+        // monotone operand (the carrier invariant) and an `f` monotone
+        // in each argument, the maximum over `i1 + i2 = i` is reached
+        // either at `i2 = 0` or at `i2 = 1`:
+        //   out(i) = max( f(x(i), v0), f(x(i-1), v1) )
+        // — `O(θ)` instead of `O(θ²)`, bit-identical results (exact
+        // integer arithmetic; max is order-insensitive).
+        let step = |v: &BudgetVec| -> Option<(u64, u64)> {
+            let v0 = v.0[0];
+            let v1 = *v.0.get(1).unwrap_or(&v0);
+            v.0[1..].iter().all(|&x| x == v1).then_some((v0, v1))
+        };
+        let (x, shape) = match (step(b), step(a)) {
+            (Some(s), _) => (a, Some(s)),
+            (None, Some(s)) => (b, Some(s)),
+            (None, None) => (a, None),
+        };
+        if let Some((v0, v1)) = shape {
+            debug_assert!(x.is_monotone(), "carrier invariant violated");
+            let mut out = Vec::with_capacity(x.len());
+            out.push(f(x.0[0], v0));
+            for i in 1..x.len() {
+                out.push(f(x.0[i], v0).max(f(x.0[i - 1], v1)));
+            }
+            return BudgetVec(out);
+        }
         let n = self.len();
         let mut out = vec![0u64; n];
         for (i, slot) in out.iter_mut().enumerate() {
             let mut best = 0;
-            for i1 in 0..=i {
-                best = best.max(f(a.0[i1], b.0[i - i1]));
+            for (&ai, &bi) in a.0[..=i].iter().zip(b.0[..=i].iter().rev()) {
+                best = best.max(f(ai, bi));
             }
             *slot = best;
         }
@@ -124,6 +152,26 @@ impl TwoMonoid for BagMaxMonoid {
     /// Eq. (10): max-plus convolution.
     fn add(&self, a: &BudgetVec, b: &BudgetVec) -> BudgetVec {
         self.convolve(a, b, |x, y| x.saturating_add(y))
+    }
+
+    /// In-place max-plus convolution against a step vector: descending
+    /// over `i`, `acc(i) = max(acc(i) + v0, acc(i-1) + v1)` needs no
+    /// scratch — zero allocation on the engine's ⊕-fold hot path.
+    /// Non-step operands fall back to the general convolution.
+    fn add_assign(&self, acc: &mut BudgetVec, b: &BudgetVec) {
+        let v0 = b.0[0];
+        let v1 = *b.0.get(1).unwrap_or(&v0);
+        if b.0[1..].iter().all(|&x| x == v1) {
+            debug_assert!(acc.is_monotone(), "carrier invariant violated");
+            for i in (1..acc.0.len()).rev() {
+                acc.0[i] = acc.0[i]
+                    .saturating_add(v0)
+                    .max(acc.0[i - 1].saturating_add(v1));
+            }
+            acc.0[0] = acc.0[0].saturating_add(v0);
+        } else {
+            *acc = self.add(acc, b);
+        }
     }
 
     /// Eq. (11): max-times convolution.

@@ -112,9 +112,15 @@ impl BagMaxWitnessMonoid {
     /// The `★` annotation for the repair fact with id `fact`.
     pub fn star(&self, fact: u32) -> WitnessVec {
         let mut v = Vec::with_capacity(self.len());
-        v.push(WitnessEntry { value: 0, facts: Vec::new() });
+        v.push(WitnessEntry {
+            value: 0,
+            facts: Vec::new(),
+        });
         for _ in 1..self.len() {
-            v.push(WitnessEntry { value: 1, facts: vec![fact] });
+            v.push(WitnessEntry {
+                value: 1,
+                facts: vec![fact],
+            });
         }
         WitnessVec(v)
     }
@@ -132,12 +138,7 @@ impl BagMaxWitnessMonoid {
         }
     }
 
-    fn convolve(
-        &self,
-        a: &WitnessVec,
-        b: &WitnessVec,
-        f: impl Fn(u64, u64) -> u64,
-    ) -> WitnessVec {
+    fn convolve(&self, a: &WitnessVec, b: &WitnessVec, f: impl Fn(u64, u64) -> u64) -> WitnessVec {
         debug_assert_eq!(a.len(), self.len());
         debug_assert_eq!(b.len(), self.len());
         let n = self.len();
@@ -163,11 +164,23 @@ impl TwoMonoid for BagMaxWitnessMonoid {
     type Elem = WitnessVec;
 
     fn zero(&self) -> WitnessVec {
-        WitnessVec(vec![WitnessEntry { value: 0, facts: Vec::new() }; self.len()])
+        WitnessVec(vec![
+            WitnessEntry {
+                value: 0,
+                facts: Vec::new()
+            };
+            self.len()
+        ])
     }
 
     fn one(&self) -> WitnessVec {
-        WitnessVec(vec![WitnessEntry { value: 1, facts: Vec::new() }; self.len()])
+        WitnessVec(vec![
+            WitnessEntry {
+                value: 1,
+                facts: Vec::new()
+            };
+            self.len()
+        ])
     }
 
     fn add(&self, a: &WitnessVec, b: &WitnessVec) -> WitnessVec {
@@ -191,7 +204,11 @@ mod tests {
     #[test]
     fn identities_carry_empty_witnesses() {
         let m = m();
-        assert!(m.zero().0.iter().all(|e| e.value == 0 && e.facts.is_empty()));
+        assert!(m
+            .zero()
+            .0
+            .iter()
+            .all(|e| e.value == 0 && e.facts.is_empty()));
         assert!(m.one().0.iter().all(|e| e.value == 1 && e.facts.is_empty()));
     }
 
@@ -230,7 +247,11 @@ mod tests {
             &m.add(&m.star(2), &m.star(3)),
         );
         for i in 0..expr.len() {
-            assert!(expr.facts_at(i).len() <= i, "budget {i}: {:?}", expr.facts_at(i));
+            assert!(
+                expr.facts_at(i).len() <= i,
+                "budget {i}: {:?}",
+                expr.facts_at(i)
+            );
         }
     }
 

@@ -120,6 +120,31 @@ pub fn annihilation_counterexample<'a, M: TwoMonoid>(
     sample.iter().find(|a| !eq(&m.mul(a, &zero), &zero))
 }
 
+/// Checks the [`TwoMonoid::annihilating`] declaration against the
+/// sample: a monoid declaring `a ⊗ 0 = 0` must exhibit no
+/// counterexample (the converse — a conservative `false` on an
+/// actually-annihilating carrier — is always sound, it only costs
+/// skipped-⊗ opportunities).
+pub fn annihilating_flag_consistent<M: TwoMonoid>(
+    m: &M,
+    sample: &[M::Elem],
+    eq: impl Fn(&M::Elem, &M::Elem) -> bool,
+) -> bool {
+    !m.annihilating() || annihilation_counterexample(m, sample, eq).is_none()
+}
+
+/// Checks the [`TwoMonoid::is_zero`] predicate against the sample: it
+/// must hold on `zero()` itself and agree with `eq(·, zero())` on every
+/// sampled element.
+pub fn is_zero_consistent<M: TwoMonoid>(
+    m: &M,
+    sample: &[M::Elem],
+    eq: impl Fn(&M::Elem, &M::Elem) -> bool,
+) -> bool {
+    let zero = m.zero();
+    m.is_zero(&zero) && sample.iter().all(|a| m.is_zero(a) == eq(a, &zero))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

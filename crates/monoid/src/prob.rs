@@ -41,6 +41,27 @@ impl TwoMonoid for ProbMonoid {
     fn mul(&self, a: &f64, b: &f64) -> f64 {
         a * b
     }
+
+    /// IEEE-754-aware support predicate: `-0.0` *is* zero (a
+    /// probability-zero fact is absent regardless of the sign bit the
+    /// arithmetic happened to produce), `NaN` is *not* (it never
+    /// compares equal to anything, so a NaN annotation is
+    /// deterministically kept by Rule 1 pruning on every backend rather
+    /// than being pruned on some and kept on others). NaN is outside
+    /// the declared carrier `[0, 1]` — the PQE front-ends reject it up
+    /// front — so [`TwoMonoid::annihilating`] below stays sound; a
+    /// caller feeding NaN through the raw engine gets the
+    /// carrier-contract behavior (one-sided Rule 2 rows are treated as
+    /// absent), not arithmetic NaN propagation.
+    fn is_zero(&self, a: &f64) -> bool {
+        *a == 0.0
+    }
+
+    /// `p · 0 = 0` on the whole carrier `[0, 1]` (NaN/∞ are outside
+    /// the carrier and rejected by the front-ends).
+    fn annihilating(&self) -> bool {
+        true
+    }
 }
 
 /// Exact-rational probability 2-monoid.
@@ -65,6 +86,10 @@ impl TwoMonoid for ExactProbMonoid {
 
     fn mul(&self, a: &Rational, b: &Rational) -> Rational {
         a * b
+    }
+
+    fn annihilating(&self) -> bool {
+        true
     }
 }
 
@@ -110,6 +135,26 @@ mod tests {
         let sr = sample_rat();
         let w = distributivity_counterexample(&ExactProbMonoid, &sr, |a, b| a == b);
         assert!(w.is_some());
+    }
+
+    #[test]
+    fn is_zero_ieee754_edge_cases() {
+        use crate::laws::{annihilating_flag_consistent, is_zero_consistent};
+        let m = ProbMonoid;
+        // -0.0 is semantically absent; NaN is deterministically kept.
+        assert!(m.is_zero(&0.0));
+        assert!(m.is_zero(&-0.0));
+        assert!(!m.is_zero(&f64::NAN));
+        assert!(!m.is_zero(&1e-300));
+        let mut sample = sample_f64();
+        sample.push(-0.0);
+        assert!(is_zero_consistent(&m, &sample, |a, b| a == b));
+        assert!(annihilating_flag_consistent(&m, &sample, approx_eq));
+        assert!(annihilating_flag_consistent(
+            &ExactProbMonoid,
+            &sample_rat(),
+            |a, b| a == b
+        ));
     }
 
     #[test]

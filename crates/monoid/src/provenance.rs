@@ -78,9 +78,7 @@ impl Prov {
         match self {
             Prov::True | Prov::False => true,
             Prov::Leaf(s) => syms.insert(*s),
-            Prov::Or(cs) | Prov::And(cs) => {
-                cs.iter().all(|c| c.distinct_symbols(syms))
-            }
+            Prov::Or(cs) | Prov::And(cs) => cs.iter().all(|c| c.distinct_symbols(syms)),
         }
     }
 
@@ -114,9 +112,7 @@ impl Prov {
     pub fn node_count(&self) -> usize {
         match self {
             Prov::False | Prov::True | Prov::Leaf(_) => 1,
-            Prov::Or(cs) | Prov::And(cs) => {
-                1 + cs.iter().map(Prov::node_count).sum::<usize>()
-            }
+            Prov::Or(cs) | Prov::And(cs) => 1 + cs.iter().map(Prov::node_count).sum::<usize>(),
         }
     }
 }

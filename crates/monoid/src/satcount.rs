@@ -269,11 +269,7 @@ mod tests {
             let stars: Vec<SatVec> = (0..n).map(|_| m.star()).collect();
             for v in [m.sum(&stars), m.product(&stars)] {
                 for k in 0..=6usize {
-                    assert_eq!(
-                        v.total(k),
-                        binomial(n as u64, k as u64),
-                        "n={n} k={k}"
-                    );
+                    assert_eq!(v.total(k), binomial(n as u64, k as u64), "n={n} k={k}");
                 }
             }
         }

@@ -41,6 +41,10 @@ impl TwoMonoid for BoolMonoid {
     fn mul(&self, a: &bool, b: &bool) -> bool {
         *a && *b
     }
+
+    fn annihilating(&self) -> bool {
+        true
+    }
 }
 
 impl Semiring for BoolMonoid {}
@@ -66,6 +70,10 @@ impl TwoMonoid for CountMonoid {
 
     fn mul(&self, a: &u64, b: &u64) -> u64 {
         a.saturating_mul(*b)
+    }
+
+    fn annihilating(&self) -> bool {
+        true
     }
 }
 
@@ -99,6 +107,17 @@ impl TwoMonoid for RealSemiring {
     fn mul(&self, a: &f64, b: &f64) -> f64 {
         a * b
     }
+
+    /// IEEE-754-aware support predicate (same rationale as
+    /// [`crate::prob::ProbMonoid::is_zero`]): `-0.0` is zero, `NaN` is
+    /// kept.
+    fn is_zero(&self, a: &f64) -> bool {
+        *a == 0.0
+    }
+
+    fn annihilating(&self) -> bool {
+        true
+    }
 }
 
 impl Semiring for RealSemiring {}
@@ -128,6 +147,11 @@ impl TwoMonoid for TropicalMinMonoid {
 
     fn mul(&self, a: &u64, b: &u64) -> u64 {
         a.saturating_add(*b)
+    }
+
+    /// `a + ∞ saturates to ∞`, so tropical `0` annihilates.
+    fn annihilating(&self) -> bool {
+        true
     }
 }
 
@@ -163,9 +187,7 @@ mod tests {
         assert!(
             distributivity_counterexample(&TropicalMinMonoid, &sample, |a, b| a == b).is_none()
         );
-        assert!(
-            annihilation_counterexample(&TropicalMinMonoid, &sample, |a, b| a == b).is_none()
-        );
+        assert!(annihilation_counterexample(&TropicalMinMonoid, &sample, |a, b| a == b).is_none());
     }
 
     #[test]
@@ -175,6 +197,34 @@ mod tests {
         let report = check_laws(&RealSemiring, &sample, eq);
         assert!(report.all_hold(), "{report:?}");
         assert!(distributivity_counterexample(&RealSemiring, &sample, eq).is_none());
+    }
+
+    #[test]
+    fn annihilating_flags_are_consistent() {
+        use crate::laws::annihilating_flag_consistent;
+        assert!(BoolMonoid.annihilating());
+        assert!(CountMonoid.annihilating());
+        assert!(RealSemiring.annihilating());
+        assert!(TropicalMinMonoid.annihilating());
+        assert!(annihilating_flag_consistent(
+            &BoolMonoid,
+            &[false, true],
+            |a, b| a == b
+        ));
+        let nats: Vec<u64> = (0..8).collect();
+        assert!(annihilating_flag_consistent(&CountMonoid, &nats, |a, b| a == b));
+        let trop = [0u64, 1, 5, TROPICAL_INF];
+        assert!(annihilating_flag_consistent(
+            &TropicalMinMonoid,
+            &trop,
+            |a, b| a == b
+        ));
+        let reals = [0.0, 0.5, 1.0, 2.0];
+        assert!(annihilating_flag_consistent(
+            &RealSemiring,
+            &reals,
+            |a, b| a == b
+        ));
     }
 
     #[test]

@@ -42,6 +42,45 @@ pub trait TwoMonoid {
     /// The commutative-monoid operation ⊗.
     fn mul(&self, a: &Self::Elem, b: &Self::Elem) -> Self::Elem;
 
+    /// In-place `acc = acc ⊕ b` — the fold form of [`TwoMonoid::add`].
+    ///
+    /// Semantically identical to `*acc = self.add(acc, b)` (the
+    /// default); heap-carried monoids override it to reuse `acc`'s
+    /// allocation on the engine's grouped-fold hot path.
+    fn add_assign(&self, acc: &mut Self::Elem, b: &Self::Elem) {
+        *acc = self.add(acc, b);
+    }
+
+    /// Whether `a` is (semantically) the ⊕-identity `0` — the support
+    /// predicate every storage backend uses for pruning.
+    ///
+    /// The default is structural equality with [`TwoMonoid::zero`].
+    /// Carriers with non-trivial equality (IEEE-754 floats: `-0.0`,
+    /// `NaN`) must override this so that *all* backends agree on what
+    /// counts as absent; see [`crate::prob::ProbMonoid::is_zero`].
+    fn is_zero(&self, a: &Self::Elem) -> bool {
+        *a == self.zero()
+    }
+
+    /// Whether `0` annihilates under ⊗ (`a ⊗ 0 = 0` for every `a`).
+    ///
+    /// 2-monoids do not require this (the Shapley `#Sat` monoid
+    /// violates it: `⋆ ⊗ 0 ≠ 0`), but every semiring instantiation
+    /// satisfies it. The BSM monoid happens to satisfy the law too
+    /// (`x ⊗ 0̄` is the all-zeros vector) yet deliberately keeps the
+    /// default `false` so its ⊗ counts stay on the Theorem 5.11 curve. The
+    /// engine uses it in Rule 2 to skip the ⊗ against an absent side
+    /// entirely — the result is `0` and would be pruned anyway — which
+    /// keeps engine operation counts aligned with the Theorem 6.7
+    /// accounting for semirings.
+    ///
+    /// Override to `true` **only** when `mul(a, zero()) == zero()`
+    /// holds for the whole carrier; the law checkers in
+    /// [`crate::laws`] verify consistency.
+    fn annihilating(&self) -> bool {
+        false
+    }
+
     /// Folds ⊕ over an iterator (`0` for an empty iterator).
     fn sum<'a, I>(&self, items: I) -> Self::Elem
     where

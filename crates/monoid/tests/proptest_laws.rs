@@ -4,9 +4,7 @@
 
 use hq_arith::Natural;
 use hq_monoid::laws::check_laws;
-use hq_monoid::{
-    BagMaxMonoid, BudgetVec, Prov, ProvMonoid, SatCountMonoid, SatVec, TwoMonoid,
-};
+use hq_monoid::{BagMaxMonoid, BudgetVec, Prov, ProvMonoid, SatCountMonoid, SatVec, TwoMonoid};
 use proptest::prelude::*;
 
 const CAP: usize = 4;

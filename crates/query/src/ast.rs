@@ -91,7 +91,9 @@ impl Query {
         let mut out_atoms = Vec::with_capacity(atoms.len());
         for (rel, vars) in atoms {
             if !rels.insert((*rel).to_owned()) {
-                return Err(QueryError::SelfJoin { rel: (*rel).to_owned() });
+                return Err(QueryError::SelfJoin {
+                    rel: (*rel).to_owned(),
+                });
             }
             let mut seen = BTreeSet::new();
             let mut atom_vars = Vec::with_capacity(vars.len());
@@ -111,9 +113,15 @@ impl Query {
                 };
                 atom_vars.push(Var(idx));
             }
-            out_atoms.push(Atom { rel: (*rel).to_owned(), vars: atom_vars });
+            out_atoms.push(Atom {
+                rel: (*rel).to_owned(),
+                vars: atom_vars,
+            });
         }
-        Ok(Query { atoms: out_atoms, var_names })
+        Ok(Query {
+            atoms: out_atoms,
+            var_names,
+        })
     }
 
     /// The atoms in written order.
@@ -185,8 +193,7 @@ impl Query {
             while let Some(i) = stack.pop() {
                 let vars_i = self.atoms[i].var_set();
                 for (j, slot) in comp.iter_mut().enumerate() {
-                    if *slot == usize::MAX
-                        && self.atoms[j].vars.iter().any(|v| vars_i.contains(v))
+                    if *slot == usize::MAX && self.atoms[j].vars.iter().any(|v| vars_i.contains(v))
                     {
                         *slot = id;
                         stack.push(j);
@@ -225,8 +232,12 @@ impl fmt::Display for Query {
 /// The paper's running example (Eq. (1)):
 /// `Q() :- R(A,B), S(A,C), T(A,C,D)`.
 pub fn example_query() -> Query {
-    Query::new(&[("R", &["A", "B"]), ("S", &["A", "C"]), ("T", &["A", "C", "D"])])
-        .expect("example query is well-formed")
+    Query::new(&[
+        ("R", &["A", "B"]),
+        ("S", &["A", "C"]),
+        ("T", &["A", "C", "D"]),
+    ])
+    .expect("example query is well-formed")
 }
 
 /// The canonical hierarchical query `Q_h() :- E(X,Y), F(Y,Z)`.

@@ -101,8 +101,7 @@ impl EliminationPlan {
                 .enumerate()
                 .filter_map(|(i, vs)| {
                     vs.as_ref().map(|vs| {
-                        let vars: Vec<&str> =
-                            vs.iter().map(|&v| q.var_name(v)).collect();
+                        let vars: Vec<&str> = vs.iter().map(|&v| q.var_name(v)).collect();
                         format!("{}({})", names[i], vars.join(", "))
                     })
                 })
@@ -193,7 +192,10 @@ pub fn plan_with_order(q: &Query, order: PlanOrder) -> Result<EliminationPlan, N
             .collect();
         // Done: a single nullary atom.
         if alive.len() == 1 && var_sets[alive[0]].as_ref().expect("alive").is_empty() {
-            return Ok(EliminationPlan { steps, root: alive[0] });
+            return Ok(EliminationPlan {
+                steps,
+                root: alive[0],
+            });
         }
         let rule1 = find_rule1(q, &var_sets, &alive, order);
         let rule2 = find_rule2(&var_sets, &alive);
@@ -326,15 +328,11 @@ mod tests {
     #[test]
     fn example_53_gets_stuck() {
         // Q() :- R(A,B), S(B,C), T(C,D) is not hierarchical.
-        let q = Query::new(&[("R", &["A", "B"]), ("S", &["B", "C"]), ("T", &["C", "D"])])
-            .unwrap();
+        let q = Query::new(&[("R", &["A", "B"]), ("S", &["B", "C"]), ("T", &["C", "D"])]).unwrap();
         let e = plan(&q).unwrap_err();
         // The witness must involve B and C (the only overlapping pair).
         let (a, b) = (e.witness.a, e.witness.b);
-        assert_eq!(
-            [q.var_name(a), q.var_name(b)],
-            ["B", "C"]
-        );
+        assert_eq!([q.var_name(a), q.var_name(b)], ["B", "C"]);
     }
 
     #[test]
@@ -357,7 +355,11 @@ mod tests {
     #[test]
     fn step_counts_invariant_across_orders() {
         let q = example_query();
-        for order in [PlanOrder::Rule1First, PlanOrder::Rule2First, PlanOrder::Rule1HighVar] {
+        for order in [
+            PlanOrder::Rule1First,
+            PlanOrder::Rule2First,
+            PlanOrder::Rule1HighVar,
+        ] {
             let p = plan_with_order(&q, order).unwrap();
             assert_eq!(p.rule1_count(), q.var_count(), "{order:?}");
             assert_eq!(p.rule2_count(), q.atom_count() - 1, "{order:?}");
@@ -367,11 +369,14 @@ mod tests {
     #[test]
     fn all_orders_agree_on_classification() {
         for q in [example_query(), q_hierarchical(), q_non_hierarchical()] {
-            let verdicts: Vec<bool> =
-                [PlanOrder::Rule1First, PlanOrder::Rule2First, PlanOrder::Rule1HighVar]
-                    .iter()
-                    .map(|&o| plan_with_order(&q, o).is_ok())
-                    .collect();
+            let verdicts: Vec<bool> = [
+                PlanOrder::Rule1First,
+                PlanOrder::Rule2First,
+                PlanOrder::Rule1HighVar,
+            ]
+            .iter()
+            .map(|&o| plan_with_order(&q, o).is_ok())
+            .collect();
             assert!(verdicts.windows(2).all(|w| w[0] == w[1]), "{q}");
         }
     }
@@ -422,7 +427,11 @@ mod tests {
             Query::new(&[("R", &["A"]), ("S", &["B"])]).unwrap(),
             Query::new(&[("R", &["A", "B"]), ("S", &["B", "C"]), ("T", &["C", "D"])]).unwrap(),
         ] {
-            assert_eq!(is_hierarchical(&q), is_hierarchical_by_elimination(&q), "{q}");
+            assert_eq!(
+                is_hierarchical(&q),
+                is_hierarchical_by_elimination(&q),
+                "{q}"
+            );
         }
     }
 }

@@ -102,8 +102,7 @@ fn build(atoms: &[(String, Vec<String>)]) -> Query {
         .iter()
         .map(|(n, vs)| (n.as_str(), vs.iter().map(String::as_str).collect()))
         .collect();
-    let slices: Vec<(&str, &[&str])> =
-        borrowed.iter().map(|(n, vs)| (*n, vs.as_slice())).collect();
+    let slices: Vec<(&str, &[&str])> = borrowed.iter().map(|(n, vs)| (*n, vs.as_slice())).collect();
     Query::new(&slices).expect("generated queries are structurally valid")
 }
 
@@ -149,8 +148,14 @@ mod tests {
                 seen_non += 1;
             }
         }
-        assert!(seen_hier > 20, "sampler should produce hierarchical queries");
-        assert!(seen_non > 20, "sampler should produce non-hierarchical queries");
+        assert!(
+            seen_hier > 20,
+            "sampler should produce hierarchical queries"
+        );
+        assert!(
+            seen_non > 20,
+            "sampler should produce non-hierarchical queries"
+        );
     }
 
     #[test]

@@ -35,10 +35,7 @@ pub struct NonHierarchicalWitness {
 /// Searches for a non-hierarchical witness; `None` means the query is
 /// hierarchical.
 pub fn non_hierarchical_witness(q: &Query) -> Option<NonHierarchicalWitness> {
-    let at_sets: Vec<BTreeSet<usize>> = q
-        .vars()
-        .map(|v| q.at(v).into_iter().collect())
-        .collect();
+    let at_sets: Vec<BTreeSet<usize>> = q.vars().map(|v| q.at(v).into_iter().collect()).collect();
     for a in q.vars() {
         for b in q.vars() {
             if a >= b {
@@ -53,7 +50,13 @@ pub fn non_hierarchical_witness(q: &Query) -> Option<NonHierarchicalWitness> {
             let r_atom = *at_a.difference(at_b).next().expect("not a subset");
             let t_atom = *at_b.difference(at_a).next().expect("not a superset");
             let s_atom = inter[0];
-            return Some(NonHierarchicalWitness { a, b, r_atom, s_atom, t_atom });
+            return Some(NonHierarchicalWitness {
+                a,
+                b,
+                r_atom,
+                s_atom,
+                t_atom,
+            });
         }
     }
     None
@@ -91,8 +94,7 @@ mod tests {
     fn chain_of_length_three_not_hierarchical() {
         // Example 5.3: R(A,B), S(B,C), T(C,D) — stuck after eliminating
         // the private endpoints.
-        let q = Query::new(&[("R", &["A", "B"]), ("S", &["B", "C"]), ("T", &["C", "D"])])
-            .unwrap();
+        let q = Query::new(&[("R", &["A", "B"]), ("S", &["B", "C"]), ("T", &["C", "D"])]).unwrap();
         assert!(!is_hierarchical(&q));
     }
 
@@ -114,8 +116,7 @@ mod tests {
     #[test]
     fn star_query_hierarchical() {
         // R(A,B), S(A,C), T(A,D): A dominates, leaves are private.
-        let q = Query::new(&[("R", &["A", "B"]), ("S", &["A", "C"]), ("T", &["A", "D"])])
-            .unwrap();
+        let q = Query::new(&[("R", &["A", "B"]), ("S", &["A", "C"]), ("T", &["A", "D"])]).unwrap();
         assert!(is_hierarchical(&q));
     }
 
@@ -124,8 +125,7 @@ mod tests {
         // R(A,B), S(B,C): at(A)={R}, at(B)={R,S}, at(C)={S} — this IS
         // hierarchical. Adding T(A,C) breaks it: at(A)={R,T},
         // at(C)={S,T} overlap without containment.
-        let q = Query::new(&[("R", &["A", "B"]), ("S", &["B", "C"]), ("T", &["A", "C"])])
-            .unwrap();
+        let q = Query::new(&[("R", &["A", "B"]), ("S", &["B", "C"]), ("T", &["A", "C"])]).unwrap();
         assert!(!is_hierarchical(&q));
     }
 }

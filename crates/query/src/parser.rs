@@ -113,9 +113,7 @@ impl<'a> Lexer<'a> {
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let len = rest
                     .char_indices()
-                    .find(|&(_, ch)| {
-                        !(ch.is_ascii_alphanumeric() || ch == '_' || ch == '\'')
-                    })
+                    .find(|&(_, ch)| !(ch.is_ascii_alphanumeric() || ch == '_' || ch == '\''))
                     .map_or(rest.len(), |(i, _)| i);
                 let ident = &rest[..len];
                 self.pos += len;
@@ -204,12 +202,14 @@ pub fn parse_query(src: &str) -> Result<Query, ParseQueryError> {
     // Optional head "Name() :-".
     let save = lex.pos;
     let mut has_head = false;
-    if let (Ok(Tok::Ident(_)), ) = (lex.next(), ) {
-        if lex.next() == Ok(Tok::LParen) && lex.next() == Ok(Tok::RParen)
-            && lex.peek()? == Tok::Turnstile {
-                lex.next()?;
-                has_head = true;
-            }
+    if let (Ok(Tok::Ident(_)),) = (lex.next(),) {
+        if lex.next() == Ok(Tok::LParen)
+            && lex.next() == Ok(Tok::RParen)
+            && lex.peek()? == Tok::Turnstile
+        {
+            lex.next()?;
+            has_head = true;
+        }
     }
     if !has_head {
         lex.pos = save;
@@ -236,8 +236,7 @@ pub fn parse_query(src: &str) -> Result<Query, ParseQueryError> {
         .iter()
         .map(|(n, vs)| (n.as_str(), vs.iter().map(String::as_str).collect()))
         .collect();
-    let slices: Vec<(&str, &[&str])> =
-        borrowed.iter().map(|(n, vs)| (*n, vs.as_slice())).collect();
+    let slices: Vec<(&str, &[&str])> = borrowed.iter().map(|(n, vs)| (*n, vs.as_slice())).collect();
     Query::new(&slices).map_err(ParseQueryError::Invalid)
 }
 
@@ -305,7 +304,9 @@ mod tests {
         ));
         assert!(matches!(
             parse_query("R(A, A)"),
-            Err(ParseQueryError::Invalid(QueryError::RepeatedVariable { .. }))
+            Err(ParseQueryError::Invalid(
+                QueryError::RepeatedVariable { .. }
+            ))
         ));
     }
 

@@ -90,9 +90,7 @@ fn build_component(
     let universal: Vec<Var> = scope
         .iter()
         .copied()
-        .filter(|&v| {
-            comp.iter().all(|&i| q.atoms()[i].vars.contains(&v))
-        })
+        .filter(|&v| comp.iter().all(|&i| q.atoms()[i].vars.contains(&v)))
         .collect();
     if universal.is_empty() {
         return None; // stuck: not hierarchical
@@ -221,8 +219,8 @@ mod tests {
     #[test]
     fn non_hierarchical_has_no_tree() {
         assert!(witness_forest(&q_non_hierarchical()).is_none());
-        let chain = Query::new(&[("R", &["A", "B"]), ("S", &["B", "C"]), ("T", &["C", "D"])])
-            .unwrap();
+        let chain =
+            Query::new(&[("R", &["A", "B"]), ("S", &["B", "C"]), ("T", &["C", "D"])]).unwrap();
         assert!(witness_forest(&chain).is_none());
     }
 
@@ -267,8 +265,7 @@ mod tests {
             q_non_hierarchical(),
             Query::new(&[("R", &["A"]), ("S", &["B"])]).unwrap(),
             Query::new(&[("R", &["A", "B"]), ("S", &["A", "B"])]).unwrap(),
-            Query::new(&[("R", &["A", "B"]), ("S", &["B", "C"]), ("T", &["A", "C"])])
-                .unwrap(),
+            Query::new(&[("R", &["A", "B"]), ("S", &["B", "C"]), ("T", &["A", "C"])]).unwrap(),
         ];
         for q in queries {
             let pairwise = is_hierarchical(&q);

@@ -1,8 +1,8 @@
-//! K-annotated relations and databases.
+//! K-annotated databases and the fact → relation annotation layer.
 //!
 //! The unifying algorithm operates on relations whose tuples carry
 //! annotations from a 2-monoid carrier `K` (Section 2 of the paper).
-//! We store only the *support* — tuples with annotation ≠ `0` — since
+//! Only the *support* — tuples with annotation ≠ `0` — is stored, since
 //! `0` is the ⊕-identity and `0 ⊗ 0 = 0` guarantees absent-on-both-sides
 //! tuples stay absent (Lemma 6.6). Tuples absent from exactly one side
 //! of a merge are filled with `0` explicitly, because 2-monoids need
@@ -10,54 +10,35 @@
 //!
 //! Column order is canonicalised to ascending variable id so that two
 //! atoms with equal variable *sets* (the Rule 2 precondition) have
-//! directly comparable keys. Maps are `BTreeMap`s: deterministic
-//! iteration makes floating-point results and benchmarks reproducible.
+//! directly comparable keys.
+//!
+//! The physical layout of each relation is a [`Storage`]
+//! implementation; [`annotate_with`] builds any backend, and
+//! [`annotate`] is the ordered-map convenience used by the oracle
+//! paths. See [`crate::storage`] for the backend catalogue.
 
-use hq_db::{Fact, Interner, Tuple};
+use crate::storage::{BorrowedSlot, ColumnarRelation, DuplicateRow, MapRelation, Storage};
+use hq_db::{Fact, Interner, Sym, Tuple, Value};
 use hq_query::{Query, Var};
 use std::collections::BTreeMap;
 use std::fmt;
 
-/// A relation annotated with values from a 2-monoid carrier `K`,
-/// storing its support only.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct AnnotatedRelation<K> {
-    /// The schema: variable ids in ascending order.
-    pub vars: Vec<Var>,
-    /// Support tuples (keyed in `vars` order) and their annotations.
-    pub map: BTreeMap<Tuple, K>,
-}
-
-impl<K> AnnotatedRelation<K> {
-    /// An empty relation over the given (sorted) variable list.
-    pub fn empty(vars: Vec<Var>) -> Self {
-        debug_assert!(vars.windows(2).all(|w| w[0] < w[1]), "vars must be sorted");
-        AnnotatedRelation { vars, map: BTreeMap::new() }
-    }
-
-    /// Support size `|supp(R)|` (Definition 6.5).
-    pub fn support_size(&self) -> usize {
-        self.map.len()
-    }
-}
+/// Back-compatible name for the ordered-map relation layout.
+pub type AnnotatedRelation<K> = MapRelation<K>;
 
 /// A K-annotated database: one relation slot per query atom, in the
 /// query's atom order. Slots become `None` as Rule 2 merges consume
-/// them.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct AnnotatedDb<K> {
+/// them. Generic over the storage backend `R`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnnotatedDb<R> {
     /// One slot per original atom.
-    pub slots: Vec<Option<AnnotatedRelation<K>>>,
+    pub slots: Vec<Option<R>>,
 }
 
-impl<K> AnnotatedDb<K> {
+impl<R: Storage> AnnotatedDb<R> {
     /// Total support size `|D|` across alive slots (Definition 6.5).
     pub fn support_size(&self) -> usize {
-        self.slots
-            .iter()
-            .flatten()
-            .map(AnnotatedRelation::support_size)
-            .sum()
+        self.slots.iter().flatten().map(Storage::support_size).sum()
     }
 }
 
@@ -96,22 +77,27 @@ impl fmt::Display for AnnotateError {
 
 impl std::error::Error for AnnotateError {}
 
-/// Builds a K-annotated database for `q` from `(fact, annotation)`
-/// pairs. Facts over relations that do not occur in the query are
-/// ignored (they cannot influence a self-join-free query). Each slot's
-/// key tuples are reordered from the atom's written variable order to
-/// ascending variable id.
+/// Builds a K-annotated database over any [`Storage`] backend from
+/// `(fact, annotation)` pairs. Facts over relations that do not occur
+/// in the query are ignored (they cannot influence a self-join-free
+/// query). Each slot's key tuples are reordered from the atom's written
+/// variable order to ascending variable id.
 ///
 /// # Errors
 /// Returns [`AnnotateError`] on arity mismatches or duplicate facts.
-pub fn annotate<K>(
+pub fn annotate_with<R: Storage>(
     q: &Query,
     interner: &Interner,
-    facts: impl IntoIterator<Item = (Fact, K)>,
-) -> Result<AnnotatedDb<K>, AnnotateError> {
-    // Map relation symbol → (slot index, projection positions).
-    let mut by_rel: BTreeMap<hq_db::Sym, (usize, Vec<usize>)> = BTreeMap::new();
-    let mut slots: Vec<Option<AnnotatedRelation<K>>> = Vec::with_capacity(q.atom_count());
+    facts: impl IntoIterator<Item = (Fact, R::Ann)>,
+) -> Result<AnnotatedDb<R>, AnnotateError> {
+    // Map relation symbol → (slot index, projection positions). A
+    // `None` positions entry means the written order already is the
+    // sorted-var order — the common case — and the fact's own tuple can
+    // be reused without re-allocation.
+    let mut by_rel: BTreeMap<hq_db::Sym, (usize, Option<Vec<usize>>)> = BTreeMap::new();
+    let mut slot_positions: Vec<Option<Vec<usize>>> = Vec::with_capacity(q.atom_count());
+    let mut slot_vars: Vec<Vec<Var>> = Vec::with_capacity(q.atom_count());
+    let mut slot_rows: Vec<Vec<(Tuple, R::Ann)>> = Vec::with_capacity(q.atom_count());
     for (i, atom) in q.atoms().iter().enumerate() {
         let mut sorted = atom.vars.clone();
         sorted.sort_unstable();
@@ -125,10 +111,17 @@ pub fn annotate<K>(
                     .expect("sorted vars come from the atom")
             })
             .collect();
+        let positions = if positions.iter().enumerate().all(|(a, &b)| a == b) {
+            None
+        } else {
+            Some(positions)
+        };
         if let Some(sym) = interner.get(&atom.rel) {
-            by_rel.insert(sym, (i, positions));
+            by_rel.insert(sym, (i, positions.clone()));
         }
-        slots.push(Some(AnnotatedRelation::empty(sorted)));
+        slot_positions.push(positions);
+        slot_vars.push(sorted);
+        slot_rows.push(Vec::new());
     }
     for (fact, k) in facts {
         let Some(&(slot, ref positions)) = by_rel.get(&fact.rel) else {
@@ -142,20 +135,139 @@ pub fn annotate<K>(
                 fact_arity: fact.tuple.arity(),
             });
         }
-        let key = fact.tuple.project(positions);
-        let rel = slots[slot].as_mut().expect("slots all alive during annotate");
-        if rel.map.insert(key, k).is_some() {
-            return Err(AnnotateError::DuplicateFact {
-                fact: fact.display(interner).to_string(),
+        let key = match positions {
+            Some(p) => fact.tuple.project(p),
+            None => fact.tuple,
+        };
+        slot_rows[slot].push((key, k));
+    }
+    match R::build_slots(slot_vars.into_iter().zip(slot_rows).collect()) {
+        Ok(built) => Ok(AnnotatedDb {
+            slots: built.into_iter().map(Some).collect(),
+        }),
+        Err(dup) => Err(duplicate_error(q, interner, &slot_positions, dup)),
+    }
+}
+
+/// Builds a columnar K-annotated database **directly from borrowed
+/// facts** — the fused fast path used by the solver front-ends: no key
+/// tuple is cloned, boxed, or permuted in memory (the written-order →
+/// sorted-order column permutation is applied while scattering
+/// dictionary codes into the slot matrices).
+///
+/// Rows are `(relation symbol, key tuple in written order,
+/// annotation)`; rows over relations the query does not mention are
+/// ignored, exactly like [`annotate_with`].
+///
+/// # Errors
+/// Returns [`AnnotateError`] on arity mismatches or duplicate facts.
+pub fn annotate_columnar<'a, K, I>(
+    q: &Query,
+    interner: &Interner,
+    rows: I,
+) -> Result<AnnotatedDb<ColumnarRelation<K>>, AnnotateError>
+where
+    K: Clone + PartialEq + fmt::Debug,
+    I: IntoIterator<Item = (Sym, &'a Tuple, K)>,
+{
+    let mut by_rel: BTreeMap<Sym, usize> = BTreeMap::new();
+    let mut slot_positions: Vec<Option<Vec<usize>>> = Vec::with_capacity(q.atom_count());
+    let mut slot_vars: Vec<Vec<Var>> = Vec::with_capacity(q.atom_count());
+    let mut slot_rows: Vec<Vec<(&Tuple, K)>> = Vec::with_capacity(q.atom_count());
+    for (i, atom) in q.atoms().iter().enumerate() {
+        let mut sorted = atom.vars.clone();
+        sorted.sort_unstable();
+        let positions: Vec<usize> = sorted
+            .iter()
+            .map(|v| {
+                atom.vars
+                    .iter()
+                    .position(|w| w == v)
+                    .expect("sorted vars come from the atom")
+            })
+            .collect();
+        let positions = if positions.iter().enumerate().all(|(a, &b)| a == b) {
+            None
+        } else {
+            Some(positions)
+        };
+        if let Some(sym) = interner.get(&atom.rel) {
+            by_rel.insert(sym, i);
+        }
+        slot_positions.push(positions);
+        slot_vars.push(sorted);
+        slot_rows.push(Vec::new());
+    }
+    for (sym, tuple, k) in rows {
+        let Some(&slot) = by_rel.get(&sym) else {
+            continue; // relation not mentioned by the query
+        };
+        let atom = &q.atoms()[slot];
+        if tuple.arity() != atom.vars.len() {
+            return Err(AnnotateError::ArityMismatch {
+                rel: atom.rel.clone(),
+                atom_arity: atom.vars.len(),
+                fact_arity: tuple.arity(),
             });
         }
+        slot_rows[slot].push((tuple, k));
     }
-    Ok(AnnotatedDb { slots })
+    let slots: Vec<BorrowedSlot<'_, K>> = slot_vars
+        .into_iter()
+        .zip(slot_positions.iter().cloned())
+        .zip(slot_rows)
+        .map(|((vars, positions), rows)| (vars, positions, rows))
+        .collect();
+    match ColumnarRelation::build_slots_borrowed(slots) {
+        Ok(built) => Ok(AnnotatedDb {
+            slots: built.into_iter().map(Some).collect(),
+        }),
+        Err(dup) => Err(duplicate_error(q, interner, &slot_positions, dup)),
+    }
+}
+
+/// Renders a [`DuplicateRow`] as the user-facing [`AnnotateError`],
+/// restoring the written column order.
+fn duplicate_error(
+    q: &Query,
+    interner: &Interner,
+    slot_positions: &[Option<Vec<usize>>],
+    DuplicateRow { slot, key }: DuplicateRow,
+) -> AnnotateError {
+    let atom = &q.atoms()[slot];
+    let written = match &slot_positions[slot] {
+        None => key,
+        Some(positions) => {
+            let mut vals = vec![Value::Int(0); key.arity()];
+            for (i, &p) in positions.iter().enumerate() {
+                vals[p] = key.get(i);
+            }
+            Tuple::from(vals)
+        }
+    };
+    AnnotateError::DuplicateFact {
+        fact: format!("{}{}", atom.rel, written.display(interner)),
+    }
+}
+
+/// Builds a K-annotated database on the ordered-map backend — the
+/// historical entry point, kept because the oracle paths and the
+/// point-update-heavy incremental maintainer default to it.
+///
+/// # Errors
+/// Returns [`AnnotateError`] on arity mismatches or duplicate facts.
+pub fn annotate<K: Clone + PartialEq + fmt::Debug>(
+    q: &Query,
+    interner: &Interner,
+    facts: impl IntoIterator<Item = (Fact, K)>,
+) -> Result<AnnotatedDb<MapRelation<K>>, AnnotateError> {
+    annotate_with(q, interner, facts)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::storage::ColumnarRelation;
     use hq_db::db_from_ints;
     use hq_query::{example_query, Query};
 
@@ -166,8 +278,7 @@ mod tests {
         // reordered to ascending id order (A, B).
         let q = Query::new(&[("V", &["A"]), ("U", &["B", "A"])]).unwrap();
         let (db, i) = db_from_ints(&[("U", &[&[10, 20]])]); // U(B=10, A=20)
-        let annotated =
-            annotate(&q, &i, db.facts().into_iter().map(|f| (f, 1u64))).unwrap();
+        let annotated = annotate(&q, &i, db.facts().into_iter().map(|f| (f, 1u64))).unwrap();
         let rel = annotated.slots[1].as_ref().unwrap();
         assert_eq!(rel.vars, vec![Var(0), Var(1)]);
         // Key must be (A=20, B=10).
@@ -179,8 +290,7 @@ mod tests {
     fn ignores_unrelated_relations() {
         let q = example_query();
         let (db, i) = db_from_ints(&[("R", &[&[1, 5]]), ("Unrelated", &[&[9]])]);
-        let annotated =
-            annotate(&q, &i, db.facts().into_iter().map(|f| (f, 1.0f64))).unwrap();
+        let annotated = annotate(&q, &i, db.facts().into_iter().map(|f| (f, 1.0f64))).unwrap();
         assert_eq!(annotated.support_size(), 1);
     }
 
@@ -188,8 +298,7 @@ mod tests {
     fn arity_mismatch_rejected() {
         let q = example_query();
         let (db, i) = db_from_ints(&[("R", &[&[1]])]); // R should be binary
-        let err =
-            annotate(&q, &i, db.facts().into_iter().map(|f| (f, 1.0f64))).unwrap_err();
+        let err = annotate(&q, &i, db.facts().into_iter().map(|f| (f, 1.0f64))).unwrap_err();
         assert!(matches!(err, AnnotateError::ArityMismatch { .. }));
     }
 
@@ -199,7 +308,25 @@ mod tests {
         let (db, i) = db_from_ints(&[("R", &[&[1, 5]])]);
         let fact = db.facts().pop().unwrap();
         let err = annotate(&q, &i, vec![(fact.clone(), 1u64), (fact, 2u64)]).unwrap_err();
-        assert!(matches!(err, AnnotateError::DuplicateFact { .. }));
+        match err {
+            AnnotateError::DuplicateFact { ref fact } => {
+                assert_eq!(fact, "R(1, 5)");
+            }
+            other => panic!("expected DuplicateFact, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_message_restores_written_order() {
+        // U(B, A): the key is reordered, the message must not be.
+        let q = Query::new(&[("V", &["A"]), ("U", &["B", "A"])]).unwrap();
+        let (db, i) = db_from_ints(&[("U", &[&[10, 20]])]);
+        let fact = db.facts().pop().unwrap();
+        let err = annotate(&q, &i, vec![(fact.clone(), 1u64), (fact, 2u64)]).unwrap_err();
+        assert!(
+            matches!(err, AnnotateError::DuplicateFact { ref fact } if fact == "U(10, 20)"),
+            "{err:?}"
+        );
     }
 
     #[test]
@@ -210,8 +337,26 @@ mod tests {
             ("S", &[&[1, 1], &[1, 2]]),
             ("T", &[&[1, 2, 4]]),
         ]);
-        let annotated =
-            annotate(&q, &i, db.facts().into_iter().map(|f| (f, 1u64))).unwrap();
+        let annotated = annotate(&q, &i, db.facts().into_iter().map(|f| (f, 1u64))).unwrap();
         assert_eq!(annotated.support_size(), 4);
+    }
+
+    #[test]
+    fn columnar_and_map_annotate_identically() {
+        let q = example_query();
+        let (db, i) = db_from_ints(&[
+            ("R", &[&[1, 5]]),
+            ("S", &[&[1, 1], &[1, 2]]),
+            ("T", &[&[1, 2, 4]]),
+        ]);
+        let facts: Vec<_> = db.facts().into_iter().map(|f| (f, 0.5f64)).collect();
+        let m: AnnotatedDb<MapRelation<f64>> = annotate_with(&q, &i, facts.clone()).unwrap();
+        let c: AnnotatedDb<ColumnarRelation<f64>> = annotate_with(&q, &i, facts).unwrap();
+        assert_eq!(m.support_size(), c.support_size());
+        for (ms, cs) in m.slots.iter().zip(&c.slots) {
+            let (ms, cs) = (ms.as_ref().unwrap(), cs.as_ref().unwrap());
+            assert_eq!(ms.rows(), cs.rows());
+            assert_eq!(Storage::vars(ms), cs.vars());
+        }
     }
 }

@@ -10,7 +10,8 @@
 //! in `D_r` with `★ = (0, 1, 1, …)` (multiplicity 1 after paying one
 //! budget unit), and everything else implicitly with `0`.
 
-use crate::engine::{evaluate, EngineStats, UnifyError};
+use crate::engine::{evaluate_columnar, evaluate_on, EngineStats, UnifyError};
+use crate::storage::Backend;
 use hq_db::{Database, Fact, Interner};
 use hq_monoid::{BagMaxMonoid, BudgetVec, TwoMonoid};
 use hq_query::Query;
@@ -44,11 +45,7 @@ impl BsmSolution {
 /// Facts present in `d` get `1`; facts in `d_r` but not `d` get `★`.
 /// The encoding is restricted to relations mentioned by the query —
 /// other facts cannot affect a self-join-free query.
-pub fn psi_encoding(
-    monoid: &BagMaxMonoid,
-    d: &Database,
-    d_r: &Database,
-) -> Vec<(Fact, BudgetVec)> {
+pub fn psi_encoding(monoid: &BagMaxMonoid, d: &Database, d_r: &Database) -> Vec<(Fact, BudgetVec)> {
     let mut out = Vec::with_capacity(d.fact_count() + d_r.fact_count());
     for f in d.facts() {
         out.push((f, monoid.one()));
@@ -74,11 +71,103 @@ pub fn maximize(
     d_r: &Database,
     theta: usize,
 ) -> Result<BsmSolution, UnifyError> {
+    maximize_on(Backend::Map, q, interner, d, d_r, theta)
+}
+
+/// [`maximize`] on an explicit storage backend. All backends return
+/// identical curves and stats.
+///
+/// # Errors
+/// Same failure modes as [`maximize`].
+pub fn maximize_on(
+    backend: Backend,
+    q: &Query,
+    interner: &Interner,
+    d: &Database,
+    d_r: &Database,
+    theta: usize,
+) -> Result<BsmSolution, UnifyError> {
     let monoid = BagMaxMonoid::new(theta);
-    let facts = psi_encoding(&monoid, d, d_r);
-    let (curve, stats) = evaluate(&monoid, q, interner, facts)?;
+    let (curve, stats) = match backend {
+        // Fused ψ-encoding: annotate the columnar relations straight
+        // from the two databases, without materialising a fact list.
+        // Per relation, the base facts (annotation `1̄`) and the novel
+        // repair facts (annotation `★`) are two sorted streams; merging
+        // them here keeps every slot's rows sorted, so the columnar
+        // build skips its re-sort entirely.
+        Backend::Columnar => {
+            let one = monoid.one();
+            let star = monoid.star();
+            let (one, star) = (&one, &star);
+            let syms: std::collections::BTreeSet<hq_db::Sym> = d
+                .relations()
+                .map(|(s, _)| s)
+                .chain(d_r.relations().map(|(s, _)| s))
+                .collect();
+            let rows = syms.into_iter().flat_map(move |sym| {
+                let base = d.relation(sym).map(|r| r.iter()).into_iter().flatten();
+                let repairs = d_r
+                    .relation(sym)
+                    .map(|r| r.iter())
+                    .into_iter()
+                    .flatten()
+                    .filter(move |t| !d.relation(sym).is_some_and(|r| r.contains(t)));
+                MergedPsi {
+                    base: base.peekable(),
+                    repairs: repairs.peekable(),
+                    one,
+                    star,
+                }
+                .map(move |(t, k)| (sym, t, k))
+            });
+            evaluate_columnar(&monoid, q, interner, rows)?
+        }
+        Backend::Map => {
+            let facts = psi_encoding(&monoid, d, d_r);
+            evaluate_on(backend, &monoid, q, interner, facts)?
+        }
+    };
     debug_assert!(curve.is_monotone(), "output curve must be monotone");
     Ok(BsmSolution { curve, stats })
+}
+
+/// Merges a relation's sorted base-fact and repair-fact streams into
+/// one sorted `(tuple, ψ-annotation)` stream (the streams are disjoint:
+/// repair candidates already present in `D` are filtered out upstream).
+struct MergedPsi<'a, A, B>
+where
+    A: Iterator<Item = &'a hq_db::Tuple>,
+    B: Iterator<Item = &'a hq_db::Tuple>,
+{
+    base: std::iter::Peekable<A>,
+    repairs: std::iter::Peekable<B>,
+    one: &'a BudgetVec,
+    star: &'a BudgetVec,
+}
+
+impl<'a, A, B> Iterator for MergedPsi<'a, A, B>
+where
+    A: Iterator<Item = &'a hq_db::Tuple>,
+    B: Iterator<Item = &'a hq_db::Tuple>,
+{
+    type Item = (&'a hq_db::Tuple, BudgetVec);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match (self.base.peek(), self.repairs.peek()) {
+            (Some(&b), Some(&r)) => {
+                if b <= r {
+                    self.base.next();
+                    Some((b, self.one.clone()))
+                } else {
+                    self.repairs.next();
+                    Some((r, self.star.clone()))
+                }
+            }
+            (Some(_), None) => self.base.next().map(|t| (t, self.one.clone())),
+            (None, Some(_)) => self.repairs.next().map(|t| (t, self.star.clone())),
+            (None, None) => None,
+        }
+    }
 }
 
 /// A Bag-Set Maximization solution carrying an optimal repair per
@@ -136,22 +225,40 @@ pub fn maximize_with_repair(
     d_r: &Database,
     theta: usize,
 ) -> Result<BsmRepairSolution, UnifyError> {
+    maximize_with_repair_on(Backend::Map, q, interner, d, d_r, theta)
+}
+
+/// [`maximize_with_repair`] on an explicit storage backend.
+///
+/// # Errors
+/// Same failure modes as [`maximize`].
+pub fn maximize_with_repair_on(
+    backend: Backend,
+    q: &Query,
+    interner: &Interner,
+    d: &Database,
+    d_r: &Database,
+    theta: usize,
+) -> Result<BsmRepairSolution, UnifyError> {
     use hq_monoid::BagMaxWitnessMonoid;
     let monoid = BagMaxWitnessMonoid::new(theta);
-    let candidates: Vec<Fact> = d_r
-        .facts()
-        .into_iter()
-        .filter(|f| !d.contains(f))
-        .collect();
+    let candidates: Vec<Fact> = d_r.facts().into_iter().filter(|f| !d.contains(f)).collect();
     let mut facts = Vec::with_capacity(d.fact_count() + candidates.len());
     for f in d.facts() {
         facts.push((f, monoid.one()));
     }
     for (id, f) in candidates.iter().enumerate() {
-        facts.push((f.clone(), monoid.star(u32::try_from(id).expect("fact id fits u32"))));
+        facts.push((
+            f.clone(),
+            monoid.star(u32::try_from(id).expect("fact id fits u32")),
+        ));
     }
-    let (curve, stats) = evaluate(&monoid, q, interner, facts)?;
-    Ok(BsmRepairSolution { curve, candidates, stats })
+    let (curve, stats) = evaluate_on(backend, &monoid, q, interner, facts)?;
+    Ok(BsmRepairSolution {
+        curve,
+        candidates,
+        stats,
+    })
 }
 
 #[cfg(test)]

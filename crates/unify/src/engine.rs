@@ -12,14 +12,20 @@
 //!   two supports, filling the missing side with `0` — required because
 //!   2-monoids need not annihilate (`a ⊗ 0 ≠ 0` in the Shapley monoid);
 //!   tuples absent from *both* sides stay absent thanks to `0 ⊗ 0 = 0`
-//!   (Lemma 6.6).
+//!   (Lemma 6.6). For annihilating (semiring) monoids the 0-fill is
+//!   skipped outright, keeping the op counts on the Theorem 6.7 budget.
 //!
-//! The engine counts ⊕/⊗ operations and tracks support sizes per step,
+//! The physical relation layout is pluggable ([`crate::storage`]):
+//! [`run_plan`] is generic over any [`Storage`] backend, and
+//! [`evaluate_on`] dispatches on a runtime [`Backend`] choice. The
+//! engine counts ⊕/⊗ operations and tracks support sizes per step,
 //! making Theorem 6.7 (linearly many operations) and Lemma 6.6
-//! (support never grows) directly measurable (experiment E11).
+//! (support never grows) directly measurable — identically on every
+//! backend.
 
-use crate::annotated::{annotate, AnnotateError, AnnotatedDb, AnnotatedRelation};
-use hq_db::{Fact, Interner, Tuple};
+use crate::annotated::{annotate_columnar, annotate_with, AnnotateError, AnnotatedDb};
+use crate::storage::{Backend, ColumnarRelation, MapRelation, Storage};
+use hq_db::{Fact, Interner, Sym, Tuple};
 use hq_monoid::TwoMonoid;
 use hq_query::{plan, EliminationPlan, NotHierarchical, Query, Step};
 use std::fmt;
@@ -80,114 +86,48 @@ impl From<AnnotateError> for UnifyError {
     }
 }
 
-/// Executes a compiled plan over an annotated database, returning the
-/// final annotation of the nullary tuple `()` and the run statistics.
+/// Executes a compiled plan over an annotated database of any storage
+/// backend, returning the final annotation of the nullary tuple `()`
+/// and the run statistics.
 ///
 /// The result is `0` when the final relation has empty support (no
 /// fact combination reaches the root), mirroring `⊕` over an empty
 /// index set.
-pub fn run_plan<M: TwoMonoid>(
+pub fn run_plan<M, R>(
     monoid: &M,
     plan: &EliminationPlan,
-    mut db: AnnotatedDb<M::Elem>,
-) -> (M::Elem, EngineStats) {
+    mut db: AnnotatedDb<R>,
+) -> (M::Elem, EngineStats)
+where
+    M: TwoMonoid,
+    R: Storage<Ann = M::Elem>,
+{
     let mut stats = EngineStats::default();
     stats.support_sizes.push(db.support_size());
     for step in plan.steps() {
         match *step {
             Step::ProjectOut { atom, var } => {
                 let rel = db.slots[atom].take().expect("plan references alive slot");
-                db.slots[atom] = Some(project_out(monoid, rel, var, &mut stats));
+                db.slots[atom] = Some(rel.project_out(monoid, var, &mut stats));
             }
             Step::Merge { left, right } => {
                 let l = db.slots[left].take().expect("plan references alive slot");
                 let r = db.slots[right].take().expect("plan references alive slot");
-                db.slots[left] = Some(merge(monoid, l, r, &mut stats));
+                db.slots[left] = Some(l.merge(monoid, r, &mut stats));
             }
         }
         stats.support_sizes.push(db.support_size());
     }
-    let root = db.slots[plan.root()].take().expect("root slot alive at end");
-    debug_assert!(root.vars.is_empty(), "root must be nullary");
-    let result = root
-        .map
-        .get(&Tuple::empty())
-        .cloned()
-        .unwrap_or_else(|| monoid.zero());
-    (result, stats)
+    let root = db.slots[plan.root()]
+        .take()
+        .expect("root slot alive at end");
+    debug_assert!(root.vars().is_empty(), "root must be nullary");
+    (root.nullary_value(monoid), stats)
 }
 
-/// Rule 1: `R'(x̄') = ⊕_y R(x̄', y)` over the support.
-pub(crate) fn project_out<M: TwoMonoid>(
-    monoid: &M,
-    rel: AnnotatedRelation<M::Elem>,
-    var: hq_query::Var,
-    stats: &mut EngineStats,
-) -> AnnotatedRelation<M::Elem> {
-    let pos = rel
-        .vars
-        .iter()
-        .position(|&v| v == var)
-        .expect("projected variable must be in the relation schema");
-    let keep: Vec<usize> = (0..rel.vars.len()).filter(|&i| i != pos).collect();
-    let new_vars: Vec<hq_query::Var> = keep.iter().map(|&i| rel.vars[i]).collect();
-    let mut out = AnnotatedRelation::empty(new_vars);
-    let zero = monoid.zero();
-    for (tuple, k) in rel.map {
-        let key = tuple.project(&keep);
-        match out.map.remove(&key) {
-            Some(acc) => {
-                stats.add_ops += 1;
-                out.map.insert(key, monoid.add(&acc, &k));
-            }
-            None => {
-                out.map.insert(key, k);
-            }
-        }
-    }
-    // Prune exact zeros: annotation 0 is semantically "absent"
-    // (⊕-identity on every future aggregation; merges fill with 0
-    // anyway), and pruning realises Lemma 6.6's support semantics.
-    out.map.retain(|_, v| *v != zero);
-    out
-}
-
-/// Rule 2: `R'(x̄) = R₁(x̄) ⊗ R₂(x̄)` over the union of supports, with
-/// 0-fill for one-sided tuples.
-pub(crate) fn merge<M: TwoMonoid>(
-    monoid: &M,
-    left: AnnotatedRelation<M::Elem>,
-    mut right: AnnotatedRelation<M::Elem>,
-    stats: &mut EngineStats,
-) -> AnnotatedRelation<M::Elem> {
-    assert_eq!(
-        left.vars, right.vars,
-        "Rule 2 merges atoms with identical variable sets"
-    );
-    let zero = monoid.zero();
-    let mut out = AnnotatedRelation::empty(left.vars.clone());
-    for (tuple, lk) in left.map {
-        let v = match right.map.remove(&tuple) {
-            Some(rk) => monoid.mul(&lk, &rk),
-            None => monoid.mul(&lk, &zero),
-        };
-        stats.mul_ops += 1;
-        if v != zero {
-            out.map.insert(tuple, v);
-        }
-    }
-    for (tuple, rk) in right.map {
-        stats.mul_ops += 1;
-        let v = monoid.mul(&zero, &rk);
-        if v != zero {
-            out.map.insert(tuple, v);
-        }
-    }
-    out
-}
-
-/// One-call entry point: plans the query, annotates the facts, and
-/// runs Algorithm 1.
+/// One-call entry point on the ordered-map backend: plans the query,
+/// annotates the facts, and runs Algorithm 1. Kept as the oracle path;
+/// see [`evaluate_on`] for backend selection.
 ///
 /// # Errors
 /// Returns [`UnifyError::NotHierarchical`] for non-hierarchical
@@ -200,7 +140,53 @@ pub fn evaluate<M: TwoMonoid>(
     facts: impl IntoIterator<Item = (Fact, M::Elem)>,
 ) -> Result<(M::Elem, EngineStats), UnifyError> {
     let p = plan(q)?;
-    let db = annotate(q, interner, facts)?;
+    let db = annotate_with::<MapRelation<M::Elem>>(q, interner, facts)?;
+    Ok(run_plan(monoid, &p, db))
+}
+
+/// One-call entry point with runtime backend selection. All backends
+/// produce bit-identical results and identical [`EngineStats`]; they
+/// differ only in constants (the columnar backend is the fast path).
+///
+/// # Errors
+/// Same failure modes as [`evaluate`].
+pub fn evaluate_on<M: TwoMonoid>(
+    backend: Backend,
+    monoid: &M,
+    q: &Query,
+    interner: &Interner,
+    facts: impl IntoIterator<Item = (Fact, M::Elem)>,
+) -> Result<(M::Elem, EngineStats), UnifyError> {
+    let p = plan(q)?;
+    match backend {
+        Backend::Map => {
+            let db = annotate_with::<MapRelation<M::Elem>>(q, interner, facts)?;
+            Ok(run_plan(monoid, &p, db))
+        }
+        Backend::Columnar => {
+            let db = annotate_with::<ColumnarRelation<M::Elem>>(q, interner, facts)?;
+            Ok(run_plan(monoid, &p, db))
+        }
+    }
+}
+
+/// The borrowed-fact fast path on the columnar backend: plans the
+/// query, builds the columnar relations **directly from borrowed key
+/// tuples** (no clone, no re-boxing — see
+/// [`crate::annotated::annotate_columnar`]), and runs Algorithm 1.
+/// This is what the solver front-ends use when
+/// [`Backend::Columnar`] is selected.
+///
+/// # Errors
+/// Same failure modes as [`evaluate`].
+pub fn evaluate_columnar<'a, M: TwoMonoid>(
+    monoid: &M,
+    q: &Query,
+    interner: &Interner,
+    rows: impl IntoIterator<Item = (Sym, &'a Tuple, M::Elem)>,
+) -> Result<(M::Elem, EngineStats), UnifyError> {
+    let p = plan(q)?;
+    let db = annotate_columnar(q, interner, rows)?;
     Ok(run_plan(monoid, &p, db))
 }
 
@@ -307,6 +293,11 @@ mod tests {
         let i = Interner::new();
         let err = evaluate(&BoolMonoid, &q, &i, Vec::<(Fact, bool)>::new()).unwrap_err();
         assert!(matches!(err, UnifyError::NotHierarchical(_)));
+        for backend in Backend::ALL {
+            let err =
+                evaluate_on(backend, &BoolMonoid, &q, &i, Vec::<(Fact, bool)>::new()).unwrap_err();
+            assert!(matches!(err, UnifyError::NotHierarchical(_)));
+        }
     }
 
     #[test]
@@ -325,17 +316,20 @@ mod tests {
                 _ => TROPICAL_INF,
             }
         };
-        let (cost, _) = evaluate(
-            &TropicalMinMonoid,
-            &q,
-            &i,
-            db.facts().into_iter().map(|f| {
-                let w = weights(&f);
-                (f, w)
-            }),
-        )
-        .unwrap();
-        assert_eq!(cost, 5);
+        for backend in Backend::ALL {
+            let (cost, _) = evaluate_on(
+                backend,
+                &TropicalMinMonoid,
+                &q,
+                &i,
+                db.facts().into_iter().map(|f| {
+                    let w = weights(&f);
+                    (f, w)
+                }),
+            )
+            .unwrap();
+            assert_eq!(cost, 5, "{backend}");
+        }
     }
 
     #[test]
@@ -343,30 +337,33 @@ mod tests {
         // Theorem 6.7: #ops = O(|D|). Build Q_h over n chained pairs and
         // check ops grow linearly (ratio between sizes ~ size ratio).
         let q = q_hierarchical();
-        let mut ops = Vec::new();
-        for n in [50i64, 100, 200] {
-            let mut i = Interner::new();
-            let e = i.intern("E");
-            let f = i.intern("F");
-            let mut db = hq_db::Database::new();
-            for k in 0..n {
-                db.insert_tuple(e, hq_db::Tuple::ints(&[k, k]));
-                db.insert_tuple(f, hq_db::Tuple::ints(&[k, k + 1]));
+        for backend in Backend::ALL {
+            let mut ops = Vec::new();
+            for n in [50i64, 100, 200] {
+                let mut i = Interner::new();
+                let e = i.intern("E");
+                let f = i.intern("F");
+                let mut db = hq_db::Database::new();
+                for k in 0..n {
+                    db.insert_tuple(e, hq_db::Tuple::ints(&[k, k]));
+                    db.insert_tuple(f, hq_db::Tuple::ints(&[k, k + 1]));
+                }
+                let (_, stats) = evaluate_on(
+                    backend,
+                    &CountMonoid,
+                    &q,
+                    &i,
+                    db.facts().into_iter().map(|fact| (fact, 1u64)),
+                )
+                .unwrap();
+                assert!(stats.support_never_grew());
+                ops.push(stats.total_ops() as f64);
             }
-            let (_, stats) = evaluate(
-                &CountMonoid,
-                &q,
-                &i,
-                db.facts().into_iter().map(|fact| (fact, 1u64)),
-            )
-            .unwrap();
-            assert!(stats.support_never_grew());
-            ops.push(stats.total_ops() as f64);
+            let r1 = ops[1] / ops[0];
+            let r2 = ops[2] / ops[1];
+            assert!((1.5..=2.5).contains(&r1), "ops not linear: {ops:?}");
+            assert!((1.5..=2.5).contains(&r2), "ops not linear: {ops:?}");
         }
-        let r1 = ops[1] / ops[0];
-        let r2 = ops[2] / ops[1];
-        assert!((1.5..=2.5).contains(&r1), "ops not linear: {ops:?}");
-        assert!((1.5..=2.5).contains(&r2), "ops not linear: {ops:?}");
     }
 
     #[test]
@@ -374,14 +371,17 @@ mod tests {
         // Q() :- A(X), B(Y) over 3 A-facts and 2 B-facts: count = 6.
         let q = Query::new(&[("A", &["X"]), ("B", &["Y"])]).unwrap();
         let (db, i) = db_from_ints(&[("A", &[&[1], &[2], &[3]]), ("B", &[&[7], &[8]])]);
-        let (count, _) = evaluate(
-            &CountMonoid,
-            &q,
-            &i,
-            db.facts().into_iter().map(|f| (f, 1u64)),
-        )
-        .unwrap();
-        assert_eq!(count, 6);
+        for backend in Backend::ALL {
+            let (count, _) = evaluate_on(
+                backend,
+                &CountMonoid,
+                &q,
+                &i,
+                db.facts().into_iter().map(|f| (f, 1u64)),
+            )
+            .unwrap();
+            assert_eq!(count, 6, "{backend}");
+        }
     }
 
     #[test]
@@ -389,21 +389,40 @@ mod tests {
         // A fact annotated exactly 0 behaves as absent.
         let q = q_hierarchical();
         let (db, i) = db_from_ints(&[("E", &[&[1, 2]]), ("F", &[&[2, 3]])]);
-        let (p, stats) = evaluate(
-            &ProbMonoid,
-            &q,
-            &i,
-            db.facts().into_iter().map(|f| {
-                let p = if f.tuple.arity() == 2 && f.tuple.get(0) == hq_db::Value::Int(1) {
-                    0.0
-                } else {
-                    0.9
-                };
-                (f, p)
-            }),
-        )
-        .unwrap();
-        assert_eq!(p, 0.0);
-        assert!(stats.support_never_grew());
+        for backend in Backend::ALL {
+            let (p, stats) = evaluate_on(
+                backend,
+                &ProbMonoid,
+                &q,
+                &i,
+                db.facts().into_iter().map(|f| {
+                    let p = if f.tuple.arity() == 2 && f.tuple.get(0) == hq_db::Value::Int(1) {
+                        0.0
+                    } else {
+                        0.9
+                    };
+                    (f, p)
+                }),
+            )
+            .unwrap();
+            assert_eq!(p, 0.0, "{backend}");
+            assert!(stats.support_never_grew());
+        }
+    }
+
+    #[test]
+    fn backends_agree_bit_for_bit_on_fig1() {
+        let q = example_query();
+        let (db, i) = fig1_db();
+        let facts: Vec<(Fact, f64)> = db
+            .facts()
+            .into_iter()
+            .enumerate()
+            .map(|(j, f)| (f, 0.17 + 0.19 * j as f64))
+            .collect();
+        let (pm, sm) = evaluate_on(Backend::Map, &ProbMonoid, &q, &i, facts.clone()).unwrap();
+        let (pc, sc) = evaluate_on(Backend::Columnar, &ProbMonoid, &q, &i, facts).unwrap();
+        assert_eq!(pm.to_bits(), pc.to_bits(), "map {pm} vs columnar {pc}");
+        assert_eq!(sm, sc);
     }
 }

@@ -22,20 +22,31 @@
 //! updating to `0` (the ψ-encodings make `0` mean "absent" in every
 //! instantiation), so annotation updates subsume set-level updates
 //! over a fixed active domain.
+//!
+//! The maintainer is generic over the [`Storage`] backend. The
+//! ordered-map backend is the default — point access is its native
+//! operation — while the columnar backend trades `O(n)` splices on
+//! point writes for its batch-speed scans; both stay exactly
+//! consistent with the batch engine.
 
-use crate::annotated::{annotate, AnnotateError, AnnotatedDb};
+use crate::annotated::{annotate_with, AnnotateError, AnnotatedDb};
+use crate::storage::{MapRelation, Storage};
 use hq_db::{Fact, Interner, Tuple};
 use hq_monoid::TwoMonoid;
 use hq_query::{plan, EliminationPlan, Query, Step};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// A materialised Algorithm 1 run that supports annotation updates.
-pub struct IncrementalRun<M: TwoMonoid> {
+pub struct IncrementalRun<M, R = MapRelation<<M as TwoMonoid>::Elem>>
+where
+    M: TwoMonoid,
+    R: Storage<Ann = M::Elem>,
+{
     monoid: M,
     plan: EliminationPlan,
     /// `states[i]` is the slot state *before* step `i`;
     /// `states[plan.steps().len()]` is the final state.
-    states: Vec<AnnotatedDb<M::Elem>>,
+    states: Vec<AnnotatedDb<R>>,
     /// Fact → (slot, key) resolution for updates.
     fact_index: BTreeMap<Fact, (usize, Tuple)>,
     /// Current query result.
@@ -62,7 +73,10 @@ impl std::fmt::Display for IncrementalError {
             IncrementalError::NotHierarchical(e) => write!(f, "{e}"),
             IncrementalError::Annotate(e) => write!(f, "{e}"),
             IncrementalError::UnknownFact { fact } => {
-                write!(f, "fact {fact} is over a relation the query does not mention")
+                write!(
+                    f,
+                    "fact {fact} is over a relation the query does not mention"
+                )
             }
         }
     }
@@ -71,8 +85,9 @@ impl std::fmt::Display for IncrementalError {
 impl std::error::Error for IncrementalError {}
 
 impl<M: TwoMonoid> IncrementalRun<M> {
-    /// Builds the run: plans the query, annotates the facts, and
-    /// materialises the state before every step.
+    /// Builds the run on the default (ordered-map) backend: plans the
+    /// query, annotates the facts, and materialises the state before
+    /// every step.
     ///
     /// # Errors
     /// Rejects non-hierarchical queries and schema mismatches.
@@ -82,9 +97,29 @@ impl<M: TwoMonoid> IncrementalRun<M> {
         interner: &Interner,
         facts: impl IntoIterator<Item = (Fact, M::Elem)>,
     ) -> Result<Self, IncrementalError> {
+        Self::with_storage(monoid, q, interner, facts)
+    }
+}
+
+impl<M, R> IncrementalRun<M, R>
+where
+    M: TwoMonoid,
+    R: Storage<Ann = M::Elem>,
+{
+    /// Builds the run on an explicit storage backend (see
+    /// [`crate::storage`]).
+    ///
+    /// # Errors
+    /// Rejects non-hierarchical queries and schema mismatches.
+    pub fn with_storage(
+        monoid: M,
+        q: &Query,
+        interner: &Interner,
+        facts: impl IntoIterator<Item = (Fact, M::Elem)>,
+    ) -> Result<Self, IncrementalError> {
         let p = plan(q).map_err(IncrementalError::NotHierarchical)?;
         let fact_list: Vec<(Fact, M::Elem)> = facts.into_iter().collect();
-        let db = annotate(q, interner, fact_list.iter().cloned())
+        let db: AnnotatedDb<R> = annotate_with(q, interner, fact_list.iter().cloned())
             .map_err(IncrementalError::Annotate)?;
         // Build the fact → (slot, key) index the same way `annotate` does.
         let mut fact_index = BTreeMap::new();
@@ -98,8 +133,7 @@ impl<M: TwoMonoid> IncrementalRun<M> {
             if let Some(sym) = interner.get(&atom.rel) {
                 for (fact, _) in &fact_list {
                     if fact.rel == sym {
-                        fact_index
-                            .insert(fact.clone(), (i, fact.tuple.project(&positions)));
+                        fact_index.insert(fact.clone(), (i, fact.tuple.project(&positions)));
                     }
                 }
             }
@@ -112,7 +146,13 @@ impl<M: TwoMonoid> IncrementalRun<M> {
             states.push(next);
         }
         let result = extract(&monoid, &p, &states);
-        Ok(IncrementalRun { monoid, plan: p, states, fact_index, result })
+        Ok(IncrementalRun {
+            monoid,
+            plan: p,
+            states,
+            fact_index,
+            result,
+        })
     }
 
     /// The current query result.
@@ -144,15 +184,17 @@ impl<M: TwoMonoid> IncrementalRun<M> {
             });
         };
         let key = key.clone();
-        let zero = self.monoid.zero();
-        // Stage 0: update the base snapshot.
+        // Stage 0: update the base snapshot (`0` means absent).
         {
-            let rel = self.states[0].slots[slot].as_mut().expect("base slot alive");
-            if value == zero {
-                rel.map.remove(&key);
+            let v = if self.monoid.is_zero(&value) {
+                None
             } else {
-                rel.map.insert(key.clone(), value);
-            }
+                Some(value)
+            };
+            let rel = self.states[0].slots[slot]
+                .as_mut()
+                .expect("base slot alive");
+            rel.set(&key, v);
         }
         // Dirty keys per slot, re-walked through every step.
         let mut dirty: BTreeMap<usize, BTreeSet<Tuple>> = BTreeMap::new();
@@ -164,39 +206,29 @@ impl<M: TwoMonoid> IncrementalRun<M> {
             let new_dirty = self.propagate(idx, step, &dirty);
             // Slots untouched by this step keep their dirty keys; the
             // touched slot's dirty set is replaced by the step output's.
-            match *step {
-                Step::ProjectOut { atom, .. } => {
-                    let mut carried = dirty.clone();
-                    carried.remove(&atom);
-                    // Copy untouched dirty-key values forward.
-                    copy_dirty_forward(&mut self.states, idx, &carried);
-                    if let Some(keys) = new_dirty {
-                        if !keys.is_empty() {
-                            carried.insert(atom, keys);
-                        }
-                    }
-                    dirty = carried;
-                }
+            let touched = match *step {
+                Step::ProjectOut { atom, .. } => atom,
                 Step::Merge { left, right } => {
-                    let mut carried = dirty.clone();
-                    carried.remove(&left);
-                    carried.remove(&right);
-                    copy_dirty_forward(&mut self.states, idx, &carried);
-                    if let Some(keys) = new_dirty {
-                        if !keys.is_empty() {
-                            carried.insert(left, keys);
-                        }
-                    }
-                    dirty = carried;
+                    dirty.remove(&right);
+                    left
+                }
+            };
+            let mut carried = dirty.clone();
+            carried.remove(&touched);
+            // Copy untouched dirty-key values forward.
+            copy_dirty_forward(&mut self.states, idx, &carried);
+            if let Some(keys) = new_dirty {
+                if !keys.is_empty() {
+                    carried.insert(touched, keys);
                 }
             }
+            dirty = carried;
             if dirty.is_empty() {
                 // Converged early: downstream snapshots are already
                 // consistent.
                 self.result = extract(&self.monoid, &self.plan, &self.states);
                 return Ok(&self.result);
             }
-            let _ = idx;
         }
         self.result = extract(&self.monoid, &self.plan, &self.states);
         Ok(&self.result)
@@ -215,54 +247,43 @@ impl<M: TwoMonoid> IncrementalRun<M> {
         match *step {
             Step::ProjectOut { atom, var } => {
                 let keys = dirty.get(&atom)?;
-                let (groups, mut folded) = {
-                    let input = self.states[idx].slots[atom].as_ref().expect("alive");
-                    let pos = input
-                        .vars
-                        .iter()
-                        .position(|&v| v == var)
-                        .expect("var in schema");
-                    let keep: Vec<usize> =
-                        (0..input.vars.len()).filter(|&i| i != pos).collect();
-                    // The dirty output groups.
-                    let groups: BTreeSet<Tuple> =
-                        keys.iter().map(|k| k.project(&keep)).collect();
-                    // Refold each dirty group by one scan of the input.
-                    let mut folded: BTreeMap<Tuple, M::Elem> = BTreeMap::new();
-                    for (t, k) in &input.map {
-                        let g = t.project(&keep);
-                        if !groups.contains(&g) {
-                            continue;
+                let input = self.states[idx].slots[atom].as_ref().expect("alive");
+                let pos = input
+                    .vars()
+                    .iter()
+                    .position(|&v| v == var)
+                    .expect("var in schema");
+                let keep: Vec<usize> = (0..input.vars().len()).filter(|&i| i != pos).collect();
+                // The dirty output groups.
+                let groups: BTreeSet<Tuple> = keys.iter().map(|k| k.project(&keep)).collect();
+                // Refold each dirty group by one scan of the input; the
+                // scan is in ascending key order, so the fold sequence
+                // matches the batch engine exactly (bit-identical
+                // floats even under maintenance).
+                let mut folded: BTreeMap<Tuple, M::Elem> = BTreeMap::new();
+                for (t, k) in input.rows() {
+                    let g = t.project(&keep);
+                    if !groups.contains(&g) {
+                        continue;
+                    }
+                    match folded.remove(&g) {
+                        Some(acc) => {
+                            folded.insert(g, self.monoid.add(&acc, &k));
                         }
-                        match folded.remove(&g) {
-                            Some(acc) => {
-                                folded.insert(g, self.monoid.add(&acc, k));
-                            }
-                            None => {
-                                folded.insert(g, k.clone());
-                            }
+                        None => {
+                            folded.insert(g, k);
                         }
                     }
-                    (groups, folded)
-                };
+                }
                 let output = self.states[idx + 1].slots[atom].as_mut().expect("alive");
                 let mut changed = BTreeSet::new();
                 for g in groups {
-                    let new = folded.remove(&g);
-                    let old = output.map.remove(&g);
-                    match new {
-                        Some(v) if v != zero => {
-                            if old.as_ref() != Some(&v) {
-                                changed.insert(g.clone());
-                            }
-                            output.map.insert(g, v);
-                        }
-                        _ => {
-                            if old.is_some() {
-                                changed.insert(g);
-                            }
-                        }
+                    let new = folded.remove(&g).filter(|v| !self.monoid.is_zero(v));
+                    let old = output.get(&g);
+                    if old != new {
+                        changed.insert(g.clone());
                     }
+                    output.set(&g, new);
                 }
                 Some(changed)
             }
@@ -277,42 +298,34 @@ impl<M: TwoMonoid> IncrementalRun<M> {
                 if keys.is_empty() {
                     return None;
                 }
-                let (l, r) = {
-                    let input = &self.states[idx];
-                    (
-                        input.slots[left].as_ref().expect("alive"),
-                        input.slots[right].as_ref().expect("alive"),
-                    )
-                };
                 let mut updates: Vec<(Tuple, Option<M::Elem>)> = Vec::new();
-                for key in keys.iter() {
-                    let lv = l.map.get(key);
-                    let rv = r.map.get(key);
-                    let new = match (lv, rv) {
-                        (None, None) => None, // 0 ⊗ 0 = 0: stays absent
-                        (Some(a), Some(b)) => Some(self.monoid.mul(a, b)),
-                        (Some(a), None) => Some(self.monoid.mul(a, &zero)),
-                        (None, Some(b)) => Some(self.monoid.mul(&zero, b)),
-                    };
-                    updates.push((key.clone(), new.filter(|v| *v != zero)));
+                {
+                    let annihilating = self.monoid.annihilating();
+                    let input = &self.states[idx];
+                    let l = input.slots[left].as_ref().expect("alive");
+                    let r = input.slots[right].as_ref().expect("alive");
+                    for key in keys.iter() {
+                        // One-sided rows mirror the batch merge exactly:
+                        // skipped outright for annihilating monoids,
+                        // 0-filled otherwise.
+                        let new = match (l.get(key), r.get(key)) {
+                            (None, None) => None, // 0 ⊗ 0 = 0: stays absent
+                            (Some(a), Some(b)) => Some(self.monoid.mul(&a, &b)),
+                            (Some(_), None) | (None, Some(_)) if annihilating => None,
+                            (Some(a), None) => Some(self.monoid.mul(&a, &zero)),
+                            (None, Some(b)) => Some(self.monoid.mul(&zero, &b)),
+                        };
+                        updates.push((key.clone(), new.filter(|v| !self.monoid.is_zero(v))));
+                    }
                 }
                 let output = self.states[idx + 1].slots[left].as_mut().expect("alive");
                 let mut changed = BTreeSet::new();
                 for (key, new) in updates {
-                    let old = output.map.remove(&key);
-                    match new {
-                        Some(v) => {
-                            if old.as_ref() != Some(&v) {
-                                changed.insert(key.clone());
-                            }
-                            output.map.insert(key, v);
-                        }
-                        None => {
-                            if old.is_some() {
-                                changed.insert(key);
-                            }
-                        }
+                    let old = output.get(&key);
+                    if old != new {
+                        changed.insert(key.clone());
                     }
+                    output.set(&key, new);
                 }
                 Some(changed)
             }
@@ -323,65 +336,58 @@ impl<M: TwoMonoid> IncrementalRun<M> {
 /// For slots whose dirty keys are *not* consumed by step `idx`, copy
 /// the updated values from `states[idx]` into `states[idx + 1]` so the
 /// next step sees them.
-fn copy_dirty_forward<K: Clone + PartialEq>(
-    states: &mut [AnnotatedDb<K>],
+fn copy_dirty_forward<R: Storage>(
+    states: &mut [AnnotatedDb<R>],
     idx: usize,
     dirty: &BTreeMap<usize, BTreeSet<Tuple>>,
 ) {
     for (&slot, keys) in dirty {
         for key in keys {
-            let v = states[idx].slots[slot]
-                .as_ref()
-                .and_then(|r| r.map.get(key).cloned());
+            let v = states[idx].slots[slot].as_ref().and_then(|r| r.get(key));
             let out = states[idx + 1].slots[slot].as_mut().expect("alive slot");
-            match v {
-                Some(v) => {
-                    out.map.insert(key.clone(), v);
-                }
-                None => {
-                    out.map.remove(key);
-                }
-            }
+            out.set(key, v);
         }
     }
 }
 
 /// Applies one step eagerly (construction path): same semantics as the
 /// batch engine in [`crate::engine`].
-fn apply_step<M: TwoMonoid>(monoid: &M, db: &mut AnnotatedDb<M::Elem>, step: &Step) {
+fn apply_step<M, R>(monoid: &M, db: &mut AnnotatedDb<R>, step: &Step)
+where
+    M: TwoMonoid,
+    R: Storage<Ann = M::Elem>,
+{
     let mut stats = crate::engine::EngineStats::default();
     match *step {
         Step::ProjectOut { atom, var } => {
             let rel = db.slots[atom].take().expect("alive");
-            db.slots[atom] = Some(crate::engine::project_out(monoid, rel, var, &mut stats));
+            db.slots[atom] = Some(rel.project_out(monoid, var, &mut stats));
         }
         Step::Merge { left, right } => {
             let l = db.slots[left].take().expect("alive");
             let r = db.slots[right].take().expect("alive");
-            db.slots[left] = Some(crate::engine::merge(monoid, l, r, &mut stats));
+            db.slots[left] = Some(l.merge(monoid, r, &mut stats));
         }
     }
 }
 
 /// Reads the final result out of the last materialised state.
-fn extract<M: TwoMonoid>(
-    monoid: &M,
-    plan: &EliminationPlan,
-    states: &[AnnotatedDb<M::Elem>],
-) -> M::Elem {
+fn extract<M, R>(monoid: &M, plan: &EliminationPlan, states: &[AnnotatedDb<R>]) -> M::Elem
+where
+    M: TwoMonoid,
+    R: Storage<Ann = M::Elem>,
+{
     let last = states.last().expect("states non-empty");
     let root = last.slots[plan.root()]
         .as_ref()
         .expect("root alive in final state");
-    root.map
-        .get(&Tuple::empty())
-        .cloned()
-        .unwrap_or_else(|| monoid.zero())
+    root.nullary_value(monoid)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::storage::ColumnarRelation;
     use hq_db::db_from_ints;
     use hq_monoid::{CountMonoid, ProbMonoid};
     use hq_query::{example_query, q_hierarchical};
@@ -396,8 +402,7 @@ mod tests {
         let facts = db.facts();
         let tid: Vec<(Fact, f64)> = facts.iter().map(|f| (f.clone(), 0.5)).collect();
         let mut run = IncrementalRun::new(ProbMonoid, &q, &i, tid.clone()).unwrap();
-        let (expected, _) =
-            crate::engine::evaluate(&ProbMonoid, &q, &i, tid.clone()).unwrap();
+        let (expected, _) = crate::engine::evaluate(&ProbMonoid, &q, &i, tid.clone()).unwrap();
         assert!((run.result() - expected).abs() < 1e-12);
         // Update every fact in turn and compare to a fresh run.
         let mut current = tid;
@@ -405,14 +410,41 @@ mod tests {
             let new_p = 0.1 + 0.15 * j as f64;
             current[j].1 = new_p;
             let got = *run.update(&i, f, new_p).unwrap();
-            let (fresh, _) =
-                crate::engine::evaluate(&ProbMonoid, &q, &i, current.clone()).unwrap();
+            let (fresh, _) = crate::engine::evaluate(&ProbMonoid, &q, &i, current.clone()).unwrap();
             assert!(
                 (got - fresh).abs() < 1e-12,
                 "after updating {}: incremental {got} vs fresh {fresh}",
                 f.display(&i)
             );
         }
+    }
+
+    #[test]
+    fn columnar_backend_maintains_identically() {
+        let q = q_hierarchical();
+        let (db, i) = db_from_ints(&[
+            ("E", &[&[1, 2], &[1, 3], &[4, 3]]),
+            ("F", &[&[2, 9], &[3, 8], &[3, 9]]),
+        ]);
+        let facts = db.facts();
+        let tid: Vec<(Fact, f64)> = facts.iter().map(|f| (f.clone(), 0.5)).collect();
+        let mut map_run = IncrementalRun::new(ProbMonoid, &q, &i, tid.clone()).unwrap();
+        let mut col_run: IncrementalRun<ProbMonoid, ColumnarRelation<f64>> =
+            IncrementalRun::with_storage(ProbMonoid, &q, &i, tid).unwrap();
+        assert_eq!(map_run.result().to_bits(), col_run.result().to_bits());
+        for (j, f) in facts.iter().enumerate() {
+            let new_p = 0.05 + 0.14 * j as f64;
+            let a = *map_run.update(&i, f, new_p).unwrap();
+            let b = *col_run.update(&i, f, new_p).unwrap();
+            assert_eq!(a.to_bits(), b.to_bits(), "after updating {}", f.display(&i));
+        }
+        // Deletion via zero and re-insertion stay consistent too.
+        let a = *map_run.update(&i, &facts[0], 0.0).unwrap();
+        let b = *col_run.update(&i, &facts[0], 0.0).unwrap();
+        assert_eq!(a.to_bits(), b.to_bits());
+        let a = *map_run.update(&i, &facts[0], 0.6).unwrap();
+        let b = *col_run.update(&i, &facts[0], 0.6).unwrap();
+        assert_eq!(a.to_bits(), b.to_bits());
     }
 
     #[test]
@@ -452,8 +484,7 @@ mod tests {
     fn unknown_fact_rejected() {
         let q = q_hierarchical();
         let (db, mut i) = db_from_ints(&[("E", &[&[1, 2]]), ("F", &[&[2, 3]])]);
-        let tid: Vec<(Fact, f64)> =
-            db.facts().into_iter().map(|f| (f, 0.5)).collect();
+        let tid: Vec<(Fact, f64)> = db.facts().into_iter().map(|f| (f, 0.5)).collect();
         let mut run = IncrementalRun::new(ProbMonoid, &q, &i, tid).unwrap();
         let other = i.intern("Other");
         let stranger = Fact::new(other, Tuple::ints(&[1]));

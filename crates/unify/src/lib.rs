@@ -13,6 +13,35 @@
 //! plus classical semiring evaluation and the universal
 //! [`provenance`] instantiation used by the generic correctness proof.
 //!
+//! ## The storage layer
+//!
+//! Theorem 6.7 bounds Algorithm 1 at *linearly many* ⊕/⊗ operations —
+//! so in practice the physical layout of the annotated relations, not
+//! the algorithm, decides the runtime. The engine is therefore generic
+//! over a [`storage::Storage`] backend:
+//!
+//! * [`storage::MapRelation`] — the ordered-map layout
+//!   (`BTreeMap<Tuple, K>`): the deterministic differential oracle,
+//!   and the default for the point-update-heavy [`incremental`]
+//!   maintainer;
+//! * [`storage::ColumnarRelation`] — the columnar layout: dense sorted
+//!   row-major matrices of dictionary codes
+//!   ([`hq_db::ValueDict`]) with a parallel annotation column. Rule 1
+//!   is a single-pass grouped fold (re-sorting a scratch matrix only
+//!   when the dropped column breaks the order), Rule 2 a linear
+//!   sort-merge outer join; no per-tuple allocation on the hot path.
+//!
+//! Both backends apply the same monoid operations in the same order,
+//! so results are **bit-identical** (floats included) and
+//! [`EngineStats`] agree exactly; the workspace's
+//! `differential_backends` suite pins this down on random hierarchical
+//! instances. Every front-end takes a runtime [`Backend`] in its
+//! `*_on` variant ([`pqe::probability_on`], [`bsm::maximize_on`],
+//! [`shapley::shapley_values_on`], …); the plain entry points run the
+//! ordered-map oracle. The `hq` CLI selects with
+//! `--backend map|columnar` and the criterion benches in `hq-bench`
+//! race the two layouts on identical workloads.
+//!
 //! ```
 //! use hq_db::{db_from_ints};
 //! use hq_query::parse_query;
@@ -37,6 +66,11 @@
 //! };
 //! let solution = bsm::maximize(&q, &interner, &d, &d_r, 2).unwrap();
 //! assert_eq!(solution.optimum(), 4); // the paper's optimal repair
+//!
+//! // Same instance on the columnar backend: identical answer.
+//! use hq_unify::Backend;
+//! let fast = bsm::maximize_on(Backend::Columnar, &q, &interner, &d, &d_r, 2).unwrap();
+//! assert_eq!(fast.curve, solution.curve);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -49,11 +83,15 @@ pub mod incremental;
 pub mod pqe;
 pub mod provenance;
 pub mod shapley;
+pub mod storage;
 
-pub use annotated::{annotate, AnnotateError, AnnotatedDb, AnnotatedRelation};
+pub use annotated::{
+    annotate, annotate_columnar, annotate_with, AnnotateError, AnnotatedDb, AnnotatedRelation,
+};
 pub use bsm::{maximize, maximize_with_repair, BsmRepairSolution, BsmSolution};
-pub use engine::{evaluate, run_plan, EngineStats, UnifyError};
+pub use engine::{evaluate, evaluate_on, run_plan, EngineStats, UnifyError};
 pub use incremental::{IncrementalError, IncrementalRun};
 pub use pqe::{expected_count, probability, probability_exact, PqeError};
 pub use provenance::{provenance_tree, Provenance};
 pub use shapley::{sat_counts, shapley_value, shapley_values, ShapleyError};
+pub use storage::{Backend, ColumnarRelation, MapRelation, Storage};

@@ -6,7 +6,8 @@
 //! in time `O(|D|)`. This instantiation of Algorithm 1 specialises
 //! exactly to the Dalvi–Suciu algorithm.
 
-use crate::engine::{evaluate, EngineStats, UnifyError};
+use crate::engine::{evaluate_columnar, evaluate_on, EngineStats, UnifyError};
+use crate::storage::Backend;
 use hq_arith::Rational;
 use hq_db::{Fact, Interner};
 use hq_monoid::{ExactProbMonoid, ProbMonoid};
@@ -55,17 +56,42 @@ pub fn probability_with_stats(
     interner: &Interner,
     tid: &[(Fact, f64)],
 ) -> Result<(f64, EngineStats), PqeError> {
+    probability_with_stats_on(Backend::Map, q, interner, tid)
+}
+
+/// [`probability_with_stats`] on an explicit storage backend. All
+/// backends return bit-identical probabilities and identical stats.
+///
+/// # Errors
+/// See [`probability_with_stats`].
+pub fn probability_with_stats_on(
+    backend: Backend,
+    q: &Query,
+    interner: &Interner,
+    tid: &[(Fact, f64)],
+) -> Result<(f64, EngineStats), PqeError> {
     for &(_, p) in tid {
         if !p.is_finite() || !(0.0..=1.0).contains(&p) {
             return Err(PqeError::InvalidProbability { value: p });
         }
     }
-    let out = evaluate(
-        &ProbMonoid,
-        q,
-        interner,
-        tid.iter().map(|(f, p)| (f.clone(), *p)),
-    )?;
+    // The columnar path annotates straight from the borrowed fact
+    // list — no per-fact tuple clone.
+    let out = match backend {
+        Backend::Columnar => evaluate_columnar(
+            &ProbMonoid,
+            q,
+            interner,
+            tid.iter().map(|(f, p)| (f.rel, &f.tuple, *p)),
+        )?,
+        Backend::Map => evaluate_on(
+            backend,
+            &ProbMonoid,
+            q,
+            interner,
+            tid.iter().map(|(f, p)| (f.clone(), *p)),
+        )?,
+    };
     Ok(out)
 }
 
@@ -93,6 +119,19 @@ pub fn probability(q: &Query, interner: &Interner, tid: &[(Fact, f64)]) -> Resul
     probability_with_stats(q, interner, tid).map(|(p, _)| p)
 }
 
+/// [`probability`] on an explicit storage backend.
+///
+/// # Errors
+/// See [`probability_with_stats`].
+pub fn probability_on(
+    backend: Backend,
+    q: &Query,
+    interner: &Interner,
+    tid: &[(Fact, f64)],
+) -> Result<f64, PqeError> {
+    probability_with_stats_on(backend, q, interner, tid).map(|(p, _)| p)
+}
+
 /// Exact-rational PQE: same algorithm over the exact probability
 /// 2-monoid. Used as the oracle in differential tests and by the CLI's
 /// `--exact` mode.
@@ -104,12 +143,34 @@ pub fn probability_exact(
     interner: &Interner,
     tid: &[(Fact, Rational)],
 ) -> Result<Rational, UnifyError> {
-    let (p, _) = evaluate(
-        &ExactProbMonoid,
-        q,
-        interner,
-        tid.iter().map(|(f, p)| (f.clone(), p.clone())),
-    )?;
+    probability_exact_on(Backend::Map, q, interner, tid)
+}
+
+/// [`probability_exact`] on an explicit storage backend.
+///
+/// # Errors
+/// Rejects non-hierarchical queries and malformed fact lists.
+pub fn probability_exact_on(
+    backend: Backend,
+    q: &Query,
+    interner: &Interner,
+    tid: &[(Fact, Rational)],
+) -> Result<Rational, UnifyError> {
+    let (p, _) = match backend {
+        Backend::Columnar => evaluate_columnar(
+            &ExactProbMonoid,
+            q,
+            interner,
+            tid.iter().map(|(f, p)| (f.rel, &f.tuple, p.clone())),
+        )?,
+        Backend::Map => evaluate_on(
+            backend,
+            &ExactProbMonoid,
+            q,
+            interner,
+            tid.iter().map(|(f, p)| (f.clone(), p.clone())),
+        )?,
+    };
     Ok(p)
 }
 
@@ -126,17 +187,39 @@ pub fn expected_count(
     interner: &Interner,
     tid: &[(Fact, f64)],
 ) -> Result<f64, PqeError> {
+    expected_count_on(Backend::Map, q, interner, tid)
+}
+
+/// [`expected_count`] on an explicit storage backend.
+///
+/// # Errors
+/// Same failure modes as [`probability`].
+pub fn expected_count_on(
+    backend: Backend,
+    q: &Query,
+    interner: &Interner,
+    tid: &[(Fact, f64)],
+) -> Result<f64, PqeError> {
     for &(_, p) in tid {
         if !p.is_finite() || !(0.0..=1.0).contains(&p) {
             return Err(PqeError::InvalidProbability { value: p });
         }
     }
-    let (e, _) = evaluate(
-        &hq_monoid::RealSemiring,
-        q,
-        interner,
-        tid.iter().map(|(f, p)| (f.clone(), *p)),
-    )?;
+    let (e, _) = match backend {
+        Backend::Columnar => evaluate_columnar(
+            &hq_monoid::RealSemiring,
+            q,
+            interner,
+            tid.iter().map(|(f, p)| (f.rel, &f.tuple, *p)),
+        )?,
+        Backend::Map => evaluate_on(
+            backend,
+            &hq_monoid::RealSemiring,
+            q,
+            interner,
+            tid.iter().map(|(f, p)| (f.clone(), *p)),
+        )?,
+    };
     Ok(e)
 }
 
@@ -239,10 +322,7 @@ mod tests {
         // Q() :- E(X,Y), F(Y,Z): each joined pair contributes the
         // product of its two probabilities.
         let q = q_hierarchical();
-        let (db, i) = db_from_ints(&[
-            ("E", &[&[1, 2]]),
-            ("F", &[&[2, 8], &[2, 9]]),
-        ]);
+        let (db, i) = db_from_ints(&[("E", &[&[1, 2]]), ("F", &[&[2, 8], &[2, 9]])]);
         let e = expected_count(&q, &i, &tid_uniform(&db, 0.5)).unwrap();
         // Two assignments, each with probability 1/2 * 1/2.
         assert!((e - 0.5).abs() < 1e-12);

@@ -30,7 +30,10 @@ impl Provenance {
 
     /// Position (symbol) of a fact, if it was annotated.
     pub fn symbol_of(&self, fact: &Fact) -> Option<u64> {
-        self.symbols.iter().position(|f| f == fact).map(|p| p as u64)
+        self.symbols
+            .iter()
+            .position(|f| f == fact)
+            .map(|p| p as u64)
     }
 }
 
@@ -49,7 +52,10 @@ pub fn provenance_tree(
         .enumerate()
         .map(|(s, f)| (f.clone(), Prov::Leaf(s as u64)));
     let (tree, _) = evaluate(&ProvMonoid, q, interner, annotated)?;
-    Ok(Provenance { tree, symbols: facts.to_vec() })
+    Ok(Provenance {
+        tree,
+        symbols: facts.to_vec(),
+    })
 }
 
 #[cfg(test)]
@@ -80,9 +86,7 @@ mod tests {
         let prov = provenance_tree(&q, &i, &db.facts()).unwrap();
         assert!(prov.tree.eval_bool(&|_| true));
         // Knock out the E fact: the formula must become false.
-        let e_sym = prov
-            .symbol_of(&db.facts()[0])
-            .expect("fact was annotated");
+        let e_sym = prov.symbol_of(&db.facts()[0]).expect("fact was annotated");
         assert!(!prov.tree.eval_bool(&|s| s != e_sym));
         let pattern = q.to_pattern(&mut i);
         assert!(hq_db::satisfiable(&db, &pattern).unwrap());

@@ -15,7 +15,8 @@
 //! All arithmetic is exact: counts are [`Natural`]s and Shapley values
 //! exact [`Rational`]s.
 
-use crate::engine::{evaluate, UnifyError};
+use crate::engine::{evaluate_on, UnifyError};
+use crate::storage::Backend;
 use hq_arith::{binomial, shapley_weight, Natural, Rational};
 use hq_db::{Fact, Interner};
 use hq_monoid::{SatCountMonoid, SatVec, TwoMonoid};
@@ -96,6 +97,20 @@ pub fn sat_counts(
     exogenous: &[Fact],
     endogenous: &[Fact],
 ) -> Result<SatVec, ShapleyError> {
+    sat_counts_on(Backend::Map, q, interner, exogenous, endogenous)
+}
+
+/// [`sat_counts`] on an explicit storage backend.
+///
+/// # Errors
+/// Same failure modes as [`sat_counts`].
+pub fn sat_counts_on(
+    backend: Backend,
+    q: &Query,
+    interner: &Interner,
+    exogenous: &[Fact],
+    endogenous: &[Fact],
+) -> Result<SatVec, ShapleyError> {
     check_disjoint(interner, exogenous, endogenous)?;
     let n = endogenous.len();
     let monoid = SatCountMonoid::new(n);
@@ -116,10 +131,12 @@ pub fn sat_counts(
     for f in visible {
         facts.push((f.clone(), monoid.star()));
     }
-    let (mut vec, _) = evaluate(&monoid, q, interner, facts)?;
+    let (mut vec, _) = evaluate_on(backend, &monoid, q, interner, facts)?;
     if invisible_count > 0 {
         // Convolve with the free binomial choice over invisible facts.
-        let row: Vec<Natural> = (0..=n as u64).map(|k| binomial(invisible_count, k)).collect();
+        let row: Vec<Natural> = (0..=n as u64)
+            .map(|k| binomial(invisible_count, k))
+            .collect();
         vec = convolve_free(&vec, &row, n);
     }
     Ok(vec)
@@ -143,7 +160,10 @@ fn convolve_free(v: &SatVec, row: &[Natural], max_k: usize) -> SatVec {
         }
         out
     };
-    SatVec { t: conv(&v.t), f: conv(&v.f) }
+    SatVec {
+        t: conv(&v.t),
+        f: conv(&v.f),
+    }
 }
 
 /// Computes the exact Shapley value of the endogenous fact `fact`.
@@ -171,6 +191,21 @@ pub fn shapley_value(
     endogenous: &[Fact],
     fact: &Fact,
 ) -> Result<Rational, ShapleyError> {
+    shapley_value_on(Backend::Map, q, interner, exogenous, endogenous, fact)
+}
+
+/// [`shapley_value`] on an explicit storage backend.
+///
+/// # Errors
+/// Same failure modes as [`shapley_value`].
+pub fn shapley_value_on(
+    backend: Backend,
+    q: &Query,
+    interner: &Interner,
+    exogenous: &[Fact],
+    endogenous: &[Fact],
+    fact: &Fact,
+) -> Result<Rational, ShapleyError> {
     check_disjoint(interner, exogenous, endogenous)?;
     let n = endogenous.len() as u64;
     let Some(pos) = endogenous.iter().position(|f| f == fact) else {
@@ -182,8 +217,8 @@ pub fn shapley_value(
     rest.remove(pos);
     let mut exo_with = exogenous.to_vec();
     exo_with.push(fact.clone());
-    let with_f = sat_counts(q, interner, &exo_with, &rest)?;
-    let without_f = sat_counts(q, interner, exogenous, &rest)?;
+    let with_f = sat_counts_on(backend, q, interner, &exo_with, &rest)?;
+    let without_f = sat_counts_on(backend, q, interner, exogenous, &rest)?;
     let mut total = Rational::zero();
     for k in 0..n {
         let w = shapley_weight(n, k);
@@ -205,9 +240,25 @@ pub fn shapley_values(
     exogenous: &[Fact],
     endogenous: &[Fact],
 ) -> Result<Vec<(Fact, Rational)>, ShapleyError> {
+    shapley_values_on(Backend::Map, q, interner, exogenous, endogenous)
+}
+
+/// [`shapley_values`] on an explicit storage backend.
+///
+/// # Errors
+/// Same failure modes as [`shapley_value`].
+pub fn shapley_values_on(
+    backend: Backend,
+    q: &Query,
+    interner: &Interner,
+    exogenous: &[Fact],
+    endogenous: &[Fact],
+) -> Result<Vec<(Fact, Rational)>, ShapleyError> {
     endogenous
         .iter()
-        .map(|f| shapley_value(q, interner, exogenous, endogenous, f).map(|v| (f.clone(), v)))
+        .map(|f| {
+            shapley_value_on(backend, q, interner, exogenous, endogenous, f).map(|v| (f.clone(), v))
+        })
         .collect()
 }
 
@@ -236,10 +287,7 @@ mod tests {
     #[test]
     fn sat_totals_are_binomials() {
         let q = q_hierarchical();
-        let (db, i) = db_from_ints(&[
-            ("E", &[&[1, 2], &[1, 3]]),
-            ("F", &[&[2, 9], &[3, 8]]),
-        ]);
+        let (db, i) = db_from_ints(&[("E", &[&[1, 2], &[1, 3]]), ("F", &[&[2, 9], &[3, 8]])]);
         let endo = db.facts();
         let v = sat_counts(&q, &i, &[], &endo).unwrap();
         for k in 0..=4u64 {
@@ -265,16 +313,15 @@ mod tests {
         // Values over all endogenous facts sum to
         // Q(D_x ∪ D_n) − Q(D_x) ∈ {0, 1} (as 0/1 indicators).
         let q = q_hierarchical();
-        let (db, i) = db_from_ints(&[
-            ("E", &[&[1, 2], &[4, 5]]),
-            ("F", &[&[2, 3], &[5, 6]]),
-        ]);
+        let (db, i) = db_from_ints(&[("E", &[&[1, 2], &[4, 5]]), ("F", &[&[2, 3], &[5, 6]])]);
         let endo = db.facts();
         let vals = shapley_values(&q, &i, &[], &endo).unwrap();
-        let total = vals
-            .iter()
-            .fold(Rational::zero(), |acc, (_, v)| &acc + v);
-        assert_eq!(total, Rational::one(), "query true on full DB, false on empty");
+        let total = vals.iter().fold(Rational::zero(), |acc, (_, v)| &acc + v);
+        assert_eq!(
+            total,
+            Rational::one(),
+            "query true on full DB, false on empty"
+        );
     }
 
     #[test]
@@ -337,10 +384,7 @@ mod tests {
         for k in 0..=2u64 {
             assert_eq!(v.total(k as usize), binomial(2, k));
         }
-        let r_fact = endo
-            .iter()
-            .find(|f| f.rel == i.get("R").unwrap())
-            .unwrap();
+        let r_fact = endo.iter().find(|f| f.rel == i.get("R").unwrap()).unwrap();
         let z_fact = endo
             .iter()
             .find(|f| f.rel == i.get("Zed").unwrap())

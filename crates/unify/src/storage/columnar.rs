@@ -1,0 +1,650 @@
+//! The columnar storage backend.
+//!
+//! One relation = one dense row-major matrix of dictionary codes
+//! (`Vec<RowCode>`, `len × width`, rows sorted lexicographically and
+//! unique) plus a parallel annotation column (`Vec<K>`). The
+//! [`ValueDict`] is built once per problem instance and shared by all
+//! slots (`Arc`), with codes assigned **in value order**, so code-wise
+//! lexicographic comparison equals tuple-wise comparison — the map
+//! backend's iteration order — and both backends fold ⊕ in exactly the
+//! same sequence (bit-identical floats).
+//!
+//! * **Rule 1** (`project_out`): when the projected column is the
+//!   least-significant sort key, surviving rows stay sorted and groups
+//!   are contiguous — a single pass with zero allocation per row. Any
+//!   other column re-sorts a scratch matrix of projected rows with a
+//!   *stable* argsort (ties keep full-row order, preserving the fold
+//!   sequence) before the same grouped fold.
+//! * **Rule 2** (`merge`): a linear two-pointer sort-merge outer join
+//!   with 0-fill, skipping one-sided rows outright for annihilating
+//!   monoids.
+//!
+//! No `Tuple` is ever materialised on the hot path; decoding happens
+//! only in [`Storage::rows`] and the point-access methods used by the
+//! incremental maintainer.
+
+use super::{DuplicateRow, OwnedSlot, Storage};
+use crate::engine::EngineStats;
+use hq_db::{RowCode, Tuple, Value, ValueDict};
+use hq_monoid::TwoMonoid;
+use hq_query::Var;
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+/// A K-annotated relation stored as a sorted code matrix plus an
+/// annotation column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnarRelation<K> {
+    vars: Vec<Var>,
+    /// Row width (`== vars.len()`), kept separately because nullary
+    /// relations have `width == 0` but up to one row.
+    width: usize,
+    /// Number of rows (the support size).
+    len: usize,
+    /// The instance-wide value dictionary (shared across slots).
+    dict: Arc<ValueDict>,
+    /// Row-major codes, `len * width` entries, rows sorted ascending.
+    keys: Vec<RowCode>,
+    /// Annotations, parallel to the rows.
+    anns: Vec<K>,
+}
+
+impl<K> ColumnarRelation<K> {
+    #[inline]
+    fn row(&self, i: usize) -> &[RowCode] {
+        &self.keys[i * self.width..(i + 1) * self.width]
+    }
+
+    /// The shared value dictionary (tests and diagnostics).
+    pub fn dict(&self) -> &ValueDict {
+        &self.dict
+    }
+}
+
+/// Order-preserving 65-bit encoding of a [`Value`] into a `u128`
+/// (`Int` sign-flipped below, `Str` tagged above), so the dictionary
+/// build sorts branchless integer keys instead of enum comparators.
+#[inline]
+fn value_key(v: Value) -> u128 {
+    match v {
+        Value::Int(i) => u128::from(i as u64 ^ (1u64 << 63)),
+        Value::Str(s) => (1u128 << 64) | u128::from(s.0),
+    }
+}
+
+/// Inverse of [`value_key`].
+#[inline]
+fn key_value(k: u128) -> Value {
+    if k >> 64 == 0 {
+        Value::Int((k as u64 ^ (1u64 << 63)) as i64)
+    } else {
+        Value::Str(hq_db::Sym(k as u32))
+    }
+}
+
+/// Sorts the `(value key, destination)` instance list. Only the key
+/// order matters (destinations are distinct and the code-assignment
+/// scan groups by key), so a counting sort over the key range is used
+/// whenever the domain is dense enough — the common case for
+/// dictionary-encodable data — and the comparison sort is the fallback.
+fn sort_instances(v: &mut Vec<(u128, u64)>) {
+    let Some(&(first, _)) = v.first() else { return };
+    let (mut min, mut max) = (first, first);
+    for &(k, _) in v.iter() {
+        min = min.min(k);
+        max = max.max(k);
+    }
+    let spread = max - min;
+    if spread <= (4 * v.len() as u128).max(1 << 20) {
+        let mut counts = vec![0u32; spread as usize + 2];
+        for &(k, _) in v.iter() {
+            counts[(k - min) as usize + 1] += 1;
+        }
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        let mut out = vec![(0u128, 0u64); v.len()];
+        for &(k, d) in v.iter() {
+            let slot = &mut counts[(k - min) as usize];
+            out[*slot as usize] = (k, d);
+            *slot += 1;
+        }
+        *v = out;
+    } else {
+        v.sort_unstable();
+    }
+}
+
+/// One slot of input to [`ColumnarRelation::build_slots_borrowed`]:
+/// the sorted schema, the written-order → sorted-order column
+/// permutation (`None` when they coincide), and borrowed key tuples in
+/// *written* column order with owned annotations.
+pub type BorrowedSlot<'a, K> = (Vec<Var>, Option<Vec<usize>>, Vec<(&'a Tuple, K)>);
+
+impl<K: Clone + PartialEq + std::fmt::Debug> ColumnarRelation<K> {
+    /// Builds slots directly from borrowed tuples — the fused annotate
+    /// fast path: no key tuple is cloned, re-boxed, or re-ordered in
+    /// memory; the column permutation is applied while scattering codes.
+    ///
+    /// # Errors
+    /// Returns the first duplicate key found.
+    pub fn build_slots_borrowed(
+        slots: Vec<BorrowedSlot<'_, K>>,
+    ) -> Result<Vec<Self>, DuplicateRow> {
+        // One dictionary over every value of the instance: Rule 2 merges
+        // rows originating from different slots, so codes must be
+        // comparable across slots. Algorithm 1 never invents new values,
+        // so the dictionary is closed under the whole run.
+        //
+        // Scatter encoding: instead of sorting the distinct values and
+        // binary-searching every occurrence, sort `(value, destination)`
+        // pairs once and assign codes in a single scan — each
+        // occurrence's code lands directly in its slot matrix. This is
+        // the only value-ordered sort in the build; everything after
+        // compares 4-byte codes.
+        let mut offsets = Vec::with_capacity(slots.len() + 1);
+        let mut total = 0usize;
+        for (vars, _, rows) in &slots {
+            offsets.push(total);
+            total += vars.len() * rows.len();
+        }
+        offsets.push(total);
+        // Sorted rows carry long per-column runs of equal values; a cell
+        // equal to the one above it reuses that cell's code, so only run
+        // starts become sort instances (`RowCode::MAX` marks the cells
+        // to forward-fill — codes are `< len ≤ u32::MAX`, so the
+        // sentinel cannot collide).
+        let mut instances: Vec<(u128, u64)> = Vec::with_capacity(total);
+        for (s, (vars, positions, rows)) in slots.iter().enumerate() {
+            let width = vars.len();
+            let mut dest = offsets[s] as u64;
+            let mut prev: Option<&Tuple> = None;
+            for (tuple, _) in rows {
+                let vals = tuple.values();
+                for j in 0..width {
+                    let col = match positions {
+                        None => j,
+                        Some(p) => p[j],
+                    };
+                    let v = vals[col];
+                    let repeat = prev.is_some_and(|pt| pt.values()[col] == v);
+                    if !repeat {
+                        instances.push((value_key(v), dest));
+                    }
+                    dest += 1;
+                }
+                prev = Some(tuple);
+            }
+        }
+        sort_instances(&mut instances);
+        let mut all_keys: Vec<RowCode> = vec![RowCode::MAX; total];
+        let mut sorted_values: Vec<Value> = Vec::new();
+        let mut prev_key: Option<u128> = None;
+        for &(k, dest) in &instances {
+            if prev_key != Some(k) {
+                sorted_values.push(key_value(k));
+                prev_key = Some(k);
+            }
+            all_keys[dest as usize] = (sorted_values.len() - 1) as RowCode;
+        }
+        let dict = Arc::new(ValueDict::from_sorted(sorted_values));
+        drop(instances);
+        // Forward-fill the repeated cells from the row above.
+        for (s, (vars, _, rows)) in slots.iter().enumerate() {
+            let width = vars.len();
+            let start = offsets[s];
+            for idx in start + width..start + width * rows.len() {
+                if all_keys[idx] == RowCode::MAX {
+                    all_keys[idx] = all_keys[idx - width];
+                }
+            }
+        }
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(s, (vars, _, rows))| {
+                let width = vars.len();
+                let len = rows.len();
+                let mut keys = all_keys[offsets[s]..offsets[s + 1]].to_vec();
+                let mut anns: Vec<K> = rows.into_iter().map(|(_, k)| k).collect();
+                // Rows usually arrive in key order (database iteration is
+                // sorted); detect that with one linear scan and argsort
+                // by code rows — 4-byte comparisons — only when needed.
+                let sorted = (1..len)
+                    .all(|i| keys[(i - 1) * width..i * width] <= keys[i * width..(i + 1) * width]);
+                if !sorted {
+                    let mut order: Vec<u32> = (0..len as u32).collect();
+                    order.sort_by(|&a, &b| {
+                        let (a, b) = (a as usize, b as usize);
+                        keys[a * width..(a + 1) * width].cmp(&keys[b * width..(b + 1) * width])
+                    });
+                    let mut new_keys = Vec::with_capacity(keys.len());
+                    let mut old_anns: Vec<Option<K>> = anns.into_iter().map(Some).collect();
+                    let mut new_anns = Vec::with_capacity(old_anns.len());
+                    for &i in &order {
+                        let i = i as usize;
+                        new_keys.extend_from_slice(&keys[i * width..(i + 1) * width]);
+                        new_anns.push(old_anns[i].take().expect("each row moved once"));
+                    }
+                    keys = new_keys;
+                    anns = new_anns;
+                }
+                // Equal adjacent rows = the same fact annotated twice.
+                if let Some(i) = (1..len)
+                    .find(|&i| keys[(i - 1) * width..i * width] == keys[i * width..(i + 1) * width])
+                {
+                    return Err(DuplicateRow {
+                        slot: s,
+                        key: dict.decode(&keys[i * width..(i + 1) * width]),
+                    });
+                }
+                Ok(ColumnarRelation {
+                    vars,
+                    width,
+                    len,
+                    dict: Arc::clone(&dict),
+                    keys,
+                    anns,
+                })
+            })
+            .collect()
+    }
+}
+
+impl<K: Clone + PartialEq + std::fmt::Debug> Storage for ColumnarRelation<K> {
+    type Ann = K;
+
+    fn build_slots(slots: Vec<OwnedSlot<K>>) -> Result<Vec<Self>, DuplicateRow> {
+        // Split each slot into (owned tuples, owned annotations) so the
+        // tuples can be lent to the borrowed build path while the
+        // annotations move into it.
+        let mut vars_list = Vec::with_capacity(slots.len());
+        let mut tuple_store: Vec<Vec<Tuple>> = Vec::with_capacity(slots.len());
+        let mut ann_store: Vec<Vec<K>> = Vec::with_capacity(slots.len());
+        for (vars, rows) in slots {
+            let (ts, ks): (Vec<Tuple>, Vec<K>) = rows.into_iter().unzip();
+            vars_list.push(vars);
+            tuple_store.push(ts);
+            ann_store.push(ks);
+        }
+        let borrowed: Vec<BorrowedSlot<'_, K>> = vars_list
+            .into_iter()
+            .zip(tuple_store.iter())
+            .zip(ann_store)
+            .map(|((vars, ts), ks)| (vars, None, ts.iter().zip(ks).collect()))
+            .collect();
+        Self::build_slots_borrowed(borrowed)
+    }
+
+    fn vars(&self) -> &[Var] {
+        &self.vars
+    }
+
+    fn support_size(&self) -> usize {
+        self.len
+    }
+
+    fn project_out<M: TwoMonoid<Elem = K>>(
+        self,
+        monoid: &M,
+        var: Var,
+        stats: &mut EngineStats,
+    ) -> Self {
+        let pos = self
+            .vars
+            .iter()
+            .position(|&v| v == var)
+            .expect("projected variable must be in the relation schema");
+        let ColumnarRelation {
+            mut vars,
+            width,
+            len,
+            dict,
+            keys,
+            anns,
+        } = self;
+        vars.remove(pos);
+        let nw = width - 1;
+        let mut out_keys: Vec<RowCode> = Vec::with_capacity(len * nw);
+        let mut out_anns: Vec<K> = Vec::with_capacity(len.min(16));
+        // The grouped ⊕-fold shared by both paths: `group` is the slice
+        // holding the current group's projected key, `acc` its running
+        // aggregate. Zero groups are pruned at flush (Lemma 6.6).
+        macro_rules! flush {
+            ($group:expr, $acc:expr) => {
+                if !monoid.is_zero(&$acc) {
+                    out_keys.extend_from_slice($group);
+                    out_anns.push($acc);
+                }
+            };
+        }
+        if pos == width - 1 {
+            // Dropping the least-significant sort column keeps the
+            // remaining prefix sorted: groups are contiguous runs.
+            let mut current: Option<(usize, K)> = None; // (group row, acc)
+            for (i, ann) in anns.into_iter().enumerate() {
+                let prefix = &keys[i * width..i * width + nw];
+                match current {
+                    Some((g, ref mut acc)) if keys[g * width..g * width + nw] == *prefix => {
+                        stats.add_ops += 1;
+                        monoid.add_assign(acc, &ann);
+                    }
+                    _ => {
+                        if let Some((g, acc)) = current.take() {
+                            flush!(&keys[g * width..g * width + nw], acc);
+                        }
+                        current = Some((i, ann));
+                    }
+                }
+            }
+            if let Some((g, acc)) = current.take() {
+                flush!(&keys[g * width..g * width + nw], acc);
+            }
+        } else {
+            // General column: project into a scratch matrix, stable
+            // argsort (ties keep full-row order, so the per-group fold
+            // sequence matches the ordered-map backend), then fold.
+            let keep: Vec<usize> = (0..width).filter(|&i| i != pos).collect();
+            let mut scratch: Vec<RowCode> = Vec::with_capacity(len * nw);
+            for i in 0..len {
+                let row = &keys[i * width..(i + 1) * width];
+                for &k in &keep {
+                    scratch.push(row[k]);
+                }
+            }
+            let mut order: Vec<u32> = (0..len as u32).collect();
+            order.sort_by(|&a, &b| {
+                let (a, b) = (a as usize, b as usize);
+                scratch[a * nw..(a + 1) * nw].cmp(&scratch[b * nw..(b + 1) * nw])
+            });
+            let mut anns: Vec<Option<K>> = anns.into_iter().map(Some).collect();
+            let mut current: Option<(usize, K)> = None; // (scratch row, acc)
+            for &idx in &order {
+                let idx = idx as usize;
+                let key = &scratch[idx * nw..(idx + 1) * nw];
+                let ann = anns[idx].take().expect("each row folded once");
+                match current {
+                    Some((g, ref mut acc)) if scratch[g * nw..g * nw + nw] == *key => {
+                        stats.add_ops += 1;
+                        monoid.add_assign(acc, &ann);
+                    }
+                    _ => {
+                        if let Some((g, acc)) = current.take() {
+                            flush!(&scratch[g * nw..g * nw + nw], acc);
+                        }
+                        current = Some((idx, ann));
+                    }
+                }
+            }
+            if let Some((g, acc)) = current.take() {
+                flush!(&scratch[g * nw..g * nw + nw], acc);
+            }
+        }
+        let out_len = out_anns.len();
+        ColumnarRelation {
+            vars,
+            width: nw,
+            len: out_len,
+            dict,
+            keys: out_keys,
+            anns: out_anns,
+        }
+    }
+
+    fn merge<M: TwoMonoid<Elem = K>>(
+        self,
+        monoid: &M,
+        right: Self,
+        stats: &mut EngineStats,
+    ) -> Self {
+        assert_eq!(
+            self.vars, right.vars,
+            "Rule 2 merges atoms with identical variable sets"
+        );
+        debug_assert_eq!(
+            *self.dict, *right.dict,
+            "merged relations must share one instance dictionary"
+        );
+        let w = self.width;
+        let zero = monoid.zero();
+        let annihilating = monoid.annihilating();
+        let mut out_keys: Vec<RowCode> = Vec::with_capacity(self.keys.len().max(right.keys.len()));
+        let mut out_anns: Vec<K> = Vec::with_capacity(self.len.max(right.len));
+        let (mut i, mut j) = (0, 0);
+        let mut push = |row: &[RowCode], v: K| {
+            if !monoid.is_zero(&v) {
+                out_keys.extend_from_slice(row);
+                out_anns.push(v);
+            }
+        };
+        // Linear sort-merge outer join over the union of supports.
+        while i < self.len && j < right.len {
+            let (lr, rr) = (self.row(i), right.row(j));
+            match lr.cmp(rr) {
+                Ordering::Equal => {
+                    stats.mul_ops += 1;
+                    push(lr, monoid.mul(&self.anns[i], &right.anns[j]));
+                    i += 1;
+                    j += 1;
+                }
+                Ordering::Less => {
+                    if !annihilating {
+                        stats.mul_ops += 1;
+                        push(lr, monoid.mul(&self.anns[i], &zero));
+                    }
+                    i += 1;
+                }
+                Ordering::Greater => {
+                    if !annihilating {
+                        stats.mul_ops += 1;
+                        push(rr, monoid.mul(&zero, &right.anns[j]));
+                    }
+                    j += 1;
+                }
+            }
+        }
+        if !annihilating {
+            while i < self.len {
+                stats.mul_ops += 1;
+                push(self.row(i), monoid.mul(&self.anns[i], &zero));
+                i += 1;
+            }
+            while j < right.len {
+                stats.mul_ops += 1;
+                push(right.row(j), monoid.mul(&zero, &right.anns[j]));
+                j += 1;
+            }
+        }
+        let len = out_anns.len();
+        ColumnarRelation {
+            vars: self.vars,
+            width: w,
+            len,
+            dict: self.dict,
+            keys: out_keys,
+            anns: out_anns,
+        }
+    }
+
+    fn nullary_value<M: TwoMonoid<Elem = K>>(&self, monoid: &M) -> K {
+        if self.width == 0 && self.len > 0 {
+            debug_assert_eq!(self.len, 1, "nullary support is at most one row");
+            self.anns[0].clone()
+        } else {
+            monoid.zero()
+        }
+    }
+
+    fn rows(&self) -> Vec<(Tuple, K)> {
+        (0..self.len)
+            .map(|i| (self.dict.decode(self.row(i)), self.anns[i].clone()))
+            .collect()
+    }
+
+    fn get(&self, key: &Tuple) -> Option<K> {
+        let mut codes = Vec::with_capacity(self.width);
+        if !self.dict.encode_into(key, &mut codes) {
+            return None; // value outside the instance: cannot be stored
+        }
+        self.find(&codes).ok().map(|i| self.anns[i].clone())
+    }
+
+    fn set(&mut self, key: &Tuple, value: Option<K>) {
+        let mut codes = Vec::with_capacity(self.width);
+        if !self.dict.encode_into(key, &mut codes) {
+            assert!(
+                value.is_none(),
+                "cannot insert a key outside the instance dictionary \
+                 (the incremental active domain is fixed at construction)"
+            );
+            return; // deleting a key that cannot exist: no-op
+        }
+        match (self.find(&codes), value) {
+            (Ok(i), Some(v)) => self.anns[i] = v,
+            (Ok(i), None) => {
+                let w = self.width;
+                self.keys.drain(i * w..(i + 1) * w);
+                self.anns.remove(i);
+                self.len -= 1;
+            }
+            (Err(i), Some(v)) => {
+                let w = self.width;
+                self.keys.splice(i * w..i * w, codes);
+                self.anns.insert(i, v);
+                self.len += 1;
+            }
+            (Err(_), None) => {}
+        }
+    }
+}
+
+impl<K> ColumnarRelation<K> {
+    /// Binary search for a code row: `Ok(row)` if present, `Err(row)`
+    /// with the insertion position otherwise.
+    fn find(&self, codes: &[RowCode]) -> Result<usize, usize> {
+        let w = self.width;
+        if w == 0 {
+            return if self.len > 0 { Ok(0) } else { Err(0) };
+        }
+        let (mut lo, mut hi) = (0usize, self.len);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            match self.keys[mid * w..(mid + 1) * w].cmp(codes) {
+                Ordering::Less => lo = mid + 1,
+                Ordering::Greater => hi = mid,
+                Ordering::Equal => return Ok(mid),
+            }
+        }
+        Err(lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hq_monoid::{CountMonoid, ProbMonoid};
+
+    fn rel(vars: &[usize], rows: &[(&[i64], u64)]) -> ColumnarRelation<u64> {
+        ColumnarRelation::build_slots(vec![(
+            vars.iter().map(|&v| Var(v)).collect(),
+            rows.iter().map(|&(t, k)| (Tuple::ints(t), k)).collect(),
+        )])
+        .unwrap()
+        .pop()
+        .unwrap()
+    }
+
+    #[test]
+    fn contiguous_projection_single_pass() {
+        // Dropping the last sort column: groups are adjacent runs.
+        let r = rel(&[0, 1], &[(&[1, 10], 2), (&[1, 20], 3), (&[2, 5], 7)]);
+        let mut stats = EngineStats::default();
+        let out = r.project_out(&CountMonoid, Var(1), &mut stats);
+        assert_eq!(
+            out.rows(),
+            vec![(Tuple::ints(&[1]), 5u64), (Tuple::ints(&[2]), 7u64)]
+        );
+        assert_eq!(stats.add_ops, 1);
+        assert_eq!(out.vars(), &[Var(0)]);
+    }
+
+    #[test]
+    fn reordering_projection_stays_sorted_and_stable() {
+        // Dropping column 0 breaks the order: 1,10 / 1,20 / 2,5 project
+        // to 10 / 20 / 5 which must re-sort to 5 / 10 / 20.
+        let r = rel(&[0, 1], &[(&[1, 10], 2), (&[1, 20], 3), (&[2, 5], 7)]);
+        let mut stats = EngineStats::default();
+        let out = r.project_out(&CountMonoid, Var(0), &mut stats);
+        assert_eq!(
+            out.rows(),
+            vec![
+                (Tuple::ints(&[5]), 7u64),
+                (Tuple::ints(&[10]), 2),
+                (Tuple::ints(&[20]), 3),
+            ]
+        );
+        assert_eq!(stats.add_ops, 0);
+    }
+
+    #[test]
+    fn projection_to_nullary_folds_everything() {
+        let r = rel(&[3], &[(&[1], 2), (&[2], 3), (&[9], 4)]);
+        let mut stats = EngineStats::default();
+        let out = r.project_out(&CountMonoid, Var(3), &mut stats);
+        assert_eq!(out.support_size(), 1);
+        assert_eq!(out.nullary_value(&CountMonoid), 9);
+        assert_eq!(stats.add_ops, 2);
+        // And an empty relation folds to empty support.
+        let empty = rel(&[3], &[]);
+        let out = empty.project_out(&CountMonoid, Var(3), &mut EngineStats::default());
+        assert_eq!(out.support_size(), 0);
+        assert_eq!(out.nullary_value(&CountMonoid), 0);
+    }
+
+    #[test]
+    fn point_updates_keep_rows_sorted() {
+        let mut r = ColumnarRelation::build_slots(vec![(
+            vec![Var(0)],
+            vec![
+                (Tuple::ints(&[1]), 0.5f64),
+                (Tuple::ints(&[2]), 0.25),
+                (Tuple::ints(&[3]), 0.75),
+            ],
+        )])
+        .unwrap()
+        .pop()
+        .unwrap();
+        r.set(&Tuple::ints(&[2]), None);
+        assert_eq!(r.get(&Tuple::ints(&[2])), None);
+        r.set(&Tuple::ints(&[2]), Some(0.9));
+        assert_eq!(r.get(&Tuple::ints(&[2])), Some(0.9));
+        let keys: Vec<Tuple> = r.rows().into_iter().map(|(t, _)| t).collect();
+        assert_eq!(
+            keys,
+            vec![Tuple::ints(&[1]), Tuple::ints(&[2]), Tuple::ints(&[3])]
+        );
+        // Deleting a key whose values are outside the dictionary is a
+        // no-op rather than an error.
+        r.set(&Tuple::ints(&[77]), None);
+        assert_eq!(r.support_size(), 3);
+    }
+
+    #[test]
+    fn zero_prune_uses_monoid_predicate() {
+        let r = ColumnarRelation::build_slots(vec![(
+            vec![Var(0), Var(1)],
+            vec![
+                (Tuple::ints(&[1, 1]), 0.5f64),
+                (Tuple::ints(&[1, 2]), -0.5),
+                (Tuple::ints(&[2, 1]), -0.0),
+            ],
+        )])
+        .unwrap()
+        .pop()
+        .unwrap();
+        let mut stats = EngineStats::default();
+        let out = r.project_out(&ProbMonoid, Var(1), &mut stats);
+        // Group 2's fold is -0.0 → pruned; group 1 is non-zero.
+        assert_eq!(out.support_size(), 1);
+    }
+}

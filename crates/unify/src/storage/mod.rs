@@ -1,0 +1,260 @@
+//! Pluggable storage for K-annotated relations.
+//!
+//! Algorithm 1 only ever performs two relation-level operations — the
+//! Rule 1 ⊕-aggregating projection and the Rule 2 ⊗-outer-join on
+//! identical variable sets — plus support-size accounting and the final
+//! nullary read-out. [`Storage`] captures exactly that contract, so the
+//! engine, the incremental maintainer, and every front-end are generic
+//! over the physical layout:
+//!
+//! * [`MapRelation`] — the ordered-map backend (`BTreeMap<Tuple, K>`),
+//!   kept as the deterministic differential oracle and for workloads
+//!   dominated by point updates;
+//! * [`ColumnarRelation`] — the columnar backend: one dense, sorted
+//!   row-major matrix of dictionary codes plus a parallel annotation
+//!   column. Rule 1 is a single-pass grouped fold, Rule 2 a linear
+//!   sort-merge outer join; no per-tuple allocation on the hot path.
+//!
+//! Both backends perform **the same ⊕/⊗ applications in the same
+//! order**, so results (including floating-point ones) are
+//! bit-identical and `EngineStats` agree exactly — the property the
+//! `differential_backends` suite pins down.
+
+mod columnar;
+mod map;
+
+pub use columnar::{BorrowedSlot, ColumnarRelation};
+pub use map::MapRelation;
+
+use crate::engine::EngineStats;
+use hq_db::Tuple;
+use hq_monoid::TwoMonoid;
+use hq_query::Var;
+use std::fmt;
+use std::str::FromStr;
+
+/// The physical layout of the annotated relations in one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// Ordered-map backend (`BTreeMap<Tuple, K>` per relation).
+    Map,
+    /// Columnar backend (sorted code matrix + annotation column).
+    #[default]
+    Columnar,
+}
+
+impl Backend {
+    /// All backends, for exhaustive differential sweeps.
+    pub const ALL: [Backend; 2] = [Backend::Map, Backend::Columnar];
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Backend::Map => write!(f, "map"),
+            Backend::Columnar => write!(f, "columnar"),
+        }
+    }
+}
+
+impl FromStr for Backend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "map" => Ok(Backend::Map),
+            "columnar" => Ok(Backend::Columnar),
+            other => Err(format!(
+                "unknown backend '{other}' (expected 'map' or 'columnar')"
+            )),
+        }
+    }
+}
+
+/// A duplicate key found while building storage: the slot index and
+/// the offending key (in sorted-var order).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DuplicateRow {
+    /// Index of the slot (query atom) holding the duplicate.
+    pub slot: usize,
+    /// The duplicated key, in ascending variable-id column order.
+    pub key: Tuple,
+}
+
+/// One slot of input to [`Storage::build_slots`]: the sorted schema
+/// plus owned rows keyed in that column order.
+pub type OwnedSlot<K> = (Vec<Var>, Vec<(Tuple, K)>);
+
+/// A K-annotated relation layout the engine can run Algorithm 1 over.
+///
+/// Implementations store the *support* only (annotation ≠ 0 under the
+/// monoid's [`TwoMonoid::is_zero`]) with rows keyed in ascending
+/// variable-id order, and must apply ⊕/⊗ in ascending key order so that
+/// all backends produce bit-identical results.
+pub trait Storage: Clone + fmt::Debug + Sized {
+    /// The annotation carrier `K`.
+    type Ann: Clone + PartialEq + fmt::Debug;
+
+    /// Builds one relation per `(vars, rows)` slot. `rows` are keyed in
+    /// `vars` order but arrive in **arbitrary order**: the backend owns
+    /// sorting (in its own key representation — much cheaper than a
+    /// tuple sort for the columnar layout, and adaptive-linear for
+    /// presorted input everywhere) and rejects duplicate keys. Slots
+    /// are built together so backends may share instance-wide
+    /// structures (e.g. the value dictionary).
+    ///
+    /// # Errors
+    /// Returns the first [`DuplicateRow`] encountered.
+    fn build_slots(slots: Vec<OwnedSlot<Self::Ann>>) -> Result<Vec<Self>, DuplicateRow>;
+
+    /// The schema: variable ids in ascending order.
+    fn vars(&self) -> &[Var];
+
+    /// Support size `|supp(R)|` (Definition 6.5).
+    fn support_size(&self) -> usize;
+
+    /// Rule 1: `R'(x̄') = ⊕_y R(x̄', y)` over the support, pruning
+    /// zeros. Counts one ⊕ per combine into an existing group.
+    ///
+    /// # Panics
+    /// Panics if `var` is not in the schema.
+    fn project_out<M: TwoMonoid<Elem = Self::Ann>>(
+        self,
+        monoid: &M,
+        var: Var,
+        stats: &mut EngineStats,
+    ) -> Self;
+
+    /// Rule 2: `R'(x̄) = R₁(x̄) ⊗ R₂(x̄)` over the union of supports with
+    /// 0-fill for one-sided rows. When the monoid is
+    /// [annihilating](TwoMonoid::annihilating), one-sided rows are
+    /// skipped outright (result `0`, pruned) without counting a ⊗ —
+    /// the Theorem 6.7 accounting for semirings.
+    ///
+    /// # Panics
+    /// Panics if the two schemas differ.
+    fn merge<M: TwoMonoid<Elem = Self::Ann>>(
+        self,
+        monoid: &M,
+        right: Self,
+        stats: &mut EngineStats,
+    ) -> Self;
+
+    /// The annotation of the nullary tuple `()` (or `0` when the
+    /// support is empty). Only meaningful on nullary relations.
+    fn nullary_value<M: TwoMonoid<Elem = Self::Ann>>(&self, monoid: &M) -> Self::Ann;
+
+    /// Materialises the rows in ascending key order (diagnostics,
+    /// differential tests, and the incremental refold path).
+    fn rows(&self) -> Vec<(Tuple, Self::Ann)>;
+
+    /// Point read of one key (in `vars` order).
+    fn get(&self, key: &Tuple) -> Option<Self::Ann>;
+
+    /// Point write: `Some(v)` inserts/overwrites, `None` deletes.
+    /// Used by the incremental maintainer over a fixed active domain.
+    fn set(&mut self, key: &Tuple, value: Option<Self::Ann>);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hq_monoid::{CountMonoid, ProbMonoid};
+
+    fn rows_u64(rows: &[(&[i64], u64)]) -> Vec<(Tuple, u64)> {
+        rows.iter().map(|&(t, k)| (Tuple::ints(t), k)).collect()
+    }
+
+    fn both(vars: &[usize], rows: Vec<(Tuple, u64)>) -> (MapRelation<u64>, ColumnarRelation<u64>) {
+        let vars: Vec<Var> = vars.iter().map(|&v| Var(v)).collect();
+        let m = MapRelation::build_slots(vec![(vars.clone(), rows.clone())]).unwrap();
+        let c = ColumnarRelation::build_slots(vec![(vars, rows)]).unwrap();
+        (m.into_iter().next().unwrap(), c.into_iter().next().unwrap())
+    }
+
+    #[test]
+    fn duplicate_rows_rejected_by_every_backend() {
+        let rows = rows_u64(&[(&[7], 1), (&[3], 2), (&[7], 3)]);
+        let vars = vec![Var(0)];
+        let m = MapRelation::build_slots(vec![(vars.clone(), rows.clone())]);
+        let c = ColumnarRelation::build_slots(vec![(vars, rows)]);
+        let expect = DuplicateRow {
+            slot: 0,
+            key: Tuple::ints(&[7]),
+        };
+        assert_eq!(m.unwrap_err(), expect);
+        assert_eq!(c.unwrap_err(), expect);
+    }
+
+    #[test]
+    fn backend_parses_and_displays() {
+        assert_eq!("map".parse::<Backend>().unwrap(), Backend::Map);
+        assert_eq!("columnar".parse::<Backend>().unwrap(), Backend::Columnar);
+        assert!("btree".parse::<Backend>().is_err());
+        assert_eq!(Backend::Columnar.to_string(), "columnar");
+        assert_eq!(Backend::default(), Backend::Columnar);
+    }
+
+    #[test]
+    fn project_out_agrees_across_backends() {
+        let rows = rows_u64(&[(&[1, 10], 2), (&[1, 20], 3), (&[2, 10], 5), (&[3, 30], 7)]);
+        for var in [0usize, 1] {
+            let (m, c) = both(&[0, 1], rows.clone());
+            let mut sm = EngineStats::default();
+            let mut sc = EngineStats::default();
+            let pm = m.project_out(&CountMonoid, Var(var), &mut sm);
+            let pc = c.project_out(&CountMonoid, Var(var), &mut sc);
+            assert_eq!(pm.rows(), pc.rows(), "var {var}");
+            assert_eq!(sm.add_ops, sc.add_ops);
+        }
+    }
+
+    #[test]
+    fn merge_agrees_across_backends() {
+        let left = rows_u64(&[(&[1], 2), (&[2], 3)]);
+        let right = rows_u64(&[(&[2], 5), (&[3], 7)]);
+        let slots_m = MapRelation::build_slots(vec![
+            (vec![Var(0)], left.clone()),
+            (vec![Var(0)], right.clone()),
+        ])
+        .unwrap();
+        let slots_c =
+            ColumnarRelation::build_slots(vec![(vec![Var(0)], left), (vec![Var(0)], right)])
+                .unwrap();
+        let mut sm = EngineStats::default();
+        let mut sc = EngineStats::default();
+        let [lm, rm]: [MapRelation<u64>; 2] = slots_m.try_into().unwrap();
+        let [lc, rc]: [ColumnarRelation<u64>; 2] = slots_c.try_into().unwrap();
+        let mm = lm.merge(&CountMonoid, rm, &mut sm);
+        let mc = lc.merge(&CountMonoid, rc, &mut sc);
+        assert_eq!(mm.rows(), mc.rows());
+        assert_eq!(sm.mul_ops, sc.mul_ops);
+        // Counting is annihilating: only the both-sided row costs a ⊗.
+        assert_eq!(sm.mul_ops, 1);
+        assert_eq!(mm.rows(), vec![(Tuple::ints(&[2]), 15u64)]);
+    }
+
+    #[test]
+    fn point_access_agrees_across_backends() {
+        let rows: Vec<(Tuple, f64)> = vec![(Tuple::ints(&[1]), 0.25), (Tuple::ints(&[3]), 0.5)];
+        let mut m = MapRelation::build_slots(vec![(vec![Var(0)], rows.clone())])
+            .unwrap()
+            .pop()
+            .unwrap();
+        let mut c = ColumnarRelation::build_slots(vec![(vec![Var(0)], rows)])
+            .unwrap()
+            .pop()
+            .unwrap();
+        for rel_get in [m.get(&Tuple::ints(&[3])), c.get(&Tuple::ints(&[3]))] {
+            assert_eq!(rel_get, Some(0.5));
+        }
+        m.set(&Tuple::ints(&[3]), Some(0.75));
+        c.set(&Tuple::ints(&[3]), Some(0.75));
+        m.set(&Tuple::ints(&[1]), None);
+        c.set(&Tuple::ints(&[1]), None);
+        assert_eq!(m.rows(), c.rows());
+        assert_eq!(m.support_size(), 1);
+        assert_eq!(c.support_size(), 1);
+        assert_eq!(c.nullary_value(&ProbMonoid), 0.0); // empty () read
+    }
+}

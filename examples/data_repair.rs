@@ -84,12 +84,22 @@ fn main() {
             .iter()
             .map(|f| f.display(&interner).to_string())
             .collect();
-        println!("  θ={i}: {}", if names.is_empty() { "(nothing)".into() } else { names.join(", ") });
+        println!(
+            "  θ={i}: {}",
+            if names.is_empty() {
+                "(nothing)".into()
+            } else {
+                names.join(", ")
+            }
+        );
         assert_eq!(with_repair.value_at(i), sol.value_at(i));
     }
 
     // Cross-check the θ=3 optimum against exhaustive subset search.
     let brute = baselines::maximize_bruteforce(&q, &interner, &d, &d_r, 3);
     assert_eq!(brute.optimum, sol.value_at(3), "oracle agrees");
-    println!("\nθ=3 optimum confirmed by exhaustive search: {}", brute.optimum);
+    println!(
+        "\nθ=3 optimum confirmed by exhaustive search: {}",
+        brute.optimum
+    );
 }

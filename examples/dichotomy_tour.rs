@@ -38,12 +38,19 @@ fn main() {
     // All plan orders agree (Proposition 5.1: any application order
     // reaches the same conclusion).
     let q = parse_query(zoo[0]).unwrap();
-    for order in [PlanOrder::Rule1First, PlanOrder::Rule2First, PlanOrder::Rule1HighVar] {
+    for order in [
+        PlanOrder::Rule1First,
+        PlanOrder::Rule2First,
+        PlanOrder::Rule1HighVar,
+    ] {
         let p = plan_with_order(&q, order).unwrap();
         assert_eq!(p.rule1_count(), q.var_count());
         assert_eq!(p.rule2_count(), q.atom_count() - 1);
     }
-    println!("\nall elimination orders reduce {q} in {} steps", q.var_count() + q.atom_count() - 1);
+    println!(
+        "\nall elimination orders reduce {q} in {} steps",
+        q.var_count() + q.atom_count() - 1
+    );
 
     // The cost of the wrong side: a planted-biclique BSM instance for
     // the non-hierarchical pattern (solvable only by search) vs a

@@ -52,9 +52,7 @@ fn main() {
     }
 
     // Sanity checks every attribution method should satisfy:
-    let total = ranked
-        .iter()
-        .fold(Rational::zero(), |acc, (_, v)| &acc + v);
+    let total = ranked.iter().fold(Rational::zero(), |acc, (_, v)| &acc + v);
     println!("\nefficiency: values sum to {total} (the query flips false→true)");
     let irrelevant = ranked.last().unwrap();
     assert_eq!(irrelevant.1, Rational::zero());

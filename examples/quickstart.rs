@@ -38,7 +38,10 @@ fn main() {
     d_r.insert_tuple(t, Tuple::ints(&[1, 1, 4]));
     d_r.insert_tuple(t, Tuple::ints(&[1, 2, 9]));
     let sol = bsm::maximize(&q, &interner, &d, &d_r, 2).unwrap();
-    println!("BSM: best Q(D') within budget 2 .......... {} (paper: 4)", sol.optimum());
+    println!(
+        "BSM: best Q(D') within budget 2 .......... {} (paper: 4)",
+        sol.optimum()
+    );
     print!("     budget curve:");
     for i in 0..=2 {
         print!(" θ={i}→{}", sol.value_at(i));
@@ -52,8 +55,14 @@ fn main() {
     for (f, v) in &values {
         println!("     {:<12} {v}", f.display(&interner).to_string());
     }
-    let total = values
-        .iter()
-        .fold(Rational::zero(), |acc, (_, v)| &acc + v);
+    let total = values.iter().fold(Rational::zero(), |acc, (_, v)| &acc + v);
     println!("     total ...... {total} (efficiency: Q flips from false to true)");
+
+    // 4. Storage backends: the same engine runs over the ordered-map
+    // oracle layout or the columnar fast path — bit-identical answers.
+    use hierarchical_queries::unify::{pqe, Backend};
+    let p_map = pqe::probability_on(Backend::Map, &q, &interner, &tid).unwrap();
+    let p_col = pqe::probability_on(Backend::Columnar, &q, &interner, &tid).unwrap();
+    assert_eq!(p_map.to_bits(), p_col.to_bits());
+    println!("Backends: map {p_map} == columnar {p_col} (bit-identical)");
 }

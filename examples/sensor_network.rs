@@ -46,10 +46,7 @@ fn main() {
                 reliability,
             ));
             // Calibration recorded per (room, sensor) deployment.
-            tid.push((
-                Fact::new(calibrated, Tuple::ints(&[room, sensor_id])),
-                0.9,
-            ));
+            tid.push((Fact::new(calibrated, Tuple::ints(&[room, sensor_id])), 0.9));
         }
     }
 
@@ -64,7 +61,10 @@ fn main() {
     // Cross-check against Monte-Carlo sampling.
     let est = baselines::probability_monte_carlo(&q, &interner, &tid, 30_000, &mut rng);
     println!("Monte-Carlo (30k samples) ............................ {est:.4}");
-    assert!((p - est).abs() < 0.02, "estimator should agree with exact value");
+    assert!(
+        (p - est).abs() < 0.02,
+        "estimator should agree with exact value"
+    );
 
     // Non-hierarchical variant: calibration as a global per-sensor
     // table — the classic R(X), S(X,Y), T(Y) hard pattern.

@@ -64,5 +64,7 @@ pub mod prelude {
     pub use hq_query::{
         is_hierarchical, parse_query, plan, q_hierarchical, q_non_hierarchical, Query,
     };
-    pub use hq_unify::{bsm, pqe, shapley, evaluate, provenance_tree, EngineStats, UnifyError};
+    pub use hq_unify::{
+        bsm, evaluate, evaluate_on, pqe, provenance_tree, shapley, Backend, EngineStats, UnifyError,
+    };
 }

@@ -40,7 +40,12 @@ pub fn random_instance(
         let count = r.gen_range(0..=tuples_per_relation);
         fill_relation(&mut database, rel, &cols, count, &mut r);
     }
-    Instance { query, interner, database, rng: r }
+    Instance {
+        query,
+        interner,
+        database,
+        rng: r,
+    }
 }
 
 /// Caps the total fact count by dropping excess facts (keeps oracle

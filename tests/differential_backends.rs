@@ -1,0 +1,190 @@
+//! Differential testing of the storage backends: the ordered-map
+//! oracle vs the columnar fast path must agree **exactly** — result
+//! value (bit-for-bit on floats), support trajectory, and ⊕/⊗ operation
+//! counts — on random hierarchical instances, for every monoid family.
+
+mod common;
+
+use common::random_instance;
+use hq_db::Fact;
+use hq_monoid::{BagMaxMonoid, CountMonoid, ProbMonoid, SatCountMonoid, TwoMonoid};
+use hq_unify::{bsm, evaluate_on, pqe, Backend, IncrementalRun};
+use proptest::prelude::*;
+use rand::Rng;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    /// Probabilities agree bit-for-bit, as do stats, on random
+    /// hierarchical TID instances.
+    #[test]
+    fn pqe_backends_bit_identical(seed in 0u64..1_000_000) {
+        let mut inst = random_instance(seed, 5, 5, 6, 3);
+        let tid: Vec<(Fact, f64)> = inst
+            .database
+            .facts()
+            .into_iter()
+            .map(|f| {
+                let p = inst.rng.gen_range(0.0..=1.0);
+                (f, p)
+            })
+            .collect();
+        let (pm, sm) = pqe::probability_with_stats_on(
+            Backend::Map, &inst.query, &inst.interner, &tid,
+        ).unwrap();
+        let (pc, sc) = pqe::probability_with_stats_on(
+            Backend::Columnar, &inst.query, &inst.interner, &tid,
+        ).unwrap();
+        prop_assert_eq!(pm.to_bits(), pc.to_bits(), "map {} vs columnar {}", pm, pc);
+        prop_assert_eq!(&sm, &sc, "stats diverged on {}", inst.query);
+        prop_assert!(sm.support_never_grew());
+        prop_assert_eq!(sm.total_ops(), sc.total_ops());
+    }
+
+    /// The counting semiring (annihilating: one-sided merges skip ⊗)
+    /// agrees on value and op accounting.
+    #[test]
+    fn count_backends_agree(seed in 0u64..1_000_000) {
+        let mut inst = random_instance(seed, 5, 5, 6, 3);
+        let facts: Vec<(Fact, u64)> = inst
+            .database
+            .facts()
+            .into_iter()
+            .map(|f| {
+                let k = inst.rng.gen_range(1u64..=3);
+                (f, k)
+            })
+            .collect();
+        let (vm, sm) = evaluate_on(
+            Backend::Map, &CountMonoid, &inst.query, &inst.interner, facts.clone(),
+        ).unwrap();
+        let (vc, sc) = evaluate_on(
+            Backend::Columnar, &CountMonoid, &inst.query, &inst.interner, facts,
+        ).unwrap();
+        prop_assert_eq!(vm, vc, "{}", inst.query);
+        prop_assert_eq!(sm, sc);
+    }
+
+    /// Bag-Set Maximization (non-annihilating monoid, 0-filled merges,
+    /// fused columnar ψ-encoding) returns identical budget curves and
+    /// stats.
+    #[test]
+    fn bsm_backends_agree(seed in 0u64..1_000_000) {
+        let mut inst = random_instance(seed, 4, 4, 5, 3);
+        // Split the instance into (D, D_r) at random.
+        let mut d = hq_db::Database::new();
+        let mut d_r = hq_db::Database::new();
+        for (rel, r) in inst.database.relations() {
+            d.declare(rel, r.arity());
+            d_r.declare(rel, r.arity());
+        }
+        for f in inst.database.facts() {
+            if inst.rng.gen_bool(0.5) {
+                d.insert(f);
+            } else {
+                d_r.insert(f);
+            }
+        }
+        let theta = inst.rng.gen_range(0usize..=4);
+        let map = bsm::maximize_on(
+            Backend::Map, &inst.query, &inst.interner, &d, &d_r, theta,
+        ).unwrap();
+        let col = bsm::maximize_on(
+            Backend::Columnar, &inst.query, &inst.interner, &d, &d_r, theta,
+        ).unwrap();
+        prop_assert_eq!(&map.curve, &col.curve, "{} θ={}", inst.query, theta);
+        prop_assert_eq!(&map.stats, &col.stats);
+        prop_assert!(map.stats.support_never_grew());
+    }
+
+    /// The #Sat monoid (Shapley substrate; exact big-integer vectors)
+    /// agrees across backends.
+    #[test]
+    fn satcount_backends_agree(seed in 0u64..1_000_000) {
+        let mut inst = random_instance(seed, 4, 4, 4, 3);
+        let facts = inst.database.facts();
+        if facts.is_empty() {
+            return Ok(());
+        }
+        let n = facts.len();
+        let monoid = SatCountMonoid::new(n);
+        let annotated: Vec<_> = facts
+            .iter()
+            .map(|f| {
+                let k = if inst.rng.gen_bool(0.5) { monoid.one() } else { monoid.star() };
+                (f.clone(), k)
+            })
+            .collect();
+        let (vm, sm) = evaluate_on(
+            Backend::Map, &monoid, &inst.query, &inst.interner, annotated.clone(),
+        ).unwrap();
+        let (vc, sc) = evaluate_on(
+            Backend::Columnar, &monoid, &inst.query, &inst.interner, annotated,
+        ).unwrap();
+        prop_assert_eq!(vm, vc, "{}", inst.query);
+        prop_assert_eq!(sm, sc);
+    }
+
+    /// The incremental maintainer stays bit-identical across backends
+    /// through a random update schedule.
+    #[test]
+    fn incremental_backends_agree(seed in 0u64..1_000_000) {
+        let mut inst = random_instance(seed, 4, 4, 4, 3);
+        let facts = inst.database.facts();
+        if facts.is_empty() {
+            return Ok(());
+        }
+        let tid: Vec<(Fact, f64)> = facts
+            .iter()
+            .map(|f| {
+                let p = inst.rng.gen_range(0.0..=1.0);
+                (f.clone(), p)
+            })
+            .collect();
+        let mut map_run =
+            IncrementalRun::new(ProbMonoid, &inst.query, &inst.interner, tid.clone()).unwrap();
+        let mut col_run: IncrementalRun<ProbMonoid, hq_unify::ColumnarRelation<f64>> =
+            IncrementalRun::with_storage(ProbMonoid, &inst.query, &inst.interner, tid)
+                .unwrap();
+        prop_assert_eq!(map_run.result().to_bits(), col_run.result().to_bits());
+        for _ in 0..6 {
+            let f = &facts[inst.rng.gen_range(0..facts.len())];
+            let p = if inst.rng.gen_bool(0.25) {
+                0.0 // deletion
+            } else {
+                inst.rng.gen_range(0.0..=1.0)
+            };
+            let a = *map_run.update(&inst.interner, f, p).unwrap();
+            let b = *col_run.update(&inst.interner, f, p).unwrap();
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "after {} := {}", f.display(&inst.interner), p);
+        }
+    }
+
+    /// Backend-reported support sizes match the semantic support at
+    /// every step (stats vectors identical entry-wise).
+    #[test]
+    fn support_trajectories_match(seed in 0u64..1_000_000) {
+        let mut inst = random_instance(seed, 5, 5, 6, 3);
+        let facts: Vec<(Fact, u64)> = inst
+            .database
+            .facts()
+            .into_iter()
+            .map(|f| (f, 1u64))
+            .collect();
+        let m = BagMaxMonoid::new(2);
+        let annotated: Vec<_> = facts
+            .iter()
+            .map(|(f, _)| {
+                let k = if inst.rng.gen_bool(0.7) { m.one() } else { m.star() };
+                (f.clone(), k)
+            })
+            .collect();
+        let (_, sm) = evaluate_on(
+            Backend::Map, &m, &inst.query, &inst.interner, annotated.clone(),
+        ).unwrap();
+        let (_, sc) = evaluate_on(
+            Backend::Columnar, &m, &inst.query, &inst.interner, annotated,
+        ).unwrap();
+        prop_assert_eq!(&sm.support_sizes, &sc.support_sizes, "{}", inst.query);
+    }
+}

@@ -11,10 +11,7 @@ use hq_unify::shapley;
 use proptest::prelude::*;
 use rand::Rng;
 
-fn split_exo_endo(
-    inst: &mut common::Instance,
-    max_endo: usize,
-) -> (Vec<Fact>, Vec<Fact>) {
+fn split_exo_endo(inst: &mut common::Instance, max_endo: usize) -> (Vec<Fact>, Vec<Fact>) {
     let facts = cap_facts(&inst.database, 10).facts();
     let mut exo = Vec::new();
     let mut endo = Vec::new();

@@ -42,7 +42,12 @@ fn fig1_initial_value_is_1() {
     let matches = hq_db::all_matches(&d, &pattern).unwrap();
     assert_eq!(
         matches,
-        vec![vec![Value::Int(1), Value::Int(5), Value::Int(2), Value::Int(4)]]
+        vec![vec![
+            Value::Int(1),
+            Value::Int(5),
+            Value::Int(2),
+            Value::Int(4)
+        ]]
     );
 }
 
@@ -81,7 +86,11 @@ fn fig1_optimal_repair_reaches_4() {
 fn example_52_elimination_succeeds_with_paper_step_counts() {
     // Example 5.2: 6 steps (4 × Rule 1, 2 × Rule 2), ending in Q():-R().
     let q = parse_query("Q() :- R(A,B), S(A,C), T(A,C,D)").unwrap();
-    for order in [PlanOrder::Rule1First, PlanOrder::Rule2First, PlanOrder::Rule1HighVar] {
+    for order in [
+        PlanOrder::Rule1First,
+        PlanOrder::Rule2First,
+        PlanOrder::Rule1HighVar,
+    ] {
         let p = plan_with_order(&q, order).unwrap();
         assert_eq!(p.rule1_count(), 4);
         assert_eq!(p.rule2_count(), 2);
@@ -171,9 +180,18 @@ fn theorem_44_witness_shape_for_every_non_hierarchical_query() {
         let w = non_hierarchical_witness(&q).expect(src);
         let at_a = q.at(w.a);
         let at_b = q.at(w.b);
-        assert!(at_a.contains(&w.r_atom) && !at_b.contains(&w.r_atom), "{src}");
-        assert!(at_a.contains(&w.s_atom) && at_b.contains(&w.s_atom), "{src}");
-        assert!(!at_a.contains(&w.t_atom) && at_b.contains(&w.t_atom), "{src}");
+        assert!(
+            at_a.contains(&w.r_atom) && !at_b.contains(&w.r_atom),
+            "{src}"
+        );
+        assert!(
+            at_a.contains(&w.s_atom) && at_b.contains(&w.s_atom),
+            "{src}"
+        );
+        assert!(
+            !at_a.contains(&w.t_atom) && at_b.contains(&w.t_atom),
+            "{src}"
+        );
     }
 }
 

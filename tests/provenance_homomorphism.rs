@@ -44,8 +44,11 @@ fn phi_bagmax(tree: &Prov, free: &[bool], theta: usize) -> Vec<u64> {
         }
         let mult = tree.multiplicity(&|s| {
             let i = s as usize;
-            let selected =
-                free[i] || repair.iter().position(|&r| r == i).is_some_and(|p| mask >> p & 1 == 1);
+            let selected = free[i]
+                || repair
+                    .iter()
+                    .position(|&r| r == i)
+                    .is_some_and(|p| mask >> p & 1 == 1);
             u64::from(selected)
         });
         for slot in best.iter_mut().take(theta + 1).skip(cost) {
@@ -65,7 +68,11 @@ fn phi_satcount(tree: &Prov, exo: &[bool]) -> (Vec<Natural>, Vec<Natural>) {
         let k = mask.count_ones() as usize;
         let value = tree.eval_bool(&|s| {
             let i = s as usize;
-            exo[i] || endo.iter().position(|&e| e == i).is_some_and(|p| mask >> p & 1 == 1)
+            exo[i]
+                || endo
+                    .iter()
+                    .position(|&e| e == i)
+                    .is_some_and(|p| mask >> p & 1 == 1)
         });
         if value {
             t[k].add_assign_ref(&Natural::one());
