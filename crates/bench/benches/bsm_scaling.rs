@@ -5,8 +5,8 @@
 //! the constants.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use hq_bench::bsm_workload;
-use hq_unify::{bsm, Backend};
+use hq_bench::{bsm_workload, thread_sweep, write_bench_summary};
+use hq_unify::{bsm, Backend, Parallelism};
 use std::time::Duration;
 
 fn bench_bsm(c: &mut Criterion) {
@@ -55,5 +55,51 @@ fn bench_bsm(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_bsm);
+/// The threads axis: sharded columnar BSM at 1/2/4/max workers on the
+/// largest |D| and largest θ sweep points, curves asserted identical
+/// at every count; emits `BENCH_bsm_scaling.json`.
+fn bench_bsm_threads(_c: &mut Criterion) {
+    println!("\n== bsm_scaling/threads (sharded columnar)");
+    let max = Parallelism::available().threads;
+    let mut counts = vec![1usize, 2, 4];
+    if !counts.contains(&max) {
+        counts.push(max);
+    }
+    let mut entries = Vec::new();
+    for (label, w, theta) in [
+        ("sweep_d_24000", bsm_workload(8_000, 40, 17), 10usize),
+        ("sweep_theta_64", bsm_workload(300, 200, 19), 64),
+    ] {
+        let seq = bsm::maximize_on(
+            Backend::Columnar,
+            &w.query,
+            &w.interner,
+            &w.d,
+            &w.d_r,
+            theta,
+        )
+        .unwrap();
+        entries.extend(thread_sweep(label, &counts, 3, |threads| {
+            let sol = bsm::maximize_par(
+                Backend::Columnar,
+                Parallelism::new(threads),
+                &w.query,
+                &w.interner,
+                &w.d,
+                &w.d_r,
+                theta,
+            )
+            .unwrap();
+            assert_eq!(
+                seq.curve, sol.curve,
+                "{label}: sharded at {threads} threads diverged"
+            );
+            sol.optimum()
+        }));
+    }
+    let path = write_bench_summary("bsm_scaling", &entries).expect("summary written");
+    println!("summary: {path}");
+}
+
+criterion_group!(benches, bench_bsm, bench_bsm_threads);
 criterion_main!(benches);

@@ -5,8 +5,8 @@
 //! constants differ).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use hq_bench::{chain_tid, star_tid};
-use hq_unify::{pqe, Backend};
+use hq_bench::{chain_tid, star_tid, thread_sweep, write_bench_summary};
+use hq_unify::{pqe, Backend, Parallelism};
 use std::time::Duration;
 
 fn bench_pqe(c: &mut Criterion) {
@@ -49,5 +49,43 @@ fn bench_pqe(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pqe);
+/// The threads axis: sharded columnar at 1/2/4/max workers on the
+/// largest workloads, with bit-identity asserted at every count and a
+/// machine-readable `BENCH_pqe_scaling.json` emitted for the perf
+/// trajectory.
+fn bench_pqe_threads(_c: &mut Criterion) {
+    println!("\n== pqe_scaling/threads (sharded columnar)");
+    let max = Parallelism::available().threads;
+    let mut counts = vec![1usize, 2, 4];
+    if !counts.contains(&max) {
+        counts.push(max);
+    }
+    let mut entries = Vec::new();
+    for (label, w) in [
+        ("chain_16000", chain_tid(16_000, 11)),
+        ("star_eq1_16000", star_tid(16_000, 12)),
+    ] {
+        let seq = pqe::probability_on(Backend::Columnar, &w.query, &w.interner, &w.tid).unwrap();
+        entries.extend(thread_sweep(label, &counts, 5, |threads| {
+            let p = pqe::probability_par(
+                Backend::Columnar,
+                Parallelism::new(threads),
+                &w.query,
+                &w.interner,
+                &w.tid,
+            )
+            .unwrap();
+            assert_eq!(
+                seq.to_bits(),
+                p.to_bits(),
+                "{label}: sharded at {threads} threads diverged"
+            );
+            p
+        }));
+    }
+    let path = write_bench_summary("pqe_scaling", &entries).expect("summary written");
+    println!("summary: {path}");
+}
+
+criterion_group!(benches, bench_pqe, bench_pqe_threads);
 criterion_main!(benches);

@@ -224,6 +224,121 @@ pub fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
     (out, start.elapsed().as_secs_f64() * 1e3)
 }
 
+/// Mean wall-clock nanoseconds per call over `iters` measured runs
+/// (after one discarded warm-up call).
+pub fn mean_ns<T>(iters: usize, mut f: impl FnMut() -> T) -> f64 {
+    std::hint::black_box(f());
+    let start = Instant::now();
+    for _ in 0..iters.max(1) {
+        std::hint::black_box(f());
+    }
+    start.elapsed().as_secs_f64() * 1e9 / iters.max(1) as f64
+}
+
+/// One measured point of a machine-readable bench summary: a workload
+/// at a thread count.
+#[derive(Debug, Clone)]
+pub struct SummaryEntry {
+    /// Workload label, e.g. `chain_16000`.
+    pub workload: String,
+    /// Worker-thread count of the run.
+    pub threads: usize,
+    /// Mean wall-clock nanoseconds per run.
+    pub mean_ns: f64,
+    /// Wall-clock speedup versus the 1-thread run of the same workload.
+    pub speedup_vs_1: f64,
+}
+
+/// Writes `BENCH_<name>.json` at the workspace root so future PRs can
+/// track the perf trajectory mechanically. The format is
+/// hand-serialised (no JSON dependency in the container): one object
+/// with the bench name, the host's hardware-thread count, and the
+/// entry list.
+///
+/// Skipped (returning `"(skipped: CI)"`) when the `CI` environment
+/// variable is set, so CI smoke runs never clobber the checked-in
+/// summaries with throwaway numbers from the runner hardware.
+///
+/// # Errors
+/// Propagates the underlying file write error.
+pub fn write_bench_summary(name: &str, entries: &[SummaryEntry]) -> std::io::Result<String> {
+    if std::env::var_os("CI").is_some() {
+        return Ok("(skipped: CI)".to_owned());
+    }
+    let host_threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"bench\": \"{name}\",\n"));
+    json.push_str(&format!("  \"host_threads\": {host_threads},\n"));
+    json.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"threads\": {}, \"mean_ns\": {:.0}, \"speedup_vs_1\": {:.3}}}{}\n",
+            e.workload,
+            e.threads,
+            e.mean_ns,
+            e.speedup_vs_1,
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = format!("{}/../../BENCH_{name}.json", env!("CARGO_MANIFEST_DIR"));
+    std::fs::write(&path, &json)?;
+    Ok(path)
+}
+
+/// Runs a `workload × threads` wall-clock sweep: calls `run(threads)`
+/// `iters` times per thread count, returns the summary entries in
+/// sweep order, and prints an aligned table. The caller is responsible
+/// for asserting that every thread count returned identical results
+/// (the engine guarantees it; the benches pin it).
+pub fn thread_sweep<T>(
+    workload: &str,
+    thread_counts: &[usize],
+    iters: usize,
+    mut run: impl FnMut(usize) -> T,
+) -> Vec<SummaryEntry> {
+    let mut entries: Vec<SummaryEntry> = thread_counts
+        .iter()
+        .map(|&t| SummaryEntry {
+            workload: workload.to_owned(),
+            threads: t,
+            mean_ns: mean_ns(iters, || run(t)),
+            speedup_vs_1: 1.0,
+        })
+        .collect();
+    // Speedups are relative to the 1-thread run; when the sweep has no
+    // 1-thread point, fall back to the first entry so the field (and
+    // the JSON it lands in) is always a finite number.
+    let base_ns = entries
+        .iter()
+        .find(|e| e.threads == 1)
+        .or(entries.first())
+        .map(|e| e.mean_ns)
+        .unwrap_or(1.0);
+    for e in &mut entries {
+        e.speedup_vs_1 = base_ns / e.mean_ns;
+    }
+    let rows: Vec<Vec<String>> = entries
+        .iter()
+        .map(|e| {
+            vec![
+                e.workload.clone(),
+                e.threads.to_string(),
+                format!("{:.3}", e.mean_ns / 1e6),
+                format!("{:.2}x", e.speedup_vs_1),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["workload", "threads", "ms/iter", "speedup"], &rows)
+    );
+    entries
+}
+
 /// Renders an aligned text table (used by the experiments harness).
 pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
@@ -306,6 +421,17 @@ mod tests {
         let w = shapley_workload(30, 0.3, 5);
         assert_eq!(w.exogenous.len() + w.endogenous.len(), 60);
         assert!(!w.endogenous.is_empty());
+    }
+
+    #[test]
+    fn thread_sweep_speedups_always_finite() {
+        // Even without a 1-thread point the speedup field must stay a
+        // finite number (the JSON summary has no NaN representation).
+        let entries = thread_sweep("w", &[2, 4], 1, |t| std::hint::black_box(t * 2));
+        assert_eq!(entries.len(), 2);
+        assert!(entries.iter().all(|e| e.speedup_vs_1.is_finite()));
+        let with_one = thread_sweep("w", &[1, 2], 1, std::hint::black_box);
+        assert_eq!(with_one[0].speedup_vs_1, 1.0);
     }
 
     #[test]

@@ -13,7 +13,9 @@
 //!
 //! Solver commands accept `--backend map|columnar` to pick the
 //! annotated-relation storage layout (default: columnar, the fast
-//! path; both produce bit-identical answers).
+//! path; both produce bit-identical answers) and `--threads N|max` to
+//! shard the columnar rules over worker threads (every thread count
+//! produces bit-identical answers too).
 
 use hq_arith::Rational;
 use hq_db::text::parse_database;
@@ -21,7 +23,7 @@ use hq_db::{Database, Fact, Interner};
 use hq_query::{
     is_hierarchical, non_hierarchical_witness, parse_query, plan, witness_forest, Query,
 };
-use hq_unify::{bsm, pqe, shapley, Backend};
+use hq_unify::{bsm, pqe, shapley, Backend, Parallelism};
 use std::process::ExitCode;
 
 mod args;
@@ -74,6 +76,8 @@ fn usage() -> String {
      \n\
      solver options:\n\
      \x20 --backend map|columnar    annotated-relation storage layout (default: columnar)\n\
+     \x20 --threads N|max           worker threads for the columnar backend (default: 1);\n\
+     \x20                           every thread count returns bit-identical answers\n\
      \n\
      database files: one fact per line, e.g. `R(1, alice) @ 0.9`\n"
         .to_owned()
@@ -88,6 +92,15 @@ fn backend_arg(args: &Args) -> Result<Backend, String> {
     match args.get("backend") {
         Some(name) => name.parse(),
         None => Ok(Backend::default()),
+    }
+}
+
+/// The worker-thread count selected by `--threads` (1 by default;
+/// `max` = all hardware threads). Only the columnar backend shards.
+fn threads_arg(args: &Args) -> Result<Parallelism, String> {
+    match args.get("threads") {
+        Some(n) => n.parse(),
+        None => Ok(Parallelism::default()),
     }
 }
 
@@ -151,6 +164,7 @@ fn cmd_count(args: &Args) -> Result<String, String> {
 fn cmd_pqe(args: &Args) -> Result<String, String> {
     let q = parse_query_arg(args.require("query")?)?;
     let backend = backend_arg(args)?;
+    let par = threads_arg(args)?;
     let mut interner = Interner::new();
     let (db, weights) = load_db(args.require("db")?, &mut interner)?;
     // Facts without explicit weights default to probability 1.
@@ -169,14 +183,15 @@ fn cmd_pqe(args: &Args) -> Result<String, String> {
                 (f.clone(), Rational::ratio(scaled, 1_000_000))
             })
             .collect();
-        let prob =
-            pqe::probability_exact_on(backend, &q, &interner, &exact).map_err(|e| e.to_string())?;
+        let prob = pqe::probability_exact_par(backend, par, &q, &interner, &exact)
+            .map_err(|e| e.to_string())?;
         Ok(format!(
             "P(Q) = {prob} ≈ {:.9}\n(probabilities rounded to 1e-6 for exact mode)\n",
             prob.to_f64()
         ))
     } else {
-        let prob = pqe::probability_on(backend, &q, &interner, &tid).map_err(|e| e.to_string())?;
+        let prob =
+            pqe::probability_par(backend, par, &q, &interner, &tid).map_err(|e| e.to_string())?;
         Ok(format!("P(Q) = {prob:.9}\n"))
     }
 }
@@ -184,6 +199,7 @@ fn cmd_pqe(args: &Args) -> Result<String, String> {
 fn cmd_bsm(args: &Args) -> Result<String, String> {
     let q = parse_query_arg(args.require("query")?)?;
     let backend = backend_arg(args)?;
+    let par = threads_arg(args)?;
     let theta: usize = args
         .require("theta")?
         .parse()
@@ -192,7 +208,7 @@ fn cmd_bsm(args: &Args) -> Result<String, String> {
     let (d, _) = load_db(args.require("db")?, &mut interner)?;
     let (d_r, _) = load_db(args.require("repair")?, &mut interner)?;
     if args.flag("witness") {
-        let sol = bsm::maximize_with_repair_on(backend, &q, &interner, &d, &d_r, theta)
+        let sol = bsm::maximize_with_repair_par(backend, par, &q, &interner, &d, &d_r, theta)
             .map_err(|e| e.to_string())?;
         let mut out = format!(
             "max Q(D') within budget θ={theta}: {}\n",
@@ -213,8 +229,8 @@ fn cmd_bsm(args: &Args) -> Result<String, String> {
         }
         return Ok(out);
     }
-    let sol =
-        bsm::maximize_on(backend, &q, &interner, &d, &d_r, theta).map_err(|e| e.to_string())?;
+    let sol = bsm::maximize_par(backend, par, &q, &interner, &d, &d_r, theta)
+        .map_err(|e| e.to_string())?;
     let mut out = format!("max Q(D') within budget θ={theta}: {}\n", sol.optimum());
     out.push_str("budget curve:\n");
     for i in 0..=theta {
@@ -226,6 +242,7 @@ fn cmd_bsm(args: &Args) -> Result<String, String> {
 fn cmd_expected(args: &Args) -> Result<String, String> {
     let q = parse_query_arg(args.require("query")?)?;
     let backend = backend_arg(args)?;
+    let par = threads_arg(args)?;
     let mut interner = Interner::new();
     let (db, weights) = load_db(args.require("db")?, &mut interner)?;
     let weighted: std::collections::BTreeMap<&Fact, f64> =
@@ -238,7 +255,8 @@ fn cmd_expected(args: &Args) -> Result<String, String> {
             (f, p)
         })
         .collect();
-    let e = pqe::expected_count_on(backend, &q, &interner, &tid).map_err(|e| e.to_string())?;
+    let e =
+        pqe::expected_count_par(backend, par, &q, &interner, &tid).map_err(|e| e.to_string())?;
     Ok(format!("E[Q(D)] = {e:.9}\n"))
 }
 
@@ -264,6 +282,7 @@ fn cmd_provenance(args: &Args) -> Result<String, String> {
 fn cmd_shapley(args: &Args) -> Result<String, String> {
     let q = parse_query_arg(args.require("query")?)?;
     let backend = backend_arg(args)?;
+    let par = threads_arg(args)?;
     let mut interner = Interner::new();
     let (endo_db, _) = load_db(args.require("db")?, &mut interner)?;
     let exogenous = match args.get("exogenous") {
@@ -271,7 +290,7 @@ fn cmd_shapley(args: &Args) -> Result<String, String> {
         None => Vec::new(),
     };
     let endogenous = endo_db.facts();
-    let values = shapley::shapley_values_on(backend, &q, &interner, &exogenous, &endogenous)
+    let values = shapley::shapley_values_par(backend, par, &q, &interner, &exogenous, &endogenous)
         .map_err(|e| e.to_string())?;
     let mut out = String::from("Shapley values (exact):\n");
     let mut total = Rational::zero();
@@ -445,6 +464,25 @@ mod tests {
         ])
         .unwrap_err();
         assert!(err.contains("unknown backend"), "{err}");
+    }
+
+    #[test]
+    fn threads_flag_is_observably_identical() {
+        let db = write_temp(
+            "threads.facts",
+            "E(1,2) @ 0.5\nE(1,3) @ 0.25\nF(2,3) @ 0.5\n",
+        );
+        let base = &["pqe", "--query", "Q() :- E(X,Y), F(Y,Z)", "--db", &db];
+        let default_out = run_strs(base).unwrap();
+        for threads in ["1", "2", "4", "max"] {
+            let mut args: Vec<&str> = base.to_vec();
+            args.extend(["--threads", threads]);
+            assert_eq!(run_strs(&args).unwrap(), default_out, "threads={threads}");
+        }
+        let mut args: Vec<&str> = base.to_vec();
+        args.extend(["--threads", "zero"]);
+        let err = run_strs(&args).unwrap_err();
+        assert!(err.contains("invalid thread count"), "{err}");
     }
 
     #[test]

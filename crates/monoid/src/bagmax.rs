@@ -19,36 +19,114 @@
 use crate::traits::TwoMonoid;
 use std::fmt;
 
+/// Inline capacity of a [`BudgetVec`]: vectors with `θ + 1 ≤ 8`
+/// entries — the common small-budget case — live entirely on the
+/// stack, so the engine's per-operation cost carries no allocator
+/// traffic there (the ROADMAP's "per-op allocation dominates large-θ
+/// BSM runs" item).
+const INLINE: usize = 8;
+
+/// The physical carrier: inline array for small budgets, heap vector
+/// beyond [`INLINE`] entries. The representation is never observable —
+/// equality, hashing, and debug formatting all go through the logical
+/// slice.
+#[derive(Clone)]
+enum Repr {
+    Inline { len: u8, buf: [u64; INLINE] },
+    Heap(Vec<u64>),
+}
+
 /// A truncated monotone budget vector.
-#[derive(Clone, PartialEq, Eq, Hash)]
-pub struct BudgetVec(pub Vec<u64>);
+#[derive(Clone)]
+pub struct BudgetVec(Repr);
 
 impl BudgetVec {
+    /// Wraps explicit entries (inline when they fit).
+    pub fn from_vec(v: Vec<u64>) -> Self {
+        if v.len() <= INLINE {
+            let mut buf = [0u64; INLINE];
+            buf[..v.len()].copy_from_slice(&v);
+            BudgetVec(Repr::Inline {
+                len: v.len() as u8,
+                buf,
+            })
+        } else {
+            BudgetVec(Repr::Heap(v))
+        }
+    }
+
+    /// A vector of `len` copies of `x` (the shape of `0` and `1̄`).
+    pub fn filled(len: usize, x: u64) -> Self {
+        if len <= INLINE {
+            let mut buf = [0u64; INLINE];
+            buf[..len].fill(x);
+            BudgetVec(Repr::Inline {
+                len: len as u8,
+                buf,
+            })
+        } else {
+            BudgetVec(Repr::Heap(vec![x; len]))
+        }
+    }
+
+    /// The entries as a slice.
+    pub fn as_slice(&self) -> &[u64] {
+        match &self.0 {
+            Repr::Inline { len, buf } => &buf[..*len as usize],
+            Repr::Heap(v) => v,
+        }
+    }
+
+    /// The entries as a mutable slice (length never changes in place).
+    fn as_mut_slice(&mut self) -> &mut [u64] {
+        match &mut self.0 {
+            Repr::Inline { len, buf } => &mut buf[..*len as usize],
+            Repr::Heap(v) => v,
+        }
+    }
+
     /// Entry `i`: best multiplicity within repair budget `i`.
     pub fn get(&self, i: usize) -> u64 {
-        self.0[i]
+        self.as_slice()[i]
     }
 
     /// Number of stored entries (`θ + 1`).
     pub fn len(&self) -> usize {
-        self.0.len()
+        match &self.0 {
+            Repr::Inline { len, .. } => *len as usize,
+            Repr::Heap(v) => v.len(),
+        }
     }
 
     /// Whether the vector stores no entries.
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.len() == 0
     }
 
     /// Whether entries are non-decreasing — the Definition 5.9 carrier
     /// invariant. Both ⊕ and ⊗ preserve it (property-tested).
     pub fn is_monotone(&self) -> bool {
-        self.0.windows(2).all(|w| w[0] <= w[1])
+        self.as_slice().windows(2).all(|w| w[0] <= w[1])
+    }
+}
+
+impl PartialEq for BudgetVec {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for BudgetVec {}
+
+impl std::hash::Hash for BudgetVec {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
     }
 }
 
 impl fmt::Debug for BudgetVec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "BudgetVec{:?}", self.0)
+        write!(f, "BudgetVec{:?}", self.as_slice())
     }
 }
 
@@ -73,9 +151,9 @@ impl BagMaxMonoid {
     /// from budget 1 on — the annotation of facts available only in the
     /// repair database.
     pub fn star(&self) -> BudgetVec {
-        let mut v = vec![1; self.len()];
-        v[0] = 0;
-        BudgetVec(v)
+        let mut v = BudgetVec::filled(self.len(), 1);
+        v.as_mut_slice()[0] = 0;
+        v
     }
 
     /// Builds a vector from explicit entries (padded by repeating the
@@ -85,11 +163,11 @@ impl BagMaxMonoid {
     /// Panics if `entries` is empty.
     pub fn vec_from(&self, entries: &[u64]) -> BudgetVec {
         assert!(!entries.is_empty());
-        let mut v = Vec::with_capacity(self.len());
-        for i in 0..self.len() {
-            v.push(*entries.get(i).unwrap_or(entries.last().expect("non-empty")));
+        let mut v = BudgetVec::filled(self.len(), 0);
+        for (i, slot) in v.as_mut_slice().iter_mut().enumerate() {
+            *slot = *entries.get(i).unwrap_or(entries.last().expect("non-empty"));
         }
-        BudgetVec(v)
+        v
     }
 
     fn convolve(&self, a: &BudgetVec, b: &BudgetVec, f: impl Fn(u64, u64) -> u64) -> BudgetVec {
@@ -105,34 +183,36 @@ impl BagMaxMonoid {
         // — `O(θ)` instead of `O(θ²)`, bit-identical results (exact
         // integer arithmetic; max is order-insensitive).
         let step = |v: &BudgetVec| -> Option<(u64, u64)> {
-            let v0 = v.0[0];
-            let v1 = *v.0.get(1).unwrap_or(&v0);
-            v.0[1..].iter().all(|&x| x == v1).then_some((v0, v1))
+            let vs = v.as_slice();
+            let v0 = vs[0];
+            let v1 = *vs.get(1).unwrap_or(&v0);
+            vs[1..].iter().all(|&x| x == v1).then_some((v0, v1))
         };
         let (x, shape) = match (step(b), step(a)) {
             (Some(s), _) => (a, Some(s)),
             (None, Some(s)) => (b, Some(s)),
             (None, None) => (a, None),
         };
+        let mut out = BudgetVec::filled(self.len(), 0);
         if let Some((v0, v1)) = shape {
             debug_assert!(x.is_monotone(), "carrier invariant violated");
-            let mut out = Vec::with_capacity(x.len());
-            out.push(f(x.0[0], v0));
-            for i in 1..x.len() {
-                out.push(f(x.0[i], v0).max(f(x.0[i - 1], v1)));
+            let xs = x.as_slice();
+            let os = out.as_mut_slice();
+            os[0] = f(xs[0], v0);
+            for i in 1..xs.len() {
+                os[i] = f(xs[i], v0).max(f(xs[i - 1], v1));
             }
-            return BudgetVec(out);
+            return out;
         }
-        let n = self.len();
-        let mut out = vec![0u64; n];
-        for (i, slot) in out.iter_mut().enumerate() {
+        let (av, bv) = (a.as_slice(), b.as_slice());
+        for (i, slot) in out.as_mut_slice().iter_mut().enumerate() {
             let mut best = 0;
-            for (&ai, &bi) in a.0[..=i].iter().zip(b.0[..=i].iter().rev()) {
+            for (&ai, &bi) in av[..=i].iter().zip(bv[..=i].iter().rev()) {
                 best = best.max(f(ai, bi));
             }
             *slot = best;
         }
-        BudgetVec(out)
+        out
     }
 }
 
@@ -141,12 +221,12 @@ impl TwoMonoid for BagMaxMonoid {
 
     /// The all-zeros vector.
     fn zero(&self) -> BudgetVec {
-        BudgetVec(vec![0; self.len()])
+        BudgetVec::filled(self.len(), 0)
     }
 
     /// The all-ones vector (a fact already present in `D`).
     fn one(&self) -> BudgetVec {
-        BudgetVec(vec![1; self.len()])
+        BudgetVec::filled(self.len(), 1)
     }
 
     /// Eq. (10): max-plus convolution.
@@ -159,16 +239,16 @@ impl TwoMonoid for BagMaxMonoid {
     /// scratch — zero allocation on the engine's ⊕-fold hot path.
     /// Non-step operands fall back to the general convolution.
     fn add_assign(&self, acc: &mut BudgetVec, b: &BudgetVec) {
-        let v0 = b.0[0];
-        let v1 = *b.0.get(1).unwrap_or(&v0);
-        if b.0[1..].iter().all(|&x| x == v1) {
+        let bs = b.as_slice();
+        let v0 = bs[0];
+        let v1 = *bs.get(1).unwrap_or(&v0);
+        if bs[1..].iter().all(|&x| x == v1) {
             debug_assert!(acc.is_monotone(), "carrier invariant violated");
-            for i in (1..acc.0.len()).rev() {
-                acc.0[i] = acc.0[i]
-                    .saturating_add(v0)
-                    .max(acc.0[i - 1].saturating_add(v1));
+            let a = acc.as_mut_slice();
+            for i in (1..a.len()).rev() {
+                a[i] = a[i].saturating_add(v0).max(a[i - 1].saturating_add(v1));
             }
-            acc.0[0] = acc.0[0].saturating_add(v0);
+            a[0] = a[0].saturating_add(v0);
         } else {
             *acc = self.add(acc, b);
         }
@@ -204,9 +284,26 @@ mod tests {
     #[test]
     fn identities_have_right_shape() {
         let m = m();
-        assert_eq!(m.zero().0, vec![0, 0, 0, 0, 0]);
-        assert_eq!(m.one().0, vec![1, 1, 1, 1, 1]);
-        assert_eq!(m.star().0, vec![0, 1, 1, 1, 1]);
+        assert_eq!(m.zero().as_slice(), [0, 0, 0, 0, 0]);
+        assert_eq!(m.one().as_slice(), [1, 1, 1, 1, 1]);
+        assert_eq!(m.star().as_slice(), [0, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn small_vectors_inline_large_vectors_heap() {
+        // Representation is invisible to equality/debug, but len
+        // decides the carrier: θ + 1 ≤ 8 entries stay inline.
+        let small = BagMaxMonoid::new(7).one();
+        assert!(matches!(small, BudgetVec(Repr::Inline { .. })));
+        let large = BagMaxMonoid::new(8).one();
+        assert!(matches!(large, BudgetVec(Repr::Heap(_))));
+        assert_eq!(format!("{small:?}"), "BudgetVec[1, 1, 1, 1, 1, 1, 1, 1]");
+        // Inline/heap never compare by representation.
+        let a = BudgetVec::from_vec(vec![1, 2, 3]);
+        let b = BagMaxMonoid::new(2).vec_from(&[1, 2, 3]);
+        assert_eq!(a, b);
+        let big = BagMaxMonoid::new(20);
+        assert!(big.add(&big.star(), &big.star()).is_monotone());
     }
 
     #[test]
@@ -231,7 +328,7 @@ mod tests {
         // star ⊕ star: with budget i you can buy min(i,2) facts,
         // multiplicities add.
         let s = m.add(&m.star(), &m.star());
-        assert_eq!(s.0, vec![0, 1, 2, 2, 2]);
+        assert_eq!(s.as_slice(), [0, 1, 2, 2, 2]);
     }
 
     #[test]
@@ -239,7 +336,7 @@ mod tests {
         let m = m();
         // (0,1,1,1,1) ⊗ (0,1,1,1,1): need one budget unit each side.
         let p = m.mul(&m.star(), &m.star());
-        assert_eq!(p.0, vec![0, 0, 1, 1, 1]);
+        assert_eq!(p.as_slice(), [0, 0, 1, 1, 1]);
         // one ⊗ star = star (identity on the other side costs nothing).
         assert_eq!(m.mul(&m.one(), &m.star()), m.star());
     }
@@ -251,7 +348,7 @@ mod tests {
         // 1, 2, 3 at budgets 0, 1, 2.
         let m = m();
         let r = m.sum(&[m.star(), m.star(), m.one()]);
-        assert_eq!(r.0, vec![1, 2, 3, 3, 3]);
+        assert_eq!(r.as_slice(), [1, 2, 3, 3, 3]);
     }
 
     #[test]
@@ -270,17 +367,17 @@ mod tests {
     #[test]
     fn saturates_instead_of_overflowing() {
         let m = BagMaxMonoid::new(1);
-        let huge = BudgetVec(vec![u64::MAX, u64::MAX]);
+        let huge = BudgetVec::from_vec(vec![u64::MAX, u64::MAX]);
         let r = m.mul(&huge, &huge);
-        assert_eq!(r.0[0], u64::MAX);
+        assert_eq!(r.get(0), u64::MAX);
     }
 
     #[test]
     fn cap_zero_degenerates_to_plain_maxtimes() {
         let m = BagMaxMonoid::new(0);
-        let a = BudgetVec(vec![3]);
-        let b = BudgetVec(vec![4]);
-        assert_eq!(m.add(&a, &b).0, vec![7]);
-        assert_eq!(m.mul(&a, &b).0, vec![12]);
+        let a = BudgetVec::from_vec(vec![3]);
+        let b = BudgetVec::from_vec(vec![4]);
+        assert_eq!(m.add(&a, &b).as_slice(), [7]);
+        assert_eq!(m.mul(&a, &b).as_slice(), [12]);
     }
 }

@@ -236,7 +236,7 @@ mod tests {
             &vm.add(&vm.star(), &vm.add(&vm.star(), &vm.one())),
             &vm.add(&vm.star(), &vm.one()),
         );
-        assert_eq!(w_expr.values(), v_expr.0);
+        assert_eq!(w_expr.values(), v_expr.as_slice());
     }
 
     #[test]

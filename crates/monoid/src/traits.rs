@@ -26,9 +26,14 @@ use std::fmt::Debug;
 /// They need **not** satisfy distributivity or annihilation-by-zero.
 /// The [`crate::laws`] module provides generic checkers used by every
 /// instantiation's property tests.
-pub trait TwoMonoid {
+///
+/// Monoids are shared by reference across shard workers (`Sync`) and
+/// carrier values move between threads (`Elem: Send`) in the engine's
+/// parallel execution mode; every instantiation is a plain owned value
+/// with no interior mutability, so the bounds are free.
+pub trait TwoMonoid: Sync {
     /// The carrier type `K`.
-    type Elem: Clone + PartialEq + Debug;
+    type Elem: Clone + PartialEq + Debug + Send + Sync;
 
     /// The ⊕-identity `0`.
     fn zero(&self) -> Self::Elem;

@@ -16,7 +16,7 @@ fn budget_vec() -> impl Strategy<Value = BudgetVec> {
         for i in 1..v.len() {
             v[i] = v[i].max(v[i - 1]);
         }
-        BudgetVec(v)
+        BudgetVec::from_vec(v)
     })
 }
 

@@ -17,11 +17,16 @@
 //! [`annotate`] is the ordered-map convenience used by the oracle
 //! paths. See [`crate::storage`] for the backend catalogue.
 
-use crate::storage::{BorrowedSlot, ColumnarRelation, DuplicateRow, MapRelation, Storage};
+use crate::storage::{
+    BorrowedSlot, ColumnarRelation, DuplicateRow, MapRelation, Parallelism, ShardedColumnar,
+    Storage,
+};
 use hq_db::{Fact, Interner, Sym, Tuple, Value};
 use hq_query::{Query, Var};
 use std::collections::BTreeMap;
 use std::fmt;
+
+pub use crate::storage::EncodedDb;
 
 /// Back-compatible name for the ordered-map relation layout.
 pub type AnnotatedRelation<K> = MapRelation<K>;
@@ -39,6 +44,22 @@ impl<R: Storage> AnnotatedDb<R> {
     /// Total support size `|D|` across alive slots (Definition 6.5).
     pub fn support_size(&self) -> usize {
         self.slots.iter().flatten().map(Storage::support_size).sum()
+    }
+}
+
+impl<K: Clone + PartialEq + fmt::Debug + Send + Sync> AnnotatedDb<ColumnarRelation<K>> {
+    /// Switches a columnar database into the sharded execution mode:
+    /// every slot keeps its matrices and gains the given
+    /// [`Parallelism`] degree. Results stay bit-identical at every
+    /// thread count (see [`crate::storage::ShardedColumnar`]).
+    pub fn into_sharded(self, par: Parallelism) -> AnnotatedDb<ShardedColumnar<K>> {
+        AnnotatedDb {
+            slots: self
+                .slots
+                .into_iter()
+                .map(|s| s.map(|rel| ShardedColumnar::new(rel, par)))
+                .collect(),
+        }
     }
 }
 
@@ -167,7 +188,7 @@ pub fn annotate_columnar<'a, K, I>(
     rows: I,
 ) -> Result<AnnotatedDb<ColumnarRelation<K>>, AnnotateError>
 where
-    K: Clone + PartialEq + fmt::Debug,
+    K: Clone + PartialEq + fmt::Debug + Send + Sync,
     I: IntoIterator<Item = (Sym, &'a Tuple, K)>,
 {
     let mut by_rel: BTreeMap<Sym, usize> = BTreeMap::new();
@@ -228,7 +249,7 @@ where
 
 /// Renders a [`DuplicateRow`] as the user-facing [`AnnotateError`],
 /// restoring the written column order.
-fn duplicate_error(
+pub(crate) fn duplicate_error(
     q: &Query,
     interner: &Interner,
     slot_positions: &[Option<Vec<usize>>],
@@ -256,7 +277,7 @@ fn duplicate_error(
 ///
 /// # Errors
 /// Returns [`AnnotateError`] on arity mismatches or duplicate facts.
-pub fn annotate<K: Clone + PartialEq + fmt::Debug>(
+pub fn annotate<K: Clone + PartialEq + fmt::Debug + Send + Sync>(
     q: &Query,
     interner: &Interner,
     facts: impl IntoIterator<Item = (Fact, K)>,

@@ -10,8 +10,8 @@
 //! in `D_r` with `★ = (0, 1, 1, …)` (multiplicity 1 after paying one
 //! budget unit), and everything else implicitly with `0`.
 
-use crate::engine::{evaluate_columnar, evaluate_on, EngineStats, UnifyError};
-use crate::storage::Backend;
+use crate::engine::{evaluate_columnar_par, evaluate_on_par, EngineStats, UnifyError};
+use crate::storage::{Backend, Parallelism};
 use hq_db::{Database, Fact, Interner};
 use hq_monoid::{BagMaxMonoid, BudgetVec, TwoMonoid};
 use hq_query::Query;
@@ -87,6 +87,23 @@ pub fn maximize_on(
     d_r: &Database,
     theta: usize,
 ) -> Result<BsmSolution, UnifyError> {
+    maximize_par(backend, Parallelism::default(), q, interner, d, d_r, theta)
+}
+
+/// [`maximize`] on an explicit backend and [`Parallelism`] degree:
+/// identical curves and stats at every thread count.
+///
+/// # Errors
+/// Same failure modes as [`maximize`].
+pub fn maximize_par(
+    backend: Backend,
+    par: Parallelism,
+    q: &Query,
+    interner: &Interner,
+    d: &Database,
+    d_r: &Database,
+    theta: usize,
+) -> Result<BsmSolution, UnifyError> {
     let monoid = BagMaxMonoid::new(theta);
     let (curve, stats) = match backend {
         // Fused ψ-encoding: annotate the columnar relations straight
@@ -120,11 +137,11 @@ pub fn maximize_on(
                 }
                 .map(move |(t, k)| (sym, t, k))
             });
-            evaluate_columnar(&monoid, q, interner, rows)?
+            evaluate_columnar_par(par, &monoid, q, interner, rows)?
         }
         Backend::Map => {
             let facts = psi_encoding(&monoid, d, d_r);
-            evaluate_on(backend, &monoid, q, interner, facts)?
+            evaluate_on_par(backend, par, &monoid, q, interner, facts)?
         }
     };
     debug_assert!(curve.is_monotone(), "output curve must be monotone");
@@ -240,6 +257,23 @@ pub fn maximize_with_repair_on(
     d_r: &Database,
     theta: usize,
 ) -> Result<BsmRepairSolution, UnifyError> {
+    maximize_with_repair_par(backend, Parallelism::default(), q, interner, d, d_r, theta)
+}
+
+/// [`maximize_with_repair`] on an explicit backend and [`Parallelism`]
+/// degree.
+///
+/// # Errors
+/// Same failure modes as [`maximize`].
+pub fn maximize_with_repair_par(
+    backend: Backend,
+    par: Parallelism,
+    q: &Query,
+    interner: &Interner,
+    d: &Database,
+    d_r: &Database,
+    theta: usize,
+) -> Result<BsmRepairSolution, UnifyError> {
     use hq_monoid::BagMaxWitnessMonoid;
     let monoid = BagMaxWitnessMonoid::new(theta);
     let candidates: Vec<Fact> = d_r.facts().into_iter().filter(|f| !d.contains(f)).collect();
@@ -253,7 +287,7 @@ pub fn maximize_with_repair_on(
             monoid.star(u32::try_from(id).expect("fact id fits u32")),
         ));
     }
-    let (curve, stats) = evaluate_on(backend, &monoid, q, interner, facts)?;
+    let (curve, stats) = evaluate_on_par(backend, par, &monoid, q, interner, facts)?;
     Ok(BsmRepairSolution {
         curve,
         candidates,

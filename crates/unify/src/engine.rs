@@ -23,9 +23,9 @@
 //! (support never grows) directly measurable — identically on every
 //! backend.
 
-use crate::annotated::{annotate_columnar, annotate_with, AnnotateError, AnnotatedDb};
-use crate::storage::{Backend, ColumnarRelation, MapRelation, Storage};
-use hq_db::{Fact, Interner, Sym, Tuple};
+use crate::annotated::{annotate_columnar, annotate_with, AnnotateError, AnnotatedDb, EncodedDb};
+use crate::storage::{Backend, ColumnarRelation, MapRelation, Parallelism, Storage};
+use hq_db::{Database, Fact, Interner, Sym, Tuple};
 use hq_monoid::TwoMonoid;
 use hq_query::{plan, EliminationPlan, NotHierarchical, Query, Step};
 use std::fmt;
@@ -157,6 +157,26 @@ pub fn evaluate_on<M: TwoMonoid>(
     interner: &Interner,
     facts: impl IntoIterator<Item = (Fact, M::Elem)>,
 ) -> Result<(M::Elem, EngineStats), UnifyError> {
+    evaluate_on_par(backend, Parallelism::default(), monoid, q, interner, facts)
+}
+
+/// [`evaluate_on`] with an explicit [`Parallelism`] degree. When the
+/// columnar backend is selected and `par.threads > 1`, every Rule 1
+/// fold and Rule 2 merge runs shard-parallel on scoped workers
+/// ([`crate::storage::ShardedColumnar`]); results and stats stay
+/// bit-identical to the sequential run at every thread count. The
+/// ordered-map oracle ignores the knob (documented sequential).
+///
+/// # Errors
+/// Same failure modes as [`evaluate`].
+pub fn evaluate_on_par<M: TwoMonoid>(
+    backend: Backend,
+    par: Parallelism,
+    monoid: &M,
+    q: &Query,
+    interner: &Interner,
+    facts: impl IntoIterator<Item = (Fact, M::Elem)>,
+) -> Result<(M::Elem, EngineStats), UnifyError> {
     let p = plan(q)?;
     match backend {
         Backend::Map => {
@@ -165,8 +185,25 @@ pub fn evaluate_on<M: TwoMonoid>(
         }
         Backend::Columnar => {
             let db = annotate_with::<ColumnarRelation<M::Elem>>(q, interner, facts)?;
-            Ok(run_plan(monoid, &p, db))
+            Ok(run_columnar_plan(monoid, &p, db, par))
         }
+    }
+}
+
+/// Runs a compiled plan over an annotated columnar database at the
+/// given parallelism degree: sequential when `par.threads == 1`,
+/// sharded otherwise. This is the single dispatch point every columnar
+/// entry path funnels through.
+pub fn run_columnar_plan<M: TwoMonoid>(
+    monoid: &M,
+    plan: &EliminationPlan,
+    db: AnnotatedDb<ColumnarRelation<M::Elem>>,
+    par: Parallelism,
+) -> (M::Elem, EngineStats) {
+    if par.is_parallel() {
+        run_plan(monoid, plan, db.into_sharded(par))
+    } else {
+        run_plan(monoid, plan, db)
     }
 }
 
@@ -185,9 +222,53 @@ pub fn evaluate_columnar<'a, M: TwoMonoid>(
     interner: &Interner,
     rows: impl IntoIterator<Item = (Sym, &'a Tuple, M::Elem)>,
 ) -> Result<(M::Elem, EngineStats), UnifyError> {
+    evaluate_columnar_par(Parallelism::default(), monoid, q, interner, rows)
+}
+
+/// [`evaluate_columnar`] with an explicit [`Parallelism`] degree.
+///
+/// # Errors
+/// Same failure modes as [`evaluate`].
+pub fn evaluate_columnar_par<'a, M: TwoMonoid>(
+    par: Parallelism,
+    monoid: &M,
+    q: &Query,
+    interner: &Interner,
+    rows: impl IntoIterator<Item = (Sym, &'a Tuple, M::Elem)>,
+) -> Result<(M::Elem, EngineStats), UnifyError> {
     let p = plan(q)?;
     let db = annotate_columnar(q, interner, rows)?;
-    Ok(run_plan(monoid, &p, db))
+    Ok(run_columnar_plan(monoid, &p, db, par))
+}
+
+/// Evaluates a query over a database whose dictionary encoding was
+/// built once with [`EncodedDb::new`] and is reused across calls — the
+/// batched multi-query fast path: repeated queries against the same
+/// database skip the value sort and dictionary build entirely.
+/// `ann` supplies each fact's annotation (facts are visited in each
+/// relation's sorted tuple order).
+///
+/// Results and [`EngineStats`] are bit-identical to
+/// [`evaluate_on_par`] on the columnar backend: the cached dictionary
+/// covers the whole database rather than just the query's relations,
+/// but codes are order-preserving either way, so every comparison,
+/// fold and merge runs in the same sequence.
+///
+/// # Errors
+/// Same failure modes as [`evaluate`], plus an arity mismatch when the
+/// query disagrees with the encoded schema.
+pub fn evaluate_encoded<M: TwoMonoid>(
+    par: Parallelism,
+    monoid: &M,
+    q: &Query,
+    interner: &Interner,
+    db: &Database,
+    enc: &EncodedDb,
+    ann: impl FnMut(Sym, &Tuple) -> M::Elem,
+) -> Result<(M::Elem, EngineStats), UnifyError> {
+    let p = plan(q)?;
+    let adb = enc.annotate(db, q, interner, ann)?;
+    Ok(run_columnar_plan(monoid, &p, adb, par))
 }
 
 #[cfg(test)]

@@ -30,7 +30,7 @@
 //! consistent with the batch engine.
 
 use crate::annotated::{annotate_with, AnnotateError, AnnotatedDb};
-use crate::storage::{MapRelation, Storage};
+use crate::storage::{ColumnarRelation, MapRelation, Parallelism, ShardedColumnar, Storage};
 use hq_db::{Fact, Interner, Tuple};
 use hq_monoid::TwoMonoid;
 use hq_query::{plan, EliminationPlan, Query, Step};
@@ -101,6 +101,30 @@ impl<M: TwoMonoid> IncrementalRun<M> {
     }
 }
 
+impl<M: TwoMonoid> IncrementalRun<M, ShardedColumnar<M::Elem>> {
+    /// Builds the run on the sharded columnar backend: the state
+    /// materialisation (a full Algorithm 1 replay) runs shard-parallel
+    /// at the given [`Parallelism`] degree, and so does every dirty
+    /// refold batch large enough to shard. Results stay bit-identical
+    /// to the sequential backends through any update schedule.
+    ///
+    /// # Errors
+    /// Rejects non-hierarchical queries and schema mismatches.
+    pub fn with_parallelism(
+        monoid: M,
+        q: &Query,
+        interner: &Interner,
+        facts: impl IntoIterator<Item = (Fact, M::Elem)>,
+        par: Parallelism,
+    ) -> Result<Self, IncrementalError> {
+        let fact_list: Vec<(Fact, M::Elem)> = facts.into_iter().collect();
+        let db: AnnotatedDb<ColumnarRelation<M::Elem>> =
+            annotate_with(q, interner, fact_list.iter().cloned())
+                .map_err(IncrementalError::Annotate)?;
+        Self::from_annotated(monoid, q, interner, &fact_list, db.into_sharded(par))
+    }
+}
+
 impl<M, R> IncrementalRun<M, R>
 where
     M: TwoMonoid,
@@ -117,10 +141,25 @@ where
         interner: &Interner,
         facts: impl IntoIterator<Item = (Fact, M::Elem)>,
     ) -> Result<Self, IncrementalError> {
-        let p = plan(q).map_err(IncrementalError::NotHierarchical)?;
         let fact_list: Vec<(Fact, M::Elem)> = facts.into_iter().collect();
         let db: AnnotatedDb<R> = annotate_with(q, interner, fact_list.iter().cloned())
             .map_err(IncrementalError::Annotate)?;
+        Self::from_annotated(monoid, q, interner, &fact_list, db)
+    }
+
+    /// Builds the run from an already-annotated database (shared by
+    /// every constructor; `fact_list` is needed to index updates).
+    ///
+    /// # Errors
+    /// Rejects non-hierarchical queries.
+    fn from_annotated(
+        monoid: M,
+        q: &Query,
+        interner: &Interner,
+        fact_list: &[(Fact, M::Elem)],
+        db: AnnotatedDb<R>,
+    ) -> Result<Self, IncrementalError> {
+        let p = plan(q).map_err(IncrementalError::NotHierarchical)?;
         // Build the fact → (slot, key) index the same way `annotate` does.
         let mut fact_index = BTreeMap::new();
         for (i, atom) in q.atoms().iter().enumerate() {
@@ -131,7 +170,7 @@ where
                 .map(|v| atom.vars.iter().position(|w| w == v).expect("own var"))
                 .collect();
             if let Some(sym) = interner.get(&atom.rel) {
-                for (fact, _) in &fact_list {
+                for (fact, _) in fact_list {
                     if fact.rel == sym {
                         fact_index.insert(fact.clone(), (i, fact.tuple.project(&positions)));
                     }

@@ -42,6 +42,28 @@
 //! `--backend map|columnar` and the criterion benches in `hq-bench`
 //! race the two layouts on identical workloads.
 //!
+//! ## Parallel sharded execution
+//!
+//! The columnar layout is partition-ready: sorted matrices cut into
+//! contiguous shards on key boundaries, so Rule 1 folds and Rule 2
+//! merges decompose into independent per-shard kernels
+//! ([`storage::ShardedColumnar`]). Every front-end takes a
+//! [`Parallelism`] degree in its `*_par` variant
+//! ([`pqe::probability_par`], [`bsm::maximize_par`],
+//! [`shapley::shapley_values_par`],
+//! [`IncrementalRun::with_parallelism`], …), and the CLI exposes
+//! `--threads N|max`. Shard outputs and per-shard op counts are
+//! recombined in fixed shard order, so **every thread count returns
+//! bit-identical results and identical [`EngineStats`]** — pinned by
+//! the `differential_parallel` suite.
+//!
+//! ## Batched multi-query serving
+//!
+//! [`EncodedDb`] caches a database's dictionary encoding (the
+//! dominant cost of building columnar relations) so that repeated
+//! queries over one database skip re-encoding entirely; see
+//! [`evaluate_encoded`].
+//!
 //! ```
 //! use hq_db::{db_from_ints};
 //! use hq_query::parse_query;
@@ -89,9 +111,13 @@ pub use annotated::{
     annotate, annotate_columnar, annotate_with, AnnotateError, AnnotatedDb, AnnotatedRelation,
 };
 pub use bsm::{maximize, maximize_with_repair, BsmRepairSolution, BsmSolution};
-pub use engine::{evaluate, evaluate_on, run_plan, EngineStats, UnifyError};
+pub use engine::{
+    evaluate, evaluate_encoded, evaluate_on, evaluate_on_par, run_plan, EngineStats, UnifyError,
+};
 pub use incremental::{IncrementalError, IncrementalRun};
 pub use pqe::{expected_count, probability, probability_exact, PqeError};
 pub use provenance::{provenance_tree, Provenance};
 pub use shapley::{sat_counts, shapley_value, shapley_values, ShapleyError};
-pub use storage::{Backend, ColumnarRelation, MapRelation, Storage};
+pub use storage::{
+    Backend, ColumnarRelation, EncodedDb, MapRelation, Parallelism, ShardedColumnar, Storage,
+};

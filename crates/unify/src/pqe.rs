@@ -6,8 +6,8 @@
 //! in time `O(|D|)`. This instantiation of Algorithm 1 specialises
 //! exactly to the Dalvi–Suciu algorithm.
 
-use crate::engine::{evaluate_columnar, evaluate_on, EngineStats, UnifyError};
-use crate::storage::Backend;
+use crate::engine::{evaluate_columnar_par, evaluate_on_par, EngineStats, UnifyError};
+use crate::storage::{Backend, Parallelism};
 use hq_arith::Rational;
 use hq_db::{Fact, Interner};
 use hq_monoid::{ExactProbMonoid, ProbMonoid};
@@ -70,6 +70,22 @@ pub fn probability_with_stats_on(
     interner: &Interner,
     tid: &[(Fact, f64)],
 ) -> Result<(f64, EngineStats), PqeError> {
+    probability_with_stats_par(backend, Parallelism::default(), q, interner, tid)
+}
+
+/// [`probability_with_stats_on`] with an explicit [`Parallelism`]
+/// degree: probabilities and stats stay bit-identical at every thread
+/// count.
+///
+/// # Errors
+/// See [`probability_with_stats`].
+pub fn probability_with_stats_par(
+    backend: Backend,
+    par: Parallelism,
+    q: &Query,
+    interner: &Interner,
+    tid: &[(Fact, f64)],
+) -> Result<(f64, EngineStats), PqeError> {
     for &(_, p) in tid {
         if !p.is_finite() || !(0.0..=1.0).contains(&p) {
             return Err(PqeError::InvalidProbability { value: p });
@@ -78,14 +94,16 @@ pub fn probability_with_stats_on(
     // The columnar path annotates straight from the borrowed fact
     // list — no per-fact tuple clone.
     let out = match backend {
-        Backend::Columnar => evaluate_columnar(
+        Backend::Columnar => evaluate_columnar_par(
+            par,
             &ProbMonoid,
             q,
             interner,
             tid.iter().map(|(f, p)| (f.rel, &f.tuple, *p)),
         )?,
-        Backend::Map => evaluate_on(
+        Backend::Map => evaluate_on_par(
             backend,
+            par,
             &ProbMonoid,
             q,
             interner,
@@ -132,6 +150,20 @@ pub fn probability_on(
     probability_with_stats_on(backend, q, interner, tid).map(|(p, _)| p)
 }
 
+/// [`probability`] on an explicit backend and [`Parallelism`] degree.
+///
+/// # Errors
+/// See [`probability_with_stats`].
+pub fn probability_par(
+    backend: Backend,
+    par: Parallelism,
+    q: &Query,
+    interner: &Interner,
+    tid: &[(Fact, f64)],
+) -> Result<f64, PqeError> {
+    probability_with_stats_par(backend, par, q, interner, tid).map(|(p, _)| p)
+}
+
 /// Exact-rational PQE: same algorithm over the exact probability
 /// 2-monoid. Used as the oracle in differential tests and by the CLI's
 /// `--exact` mode.
@@ -156,15 +188,32 @@ pub fn probability_exact_on(
     interner: &Interner,
     tid: &[(Fact, Rational)],
 ) -> Result<Rational, UnifyError> {
+    probability_exact_par(backend, Parallelism::default(), q, interner, tid)
+}
+
+/// [`probability_exact`] on an explicit backend and [`Parallelism`]
+/// degree.
+///
+/// # Errors
+/// Rejects non-hierarchical queries and malformed fact lists.
+pub fn probability_exact_par(
+    backend: Backend,
+    par: Parallelism,
+    q: &Query,
+    interner: &Interner,
+    tid: &[(Fact, Rational)],
+) -> Result<Rational, UnifyError> {
     let (p, _) = match backend {
-        Backend::Columnar => evaluate_columnar(
+        Backend::Columnar => evaluate_columnar_par(
+            par,
             &ExactProbMonoid,
             q,
             interner,
             tid.iter().map(|(f, p)| (f.rel, &f.tuple, p.clone())),
         )?,
-        Backend::Map => evaluate_on(
+        Backend::Map => evaluate_on_par(
             backend,
+            par,
             &ExactProbMonoid,
             q,
             interner,
@@ -200,20 +249,37 @@ pub fn expected_count_on(
     interner: &Interner,
     tid: &[(Fact, f64)],
 ) -> Result<f64, PqeError> {
+    expected_count_par(backend, Parallelism::default(), q, interner, tid)
+}
+
+/// [`expected_count`] on an explicit backend and [`Parallelism`]
+/// degree.
+///
+/// # Errors
+/// Same failure modes as [`probability`].
+pub fn expected_count_par(
+    backend: Backend,
+    par: Parallelism,
+    q: &Query,
+    interner: &Interner,
+    tid: &[(Fact, f64)],
+) -> Result<f64, PqeError> {
     for &(_, p) in tid {
         if !p.is_finite() || !(0.0..=1.0).contains(&p) {
             return Err(PqeError::InvalidProbability { value: p });
         }
     }
     let (e, _) = match backend {
-        Backend::Columnar => evaluate_columnar(
+        Backend::Columnar => evaluate_columnar_par(
+            par,
             &hq_monoid::RealSemiring,
             q,
             interner,
             tid.iter().map(|(f, p)| (f.rel, &f.tuple, *p)),
         )?,
-        Backend::Map => evaluate_on(
+        Backend::Map => evaluate_on_par(
             backend,
+            par,
             &hq_monoid::RealSemiring,
             q,
             interner,

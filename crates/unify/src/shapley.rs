@@ -15,8 +15,8 @@
 //! All arithmetic is exact: counts are [`Natural`]s and Shapley values
 //! exact [`Rational`]s.
 
-use crate::engine::{evaluate_on, UnifyError};
-use crate::storage::Backend;
+use crate::engine::{evaluate_on_par, UnifyError};
+use crate::storage::{Backend, Parallelism};
 use hq_arith::{binomial, shapley_weight, Natural, Rational};
 use hq_db::{Fact, Interner};
 use hq_monoid::{SatCountMonoid, SatVec, TwoMonoid};
@@ -111,6 +111,28 @@ pub fn sat_counts_on(
     exogenous: &[Fact],
     endogenous: &[Fact],
 ) -> Result<SatVec, ShapleyError> {
+    sat_counts_par(
+        backend,
+        Parallelism::default(),
+        q,
+        interner,
+        exogenous,
+        endogenous,
+    )
+}
+
+/// [`sat_counts`] on an explicit backend and [`Parallelism`] degree.
+///
+/// # Errors
+/// Same failure modes as [`sat_counts`].
+pub fn sat_counts_par(
+    backend: Backend,
+    par: Parallelism,
+    q: &Query,
+    interner: &Interner,
+    exogenous: &[Fact],
+    endogenous: &[Fact],
+) -> Result<SatVec, ShapleyError> {
     check_disjoint(interner, exogenous, endogenous)?;
     let n = endogenous.len();
     let monoid = SatCountMonoid::new(n);
@@ -131,7 +153,7 @@ pub fn sat_counts_on(
     for f in visible {
         facts.push((f.clone(), monoid.star()));
     }
-    let (mut vec, _) = evaluate_on(backend, &monoid, q, interner, facts)?;
+    let (mut vec, _) = evaluate_on_par(backend, par, &monoid, q, interner, facts)?;
     if invisible_count > 0 {
         // Convolve with the free binomial choice over invisible facts.
         let row: Vec<Natural> = (0..=n as u64)
@@ -206,6 +228,31 @@ pub fn shapley_value_on(
     endogenous: &[Fact],
     fact: &Fact,
 ) -> Result<Rational, ShapleyError> {
+    shapley_value_par(
+        backend,
+        Parallelism::default(),
+        q,
+        interner,
+        exogenous,
+        endogenous,
+        fact,
+    )
+}
+
+/// [`shapley_value`] on an explicit backend and [`Parallelism`]
+/// degree.
+///
+/// # Errors
+/// Same failure modes as [`shapley_value`].
+pub fn shapley_value_par(
+    backend: Backend,
+    par: Parallelism,
+    q: &Query,
+    interner: &Interner,
+    exogenous: &[Fact],
+    endogenous: &[Fact],
+    fact: &Fact,
+) -> Result<Rational, ShapleyError> {
     check_disjoint(interner, exogenous, endogenous)?;
     let n = endogenous.len() as u64;
     let Some(pos) = endogenous.iter().position(|f| f == fact) else {
@@ -217,8 +264,8 @@ pub fn shapley_value_on(
     rest.remove(pos);
     let mut exo_with = exogenous.to_vec();
     exo_with.push(fact.clone());
-    let with_f = sat_counts_on(backend, q, interner, &exo_with, &rest)?;
-    let without_f = sat_counts_on(backend, q, interner, exogenous, &rest)?;
+    let with_f = sat_counts_par(backend, par, q, interner, &exo_with, &rest)?;
+    let without_f = sat_counts_par(backend, par, q, interner, exogenous, &rest)?;
     let mut total = Rational::zero();
     for k in 0..n {
         let w = shapley_weight(n, k);
@@ -254,10 +301,34 @@ pub fn shapley_values_on(
     exogenous: &[Fact],
     endogenous: &[Fact],
 ) -> Result<Vec<(Fact, Rational)>, ShapleyError> {
+    shapley_values_par(
+        backend,
+        Parallelism::default(),
+        q,
+        interner,
+        exogenous,
+        endogenous,
+    )
+}
+
+/// [`shapley_values`] on an explicit backend and [`Parallelism`]
+/// degree (intra-query sharding; the per-fact loop stays sequential).
+///
+/// # Errors
+/// Same failure modes as [`shapley_value`].
+pub fn shapley_values_par(
+    backend: Backend,
+    par: Parallelism,
+    q: &Query,
+    interner: &Interner,
+    exogenous: &[Fact],
+    endogenous: &[Fact],
+) -> Result<Vec<(Fact, Rational)>, ShapleyError> {
     endogenous
         .iter()
         .map(|f| {
-            shapley_value_on(backend, q, interner, exogenous, endogenous, f).map(|v| (f.clone(), v))
+            shapley_value_par(backend, par, q, interner, exogenous, endogenous, f)
+                .map(|v| (f.clone(), v))
         })
         .collect()
 }

@@ -33,25 +33,29 @@ use std::sync::Arc;
 
 /// A K-annotated relation stored as a sorted code matrix plus an
 /// annotation column.
+///
+/// Fields are `pub(super)` so the sharded executor
+/// ([`super::ShardedColumnar`]) can partition the matrices without an
+/// accessor layer; outside the storage module the layout is opaque.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ColumnarRelation<K> {
-    vars: Vec<Var>,
+    pub(super) vars: Vec<Var>,
     /// Row width (`== vars.len()`), kept separately because nullary
     /// relations have `width == 0` but up to one row.
-    width: usize,
+    pub(super) width: usize,
     /// Number of rows (the support size).
-    len: usize,
+    pub(super) len: usize,
     /// The instance-wide value dictionary (shared across slots).
-    dict: Arc<ValueDict>,
+    pub(super) dict: Arc<ValueDict>,
     /// Row-major codes, `len * width` entries, rows sorted ascending.
-    keys: Vec<RowCode>,
+    pub(super) keys: Vec<RowCode>,
     /// Annotations, parallel to the rows.
-    anns: Vec<K>,
+    pub(super) anns: Vec<K>,
 }
 
 impl<K> ColumnarRelation<K> {
     #[inline]
-    fn row(&self, i: usize) -> &[RowCode] {
+    pub(super) fn row(&self, i: usize) -> &[RowCode] {
         &self.keys[i * self.width..(i + 1) * self.width]
     }
 
@@ -121,7 +125,7 @@ fn sort_instances(v: &mut Vec<(u128, u64)>) {
 /// *written* column order with owned annotations.
 pub type BorrowedSlot<'a, K> = (Vec<Var>, Option<Vec<usize>>, Vec<(&'a Tuple, K)>);
 
-impl<K: Clone + PartialEq + std::fmt::Debug> ColumnarRelation<K> {
+impl<K: Clone + PartialEq + std::fmt::Debug + Send + Sync> ColumnarRelation<K> {
     /// Builds slots directly from borrowed tuples — the fused annotate
     /// fast path: no key tuple is cloned, re-boxed, or re-ordered in
     /// memory; the column permutation is applied while scattering codes.
@@ -251,7 +255,7 @@ impl<K: Clone + PartialEq + std::fmt::Debug> ColumnarRelation<K> {
     }
 }
 
-impl<K: Clone + PartialEq + std::fmt::Debug> Storage for ColumnarRelation<K> {
+impl<K: Clone + PartialEq + std::fmt::Debug + Send + Sync> Storage for ColumnarRelation<K> {
     type Ann = K;
 
     fn build_slots(slots: Vec<OwnedSlot<K>>) -> Result<Vec<Self>, DuplicateRow> {
@@ -298,88 +302,26 @@ impl<K: Clone + PartialEq + std::fmt::Debug> Storage for ColumnarRelation<K> {
         let ColumnarRelation {
             mut vars,
             width,
-            len,
+            len: _,
             dict,
             keys,
             anns,
         } = self;
         vars.remove(pos);
         let nw = width - 1;
-        let mut out_keys: Vec<RowCode> = Vec::with_capacity(len * nw);
-        let mut out_anns: Vec<K> = Vec::with_capacity(len.min(16));
-        // The grouped ⊕-fold shared by both paths: `group` is the slice
-        // holding the current group's projected key, `acc` its running
-        // aggregate. Zero groups are pruned at flush (Lemma 6.6).
-        macro_rules! flush {
-            ($group:expr, $acc:expr) => {
-                if !monoid.is_zero(&$acc) {
-                    out_keys.extend_from_slice($group);
-                    out_anns.push($acc);
-                }
-            };
-        }
-        if pos == width - 1 {
+        let (out_keys, out_anns) = if pos == width - 1 {
             // Dropping the least-significant sort column keeps the
             // remaining prefix sorted: groups are contiguous runs.
-            let mut current: Option<(usize, K)> = None; // (group row, acc)
-            for (i, ann) in anns.into_iter().enumerate() {
-                let prefix = &keys[i * width..i * width + nw];
-                match current {
-                    Some((g, ref mut acc)) if keys[g * width..g * width + nw] == *prefix => {
-                        stats.add_ops += 1;
-                        monoid.add_assign(acc, &ann);
-                    }
-                    _ => {
-                        if let Some((g, acc)) = current.take() {
-                            flush!(&keys[g * width..g * width + nw], acc);
-                        }
-                        current = Some((i, ann));
-                    }
-                }
-            }
-            if let Some((g, acc)) = current.take() {
-                flush!(&keys[g * width..g * width + nw], acc);
-            }
+            fold_drop_last(monoid, &keys, width, 0, anns, stats)
         } else {
             // General column: project into a scratch matrix, stable
             // argsort (ties keep full-row order, so the per-group fold
             // sequence matches the ordered-map backend), then fold.
-            let keep: Vec<usize> = (0..width).filter(|&i| i != pos).collect();
-            let mut scratch: Vec<RowCode> = Vec::with_capacity(len * nw);
-            for i in 0..len {
-                let row = &keys[i * width..(i + 1) * width];
-                for &k in &keep {
-                    scratch.push(row[k]);
-                }
-            }
-            let mut order: Vec<u32> = (0..len as u32).collect();
-            order.sort_by(|&a, &b| {
-                let (a, b) = (a as usize, b as usize);
-                scratch[a * nw..(a + 1) * nw].cmp(&scratch[b * nw..(b + 1) * nw])
-            });
+            let (scratch, order) = project_scratch(&keys, width, pos);
             let mut anns: Vec<Option<K>> = anns.into_iter().map(Some).collect();
-            let mut current: Option<(usize, K)> = None; // (scratch row, acc)
-            for &idx in &order {
-                let idx = idx as usize;
-                let key = &scratch[idx * nw..(idx + 1) * nw];
-                let ann = anns[idx].take().expect("each row folded once");
-                match current {
-                    Some((g, ref mut acc)) if scratch[g * nw..g * nw + nw] == *key => {
-                        stats.add_ops += 1;
-                        monoid.add_assign(acc, &ann);
-                    }
-                    _ => {
-                        if let Some((g, acc)) = current.take() {
-                            flush!(&scratch[g * nw..g * nw + nw], acc);
-                        }
-                        current = Some((idx, ann));
-                    }
-                }
-            }
-            if let Some((g, acc)) = current.take() {
-                flush!(&scratch[g * nw..g * nw + nw], acc);
-            }
-        }
+            let mut take = |idx: usize| anns[idx].take().expect("each row folded once");
+            fold_sorted_groups(monoid, &scratch, nw, &order, &mut take, stats)
+        };
         let out_len = out_anns.len();
         ColumnarRelation {
             vars,
@@ -405,60 +347,12 @@ impl<K: Clone + PartialEq + std::fmt::Debug> Storage for ColumnarRelation<K> {
             *self.dict, *right.dict,
             "merged relations must share one instance dictionary"
         );
-        let w = self.width;
-        let zero = monoid.zero();
-        let annihilating = monoid.annihilating();
-        let mut out_keys: Vec<RowCode> = Vec::with_capacity(self.keys.len().max(right.keys.len()));
-        let mut out_anns: Vec<K> = Vec::with_capacity(self.len.max(right.len));
-        let (mut i, mut j) = (0, 0);
-        let mut push = |row: &[RowCode], v: K| {
-            if !monoid.is_zero(&v) {
-                out_keys.extend_from_slice(row);
-                out_anns.push(v);
-            }
-        };
-        // Linear sort-merge outer join over the union of supports.
-        while i < self.len && j < right.len {
-            let (lr, rr) = (self.row(i), right.row(j));
-            match lr.cmp(rr) {
-                Ordering::Equal => {
-                    stats.mul_ops += 1;
-                    push(lr, monoid.mul(&self.anns[i], &right.anns[j]));
-                    i += 1;
-                    j += 1;
-                }
-                Ordering::Less => {
-                    if !annihilating {
-                        stats.mul_ops += 1;
-                        push(lr, monoid.mul(&self.anns[i], &zero));
-                    }
-                    i += 1;
-                }
-                Ordering::Greater => {
-                    if !annihilating {
-                        stats.mul_ops += 1;
-                        push(rr, monoid.mul(&zero, &right.anns[j]));
-                    }
-                    j += 1;
-                }
-            }
-        }
-        if !annihilating {
-            while i < self.len {
-                stats.mul_ops += 1;
-                push(self.row(i), monoid.mul(&self.anns[i], &zero));
-                i += 1;
-            }
-            while j < right.len {
-                stats.mul_ops += 1;
-                push(right.row(j), monoid.mul(&zero, &right.anns[j]));
-                j += 1;
-            }
-        }
+        let (out_keys, out_anns) =
+            merge_ranges(monoid, &self, &right, 0..self.len, 0..right.len, stats);
         let len = out_anns.len();
         ColumnarRelation {
             vars: self.vars,
-            width: w,
+            width: self.width,
             len,
             dict: self.dict,
             keys: out_keys,
@@ -516,6 +410,217 @@ impl<K: Clone + PartialEq + std::fmt::Debug> Storage for ColumnarRelation<K> {
             (Err(_), None) => {}
         }
     }
+}
+
+/// Rule 1, least-significant-column case: the grouped ⊕-fold over the
+/// contiguous row range `base .. base + anns.len()` of a sorted matrix
+/// (annotations arrive already sliced to that range). Zero groups are
+/// pruned at flush (Lemma 6.6); one ⊕ is counted per combine into an
+/// existing group.
+///
+/// This single implementation serves both the sequential projection
+/// (full range) and the sharded executor (one call per shard, with
+/// shard boundaries on group boundaries so no group straddles a
+/// range) — which is what makes sharded output provably identical to
+/// sequential output.
+pub(super) fn fold_drop_last<M, K>(
+    monoid: &M,
+    keys: &[RowCode],
+    width: usize,
+    base: usize,
+    anns: Vec<K>,
+    stats: &mut EngineStats,
+) -> (Vec<RowCode>, Vec<K>)
+where
+    M: TwoMonoid<Elem = K>,
+    K: Clone + PartialEq + std::fmt::Debug,
+{
+    let nw = width - 1;
+    let mut out_keys: Vec<RowCode> = Vec::with_capacity(anns.len() * nw);
+    let mut out_anns: Vec<K> = Vec::with_capacity(anns.len().min(16));
+    let mut current: Option<(usize, K)> = None; // (absolute group row, acc)
+    macro_rules! flush {
+        ($group:expr, $acc:expr) => {
+            if !monoid.is_zero(&$acc) {
+                out_keys.extend_from_slice($group);
+                out_anns.push($acc);
+            }
+        };
+    }
+    for (off, ann) in anns.into_iter().enumerate() {
+        let i = base + off;
+        let prefix = &keys[i * width..i * width + nw];
+        match current {
+            Some((g, ref mut acc)) if keys[g * width..g * width + nw] == *prefix => {
+                stats.add_ops += 1;
+                monoid.add_assign(acc, &ann);
+            }
+            _ => {
+                if let Some((g, acc)) = current.take() {
+                    flush!(&keys[g * width..g * width + nw], acc);
+                }
+                current = Some((i, ann));
+            }
+        }
+    }
+    if let Some((g, acc)) = current.take() {
+        flush!(&keys[g * width..g * width + nw], acc);
+    }
+    (out_keys, out_anns)
+}
+
+/// Rule 1, general-column case, step 1: project column `pos` away into
+/// a scratch matrix and stable-argsort the projected rows (ties keep
+/// full-row order, preserving the fold sequence of the ordered-map
+/// backend). Returns `(scratch, order)`.
+pub(super) fn project_scratch(
+    keys: &[RowCode],
+    width: usize,
+    pos: usize,
+) -> (Vec<RowCode>, Vec<u32>) {
+    debug_assert!(width >= 2, "general column implies a non-last column");
+    let len = keys.len() / width;
+    let nw = width - 1;
+    let keep: Vec<usize> = (0..width).filter(|&i| i != pos).collect();
+    let mut scratch: Vec<RowCode> = Vec::with_capacity(len * nw);
+    for i in 0..len {
+        let row = &keys[i * width..(i + 1) * width];
+        for &k in &keep {
+            scratch.push(row[k]);
+        }
+    }
+    let mut order: Vec<u32> = (0..len as u32).collect();
+    order.sort_by(|&a, &b| {
+        let (a, b) = (a as usize, b as usize);
+        scratch[a * nw..(a + 1) * nw].cmp(&scratch[b * nw..(b + 1) * nw])
+    });
+    (scratch, order)
+}
+
+/// Rule 1, general-column case, step 2: the grouped ⊕-fold over a
+/// contiguous slice of the argsorted `order` (groups are contiguous in
+/// `order`, so a slice whose boundaries fall on group boundaries folds
+/// exactly the groups it contains). `take(idx)` surrenders the
+/// annotation of input row `idx` — a move for the sequential caller, a
+/// clone from a shared slice for shard workers.
+pub(super) fn fold_sorted_groups<M, K>(
+    monoid: &M,
+    scratch: &[RowCode],
+    nw: usize,
+    order: &[u32],
+    take: &mut dyn FnMut(usize) -> K,
+    stats: &mut EngineStats,
+) -> (Vec<RowCode>, Vec<K>)
+where
+    M: TwoMonoid<Elem = K>,
+    K: Clone + PartialEq + std::fmt::Debug,
+{
+    let mut out_keys: Vec<RowCode> = Vec::with_capacity(order.len() * nw);
+    let mut out_anns: Vec<K> = Vec::with_capacity(order.len().min(16));
+    let mut current: Option<(usize, K)> = None; // (scratch row, acc)
+    macro_rules! flush {
+        ($group:expr, $acc:expr) => {
+            if !monoid.is_zero(&$acc) {
+                out_keys.extend_from_slice($group);
+                out_anns.push($acc);
+            }
+        };
+    }
+    for &idx in order {
+        let idx = idx as usize;
+        let key = &scratch[idx * nw..(idx + 1) * nw];
+        let ann = take(idx);
+        match current {
+            Some((g, ref mut acc)) if scratch[g * nw..g * nw + nw] == *key => {
+                stats.add_ops += 1;
+                monoid.add_assign(acc, &ann);
+            }
+            _ => {
+                if let Some((g, acc)) = current.take() {
+                    flush!(&scratch[g * nw..g * nw + nw], acc);
+                }
+                current = Some((idx, ann));
+            }
+        }
+    }
+    if let Some((g, acc)) = current.take() {
+        flush!(&scratch[g * nw..g * nw + nw], acc);
+    }
+    (out_keys, out_anns)
+}
+
+/// Rule 2: the linear two-pointer sort-merge outer join over one
+/// co-partitioned key range of both sides (0-fill for one-sided rows;
+/// one-sided rows of annihilating monoids are skipped outright without
+/// counting a ⊗ — the Theorem 6.7 accounting for semirings).
+///
+/// The sequential merge is the full-range call; the sharded executor
+/// calls it once per shard with both sides partitioned at the same
+/// boundary keys, so equal keys always meet in the same shard and the
+/// concatenated shard outputs equal the sequential output exactly.
+pub(super) fn merge_ranges<M, K>(
+    monoid: &M,
+    left: &ColumnarRelation<K>,
+    right: &ColumnarRelation<K>,
+    li: std::ops::Range<usize>,
+    ri: std::ops::Range<usize>,
+    stats: &mut EngineStats,
+) -> (Vec<RowCode>, Vec<K>)
+where
+    M: TwoMonoid<Elem = K>,
+    K: Clone + PartialEq + std::fmt::Debug,
+{
+    let zero = monoid.zero();
+    let annihilating = monoid.annihilating();
+    let rows = li.len().max(ri.len());
+    let mut out_keys: Vec<RowCode> = Vec::with_capacity(rows * left.width);
+    let mut out_anns: Vec<K> = Vec::with_capacity(rows);
+    let (mut i, mut j) = (li.start, ri.start);
+    let mut push = |row: &[RowCode], v: K| {
+        if !monoid.is_zero(&v) {
+            out_keys.extend_from_slice(row);
+            out_anns.push(v);
+        }
+    };
+    // Linear sort-merge outer join over the union of supports.
+    while i < li.end && j < ri.end {
+        let (lr, rr) = (left.row(i), right.row(j));
+        match lr.cmp(rr) {
+            Ordering::Equal => {
+                stats.mul_ops += 1;
+                push(lr, monoid.mul(&left.anns[i], &right.anns[j]));
+                i += 1;
+                j += 1;
+            }
+            Ordering::Less => {
+                if !annihilating {
+                    stats.mul_ops += 1;
+                    push(lr, monoid.mul(&left.anns[i], &zero));
+                }
+                i += 1;
+            }
+            Ordering::Greater => {
+                if !annihilating {
+                    stats.mul_ops += 1;
+                    push(rr, monoid.mul(&zero, &right.anns[j]));
+                }
+                j += 1;
+            }
+        }
+    }
+    if !annihilating {
+        while i < li.end {
+            stats.mul_ops += 1;
+            push(left.row(i), monoid.mul(&left.anns[i], &zero));
+            i += 1;
+        }
+        while j < ri.end {
+            stats.mul_ops += 1;
+            push(right.row(j), monoid.mul(&zero, &right.anns[j]));
+            j += 1;
+        }
+    }
+    (out_keys, out_anns)
 }
 
 impl<K> ColumnarRelation<K> {

@@ -1,0 +1,332 @@
+//! Cached dictionary encodings: the first slice of batched
+//! multi-query serving.
+//!
+//! Building a columnar annotated database is dominated by the
+//! instance-wide value sort and dictionary scatter-encode. Those
+//! depend only on the *database*, not on the query or the annotations
+//! — so when many queries are evaluated over one database, the work
+//! can be done once. [`EncodedDb`] memoises, per relation identity
+//! ([`Sym`]), the relation's row-major code matrix (written column
+//! order, sorted tuple order) over one shared [`ValueDict`] covering
+//! the whole database. [`EncodedDb::annotate`] then assembles a
+//! query's annotated slots by permuting cached `u32` codes — no value
+//! comparison, no dictionary build, no tuple materialisation.
+//!
+//! Results are bit-identical to the uncached columnar path: codes are
+//! order-preserving whether the dictionary covers the whole database
+//! or just the query's relations, so every comparison, fold, and
+//! merge runs in exactly the same sequence.
+
+use super::columnar::ColumnarRelation;
+use super::DuplicateRow;
+use crate::annotated::{duplicate_error, AnnotateError, AnnotatedDb};
+use hq_db::{Database, Interner, RowCode, Sym, Tuple, Value, ValueDict};
+use hq_query::Query;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// One relation's cached code matrix: row-major codes in the
+/// relation's *written* column order, rows in sorted tuple order.
+#[derive(Debug, Clone)]
+struct EncodedRel {
+    width: usize,
+    len: usize,
+    codes: Vec<RowCode>,
+}
+
+/// A database's dictionary encoding, computed once and reused by every
+/// query evaluated over that database (see
+/// [`crate::engine::evaluate_encoded`]).
+#[derive(Debug, Clone)]
+pub struct EncodedDb {
+    dict: Arc<ValueDict>,
+    rels: BTreeMap<Sym, EncodedRel>,
+}
+
+impl EncodedDb {
+    /// Encodes every relation of `db` over one shared dictionary.
+    pub fn new(db: &Database) -> Self {
+        let mut values: Vec<Value> = Vec::new();
+        for (_, rel) in db.relations() {
+            for t in rel.iter() {
+                values.extend_from_slice(t.values());
+            }
+        }
+        let dict = Arc::new(ValueDict::build(values));
+        let mut rels = BTreeMap::new();
+        for (sym, rel) in db.relations() {
+            let width = rel.arity();
+            let mut codes = Vec::with_capacity(rel.len() * width);
+            for t in rel.iter() {
+                let ok = dict.encode_into(t, &mut codes);
+                debug_assert!(ok, "dictionary covers the whole database");
+            }
+            rels.insert(
+                sym,
+                EncodedRel {
+                    width,
+                    len: rel.len(),
+                    codes,
+                },
+            );
+        }
+        EncodedDb { dict, rels }
+    }
+
+    /// The shared dictionary (tests and diagnostics).
+    pub fn dict(&self) -> &ValueDict {
+        &self.dict
+    }
+
+    /// Guards against use-after-mutation: cheap always-on detectors
+    /// (row count, first/last tuple codes) plus a full re-encode
+    /// comparison in debug builds. See the `annotate` panic docs for
+    /// what release builds can and cannot catch.
+    fn check_snapshot(&self, sym: Sym, enc: &EncodedRel, rel: &hq_db::Relation) {
+        assert_eq!(
+            rel.len(),
+            enc.len,
+            "database changed since EncodedDb::new — rebuild the encoding"
+        );
+        let mut codes = Vec::with_capacity(enc.width);
+        let mut row_matches = |idx: usize, t: &Tuple| {
+            codes.clear();
+            self.dict.encode_into(t, &mut codes)
+                && codes == enc.codes[idx * enc.width..(idx + 1) * enc.width]
+        };
+        if let (Some(first), Some(last)) = (rel.iter().next(), rel.iter().last()) {
+            assert!(
+                row_matches(0, first) && row_matches(enc.len - 1, last),
+                "relation {sym:?} changed since EncodedDb::new — rebuild the encoding"
+            );
+        }
+        #[cfg(debug_assertions)]
+        for (idx, t) in rel.iter().enumerate() {
+            assert!(
+                row_matches(idx, t),
+                "relation {sym:?} row {idx} changed since EncodedDb::new — rebuild the encoding"
+            );
+        }
+    }
+
+    /// Assembles the K-annotated columnar database for `q` from the
+    /// cached codes. `ann` is called once per fact, in each relation's
+    /// sorted tuple order, to supply its annotation. `db` must be the
+    /// database this encoding was built from.
+    ///
+    /// # Errors
+    /// [`AnnotateError::ArityMismatch`] when a query atom disagrees
+    /// with the encoded relation's arity, [`AnnotateError::DuplicateFact`]
+    /// when an atom with repeated variables keys two facts identically.
+    ///
+    /// # Panics
+    /// The encoding is a **snapshot**, not a live view: mutating the
+    /// database after [`EncodedDb::new`] requires rebuilding it.
+    /// Release builds panic on the cheap detectors — a changed row
+    /// count, or a changed first/last tuple per relation; debug builds
+    /// re-encode every tuple and panic on any divergence. A same-size
+    /// interior mutation that preserves each relation's first and last
+    /// tuples is **not** detected in release builds and yields stale
+    /// rows.
+    pub fn annotate<K, F>(
+        &self,
+        db: &Database,
+        q: &Query,
+        interner: &Interner,
+        mut ann: F,
+    ) -> Result<AnnotatedDb<ColumnarRelation<K>>, AnnotateError>
+    where
+        K: Clone + PartialEq + fmt::Debug + Send + Sync,
+        F: FnMut(Sym, &Tuple) -> K,
+    {
+        let mut slots = Vec::with_capacity(q.atom_count());
+        let mut slot_positions: Vec<Option<Vec<usize>>> = Vec::with_capacity(q.atom_count());
+        for (slot, atom) in q.atoms().iter().enumerate() {
+            let mut sorted = atom.vars.clone();
+            sorted.sort_unstable();
+            let positions: Vec<usize> = sorted
+                .iter()
+                .map(|v| {
+                    atom.vars
+                        .iter()
+                        .position(|w| w == v)
+                        .expect("sorted vars come from the atom")
+                })
+                .collect();
+            let identity = positions.iter().enumerate().all(|(a, &b)| a == b);
+            slot_positions.push(if identity {
+                None
+            } else {
+                Some(positions.clone())
+            });
+            let width = sorted.len();
+            let cached = interner
+                .get(&atom.rel)
+                .and_then(|s| self.rels.get(&s).map(|e| (s, e)));
+            let (keys, anns): (Vec<RowCode>, Vec<K>) = match cached {
+                None => (Vec::new(), Vec::new()), // relation absent from the database
+                Some((sym, enc)) => {
+                    if enc.width != width {
+                        return Err(AnnotateError::ArityMismatch {
+                            rel: atom.rel.clone(),
+                            atom_arity: width,
+                            fact_arity: enc.width,
+                        });
+                    }
+                    let rel = db.relation(sym).expect("encoded relation exists");
+                    self.check_snapshot(sym, enc, rel);
+                    let anns: Vec<K> = rel.iter().map(|t| ann(sym, t)).collect();
+                    if identity {
+                        // Written order is sorted-var order and codes are
+                        // value-ordered: cached rows are already sorted.
+                        (enc.codes.clone(), anns)
+                    } else {
+                        let mut keys = Vec::with_capacity(enc.codes.len());
+                        for r in 0..enc.len {
+                            let row = &enc.codes[r * width..(r + 1) * width];
+                            for &p in &positions {
+                                keys.push(row[p]);
+                            }
+                        }
+                        // Reordered columns break the sort: argsort by
+                        // code rows (4-byte comparisons), like the
+                        // uncached build path.
+                        let mut order: Vec<u32> = (0..enc.len as u32).collect();
+                        order.sort_by(|&a, &b| {
+                            let (a, b) = (a as usize, b as usize);
+                            keys[a * width..(a + 1) * width].cmp(&keys[b * width..(b + 1) * width])
+                        });
+                        let mut new_keys = Vec::with_capacity(keys.len());
+                        let mut old: Vec<Option<K>> = anns.into_iter().map(Some).collect();
+                        let mut new_anns = Vec::with_capacity(old.len());
+                        for &i in &order {
+                            let i = i as usize;
+                            new_keys.extend_from_slice(&keys[i * width..(i + 1) * width]);
+                            new_anns.push(old[i].take().expect("each row moved once"));
+                        }
+                        (new_keys, new_anns)
+                    }
+                }
+            };
+            // Atoms with repeated variables can key two distinct facts
+            // identically — the same DuplicateFact the uncached path
+            // reports.
+            if let Some(i) = (1..anns.len())
+                .find(|&i| keys[(i - 1) * width..i * width] == keys[i * width..(i + 1) * width])
+            {
+                return Err(duplicate_error(
+                    q,
+                    interner,
+                    &slot_positions,
+                    DuplicateRow {
+                        slot,
+                        key: self.dict.decode(&keys[i * width..(i + 1) * width]),
+                    },
+                ));
+            }
+            let len = anns.len();
+            slots.push(ColumnarRelation {
+                vars: sorted,
+                width,
+                len,
+                dict: Arc::clone(&self.dict),
+                keys,
+                anns,
+            });
+        }
+        Ok(AnnotatedDb {
+            slots: slots.into_iter().map(Some).collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotated::annotate_columnar;
+    use crate::storage::Storage;
+    use hq_db::db_from_ints;
+    use hq_query::{example_query, Query};
+
+    fn fig1() -> (Database, Interner) {
+        db_from_ints(&[
+            ("R", &[&[1, 5]]),
+            ("S", &[&[1, 1], &[1, 2]]),
+            ("T", &[&[1, 2, 4]]),
+        ])
+    }
+
+    #[test]
+    fn cached_slots_match_direct_annotation() {
+        let (db, i) = fig1();
+        let q = example_query();
+        let enc = EncodedDb::new(&db);
+        let cached = enc
+            .annotate::<f64, _>(&db, &q, &i, |_, t| 0.1 + t.arity() as f64 * 0.2)
+            .unwrap();
+        let facts = db.facts();
+        let direct = annotate_columnar(
+            &q,
+            &i,
+            facts
+                .iter()
+                .map(|f| (f.rel, &f.tuple, 0.1 + f.tuple.arity() as f64 * 0.2)),
+        )
+        .unwrap();
+        assert_eq!(cached.support_size(), direct.support_size());
+        for (c, d) in cached.slots.iter().zip(&direct.slots) {
+            let (c, d) = (c.as_ref().unwrap(), d.as_ref().unwrap());
+            assert_eq!(c.rows(), d.rows());
+            assert_eq!(Storage::vars(c), Storage::vars(d));
+        }
+    }
+
+    #[test]
+    fn one_encoding_serves_many_queries() {
+        let (db, i) = fig1();
+        let enc = EncodedDb::new(&db);
+        for q_src in ["Q() :- S(A,C)", "Q() :- R(A,B), S(A,C)"] {
+            let q = hq_query::parse_query(q_src).unwrap();
+            let adb = enc.annotate::<u64, _>(&db, &q, &i, |_, _| 1).unwrap();
+            assert_eq!(adb.slots.len(), q.atom_count(), "{q_src}");
+        }
+    }
+
+    #[test]
+    fn permuted_atom_columns_resort() {
+        // U(B, A): written order is reverse var order, so cached rows
+        // must be re-keyed and re-sorted.
+        let q = Query::new(&[("V", &["A"]), ("U", &["B", "A"])]).unwrap();
+        let (db, i) = db_from_ints(&[("U", &[&[10, 20], &[11, 3]])]);
+        let enc = EncodedDb::new(&db);
+        let adb = enc.annotate::<u64, _>(&db, &q, &i, |_, _| 1).unwrap();
+        let rows = adb.slots[1].as_ref().unwrap().rows();
+        // Keys are (A, B): (3, 11) sorts before (20, 10).
+        assert_eq!(rows[0].0, Tuple::ints(&[3, 11]));
+        assert_eq!(rows[1].0, Tuple::ints(&[20, 10]));
+    }
+
+    #[test]
+    #[should_panic(expected = "rebuild the encoding")]
+    fn stale_snapshot_detected() {
+        // Same row count, different content: the snapshot guard must
+        // refuse rather than silently pair stale codes with new facts.
+        let (mut db, i) = db_from_ints(&[("R", &[&[1], &[2]])]);
+        let q = Query::new(&[("R", &["X"])]).unwrap();
+        let enc = EncodedDb::new(&db);
+        let r = i.get("R").unwrap();
+        db.remove(&hq_db::Fact::new(r, Tuple::ints(&[2])));
+        db.insert_tuple(r, Tuple::ints(&[7]));
+        let _ = enc.annotate::<u64, _>(&db, &q, &i, |_, _| 1);
+    }
+
+    #[test]
+    fn arity_mismatch_reported() {
+        let q = example_query();
+        let (db, i) = db_from_ints(&[("R", &[&[1]])]); // R should be binary
+        let enc = EncodedDb::new(&db);
+        let err = enc.annotate::<u64, _>(&db, &q, &i, |_, _| 1).unwrap_err();
+        assert!(matches!(err, AnnotateError::ArityMismatch { .. }));
+    }
+}

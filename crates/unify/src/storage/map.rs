@@ -41,7 +41,7 @@ impl<K> MapRelation<K> {
     }
 }
 
-impl<K: Clone + PartialEq + std::fmt::Debug> Storage for MapRelation<K> {
+impl<K: Clone + PartialEq + std::fmt::Debug + Send + Sync> Storage for MapRelation<K> {
     type Ann = K;
 
     fn build_slots(slots: Vec<OwnedSlot<K>>) -> Result<Vec<Self>, DuplicateRow> {

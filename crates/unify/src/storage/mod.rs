@@ -14,17 +14,31 @@
 //!   row-major matrix of dictionary codes plus a parallel annotation
 //!   column. Rule 1 is a single-pass grouped fold, Rule 2 a linear
 //!   sort-merge outer join; no per-tuple allocation on the hot path.
+//! * [`ShardedColumnar`] — the columnar backend in parallel execution
+//!   mode: the sorted matrices are cut into contiguous shards on
+//!   key/group boundaries and each rule runs the sequential kernels
+//!   per shard on scoped workers, recombining in fixed shard order
+//!   (degree set by [`Parallelism`]).
 //!
-//! Both backends perform **the same ⊕/⊗ applications in the same
-//! order**, so results (including floating-point ones) are
-//! bit-identical and `EngineStats` agree exactly — the property the
-//! `differential_backends` suite pins down.
+//! All backends — and every thread count — perform **the same ⊕/⊗
+//! applications in the same order**, so results (including
+//! floating-point ones) are bit-identical and `EngineStats` agree
+//! exactly — the property the `differential_backends` and
+//! `differential_parallel` suites pin down.
+//!
+//! [`EncodedDb`] additionally caches a database's dictionary encoding
+//! so repeated queries over one database skip the columnar build's
+//! dominant cost (batched multi-query serving).
 
 mod columnar;
+mod encoded;
 mod map;
+mod sharded;
 
 pub use columnar::{BorrowedSlot, ColumnarRelation};
+pub use encoded::EncodedDb;
 pub use map::MapRelation;
+pub use sharded::ShardedColumnar;
 
 use crate::engine::EngineStats;
 use hq_db::Tuple;
@@ -71,6 +85,112 @@ impl FromStr for Backend {
     }
 }
 
+/// The degree of intra-query parallelism for one run: how many worker
+/// threads each Rule 1 fold / Rule 2 merge may fan out over.
+///
+/// Parallelism is orthogonal to the [`Backend`] layout choice: today
+/// only the columnar layout shards (see [`ShardedColumnar`]); the
+/// ordered-map oracle ignores the knob. `threads == 1` is exactly the
+/// sequential engine, and every thread count produces **bit-identical
+/// results and identical [`EngineStats`]** — shard boundaries are
+/// chosen on key boundaries and shard outputs (and per-shard op
+/// counts) are concatenated/summed in fixed shard order, so the global
+/// ⊕/⊗ application sequence never depends on scheduling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parallelism {
+    /// Number of worker threads (≥ 1).
+    pub threads: usize,
+    /// Minimum rows a shard must carry before fanning out; relations
+    /// below `2 × min_shard_rows` run sequentially, so parallel mode
+    /// never pessimizes small folds/merges with spawn overhead.
+    min_shard_rows: usize,
+}
+
+/// Default work-size floor per shard: scoped-worker spawn/join costs
+/// tens of microseconds while the kernels process a row in well under
+/// a microsecond, so shards below a few thousand rows lose more to
+/// threading than they gain.
+const DEFAULT_MIN_SHARD_ROWS: usize = 4096;
+
+impl Parallelism {
+    /// A parallelism degree of `threads` (clamped up to 1), with the
+    /// default work-size floor.
+    pub fn new(threads: usize) -> Self {
+        Parallelism {
+            threads: threads.max(1),
+            min_shard_rows: DEFAULT_MIN_SHARD_ROWS,
+        }
+    }
+
+    /// A degree that shards any relation with at least two rows,
+    /// ignoring the work-size floor. Sharding tiny inputs costs far
+    /// more in thread spawns than it saves, so this exists for tests
+    /// and diagnostics that must exercise the shard paths on small
+    /// data — production callers want [`Parallelism::new`].
+    pub fn fine_grained(threads: usize) -> Self {
+        Parallelism {
+            threads: threads.max(1),
+            min_shard_rows: 1,
+        }
+    }
+
+    /// Sequential execution (the default).
+    pub const fn sequential() -> Self {
+        Parallelism {
+            threads: 1,
+            min_shard_rows: DEFAULT_MIN_SHARD_ROWS,
+        }
+    }
+
+    /// One worker per hardware thread reported by the OS (1 if the
+    /// query fails).
+    pub fn available() -> Self {
+        Parallelism::new(
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        )
+    }
+
+    /// Whether more than one worker may be used.
+    pub fn is_parallel(&self) -> bool {
+        self.threads > 1
+    }
+
+    /// The work-size floor: minimum rows per shard.
+    pub fn min_shard_rows(&self) -> usize {
+        self.min_shard_rows.max(1)
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Parallelism::sequential()
+    }
+}
+
+impl fmt::Display for Parallelism {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.threads)
+    }
+}
+
+impl FromStr for Parallelism {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s == "max" {
+            return Ok(Parallelism::available());
+        }
+        match s.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(Parallelism::new(n)),
+            _ => Err(format!(
+                "invalid thread count '{s}' (expected a positive integer or 'max')"
+            )),
+        }
+    }
+}
+
 /// A duplicate key found while building storage: the slot index and
 /// the offending key (in sorted-var order).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -91,9 +211,15 @@ pub type OwnedSlot<K> = (Vec<Var>, Vec<(Tuple, K)>);
 /// monoid's [`TwoMonoid::is_zero`]) with rows keyed in ascending
 /// variable-id order, and must apply ⊕/⊗ in ascending key order so that
 /// all backends produce bit-identical results.
+///
+/// The carrier is `Send` and monoids are shared as `&M` across worker
+/// threads (`Sync`), so that sharded backends ([`ShardedColumnar`]) can
+/// fan Rule 1/Rule 2 out over `std::thread::scope` workers. Every
+/// carrier and monoid in the workspace is a plain owned value (no
+/// interior mutability), so these bounds cost nothing.
 pub trait Storage: Clone + fmt::Debug + Sized {
     /// The annotation carrier `K`.
-    type Ann: Clone + PartialEq + fmt::Debug;
+    type Ann: Clone + PartialEq + fmt::Debug + Send + Sync;
 
     /// Builds one relation per `(vars, rows)` slot. `rows` are keyed in
     /// `vars` order but arrive in **arbitrary order**: the backend owns

@@ -1,0 +1,569 @@
+//! Deterministic parallel sharded execution over the columnar layout.
+//!
+//! [`ShardedColumnar`] wraps a [`ColumnarRelation`] with a
+//! [`Parallelism`] degree and fans each Rule 1 grouped fold and Rule 2
+//! sort-merge out over `std::thread::scope` workers. The row matrices
+//! are already sorted, which makes them *partition-ready*: cut them
+//! into `S` contiguous shards and every rule application decomposes
+//! into `S` independent sub-applications — **provided no logical unit
+//! of work straddles a cut**:
+//!
+//! * **Rule 1** (`project_out`): the unit is a ⊕-group. In the
+//!   least-significant-column case groups are runs of equal
+//!   `width − 1`-column prefixes, so cuts are only placed where the
+//!   prefix changes. In the general-column case the projected scratch
+//!   matrix is argsorted first (sequentially) and the *argsort order*
+//!   is cut on group boundaries.
+//! * **Rule 2** (`merge`): the unit is a key. Boundary keys are drawn
+//!   from the larger side at even row positions and **both** sides are
+//!   partitioned at the first row ≥ each boundary key, so equal keys
+//!   always meet inside one shard and the 0-filled outer join of a
+//!   non-annihilating monoid stays self-contained per shard.
+//!
+//! Each worker runs *the same kernel* as the sequential backend
+//! ([`columnar::fold_drop_last`], [`columnar::fold_sorted_groups`],
+//! [`columnar::merge_ranges`]) over its range, into its own output
+//! buffers and its own [`EngineStats`]. Outputs are concatenated and
+//! stats summed **in fixed shard order** after all workers join, so
+//! results (floats included) and op counts are bit-identical to the
+//! sequential columnar backend — the sequential engine is the oracle,
+//! and `tests/differential_parallel.rs` pins the equivalence at every
+//! thread count.
+
+use super::columnar::{self, ColumnarRelation};
+use super::{DuplicateRow, OwnedSlot, Parallelism, Storage};
+use crate::engine::EngineStats;
+use hq_db::{RowCode, Tuple};
+use hq_monoid::TwoMonoid;
+use hq_query::Var;
+use std::fmt;
+
+/// A columnar relation executed shard-parallel: Rule 1 and Rule 2 run
+/// on up to [`Parallelism::threads`] scoped workers, with results
+/// bit-identical to the sequential [`ColumnarRelation`] at every
+/// thread count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedColumnar<K> {
+    inner: ColumnarRelation<K>,
+    par: Parallelism,
+}
+
+impl<K> ShardedColumnar<K> {
+    /// Wraps a columnar relation with an execution parallelism degree.
+    pub fn new(inner: ColumnarRelation<K>, par: Parallelism) -> Self {
+        ShardedColumnar { inner, par }
+    }
+
+    /// The wrapped sequential relation.
+    pub fn into_inner(self) -> ColumnarRelation<K> {
+        self.inner
+    }
+
+    /// A view of the wrapped sequential relation.
+    pub fn inner(&self) -> &ColumnarRelation<K> {
+        &self.inner
+    }
+
+    /// The configured parallelism degree.
+    pub fn parallelism(&self) -> Parallelism {
+        self.par
+    }
+}
+
+/// Number of shards for `len` rows: never more than the worker
+/// budget, and never so many that a shard falls below the
+/// [`Parallelism::min_shard_rows`] work-size floor (spawn/join costs
+/// would dominate the kernel work). `1` means run sequentially.
+fn shard_count(par: Parallelism, len: usize) -> usize {
+    par.threads.min(len / par.min_shard_rows()).max(1)
+}
+
+/// Candidate-and-adjust split points: `shards + 1` ascending bounds
+/// over `0..len` (first `0`, last `len`), where each interior candidate
+/// `len·s/S` is advanced past rows for which `same_group(i)` says row
+/// `i` must stay in the same shard as row `i − 1`. Bounds are strictly
+/// ascending (degenerate candidates are dropped, so fewer than `shards`
+/// shards may result — e.g. a single giant group yields one shard).
+fn split_points(len: usize, shards: usize, same_group: impl Fn(usize) -> bool) -> Vec<usize> {
+    let mut bounds = Vec::with_capacity(shards + 1);
+    bounds.push(0usize);
+    for s in 1..shards {
+        let mut i = len * s / shards;
+        if i <= *bounds.last().expect("bounds non-empty") {
+            continue;
+        }
+        while i < len && same_group(i) {
+            i += 1;
+        }
+        if i < len && i > *bounds.last().expect("bounds non-empty") {
+            bounds.push(i);
+        }
+    }
+    bounds.push(len);
+    bounds
+}
+
+/// Splits an owned column into per-shard chunks along `bounds`
+/// (ascending, `bounds[0] == 0`, `bounds.last() == v.len()`).
+fn split_by_bounds<K>(mut v: Vec<K>, bounds: &[usize]) -> Vec<Vec<K>> {
+    let mut out = Vec::with_capacity(bounds.len() - 1);
+    for w in bounds.windows(2).rev() {
+        debug_assert!(w[0] <= w[1]);
+        out.push(v.split_off(w[0]));
+    }
+    out.reverse();
+    out
+}
+
+/// First row of `rel` whose key is `≥ key` (binary search; `rel.len`
+/// when all rows are smaller).
+fn lower_bound<K>(rel: &ColumnarRelation<K>, key: &[RowCode]) -> usize {
+    let (mut lo, mut hi) = (0usize, rel.len);
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if rel.row(mid) < key {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// Co-partitions both merge sides at boundary keys drawn from the
+/// larger side, returning parallel bound vectors (`S + 1` entries
+/// each, possibly fewer when boundaries coincide). Shard `k` is
+/// `left[lb[k]..lb[k+1]] ⋈ right[rb[k]..rb[k+1]]`; every key lands in
+/// exactly one shard on each side, and equal keys land in the same
+/// shard index.
+fn merge_bounds<K>(
+    left: &ColumnarRelation<K>,
+    right: &ColumnarRelation<K>,
+    shards: usize,
+) -> (Vec<usize>, Vec<usize>) {
+    let big = if left.len >= right.len { left } else { right };
+    let mut lb = vec![0usize];
+    let mut rb = vec![0usize];
+    for s in 1..shards {
+        let i = big.len * s / shards;
+        if i == 0 || i >= big.len {
+            continue;
+        }
+        let key = big.row(i);
+        let lpos = lower_bound(left, key);
+        let rpos = lower_bound(right, key);
+        // lower_bound is monotone in the (ascending) boundary key, so
+        // the pair sequence is non-decreasing; drop exact repeats.
+        if lpos > *lb.last().expect("non-empty") || rpos > *rb.last().expect("non-empty") {
+            lb.push(lpos);
+            rb.push(rpos);
+        }
+    }
+    lb.push(left.len);
+    rb.push(right.len);
+    (lb, rb)
+}
+
+/// Joins per-shard `(keys, anns, stats)` outputs in fixed shard order:
+/// concatenated matrices, stats summed left to right.
+fn concat_shards<K>(
+    parts: Vec<(Vec<RowCode>, Vec<K>, EngineStats)>,
+    stats: &mut EngineStats,
+) -> (Vec<RowCode>, Vec<K>) {
+    let mut out_keys = Vec::with_capacity(parts.iter().map(|p| p.0.len()).sum());
+    let mut out_anns = Vec::with_capacity(parts.iter().map(|p| p.1.len()).sum());
+    for (keys, anns, st) in parts {
+        out_keys.extend(keys);
+        out_anns.extend(anns);
+        stats.add_ops += st.add_ops;
+        stats.mul_ops += st.mul_ops;
+    }
+    (out_keys, out_anns)
+}
+
+impl<K: Clone + PartialEq + fmt::Debug + Send + Sync> Storage for ShardedColumnar<K> {
+    type Ann = K;
+
+    fn build_slots(slots: Vec<OwnedSlot<K>>) -> Result<Vec<Self>, DuplicateRow> {
+        // `build_slots` carries no execution configuration, so slots
+        // built through it run sequentially; the engine's parallel
+        // paths construct sharded slots via `AnnotatedDb::into_sharded`
+        // instead, which carries the degree.
+        Ok(ColumnarRelation::build_slots(slots)?
+            .into_iter()
+            .map(|inner| ShardedColumnar::new(inner, Parallelism::default()))
+            .collect())
+    }
+
+    fn vars(&self) -> &[Var] {
+        Storage::vars(&self.inner)
+    }
+
+    fn support_size(&self) -> usize {
+        self.inner.support_size()
+    }
+
+    fn project_out<M: TwoMonoid<Elem = K>>(
+        self,
+        monoid: &M,
+        var: Var,
+        stats: &mut EngineStats,
+    ) -> Self {
+        let par = self.par;
+        let shards = shard_count(par, self.inner.len);
+        if shards <= 1 {
+            return ShardedColumnar::new(self.inner.project_out(monoid, var, stats), par);
+        }
+        let pos = self
+            .inner
+            .vars
+            .iter()
+            .position(|&v| v == var)
+            .expect("projected variable must be in the relation schema");
+        let ColumnarRelation {
+            mut vars,
+            width,
+            len,
+            dict,
+            keys,
+            anns,
+        } = self.inner;
+        vars.remove(pos);
+        let nw = width - 1;
+        let (out_keys, out_anns) = if pos == width - 1 {
+            // Contiguous-group fold: cut where the kept prefix changes.
+            let bounds = split_points(len, shards, |i| {
+                keys[(i - 1) * width..(i - 1) * width + nw] == keys[i * width..i * width + nw]
+            });
+            let chunks = split_by_bounds(anns, &bounds);
+            let keys_ref: &[RowCode] = &keys;
+            let parts: Vec<(Vec<RowCode>, Vec<K>, EngineStats)> = std::thread::scope(|s| {
+                let handles: Vec<_> = bounds
+                    .windows(2)
+                    .zip(chunks)
+                    .map(|(w, chunk)| {
+                        let base = w[0];
+                        s.spawn(move || {
+                            let mut st = EngineStats::default();
+                            let (ok, oa) = columnar::fold_drop_last(
+                                monoid, keys_ref, width, base, chunk, &mut st,
+                            );
+                            (ok, oa, st)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard worker panicked"))
+                    .collect()
+            });
+            concat_shards(parts, stats)
+        } else {
+            // General column: sequential argsort (see ROADMAP for the
+            // parallel-sort follow-up), then shard the sorted order on
+            // group boundaries. Workers clone annotations from the
+            // shared column — exact values, so results stay identical.
+            let (scratch, order) = columnar::project_scratch(&keys, width, pos);
+            let bounds = split_points(len, shards, |i| {
+                let (a, b) = (order[i - 1] as usize, order[i] as usize);
+                scratch[a * nw..(a + 1) * nw] == scratch[b * nw..(b + 1) * nw]
+            });
+            let (scratch_ref, order_ref, anns_ref): (&[RowCode], &[u32], &[K]) =
+                (&scratch, &order, &anns);
+            let parts: Vec<(Vec<RowCode>, Vec<K>, EngineStats)> = std::thread::scope(|s| {
+                let handles: Vec<_> = bounds
+                    .windows(2)
+                    .map(|w| {
+                        let (a, b) = (w[0], w[1]);
+                        s.spawn(move || {
+                            let mut st = EngineStats::default();
+                            let mut take = |idx: usize| anns_ref[idx].clone();
+                            let (ok, oa) = columnar::fold_sorted_groups(
+                                monoid,
+                                scratch_ref,
+                                nw,
+                                &order_ref[a..b],
+                                &mut take,
+                                &mut st,
+                            );
+                            (ok, oa, st)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard worker panicked"))
+                    .collect()
+            });
+            concat_shards(parts, stats)
+        };
+        let out_len = out_anns.len();
+        ShardedColumnar::new(
+            ColumnarRelation {
+                vars,
+                width: nw,
+                len: out_len,
+                dict,
+                keys: out_keys,
+                anns: out_anns,
+            },
+            par,
+        )
+    }
+
+    fn merge<M: TwoMonoid<Elem = K>>(
+        self,
+        monoid: &M,
+        right: Self,
+        stats: &mut EngineStats,
+    ) -> Self {
+        let par = self.par;
+        let shards = shard_count(par, self.inner.len.max(right.inner.len));
+        if shards <= 1 {
+            return ShardedColumnar::new(self.inner.merge(monoid, right.inner, stats), par);
+        }
+        let (left, rrel) = (self.inner, right.inner);
+        assert_eq!(
+            left.vars, rrel.vars,
+            "Rule 2 merges atoms with identical variable sets"
+        );
+        debug_assert_eq!(
+            *left.dict, *rrel.dict,
+            "merged relations must share one instance dictionary"
+        );
+        let (lb, rb) = merge_bounds(&left, &rrel, shards);
+        let (left_ref, right_ref) = (&left, &rrel);
+        let parts: Vec<(Vec<RowCode>, Vec<K>, EngineStats)> = std::thread::scope(|s| {
+            let handles: Vec<_> = lb
+                .windows(2)
+                .zip(rb.windows(2))
+                .map(|(lw, rw)| {
+                    let (li, ri) = (lw[0]..lw[1], rw[0]..rw[1]);
+                    s.spawn(move || {
+                        let mut st = EngineStats::default();
+                        let (ok, oa) =
+                            columnar::merge_ranges(monoid, left_ref, right_ref, li, ri, &mut st);
+                        (ok, oa, st)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        });
+        let (out_keys, out_anns) = concat_shards(parts, stats);
+        let len = out_anns.len();
+        ShardedColumnar::new(
+            ColumnarRelation {
+                vars: left.vars,
+                width: left.width,
+                len,
+                dict: left.dict,
+                keys: out_keys,
+                anns: out_anns,
+            },
+            par,
+        )
+    }
+
+    fn nullary_value<M: TwoMonoid<Elem = K>>(&self, monoid: &M) -> K {
+        self.inner.nullary_value(monoid)
+    }
+
+    fn rows(&self) -> Vec<(Tuple, K)> {
+        self.inner.rows()
+    }
+
+    fn get(&self, key: &Tuple) -> Option<K> {
+        self.inner.get(key)
+    }
+
+    fn set(&mut self, key: &Tuple, value: Option<K>) {
+        self.inner.set(key, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hq_monoid::{BagMaxMonoid, CountMonoid, ProbMonoid, SatCountMonoid};
+
+    fn columnar_slots<K: Clone + PartialEq + fmt::Debug + Send + Sync>(
+        slots: Vec<OwnedSlot<K>>,
+    ) -> Vec<ColumnarRelation<K>> {
+        ColumnarRelation::build_slots(slots).unwrap()
+    }
+
+    fn sharded<K: Clone + PartialEq + fmt::Debug + Send + Sync>(
+        rel: &ColumnarRelation<K>,
+        threads: usize,
+    ) -> ShardedColumnar<K> {
+        ShardedColumnar::new(rel.clone(), Parallelism::fine_grained(threads))
+    }
+
+    /// A 2-column relation with repeated leading codes so prefix
+    /// groups actually span candidate cut points.
+    fn grouped_rows(n: usize) -> Vec<(Tuple, f64)> {
+        (0..n)
+            .map(|i| {
+                let g = (i / 3) as i64;
+                let y = (i % 3) as i64 * 7 + (i as i64 % 2);
+                (Tuple::ints(&[g, y]), 0.05 + 0.9 * (i as f64) / n as f64)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn split_points_respect_groups() {
+        // Ten rows in groups of sizes 4, 4, 2: a cut inside a group is
+        // illegal and must be pushed to the next group start.
+        let groups = [0usize, 0, 0, 0, 1, 1, 1, 1, 2, 2];
+        for shards in 1..=10 {
+            let bounds = split_points(groups.len(), shards, |i| groups[i - 1] == groups[i]);
+            assert_eq!(*bounds.first().unwrap(), 0);
+            assert_eq!(*bounds.last().unwrap(), groups.len());
+            assert!(bounds.windows(2).all(|w| w[0] < w[1]), "{bounds:?}");
+            for &b in &bounds[1..bounds.len() - 1] {
+                assert_ne!(groups[b - 1], groups[b], "cut inside a group: {bounds:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn project_out_identical_at_every_thread_count() {
+        let vars = vec![Var(0), Var(1)];
+        let rel = columnar_slots(vec![(vars, grouped_rows(37))])
+            .pop()
+            .unwrap();
+        for var in [0usize, 1] {
+            let mut seq_stats = EngineStats::default();
+            let seq = rel
+                .clone()
+                .project_out(&ProbMonoid, Var(var), &mut seq_stats);
+            for threads in [1usize, 2, 3, 5, 16] {
+                let mut st = EngineStats::default();
+                let got = sharded(&rel, threads).project_out(&ProbMonoid, Var(var), &mut st);
+                assert_eq!(got.inner, seq, "var {var} threads {threads}");
+                assert_eq!(st, seq_stats, "var {var} threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_identical_at_every_thread_count_both_kinds() {
+        let vars = vec![Var(0), Var(1)];
+        // Overlapping but distinct supports on the two sides.
+        let left_rows: Vec<(Tuple, u64)> = (0..30)
+            .map(|i| (Tuple::ints(&[i / 2, i % 5]), (i + 1) as u64))
+            .collect();
+        let right_rows: Vec<(Tuple, u64)> = (5..35)
+            .map(|i| (Tuple::ints(&[i / 2, i % 5]), (2 * i + 1) as u64))
+            .collect();
+        let slots = columnar_slots(vec![(vars.clone(), left_rows), (vars.clone(), right_rows)]);
+        let (l, r) = (slots[0].clone(), slots[1].clone());
+        // Annihilating (counting) and non-annihilating (bag-max, which
+        // 0-fills one-sided rows) monoids.
+        let mut seq_stats = EngineStats::default();
+        let seq = l.clone().merge(&CountMonoid, r.clone(), &mut seq_stats);
+        let bm = BagMaxMonoid::new(3);
+        let to_bm = |rel: &ColumnarRelation<u64>| -> Vec<(Tuple, _)> {
+            Storage::rows(rel)
+                .into_iter()
+                .map(|(t, k)| (t, bm.vec_from(&[k, k + 1])))
+                .collect()
+        };
+        // Build both sides together so they share one instance dict.
+        let mut bm_slots =
+            columnar_slots(vec![(vars.clone(), to_bm(&l)), (vars.clone(), to_bm(&r))]);
+        let rb = bm_slots.pop().unwrap();
+        let lb = bm_slots.pop().unwrap();
+        let mut seq_bm_stats = EngineStats::default();
+        let seq_bm = lb.clone().merge(&bm, rb.clone(), &mut seq_bm_stats);
+        for threads in [1usize, 2, 3, 4, 7, 16] {
+            let mut st = EngineStats::default();
+            let got = sharded(&l, threads).merge(&CountMonoid, sharded(&r, threads), &mut st);
+            assert_eq!(got.inner, seq, "threads {threads}");
+            assert_eq!(st, seq_stats, "threads {threads}");
+            let mut st = EngineStats::default();
+            let got = sharded(&lb, threads).merge(&bm, sharded(&rb, threads), &mut st);
+            assert_eq!(got.inner, seq_bm, "bagmax threads {threads}");
+            assert_eq!(st, seq_bm_stats, "bagmax threads {threads}");
+        }
+    }
+
+    #[test]
+    fn non_annihilating_outer_join_stays_self_contained() {
+        // Disjoint supports: every row is one-sided, the pure-0-fill
+        // stress case for shard co-partitioning.
+        let m = SatCountMonoid::new(2);
+        let vars = vec![Var(0)];
+        let left_rows: Vec<(Tuple, _)> =
+            (0..12).map(|i| (Tuple::ints(&[2 * i]), m.star())).collect();
+        let right_rows: Vec<(Tuple, _)> = (0..12)
+            .map(|i| (Tuple::ints(&[2 * i + 1]), m.star()))
+            .collect();
+        let slots = columnar_slots(vec![(vars.clone(), left_rows), (vars, right_rows)]);
+        let (l, r) = (slots[0].clone(), slots[1].clone());
+        let mut seq_stats = EngineStats::default();
+        let seq = l.clone().merge(&m, r.clone(), &mut seq_stats);
+        assert_eq!(seq.support_size(), 24, "all 0-filled rows survive");
+        for threads in [2usize, 3, 8] {
+            let mut st = EngineStats::default();
+            let got = sharded(&l, threads).merge(&m, sharded(&r, threads), &mut st);
+            assert_eq!(got.inner, seq, "threads {threads}");
+            assert_eq!(st, seq_stats, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn nullary_and_empty_relations_are_safe() {
+        let rel: ColumnarRelation<u64> = columnar_slots(vec![(vec![Var(3)], Vec::new())])
+            .pop()
+            .unwrap();
+        let mut st = EngineStats::default();
+        let out = sharded(&rel, 8).project_out(&CountMonoid, Var(3), &mut st);
+        assert_eq!(out.support_size(), 0);
+        assert_eq!(out.nullary_value(&CountMonoid), 0);
+        // Projecting a 1-column relation to nullary: one global group.
+        let rel: ColumnarRelation<u64> = columnar_slots(vec![(
+            vec![Var(0)],
+            (0..9).map(|i| (Tuple::ints(&[i]), i as u64 + 1)).collect(),
+        )])
+        .pop()
+        .unwrap();
+        let mut st = EngineStats::default();
+        let out = sharded(&rel, 4).project_out(&CountMonoid, Var(0), &mut st);
+        assert_eq!(out.nullary_value(&CountMonoid), 45);
+        assert_eq!(st.add_ops, 8);
+    }
+
+    #[test]
+    fn parallelism_parses_and_defaults() {
+        assert_eq!(Parallelism::default().threads, 1);
+        assert!(!Parallelism::default().is_parallel());
+        assert_eq!("4".parse::<Parallelism>().unwrap(), Parallelism::new(4));
+        assert!("max".parse::<Parallelism>().unwrap().threads >= 1);
+        assert!("0".parse::<Parallelism>().is_err());
+        assert!("-1".parse::<Parallelism>().is_err());
+        assert_eq!(Parallelism::new(0).threads, 1);
+        assert_eq!(Parallelism::new(3).to_string(), "3");
+    }
+
+    #[test]
+    fn work_size_floor_keeps_small_inputs_sequential() {
+        // Production parallelism never shards below the work-size
+        // floor (spawn cost would dominate), while the fine-grained
+        // test constructor shards anything with ≥ 2 rows.
+        let prod = Parallelism::new(8);
+        assert!(prod.min_shard_rows() > 1);
+        assert_eq!(shard_count(prod, 100), 1);
+        assert_eq!(shard_count(prod, prod.min_shard_rows() * 8), 8);
+        assert_eq!(shard_count(prod, prod.min_shard_rows() * 3), 3);
+        let fine = Parallelism::fine_grained(8);
+        assert_eq!(fine.min_shard_rows(), 1);
+        assert_eq!(shard_count(fine, 100), 8);
+        assert_eq!(shard_count(fine, 3), 3);
+        assert_eq!(shard_count(fine, 0), 1);
+    }
+}

@@ -135,9 +135,9 @@ fn section2_dalvi_suciu_pipeline_hand_value() {
 fn section2_bsm_star_annotation_semantics() {
     // Definition 5.10: facts in D ↦ 1̄; facts only in D_r ↦ ★ = (0,1,1,…).
     let m = BagMaxMonoid::new(3);
-    assert_eq!(m.star().0, vec![0, 1, 1, 1]);
-    assert_eq!(m.one().0, vec![1, 1, 1, 1]);
-    assert_eq!(m.zero().0, vec![0, 0, 0, 0]);
+    assert_eq!(m.star().as_slice(), [0, 1, 1, 1]);
+    assert_eq!(m.one().as_slice(), [1, 1, 1, 1]);
+    assert_eq!(m.zero().as_slice(), [0, 0, 0, 0]);
 }
 
 #[test]

@@ -171,7 +171,7 @@ proptest! {
         let (direct, _) =
             evaluate(&monoid, &inst.query, &inst.interner, annotated).unwrap();
         let phi = phi_bagmax(&prov.tree, &free, theta);
-        prop_assert_eq!(direct.0, phi, "query {}", inst.query);
+        prop_assert_eq!(direct.as_slice(), phi.as_slice(), "query {}", inst.query);
     }
 
     /// φ_#Sat: brute-force subset counts per (k, bool) == #Sat-monoid
