@@ -1,0 +1,163 @@
+//! Incremental update serving scales with the dirty set, not `|D|`.
+//!
+//! Measures single-update and batched-update latency of the maintained
+//! [`IncrementalRun`] pipeline against `|D|` and batch size, on the
+//! map, columnar and sharded backends, with a fresh-full-evaluation
+//! row as the baseline the incremental path must beat. Emits
+//! `BENCH_incremental_scaling.json` in the same machine-readable
+//! format as the other benches (skipped under CI).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hq_bench::{chain_tid, thread_sweep, write_bench_summary, SummaryEntry, TidWorkload};
+use hq_db::Fact;
+use hq_unify::{pqe, Backend, IncrementalPqe, Parallelism};
+use std::time::Duration;
+
+/// A deterministic stream of (fact, probability) updates cycling over
+/// the workload's facts with drifting probabilities.
+fn update_stream(w: &TidWorkload, len: usize) -> Vec<(Fact, f64)> {
+    (0..len)
+        .map(|j| {
+            let (f, _) = &w.tid[(j * 7919) % w.tid.len()];
+            (f.clone(), 0.05 + 0.9 * ((j % 89) as f64) / 89.0)
+        })
+        .collect()
+}
+
+fn bench_incremental(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incremental_scaling");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for n in [1_000usize, 4_000] {
+        let w = chain_tid(n, 31);
+        let updates = update_stream(&w, 1024);
+        group.throughput(Throughput::Elements(1));
+        let mut map_run = IncrementalPqe::new(&w.query, &w.interner, &w.tid).unwrap();
+        let mut j = 0usize;
+        group.bench_with_input(BenchmarkId::new("single_map", w.tid.len()), &(), |b, ()| {
+            b.iter(|| {
+                let (f, p) = &updates[j % updates.len()];
+                j += 1;
+                map_run.update(&w.interner, f, *p).unwrap()
+            })
+        });
+        let mut col_run = IncrementalPqe::columnar(&w.query, &w.interner, &w.tid).unwrap();
+        let mut j = 0usize;
+        group.bench_with_input(
+            BenchmarkId::new("single_columnar", w.tid.len()),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    let (f, p) = &updates[j % updates.len()];
+                    j += 1;
+                    col_run.update(&w.interner, f, *p).unwrap()
+                })
+            },
+        );
+        // Baseline: what a non-incremental server pays per update.
+        group.bench_with_input(BenchmarkId::new("fresh_eval", w.tid.len()), &w, |b, w| {
+            b.iter(|| {
+                pqe::probability_on(Backend::Columnar, &w.query, &w.interner, &w.tid).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The machine-readable summary: per-update latency for single and
+/// batched serving at growing `|D|`, per backend, plus the fresh-eval
+/// baseline. `threads` carries the worker count of the sharded rows;
+/// `speedup_vs_1` within a workload is relative to its first row.
+fn bench_incremental_summary(_c: &mut Criterion) {
+    println!("\n== incremental_scaling (per-update latency)");
+    let mut entries: Vec<SummaryEntry> = Vec::new();
+    let iters = 60usize;
+    for n in [1_000usize, 4_000, 16_000] {
+        let w = chain_tid(n, 31);
+        let updates = update_stream(&w, 4096);
+        let d = w.tid.len();
+        // Single-update latency per backend (map / columnar / sharded-max).
+        let mut map_run = IncrementalPqe::new(&w.query, &w.interner, &w.tid).unwrap();
+        let mut j = 0usize;
+        entries.extend(thread_sweep(
+            &format!("single_map_{d}"),
+            &[1],
+            iters,
+            |_| {
+                let (f, p) = &updates[j % updates.len()];
+                j += 1;
+                map_run.update(&w.interner, f, *p).unwrap()
+            },
+        ));
+        let mut col_run = IncrementalPqe::columnar(&w.query, &w.interner, &w.tid).unwrap();
+        let mut j = 0usize;
+        entries.extend(thread_sweep(
+            &format!("single_columnar_{d}"),
+            &[1],
+            iters,
+            |_| {
+                let (f, p) = &updates[j % updates.len()];
+                j += 1;
+                col_run.update(&w.interner, f, *p).unwrap()
+            },
+        ));
+        let max = Parallelism::available();
+        let mut sh_run = IncrementalPqe::sharded(&w.query, &w.interner, &w.tid, max).unwrap();
+        let mut j = 0usize;
+        entries.extend(thread_sweep(
+            &format!("single_sharded_{d}"),
+            &[max.threads],
+            iters,
+            |_| {
+                let (f, p) = &updates[j % updates.len()];
+                j += 1;
+                sh_run.update(&w.interner, f, *p).unwrap()
+            },
+        ));
+        // Batched serving: per-update cost amortised over one
+        // propagation pass per batch.
+        for batch in [16usize, 256] {
+            let mut run = IncrementalPqe::columnar(&w.query, &w.interner, &w.tid).unwrap();
+            let mut j = 0usize;
+            let mut sweep = thread_sweep(
+                &format!("batch{batch}_columnar_{d}"),
+                &[1],
+                (iters / batch).max(3),
+                |_| {
+                    let start = (j * batch) % updates.len().saturating_sub(batch).max(1);
+                    j += 1;
+                    run.update_batch(&w.interner, &updates[start..start + batch])
+                        .unwrap()
+                },
+            );
+            for e in &mut sweep {
+                e.mean_ns /= batch as f64; // report per-update cost
+            }
+            entries.extend(sweep);
+        }
+        // Baseline: a fresh full evaluation per update.
+        entries.extend(thread_sweep(&format!("fresh_eval_{d}"), &[1], 5, |_| {
+            pqe::probability_on(Backend::Columnar, &w.query, &w.interner, &w.tid).unwrap()
+        }));
+        // Sanity: the maintained runs agree with a fresh evaluation of
+        // their drifted state bit for bit (map vs columnar vs sharded
+        // ran the same update sequence).
+        assert_eq!(
+            map_run.probability().to_bits(),
+            col_run.probability().to_bits(),
+            "map and columnar maintained runs diverged at |D| = {d}"
+        );
+        assert_eq!(
+            col_run.probability().to_bits(),
+            sh_run.probability().to_bits(),
+            "sequential and sharded maintained runs diverged at |D| = {d}"
+        );
+    }
+    let path = write_bench_summary("incremental_scaling", &entries).expect("summary written");
+    println!("summary: {path}");
+}
+
+criterion_group!(benches, bench_incremental, bench_incremental_summary);
+criterion_main!(benches);

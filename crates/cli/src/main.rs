@@ -69,6 +69,10 @@ fn usage() -> String {
      \x20 check   <query>                                  hierarchy analysis and elimination trace\n\
      \x20 count   --query <q> --db <file>                  bag-set value Q(D)\n\
      \x20 pqe     --query <q> --db <file> [--exact]        probabilistic query evaluation\n\
+     \x20         [--mode incremental --updates <file> [--batch N]]\n\
+     \x20                                                  maintain P(Q) under an update script\n\
+     \x20                                                  (one `R(..) [@ p]` per line; @ 0 deletes,\n\
+     \x20                                                  unseen facts insert; trajectory printed)\n\
      \x20 bsm     --query <q> --db <file> --repair <file> --theta <n> [--witness]\n\
      \x20 expected --query <q> --db <file>                 expected bag-set value E[Q(D)]\n\
      \x20 provenance --query <q> --db <file>               provenance tree of Q over D\n\
@@ -175,6 +179,17 @@ fn cmd_pqe(args: &Args) -> Result<String, String> {
         let p = weighted.get(&f).copied().unwrap_or(1.0);
         tid.push((f, p));
     }
+    match args.get("mode") {
+        Some("incremental") => {
+            return cmd_pqe_incremental(args, &q, &mut interner, &tid, backend, par);
+        }
+        Some(other) => return Err(format!("unknown mode '{other}' (expected 'incremental')")),
+        None => {
+            if args.get("updates").is_some() {
+                return Err("--updates requires --mode incremental".into());
+            }
+        }
+    }
     if args.flag("exact") {
         let exact: Vec<(Fact, Rational)> = tid
             .iter()
@@ -194,6 +209,90 @@ fn cmd_pqe(args: &Args) -> Result<String, String> {
             pqe::probability_par(backend, par, &q, &interner, &tid).map_err(|e| e.to_string())?;
         Ok(format!("P(Q) = {prob:.9}\n"))
     }
+}
+
+/// `hq pqe --mode incremental --updates FILE [--batch N]`: replays a
+/// newline-delimited update script — one `R(v1, …) [@ p]` per line, a
+/// missing weight meaning `1`, `@ 0` deleting, and facts the database
+/// never held inserting — against the maintained run, printing the
+/// probability trajectory. `--batch N` coalesces every `N` consecutive
+/// updates into one propagation pass.
+fn cmd_pqe_incremental(
+    args: &Args,
+    q: &Query,
+    interner: &mut Interner,
+    tid: &[(Fact, f64)],
+    backend: Backend,
+    par: Parallelism,
+) -> Result<String, String> {
+    let path = args.require("updates")?;
+    let batch_size: usize = match args.get("batch") {
+        Some(n) => n
+            .parse()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| "batch: expected a positive integer".to_string())?,
+        None => 1,
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut updates: Vec<(Fact, f64)> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = match raw.split_once('#') {
+            Some((before, _)) => before.trim(),
+            None => raw.trim(),
+        };
+        if line.is_empty() {
+            continue;
+        }
+        let (fact, weight) = hq_db::text::parse_fact_line(line, lineno + 1, interner)
+            .map_err(|e| format!("{path}: {e}"))?;
+        updates.push((fact, weight.unwrap_or(1.0)));
+    }
+    // The three maintained-run flavours share only their update loop;
+    // a tiny closure-based dispatch keeps the trajectory logic single.
+    enum Maintained {
+        Map(hq_unify::IncrementalPqe),
+        Columnar(hq_unify::IncrementalPqe<hq_unify::ColumnarRelation<f64>>),
+        Sharded(hq_unify::IncrementalPqe<hq_unify::ShardedColumnar<f64>>),
+    }
+    impl Maintained {
+        fn apply(&mut self, i: &Interner, batch: &[(Fact, f64)]) -> Result<f64, String> {
+            match self {
+                Maintained::Map(r) => r.update_batch(i, batch),
+                Maintained::Columnar(r) => r.update_batch(i, batch),
+                Maintained::Sharded(r) => r.update_batch(i, batch),
+            }
+            .map_err(|e| e.to_string())
+        }
+        fn probability(&self) -> f64 {
+            match self {
+                Maintained::Map(r) => r.probability(),
+                Maintained::Columnar(r) => r.probability(),
+                Maintained::Sharded(r) => r.probability(),
+            }
+        }
+    }
+    let mut run = match (backend, par.is_parallel()) {
+        (Backend::Map, _) => Maintained::Map(
+            hq_unify::IncrementalPqe::new(q, interner, tid).map_err(|e| e.to_string())?,
+        ),
+        (Backend::Columnar, false) => Maintained::Columnar(
+            hq_unify::IncrementalPqe::columnar(q, interner, tid).map_err(|e| e.to_string())?,
+        ),
+        (Backend::Columnar, true) => Maintained::Sharded(
+            hq_unify::IncrementalPqe::sharded(q, interner, tid, par).map_err(|e| e.to_string())?,
+        ),
+    };
+    let mut out = format!("P(Q) = {:.9}\n", run.probability());
+    for batch in updates.chunks(batch_size) {
+        let p = run.apply(interner, batch)?;
+        let label: Vec<String> = batch
+            .iter()
+            .map(|(f, w)| format!("{} @ {w}", f.display(interner)))
+            .collect();
+        out.push_str(&format!("{} -> P(Q) = {p:.9}\n", label.join(", ")));
+    }
+    Ok(out)
 }
 
 fn cmd_bsm(args: &Args) -> Result<String, String> {
@@ -506,6 +605,73 @@ mod tests {
             .unwrap();
             assert!(out.contains("budget θ=2: 4"), "{backend}: {out}");
         }
+    }
+
+    #[test]
+    fn pqe_incremental_mode_replays_updates() {
+        let db = write_temp("inc.facts", "E(1,2) @ 0.5\nF(2,3) @ 0.5\n");
+        // Update the E fact, delete the F fact, re-insert it, and
+        // insert a genuinely new chain (new domain values!).
+        let updates = write_temp(
+            "inc.updates",
+            "E(1,2) @ 0.9\n\
+             F(2,3) @ 0   # delete\n\
+             F(2,3) @ 0.5 # re-insert\n\
+             E(7,8) @ 0.5\n\
+             F(8,9) @ 0.5\n",
+        );
+        let base = &[
+            "pqe",
+            "--query",
+            "Q() :- E(X,Y), F(Y,Z)",
+            "--db",
+            &db,
+            "--mode",
+            "incremental",
+            "--updates",
+            &updates,
+        ];
+        let out = run_strs(base).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 6, "{out}");
+        assert!(lines[0].contains("P(Q) = 0.25"), "{out}");
+        assert!(lines[1].contains("E(1, 2) @ 0.9 -> P(Q) = 0.45"), "{out}");
+        assert!(lines[2].contains("P(Q) = 0.0"), "{out}");
+        assert!(lines[3].contains("P(Q) = 0.45"), "{out}");
+        // After both new facts land, the second chain adds
+        // 1 − (1 − 0.45)(1 − 0.25) = 0.5875.
+        assert!(lines[5].contains("P(Q) = 0.5875"), "{out}");
+        // The trajectory is identical on every backend and thread count.
+        for extra in [
+            vec!["--backend", "map"],
+            vec!["--backend", "columnar"],
+            vec!["--threads", "4"],
+        ] {
+            let mut args: Vec<&str> = base.to_vec();
+            args.extend(extra.iter());
+            assert_eq!(run_strs(&args).unwrap(), out, "{extra:?}");
+        }
+        // Batched replay: same final probability, fewer trajectory rows.
+        let mut args: Vec<&str> = base.to_vec();
+        args.extend(["--batch", "5"]);
+        let batched = run_strs(&args).unwrap();
+        assert_eq!(batched.lines().count(), 2, "{batched}");
+        assert!(batched.lines().last().unwrap().contains("P(Q) = 0.5875"));
+        // Malformed requests fail helpfully.
+        let mut args: Vec<&str> = base.to_vec();
+        args.extend(["--batch", "0"]);
+        assert!(run_strs(&args).unwrap_err().contains("batch"));
+        let err = run_strs(&[
+            "pqe",
+            "--query",
+            "Q() :- E(X,Y), F(Y,Z)",
+            "--db",
+            &db,
+            "--updates",
+            &updates,
+        ])
+        .unwrap_err();
+        assert!(err.contains("--mode incremental"), "{err}");
     }
 
     #[test]

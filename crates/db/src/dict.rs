@@ -14,7 +14,12 @@
 //! The dictionary is built **once per instance**: Algorithm 1 only
 //! projects and merges, so no new domain value ever appears after the
 //! initial annotation — the closed-dictionary assumption is an
-//! invariant of the engine, not a wish.
+//! invariant of the *batch* engine. The incremental maintainer can
+//! insert genuinely new facts, so [`ValueDict::extend_with`] produces
+//! an extended dictionary plus the old→new code translation; codes
+//! stay dense and value-ordered, at the price of renumbering (the
+//! caller remaps its matrices — an `O(rows)` cost paid only on
+//! novel-value inserts).
 
 use crate::tuple::Tuple;
 use crate::value::Value;
@@ -102,6 +107,49 @@ impl ValueDict {
         codes.iter().map(|&c| self.value(c)).collect()
     }
 
+    /// Builds a dictionary extended with `values` (novel ones spliced
+    /// in value order), plus the old→new code translation table
+    /// (`translation[old_code] == new_code`). Codes remain dense and
+    /// order-preserving, so code-wise comparison still equals
+    /// value-wise comparison after the extension.
+    ///
+    /// When every value is already present the result is an unchanged
+    /// clone and the translation is the identity.
+    ///
+    /// # Panics
+    /// Panics if the extended dictionary would exceed `u32::MAX` values.
+    pub fn extend_with(
+        &self,
+        values: impl IntoIterator<Item = Value>,
+    ) -> (ValueDict, Vec<RowCode>) {
+        let mut novel: Vec<Value> = values
+            .into_iter()
+            .filter(|v| self.code(*v).is_none())
+            .collect();
+        novel.sort_unstable();
+        novel.dedup();
+        if novel.is_empty() {
+            return (self.clone(), (0..self.sorted.len() as RowCode).collect());
+        }
+        let mut merged = Vec::with_capacity(self.sorted.len() + novel.len());
+        let mut translation = Vec::with_capacity(self.sorted.len());
+        let mut ni = 0;
+        for &v in &self.sorted {
+            while ni < novel.len() && novel[ni] < v {
+                merged.push(novel[ni]);
+                ni += 1;
+            }
+            assert!(
+                u32::try_from(merged.len()).is_ok(),
+                "value dictionary overflow"
+            );
+            translation.push(merged.len() as RowCode);
+            merged.push(v);
+        }
+        merged.extend_from_slice(&novel[ni..]);
+        (ValueDict::from_sorted(merged), translation)
+    }
+
     /// Number of distinct values.
     pub fn len(&self) -> usize {
         self.sorted.len()
@@ -154,6 +202,28 @@ mod tests {
         assert!(!d.encode_into(&Tuple::ints(&[1, 3]), &mut codes));
         assert_eq!(codes, vec![7u32], "partial encode must be rolled back");
         assert_eq!(d.code(Value::int(3)), None);
+    }
+
+    #[test]
+    fn extend_with_preserves_order_and_translates() {
+        let d = ValueDict::build([10, 30, 50].map(Value::int));
+        let (e, tr) = d.extend_with([20, 50, 60].map(Value::int));
+        assert_eq!(e.len(), 5); // 10, 20, 30, 50, 60
+                                // Old codes 0,1,2 (10,30,50) now sit at 0,2,3.
+        assert_eq!(tr, vec![0, 2, 3]);
+        for old in 0..d.len() as RowCode {
+            assert_eq!(e.value(tr[old as usize]), d.value(old));
+        }
+        // Order preservation across the whole extended table.
+        for a in 0..e.len() as RowCode {
+            for b in 0..e.len() as RowCode {
+                assert_eq!(a.cmp(&b), e.value(a).cmp(&e.value(b)));
+            }
+        }
+        // No novel values: identity translation, unchanged table.
+        let (same, id) = d.extend_with([10].map(Value::int));
+        assert_eq!(same, d);
+        assert_eq!(id, vec![0, 1, 2]);
     }
 
     #[test]

@@ -11,7 +11,10 @@
 //! budget unit), and everything else implicitly with `0`.
 
 use crate::engine::{evaluate_columnar_par, evaluate_on_par, EngineStats, UnifyError};
-use crate::storage::{Backend, Parallelism};
+use crate::incremental::{IncrementalError, IncrementalRun};
+use crate::storage::{
+    Backend, ColumnarRelation, MapRelation, Parallelism, ShardedColumnar, Storage,
+};
 use hq_db::{Database, Fact, Interner};
 use hq_monoid::{BagMaxMonoid, BudgetVec, TwoMonoid};
 use hq_query::Query;
@@ -183,6 +186,144 @@ where
             (Some(_), None) => self.base.next().map(|t| (t, self.one.clone())),
             (None, Some(_)) => self.repairs.next().map(|t| (t, self.star.clone())),
             (None, None) => None,
+        }
+    }
+}
+
+/// How a fact participates in a maintained Bag-Set Maximization
+/// instance — the three ψ-encoding classes of Definition 5.10.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PsiClass {
+    /// The fact is in `D`: annotation `1̄` (multiplicity 1 for free).
+    Base,
+    /// The fact is a repair candidate in `D_r \ D`: annotation `★`
+    /// (multiplicity 1 after paying one budget unit).
+    Repair,
+    /// The fact is in neither database: annotation `0` (absent).
+    Absent,
+}
+
+/// An incrementally-maintained Bag-Set Maximization instance: build
+/// the ψ-annotated pipeline once for `(Q, D, D_r, θ)`, then move facts
+/// between `D`, `D_r` and absence ([`IncrementalBsm::set_fact`]) in
+/// time proportional to the dirty groups touched. The maintained
+/// budget curve stays identical to a fresh [`maximize`] run of the
+/// current state. The budget `θ` is fixed at construction (it sizes
+/// the monoid's truncated vectors).
+pub struct IncrementalBsm<R: Storage<Ann = BudgetVec> = MapRelation<BudgetVec>> {
+    monoid: BagMaxMonoid,
+    run: IncrementalRun<BagMaxMonoid, R>,
+}
+
+impl IncrementalBsm<MapRelation<BudgetVec>> {
+    /// Builds the maintained instance on the ordered-map backend.
+    ///
+    /// # Errors
+    /// Rejects non-hierarchical queries and schema mismatches.
+    pub fn new(
+        q: &Query,
+        interner: &Interner,
+        d: &Database,
+        d_r: &Database,
+        theta: usize,
+    ) -> Result<Self, IncrementalError> {
+        let monoid = BagMaxMonoid::new(theta);
+        let facts = psi_encoding(&monoid, d, d_r);
+        let run = IncrementalRun::with_storage(monoid, q, interner, facts)?;
+        Ok(IncrementalBsm { monoid, run })
+    }
+}
+
+impl IncrementalBsm<ColumnarRelation<BudgetVec>> {
+    /// Builds the maintained instance on the columnar backend.
+    ///
+    /// # Errors
+    /// Rejects non-hierarchical queries and schema mismatches.
+    pub fn columnar(
+        q: &Query,
+        interner: &Interner,
+        d: &Database,
+        d_r: &Database,
+        theta: usize,
+    ) -> Result<Self, IncrementalError> {
+        let monoid = BagMaxMonoid::new(theta);
+        let facts = psi_encoding(&monoid, d, d_r);
+        let run = IncrementalRun::with_storage(monoid, q, interner, facts)?;
+        Ok(IncrementalBsm { monoid, run })
+    }
+}
+
+impl IncrementalBsm<ShardedColumnar<BudgetVec>> {
+    /// Builds the maintained instance on the sharded columnar backend
+    /// at the given [`Parallelism`] degree.
+    ///
+    /// # Errors
+    /// Rejects non-hierarchical queries and schema mismatches.
+    pub fn sharded(
+        q: &Query,
+        interner: &Interner,
+        d: &Database,
+        d_r: &Database,
+        theta: usize,
+        par: Parallelism,
+    ) -> Result<Self, IncrementalError> {
+        let monoid = BagMaxMonoid::new(theta);
+        let facts = psi_encoding(&monoid, d, d_r);
+        let run = IncrementalRun::with_parallelism(monoid, q, interner, facts, par)?;
+        Ok(IncrementalBsm { monoid, run })
+    }
+}
+
+impl<R: Storage<Ann = BudgetVec>> IncrementalBsm<R> {
+    /// The current budget curve: `curve().get(i)` is the best
+    /// achievable `Q(D')` with ≤ `i` added facts.
+    pub fn curve(&self) -> &BudgetVec {
+        self.run.result()
+    }
+
+    /// Re-classifies one fact (ψ-annotation `1̄`, `★` or `0`) and
+    /// returns the new budget curve. Unseen facts over query relations
+    /// are admitted on the fly.
+    ///
+    /// # Errors
+    /// Rejects facts over relations the query does not mention.
+    pub fn set_fact(
+        &mut self,
+        interner: &Interner,
+        fact: &Fact,
+        class: PsiClass,
+    ) -> Result<&BudgetVec, IncrementalError> {
+        let ann = self.psi(class);
+        self.run.update(interner, fact, ann)
+    }
+
+    /// Re-classifies a batch of facts in one propagation pass (later
+    /// entries for the same fact win) and returns the new curve.
+    ///
+    /// # Errors
+    /// See [`IncrementalBsm::set_fact`]; all-or-nothing on rejection.
+    pub fn set_batch(
+        &mut self,
+        interner: &Interner,
+        changes: &[(Fact, PsiClass)],
+    ) -> Result<&BudgetVec, IncrementalError> {
+        let batch: Vec<(Fact, BudgetVec)> = changes
+            .iter()
+            .map(|(f, c)| (f.clone(), self.psi(*c)))
+            .collect();
+        self.run.update_batch(interner, &batch)
+    }
+
+    /// The underlying maintained run (work accounting, replayed stats).
+    pub fn run(&self) -> &IncrementalRun<BagMaxMonoid, R> {
+        &self.run
+    }
+
+    fn psi(&self, class: PsiClass) -> BudgetVec {
+        match class {
+            PsiClass::Base => self.monoid.one(),
+            PsiClass::Repair => self.monoid.star(),
+            PsiClass::Absent => self.monoid.zero(),
         }
     }
 }
@@ -451,6 +592,52 @@ mod tests {
         assert_eq!(names.len(), 2);
         assert!(names.iter().any(|n| n.starts_with("R(1, ")), "{names:?}");
         assert!(names.iter().any(|n| n.starts_with("T(1, ")), "{names:?}");
+    }
+
+    #[test]
+    fn incremental_bsm_tracks_fresh_maximize() {
+        let (d, d_r, i) = fig1();
+        let q = example_query();
+        let mut inc = IncrementalBsm::new(&q, &i, &d, &d_r, 2).unwrap();
+        assert_eq!(inc.curve(), &maximize(&q, &i, &d, &d_r, 2).unwrap().curve);
+        // Promote a repair candidate into the base database: the curve
+        // must match a fresh run over the moved fact.
+        let bought = Tuple::ints(&[1, 6]);
+        let r = i.get("R").unwrap();
+        let fact = Fact::new(r, bought.clone());
+        inc.set_fact(&i, &fact, PsiClass::Base).unwrap();
+        let mut d2 = d.clone();
+        d2.insert(fact.clone());
+        assert_eq!(inc.curve(), &maximize(&q, &i, &d2, &d_r, 2).unwrap().curve);
+        // Retract it entirely; D_r loses the candidate.
+        inc.set_fact(&i, &fact, PsiClass::Absent).unwrap();
+        let mut dr2 = Database::new();
+        for f in d_r.facts() {
+            if f != fact {
+                dr2.insert(f);
+            }
+        }
+        assert_eq!(inc.curve(), &maximize(&q, &i, &d, &dr2, 2).unwrap().curve);
+        // A batched reclassification equals the serial one, and the
+        // columnar/sharded wrappers agree with the map wrapper.
+        let t = i.get("T").unwrap();
+        let batch = vec![
+            (fact.clone(), PsiClass::Repair),
+            (Fact::new(t, Tuple::ints(&[1, 2, 9])), PsiClass::Base),
+        ];
+        let mut col = IncrementalBsm::columnar(&q, &i, &d, &dr2, 2).unwrap();
+        let mut sh = IncrementalBsm::sharded(
+            &q,
+            &i,
+            &d,
+            &dr2,
+            2,
+            crate::storage::Parallelism::fine_grained(2),
+        )
+        .unwrap();
+        let want = inc.set_batch(&i, &batch).unwrap().clone();
+        assert_eq!(col.set_batch(&i, &batch).unwrap(), &want);
+        assert_eq!(sh.set_batch(&i, &batch).unwrap(), &want);
     }
 
     #[test]

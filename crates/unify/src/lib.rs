@@ -64,6 +64,17 @@
 //! queries over one database skip re-encoding entirely; see
 //! [`evaluate_encoded`].
 //!
+//! ## Incremental serving
+//!
+//! [`IncrementalRun`] maintains a materialised pipeline under
+//! annotation updates, batched updates and dynamic fact inserts,
+//! refolding dirty groups through the delta-indexed
+//! [`storage::Storage::group_rows`] lookup in time proportional to the
+//! dirty set — bit-identical to fresh evaluation on every backend and
+//! thread count. Typed front-ends: [`pqe::IncrementalPqe`],
+//! [`bsm::IncrementalBsm`], [`shapley::IncrementalSatCounts`]; the CLI
+//! exposes `--mode incremental --updates FILE`.
+//!
 //! ```
 //! use hq_db::{db_from_ints};
 //! use hq_query::parse_query;
@@ -110,14 +121,18 @@ pub mod storage;
 pub use annotated::{
     annotate, annotate_columnar, annotate_with, AnnotateError, AnnotatedDb, AnnotatedRelation,
 };
-pub use bsm::{maximize, maximize_with_repair, BsmRepairSolution, BsmSolution};
+pub use bsm::{
+    maximize, maximize_with_repair, BsmRepairSolution, BsmSolution, IncrementalBsm, PsiClass,
+};
 pub use engine::{
     evaluate, evaluate_encoded, evaluate_on, evaluate_on_par, run_plan, EngineStats, UnifyError,
 };
-pub use incremental::{IncrementalError, IncrementalRun};
-pub use pqe::{expected_count, probability, probability_exact, PqeError};
+pub use incremental::{IncrementalError, IncrementalRun, UpdateStats};
+pub use pqe::{expected_count, probability, probability_exact, IncrementalPqe, PqeError};
 pub use provenance::{provenance_tree, Provenance};
-pub use shapley::{sat_counts, shapley_value, shapley_values, ShapleyError};
+pub use shapley::{
+    sat_counts, shapley_value, shapley_values, FactRole, IncrementalSatCounts, ShapleyError,
+};
 pub use storage::{
     Backend, ColumnarRelation, EncodedDb, MapRelation, Parallelism, ShardedColumnar, Storage,
 };

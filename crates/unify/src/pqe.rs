@@ -7,7 +7,10 @@
 //! exactly to the Dalvi–Suciu algorithm.
 
 use crate::engine::{evaluate_columnar_par, evaluate_on_par, EngineStats, UnifyError};
-use crate::storage::{Backend, Parallelism};
+use crate::incremental::{IncrementalError, IncrementalRun};
+use crate::storage::{
+    Backend, ColumnarRelation, MapRelation, Parallelism, ShardedColumnar, Storage,
+};
 use hq_arith::Rational;
 use hq_db::{Fact, Interner};
 use hq_monoid::{ExactProbMonoid, ProbMonoid};
@@ -24,6 +27,8 @@ pub enum PqeError {
     },
     /// Planning or annotation failed.
     Unify(UnifyError),
+    /// An incremental update was rejected.
+    Incremental(IncrementalError),
 }
 
 impl fmt::Display for PqeError {
@@ -33,6 +38,7 @@ impl fmt::Display for PqeError {
                 write!(f, "probability {value} outside [0, 1]")
             }
             PqeError::Unify(e) => write!(f, "{e}"),
+            PqeError::Incremental(e) => write!(f, "{e}"),
         }
     }
 }
@@ -42,6 +48,12 @@ impl std::error::Error for PqeError {}
 impl From<UnifyError> for PqeError {
     fn from(e: UnifyError) -> Self {
         PqeError::Unify(e)
+    }
+}
+
+impl From<IncrementalError> for PqeError {
+    fn from(e: IncrementalError) -> Self {
+        PqeError::Incremental(e)
     }
 }
 
@@ -289,6 +301,111 @@ pub fn expected_count_par(
     Ok(e)
 }
 
+fn validate(tid: &[(Fact, f64)]) -> Result<(), PqeError> {
+    for &(_, p) in tid {
+        if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+            return Err(PqeError::InvalidProbability { value: p });
+        }
+    }
+    Ok(())
+}
+
+/// An incrementally-maintained PQE instance: build once over a
+/// tuple-independent database, then stream probability updates,
+/// deletions (probability `0`) and genuinely new facts, each served in
+/// time proportional to the dirty groups it touches — not `|D|`.
+/// The maintained probability stays **bit-identical** to a fresh
+/// [`probability`] evaluation of the current state, on every backend.
+pub struct IncrementalPqe<R: Storage<Ann = f64> = MapRelation<f64>> {
+    run: IncrementalRun<ProbMonoid, R>,
+}
+
+impl IncrementalPqe<MapRelation<f64>> {
+    /// Builds the maintained instance on the ordered-map backend (the
+    /// point-update oracle).
+    ///
+    /// # Errors
+    /// Rejects non-hierarchical queries, schema mismatches, and
+    /// probabilities outside `[0, 1]`.
+    pub fn new(q: &Query, interner: &Interner, tid: &[(Fact, f64)]) -> Result<Self, PqeError> {
+        validate(tid)?;
+        let run = IncrementalRun::with_storage(ProbMonoid, q, interner, tid.iter().cloned())?;
+        Ok(IncrementalPqe { run })
+    }
+}
+
+impl IncrementalPqe<ColumnarRelation<f64>> {
+    /// Builds the maintained instance on the columnar backend.
+    ///
+    /// # Errors
+    /// See [`IncrementalPqe::new`].
+    pub fn columnar(q: &Query, interner: &Interner, tid: &[(Fact, f64)]) -> Result<Self, PqeError> {
+        validate(tid)?;
+        let run = IncrementalRun::with_storage(ProbMonoid, q, interner, tid.iter().cloned())?;
+        Ok(IncrementalPqe { run })
+    }
+}
+
+impl IncrementalPqe<ShardedColumnar<f64>> {
+    /// Builds the maintained instance on the sharded columnar backend:
+    /// the initial materialisation runs shard-parallel at the given
+    /// [`Parallelism`] degree; results stay bit-identical.
+    ///
+    /// # Errors
+    /// See [`IncrementalPqe::new`].
+    pub fn sharded(
+        q: &Query,
+        interner: &Interner,
+        tid: &[(Fact, f64)],
+        par: Parallelism,
+    ) -> Result<Self, PqeError> {
+        validate(tid)?;
+        let run =
+            IncrementalRun::with_parallelism(ProbMonoid, q, interner, tid.iter().cloned(), par)?;
+        Ok(IncrementalPqe { run })
+    }
+}
+
+impl<R: Storage<Ann = f64>> IncrementalPqe<R> {
+    /// The current `P(Q = true)`.
+    pub fn probability(&self) -> f64 {
+        *self.run.result()
+    }
+
+    /// Updates one fact's probability (`0` deletes; unseen facts over
+    /// query relations are admitted) and returns the new probability.
+    ///
+    /// # Errors
+    /// Rejects probabilities outside `[0, 1]` and facts over relations
+    /// the query does not mention.
+    pub fn update(&mut self, interner: &Interner, fact: &Fact, p: f64) -> Result<f64, PqeError> {
+        if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+            return Err(PqeError::InvalidProbability { value: p });
+        }
+        Ok(*self.run.update(interner, fact, p)?)
+    }
+
+    /// Applies a batch of probability updates in one propagation pass
+    /// (later entries for the same fact win) and returns the new
+    /// probability.
+    ///
+    /// # Errors
+    /// See [`IncrementalPqe::update`]; all-or-nothing on rejection.
+    pub fn update_batch(
+        &mut self,
+        interner: &Interner,
+        updates: &[(Fact, f64)],
+    ) -> Result<f64, PqeError> {
+        validate(updates)?;
+        Ok(*self.run.update_batch(interner, updates)?)
+    }
+
+    /// The underlying maintained run (work accounting, replayed stats).
+    pub fn run(&self) -> &IncrementalRun<ProbMonoid, R> {
+        &self.run
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -406,6 +523,35 @@ mod tests {
         let pattern = q.to_pattern(&mut i);
         let exact = hq_db::count_matches(&db, &pattern).unwrap();
         assert!((e - exact as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn incremental_pqe_tracks_fresh_evaluation() {
+        let q = q_hierarchical();
+        let (db, i) = db_from_ints(&[
+            ("E", &[&[1, 2], &[1, 3], &[4, 3]]),
+            ("F", &[&[2, 9], &[3, 8], &[3, 9]]),
+        ]);
+        let tid = tid_uniform(&db, 0.5);
+        let mut map = IncrementalPqe::new(&q, &i, &tid).unwrap();
+        let mut col = IncrementalPqe::columnar(&q, &i, &tid).unwrap();
+        let mut sh = IncrementalPqe::sharded(&q, &i, &tid, Parallelism::fine_grained(3)).unwrap();
+        let mut current = tid.clone();
+        current[0].1 = 0.8;
+        current[3].1 = 0.1;
+        let batch = vec![(current[0].0.clone(), 0.8), (current[3].0.clone(), 0.1)];
+        let fresh = probability(&q, &i, &current).unwrap();
+        for p in [
+            map.update_batch(&i, &batch).unwrap(),
+            col.update_batch(&i, &batch).unwrap(),
+            sh.update_batch(&i, &batch).unwrap(),
+        ] {
+            assert_eq!(p.to_bits(), fresh.to_bits());
+        }
+        // Invalid probabilities are rejected before any state changes.
+        let before = map.probability();
+        assert!(map.update(&i, &tid[0].0, 1.5).is_err());
+        assert_eq!(map.probability().to_bits(), before.to_bits());
     }
 
     #[test]

@@ -386,12 +386,25 @@ impl<K: Clone + PartialEq + std::fmt::Debug + Send + Sync> Storage for ColumnarR
     fn set(&mut self, key: &Tuple, value: Option<K>) {
         let mut codes = Vec::with_capacity(self.width);
         if !self.dict.encode_into(key, &mut codes) {
-            assert!(
-                value.is_none(),
-                "cannot insert a key outside the instance dictionary \
-                 (the incremental active domain is fixed at construction)"
-            );
-            return; // deleting a key that cannot exist: no-op
+            if value.is_none() {
+                return; // deleting a key that cannot exist: no-op
+            }
+            // A genuinely new domain value. Codes are assigned in value
+            // order (load-bearing: code-wise comparison must equal
+            // value-wise comparison so fold sequences match the batch
+            // engine bit for bit), so admitting the value renumbers:
+            // extend the dictionary and remap this relation's matrix
+            // through the old→new translation. `O(len · width)`, the
+            // same order as the splice below, and paid only on
+            // novel-value inserts.
+            let (dict, translation) = self.dict.extend_with(key.values().iter().copied());
+            for c in &mut self.keys {
+                *c = translation[*c as usize];
+            }
+            self.dict = Arc::new(dict);
+            codes.clear();
+            let admitted = self.dict.encode_into(key, &mut codes);
+            debug_assert!(admitted, "extended dictionary must cover the key");
         }
         match (self.find(&codes), value) {
             (Ok(i), Some(v)) => self.anns[i] = v,
@@ -409,6 +422,36 @@ impl<K: Clone + PartialEq + std::fmt::Debug + Send + Sync> Storage for ColumnarR
             }
             (Err(_), None) => {}
         }
+    }
+
+    fn group_rows(&self, keep: &[usize], group: &Tuple) -> Vec<K> {
+        debug_assert_eq!(keep.len(), group.arity());
+        debug_assert!(keep.windows(2).all(|w| w[0] < w[1]));
+        let mut codes = Vec::with_capacity(group.arity());
+        if !self.dict.encode_into(group, &mut codes) {
+            return Vec::new(); // a value outside the dictionary cannot be stored
+        }
+        // The leading literal run of `keep` is a sort-key prefix: its
+        // row range is found by binary search (the group-offset index
+        // is the sorted matrix itself), and only that range is scanned
+        // for the remaining column constraints. When the projection
+        // drops the last column the range *is* the group.
+        let lead = keep
+            .iter()
+            .enumerate()
+            .take_while(|&(i, &p)| i == p)
+            .count();
+        let (lo, hi) = self.prefix_range(&codes[..lead]);
+        (lo..hi)
+            .filter(|&i| {
+                let row = self.row(i);
+                keep[lead..]
+                    .iter()
+                    .zip(&codes[lead..])
+                    .all(|(&p, &c)| row[p] == c)
+            })
+            .map(|i| self.anns[i].clone())
+            .collect()
     }
 }
 
@@ -624,6 +667,37 @@ where
 }
 
 impl<K> ColumnarRelation<K> {
+    /// The contiguous row range whose leading columns equal `prefix`
+    /// (two binary searches over the sorted matrix — the group-offset
+    /// lookup of the incremental refold path). The empty prefix spans
+    /// every row.
+    fn prefix_range(&self, prefix: &[RowCode]) -> (usize, usize) {
+        let w = self.width;
+        if prefix.is_empty() || w == 0 {
+            return (0, self.len);
+        }
+        debug_assert!(prefix.len() <= w);
+        let bound = |strict: bool| -> usize {
+            let (mut lo, mut hi) = (0usize, self.len);
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                let cell = &self.keys[mid * w..mid * w + prefix.len()];
+                let below = if strict {
+                    cell <= prefix
+                } else {
+                    cell < prefix
+                };
+                if below {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            lo
+        };
+        (bound(false), bound(true))
+    }
+
     /// Binary search for a code row: `Ok(row)` if present, `Err(row)`
     /// with the insertion position otherwise.
     fn find(&self, codes: &[RowCode]) -> Result<usize, usize> {

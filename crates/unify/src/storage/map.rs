@@ -186,6 +186,32 @@ impl<K: Clone + PartialEq + std::fmt::Debug + Send + Sync> Storage for MapRelati
             }
         }
     }
+
+    fn group_rows(&self, keep: &[usize], group: &Tuple) -> Vec<K> {
+        debug_assert_eq!(keep.len(), group.arity());
+        debug_assert!(keep.windows(2).all(|w| w[0] < w[1]));
+        // The leading literal run of `keep` is a key prefix, so the
+        // ordered map serves it as a range query: a shorter tuple
+        // sorts immediately before all of its extensions, making the
+        // prefix itself the range's start bound.
+        let lead = keep
+            .iter()
+            .enumerate()
+            .take_while(|&(i, &p)| i == p)
+            .count();
+        let prefix = Tuple::from(group.values()[..lead].to_vec());
+        self.map
+            .range(prefix..)
+            .take_while(|(t, _)| t.values()[..lead] == group.values()[..lead])
+            .filter(|(t, _)| {
+                keep[lead..]
+                    .iter()
+                    .zip(&group.values()[lead..])
+                    .all(|(&p, v)| t.get(p) == *v)
+            })
+            .map(|(_, k)| k.clone())
+            .collect()
+    }
 }
 
 #[cfg(test)]

@@ -278,8 +278,32 @@ pub trait Storage: Clone + fmt::Debug + Sized {
     fn get(&self, key: &Tuple) -> Option<Self::Ann>;
 
     /// Point write: `Some(v)` inserts/overwrites, `None` deletes.
-    /// Used by the incremental maintainer over a fixed active domain.
+    /// Used by the incremental maintainer; backends admit keys with
+    /// genuinely new domain values (the columnar layout extends its
+    /// dictionary and renumbers, keeping codes value-ordered).
     fn set(&mut self, key: &Tuple, value: Option<Self::Ann>);
+
+    /// Group-range access for the incremental maintainer's dirty
+    /// refolds: the annotations of every row whose projection onto the
+    /// (strictly ascending) column positions `keep` equals `group`, in
+    /// ascending full-key order — **exactly** the ⊕-fold sequence the
+    /// batch Rule 1 applies within that group, so a refold from this
+    /// iterator reproduces the batch result bit for bit.
+    ///
+    /// Backends resolve the *leading literal run* of `keep` (the
+    /// positions `i` with `keep[i] == i`) with an `O(log n)` range
+    /// lookup — a `BTreeMap` range query on the ordered-map oracle, a
+    /// binary search over the sorted code matrix on the columnar
+    /// layouts — and scan only inside that range. When the projected
+    /// column is the least-significant sort key (`keep` is a literal
+    /// prefix — the contiguous case) the cost is `O(log n + |group|)`;
+    /// a dropped leading column degrades gracefully to a filtered scan
+    /// of the rows sharing the remaining literal prefix.
+    ///
+    /// Only the annotations are returned: the group key is the
+    /// caller's own input and the full keys are irrelevant to the
+    /// ⊕-fold.
+    fn group_rows(&self, keep: &[usize], group: &Tuple) -> Vec<Self::Ann>;
 }
 
 #[cfg(test)]
@@ -358,6 +382,74 @@ mod tests {
         // Counting is annihilating: only the both-sided row costs a ⊗.
         assert_eq!(sm.mul_ops, 1);
         assert_eq!(mm.rows(), vec![(Tuple::ints(&[2]), 15u64)]);
+    }
+
+    #[test]
+    fn group_rows_agrees_across_backends_and_scans() {
+        // Rows over (v0, v1, v2); groups taken along every projected
+        // column, including the non-contiguous (dropped-leading-column)
+        // cases, must match a brute-force filter on both backends.
+        let rows = rows_u64(&[
+            (&[1, 10, 5], 2),
+            (&[1, 10, 7], 3),
+            (&[1, 20, 5], 5),
+            (&[2, 10, 5], 7),
+            (&[2, 20, 7], 11),
+            (&[3, 10, 7], 13),
+        ]);
+        let (m, c) = both(&[0, 1, 2], rows.clone());
+        for pos in 0..3usize {
+            let keep: Vec<usize> = (0..3).filter(|&i| i != pos).collect();
+            let groups: std::collections::BTreeSet<Tuple> =
+                rows.iter().map(|(t, _)| t.project(&keep)).collect();
+            for g in groups {
+                let brute: Vec<u64> = rows
+                    .iter()
+                    .filter(|(t, _)| t.project(&keep) == g)
+                    .map(|&(_, k)| k)
+                    .collect();
+                assert_eq!(m.group_rows(&keep, &g), brute, "map pos {pos} group {g:?}");
+                assert_eq!(
+                    c.group_rows(&keep, &g),
+                    brute,
+                    "columnar pos {pos} group {g:?}"
+                );
+            }
+            // A group that cannot exist (value outside the instance).
+            let absent = Tuple::ints(&[99, 99]);
+            assert!(m.group_rows(&keep, &absent).is_empty());
+            assert!(c.group_rows(&keep, &absent).is_empty());
+        }
+        // Nullary grouping (projecting a unary relation away): every
+        // row belongs to the single empty group.
+        let (m1, c1) = both(&[4], rows_u64(&[(&[3], 1), (&[1], 2), (&[2], 4)]));
+        assert_eq!(m1.group_rows(&[], &Tuple::empty()), vec![2, 4, 1]);
+        assert_eq!(c1.group_rows(&[], &Tuple::empty()), vec![2, 4, 1]);
+    }
+
+    #[test]
+    fn set_admits_novel_values_identically() {
+        // Inserting a key whose values are outside the build-time
+        // dictionary must work on every backend and leave the rows
+        // (and their order) identical.
+        let rows: Vec<(Tuple, u64)> = rows_u64(&[(&[2, 5], 1), (&[4, 5], 2)]);
+        let (mut m, mut c) = both(&[0, 1], rows);
+        for key in [
+            Tuple::ints(&[3, 9]),  // one novel value between existing ones
+            Tuple::ints(&[0, 5]),  // novel value below the range
+            Tuple::ints(&[7, 11]), // novel values above the range
+        ] {
+            m.set(&key, Some(42));
+            c.set(&key, Some(42));
+            assert_eq!(m.rows(), c.rows(), "after inserting {key:?}");
+            assert_eq!(m.get(&key), Some(42));
+            assert_eq!(c.get(&key), Some(42));
+        }
+        assert_eq!(c.support_size(), 5);
+        // group_rows still answers correctly through the extended
+        // dictionary.
+        assert_eq!(m.group_rows(&[0], &Tuple::ints(&[3])), vec![42]);
+        assert_eq!(c.group_rows(&[0], &Tuple::ints(&[3])), vec![42]);
     }
 
     #[test]

@@ -382,6 +382,17 @@ impl<K: Clone + PartialEq + fmt::Debug + Send + Sync> Storage for ShardedColumna
     fn set(&mut self, key: &Tuple, value: Option<K>) {
         self.inner.set(key, value);
     }
+
+    fn group_rows(&self, keep: &[usize], group: &Tuple) -> Vec<K> {
+        // The gather is a binary-searched slice of the shared sorted
+        // matrix (the same boundary structure the shard cuts use), and
+        // the ⊕-fold a single group feeds must stay *sequential*: the
+        // determinism guarantee fixes the fold sequence, so splitting
+        // one group across workers would change the ⊕ association
+        // order and op counts. Dirty refolds therefore run on the
+        // sequential kernel regardless of the parallelism degree.
+        self.inner.group_rows(keep, group)
+    }
 }
 
 #[cfg(test)]
