@@ -137,6 +137,48 @@ fn bench_incremental_summary(_c: &mut Criterion) {
             }
             entries.extend(sweep);
         }
+        // Insert-heavy batches with novel domain values: the
+        // batch-level dictionary extension must pay at most one
+        // extension per live relation per batch, strictly beating the
+        // per-update serial path (ROADMAP PR 3 follow-up b; asserted,
+        // not just timed).
+        {
+            let batch: Vec<(Fact, f64)> = (0..64)
+                .map(|k| {
+                    let (f, _) = &w.tid[k % w.tid.len()];
+                    let novel = 1_000_000 + (n as i64) * 10 + k as i64;
+                    (
+                        Fact::new(f.rel, hq_db::Tuple::ints(&[novel, novel + 1])),
+                        0.4,
+                    )
+                })
+                .collect();
+            let mut batched = IncrementalPqe::columnar(&w.query, &w.interner, &w.tid).unwrap();
+            batched.update_batch(&w.interner, &batch).unwrap();
+            let batched_ext = batched.run().last_update_stats().dict_extensions;
+            let mut serial = IncrementalPqe::columnar(&w.query, &w.interner, &w.tid).unwrap();
+            let mut serial_ext = 0usize;
+            for (f, p) in &batch {
+                serial.update(&w.interner, f, *p).unwrap();
+                serial_ext += serial.run().last_update_stats().dict_extensions;
+            }
+            assert!(
+                batched_ext < serial_ext,
+                "batch-level dictionary extension must beat per-set extension \
+                 at |D| = {d}: {batched_ext} vs {serial_ext}"
+            );
+            assert_eq!(
+                batched.probability().to_bits(),
+                serial.probability().to_bits(),
+                "amortised extension changed the result at |D| = {d}"
+            );
+            println!(
+                "novel-value batch of {}: {} dictionary extensions batched vs {} serial",
+                batch.len(),
+                batched_ext,
+                serial_ext
+            );
+        }
         // Baseline: a fresh full evaluation per update.
         entries.extend(thread_sweep(&format!("fresh_eval_{d}"), &[1], 5, |_| {
             pqe::probability_on(Backend::Columnar, &w.query, &w.interner, &w.tid).unwrap()

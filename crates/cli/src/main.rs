@@ -73,6 +73,10 @@ fn usage() -> String {
      \x20                                                  maintain P(Q) under an update script\n\
      \x20                                                  (one `R(..) [@ p]` per line; @ 0 deletes,\n\
      \x20                                                  unseen facts insert; trajectory printed)\n\
+     \x20         [--mode serve --script <file>]           multi-query serving session: a mixed\n\
+     \x20                                                  script of `? <query>` lines and fact\n\
+     \x20                                                  updates; overlapping queries share\n\
+     \x20                                                  cached sub-plans across updates\n\
      \x20 bsm     --query <q> --db <file> --repair <file> --theta <n> [--witness]\n\
      \x20 expected --query <q> --db <file>                 expected bag-set value E[Q(D)]\n\
      \x20 provenance --query <q> --db <file>               provenance tree of Q over D\n\
@@ -112,6 +116,34 @@ fn load_db(path: &str, interner: &mut Interner) -> Result<(Database, Vec<(Fact, 
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let parsed = parse_database(&text, interner).map_err(|e| format!("{path}: {e}"))?;
     Ok((parsed.database, parsed.weights))
+}
+
+/// One script line with `#` comments stripped, or `None` when nothing
+/// remains — the shared line discipline of the incremental and serve
+/// script readers.
+fn script_line(raw: &str) -> Option<&str> {
+    let line = match raw.split_once('#') {
+        Some((before, _)) => before.trim(),
+        None => raw.trim(),
+    };
+    if line.is_empty() {
+        None
+    } else {
+        Some(line)
+    }
+}
+
+/// Parses one `R(v1, …) [@ p]` update line (missing weight means `1`),
+/// with the shared error formatting of both script modes.
+fn parse_update_line(
+    line: &str,
+    lineno: usize,
+    path: &str,
+    interner: &mut Interner,
+) -> Result<(Fact, f64), String> {
+    let (fact, weight) = hq_db::text::parse_fact_line(line, lineno + 1, interner)
+        .map_err(|e| format!("{path}: {e}"))?;
+    Ok((fact, weight.unwrap_or(1.0)))
 }
 
 fn cmd_check(rest: &[String]) -> Result<String, String> {
@@ -166,7 +198,6 @@ fn cmd_count(args: &Args) -> Result<String, String> {
 }
 
 fn cmd_pqe(args: &Args) -> Result<String, String> {
-    let q = parse_query_arg(args.require("query")?)?;
     let backend = backend_arg(args)?;
     let par = threads_arg(args)?;
     let mut interner = Interner::new();
@@ -181,15 +212,28 @@ fn cmd_pqe(args: &Args) -> Result<String, String> {
     }
     match args.get("mode") {
         Some("incremental") => {
+            let q = parse_query_arg(args.require("query")?)?;
             return cmd_pqe_incremental(args, &q, &mut interner, &tid, backend, par);
         }
-        Some(other) => return Err(format!("unknown mode '{other}' (expected 'incremental')")),
+        // Serve mode takes its queries from the script, not --query.
+        Some("serve") => {
+            return cmd_pqe_serve(args, &mut interner, &tid, backend, par);
+        }
+        Some(other) => {
+            return Err(format!(
+                "unknown mode '{other}' (expected 'incremental' or 'serve')"
+            ))
+        }
         None => {
             if args.get("updates").is_some() {
                 return Err("--updates requires --mode incremental".into());
             }
+            if args.get("script").is_some() {
+                return Err("--script requires --mode serve".into());
+            }
         }
     }
+    let q = parse_query_arg(args.require("query")?)?;
     if args.flag("exact") {
         let exact: Vec<(Fact, Rational)> = tid
             .iter()
@@ -237,16 +281,10 @@ fn cmd_pqe_incremental(
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let mut updates: Vec<(Fact, f64)> = Vec::new();
     for (lineno, raw) in text.lines().enumerate() {
-        let line = match raw.split_once('#') {
-            Some((before, _)) => before.trim(),
-            None => raw.trim(),
-        };
-        if line.is_empty() {
+        let Some(line) = script_line(raw) else {
             continue;
-        }
-        let (fact, weight) = hq_db::text::parse_fact_line(line, lineno + 1, interner)
-            .map_err(|e| format!("{path}: {e}"))?;
-        updates.push((fact, weight.unwrap_or(1.0)));
+        };
+        updates.push(parse_update_line(line, lineno, path, interner)?);
     }
     // The three maintained-run flavours share only their update loop;
     // a tiny closure-based dispatch keeps the trajectory logic single.
@@ -292,6 +330,137 @@ fn cmd_pqe_incremental(
             .collect();
         out.push_str(&format!("{} -> P(Q) = {p:.9}\n", label.join(", ")));
     }
+    Ok(out)
+}
+
+/// `hq pqe --mode serve --script FILE`: replays a newline-delimited
+/// **mixed** query/update script against one multi-query serving
+/// session. Lines starting with `?` are queries (`? Q() :- E(X,Y)`),
+/// anything else is a fact update (`R(v1, …) [@ p]`; a missing weight
+/// means `1`, `@ 0` deletes, unseen facts insert); `#` comments and
+/// blank lines are skipped. Consecutive updates coalesce into one
+/// batched cache-repair pass. Queries share every common sub-plan
+/// through the session's plan cache — the trailer reports how many
+/// monoid operations the sharing actually executed versus the
+/// independent-evaluation total the reported stats replay.
+fn cmd_pqe_serve(
+    args: &Args,
+    interner: &mut Interner,
+    tid: &[(Fact, f64)],
+    backend: Backend,
+    par: Parallelism,
+) -> Result<String, String> {
+    use hq_unify::pqe::PqeSession;
+    let path = args.require("script")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    enum Line {
+        Query(hq_query::Query),
+        Update(Fact, f64),
+    }
+    let mut script: Vec<Line> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let Some(line) = script_line(raw) else {
+            continue;
+        };
+        if let Some(q_src) = line.strip_prefix('?') {
+            let q = parse_query(q_src.trim())
+                .map_err(|e| format!("{path}:{}: query: {e}", lineno + 1))?;
+            script.push(Line::Query(q));
+        } else {
+            let (fact, p) = parse_update_line(line, lineno, path, interner)?;
+            script.push(Line::Update(fact, p));
+        }
+    }
+    enum Session {
+        Map(PqeSession<hq_unify::MapRelation<f64>>),
+        Columnar(PqeSession),
+        Sharded(PqeSession<hq_unify::ShardedColumnar<f64>>),
+    }
+    impl Session {
+        fn query(
+            &mut self,
+            i: &Interner,
+            q: &hq_query::Query,
+        ) -> Result<(f64, hq_unify::EngineStats), String> {
+            match self {
+                Session::Map(s) => s.query(i, q),
+                Session::Columnar(s) => s.query(i, q),
+                Session::Sharded(s) => s.query(i, q),
+            }
+            .map_err(|e| e.to_string())
+        }
+        fn update_batch(&mut self, i: &Interner, batch: &[(Fact, f64)]) -> Result<(), String> {
+            match self {
+                Session::Map(s) => s.update_batch(i, batch).map(|_| ()),
+                Session::Columnar(s) => s.update_batch(i, batch).map(|_| ()),
+                Session::Sharded(s) => s.update_batch(i, batch).map(|_| ()),
+            }
+            .map_err(|e| e.to_string())
+        }
+        fn ops_performed(&self) -> u64 {
+            match self {
+                Session::Map(s) => s.session().ops_performed(),
+                Session::Columnar(s) => s.session().ops_performed(),
+                Session::Sharded(s) => s.session().ops_performed(),
+            }
+        }
+        fn cached_nodes(&self) -> usize {
+            match self {
+                Session::Map(s) => s.session().cached_nodes(),
+                Session::Columnar(s) => s.session().cached_nodes(),
+                Session::Sharded(s) => s.session().cached_nodes(),
+            }
+        }
+    }
+    let mut session = match (backend, par.is_parallel()) {
+        (Backend::Map, _) => {
+            Session::Map(PqeSession::new(interner, tid).map_err(|e| e.to_string())?)
+        }
+        (Backend::Columnar, false) => {
+            Session::Columnar(PqeSession::columnar(interner, tid).map_err(|e| e.to_string())?)
+        }
+        (Backend::Columnar, true) => {
+            Session::Sharded(PqeSession::sharded(interner, tid, par).map_err(|e| e.to_string())?)
+        }
+    };
+    let mut out = String::new();
+    let mut queries = 0usize;
+    let mut replayed_ops = 0u64;
+    let mut pending: Vec<(Fact, f64)> = Vec::new();
+    let flush = |session: &mut Session,
+                 pending: &mut Vec<(Fact, f64)>,
+                 out: &mut String,
+                 interner: &Interner|
+     -> Result<(), String> {
+        if pending.is_empty() {
+            return Ok(());
+        }
+        session.update_batch(interner, pending)?;
+        out.push_str(&format!("applied {} update(s)\n", pending.len()));
+        pending.clear();
+        Ok(())
+    };
+    for line in script {
+        match line {
+            Line::Update(fact, p) => pending.push((fact, p)),
+            Line::Query(q) => {
+                flush(&mut session, &mut pending, &mut out, interner)?;
+                let (p, stats) = session.query(interner, &q)?;
+                queries += 1;
+                replayed_ops += stats.total_ops();
+                out.push_str(&format!("{q} -> P(Q) = {p:.9}\n"));
+            }
+        }
+    }
+    flush(&mut session, &mut pending, &mut out, interner)?;
+    out.push_str(&format!(
+        "served {queries} quer{} from {} cached plan node(s); \
+         {} monoid ops executed vs {} replayed (independent evaluation)\n",
+        if queries == 1 { "y" } else { "ies" },
+        session.cached_nodes(),
+        session.ops_performed(),
+        replayed_ops,
+    ));
     Ok(out)
 }
 
@@ -672,6 +841,61 @@ mod tests {
         ])
         .unwrap_err();
         assert!(err.contains("--mode incremental"), "{err}");
+    }
+
+    #[test]
+    fn pqe_serve_mode_mixes_queries_and_updates() {
+        let db = write_temp("serve.facts", "E(1,2) @ 0.5\nF(2,3) @ 0.5\n");
+        let script = write_temp(
+            "serve.script",
+            "? Q() :- E(X,Y), F(Y,Z)\n\
+             ? Q() :- E(X,Y)          # overlaps: shares E's scan+fold\n\
+             E(1,2) @ 0.9             # update\n\
+             F(2,3) @ 0               # delete\n\
+             ? Q() :- E(X,Y), F(Y,Z)\n\
+             F(2,3) @ 0.5             # re-insert\n\
+             ? Q() :- E(X,Y), F(Y,Z)\n\
+             ? Q() :- E(X,Y), F(Y,Z)  # repeat: pure cache hit\n",
+        );
+        let base = &["pqe", "--db", &db, "--mode", "serve", "--script", &script];
+        let out = run_strs(base).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 8, "{out}");
+        assert!(lines[0].contains("P(Q) = 0.25"), "{out}");
+        assert!(lines[1].contains("P(Q) = 0.5"), "{out}");
+        assert!(lines[2].contains("applied 2 update(s)"), "{out}");
+        assert!(lines[3].contains("P(Q) = 0.0"), "{out}");
+        assert!(lines[4].contains("applied 1 update(s)"), "{out}");
+        assert!(lines[5].contains("P(Q) = 0.45"), "{out}");
+        assert!(lines[6].contains("P(Q) = 0.45"), "{out}");
+        assert!(lines[7].contains("served 5 queries"), "{out}");
+        // Identical on every backend and thread count.
+        for extra in [
+            vec!["--backend", "map"],
+            vec!["--backend", "columnar"],
+            vec!["--threads", "4"],
+        ] {
+            let mut args: Vec<&str> = base.to_vec();
+            args.extend(extra.iter());
+            let got = run_strs(&args).unwrap();
+            assert_eq!(
+                got.lines().take(7).collect::<Vec<_>>(),
+                out.lines().take(7).collect::<Vec<_>>(),
+                "{extra:?}"
+            );
+        }
+        // --script without --mode serve fails helpfully.
+        let err = run_strs(&[
+            "pqe",
+            "--query",
+            "Q() :- E(X,Y)",
+            "--db",
+            &db,
+            "--script",
+            &script,
+        ])
+        .unwrap_err();
+        assert!(err.contains("--mode serve"), "{err}");
     }
 
     #[test]

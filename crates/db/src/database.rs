@@ -46,10 +46,33 @@ impl Fact {
 /// A set database instance `D`: a map from relation symbols to
 /// [`Relation`]s. The paper's `|D|` (sum of relation cardinalities) is
 /// [`Database::fact_count`].
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// Every *effective* mutation (an insert that was new, a remove that
+/// was present) bumps the touched relation's **version counter**
+/// ([`Database::version`]). Derived structures that snapshot a
+/// relation's content — the cached dictionary encodings of
+/// `hq_unify::EncodedDb` — record the version they were built at and
+/// compare it on use, which detects *any* divergence, including
+/// interior same-size mutations that content spot checks miss.
+/// Versions are bookkeeping, not content: equality ignores them.
+#[derive(Debug, Clone, Default)]
 pub struct Database {
     relations: BTreeMap<Sym, Relation>,
+    /// Effective-mutation counter per relation (absent = 0: never
+    /// mutated since the relation was declared empty — declaring does
+    /// not bump).
+    versions: BTreeMap<Sym, u64>,
 }
+
+impl PartialEq for Database {
+    fn eq(&self, other: &Self) -> bool {
+        // Versions record *history*, not state: two databases holding
+        // the same facts are equal however they got there.
+        self.relations == other.relations
+    }
+}
+
+impl Eq for Database {}
 
 impl Database {
     /// Creates an empty database.
@@ -74,7 +97,12 @@ impl Database {
     /// needed. Returns `true` if the fact was new.
     pub fn insert(&mut self, fact: Fact) -> bool {
         let arity = fact.tuple.arity();
-        self.declare(fact.rel, arity).insert(fact.tuple)
+        let rel = fact.rel;
+        let new = self.declare(rel, arity).insert(fact.tuple);
+        if new {
+            *self.versions.entry(rel).or_insert(0) += 1;
+        }
+        new
     }
 
     /// Inserts a tuple into `rel`. Returns `true` if new.
@@ -84,9 +112,23 @@ impl Database {
 
     /// Removes a fact. Returns `true` if it was present.
     pub fn remove(&mut self, fact: &Fact) -> bool {
-        self.relations
+        let removed = self
+            .relations
             .get_mut(&fact.rel)
-            .is_some_and(|r| r.remove(&fact.tuple))
+            .is_some_and(|r| r.remove(&fact.tuple));
+        if removed {
+            *self.versions.entry(fact.rel).or_insert(0) += 1;
+        }
+        removed
+    }
+
+    /// The relation's effective-mutation counter: bumped by every
+    /// insert that was new and every remove that was present (so an
+    /// interior remove-then-insert of the same size bumps twice).
+    /// `0` for relations never mutated. Snapshot-style caches compare
+    /// this to detect staleness exactly, in `O(1)`.
+    pub fn version(&self, rel: Sym) -> u64 {
+        self.versions.get(&rel).copied().unwrap_or(0)
     }
 
     /// Whether the fact is present.
@@ -208,6 +250,33 @@ mod tests {
         let mut db = Database::new();
         db.insert_tuple(r, Tuple::ints(&[1]));
         db.insert_tuple(r, Tuple::ints(&[1, 2]));
+    }
+
+    #[test]
+    fn versions_track_effective_mutations_only() {
+        let mut i = Interner::new();
+        let r = i.intern("R");
+        let s = i.intern("S");
+        let mut db = Database::new();
+        assert_eq!(db.version(r), 0);
+        let f = Fact::new(r, Tuple::ints(&[1]));
+        assert!(db.insert(f.clone()));
+        assert_eq!(db.version(r), 1);
+        // Redundant insert and absent remove are not mutations.
+        assert!(!db.insert(f.clone()));
+        assert!(!db.remove(&Fact::new(r, Tuple::ints(&[9]))));
+        assert_eq!(db.version(r), 1);
+        assert_eq!(db.version(s), 0, "untouched relation stays at 0");
+        // An interior same-size swap bumps twice — this is exactly the
+        // case content spot checks can miss.
+        assert!(db.remove(&f));
+        assert!(db.insert(Fact::new(r, Tuple::ints(&[2]))));
+        assert_eq!(db.version(r), 3);
+        // Versions are history, not content: equality ignores them.
+        let mut other = Database::new();
+        other.insert(Fact::new(r, Tuple::ints(&[2])));
+        assert_eq!(db, other);
+        assert_ne!(db.version(r), other.version(r));
     }
 
     #[test]

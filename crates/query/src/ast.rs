@@ -30,6 +30,37 @@ impl Atom {
     pub fn var_set(&self) -> BTreeSet<Var> {
         self.vars.iter().copied().collect()
     }
+
+    /// The atom's **key schema**: its variables in ascending id order
+    /// plus, for each key column `j`, the written-order column
+    /// `positions[j]` it comes from. Every layer that keys relation
+    /// rows in ascending variable order (annotation, the encoded
+    /// cache, plan-IR lowering, the incremental fact index) derives
+    /// its permutation from this one definition — the structural
+    /// identity of shared plan nodes depends on these copies agreeing.
+    pub fn key_schema(&self) -> (Vec<Var>, Vec<usize>) {
+        let mut sorted = self.vars.clone();
+        sorted.sort_unstable();
+        let positions = sorted
+            .iter()
+            .map(|v| {
+                self.vars
+                    .iter()
+                    .position(|w| w == v)
+                    .expect("sorted vars come from the atom")
+            })
+            .collect();
+        (sorted, positions)
+    }
+
+    /// [`Atom::key_schema`]'s permutation as the layers' common
+    /// `Option` convention: `None` when the written order already is
+    /// the key order (the common case — callers skip re-keying).
+    pub fn key_positions(&self) -> (Vec<Var>, Option<Vec<usize>>) {
+        let (sorted, positions) = self.key_schema();
+        let identity = positions.iter().enumerate().all(|(a, &b)| a == b);
+        (sorted, if identity { None } else { Some(positions) })
+    }
 }
 
 /// Errors rejected by [`Query::new`].

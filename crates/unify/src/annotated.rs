@@ -120,23 +120,9 @@ pub fn annotate_with<R: Storage>(
     let mut slot_vars: Vec<Vec<Var>> = Vec::with_capacity(q.atom_count());
     let mut slot_rows: Vec<Vec<(Tuple, R::Ann)>> = Vec::with_capacity(q.atom_count());
     for (i, atom) in q.atoms().iter().enumerate() {
-        let mut sorted = atom.vars.clone();
-        sorted.sort_unstable();
-        // For each sorted var, the position it occupies in the written atom.
-        let positions: Vec<usize> = sorted
-            .iter()
-            .map(|v| {
-                atom.vars
-                    .iter()
-                    .position(|w| w == v)
-                    .expect("sorted vars come from the atom")
-            })
-            .collect();
-        let positions = if positions.iter().enumerate().all(|(a, &b)| a == b) {
-            None
-        } else {
-            Some(positions)
-        };
+        // The shared written→key permutation (`Atom::key_positions`):
+        // all keying layers must derive it identically.
+        let (sorted, positions) = atom.key_positions();
         if let Some(sym) = interner.get(&atom.rel) {
             by_rel.insert(sym, (i, positions.clone()));
         }
@@ -196,22 +182,7 @@ where
     let mut slot_vars: Vec<Vec<Var>> = Vec::with_capacity(q.atom_count());
     let mut slot_rows: Vec<Vec<(&Tuple, K)>> = Vec::with_capacity(q.atom_count());
     for (i, atom) in q.atoms().iter().enumerate() {
-        let mut sorted = atom.vars.clone();
-        sorted.sort_unstable();
-        let positions: Vec<usize> = sorted
-            .iter()
-            .map(|v| {
-                atom.vars
-                    .iter()
-                    .position(|w| w == v)
-                    .expect("sorted vars come from the atom")
-            })
-            .collect();
-        let positions = if positions.iter().enumerate().all(|(a, &b)| a == b) {
-            None
-        } else {
-            Some(positions)
-        };
+        let (sorted, positions) = atom.key_positions();
         if let Some(sym) = interner.get(&atom.rel) {
             by_rel.insert(sym, i);
         }

@@ -12,6 +12,7 @@
 
 use crate::engine::{evaluate_columnar_par, evaluate_on_par, EngineStats, UnifyError};
 use crate::incremental::{IncrementalError, IncrementalRun};
+use crate::serving::{ServingBackend, ServingError, ServingSession, UpdateOutcome};
 use crate::storage::{
     Backend, ColumnarRelation, MapRelation, Parallelism, ShardedColumnar, Storage,
 };
@@ -328,6 +329,88 @@ impl<R: Storage<Ann = BudgetVec>> IncrementalBsm<R> {
     }
 }
 
+/// A multi-query Bag-Set Maximization serving session over one
+/// `(D, D_r, θ)` instance: many (possibly overlapping) queries share
+/// intermediate ψ-annotated relations through the session's plan
+/// cache, and ψ-class reassignments ([`BsmSession::set_fact`])
+/// invalidate only the cached intermediates whose relations changed.
+/// Every returned curve and [`EngineStats`] is bit-identical to a
+/// fresh [`maximize`] run of the current state. `θ` is fixed at
+/// construction (it sizes the monoid's truncated vectors).
+pub struct BsmSession<R: ServingBackend<Ann = BudgetVec> = ColumnarRelation<BudgetVec>> {
+    monoid: BagMaxMonoid,
+    session: ServingSession<BagMaxMonoid, R>,
+}
+
+impl<R: ServingBackend<Ann = BudgetVec>> BsmSession<R> {
+    /// Builds the session with an explicit [`Parallelism`] degree
+    /// (meaningful on the sharded backend; bit-identical everywhere).
+    ///
+    /// # Errors
+    /// Rejects inputs that give one relation two different arities.
+    pub fn with_parallelism(
+        interner: &Interner,
+        d: &Database,
+        d_r: &Database,
+        theta: usize,
+        par: Parallelism,
+    ) -> Result<Self, ServingError> {
+        let monoid = BagMaxMonoid::new(theta);
+        let facts = psi_encoding(&monoid, d, d_r);
+        Ok(BsmSession {
+            session: ServingSession::with_parallelism(monoid, interner, facts, par)?,
+            monoid,
+        })
+    }
+
+    /// Builds the session sequentially.
+    ///
+    /// # Errors
+    /// Rejects inputs that give one relation two different arities.
+    pub fn new(
+        interner: &Interner,
+        d: &Database,
+        d_r: &Database,
+        theta: usize,
+    ) -> Result<Self, ServingError> {
+        Self::with_parallelism(interner, d, d_r, theta, Parallelism::default())
+    }
+
+    /// The full budget curve for one query, sharing sub-plans with
+    /// every query this session has served.
+    ///
+    /// # Errors
+    /// Rejects non-hierarchical queries and schema mismatches.
+    pub fn query(&mut self, interner: &Interner, q: &Query) -> Result<BsmSolution, ServingError> {
+        let (curve, stats) = self.session.query(interner, q)?;
+        Ok(BsmSolution { curve, stats })
+    }
+
+    /// Re-classifies one fact (`1̄`, `★` or `0` — see [`PsiClass`]),
+    /// repairing the caches incrementally.
+    ///
+    /// # Errors
+    /// Schema mismatches with the stored relation.
+    pub fn set_fact(
+        &mut self,
+        interner: &Interner,
+        fact: &Fact,
+        class: PsiClass,
+    ) -> Result<UpdateOutcome, ServingError> {
+        let ann = match class {
+            PsiClass::Base => self.monoid.one(),
+            PsiClass::Repair => self.monoid.star(),
+            PsiClass::Absent => self.monoid.zero(),
+        };
+        self.session.update(interner, fact, ann)
+    }
+
+    /// The underlying session (sharing/caching introspection).
+    pub fn session(&self) -> &ServingSession<BagMaxMonoid, R> {
+        &self.session
+    }
+}
+
 /// A Bag-Set Maximization solution carrying an optimal repair per
 /// budget, not just its value.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -638,6 +721,30 @@ mod tests {
         let want = inc.set_batch(&i, &batch).unwrap().clone();
         assert_eq!(col.set_batch(&i, &batch).unwrap(), &want);
         assert_eq!(sh.set_batch(&i, &batch).unwrap(), &want);
+    }
+
+    #[test]
+    fn bsm_session_matches_fresh_maximize_through_updates() {
+        let (d, d_r, i) = fig1();
+        let q = example_query();
+        let q_sub = Query::new(&[("S", &["A", "C"])]).unwrap();
+        let mut session: BsmSession = BsmSession::new(&i, &d, &d_r, 2).unwrap();
+        let fresh = maximize_on(Backend::Columnar, &q, &i, &d, &d_r, 2).unwrap();
+        let got = session.query(&i, &q).unwrap();
+        assert_eq!(got.curve, fresh.curve);
+        assert_eq!(got.stats, fresh.stats);
+        // A second (overlapping) query shares the S scan.
+        session.query(&i, &q_sub).unwrap();
+        // Promote a repair candidate into the base database.
+        let r = i.get("R").unwrap();
+        let fact = Fact::new(r, Tuple::ints(&[1, 6]));
+        session.set_fact(&i, &fact, PsiClass::Base).unwrap();
+        let mut d2 = d.clone();
+        d2.insert(fact);
+        let fresh = maximize_on(Backend::Columnar, &q, &i, &d2, &d_r, 2).unwrap();
+        let got = session.query(&i, &q).unwrap();
+        assert_eq!(got.curve, fresh.curve);
+        assert_eq!(got.stats, fresh.stats);
     }
 
     #[test]

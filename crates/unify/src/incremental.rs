@@ -31,7 +31,13 @@
 //! batch ([`IncrementalRun::update_batch`]): a batch coalesces its
 //! dirty keys per slot first — later writes to the same fact win — and
 //! then walks the plan **once**, so a thousand-fact batch pays one
-//! propagation pass, not a thousand.
+//! propagation pass, not a thousand. The dirty sets live in the
+//! backend's **native key space** ([`Storage::Key`]): on the columnar
+//! layouts every projection, group lookup and write-back of the walk
+//! compares 4-byte code rows instead of decoding and re-encoding boxed
+//! tuples, and a batch carrying novel domain values extends each
+//! relation's dictionary **once up front**
+//! ([`Storage::prepare_values`]) instead of once per `set` call.
 //!
 //! Inserting a fact = updating its annotation from `0`; deleting =
 //! updating to `0` (the ψ-encodings make `0` mean "absent" in every
@@ -52,7 +58,7 @@
 use crate::annotated::{annotate_with, AnnotateError, AnnotatedDb};
 use crate::engine::EngineStats;
 use crate::storage::{ColumnarRelation, MapRelation, Parallelism, ShardedColumnar, Storage};
-use hq_db::{Fact, Interner, Sym, Tuple};
+use hq_db::{Fact, Interner, Sym, Tuple, Value};
 use hq_monoid::TwoMonoid;
 use hq_query::{plan, EliminationPlan, Query, Step};
 use std::collections::{BTreeMap, BTreeSet};
@@ -86,6 +92,12 @@ pub struct UpdateStats {
     pub add_ops: u64,
     /// ⊗ applications performed re-deriving dirty merge keys.
     pub mul_ops: u64,
+    /// Relations whose value dictionary was extended (and code matrix
+    /// remapped) by this batch's novel domain values. The batch-level
+    /// extension pays **at most one** extension per relation per batch
+    /// — not one per novel-value `set` call — so for an insert-heavy
+    /// batch of `n` facts this stays `O(relations)` instead of `O(n)`.
+    pub dict_extensions: usize,
 }
 
 /// A materialised Algorithm 1 run that supports annotation updates,
@@ -237,12 +249,7 @@ where
         let mut slots = Vec::with_capacity(q.atom_count());
         let mut by_sym: BTreeMap<Sym, usize> = BTreeMap::new();
         for (i, atom) in q.atoms().iter().enumerate() {
-            let mut sorted = atom.vars.clone();
-            sorted.sort_unstable();
-            let positions: Vec<usize> = sorted
-                .iter()
-                .map(|v| atom.vars.iter().position(|w| w == v).expect("own var"))
-                .collect();
+            let (_, positions) = atom.key_schema();
             let sym = interner.get(&atom.rel);
             if let Some(s) = sym {
                 by_sym.insert(s, i);
@@ -360,12 +367,11 @@ where
         updates: &[(Fact, M::Elem)],
     ) -> Result<&M::Elem, IncrementalError> {
         self.last_update = UpdateStats::default();
-        // Resolve every fact before touching any state, coalescing
-        // duplicate facts (later writes win).
-        let mut coalesced: BTreeMap<(usize, Tuple), &M::Elem> = BTreeMap::new();
+        // Resolve every fact before touching any state.
+        let mut resolved: Vec<(usize, Tuple, &M::Elem)> = Vec::with_capacity(updates.len());
         for (fact, value) in updates {
             let (slot, key) = self.resolve(interner, fact)?;
-            coalesced.insert((slot, key), value);
+            resolved.push((slot, key, value));
         }
         // Evict facts whose *final* write is a delete from the index:
         // a long-running insert/delete stream must stay bounded by the
@@ -380,20 +386,60 @@ where
                 self.fact_index.remove(fact);
             }
         }
-        // Stage 0: write the base state (`0` means absent) and collect
-        // the dirty keys per slot.
-        let mut dirty: BTreeMap<usize, BTreeSet<Tuple>> = BTreeMap::new();
+        // Coalesce duplicate facts first (later writes win).
+        let mut coalesced: BTreeMap<(usize, Tuple), &M::Elem> = BTreeMap::new();
+        for (slot, key, value) in resolved {
+            coalesced.insert((slot, key), value);
+        }
+        // Batch-level dictionary extension: admit every novel domain
+        // value the batch actually *writes* into every live relation
+        // **once**, so the walk below is extension-free and native keys
+        // stay comparable across relations (and so an insert-heavy
+        // batch remaps each code matrix once, not once per `set`).
+        // Deletes are excluded: a key with values outside the
+        // dictionary cannot be stored, so deleting it is a no-op that
+        // must not grow the dictionaries (matching the old `set` path).
+        let mut batch_values: Vec<Value> = coalesced
+            .iter()
+            .filter(|(_, value)| !self.monoid.is_zero(value))
+            .flat_map(|((_, key), _)| key.values().iter().copied())
+            .collect();
+        batch_values.sort_unstable();
+        batch_values.dedup();
+        if !batch_values.is_empty() {
+            for slot in self.base.slots.iter_mut().flatten() {
+                if slot.prepare_values(&batch_values) {
+                    self.last_update.dict_extensions += 1;
+                }
+            }
+            for out in &mut self.step_out {
+                if out.prepare_values(&batch_values) {
+                    self.last_update.dict_extensions += 1;
+                }
+            }
+        }
+        // Stage 0: write the base state (`0` means absent) in the
+        // backend's native key space — code rows on the columnar
+        // layouts, so the whole dirty walk compares 4-byte codes
+        // instead of decoding/encoding boxed tuples at every probe —
+        // and collect the dirty keys per slot.
+        let mut dirty: BTreeMap<usize, BTreeSet<R::Key>> = BTreeMap::new();
         for ((slot, key), value) in coalesced {
+            let base = self.base.slots[slot].as_mut().expect("base slot alive");
+            let Some(native) = base.key_of(&key) else {
+                // Only a delete can carry uncovered values (writes were
+                // admitted above): the key cannot be stored, so there
+                // is nothing to delete and nothing becomes dirty.
+                debug_assert!(self.monoid.is_zero(value));
+                continue;
+            };
             let v = if self.monoid.is_zero(value) {
                 None
             } else {
                 Some(value.clone())
             };
-            self.base.slots[slot]
-                .as_mut()
-                .expect("base slot alive")
-                .set(&key, v);
-            dirty.entry(slot).or_default().insert(key);
+            base.set_key(&native, v);
+            dirty.entry(slot).or_default().insert(native);
             self.last_update.keys_written += 1;
         }
         // One walk of the plan. A slot's dirty keys ride along
@@ -471,8 +517,8 @@ where
         &mut self,
         idx: usize,
         step: &Step,
-        dirty: &BTreeMap<usize, BTreeSet<Tuple>>,
-    ) -> Option<BTreeSet<Tuple>> {
+        dirty: &BTreeMap<usize, BTreeSet<R::Key>>,
+    ) -> Option<BTreeSet<R::Key>> {
         let (done, rest) = self.step_out.split_at_mut(idx);
         let out = &mut rest[0];
         let (base, touched) = (&self.base, &self.touched[..idx]);
@@ -494,13 +540,16 @@ where
                 // members via the backend's group-offset lookup — in
                 // ascending full-key order, so the fold sequence
                 // matches the batch engine exactly (bit-identical
-                // floats even under maintenance).
-                let groups: BTreeSet<Tuple> = keys.iter().map(|k| k.project(&keep)).collect();
+                // floats even under maintenance). Projection, lookup
+                // and write-back all run in the backend's native key
+                // space (code rows on the columnar layouts).
+                let groups: BTreeSet<R::Key> =
+                    keys.iter().map(|k| R::project_key(k, &keep)).collect();
                 let mut changed = BTreeSet::new();
                 for g in groups {
                     self.last_update.groups_refolded += 1;
                     let mut acc: Option<M::Elem> = None;
-                    for ann in input.group_rows(&keep, &g) {
+                    for ann in input.group_rows_key(&keep, &g) {
                         self.last_update.rows_folded += 1;
                         match acc.as_mut() {
                             Some(a) => {
@@ -511,16 +560,16 @@ where
                         }
                     }
                     let new = acc.filter(|v| !self.monoid.is_zero(v));
-                    let old = out.get(&g);
+                    let old = out.get_key(&g);
                     if old != new {
                         changed.insert(g.clone());
                     }
-                    out.set(&g, new);
+                    out.set_key(&g, new);
                 }
                 Some(changed)
             }
             Step::Merge { left, right } => {
-                let mut keys: BTreeSet<&Tuple> = BTreeSet::new();
+                let mut keys: BTreeSet<&R::Key> = BTreeSet::new();
                 if let Some(ks) = dirty.get(&left) {
                     keys.extend(ks.iter());
                 }
@@ -537,8 +586,10 @@ where
                 for key in keys {
                     // One-sided rows mirror the batch merge exactly:
                     // skipped outright for annihilating monoids,
-                    // 0-filled otherwise.
-                    let new = match (l.get(key), r.get(key)) {
+                    // 0-filled otherwise. Native keys probe both sides
+                    // directly: the batch-level dictionary extension
+                    // keeps every relation's code space aligned.
+                    let new = match (l.get_key(key), r.get_key(key)) {
                         (None, None) => None, // 0 ⊗ 0 = 0: stays absent
                         (Some(a), Some(b)) => {
                             self.last_update.mul_ops += 1;
@@ -555,11 +606,11 @@ where
                         }
                     };
                     let new = new.filter(|v| !self.monoid.is_zero(v));
-                    let old = out.get(key);
+                    let old = out.get_key(key);
                     if old != new {
                         changed.insert(key.clone());
                     }
-                    out.set(key, new);
+                    out.set_key(key, new);
                 }
                 Some(changed)
             }
@@ -880,6 +931,84 @@ mod tests {
             serial.update(&i, f, *p).unwrap();
         }
         assert_eq!(run.result().to_bits(), serial.result().to_bits());
+    }
+
+    #[test]
+    fn batched_novel_inserts_extend_each_dictionary_once() {
+        // A batch of inserts over fresh domain values must pay at most
+        // one dictionary extension per live relation — not one per
+        // inserted fact — while a serial replay pays per update.
+        let q = q_hierarchical();
+        let (db, i) = db_from_ints(&[("E", &[&[1, 2]]), ("F", &[&[2, 3]])]);
+        let tid: Vec<(Fact, f64)> = db.facts().into_iter().map(|f| (f, 0.5)).collect();
+        let e = i.get("E").unwrap();
+        let batch: Vec<(Fact, f64)> = (0..8)
+            .map(|k| (Fact::new(e, Tuple::ints(&[100 + k, 200 + k])), 0.5))
+            .collect();
+        let mut batched: IncrementalRun<ProbMonoid, ColumnarRelation<f64>> =
+            IncrementalRun::with_storage(ProbMonoid, &q, &i, tid.clone()).unwrap();
+        batched.update_batch(&i, &batch).unwrap();
+        let relations = 2 + batched.step_out.len();
+        let batched_ext = batched.last_update_stats().dict_extensions;
+        assert!(batched_ext >= 1, "novel values must extend a dictionary");
+        assert!(
+            batched_ext <= relations,
+            "one batch extends each relation at most once: {batched_ext} > {relations}"
+        );
+        let mut serial: IncrementalRun<ProbMonoid, ColumnarRelation<f64>> =
+            IncrementalRun::with_storage(ProbMonoid, &q, &i, tid).unwrap();
+        let mut serial_ext = 0usize;
+        for (f, p) in &batch {
+            serial.update(&i, f, *p).unwrap();
+            serial_ext += serial.last_update_stats().dict_extensions;
+        }
+        assert!(
+            batched_ext < serial_ext,
+            "batched extension ({batched_ext}) must beat serial ({serial_ext})"
+        );
+        assert_eq!(
+            batched.result().to_bits(),
+            serial.result().to_bits(),
+            "amortisation must not change the result"
+        );
+        // The map oracle has no dictionary and reports zero extensions.
+        let mut map: IncrementalRun<ProbMonoid, MapRelation<f64>> = IncrementalRun::with_storage(
+            ProbMonoid,
+            &q,
+            &i,
+            db_from_ints(&[("E", &[&[1, 2]]), ("F", &[&[2, 3]])])
+                .0
+                .facts()
+                .into_iter()
+                .map(|f| (f, 0.5)),
+        )
+        .unwrap();
+        map.update_batch(&i, &batch).unwrap();
+        assert_eq!(map.last_update_stats().dict_extensions, 0);
+    }
+
+    #[test]
+    fn deleting_unknown_keys_with_novel_values_is_free() {
+        // Deleting facts that were never present — with domain values
+        // outside every dictionary — must not extend any dictionary or
+        // change the result (the old per-`set` path was a no-op too).
+        let q = q_hierarchical();
+        let (db, i) = db_from_ints(&[("E", &[&[1, 2]]), ("F", &[&[2, 3]])]);
+        let tid: Vec<(Fact, f64)> = db.facts().into_iter().map(|f| (f, 0.5)).collect();
+        let mut run: IncrementalRun<ProbMonoid, ColumnarRelation<f64>> =
+            IncrementalRun::with_storage(ProbMonoid, &q, &i, tid.clone()).unwrap();
+        let before = *run.result();
+        let e = i.get("E").unwrap();
+        let batch: Vec<(Fact, f64)> = (0..4)
+            .map(|k| (Fact::new(e, Tuple::ints(&[900 + k, 901 + k])), 0.0))
+            .collect();
+        let got = *run.update_batch(&i, &batch).unwrap();
+        assert_eq!(got.to_bits(), before.to_bits());
+        assert_eq!(run.last_update_stats().dict_extensions, 0);
+        assert_eq!(run.last_update_stats().keys_written, 0);
+        let (fresh, stats) = crate::engine::evaluate(&ProbMonoid, &q, &i, tid).unwrap();
+        assert_eq!(got.to_bits(), fresh.to_bits());
+        assert_eq!(run.replay_stats(), stats);
     }
 
     #[test]

@@ -62,7 +62,17 @@
 //! [`EncodedDb`] caches a database's dictionary encoding (the
 //! dominant cost of building columnar relations) so that repeated
 //! queries over one database skip re-encoding entirely; see
-//! [`evaluate_encoded`].
+//! [`evaluate_encoded`]. On top of it, [`ServingSession`] (typed
+//! wrappers [`pqe::PqeSession`], [`bsm::BsmSession`],
+//! [`shapley::SatSession`]; CLI `pqe --mode serve`) is a full
+//! multi-query server: queries are lowered onto a hash-consed plan IR
+//! ([`plan_ir`]) so overlapping queries evaluate each common sub-plan
+//! **once per backend** (a repeated query performs zero monoid ops),
+//! and `update`/`update_batch` calls delta-refresh the encoding,
+//! patch cached scans in place, and invalidate only the cached
+//! intermediates whose input relations changed — with every served
+//! value and [`EngineStats`] bit-identical to independent fresh
+//! evaluation (pinned by `tests/differential_serving.rs`).
 //!
 //! ## Incremental serving
 //!
@@ -113,8 +123,10 @@ pub mod annotated;
 pub mod bsm;
 pub mod engine;
 pub mod incremental;
+pub mod plan_ir;
 pub mod pqe;
 pub mod provenance;
+pub mod serving;
 pub mod shapley;
 pub mod storage;
 
@@ -128,11 +140,14 @@ pub use engine::{
     evaluate, evaluate_encoded, evaluate_on, evaluate_on_par, run_plan, EngineStats, UnifyError,
 };
 pub use incremental::{IncrementalError, IncrementalRun, UpdateStats};
+pub use plan_ir::{lower, LoweredQuery, PlanExpr, PlanId, PlanIr};
 pub use pqe::{expected_count, probability, probability_exact, IncrementalPqe, PqeError};
 pub use provenance::{provenance_tree, Provenance};
+pub use serving::{ServingBackend, ServingError, ServingSession, UpdateOutcome};
 pub use shapley::{
     sat_counts, shapley_value, shapley_values, FactRole, IncrementalSatCounts, ShapleyError,
 };
 pub use storage::{
-    Backend, ColumnarRelation, EncodedDb, MapRelation, Parallelism, ShardedColumnar, Storage,
+    Backend, ColumnarRelation, EncodedDb, MapRelation, Parallelism, RefreshOutcome,
+    ShardedColumnar, Storage,
 };

@@ -8,6 +8,7 @@
 
 use crate::engine::{evaluate_columnar_par, evaluate_on_par, EngineStats, UnifyError};
 use crate::incremental::{IncrementalError, IncrementalRun};
+use crate::serving::{ServingBackend, ServingError, ServingSession, UpdateOutcome};
 use crate::storage::{
     Backend, ColumnarRelation, MapRelation, Parallelism, ShardedColumnar, Storage,
 };
@@ -29,6 +30,8 @@ pub enum PqeError {
     Unify(UnifyError),
     /// An incremental update was rejected.
     Incremental(IncrementalError),
+    /// A serving-session call was rejected.
+    Serving(ServingError),
 }
 
 impl fmt::Display for PqeError {
@@ -39,6 +42,7 @@ impl fmt::Display for PqeError {
             }
             PqeError::Unify(e) => write!(f, "{e}"),
             PqeError::Incremental(e) => write!(f, "{e}"),
+            PqeError::Serving(e) => write!(f, "{e}"),
         }
     }
 }
@@ -54,6 +58,12 @@ impl From<UnifyError> for PqeError {
 impl From<IncrementalError> for PqeError {
     fn from(e: IncrementalError) -> Self {
         PqeError::Incremental(e)
+    }
+}
+
+impl From<ServingError> for PqeError {
+    fn from(e: ServingError) -> Self {
+        PqeError::Serving(e)
     }
 }
 
@@ -406,6 +416,132 @@ impl<R: Storage<Ann = f64>> IncrementalPqe<R> {
     }
 }
 
+/// A multi-query PQE serving session: one tuple-independent database,
+/// many (possibly overlapping) probability queries, interleaved
+/// probability updates. The PQE front-end *builds plans* into the
+/// session's shared [`crate::plan_ir::PlanIr`]; common sub-plans across
+/// queries are evaluated once per backend, and every returned
+/// probability and [`EngineStats`] is bit-identical to an independent
+/// [`probability_with_stats_par`] evaluation of the current state.
+pub struct PqeSession<R: ServingBackend<Ann = f64> = ColumnarRelation<f64>> {
+    session: ServingSession<ProbMonoid, R>,
+}
+
+impl PqeSession<MapRelation<f64>> {
+    /// Builds the session on the ordered-map oracle backend.
+    ///
+    /// # Errors
+    /// Rejects probabilities outside `[0, 1]` and inconsistent arities.
+    pub fn new(interner: &Interner, tid: &[(Fact, f64)]) -> Result<Self, PqeError> {
+        validate(tid)?;
+        Ok(PqeSession {
+            session: ServingSession::new(ProbMonoid, interner, tid.iter().cloned())?,
+        })
+    }
+}
+
+impl PqeSession<ColumnarRelation<f64>> {
+    /// Builds the session on the columnar backend (the fast path:
+    /// scans assemble from the cached [`crate::EncodedDb`] codes).
+    ///
+    /// # Errors
+    /// Rejects probabilities outside `[0, 1]` and inconsistent arities.
+    pub fn columnar(interner: &Interner, tid: &[(Fact, f64)]) -> Result<Self, PqeError> {
+        validate(tid)?;
+        Ok(PqeSession {
+            session: ServingSession::new(ProbMonoid, interner, tid.iter().cloned())?,
+        })
+    }
+}
+
+impl PqeSession<ShardedColumnar<f64>> {
+    /// Builds the session on the sharded columnar backend at the given
+    /// [`Parallelism`] degree; results stay bit-identical.
+    ///
+    /// # Errors
+    /// Rejects probabilities outside `[0, 1]` and inconsistent arities.
+    pub fn sharded(
+        interner: &Interner,
+        tid: &[(Fact, f64)],
+        par: Parallelism,
+    ) -> Result<Self, PqeError> {
+        validate(tid)?;
+        Ok(PqeSession {
+            session: ServingSession::with_parallelism(
+                ProbMonoid,
+                interner,
+                tid.iter().cloned(),
+                par,
+            )?,
+        })
+    }
+}
+
+impl<R: ServingBackend<Ann = f64>> PqeSession<R> {
+    /// Evaluates `P(Q = true)` for one query, sharing sub-plans with
+    /// every query this session has served.
+    ///
+    /// # Errors
+    /// Rejects non-hierarchical queries and schema mismatches.
+    pub fn query(
+        &mut self,
+        interner: &Interner,
+        q: &Query,
+    ) -> Result<(f64, EngineStats), PqeError> {
+        Ok(self.session.query(interner, q)?)
+    }
+
+    /// Evaluates a batch of queries; common sub-plans are evaluated
+    /// once.
+    ///
+    /// # Errors
+    /// Fails on the first erroneous query.
+    pub fn query_batch(
+        &mut self,
+        interner: &Interner,
+        queries: &[Query],
+    ) -> Result<Vec<(f64, EngineStats)>, PqeError> {
+        Ok(self.session.query_batch(interner, queries)?)
+    }
+
+    /// Updates one fact's probability (`0` deletes, unseen facts
+    /// insert), invalidating only the cached intermediates that read
+    /// the fact's relation.
+    ///
+    /// # Errors
+    /// Rejects probabilities outside `[0, 1]` and schema mismatches.
+    pub fn update(
+        &mut self,
+        interner: &Interner,
+        fact: &Fact,
+        p: f64,
+    ) -> Result<UpdateOutcome, PqeError> {
+        if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+            return Err(PqeError::InvalidProbability { value: p });
+        }
+        Ok(self.session.update(interner, fact, p)?)
+    }
+
+    /// Applies a batch of probability updates (later writes win) in one
+    /// cache-repair pass.
+    ///
+    /// # Errors
+    /// See [`PqeSession::update`]; all-or-nothing on rejection.
+    pub fn update_batch(
+        &mut self,
+        interner: &Interner,
+        updates: &[(Fact, f64)],
+    ) -> Result<UpdateOutcome, PqeError> {
+        validate(updates)?;
+        Ok(self.session.update_batch(interner, updates)?)
+    }
+
+    /// The underlying session (sharing/caching introspection).
+    pub fn session(&self) -> &ServingSession<ProbMonoid, R> {
+        &self.session
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -552,6 +688,52 @@ mod tests {
         let before = map.probability();
         assert!(map.update(&i, &tid[0].0, 1.5).is_err());
         assert_eq!(map.probability().to_bits(), before.to_bits());
+    }
+
+    #[test]
+    fn pqe_session_shares_plans_and_tracks_updates() {
+        let q_full = q_hierarchical();
+        let q_sub = Query::new(&[("E", &["X", "Y"])]).unwrap();
+        let (db, i) = db_from_ints(&[
+            ("E", &[&[1, 2], &[1, 3], &[4, 3]]),
+            ("F", &[&[2, 9], &[3, 8], &[3, 9]]),
+        ]);
+        let tid = tid_uniform(&db, 0.5);
+        let mut map = PqeSession::new(&i, &tid).unwrap();
+        let mut col = PqeSession::columnar(&i, &tid).unwrap();
+        let mut sh = PqeSession::sharded(&i, &tid, Parallelism::fine_grained(2)).unwrap();
+        for q in [&q_full, &q_sub] {
+            let (want, want_stats) =
+                probability_with_stats_on(Backend::Columnar, q, &i, &tid).unwrap();
+            for (p, stats) in [
+                map.query(&i, q).unwrap(),
+                col.query(&i, q).unwrap(),
+                sh.query(&i, q).unwrap(),
+            ] {
+                assert_eq!(p.to_bits(), want.to_bits());
+                assert_eq!(stats, want_stats);
+            }
+        }
+        // The sub-query shares E's scan+fold with the full query.
+        let independent: u64 = [&q_full, &q_sub]
+            .iter()
+            .map(|q| {
+                probability_with_stats_on(Backend::Columnar, q, &i, &tid)
+                    .unwrap()
+                    .1
+                    .total_ops()
+            })
+            .sum();
+        assert!(col.session().ops_performed() < independent);
+        // An update flows through; invalid probabilities are rejected.
+        let mut current = tid.clone();
+        current[0].1 = 0.9;
+        col.update(&i, &current[0].0, 0.9).unwrap();
+        let (fresh, _) =
+            probability_with_stats_on(Backend::Columnar, &q_full, &i, &current).unwrap();
+        let (got, _) = col.query(&i, &q_full).unwrap();
+        assert_eq!(got.to_bits(), fresh.to_bits());
+        assert!(col.update(&i, &current[0].0, 1.5).is_err());
     }
 
     #[test]

@@ -1,0 +1,1086 @@
+//! Multi-query serving sessions: one database, one encoded cache, many
+//! queries, interleaved updates.
+//!
+//! A [`ServingSession`] owns an annotated database (facts with
+//! 2-monoid annotations), its cached dictionary encoding
+//! ([`EncodedDb`]), and a **plan-node cache** keyed by the hash-consed
+//! [`PlanIr`] identities of [`crate::plan_ir`]. Evaluating a query
+//! lowers its elimination plan onto the shared IR and materialises
+//! only the nodes the cache does not already hold — so a batch of
+//! overlapping queries evaluates every common sub-plan (shared scans,
+//! shared Rule 1 folds, shared Rule 2 merges) **once per backend**,
+//! and a repeated query costs zero monoid operations.
+//!
+//! **Determinism contract.** Each query's returned value and reported
+//! [`EngineStats`] are *bit-identical* to an independent fresh
+//! evaluation of the same query over the current state
+//! ([`crate::engine::evaluate_encoded`] on the columnar backends,
+//! [`crate::engine::evaluate_on`] on the ordered-map oracle), on every
+//! backend and thread count. Cached nodes store the exact ⊕/⊗ op
+//! counts their computation performed, and the session *replays* — not
+//! recomputes — each query's op totals and support trajectory from the
+//! cached relations, without performing a single monoid operation on a
+//! cache hit. [`ServingSession::ops_performed`] exposes how many
+//! operations were actually executed, which is how the differential
+//! suite pins the sharing win (`performed < Σ independent`).
+//!
+//! **Update model.** [`ServingSession::update_batch`] applies fact
+//! writes (a `0` annotation deletes), bumps the touched relations'
+//! dirty epochs, delta-refreshes the [`EncodedDb`] (only changed
+//! relations re-encode; novel domain values extend the shared
+//! dictionary once), **delta-patches** cached scan nodes of the
+//! touched relations in place, and drops exactly the cached
+//! intermediates whose transitive inputs changed — everything else
+//! stays warm. The rare novel-value case clears the cache instead
+//! (the code space itself moved).
+
+use crate::annotated::AnnotateError;
+use crate::engine::EngineStats;
+use crate::plan_ir::{lower, LoweredQuery, PlanExpr, PlanId, PlanIr};
+use crate::storage::{
+    ColumnarRelation, EncodedDb, MapRelation, Parallelism, RefreshOutcome, ShardedColumnar, Storage,
+};
+use hq_db::{Database, Fact, Interner, Sym, Tuple, Value};
+use hq_monoid::TwoMonoid;
+use hq_query::{plan, NotHierarchical, Query, Var};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+
+/// Errors from the serving session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServingError {
+    /// The query is not hierarchical (Theorem 4.4: intractable).
+    NotHierarchical(NotHierarchical),
+    /// Annotation failed (arity mismatch, duplicate key).
+    Annotate(AnnotateError),
+}
+
+impl fmt::Display for ServingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServingError::NotHierarchical(e) => write!(f, "{e}"),
+            ServingError::Annotate(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServingError {}
+
+impl From<NotHierarchical> for ServingError {
+    fn from(e: NotHierarchical) -> Self {
+        ServingError::NotHierarchical(e)
+    }
+}
+
+impl From<AnnotateError> for ServingError {
+    fn from(e: AnnotateError) -> Self {
+        ServingError::Annotate(e)
+    }
+}
+
+/// What one [`ServingSession::update_batch`] call did to the caches.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UpdateOutcome {
+    /// Relation names whose content actually changed.
+    pub touched: Vec<String>,
+    /// Cached scan nodes kept warm by in-place point patches.
+    pub patched_scans: usize,
+    /// Cached intermediate nodes dropped because an input relation
+    /// changed (they rebuild lazily on the next query that needs them).
+    pub invalidated: usize,
+    /// What the [`EncodedDb`] delta-refresh re-encoded.
+    pub refresh: RefreshOutcome,
+}
+
+/// A materialised plan node: its annotated relation plus the exact
+/// ⊕/⊗ op counts its computation performed (replayed into every
+/// query's reported stats without re-executing them).
+#[derive(Debug, Clone)]
+struct CachedNode<R> {
+    rel: R,
+    add_ops: u64,
+    mul_ops: u64,
+    /// Session epoch at which this node was (re)computed or patched.
+    valid_at: u64,
+}
+
+/// A backend that can materialise serving-session scan nodes. The
+/// three engine backends implement it; all stay bit-identical.
+pub trait ServingBackend: Storage {
+    /// Whether this backend's scans read the session's [`EncodedDb`].
+    /// When `false` (the ordered-map oracle — tuples carry their
+    /// values directly), the session skips building and refreshing the
+    /// encoding entirely, and novel domain values do not clear the
+    /// node cache (there is no code space to move).
+    const USES_ENCODING: bool;
+    /// Materialises one scan node: relation `rel` keyed in ascending
+    /// variable order via the written-order permutation `positions`,
+    /// annotated by `ann` (called once per fact in sorted tuple
+    /// order). Columnar backends assemble from the cached codes of
+    /// `enc`; the ordered-map oracle reads `db` directly.
+    ///
+    /// # Errors
+    /// Arity mismatches and duplicate keys, as in annotation.
+    #[allow(clippy::too_many_arguments)]
+    fn scan(
+        enc: &EncodedDb,
+        db: &Database,
+        interner: &Interner,
+        rel: &str,
+        positions: &[usize],
+        vars: Vec<Var>,
+        ann: &mut dyn FnMut(Sym, &Tuple) -> Self::Ann,
+        par: Parallelism,
+    ) -> Result<Self, AnnotateError>;
+
+    /// Overwrites the relation's schema labels. Shared plan nodes are
+    /// label-free (column positions are the identity); relabeling
+    /// aligns a cached node's variable labels with the consuming
+    /// kernel's expectation without touching any data.
+    fn relabel(&mut self, vars: Vec<Var>);
+}
+
+/// Renders a duplicate scan key (an atom with repeated variables) in
+/// written column order, mirroring the annotate paths.
+fn dup_fact(rel: &str, positions: &[usize], key: Tuple, interner: &Interner) -> AnnotateError {
+    let mut vals = vec![Value::Int(0); key.arity()];
+    for (i, &p) in positions.iter().enumerate() {
+        vals[p] = key.get(i);
+    }
+    let written = Tuple::from(vals);
+    AnnotateError::DuplicateFact {
+        fact: format!("{rel}{}", written.display(interner)),
+    }
+}
+
+/// `positions` when it is not the identity permutation, else `None`
+/// (the cached codes are already in key order).
+fn non_identity(positions: &[usize]) -> Option<&[usize]> {
+    if positions.iter().enumerate().all(|(a, &b)| a == b) {
+        None
+    } else {
+        Some(positions)
+    }
+}
+
+impl<K: Clone + PartialEq + fmt::Debug + Send + Sync> ServingBackend for ColumnarRelation<K> {
+    const USES_ENCODING: bool = true;
+
+    fn scan(
+        enc: &EncodedDb,
+        db: &Database,
+        interner: &Interner,
+        rel: &str,
+        positions: &[usize],
+        vars: Vec<Var>,
+        mut ann: &mut dyn FnMut(Sym, &Tuple) -> K,
+        _par: Parallelism,
+    ) -> Result<Self, AnnotateError> {
+        enc.encode_slot(
+            db,
+            interner,
+            rel,
+            vars,
+            non_identity(positions),
+            &mut ann,
+            |key| dup_fact(rel, positions, key, interner),
+        )
+    }
+
+    fn relabel(&mut self, vars: Vec<Var>) {
+        self.set_vars(vars);
+    }
+}
+
+impl<K: Clone + PartialEq + fmt::Debug + Send + Sync> ServingBackend for ShardedColumnar<K> {
+    const USES_ENCODING: bool = true;
+
+    fn scan(
+        enc: &EncodedDb,
+        db: &Database,
+        interner: &Interner,
+        rel: &str,
+        positions: &[usize],
+        vars: Vec<Var>,
+        ann: &mut dyn FnMut(Sym, &Tuple) -> K,
+        par: Parallelism,
+    ) -> Result<Self, AnnotateError> {
+        Ok(ShardedColumnar::new(
+            ColumnarRelation::scan(enc, db, interner, rel, positions, vars, ann, par)?,
+            par,
+        ))
+    }
+
+    fn relabel(&mut self, vars: Vec<Var>) {
+        self.inner_mut().relabel(vars);
+    }
+}
+
+impl<K: Clone + PartialEq + fmt::Debug + Send + Sync> ServingBackend for MapRelation<K> {
+    const USES_ENCODING: bool = false;
+
+    fn scan(
+        _enc: &EncodedDb,
+        db: &Database,
+        interner: &Interner,
+        rel: &str,
+        positions: &[usize],
+        vars: Vec<Var>,
+        ann: &mut dyn FnMut(Sym, &Tuple) -> K,
+        _par: Parallelism,
+    ) -> Result<Self, AnnotateError> {
+        let identity = non_identity(positions).is_none();
+        let mut rows: Vec<(Tuple, K)> = Vec::new();
+        if let Some(sym) = interner.get(rel) {
+            if let Some(r) = db.relation(sym) {
+                if !r.is_empty() && r.arity() != positions.len() {
+                    return Err(AnnotateError::ArityMismatch {
+                        rel: rel.to_owned(),
+                        atom_arity: positions.len(),
+                        fact_arity: r.arity(),
+                    });
+                }
+                for t in r.iter() {
+                    let k = ann(sym, t);
+                    let key = if identity {
+                        t.clone()
+                    } else {
+                        t.project(positions)
+                    };
+                    rows.push((key, k));
+                }
+            }
+        }
+        MapRelation::build_slots(vec![(vars, rows)])
+            .map(|mut slots| slots.pop().expect("one slot in, one slot out"))
+            .map_err(|d| dup_fact(rel, positions, d.key, interner))
+    }
+
+    fn relabel(&mut self, vars: Vec<Var>) {
+        debug_assert_eq!(vars.len(), self.vars.len());
+        self.vars = vars;
+    }
+}
+
+/// A multi-query serving session over one annotated database. See the
+/// module docs for the sharing, determinism and invalidation model.
+pub struct ServingSession<M, R = ColumnarRelation<<M as TwoMonoid>::Elem>>
+where
+    M: TwoMonoid,
+    R: ServingBackend<Ann = M::Elem>,
+{
+    monoid: M,
+    par: Parallelism,
+    /// The current set database (support facts only: a `0` annotation
+    /// means absent).
+    db: Database,
+    /// Current annotations, keyed by fact.
+    ann: BTreeMap<Fact, M::Elem>,
+    /// The cached dictionary encoding, delta-refreshed on updates.
+    enc: EncodedDb,
+    /// The shared, hash-consed plan IR of every query seen so far.
+    ir: PlanIr,
+    /// Materialised plan nodes, keyed by structural identity.
+    cache: HashMap<PlanId, CachedNode<R>>,
+    /// Monotone update counter.
+    epoch: u64,
+    /// Per-relation dirty epoch: the session epoch of the last update
+    /// that changed the relation.
+    rel_epoch: HashMap<String, u64>,
+    /// ⊕/⊗ applications actually executed (cache misses only).
+    performed_add: u64,
+    performed_mul: u64,
+}
+
+impl<M, R> ServingSession<M, R>
+where
+    M: TwoMonoid,
+    R: ServingBackend<Ann = M::Elem>,
+{
+    /// Builds a session over `(fact, annotation)` pairs (later entries
+    /// for the same fact win; `0` annotations are dropped — absent).
+    ///
+    /// # Errors
+    /// Rejects fact lists that give one relation two different arities.
+    pub fn new(
+        monoid: M,
+        interner: &Interner,
+        facts: impl IntoIterator<Item = (Fact, M::Elem)>,
+    ) -> Result<Self, ServingError> {
+        Self::with_parallelism(monoid, interner, facts, Parallelism::default())
+    }
+
+    /// [`ServingSession::new`] with an explicit [`Parallelism`] degree
+    /// (used by the sharded backend's kernels; results stay
+    /// bit-identical at every thread count).
+    ///
+    /// # Errors
+    /// Rejects fact lists that give one relation two different arities.
+    pub fn with_parallelism(
+        monoid: M,
+        interner: &Interner,
+        facts: impl IntoIterator<Item = (Fact, M::Elem)>,
+        par: Parallelism,
+    ) -> Result<Self, ServingError> {
+        let facts: Vec<(Fact, M::Elem)> = facts.into_iter().collect();
+        // Same all-or-nothing arity validation as `update_batch`: the
+        // fresh-evaluation paths this session stays bit-identical to
+        // report errors rather than panic, so construction must too.
+        let mut declared: BTreeMap<Sym, usize> = BTreeMap::new();
+        for (fact, k) in &facts {
+            if monoid.is_zero(k) {
+                continue;
+            }
+            match declared.get(&fact.rel) {
+                Some(&arity) if arity != fact.tuple.arity() => {
+                    return Err(ServingError::Annotate(AnnotateError::ArityMismatch {
+                        rel: interner.resolve(fact.rel).to_owned(),
+                        atom_arity: arity,
+                        fact_arity: fact.tuple.arity(),
+                    }));
+                }
+                Some(_) => {}
+                None => {
+                    declared.insert(fact.rel, fact.tuple.arity());
+                }
+            }
+        }
+        let mut db = Database::new();
+        let mut ann = BTreeMap::new();
+        for (fact, k) in facts {
+            if monoid.is_zero(&k) {
+                db.remove(&fact);
+                ann.remove(&fact);
+            } else {
+                db.insert(fact.clone());
+                ann.insert(fact, k);
+            }
+        }
+        // The ordered-map oracle never reads the encoding: skip the
+        // instance-wide value sort and scatter-encode entirely.
+        let enc = if R::USES_ENCODING {
+            EncodedDb::new(&db)
+        } else {
+            EncodedDb::new(&Database::new())
+        };
+        Ok(ServingSession {
+            monoid,
+            par,
+            db,
+            ann,
+            enc,
+            ir: PlanIr::new(),
+            cache: HashMap::new(),
+            epoch: 0,
+            rel_epoch: HashMap::new(),
+            performed_add: 0,
+            performed_mul: 0,
+        })
+    }
+
+    /// The session's 2-monoid.
+    pub fn monoid(&self) -> &M {
+        &self.monoid
+    }
+
+    /// The current annotated fact list, in deterministic fact order —
+    /// exactly the input an independent fresh evaluation of the
+    /// session's state would receive.
+    pub fn facts(&self) -> Vec<(Fact, M::Elem)> {
+        self.ann
+            .iter()
+            .map(|(f, k)| (f.clone(), k.clone()))
+            .collect()
+    }
+
+    /// Total ⊕/⊗ applications actually executed so far (cache misses
+    /// only — cache hits replay recorded counts without performing
+    /// any). The sharing win of a batch is
+    /// `Σ reported stats − ops_performed()`.
+    pub fn ops_performed(&self) -> u64 {
+        self.performed_add + self.performed_mul
+    }
+
+    /// Number of materialised plan nodes currently cached.
+    pub fn cached_nodes(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Evaluates one query against the current state, sharing every
+    /// sub-plan already materialised by earlier queries (or earlier
+    /// calls) of this session. Returns the value and the [`EngineStats`]
+    /// an independent fresh evaluation would report — bit-identical,
+    /// including the support trajectory.
+    ///
+    /// # Errors
+    /// Non-hierarchical queries and annotation failures (arity
+    /// mismatch with the stored relation). Self-join-freeness — which
+    /// plan sharing relies on (scans are keyed by relation identity) —
+    /// is already an invariant of [`Query`] construction.
+    pub fn query(
+        &mut self,
+        interner: &Interner,
+        q: &Query,
+    ) -> Result<(M::Elem, EngineStats), ServingError> {
+        let p = plan(q)?;
+        let lowered = lower(&mut self.ir, q, &p);
+        for id in lowered.nodes().collect::<Vec<_>>() {
+            self.ensure(id, interner)?;
+        }
+        Ok(self.replay(&lowered))
+    }
+
+    /// Evaluates a batch of queries in order. Common sub-plans across
+    /// the batch (and across earlier calls) are evaluated once; each
+    /// query's `(value, stats)` is indistinguishable from its
+    /// independent evaluation.
+    ///
+    /// # Errors
+    /// Fails on the first erroneous query (earlier results are
+    /// discarded; the cache keeps any nodes already materialised).
+    pub fn query_batch(
+        &mut self,
+        interner: &Interner,
+        queries: &[Query],
+    ) -> Result<Vec<(M::Elem, EngineStats)>, ServingError> {
+        queries.iter().map(|q| self.query(interner, q)).collect()
+    }
+
+    /// Applies one fact write: a `0` annotation deletes, anything else
+    /// upserts. See [`ServingSession::update_batch`].
+    ///
+    /// # Errors
+    /// Arity mismatch with the stored relation.
+    pub fn update(
+        &mut self,
+        interner: &Interner,
+        fact: &Fact,
+        value: M::Elem,
+    ) -> Result<UpdateOutcome, ServingError> {
+        self.update_batch(interner, &[(fact.clone(), value)])
+    }
+
+    /// Applies a batch of fact writes in order (later writes to the
+    /// same fact win), then repairs the caches **incrementally**:
+    /// touched relations get new dirty epochs, the [`EncodedDb`]
+    /// re-encodes only the changed relations, cached scan nodes of
+    /// touched relations are point-patched in place, and only the
+    /// cached intermediates whose transitive inputs changed are
+    /// dropped. Novel domain values (outside the shared dictionary)
+    /// extend the dictionary once and clear the node cache (the code
+    /// space itself moved).
+    ///
+    /// # Errors
+    /// Arity mismatch with the stored relation; resolution is
+    /// all-or-nothing (no write is applied on rejection).
+    pub fn update_batch(
+        &mut self,
+        interner: &Interner,
+        updates: &[(Fact, M::Elem)],
+    ) -> Result<UpdateOutcome, ServingError> {
+        // Validate every *insert* before touching any state — against
+        // the stored relation's declared arity (which persists even
+        // when all its facts were deleted) and against earlier inserts
+        // of the same batch declaring a brand-new relation — so the
+        // all-or-nothing contract holds and Database::declare can
+        // never panic mid-batch with writes already applied. Deletes
+        // are exempt: an arity-mismatched fact can never be stored, so
+        // deleting it is a no-op, exactly as when applied serially.
+        let mut declared: BTreeMap<Sym, usize> = BTreeMap::new();
+        for (fact, value) in updates {
+            if self.monoid.is_zero(value) {
+                continue;
+            }
+            let expected = self
+                .db
+                .relation(fact.rel)
+                .map(hq_db::Relation::arity)
+                .or_else(|| declared.get(&fact.rel).copied());
+            match expected {
+                Some(arity) if arity != fact.tuple.arity() => {
+                    return Err(ServingError::Annotate(AnnotateError::ArityMismatch {
+                        rel: interner.resolve(fact.rel).to_owned(),
+                        atom_arity: arity,
+                        fact_arity: fact.tuple.arity(),
+                    }));
+                }
+                Some(_) => {}
+                None => {
+                    declared.insert(fact.rel, fact.tuple.arity());
+                }
+            }
+        }
+        let mut touched: BTreeSet<String> = BTreeSet::new();
+        for (fact, value) in updates {
+            let changed = if self.monoid.is_zero(value) {
+                // Arity-mismatched deletes are harmless no-ops here:
+                // Relation::remove matches by tuple and never declares.
+                let removed = self.db.remove(fact);
+                self.ann.remove(fact).is_some() || removed
+            } else {
+                let inserted = self.db.insert(fact.clone());
+                let replaced = self.ann.insert(fact.clone(), value.clone());
+                inserted || replaced.as_ref() != Some(value)
+            };
+            if changed {
+                touched.insert(interner.resolve(fact.rel).to_owned());
+            }
+        }
+        if touched.is_empty() {
+            return Ok(UpdateOutcome::default());
+        }
+        self.epoch += 1;
+        for rel in &touched {
+            self.rel_epoch.insert(rel.clone(), self.epoch);
+        }
+        // Delta-refresh the encoding: only changed relations re-encode.
+        // (The ordered-map oracle never reads it — skip entirely, and
+        // since map tuples carry values directly there is no code
+        // space for novel values to move.)
+        let refresh = if R::USES_ENCODING {
+            self.enc.refresh(&self.db)
+        } else {
+            RefreshOutcome::default()
+        };
+        let mut outcome = UpdateOutcome {
+            touched: touched.iter().cloned().collect(),
+            patched_scans: 0,
+            invalidated: 0,
+            refresh,
+        };
+        if outcome.refresh.dict_extended {
+            // The code space moved under every cached matrix: drop the
+            // node cache wholesale (rare — only novel domain values).
+            outcome.invalidated = self.cache.len();
+            self.cache.clear();
+            return Ok(outcome);
+        }
+        // Delta-patch cached scans of touched relations; drop exactly
+        // the intermediates that transitively read a touched relation.
+        // Updates are grouped by relation name once, so patching costs
+        // the relevant updates per scan — not |cache| × |batch|.
+        let mut by_rel: BTreeMap<&str, Vec<(&Fact, &M::Elem)>> = BTreeMap::new();
+        for (fact, value) in updates {
+            by_rel
+                .entry(interner.resolve(fact.rel))
+                .or_default()
+                .push((fact, value));
+        }
+        let ids: Vec<PlanId> = self.cache.keys().copied().collect();
+        for id in ids {
+            let dirty = self.ir.deps(id).iter().any(|d| touched.contains(d));
+            if !dirty {
+                continue;
+            }
+            if let PlanExpr::Scan { rel, positions } = self.ir.node(id).clone() {
+                // A scan cached while the relation was absent carries
+                // the *query atom's* width; if the batch just declared
+                // the relation with a different arity, patching cannot
+                // repair it — drop it so the rebuild reports exactly
+                // what fresh evaluation would (an arity mismatch).
+                let arity_moved = interner
+                    .get(&rel)
+                    .and_then(|s| self.db.relation(s))
+                    .is_some_and(|r| r.arity() != positions.len());
+                if arity_moved {
+                    self.cache.remove(&id);
+                    outcome.invalidated += 1;
+                    continue;
+                }
+                let entry = self.cache.get_mut(&id).expect("iterating live ids");
+                for (fact, value) in by_rel.get(rel.as_str()).into_iter().flatten() {
+                    if fact.tuple.arity() != positions.len() {
+                        continue; // arity-mismatched delete: no-op
+                    }
+                    let key = fact.tuple.project(&positions);
+                    let v = if self.monoid.is_zero(value) {
+                        None
+                    } else {
+                        Some((*value).clone())
+                    };
+                    entry.rel.set(&key, v);
+                }
+                entry.valid_at = self.epoch;
+                outcome.patched_scans += 1;
+            } else {
+                self.cache.remove(&id);
+                outcome.invalidated += 1;
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// Materialises node `id` if the cache does not hold a valid copy.
+    /// Inputs are guaranteed to be materialised first because lowered
+    /// node lists are in dependency order.
+    fn ensure(&mut self, id: PlanId, interner: &Interner) -> Result<(), ServingError> {
+        if let Some(entry) = self.cache.get(&id) {
+            // Backstop: eager invalidation should have removed stale
+            // entries already.
+            let fresh = self
+                .ir
+                .deps(id)
+                .iter()
+                .all(|d| self.rel_epoch.get(d).copied().unwrap_or(0) <= entry.valid_at);
+            debug_assert!(fresh, "stale cache entry survived invalidation");
+            if fresh {
+                return Ok(());
+            }
+        }
+        let node = self.ir.node(id).clone();
+        let mut stats = EngineStats::default();
+        let rel = match node {
+            PlanExpr::Scan { rel, positions } => {
+                let vars: Vec<Var> = (0..positions.len()).map(Var).collect();
+                let ann_map = &self.ann;
+                let mut ann = |sym: Sym, t: &Tuple| -> M::Elem {
+                    ann_map
+                        .get(&Fact::new(sym, t.clone()))
+                        .cloned()
+                        .expect("database and annotation map stay in sync")
+                };
+                R::scan(
+                    &self.enc, &self.db, interner, &rel, &positions, vars, &mut ann, self.par,
+                )?
+            }
+            PlanExpr::Project { input, col } => {
+                let input_rel = self.cache[&input].rel.clone();
+                let var = input_rel.vars()[col];
+                input_rel.project_out(&self.monoid, var, &mut stats)
+            }
+            PlanExpr::Join { left, right } => {
+                let l = self.cache[&left].rel.clone();
+                let mut r = self.cache[&right].rel.clone();
+                // Shared nodes are label-free: align the labels (pure
+                // metadata — equal var *sets* per Rule 2, and both
+                // sides are keyed in ascending-label column order, so
+                // column j corresponds to column j).
+                r.relabel(l.vars().to_vec());
+                l.merge(&self.monoid, r, &mut stats)
+            }
+        };
+        self.performed_add += stats.add_ops;
+        self.performed_mul += stats.mul_ops;
+        self.cache.insert(
+            id,
+            CachedNode {
+                rel,
+                add_ops: stats.add_ops,
+                mul_ops: stats.mul_ops,
+                valid_at: self.epoch,
+            },
+        );
+        Ok(())
+    }
+
+    /// Replays a lowered query's value, op counts and support
+    /// trajectory from the cached nodes — zero monoid operations.
+    fn replay(&self, lowered: &LoweredQuery) -> (M::Elem, EngineStats) {
+        let mut stats = EngineStats::default();
+        let mut slot_nodes = lowered.scans.clone();
+        let mut alive = vec![true; slot_nodes.len()];
+        let support = |slot_nodes: &[PlanId], alive: &[bool]| -> usize {
+            slot_nodes
+                .iter()
+                .zip(alive)
+                .filter(|&(_, &a)| a)
+                .map(|(id, _)| self.cache[id].rel.support_size())
+                .sum()
+        };
+        stats.support_sizes.push(support(&slot_nodes, &alive));
+        for step in &lowered.steps {
+            let c = &self.cache[&step.node];
+            stats.add_ops += c.add_ops;
+            stats.mul_ops += c.mul_ops;
+            if let Some(k) = step.killed {
+                alive[k] = false;
+            }
+            slot_nodes[step.touched] = step.node;
+            stats.support_sizes.push(support(&slot_nodes, &alive));
+        }
+        let value = self.cache[&lowered.root].rel.nullary_value(&self.monoid);
+        (value, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{evaluate_encoded, evaluate_on_par};
+    use crate::storage::Backend;
+    use hq_db::db_from_ints;
+    use hq_monoid::{CountMonoid, ProbMonoid};
+    use hq_query::parse_query;
+
+    fn chain_tid() -> (Vec<(Fact, f64)>, Interner) {
+        let (db, i) = db_from_ints(&[
+            ("E", &[&[1, 2], &[1, 3], &[4, 3], &[5, 5]]),
+            ("F", &[&[2, 9], &[3, 8], &[3, 9], &[5, 1]]),
+        ]);
+        let tid = db
+            .facts()
+            .into_iter()
+            .enumerate()
+            .map(|(j, f)| (f, 0.15 + 0.09 * j as f64))
+            .collect();
+        (tid, i)
+    }
+
+    fn queries() -> Vec<Query> {
+        [
+            "Q() :- E(X,Y), F(Y,Z)",
+            "Q() :- E(X,Y)",
+            "Q() :- F(Y,Z)",
+            "Q() :- E(X,Y), F(Y,Z)", // repeat: full sharing
+        ]
+        .iter()
+        .map(|s| parse_query(s).unwrap())
+        .collect()
+    }
+
+    fn independent(
+        q: &Query,
+        i: &Interner,
+        tid: &[(Fact, f64)],
+        backend: Backend,
+        par: Parallelism,
+    ) -> (f64, EngineStats) {
+        evaluate_on_par(backend, par, &ProbMonoid, q, i, tid.iter().cloned()).unwrap()
+    }
+
+    #[test]
+    fn session_matches_independent_evaluation_on_every_backend() {
+        let (tid, i) = chain_tid();
+        for q in queries() {
+            let (want, want_stats) =
+                independent(&q, &i, &tid, Backend::Map, Parallelism::default());
+            let mut map: ServingSession<ProbMonoid, MapRelation<f64>> =
+                ServingSession::new(ProbMonoid, &i, tid.iter().cloned()).unwrap();
+            let (got, stats) = map.query(&i, &q).unwrap();
+            assert_eq!(got.to_bits(), want.to_bits(), "map {q}");
+            assert_eq!(stats, want_stats, "map {q}");
+            let mut col: ServingSession<ProbMonoid, ColumnarRelation<f64>> =
+                ServingSession::new(ProbMonoid, &i, tid.iter().cloned()).unwrap();
+            let (got, stats) = col.query(&i, &q).unwrap();
+            assert_eq!(got.to_bits(), want.to_bits(), "columnar {q}");
+            assert_eq!(stats, want_stats, "columnar {q}");
+            let mut sh: ServingSession<ProbMonoid, ShardedColumnar<f64>> =
+                ServingSession::with_parallelism(
+                    ProbMonoid,
+                    &i,
+                    tid.iter().cloned(),
+                    Parallelism::fine_grained(3),
+                )
+                .unwrap();
+            let (got, stats) = sh.query(&i, &q).unwrap();
+            assert_eq!(got.to_bits(), want.to_bits(), "sharded {q}");
+            assert_eq!(stats, want_stats, "sharded {q}");
+        }
+    }
+
+    #[test]
+    fn shared_batch_performs_strictly_fewer_ops_than_independent() {
+        let (tid, i) = chain_tid();
+        let qs = queries();
+        let mut session: ServingSession<ProbMonoid, ColumnarRelation<f64>> =
+            ServingSession::new(ProbMonoid, &i, tid.iter().cloned()).unwrap();
+        let results = session.query_batch(&i, &qs).unwrap();
+        let mut independent_total = 0u64;
+        for (q, (got, stats)) in qs.iter().zip(&results) {
+            let (want, want_stats) =
+                independent(q, &i, &tid, Backend::Columnar, Parallelism::default());
+            assert_eq!(got.to_bits(), want.to_bits(), "{q}");
+            assert_eq!(stats, &want_stats, "{q}");
+            independent_total += want_stats.total_ops();
+        }
+        assert!(
+            session.ops_performed() < independent_total,
+            "sharing must save ops: performed {} vs independent {}",
+            session.ops_performed(),
+            independent_total
+        );
+    }
+
+    #[test]
+    fn repeated_query_is_a_full_cache_hit() {
+        let (tid, i) = chain_tid();
+        let q = parse_query("Q() :- E(X,Y), F(Y,Z)").unwrap();
+        let mut session: ServingSession<ProbMonoid, ColumnarRelation<f64>> =
+            ServingSession::new(ProbMonoid, &i, tid.iter().cloned()).unwrap();
+        let (a, stats_a) = session.query(&i, &q).unwrap();
+        let after_first = session.ops_performed();
+        assert_eq!(after_first, stats_a.total_ops());
+        let (b, stats_b) = session.query(&i, &q).unwrap();
+        assert_eq!(a.to_bits(), b.to_bits());
+        assert_eq!(stats_a, stats_b);
+        assert_eq!(
+            session.ops_performed(),
+            after_first,
+            "a cache hit must perform zero monoid ops"
+        );
+    }
+
+    #[test]
+    fn updates_invalidate_only_dependent_intermediates() {
+        let (tid, i) = chain_tid();
+        let mut session: ServingSession<ProbMonoid, ColumnarRelation<f64>> =
+            ServingSession::new(ProbMonoid, &i, tid.iter().cloned()).unwrap();
+        let q_e = parse_query("Q() :- E(X,Y)").unwrap();
+        let q_f = parse_query("Q() :- F(Y,Z)").unwrap();
+        session.query(&i, &q_e).unwrap();
+        session.query(&i, &q_f).unwrap();
+        let ops_before = session.ops_performed();
+        // Update an E fact (value already in the dictionary).
+        let out = session.update(&i, &tid[0].0, 0.77).unwrap();
+        assert_eq!(out.touched, vec!["E".to_owned()]);
+        assert!(!out.refresh.dict_extended);
+        assert_eq!(out.patched_scans, 1, "E's scan is patched in place");
+        assert!(out.invalidated >= 1, "E's fold chain is dropped");
+        // F's pipeline stayed warm: re-running q_f performs no ops.
+        session.query(&i, &q_f).unwrap();
+        assert_eq!(session.ops_performed(), ops_before);
+        // And q_e recomputes only its folds, matching fresh evaluation.
+        let mut current = tid.clone();
+        current[0].1 = 0.77;
+        let (want, want_stats) = independent(
+            &q_e,
+            &i,
+            &current,
+            Backend::Columnar,
+            Parallelism::default(),
+        );
+        let (got, stats) = session.query(&i, &q_e).unwrap();
+        assert_eq!(got.to_bits(), want.to_bits());
+        assert_eq!(stats, want_stats);
+    }
+
+    #[test]
+    fn novel_values_extend_dictionary_and_clear_cache() {
+        let (tid, mut i) = chain_tid();
+        let mut session: ServingSession<ProbMonoid, ColumnarRelation<f64>> =
+            ServingSession::new(ProbMonoid, &i, tid.iter().cloned()).unwrap();
+        let q = parse_query("Q() :- E(X,Y), F(Y,Z)").unwrap();
+        session.query(&i, &q).unwrap();
+        let e = i.intern("E");
+        let novel = Fact::new(e, Tuple::ints(&[100, 200]));
+        let out = session.update(&i, &novel, 0.5).unwrap();
+        assert!(out.refresh.dict_extended);
+        assert_eq!(session.cached_nodes(), 0, "code space moved: cache cleared");
+        let mut current = tid.clone();
+        current.push((novel, 0.5));
+        current.sort_by(|a, b| a.0.cmp(&b.0));
+        let (want, want_stats) =
+            independent(&q, &i, &current, Backend::Columnar, Parallelism::default());
+        let (got, stats) = session.query(&i, &q).unwrap();
+        assert_eq!(got.to_bits(), want.to_bits());
+        assert_eq!(stats, want_stats);
+    }
+
+    #[test]
+    fn deletes_and_reinserts_stay_consistent() {
+        let (tid, i) = chain_tid();
+        let mut session: ServingSession<ProbMonoid, ColumnarRelation<f64>> =
+            ServingSession::new(ProbMonoid, &i, tid.iter().cloned()).unwrap();
+        let q = parse_query("Q() :- E(X,Y), F(Y,Z)").unwrap();
+        session.query(&i, &q).unwrap();
+        session.update(&i, &tid[1].0, 0.0).unwrap(); // delete
+        let current: Vec<(Fact, f64)> = tid
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != 1)
+            .map(|(_, p)| p.clone())
+            .collect();
+        let (want, want_stats) =
+            independent(&q, &i, &current, Backend::Columnar, Parallelism::default());
+        let (got, stats) = session.query(&i, &q).unwrap();
+        assert_eq!(got.to_bits(), want.to_bits());
+        assert_eq!(stats, want_stats);
+        // Re-insert with a new value.
+        session.update(&i, &tid[1].0, 0.33).unwrap();
+        let mut current = tid.clone();
+        current[1].1 = 0.33;
+        let (want, _) = independent(&q, &i, &current, Backend::Columnar, Parallelism::default());
+        let (got, _) = session.query(&i, &q).unwrap();
+        assert_eq!(got.to_bits(), want.to_bits());
+    }
+
+    #[test]
+    fn session_agrees_with_evaluate_encoded() {
+        // The columnar session's scan path is the EncodedDb slot
+        // assembly itself; pin the equivalence against the public
+        // evaluate_encoded entry point over the same database.
+        let (tid, i) = chain_tid();
+        let mut db = Database::new();
+        let ann: BTreeMap<Fact, f64> = tid.iter().cloned().collect();
+        for (f, _) in &tid {
+            db.insert(f.clone());
+        }
+        let enc = EncodedDb::new(&db);
+        let q = parse_query("Q() :- E(X,Y), F(Y,Z)").unwrap();
+        let (want, want_stats) = evaluate_encoded(
+            Parallelism::default(),
+            &ProbMonoid,
+            &q,
+            &i,
+            &db,
+            &enc,
+            |sym, t| ann[&Fact::new(sym, t.clone())],
+        )
+        .unwrap();
+        let mut session: ServingSession<ProbMonoid, ColumnarRelation<f64>> =
+            ServingSession::new(ProbMonoid, &i, tid.iter().cloned()).unwrap();
+        let (got, stats) = session.query(&i, &q).unwrap();
+        assert_eq!(got.to_bits(), want.to_bits());
+        assert_eq!(stats, want_stats);
+    }
+
+    #[test]
+    fn rejects_non_hierarchical_queries() {
+        let (tid, i) = chain_tid();
+        let mut session: ServingSession<CountMonoid, ColumnarRelation<u64>> =
+            ServingSession::new(CountMonoid, &i, tid.iter().map(|(f, _)| (f.clone(), 1u64)))
+                .unwrap();
+        let bad = hq_query::q_non_hierarchical();
+        assert!(matches!(
+            session.query(&i, &bad),
+            Err(ServingError::NotHierarchical(_))
+        ));
+    }
+
+    #[test]
+    fn arity_mismatches_reject_cleanly_without_partial_writes() {
+        let (tid, mut i) = chain_tid();
+        let mut session: ServingSession<ProbMonoid, ColumnarRelation<f64>> =
+            ServingSession::new(ProbMonoid, &i, tid.iter().cloned()).unwrap();
+        let e = i.get("E").unwrap();
+        // Wrong arity against a stored relation: clean error.
+        let bad = Fact::new(e, Tuple::ints(&[1, 2, 3]));
+        assert!(matches!(
+            session.update(&i, &bad, 0.5),
+            Err(ServingError::Annotate(AnnotateError::ArityMismatch { .. }))
+        ));
+        // Wrong arity against a relation *emptied by deletes* (the
+        // declared arity persists): still a clean error, not a panic.
+        for (f, _) in tid.iter().filter(|(f, _)| f.rel == e) {
+            session.update(&i, f, 0.0).unwrap();
+        }
+        assert!(matches!(
+            session.update(&i, &bad, 0.5),
+            Err(ServingError::Annotate(AnnotateError::ArityMismatch { .. }))
+        ));
+        // A batch that declares a brand-new relation and then
+        // contradicts its own arity is rejected all-or-nothing: no
+        // write of the batch lands.
+        let g = i.intern("G");
+        let batch = vec![
+            (Fact::new(g, Tuple::ints(&[1])), 0.5),
+            (Fact::new(g, Tuple::ints(&[1, 2])), 0.5),
+        ];
+        let before = session.facts();
+        assert!(session.update_batch(&i, &batch).is_err());
+        assert_eq!(session.facts(), before, "no partial write on rejection");
+        // A delete followed by a differently-sized insert of the same
+        // new relation matches serial semantics: the delete is a no-op
+        // and must not "declare" an arity.
+        let h = i.intern("H");
+        let ok_batch = vec![
+            (Fact::new(h, Tuple::ints(&[1])), 0.0),
+            (Fact::new(h, Tuple::ints(&[1, 2])), 0.5),
+        ];
+        session.update_batch(&i, &ok_batch).unwrap();
+        // Construction itself validates too, instead of panicking
+        // inside Database::declare.
+        let mixed = vec![
+            (Fact::new(g, Tuple::ints(&[1])), 0.5),
+            (Fact::new(g, Tuple::ints(&[1, 2])), 0.5),
+        ];
+        assert!(matches!(
+            ServingSession::<ProbMonoid, ColumnarRelation<f64>>::new(
+                ProbMonoid,
+                &i,
+                mixed.into_iter()
+            ),
+            Err(ServingError::Annotate(AnnotateError::ArityMismatch { .. }))
+        ));
+    }
+
+    #[test]
+    fn relation_declared_after_caching_drops_the_stale_empty_scan() {
+        // A query over an absent relation caches an empty scan at the
+        // atom's width; when an update later declares the relation with
+        // a *different* arity, the scan must be dropped — re-serving
+        // the query then reports the same ArityMismatch a fresh
+        // evaluation would, never a silently stale empty result.
+        let (tid, mut i) = chain_tid();
+        let mut session: ServingSession<ProbMonoid, ColumnarRelation<f64>> =
+            ServingSession::new(ProbMonoid, &i, tid.iter().cloned()).unwrap();
+        let q_g = parse_query("Q() :- G(X)").unwrap();
+        let (p, _) = session.query(&i, &q_g).unwrap();
+        assert_eq!(p, 0.0, "absent relation: empty scan");
+        let g = i.intern("G");
+        // Values 1 and 2 are already in the dictionary, so this takes
+        // the scan-patch path rather than the cache-clearing one.
+        session
+            .update(&i, &Fact::new(g, Tuple::ints(&[1, 2])), 0.5)
+            .unwrap();
+        assert!(
+            matches!(
+                session.query(&i, &q_g),
+                Err(ServingError::Annotate(AnnotateError::ArityMismatch { .. }))
+            ),
+            "stale empty scan must not be served"
+        );
+        // A width-matching query over the new relation works.
+        let q_g2 = parse_query("Q() :- G(X,Y)").unwrap();
+        let (p, _) = session.query(&i, &q_g2).unwrap();
+        assert_eq!(p, 0.5);
+    }
+
+    #[test]
+    fn map_backend_skips_encoding_and_survives_novel_values_warm() {
+        let (tid, i) = chain_tid();
+        let mut session: ServingSession<ProbMonoid, MapRelation<f64>> =
+            ServingSession::new(ProbMonoid, &i, tid.iter().cloned()).unwrap();
+        let q_e = parse_query("Q() :- E(X,Y)").unwrap();
+        let q_f = parse_query("Q() :- F(Y,Z)").unwrap();
+        session.query(&i, &q_e).unwrap();
+        session.query(&i, &q_f).unwrap();
+        let before = session.ops_performed();
+        // A novel-value insert into E: no code space on the map
+        // backend, so F's pipeline must stay warm (no wholesale clear).
+        let e = i.get("E").unwrap();
+        let out = session
+            .update(&i, &Fact::new(e, Tuple::ints(&[500, 600])), 0.5)
+            .unwrap();
+        assert!(
+            out.refresh.is_noop(),
+            "map backend never touches the encoding"
+        );
+        assert!(session.cached_nodes() > 0, "cache survives novel values");
+        session.query(&i, &q_f).unwrap();
+        assert_eq!(session.ops_performed(), before, "F stayed warm");
+        // And the served answer still matches fresh evaluation.
+        let mut current = tid.clone();
+        current.push((Fact::new(e, Tuple::ints(&[500, 600])), 0.5));
+        current.sort_by(|a, b| a.0.cmp(&b.0));
+        let (want, want_stats) =
+            independent(&q_e, &i, &current, Backend::Map, Parallelism::default());
+        let (got, stats) = session.query(&i, &q_e).unwrap();
+        assert_eq!(got.to_bits(), want.to_bits());
+        assert_eq!(stats, want_stats);
+    }
+
+    #[test]
+    fn no_op_update_keeps_cache_warm() {
+        let (tid, i) = chain_tid();
+        let mut session: ServingSession<ProbMonoid, ColumnarRelation<f64>> =
+            ServingSession::new(ProbMonoid, &i, tid.iter().cloned()).unwrap();
+        let q = parse_query("Q() :- E(X,Y), F(Y,Z)").unwrap();
+        session.query(&i, &q).unwrap();
+        let before = session.ops_performed();
+        let out = session.update(&i, &tid[0].0, tid[0].1).unwrap();
+        assert!(out.touched.is_empty(), "same value: nothing changed");
+        session.query(&i, &q).unwrap();
+        assert_eq!(session.ops_performed(), before);
+    }
+}

@@ -17,6 +17,7 @@
 
 use crate::engine::{evaluate_on_par, UnifyError};
 use crate::incremental::{IncrementalError, IncrementalRun};
+use crate::serving::{ServingBackend, ServingError, ServingSession, UpdateOutcome};
 use crate::storage::{Backend, MapRelation, Parallelism, Storage};
 use hq_arith::{binomial, shapley_weight, Natural, Rational};
 use hq_db::{Fact, Interner};
@@ -283,6 +284,105 @@ impl<R: Storage<Ann = SatVec>> IncrementalSatCounts<R> {
     }
 }
 
+/// A multi-query `#Sat` serving session — the Shapley substrate as a
+/// plan builder: many (possibly overlapping) queries over one
+/// exogenous/endogenous split share intermediate relations through the
+/// session's plan cache, and role flips ([`SatSession::set_fact`])
+/// invalidate only the cached intermediates whose relations changed.
+/// Returned vectors and [`crate::EngineStats`] are bit-identical to a
+/// fresh [`sat_counts`] run of the current state (for queries
+/// mentioning every endogenous relation — invisible facts are the
+/// caller's binomial convolution, as with [`IncrementalSatCounts`]).
+pub struct SatSession<R: ServingBackend<Ann = SatVec> = crate::ColumnarRelation<SatVec>> {
+    monoid: SatCountMonoid,
+    session: ServingSession<SatCountMonoid, R>,
+}
+
+impl<R: ServingBackend<Ann = SatVec>> SatSession<R> {
+    /// Builds the session with vectors truncated at `capacity` (the
+    /// largest endogenous set the instance will ever hold) and an
+    /// explicit [`Parallelism`] degree.
+    ///
+    /// # Errors
+    /// Rejects overlapping exogenous/endogenous parts.
+    pub fn with_parallelism(
+        interner: &Interner,
+        exogenous: &[Fact],
+        endogenous: &[Fact],
+        capacity: usize,
+        par: Parallelism,
+    ) -> Result<Self, ShapleyError> {
+        check_disjoint(interner, exogenous, endogenous)?;
+        let monoid = SatCountMonoid::new(capacity);
+        let facts: Vec<(Fact, SatVec)> = exogenous
+            .iter()
+            .map(|f| (f.clone(), monoid.one()))
+            .chain(endogenous.iter().map(|f| (f.clone(), monoid.star())))
+            .collect();
+        let session = ServingSession::with_parallelism(monoid, interner, facts, par).map_err(
+            |e| match e {
+                ServingError::Annotate(a) => ShapleyError::Unify(UnifyError::Annotate(a)),
+                ServingError::NotHierarchical(n) => {
+                    ShapleyError::Unify(UnifyError::NotHierarchical(n))
+                }
+            },
+        )?;
+        Ok(SatSession { session, monoid })
+    }
+
+    /// Builds the session sequentially.
+    ///
+    /// # Errors
+    /// Rejects overlapping exogenous/endogenous parts.
+    pub fn new(
+        interner: &Interner,
+        exogenous: &[Fact],
+        endogenous: &[Fact],
+        capacity: usize,
+    ) -> Result<Self, ShapleyError> {
+        Self::with_parallelism(
+            interner,
+            exogenous,
+            endogenous,
+            capacity,
+            Parallelism::default(),
+        )
+    }
+
+    /// The `#Sat` vector for one query, sharing sub-plans with every
+    /// query this session has served.
+    ///
+    /// # Errors
+    /// Rejects non-hierarchical queries and schema mismatches.
+    pub fn query(&mut self, interner: &Interner, q: &Query) -> Result<SatVec, ServingError> {
+        Ok(self.session.query(interner, q)?.0)
+    }
+
+    /// Re-classifies one fact's role, repairing the caches
+    /// incrementally.
+    ///
+    /// # Errors
+    /// Schema mismatches with the stored relation.
+    pub fn set_fact(
+        &mut self,
+        interner: &Interner,
+        fact: &Fact,
+        role: FactRole,
+    ) -> Result<UpdateOutcome, ServingError> {
+        let ann = match role {
+            FactRole::Exogenous => self.monoid.one(),
+            FactRole::Endogenous => self.monoid.star(),
+            FactRole::Absent => self.monoid.zero(),
+        };
+        self.session.update(interner, fact, ann)
+    }
+
+    /// The underlying session (sharing/caching introspection).
+    pub fn session(&self) -> &ServingSession<SatCountMonoid, R> {
+        &self.session
+    }
+}
+
 /// Computes the exact Shapley value of the endogenous fact `fact`.
 ///
 /// ```
@@ -448,6 +548,35 @@ mod tests {
         let v = sat_counts(&q, &i, &[], &endo).unwrap();
         assert_eq!(v.t, vec![nat(0), nat(2), nat(1)]);
         assert_eq!(v.f, vec![nat(1), nat(0), nat(0)]);
+    }
+
+    #[test]
+    fn sat_session_matches_fresh_counts_through_role_flips() {
+        let q = q_hierarchical();
+        let (db, i) = db_from_ints(&[("E", &[&[1, 2], &[1, 3]]), ("F", &[&[2, 9], &[3, 8]])]);
+        let endo = db.facts();
+        let mut session: SatSession = SatSession::new(&i, &[], &endo, endo.len()).unwrap();
+        let fresh = sat_counts_on(Backend::Columnar, &q, &i, &[], &endo).unwrap();
+        assert_eq!(session.query(&i, &q).unwrap(), fresh);
+        // Flip one fact to exogenous: the maintained session must match
+        // a fresh evaluation of the flipped split.
+        let exo = vec![endo[0].clone()];
+        let rest: Vec<Fact> = endo[1..].to_vec();
+        session.set_fact(&i, &endo[0], FactRole::Exogenous).unwrap();
+        let fresh = sat_counts_on(Backend::Columnar, &q, &i, &exo, &rest).unwrap();
+        // Capacity differs (|D_n| shrank), so compare the shared prefix.
+        let got = session.query(&i, &q).unwrap();
+        for k in 0..fresh.t.len() {
+            assert_eq!(got.t[k], fresh.t[k], "t[{k}]");
+        }
+        // Overlapping parts are rejected at construction.
+        assert!(SatSession::<crate::ColumnarRelation<SatVec>>::new(
+            &i,
+            &endo[..1],
+            &endo,
+            endo.len()
+        )
+        .is_err());
     }
 
     #[test]

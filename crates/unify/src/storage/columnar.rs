@@ -63,6 +63,14 @@ impl<K> ColumnarRelation<K> {
     pub fn dict(&self) -> &ValueDict {
         &self.dict
     }
+
+    /// Overwrites the schema labels — pure metadata; the serving
+    /// layer's shared (label-free) plan nodes use this to align a
+    /// cached relation with the consuming kernel's variable naming.
+    pub(crate) fn set_vars(&mut self, vars: Vec<Var>) {
+        debug_assert_eq!(vars.len(), self.width);
+        self.vars = vars;
+    }
 }
 
 /// Order-preserving 65-bit encoding of a [`Value`] into a `u128`
@@ -257,6 +265,10 @@ impl<K: Clone + PartialEq + std::fmt::Debug + Send + Sync> ColumnarRelation<K> {
 
 impl<K: Clone + PartialEq + std::fmt::Debug + Send + Sync> Storage for ColumnarRelation<K> {
     type Ann = K;
+    /// A dictionary code row (`width` codes): comparable across every
+    /// relation sharing the instance dictionary, 4 bytes per column,
+    /// no boxed values.
+    type Key = Vec<RowCode>;
 
     fn build_slots(slots: Vec<OwnedSlot<K>>) -> Result<Vec<Self>, DuplicateRow> {
         // Split each slot into (owned tuples, owned annotations) so the
@@ -406,7 +418,37 @@ impl<K: Clone + PartialEq + std::fmt::Debug + Send + Sync> Storage for ColumnarR
             let admitted = self.dict.encode_into(key, &mut codes);
             debug_assert!(admitted, "extended dictionary must cover the key");
         }
-        match (self.find(&codes), value) {
+        self.set_key(&codes, value);
+    }
+
+    fn group_rows(&self, keep: &[usize], group: &Tuple) -> Vec<K> {
+        debug_assert_eq!(keep.len(), group.arity());
+        let mut codes = Vec::with_capacity(group.arity());
+        if !self.dict.encode_into(group, &mut codes) {
+            return Vec::new(); // a value outside the dictionary cannot be stored
+        }
+        self.group_rows_key(keep, &codes)
+    }
+
+    fn key_of(&self, key: &Tuple) -> Option<Vec<RowCode>> {
+        let mut codes = Vec::with_capacity(key.arity());
+        if self.dict.encode_into(key, &mut codes) {
+            Some(codes)
+        } else {
+            None
+        }
+    }
+
+    fn project_key(key: &Vec<RowCode>, keep: &[usize]) -> Vec<RowCode> {
+        keep.iter().map(|&p| key[p]).collect()
+    }
+
+    fn get_key(&self, key: &Vec<RowCode>) -> Option<K> {
+        self.find(key).ok().map(|i| self.anns[i].clone())
+    }
+
+    fn set_key(&mut self, codes: &Vec<RowCode>, value: Option<K>) {
+        match (self.find(codes), value) {
             (Ok(i), Some(v)) => self.anns[i] = v,
             (Ok(i), None) => {
                 let w = self.width;
@@ -416,7 +458,7 @@ impl<K: Clone + PartialEq + std::fmt::Debug + Send + Sync> Storage for ColumnarR
             }
             (Err(i), Some(v)) => {
                 let w = self.width;
-                self.keys.splice(i * w..i * w, codes);
+                self.keys.splice(i * w..i * w, codes.iter().copied());
                 self.anns.insert(i, v);
                 self.len += 1;
             }
@@ -424,13 +466,9 @@ impl<K: Clone + PartialEq + std::fmt::Debug + Send + Sync> Storage for ColumnarR
         }
     }
 
-    fn group_rows(&self, keep: &[usize], group: &Tuple) -> Vec<K> {
-        debug_assert_eq!(keep.len(), group.arity());
+    fn group_rows_key(&self, keep: &[usize], codes: &Vec<RowCode>) -> Vec<K> {
+        debug_assert_eq!(keep.len(), codes.len());
         debug_assert!(keep.windows(2).all(|w| w[0] < w[1]));
-        let mut codes = Vec::with_capacity(group.arity());
-        if !self.dict.encode_into(group, &mut codes) {
-            return Vec::new(); // a value outside the dictionary cannot be stored
-        }
         // The leading literal run of `keep` is a sort-key prefix: its
         // row range is found by binary search (the group-offset index
         // is the sorted matrix itself), and only that range is scanned
@@ -452,6 +490,25 @@ impl<K: Clone + PartialEq + std::fmt::Debug + Send + Sync> Storage for ColumnarR
             })
             .map(|i| self.anns[i].clone())
             .collect()
+    }
+
+    fn prepare_values(&mut self, values: &[Value]) -> bool {
+        if values.iter().all(|v| self.dict.code(*v).is_some()) {
+            return false; // dictionary already covers the batch
+        }
+        // One extension and one matrix remap for the whole batch —
+        // versus one of each per novel-value `set` call. Codes stay
+        // value-ordered (the bit-identity invariant), and because the
+        // extension is a deterministic function of (dictionary content,
+        // value set), applying it to every relation of an instance
+        // keeps their dictionary *contents* aligned, which is what
+        // makes code keys comparable across relations.
+        let (dict, translation) = self.dict.extend_with(values.iter().copied());
+        for c in &mut self.keys {
+            *c = translation[*c as usize];
+        }
+        self.dict = Arc::new(dict);
+        true
     }
 }
 

@@ -1,5 +1,5 @@
-//! Cached dictionary encodings: the first slice of batched
-//! multi-query serving.
+//! Cached dictionary encodings: the substrate of batched multi-query
+//! serving.
 //!
 //! Building a columnar annotated database is dominated by the
 //! instance-wide value sort and dictionary scatter-encode. Those
@@ -12,6 +12,16 @@
 //! query's annotated slots by permuting cached `u32` codes — no value
 //! comparison, no dictionary build, no tuple materialisation.
 //!
+//! The encoding is no longer a throwaway snapshot: it records the
+//! [`Database::version`] of every relation it encoded, so staleness is
+//! detected **exactly** (any effective mutation, including interior
+//! same-size swaps, bumps the version) and [`EncodedDb::refresh`]
+//! re-encodes *only the relations that changed* — extending the shared
+//! dictionary in place (with a single remap of the untouched matrices)
+//! when an update introduced novel domain values. This is what lets a
+//! [`crate::serving::ServingSession`] keep its encoding warm across
+//! `update`/`update_batch` calls instead of rebuilding it.
+//!
 //! Results are bit-identical to the uncached columnar path: codes are
 //! order-preserving whether the dictionary covers the whole database
 //! or just the query's relations, so every comparison, fold, and
@@ -21,7 +31,7 @@ use super::columnar::ColumnarRelation;
 use super::DuplicateRow;
 use crate::annotated::{duplicate_error, AnnotateError, AnnotatedDb};
 use hq_db::{Database, Interner, RowCode, Sym, Tuple, Value, ValueDict};
-use hq_query::Query;
+use hq_query::{Query, Var};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
@@ -33,11 +43,34 @@ struct EncodedRel {
     width: usize,
     len: usize,
     codes: Vec<RowCode>,
+    /// The [`Database::version`] of the relation when these codes were
+    /// encoded — the per-relation dirty epoch the staleness guard and
+    /// [`EncodedDb::refresh`] compare against.
+    version: u64,
 }
 
-/// A database's dictionary encoding, computed once and reused by every
-/// query evaluated over that database (see
-/// [`crate::engine::evaluate_encoded`]).
+/// What an [`EncodedDb::refresh`] call actually did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RefreshOutcome {
+    /// Relations whose code matrices were re-encoded (their
+    /// [`Database::version`] had moved).
+    pub changed: Vec<Sym>,
+    /// Whether novel domain values forced a dictionary extension (and
+    /// one remap of every cached matrix).
+    pub dict_extended: bool,
+}
+
+impl RefreshOutcome {
+    /// `true` when the refresh found nothing to do.
+    pub fn is_noop(&self) -> bool {
+        self.changed.is_empty() && !self.dict_extended
+    }
+}
+
+/// A database's dictionary encoding, computed once, kept current with
+/// [`EncodedDb::refresh`], and reused by every query evaluated over
+/// that database (see [`crate::engine::evaluate_encoded`] and
+/// [`crate::serving::ServingSession`]).
 #[derive(Debug, Clone)]
 pub struct EncodedDb {
     dict: Arc<ValueDict>,
@@ -56,20 +89,7 @@ impl EncodedDb {
         let dict = Arc::new(ValueDict::build(values));
         let mut rels = BTreeMap::new();
         for (sym, rel) in db.relations() {
-            let width = rel.arity();
-            let mut codes = Vec::with_capacity(rel.len() * width);
-            for t in rel.iter() {
-                let ok = dict.encode_into(t, &mut codes);
-                debug_assert!(ok, "dictionary covers the whole database");
-            }
-            rels.insert(
-                sym,
-                EncodedRel {
-                    width,
-                    len: rel.len(),
-                    codes,
-                },
-            );
+            rels.insert(sym, encode_rel(&dict, rel, db.version(sym)));
         }
         EncodedDb { dict, rels }
     }
@@ -79,113 +99,175 @@ impl EncodedDb {
         &self.dict
     }
 
-    /// Guards against use-after-mutation: cheap always-on detectors
-    /// (row count, first/last tuple codes) plus a full re-encode
-    /// comparison in debug builds. See the `annotate` panic docs for
-    /// what release builds can and cannot catch.
-    fn check_snapshot(&self, sym: Sym, enc: &EncodedRel, rel: &hq_db::Relation) {
-        assert_eq!(
-            rel.len(),
-            enc.len,
-            "database changed since EncodedDb::new — rebuild the encoding"
-        );
-        let mut codes = Vec::with_capacity(enc.width);
-        let mut row_matches = |idx: usize, t: &Tuple| {
-            codes.clear();
-            self.dict.encode_into(t, &mut codes)
-                && codes == enc.codes[idx * enc.width..(idx + 1) * enc.width]
-        };
-        if let (Some(first), Some(last)) = (rel.iter().next(), rel.iter().last()) {
-            assert!(
-                row_matches(0, first) && row_matches(enc.len - 1, last),
-                "relation {sym:?} changed since EncodedDb::new — rebuild the encoding"
-            );
+    /// The per-relation dirty epoch this encoding is valid at: the
+    /// [`Database::version`] recorded when `rel`'s codes were last
+    /// (re-)encoded. `None` for relations the encoding has never seen.
+    pub fn encoded_version(&self, rel: Sym) -> Option<u64> {
+        self.rels.get(&rel).map(|e| e.version)
+    }
+
+    /// Brings the encoding up to date with `db`, re-encoding **only**
+    /// the relations whose [`Database::version`] moved since they were
+    /// last encoded (plus relations the encoding has never seen). When
+    /// the changed relations carry domain values outside the shared
+    /// dictionary, the dictionary is extended once — order-preserving,
+    /// so code comparisons keep matching value comparisons — and every
+    /// *unchanged* matrix is remapped through the old→new translation
+    /// in one linear pass.
+    ///
+    /// Cost: `O(Σ |changed relations| + dict_extended · Σ |all codes|)`
+    /// — a function of the dirty set, not of the database, in the
+    /// common no-novel-values case.
+    pub fn refresh(&mut self, db: &Database) -> RefreshOutcome {
+        let stale: Vec<Sym> = db
+            .relations()
+            .filter(|&(sym, _)| self.encoded_version(sym) != Some(db.version(sym)))
+            .map(|(sym, _)| sym)
+            .collect();
+        if stale.is_empty() {
+            return RefreshOutcome::default();
         }
-        #[cfg(debug_assertions)]
-        for (idx, t) in rel.iter().enumerate() {
-            assert!(
-                row_matches(idx, t),
-                "relation {sym:?} row {idx} changed since EncodedDb::new — rebuild the encoding"
-            );
+        // Novel values can only come from stale relations.
+        let mut novel: std::collections::BTreeSet<Value> = std::collections::BTreeSet::new();
+        for &sym in &stale {
+            let rel = db.relation(sym).expect("stale relation exists");
+            for t in rel.iter() {
+                novel.extend(
+                    t.values()
+                        .iter()
+                        .copied()
+                        .filter(|v| self.dict.code(*v).is_none()),
+                );
+            }
+        }
+        let dict_extended = !novel.is_empty();
+        if dict_extended {
+            let (dict, translation) = self.dict.extend_with(novel);
+            // Remap only the *unchanged* matrices: the stale ones are
+            // re-encoded from scratch right below.
+            for (sym, enc) in self.rels.iter_mut() {
+                if stale.contains(sym) {
+                    continue;
+                }
+                for c in &mut enc.codes {
+                    *c = translation[*c as usize];
+                }
+            }
+            self.dict = Arc::new(dict);
+        }
+        for &sym in &stale {
+            let rel = db.relation(sym).expect("stale relation exists");
+            self.rels
+                .insert(sym, encode_rel(&self.dict, rel, db.version(sym)));
+        }
+        RefreshOutcome {
+            changed: stale,
+            dict_extended,
         }
     }
 
-    /// Assembles the K-annotated columnar database for `q` from the
-    /// cached codes. `ann` is called once per fact, in each relation's
-    /// sorted tuple order, to supply its annotation. `db` must be the
-    /// database this encoding was built from.
+    /// Exact staleness guard: the encoding records each relation's
+    /// [`Database::version`] at encode time, so *any* effective
+    /// mutation since — growth, shrinkage, or an interior same-size
+    /// swap — is caught in `O(1)`, in release builds too. The row
+    /// count stays always-on as a second line of defence against
+    /// mutations that bypass the counters (e.g. through the `&mut
+    /// Relation` that [`Database::declare`] hands out); debug builds
+    /// additionally re-encode every tuple as a belt-and-braces check
+    /// that equal versions really do imply equal codes.
+    fn check_fresh(&self, sym: Sym, enc: &EncodedRel, db: &Database) {
+        assert_eq!(
+            db.version(sym),
+            enc.version,
+            "relation {sym:?} changed since it was encoded — refresh or rebuild the encoding"
+        );
+        let rel = db.relation(sym).expect("encoded relation exists");
+        assert_eq!(
+            rel.len(),
+            enc.len,
+            "relation {sym:?} changed behind its version counter — refresh or rebuild the encoding"
+        );
+        #[cfg(debug_assertions)]
+        {
+            let mut codes = Vec::with_capacity(enc.width);
+            for (idx, t) in rel.iter().enumerate() {
+                codes.clear();
+                assert!(
+                    self.dict.encode_into(t, &mut codes)
+                        && codes == enc.codes[idx * enc.width..(idx + 1) * enc.width],
+                    "relation {sym:?} row {idx} diverged from its encoding at equal versions"
+                );
+            }
+        }
+    }
+
+    /// Assembles one query atom's K-annotated columnar slot from the
+    /// cached codes: the shared entry point of [`EncodedDb::annotate`]
+    /// and the serving session's plan-node scans. `sorted_vars` is the
+    /// atom's schema in ascending variable-id order and `positions`
+    /// the written-order column permutation (`None` when they
+    /// coincide); `ann` is called once per fact in the relation's
+    /// sorted tuple order. `dup` renders a duplicate key (repeated
+    /// variables in the atom) into the caller's error.
     ///
     /// # Errors
-    /// [`AnnotateError::ArityMismatch`] when a query atom disagrees
-    /// with the encoded relation's arity, [`AnnotateError::DuplicateFact`]
-    /// when an atom with repeated variables keys two facts identically.
+    /// [`AnnotateError::ArityMismatch`] / the rendered duplicate.
     ///
     /// # Panics
-    /// The encoding is a **snapshot**, not a live view: mutating the
-    /// database after [`EncodedDb::new`] requires rebuilding it.
-    /// Release builds panic on the cheap detectors — a changed row
-    /// count, or a changed first/last tuple per relation; debug builds
-    /// re-encode every tuple and panic on any divergence. A same-size
-    /// interior mutation that preserves each relation's first and last
-    /// tuples is **not** detected in release builds and yields stale
-    /// rows.
-    pub fn annotate<K, F>(
+    /// Panics when the relation's [`Database::version`] moved since it
+    /// was encoded (see [`EncodedDb::refresh`]).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn encode_slot<K, F>(
         &self,
         db: &Database,
-        q: &Query,
         interner: &Interner,
-        mut ann: F,
-    ) -> Result<AnnotatedDb<ColumnarRelation<K>>, AnnotateError>
+        rel_name: &str,
+        sorted_vars: Vec<Var>,
+        positions: Option<&[usize]>,
+        ann: &mut F,
+        dup: impl FnOnce(Tuple) -> AnnotateError,
+    ) -> Result<ColumnarRelation<K>, AnnotateError>
     where
         K: Clone + PartialEq + fmt::Debug + Send + Sync,
         F: FnMut(Sym, &Tuple) -> K,
     {
-        let mut slots = Vec::with_capacity(q.atom_count());
-        let mut slot_positions: Vec<Option<Vec<usize>>> = Vec::with_capacity(q.atom_count());
-        for (slot, atom) in q.atoms().iter().enumerate() {
-            let mut sorted = atom.vars.clone();
-            sorted.sort_unstable();
-            let positions: Vec<usize> = sorted
-                .iter()
-                .map(|v| {
-                    atom.vars
-                        .iter()
-                        .position(|w| w == v)
-                        .expect("sorted vars come from the atom")
-                })
-                .collect();
-            let identity = positions.iter().enumerate().all(|(a, &b)| a == b);
-            slot_positions.push(if identity {
-                None
-            } else {
-                Some(positions.clone())
-            });
-            let width = sorted.len();
-            let cached = interner
-                .get(&atom.rel)
-                .and_then(|s| self.rels.get(&s).map(|e| (s, e)));
-            let (keys, anns): (Vec<RowCode>, Vec<K>) = match cached {
-                None => (Vec::new(), Vec::new()), // relation absent from the database
-                Some((sym, enc)) => {
-                    if enc.width != width {
-                        return Err(AnnotateError::ArityMismatch {
-                            rel: atom.rel.clone(),
-                            atom_arity: width,
-                            fact_arity: enc.width,
-                        });
-                    }
-                    let rel = db.relation(sym).expect("encoded relation exists");
-                    self.check_snapshot(sym, enc, rel);
-                    let anns: Vec<K> = rel.iter().map(|t| ann(sym, t)).collect();
-                    if identity {
-                        // Written order is sorted-var order and codes are
-                        // value-ordered: cached rows are already sorted.
-                        (enc.codes.clone(), anns)
-                    } else {
+        let width = sorted_vars.len();
+        let cached = interner
+            .get(rel_name)
+            .and_then(|s| self.rels.get(&s).map(|e| (s, e)));
+        let (keys, anns): (Vec<RowCode>, Vec<K>) = match cached {
+            None => {
+                // The relation holds no facts — but if the *database*
+                // has grown one behind the encoding's back, silence
+                // would serve stale emptiness.
+                if let Some(sym) = interner.get(rel_name) {
+                    assert!(
+                        db.relation(sym).is_none_or(|r| r.is_empty()),
+                        "relation {sym:?} appeared after the encoding was built — refresh or rebuild the encoding"
+                    );
+                }
+                (Vec::new(), Vec::new())
+            }
+            Some((sym, enc)) => {
+                if enc.width != width {
+                    return Err(AnnotateError::ArityMismatch {
+                        rel: rel_name.to_owned(),
+                        atom_arity: width,
+                        fact_arity: enc.width,
+                    });
+                }
+                self.check_fresh(sym, enc, db);
+                let rel = db.relation(sym).expect("encoded relation exists");
+                let anns: Vec<K> = rel.iter().map(|t| ann(sym, t)).collect();
+                match positions {
+                    // Written order is sorted-var order and codes are
+                    // value-ordered: cached rows are already sorted.
+                    None => (enc.codes.clone(), anns),
+                    Some(positions) => {
                         let mut keys = Vec::with_capacity(enc.codes.len());
                         for r in 0..enc.len {
                             let row = &enc.codes[r * width..(r + 1) * width];
-                            for &p in &positions {
+                            for &p in positions {
                                 keys.push(row[p]);
                             }
                         }
@@ -208,36 +290,94 @@ impl EncodedDb {
                         (new_keys, new_anns)
                     }
                 }
-            };
-            // Atoms with repeated variables can key two distinct facts
-            // identically — the same DuplicateFact the uncached path
-            // reports.
-            if let Some(i) = (1..anns.len())
-                .find(|&i| keys[(i - 1) * width..i * width] == keys[i * width..(i + 1) * width])
-            {
-                return Err(duplicate_error(
-                    q,
-                    interner,
-                    &slot_positions,
-                    DuplicateRow {
-                        slot,
-                        key: self.dict.decode(&keys[i * width..(i + 1) * width]),
-                    },
-                ));
             }
-            let len = anns.len();
-            slots.push(ColumnarRelation {
-                vars: sorted,
-                width,
-                len,
-                dict: Arc::clone(&self.dict),
-                keys,
-                anns,
-            });
+        };
+        // Atoms with repeated variables can key two distinct facts
+        // identically — the same DuplicateFact the uncached path
+        // reports.
+        if let Some(i) = (1..anns.len())
+            .find(|&i| keys[(i - 1) * width..i * width] == keys[i * width..(i + 1) * width])
+        {
+            return Err(dup(self.dict.decode(&keys[i * width..(i + 1) * width])));
+        }
+        let len = anns.len();
+        Ok(ColumnarRelation {
+            vars: sorted_vars,
+            width,
+            len,
+            dict: Arc::clone(&self.dict),
+            keys,
+            anns,
+        })
+    }
+
+    /// Assembles the K-annotated columnar database for `q` from the
+    /// cached codes. `ann` is called once per fact, in each relation's
+    /// sorted tuple order, to supply its annotation. `db` must be the
+    /// database this encoding was built from (and refreshed against).
+    ///
+    /// # Errors
+    /// [`AnnotateError::ArityMismatch`] when a query atom disagrees
+    /// with the encoded relation's arity, [`AnnotateError::DuplicateFact`]
+    /// when an atom with repeated variables keys two facts identically.
+    ///
+    /// # Panics
+    /// Panics when any queried relation's [`Database::version`] moved
+    /// since it was encoded: mutating the database requires an
+    /// [`EncodedDb::refresh`] (or rebuild) first. The version counters
+    /// make the detection exact — interior same-size mutations that the
+    /// old content spot checks could miss are caught in release builds
+    /// too.
+    pub fn annotate<K, F>(
+        &self,
+        db: &Database,
+        q: &Query,
+        interner: &Interner,
+        mut ann: F,
+    ) -> Result<AnnotatedDb<ColumnarRelation<K>>, AnnotateError>
+    where
+        K: Clone + PartialEq + fmt::Debug + Send + Sync,
+        F: FnMut(Sym, &Tuple) -> K,
+    {
+        let mut slots = Vec::with_capacity(q.atom_count());
+        let mut slot_vars: Vec<Vec<Var>> = Vec::with_capacity(q.atom_count());
+        let mut slot_positions: Vec<Option<Vec<usize>>> = Vec::with_capacity(q.atom_count());
+        for atom in q.atoms() {
+            let (sorted, positions) = atom.key_positions();
+            slot_vars.push(sorted);
+            slot_positions.push(positions);
+        }
+        for (slot, atom) in q.atoms().iter().enumerate() {
+            let rel = self.encode_slot(
+                db,
+                interner,
+                &atom.rel,
+                slot_vars[slot].clone(),
+                slot_positions[slot].as_deref(),
+                &mut ann,
+                |key| duplicate_error(q, interner, &slot_positions, DuplicateRow { slot, key }),
+            )?;
+            slots.push(rel);
         }
         Ok(AnnotatedDb {
             slots: slots.into_iter().map(Some).collect(),
         })
+    }
+}
+
+/// Encodes one relation's sorted tuples into a row-major code matrix.
+fn encode_rel(dict: &ValueDict, rel: &hq_db::Relation, version: u64) -> EncodedRel {
+    let width = rel.arity();
+    let mut codes = Vec::with_capacity(rel.len() * width);
+    for t in rel.iter() {
+        let ok = dict.encode_into(t, &mut codes);
+        debug_assert!(ok, "dictionary covers the whole database");
+    }
+    EncodedRel {
+        width,
+        len: rel.len(),
+        codes,
+        version,
     }
 }
 
@@ -308,17 +448,82 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "rebuild the encoding")]
+    #[should_panic(expected = "refresh or rebuild the encoding")]
     fn stale_snapshot_detected() {
-        // Same row count, different content: the snapshot guard must
-        // refuse rather than silently pair stale codes with new facts.
-        let (mut db, i) = db_from_ints(&[("R", &[&[1], &[2]])]);
+        // Same row count, same first/last tuples, different interior:
+        // the old spot checks missed this shape in release builds; the
+        // version guard must refuse it everywhere.
+        let (mut db, i) = db_from_ints(&[("R", &[&[1], &[5], &[9]])]);
         let q = Query::new(&[("R", &["X"])]).unwrap();
         let enc = EncodedDb::new(&db);
         let r = i.get("R").unwrap();
-        db.remove(&hq_db::Fact::new(r, Tuple::ints(&[2])));
+        db.remove(&hq_db::Fact::new(r, Tuple::ints(&[5])));
         db.insert_tuple(r, Tuple::ints(&[7]));
         let _ = enc.annotate::<u64, _>(&db, &q, &i, |_, _| 1);
+    }
+
+    #[test]
+    fn refresh_re_encodes_only_changed_relations() {
+        let (mut db, i) = fig1();
+        let mut enc = EncodedDb::new(&db);
+        assert!(enc.refresh(&db).is_noop(), "fresh encoding needs no work");
+        let s = i.get("S").unwrap();
+        let r = i.get("R").unwrap();
+        let v_r = enc.encoded_version(r).unwrap();
+        db.insert_tuple(s, Tuple::ints(&[2, 2]));
+        let out = enc.refresh(&db);
+        assert_eq!(out.changed, vec![s]);
+        assert!(!out.dict_extended, "values 2 already in the dictionary");
+        assert_eq!(enc.encoded_version(r), Some(v_r), "R untouched");
+        assert_eq!(enc.encoded_version(s), Some(db.version(s)));
+        // The refreshed encoding annotates like a from-scratch build.
+        let q = Query::new(&[("S", &["A", "C"])]).unwrap();
+        let got = enc.annotate::<u64, _>(&db, &q, &i, |_, _| 1).unwrap();
+        let want = EncodedDb::new(&db)
+            .annotate::<u64, _>(&db, &q, &i, |_, _| 1)
+            .unwrap();
+        assert_eq!(
+            got.slots[0].as_ref().unwrap().rows(),
+            want.slots[0].as_ref().unwrap().rows()
+        );
+    }
+
+    #[test]
+    fn refresh_extends_dictionary_for_novel_values() {
+        let (mut db, i) = fig1();
+        let mut enc = EncodedDb::new(&db);
+        let before = enc.dict().len();
+        let r = i.get("R").unwrap();
+        // 777 is outside the original domain: the shared dictionary
+        // must grow and *every* cached matrix stay consistent.
+        db.insert_tuple(r, Tuple::ints(&[1, 777]));
+        let out = enc.refresh(&db);
+        assert!(out.dict_extended);
+        assert!(enc.dict().len() > before);
+        let q = example_query();
+        let got = enc.annotate::<u64, _>(&db, &q, &i, |_, _| 1).unwrap();
+        let want = EncodedDb::new(&db)
+            .annotate::<u64, _>(&db, &q, &i, |_, _| 1)
+            .unwrap();
+        for (g, w) in got.slots.iter().zip(&want.slots) {
+            assert_eq!(
+                g.as_ref().unwrap().rows(),
+                w.as_ref().unwrap().rows(),
+                "refreshed encoding must equal a rebuild"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "appeared after the encoding was built")]
+    fn relation_born_after_encoding_detected() {
+        let (db, mut i) = db_from_ints(&[("R", &[&[1]])]);
+        let enc = EncodedDb::new(&db);
+        let mut db2 = db.clone();
+        let s = i.intern("S");
+        db2.insert_tuple(s, Tuple::ints(&[3]));
+        let q = Query::new(&[("S", &["X"])]).unwrap();
+        let _ = enc.annotate::<u64, _>(&db2, &q, &i, |_, _| 1);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use super::{DuplicateRow, OwnedSlot, Storage};
 use crate::engine::EngineStats;
-use hq_db::Tuple;
+use hq_db::{Tuple, Value};
 use hq_monoid::TwoMonoid;
 use hq_query::Var;
 use std::collections::BTreeMap;
@@ -43,6 +43,9 @@ impl<K> MapRelation<K> {
 
 impl<K: Clone + PartialEq + std::fmt::Debug + Send + Sync> Storage for MapRelation<K> {
     type Ann = K;
+    /// The ordered map keys by tuple already; the native key *is* the
+    /// tuple.
+    type Key = Tuple;
 
     fn build_slots(slots: Vec<OwnedSlot<K>>) -> Result<Vec<Self>, DuplicateRow> {
         use std::collections::btree_map::Entry;
@@ -211,6 +214,30 @@ impl<K: Clone + PartialEq + std::fmt::Debug + Send + Sync> Storage for MapRelati
             })
             .map(|(_, k)| k.clone())
             .collect()
+    }
+
+    fn key_of(&self, key: &Tuple) -> Option<Tuple> {
+        Some(key.clone())
+    }
+
+    fn project_key(key: &Tuple, keep: &[usize]) -> Tuple {
+        key.project(keep)
+    }
+
+    fn get_key(&self, key: &Tuple) -> Option<K> {
+        self.get(key)
+    }
+
+    fn set_key(&mut self, key: &Tuple, value: Option<K>) {
+        self.set(key, value);
+    }
+
+    fn group_rows_key(&self, keep: &[usize], group: &Tuple) -> Vec<K> {
+        self.group_rows(keep, group)
+    }
+
+    fn prepare_values(&mut self, _values: &[Value]) -> bool {
+        false // no dictionary: tuples carry their values directly
     }
 }
 

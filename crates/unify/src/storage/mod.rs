@@ -36,12 +36,12 @@ mod map;
 mod sharded;
 
 pub use columnar::{BorrowedSlot, ColumnarRelation};
-pub use encoded::EncodedDb;
+pub use encoded::{EncodedDb, RefreshOutcome};
 pub use map::MapRelation;
 pub use sharded::ShardedColumnar;
 
 use crate::engine::EngineStats;
-use hq_db::Tuple;
+use hq_db::{Tuple, Value};
 use hq_monoid::TwoMonoid;
 use hq_query::Var;
 use std::fmt;
@@ -221,6 +221,21 @@ pub trait Storage: Clone + fmt::Debug + Sized {
     /// The annotation carrier `K`.
     type Ann: Clone + PartialEq + fmt::Debug + Send + Sync;
 
+    /// The backend-native row key used by the incremental maintainer's
+    /// dirty sets: [`Tuple`] on the ordered-map oracle, a dictionary
+    /// code row (`Vec<RowCode>`) on the columnar layouts — so the dirty
+    /// walk compares/projects 4-byte codes instead of decoding and
+    /// re-encoding boxed tuples at every probe.
+    ///
+    /// Code keys are only meaningful while every relation they flow
+    /// between shares one dictionary *content*. The build paths
+    /// establish this (one instance-wide dictionary); a batch of
+    /// updates whose keys carry novel domain values must call
+    /// [`Storage::prepare_values`] on every live relation **before**
+    /// encoding keys, which keeps the contents aligned (and makes
+    /// [`Storage::set_key`] extension-free).
+    type Key: Ord + Clone + fmt::Debug;
+
     /// Builds one relation per `(vars, rows)` slot. `rows` are keyed in
     /// `vars` order but arrive in **arbitrary order**: the backend owns
     /// sorting (in its own key representation — much cheaper than a
@@ -304,6 +319,38 @@ pub trait Storage: Clone + fmt::Debug + Sized {
     /// caller's own input and the full keys are irrelevant to the
     /// ⊕-fold.
     fn group_rows(&self, keep: &[usize], group: &Tuple) -> Vec<Self::Ann>;
+
+    /// Encodes a key tuple (in `vars` order) into the backend-native
+    /// [`Storage::Key`]. Returns `None` when a value lies outside the
+    /// backend's dictionary — after [`Storage::prepare_values`] covered
+    /// the batch this cannot happen, so the incremental maintainer
+    /// treats `None` as a contract violation.
+    fn key_of(&self, key: &Tuple) -> Option<Self::Key>;
+
+    /// Projects a native key onto the (strictly ascending) column
+    /// positions `keep` — the code-space equivalent of
+    /// [`Tuple::project`], allocation-light on the columnar layouts.
+    fn project_key(key: &Self::Key, keep: &[usize]) -> Self::Key;
+
+    /// Point read by native key (see [`Storage::get`]).
+    fn get_key(&self, key: &Self::Key) -> Option<Self::Ann>;
+
+    /// Point write by native key (see [`Storage::set`]). Unlike `set`,
+    /// this never extends the dictionary: native keys are already in
+    /// code space, so the write is a pure splice.
+    fn set_key(&mut self, key: &Self::Key, value: Option<Self::Ann>);
+
+    /// Group-range access by native group key (see
+    /// [`Storage::group_rows`]), skipping the per-probe tuple encode.
+    fn group_rows_key(&self, keep: &[usize], group: &Self::Key) -> Vec<Self::Ann>;
+
+    /// Batch-level dictionary extension: admits every value of `values`
+    /// into the backend's dictionary **once**, remapping the relation's
+    /// code matrix a single time — instead of one extension (and one
+    /// full remap) per novel-value [`Storage::set`] call. Returns
+    /// `true` iff the dictionary actually grew (the ordered-map oracle
+    /// has no dictionary and always returns `false`).
+    fn prepare_values(&mut self, values: &[Value]) -> bool;
 }
 
 #[cfg(test)]

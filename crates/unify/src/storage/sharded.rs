@@ -33,7 +33,7 @@
 use super::columnar::{self, ColumnarRelation};
 use super::{DuplicateRow, OwnedSlot, Parallelism, Storage};
 use crate::engine::EngineStats;
-use hq_db::{RowCode, Tuple};
+use hq_db::{RowCode, Tuple, Value};
 use hq_monoid::TwoMonoid;
 use hq_query::Var;
 use std::fmt;
@@ -62,6 +62,12 @@ impl<K> ShardedColumnar<K> {
     /// A view of the wrapped sequential relation.
     pub fn inner(&self) -> &ColumnarRelation<K> {
         &self.inner
+    }
+
+    /// Mutable access to the wrapped sequential relation (the serving
+    /// layer's scan patches and relabels go through this).
+    pub fn inner_mut(&mut self) -> &mut ColumnarRelation<K> {
+        &mut self.inner
     }
 
     /// The configured parallelism degree.
@@ -183,6 +189,8 @@ fn concat_shards<K>(
 
 impl<K: Clone + PartialEq + fmt::Debug + Send + Sync> Storage for ShardedColumnar<K> {
     type Ann = K;
+    /// Same code-row key as the wrapped sequential relation.
+    type Key = Vec<RowCode>;
 
     fn build_slots(slots: Vec<OwnedSlot<K>>) -> Result<Vec<Self>, DuplicateRow> {
         // `build_slots` carries no execution configuration, so slots
@@ -392,6 +400,30 @@ impl<K: Clone + PartialEq + fmt::Debug + Send + Sync> Storage for ShardedColumna
         // order and op counts. Dirty refolds therefore run on the
         // sequential kernel regardless of the parallelism degree.
         self.inner.group_rows(keep, group)
+    }
+
+    fn key_of(&self, key: &Tuple) -> Option<Vec<RowCode>> {
+        self.inner.key_of(key)
+    }
+
+    fn project_key(key: &Vec<RowCode>, keep: &[usize]) -> Vec<RowCode> {
+        ColumnarRelation::<K>::project_key(key, keep)
+    }
+
+    fn get_key(&self, key: &Vec<RowCode>) -> Option<K> {
+        self.inner.get_key(key)
+    }
+
+    fn set_key(&mut self, key: &Vec<RowCode>, value: Option<K>) {
+        self.inner.set_key(key, value);
+    }
+
+    fn group_rows_key(&self, keep: &[usize], group: &Vec<RowCode>) -> Vec<K> {
+        self.inner.group_rows_key(keep, group)
+    }
+
+    fn prepare_values(&mut self, values: &[Value]) -> bool {
+        self.inner.prepare_values(values)
     }
 }
 

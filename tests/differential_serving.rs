@@ -1,0 +1,502 @@
+//! Differential testing of the multi-query serving session: through
+//! arbitrary mixed scripts of (possibly overlapping) queries and
+//! update batches — probability drifts, deletions, dynamic inserts
+//! with novel domain values — every query served from the shared plan
+//! cache must be **indistinguishable** from an independent fresh
+//! evaluation of the current state: values bit-for-bit on floats, and
+//! the reported [`EngineStats`] (⊕/⊗ op counts *and* support
+//! trajectory) equal to the fresh run's — on the ordered-map oracle,
+//! the sequential columnar backend, and the sharded backend at thread
+//! counts 2 and 8.
+//!
+//! Non-prop pins: a batch of overlapping queries must perform strictly
+//! fewer monoid operations than independent `evaluate_encoded` calls
+//! (the acceptance bar for common-subexpression sharing), and a cache
+//! hit must perform **zero** monoid operations on the shared prefix.
+
+mod common;
+
+use common::random_instance;
+use hq_db::{Database, Fact, Interner, Tuple};
+use hq_monoid::{BagMaxMonoid, CountMonoid, ProbMonoid, TwoMonoid};
+use hq_query::Query;
+use hq_unify::engine::EngineStats;
+use hq_unify::{
+    evaluate_encoded, evaluate_on, ColumnarRelation, EncodedDb, MapRelation, Parallelism,
+    ServingBackend, ServingSession, ShardedColumnar,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Thread counts for the sharded serving sessions.
+const THREADS: [usize; 2] = [2, 8];
+
+/// One serving session per backend flavour, all fed the same script.
+struct Fleet<M: TwoMonoid> {
+    map: ServingSession<M, MapRelation<M::Elem>>,
+    columnar: ServingSession<M, ColumnarRelation<M::Elem>>,
+    sharded: Vec<ServingSession<M, ShardedColumnar<M::Elem>>>,
+}
+
+impl<M: TwoMonoid + Clone> Fleet<M> {
+    fn build(monoid: &M, interner: &Interner, facts: &[(Fact, M::Elem)]) -> Self {
+        Fleet {
+            map: ServingSession::new(monoid.clone(), interner, facts.iter().cloned()).unwrap(),
+            columnar: ServingSession::new(monoid.clone(), interner, facts.iter().cloned()).unwrap(),
+            sharded: THREADS
+                .iter()
+                .map(|&t| {
+                    ServingSession::with_parallelism(
+                        monoid.clone(),
+                        interner,
+                        facts.iter().cloned(),
+                        Parallelism::fine_grained(t),
+                    )
+                    .unwrap()
+                })
+                .collect(),
+        }
+    }
+
+    /// Serves `q` from every session and asserts all agree; returns the
+    /// shared `(value, stats)`.
+    fn query(&mut self, interner: &Interner, q: &Query) -> (M::Elem, EngineStats) {
+        let (want, want_stats) = self.map.query(interner, q).unwrap();
+        let (got, stats) = self.columnar.query(interner, q).unwrap();
+        assert_eq!(want, got, "columnar session diverged on {q}");
+        assert_eq!(want_stats, stats, "columnar stats diverged on {q}");
+        for s in &mut self.sharded {
+            let (got, stats) = s.query(interner, q).unwrap();
+            assert_eq!(want, got, "sharded session diverged on {q}");
+            assert_eq!(want_stats, stats, "sharded stats diverged on {q}");
+        }
+        (want, want_stats)
+    }
+
+    fn update_batch(&mut self, interner: &Interner, batch: &[(Fact, M::Elem)]) {
+        self.map.update_batch(interner, batch).unwrap();
+        self.columnar.update_batch(interner, batch).unwrap();
+        for s in &mut self.sharded {
+            s.update_batch(interner, batch).unwrap();
+        }
+    }
+}
+
+/// A family of overlapping queries over `q`'s schema: the full query
+/// plus every leading atom prefix (removing atoms of a hierarchical
+/// query preserves the hierarchy property: each `at(·)` only shrinks),
+/// and the full query once more so at least one script entry is a pure
+/// cache hit.
+fn query_family(q: &Query) -> Vec<Query> {
+    let mut family = vec![q.clone()];
+    for len in 1..q.atom_count() {
+        let atoms: Vec<(String, Vec<String>)> = q.atoms()[..len]
+            .iter()
+            .map(|a| {
+                (
+                    a.rel.clone(),
+                    a.vars.iter().map(|&v| q.var_name(v).to_owned()).collect(),
+                )
+            })
+            .collect();
+        let borrowed: Vec<(&str, Vec<&str>)> = atoms
+            .iter()
+            .map(|(r, vs)| (r.as_str(), vs.iter().map(String::as_str).collect()))
+            .collect();
+        let specs: Vec<(&str, &[&str])> =
+            borrowed.iter().map(|(r, vs)| (*r, vs.as_slice())).collect();
+        family.push(Query::new(&specs).expect("atom subsets stay hierarchical"));
+    }
+    family.push(q.clone());
+    family
+}
+
+/// The query's relations as (symbol, arity), for generating updates.
+fn query_rels(q: &Query, interner: &Interner) -> Vec<(hq_db::Sym, usize)> {
+    q.atoms()
+        .iter()
+        .filter_map(|a| interner.get(&a.rel).map(|s| (s, a.vars.len())))
+        .collect()
+}
+
+/// A random update batch over the query relations: drifts, deletions
+/// (`None`), and genuinely new facts — half of them carrying domain
+/// values outside the original instance (dictionary-extension path).
+fn random_batch(
+    rng: &mut StdRng,
+    facts: &[Fact],
+    query_rels: &[(hq_db::Sym, usize)],
+    domain: i64,
+) -> Vec<(Fact, Option<f64>)> {
+    let len = rng.gen_range(1..=3);
+    (0..len)
+        .map(|_| {
+            let novel = rng.gen_bool(0.3) || facts.is_empty();
+            let fact = if novel {
+                let (rel, arity) = query_rels[rng.gen_range(0..query_rels.len())];
+                let hi = if rng.gen_bool(0.5) {
+                    domain
+                } else {
+                    domain * 4 + 7
+                };
+                let vals: Vec<i64> = (0..arity).map(|_| rng.gen_range(0..=hi)).collect();
+                Fact::new(rel, Tuple::ints(&vals))
+            } else {
+                facts[rng.gen_range(0..facts.len())].clone()
+            };
+            let weight = if rng.gen_bool(0.25) {
+                None // delete
+            } else {
+                Some(rng.gen_range(0.01..=1.0))
+            };
+            (fact, weight)
+        })
+        .collect()
+}
+
+/// Applies a batch to the model state the fresh evaluations run from.
+fn apply_to_model<K: Clone>(
+    current: &mut std::collections::BTreeMap<Fact, K>,
+    batch: &[(Fact, Option<K>)],
+) {
+    for (fact, v) in batch {
+        match v {
+            None => {
+                current.remove(fact);
+            }
+            Some(k) => {
+                current.insert(fact.clone(), k.clone());
+            }
+        }
+    }
+}
+
+/// Fresh `evaluate_encoded` over the model state (database + encoding
+/// rebuilt from scratch) — the independent baseline the acceptance
+/// criterion names.
+fn fresh_encoded<M: TwoMonoid>(
+    monoid: &M,
+    q: &Query,
+    interner: &Interner,
+    current: &std::collections::BTreeMap<Fact, M::Elem>,
+) -> (M::Elem, EngineStats) {
+    let mut db = Database::new();
+    for f in current.keys() {
+        db.insert(f.clone());
+    }
+    let enc = EncodedDb::new(&db);
+    evaluate_encoded(
+        Parallelism::default(),
+        monoid,
+        q,
+        interner,
+        &db,
+        &enc,
+        |sym, t| current[&Fact::new(sym, t.clone())].clone(),
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Probability monoid: a mixed script of overlapping queries and
+    /// update batches; every served answer bit-identical (value, op
+    /// counts, support trajectory) to fresh evaluation, on every
+    /// backend and thread count.
+    #[test]
+    fn prob_serving_matches_fresh_evaluation(seed in 0u64..1_000_000) {
+        let mut inst = random_instance(seed, 4, 4, 5, 3);
+        let rels = query_rels(&inst.query, &inst.interner);
+        if rels.is_empty() {
+            return Ok(());
+        }
+        let family = query_family(&inst.query);
+        let facts = inst.database.facts();
+        let mut current: std::collections::BTreeMap<Fact, f64> = facts
+            .iter()
+            .map(|f| (f.clone(), inst.rng.gen_range(0.01..=1.0)))
+            .collect();
+        let tid: Vec<(Fact, f64)> = current.clone().into_iter().collect();
+        let mut fleet = Fleet::build(&ProbMonoid, &inst.interner, &tid);
+        for round in 0..3 {
+            for q in &family {
+                let (got, stats) = fleet.query(&inst.interner, q);
+                let list: Vec<(Fact, f64)> = current.clone().into_iter().collect();
+                for backend in hq_unify::Backend::ALL {
+                    let (fresh, fresh_stats) =
+                        evaluate_on(backend, &ProbMonoid, q, &inst.interner, list.clone())
+                            .unwrap();
+                    prop_assert_eq!(
+                        got.to_bits(), fresh.to_bits(),
+                        "{} served {} vs fresh {} on {} (round {})",
+                        backend, got, fresh, q, round
+                    );
+                    prop_assert_eq!(&stats, &fresh_stats, "stats diverged on {}", q);
+                }
+                let (fresh, fresh_stats) = fresh_encoded(&ProbMonoid, q, &inst.interner, &current);
+                prop_assert_eq!(got.to_bits(), fresh.to_bits(), "encoded path on {}", q);
+                prop_assert_eq!(&stats, &fresh_stats, "encoded stats on {}", q);
+            }
+            let batch = random_batch(&mut inst.rng, &facts, &rels, 3);
+            apply_to_model(&mut current, &batch);
+            let writes: Vec<(Fact, f64)> = batch
+                .iter()
+                .map(|(f, v)| (f.clone(), v.unwrap_or(0.0)))
+                .collect();
+            fleet.update_batch(&inst.interner, &writes);
+        }
+    }
+
+    /// Counting semiring (annihilating ⊗): same contract.
+    #[test]
+    fn count_serving_matches_fresh_evaluation(seed in 0u64..1_000_000) {
+        let mut inst = random_instance(seed, 4, 4, 5, 3);
+        let rels = query_rels(&inst.query, &inst.interner);
+        if rels.is_empty() {
+            return Ok(());
+        }
+        let family = query_family(&inst.query);
+        let facts = inst.database.facts();
+        let mut current: std::collections::BTreeMap<Fact, u64> = facts
+            .iter()
+            .map(|f| (f.clone(), inst.rng.gen_range(1u64..=3)))
+            .collect();
+        let list: Vec<(Fact, u64)> = current.clone().into_iter().collect();
+        let mut fleet = Fleet::build(&CountMonoid, &inst.interner, &list);
+        for _ in 0..3 {
+            for q in &family {
+                let (got, stats) = fleet.query(&inst.interner, q);
+                let (fresh, fresh_stats) = fresh_encoded(&CountMonoid, q, &inst.interner, &current);
+                prop_assert_eq!(got, fresh, "on {}", q);
+                prop_assert_eq!(&stats, &fresh_stats, "stats diverged on {}", q);
+            }
+            let batch: Vec<(Fact, Option<u64>)> = random_batch(&mut inst.rng, &facts, &rels, 3)
+                .into_iter()
+                .map(|(f, w)| (f, w.map(|p| 1 + (p * 3.0) as u64)))
+                .collect();
+            apply_to_model(&mut current, &batch);
+            let writes: Vec<(Fact, u64)> = batch
+                .iter()
+                .map(|(f, v)| (f.clone(), v.unwrap_or(0)))
+                .collect();
+            fleet.update_batch(&inst.interner, &writes);
+        }
+    }
+
+    /// Bag-Set Maximization (non-annihilating ⊗ with 0-filled merges):
+    /// ψ-class scripts against fresh evaluation.
+    #[test]
+    fn bagmax_serving_matches_fresh_evaluation(seed in 0u64..1_000_000) {
+        let mut inst = random_instance(seed, 4, 3, 4, 3);
+        let rels = query_rels(&inst.query, &inst.interner);
+        if rels.is_empty() {
+            return Ok(());
+        }
+        let m = BagMaxMonoid::new(3);
+        let family = query_family(&inst.query);
+        let facts = inst.database.facts();
+        let mut current: std::collections::BTreeMap<Fact, _> = facts
+            .iter()
+            .map(|f| {
+                let k = if inst.rng.gen_bool(0.5) { m.one() } else { m.star() };
+                (f.clone(), k)
+            })
+            .collect();
+        let list: Vec<(Fact, _)> = current.clone().into_iter().collect();
+        let mut fleet = Fleet::build(&m, &inst.interner, &list);
+        for _ in 0..2 {
+            for q in &family {
+                let (got, stats) = fleet.query(&inst.interner, q);
+                let (fresh, fresh_stats) = fresh_encoded(&m, q, &inst.interner, &current);
+                prop_assert_eq!(&got, &fresh, "on {}", q);
+                prop_assert_eq!(&stats, &fresh_stats, "stats diverged on {}", q);
+            }
+            let batch: Vec<(Fact, Option<_>)> = random_batch(&mut inst.rng, &facts, &rels, 3)
+                .into_iter()
+                .map(|(f, w)| (f, w.map(|p| if p < 0.5 { m.one() } else { m.star() })))
+                .collect();
+            apply_to_model(&mut current, &batch);
+            let writes: Vec<(Fact, _)> = batch
+                .iter()
+                .map(|(f, v)| (f.clone(), v.clone().unwrap_or_else(|| m.zero())))
+                .collect();
+            fleet.update_batch(&inst.interner, &writes);
+        }
+    }
+}
+
+/// The chain instance every non-prop pin below uses: large enough that
+/// every query performs real monoid work.
+fn chain_instance() -> (Vec<(Fact, f64)>, Interner, Vec<Query>) {
+    let mut interner = Interner::new();
+    let e = interner.intern("E");
+    let f = interner.intern("F");
+    let mut tid = Vec::new();
+    for k in 0..48i64 {
+        tid.push((
+            Fact::new(e, Tuple::ints(&[k / 3, k % 7])),
+            0.05 + 0.01 * k as f64,
+        ));
+        tid.push((
+            Fact::new(f, Tuple::ints(&[k % 7, k / 2])),
+            0.9 - 0.01 * k as f64,
+        ));
+    }
+    tid.sort_by(|a, b| a.0.cmp(&b.0));
+    tid.dedup_by(|a, b| a.0 == b.0);
+    let queries: Vec<Query> = [
+        "Q() :- E(X,Y), F(Y,Z)",
+        "Q() :- E(X,Y)",
+        "Q() :- F(Y,Z)",
+        "Q() :- E(X,Y), F(Y,Z)",
+    ]
+    .iter()
+    .map(|s| hq_query::parse_query(s).unwrap())
+    .collect();
+    (tid, interner, queries)
+}
+
+/// Acceptance criterion: a session serving N ≥ 4 overlapping queries
+/// performs strictly fewer total monoid ops than N independent
+/// `evaluate_encoded` calls, while every query's value and stats are
+/// bit-identical to its independent run — on map/columnar/sharded ×
+/// threads {1, 2, 8}.
+#[test]
+fn shared_serving_beats_independent_evaluation_on_every_backend() {
+    let (tid, interner, queries) = chain_instance();
+    let current: std::collections::BTreeMap<Fact, f64> = tid.iter().cloned().collect();
+    // Independent baseline: one evaluate_encoded per query (per the
+    // acceptance criterion), plus the map oracle for value checks.
+    let mut independent: Vec<(f64, EngineStats)> = Vec::new();
+    let mut independent_total = 0u64;
+    for q in &queries {
+        let (v, s) = fresh_encoded(&ProbMonoid, q, &interner, &current);
+        independent_total += s.total_ops();
+        independent.push((v, s));
+    }
+    fn check<R: ServingBackend<Ann = f64>>(
+        mut session: ServingSession<ProbMonoid, R>,
+        interner: &Interner,
+        queries: &[Query],
+        independent: &[(f64, EngineStats)],
+        independent_total: u64,
+        label: &str,
+    ) {
+        for (q, (want, want_stats)) in queries.iter().zip(independent) {
+            let (got, stats) = session.query(interner, q).unwrap();
+            assert_eq!(got.to_bits(), want.to_bits(), "{label}: value on {q}");
+            assert_eq!(&stats, want_stats, "{label}: stats on {q}");
+        }
+        assert!(
+            session.ops_performed() < independent_total,
+            "{label}: sharing must strictly beat independent evaluation \
+             (performed {} vs {})",
+            session.ops_performed(),
+            independent_total
+        );
+    }
+    check(
+        ServingSession::<_, MapRelation<f64>>::new(ProbMonoid, &interner, tid.iter().cloned())
+            .unwrap(),
+        &interner,
+        &queries,
+        &independent,
+        independent_total,
+        "map",
+    );
+    check(
+        ServingSession::<_, ColumnarRelation<f64>>::new(ProbMonoid, &interner, tid.iter().cloned())
+            .unwrap(),
+        &interner,
+        &queries,
+        &independent,
+        independent_total,
+        "columnar(threads=1)",
+    );
+    for t in THREADS {
+        check(
+            ServingSession::<_, ShardedColumnar<f64>>::with_parallelism(
+                ProbMonoid,
+                &interner,
+                tid.iter().cloned(),
+                Parallelism::fine_grained(t),
+            )
+            .unwrap(),
+            &interner,
+            &queries,
+            &independent,
+            independent_total,
+            &format!("sharded(threads={t})"),
+        );
+    }
+}
+
+/// A cache hit performs zero monoid ops on the shared prefix: a
+/// repeated query costs nothing, and an overlapping query pays only
+/// for its unshared suffix.
+#[test]
+fn cache_hit_performs_zero_ops_on_shared_prefix() {
+    let (tid, interner, _) = chain_instance();
+    let q_full = hq_query::parse_query("Q() :- E(X,Y), F(Y,Z)").unwrap();
+    let q_sub = hq_query::parse_query("Q() :- E(X,Y)").unwrap();
+    let mut session: ServingSession<ProbMonoid, ColumnarRelation<f64>> =
+        ServingSession::new(ProbMonoid, &interner, tid.iter().cloned()).unwrap();
+    let (_, full_stats) = session.query(&interner, &q_full).unwrap();
+    assert_eq!(session.ops_performed(), full_stats.total_ops());
+    // Identical query: zero additional ops, identical report.
+    let before = session.ops_performed();
+    let (_, again) = session.query(&interner, &q_full).unwrap();
+    assert_eq!(again, full_stats);
+    assert_eq!(session.ops_performed(), before, "full cache hit costs zero");
+    // Overlapping query: E's scan and its first fold are shared (zero
+    // ops); only the unshared suffix is paid for.
+    let current: std::collections::BTreeMap<Fact, f64> = tid.iter().cloned().collect();
+    let (_, sub_stats) = fresh_encoded(&ProbMonoid, &q_sub, &interner, &current);
+    session.query(&interner, &q_sub).unwrap();
+    let paid = session.ops_performed() - before;
+    assert!(
+        paid < sub_stats.total_ops(),
+        "shared prefix must be free: paid {paid} of {}",
+        sub_stats.total_ops()
+    );
+}
+
+/// Updates touching one relation leave the other relation's cached
+/// pipeline warm — re-serving it is free — while the dirty pipeline is
+/// recomputed and stays bit-identical to fresh evaluation.
+#[test]
+fn update_invalidation_is_scoped_to_touched_relations() {
+    let (tid, interner, _) = chain_instance();
+    let q_e = hq_query::parse_query("Q() :- E(X,Y)").unwrap();
+    let q_f = hq_query::parse_query("Q() :- F(Y,Z)").unwrap();
+    let mut session: ServingSession<ProbMonoid, ColumnarRelation<f64>> =
+        ServingSession::new(ProbMonoid, &interner, tid.iter().cloned()).unwrap();
+    session.query(&interner, &q_e).unwrap();
+    session.query(&interner, &q_f).unwrap();
+    let before = session.ops_performed();
+    // Touch E only (existing domain values: the delta-patch path).
+    let e_fact = tid
+        .iter()
+        .find(|(f, _)| interner.resolve(f.rel) == "E")
+        .unwrap()
+        .0
+        .clone();
+    let out = session.update(&interner, &e_fact, 0.42).unwrap();
+    assert_eq!(out.touched, vec!["E".to_owned()]);
+    assert!(!out.refresh.dict_extended);
+    assert!(out.patched_scans >= 1, "E's scan stays warm via patching");
+    session.query(&interner, &q_f).unwrap();
+    assert_eq!(
+        session.ops_performed(),
+        before,
+        "F's pipeline must stay warm across an E-only update"
+    );
+    let mut current: std::collections::BTreeMap<Fact, f64> = tid.iter().cloned().collect();
+    current.insert(e_fact, 0.42);
+    let (want, want_stats) = fresh_encoded(&ProbMonoid, &q_e, &interner, &current);
+    let (got, stats) = session.query(&interner, &q_e).unwrap();
+    assert_eq!(got.to_bits(), want.to_bits());
+    assert_eq!(stats, want_stats);
+}
