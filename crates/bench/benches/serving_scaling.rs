@@ -171,6 +171,63 @@ fn bench_serving_summary(_c: &mut Criterion) {
                 "serving diverged after updates at |D| = {d}"
             );
         }
+        // --- Delta-patching vs drop-and-rebuild: the same interleaved
+        // update/query stream served by a session that patches cached
+        // intermediates in place (the default) and by one that drops
+        // every dirty intermediate (`patch_fraction = 0`, the old
+        // behaviour). Patched must execute strictly fewer monoid ops
+        // and stay bit-identical.
+        let mut patched: ServingSession<ProbMonoid, ColumnarRelation<f64>> =
+            ServingSession::new(ProbMonoid, &w.interner, w.tid.iter().cloned()).unwrap();
+        let mut rebuild: ServingSession<ProbMonoid, ColumnarRelation<f64>> =
+            ServingSession::new(ProbMonoid, &w.interner, w.tid.iter().cloned()).unwrap();
+        rebuild.set_patch_fraction(0.0);
+        let mut patched_vals = Vec::new();
+        let mut rebuild_vals = Vec::new();
+        let mut j = 0usize;
+        entries.extend(thread_sweep(
+            &format!("patched_upd_4q_{d}"),
+            &[1],
+            (iters / 2).max(3),
+            |_| {
+                let (f, p) = &updates[j % updates.len()];
+                j += 1;
+                patched.update(&w.interner, f, *p).unwrap();
+                patched_vals = queries
+                    .iter()
+                    .map(|q| patched.query(&w.interner, q).unwrap().0)
+                    .collect::<Vec<f64>>();
+            },
+        ));
+        let mut j = 0usize;
+        entries.extend(thread_sweep(
+            &format!("rebuild_upd_4q_{d}"),
+            &[1],
+            (iters / 2).max(3),
+            |_| {
+                let (f, p) = &updates[j % updates.len()];
+                j += 1;
+                rebuild.update(&w.interner, f, *p).unwrap();
+                rebuild_vals = queries
+                    .iter()
+                    .map(|q| rebuild.query(&w.interner, q).unwrap().0)
+                    .collect::<Vec<f64>>();
+            },
+        ));
+        for (p, r) in patched_vals.iter().zip(&rebuild_vals) {
+            assert_eq!(
+                p.to_bits(),
+                r.to_bits(),
+                "patched serving diverged from rebuild at |D| = {d}"
+            );
+        }
+        assert!(
+            patched.ops_performed() < rebuild.ops_performed(),
+            "delta-patching must execute strictly fewer monoid ops than \
+             drop-and-rebuild at |D| = {d}: {} vs {}",
+            patched.ops_performed(),
+            rebuild.ops_performed()
+        );
         // The acceptance bar, asserted on real workloads: sharing must
         // execute strictly fewer monoid ops than independent totals.
         let mut probe: ServingSession<ProbMonoid, ColumnarRelation<f64>> =

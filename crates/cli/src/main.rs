@@ -75,8 +75,12 @@ fn usage() -> String {
      \x20                                                  unseen facts insert; trajectory printed)\n\
      \x20         [--mode serve --script <file>]           multi-query serving session: a mixed\n\
      \x20                                                  script of `? <query>` lines and fact\n\
-     \x20                                                  updates; overlapping queries share\n\
-     \x20                                                  cached sub-plans across updates\n\
+     \x20                                                  updates (`!R(..)` deletes; `@ 0` is a\n\
+     \x20                                                  deprecated delete alias); overlapping\n\
+     \x20                                                  queries share cached sub-plans, and\n\
+     \x20                                                  updates delta-patch them in place\n\
+     \x20         [--cache-rows <n>]                       bound the serve-mode plan cache to n\n\
+     \x20                                                  materialised rows (LRU eviction)\n\
      \x20 bsm     --query <q> --db <file> --repair <file> --theta <n> [--witness]\n\
      \x20 expected --query <q> --db <file>                 expected bag-set value E[Q(D)]\n\
      \x20 provenance --query <q> --db <file>               provenance tree of Q over D\n\
@@ -133,17 +137,59 @@ fn script_line(raw: &str) -> Option<&str> {
     }
 }
 
-/// Parses one `R(v1, …) [@ p]` update line (missing weight means `1`),
-/// with the shared error formatting of both script modes.
+/// What one update-script line asks for. The explicit delete stays
+/// distinguishable from a `0`-weight upsert so future monoid-sensitive
+/// script modes (#Sat/Shapley roles, where a zero-weight exogenous
+/// fact is meaningful) can consume the same grammar.
+enum UpdateAction {
+    /// `!R(v1, …)` — explicit delete.
+    Delete,
+    /// `R(v1, …) [@ p]` — upsert (a missing weight means `1`).
+    Weight(f64),
+}
+
+impl UpdateAction {
+    /// The probability-monoid annotation: under PQE a delete and a
+    /// zero weight coincide (`0` means absent), which is exactly why
+    /// `@ 0` survives as a deprecated delete alias in these modes.
+    fn prob_weight(&self) -> f64 {
+        match self {
+            UpdateAction::Delete => 0.0,
+            UpdateAction::Weight(w) => *w,
+        }
+    }
+}
+
+/// Parses one update line, with the shared error formatting of both
+/// script modes. The grammar:
+///
+/// * `R(v1, …) [@ p]` — upsert; a missing weight means `1`.
+/// * `!R(v1, …)` — **explicit delete**. This is the canonical delete
+///   form: it names the intent, not a weight.
+/// * `R(v1, …) @ 0` — *deprecated* delete alias, kept for existing
+///   prob-monoid scripts where a zero weight and an absent fact
+///   coincide. (Under other monoids a `0`-weight exogenous fact can be
+///   meaningful — new scripts should write `!R(…)`.)
 fn parse_update_line(
     line: &str,
     lineno: usize,
     path: &str,
     interner: &mut Interner,
-) -> Result<(Fact, f64), String> {
+) -> Result<(Fact, UpdateAction), String> {
+    if let Some(rest) = line.strip_prefix('!') {
+        if rest.contains('@') {
+            return Err(format!(
+                "{path}: line {}: the delete form `!R(…)` takes no `@ weight`",
+                lineno + 1
+            ));
+        }
+        let (fact, _) = hq_db::text::parse_fact_line(rest.trim(), lineno + 1, interner)
+            .map_err(|e| format!("{path}: {e}"))?;
+        return Ok((fact, UpdateAction::Delete));
+    }
     let (fact, weight) = hq_db::text::parse_fact_line(line, lineno + 1, interner)
         .map_err(|e| format!("{path}: {e}"))?;
-    Ok((fact, weight.unwrap_or(1.0)))
+    Ok((fact, UpdateAction::Weight(weight.unwrap_or(1.0))))
 }
 
 fn cmd_check(rest: &[String]) -> Result<String, String> {
@@ -209,6 +255,11 @@ fn cmd_pqe(args: &Args) -> Result<String, String> {
     for f in db.facts() {
         let p = weighted.get(&f).copied().unwrap_or(1.0);
         tid.push((f, p));
+    }
+    // The plan cache only exists in serve mode: reject the knob
+    // everywhere else rather than silently ignoring it.
+    if args.get("cache-rows").is_some() && args.get("mode") != Some("serve") {
+        return Err("--cache-rows requires --mode serve".into());
     }
     match args.get("mode") {
         Some("incremental") => {
@@ -279,7 +330,7 @@ fn cmd_pqe_incremental(
         None => 1,
     };
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let mut updates: Vec<(Fact, f64)> = Vec::new();
+    let mut updates: Vec<(Fact, UpdateAction)> = Vec::new();
     for (lineno, raw) in text.lines().enumerate() {
         let Some(line) = script_line(raw) else {
             continue;
@@ -323,10 +374,17 @@ fn cmd_pqe_incremental(
     };
     let mut out = format!("P(Q) = {:.9}\n", run.probability());
     for batch in updates.chunks(batch_size) {
-        let p = run.apply(interner, batch)?;
+        let writes: Vec<(Fact, f64)> = batch
+            .iter()
+            .map(|(f, a)| (f.clone(), a.prob_weight()))
+            .collect();
+        let p = run.apply(interner, &writes)?;
         let label: Vec<String> = batch
             .iter()
-            .map(|(f, w)| format!("{} @ {w}", f.display(interner)))
+            .map(|(f, a)| match a {
+                UpdateAction::Delete => format!("!{}", f.display(interner)),
+                UpdateAction::Weight(w) => format!("{} @ {w}", f.display(interner)),
+            })
             .collect();
         out.push_str(&format!("{} -> P(Q) = {p:.9}\n", label.join(", ")));
     }
@@ -367,8 +425,10 @@ fn cmd_pqe_serve(
                 .map_err(|e| format!("{path}:{}: query: {e}", lineno + 1))?;
             script.push(Line::Query(q));
         } else {
-            let (fact, p) = parse_update_line(line, lineno, path, interner)?;
-            script.push(Line::Update(fact, p));
+            let (fact, action) = parse_update_line(line, lineno, path, interner)?;
+            // The serving session is probability-monoid: a delete and
+            // a zero weight coincide (`0` means absent).
+            script.push(Line::Update(fact, action.prob_weight()));
         }
     }
     enum Session {
@@ -411,6 +471,34 @@ fn cmd_pqe_serve(
                 Session::Sharded(s) => s.session().cached_nodes(),
             }
         }
+        fn set_cache_budget(&mut self, budget: usize) {
+            match self {
+                Session::Map(s) => s.set_cache_budget(Some(budget)),
+                Session::Columnar(s) => s.set_cache_budget(Some(budget)),
+                Session::Sharded(s) => s.set_cache_budget(Some(budget)),
+            }
+        }
+        fn evictions(&self) -> u64 {
+            match self {
+                Session::Map(s) => s.session().evictions(),
+                Session::Columnar(s) => s.session().evictions(),
+                Session::Sharded(s) => s.session().evictions(),
+            }
+        }
+        fn cached_rows(&self) -> usize {
+            match self {
+                Session::Map(s) => s.session().cached_rows(),
+                Session::Columnar(s) => s.session().cached_rows(),
+                Session::Sharded(s) => s.session().cached_rows(),
+            }
+        }
+        fn lower_hits(&self) -> u64 {
+            match self {
+                Session::Map(s) => s.session().lower_hits(),
+                Session::Columnar(s) => s.session().lower_hits(),
+                Session::Sharded(s) => s.session().lower_hits(),
+            }
+        }
     }
     let mut session = match (backend, par.is_parallel()) {
         (Backend::Map, _) => {
@@ -423,6 +511,12 @@ fn cmd_pqe_serve(
             Session::Sharded(PqeSession::sharded(interner, tid, par).map_err(|e| e.to_string())?)
         }
     };
+    if let Some(n) = args.get("cache-rows") {
+        let budget: usize = n
+            .parse()
+            .map_err(|_| "cache-rows: expected a non-negative integer".to_string())?;
+        session.set_cache_budget(budget);
+    }
     let mut out = String::new();
     let mut queries = 0usize;
     let mut replayed_ops = 0u64;
@@ -454,10 +548,13 @@ fn cmd_pqe_serve(
     }
     flush(&mut session, &mut pending, &mut out, interner)?;
     out.push_str(&format!(
-        "served {queries} quer{} from {} cached plan node(s); \
-         {} monoid ops executed vs {} replayed (independent evaluation)\n",
+        "served {queries} quer{} from {} cached plan node(s) ({} rows, {} evicted, \
+         {} memo hit(s)); {} monoid ops executed vs {} replayed (independent evaluation)\n",
         if queries == 1 { "y" } else { "ies" },
         session.cached_nodes(),
+        session.cached_rows(),
+        session.evictions(),
+        session.lower_hits(),
         session.ops_performed(),
         replayed_ops,
     ));
@@ -893,6 +990,134 @@ mod tests {
             &db,
             "--script",
             &script,
+        ])
+        .unwrap_err();
+        assert!(err.contains("--mode serve"), "{err}");
+    }
+
+    #[test]
+    fn explicit_delete_form_round_trips_with_deprecated_zero_weight() {
+        // The same script written with `!R(..)` deletes and with the
+        // deprecated `@ 0` alias must produce identical output — in
+        // both script modes.
+        let db = write_temp("del.facts", "E(1,2) @ 0.5\nF(2,3) @ 0.5\n");
+        let serve_bang = write_temp(
+            "del_bang.script",
+            "? Q() :- E(X,Y), F(Y,Z)\n\
+             !F(2,3)                  # explicit delete\n\
+             ? Q() :- E(X,Y), F(Y,Z)\n\
+             F(2,3) @ 0.5             # re-insert\n\
+             ? Q() :- E(X,Y), F(Y,Z)\n",
+        );
+        let serve_zero = write_temp(
+            "del_zero.script",
+            "? Q() :- E(X,Y), F(Y,Z)\n\
+             F(2,3) @ 0               # deprecated alias\n\
+             ? Q() :- E(X,Y), F(Y,Z)\n\
+             F(2,3) @ 0.5\n\
+             ? Q() :- E(X,Y), F(Y,Z)\n",
+        );
+        let bang = run_strs(&[
+            "pqe",
+            "--db",
+            &db,
+            "--mode",
+            "serve",
+            "--script",
+            &serve_bang,
+        ])
+        .unwrap();
+        let zero = run_strs(&[
+            "pqe",
+            "--db",
+            &db,
+            "--mode",
+            "serve",
+            "--script",
+            &serve_zero,
+        ])
+        .unwrap();
+        assert_eq!(bang, zero, "the two delete spellings must agree");
+        assert!(bang.contains("P(Q) = 0.0"), "{bang}");
+        // Incremental mode honours the same grammar.
+        let upd_bang = write_temp("del_bang.updates", "!F(2,3)\nF(2,3) @ 0.5\n");
+        let upd_zero = write_temp("del_zero.updates", "F(2,3) @ 0\nF(2,3) @ 0.5\n");
+        let base = |upd: &str| {
+            vec![
+                "pqe".to_owned(),
+                "--query".to_owned(),
+                "Q() :- E(X,Y), F(Y,Z)".to_owned(),
+                "--db".to_owned(),
+                db.clone(),
+                "--mode".to_owned(),
+                "incremental".to_owned(),
+                "--updates".to_owned(),
+                upd.to_owned(),
+            ]
+        };
+        let a = run(&base(&upd_bang)).unwrap();
+        let b = run(&base(&upd_zero)).unwrap();
+        // The trajectories agree line for line apart from the echoed
+        // update labels (`!F` renders as weight 0).
+        let probs = |s: &str| {
+            s.lines()
+                .map(|l| l.split("P(Q) = ").last().unwrap().to_owned())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(probs(&a), probs(&b));
+        assert!(a.lines().nth(1).unwrap().contains("P(Q) = 0.0"), "{a}");
+        // A weighted delete is rejected helpfully.
+        let bad = write_temp("del_bad.updates", "!F(2,3) @ 0.5\n");
+        let err = run(&base(&bad)).unwrap_err();
+        assert!(err.contains("takes no `@ weight`"), "{err}");
+    }
+
+    #[test]
+    fn serve_mode_cache_budget_bounds_and_reports_evictions() {
+        let db = write_temp(
+            "budget.facts",
+            "E(1,2) @ 0.5\nE(1,3) @ 0.25\nE(4,3) @ 0.5\nF(2,3) @ 0.5\nF(3,9) @ 0.5\n",
+        );
+        let script = write_temp(
+            "budget.script",
+            "? Q() :- E(X,Y)\n\
+             ? Q() :- F(Y,Z)\n\
+             ? Q() :- E(X,Y)\n",
+        );
+        let base = &[
+            "pqe",
+            "--db",
+            &db,
+            "--mode",
+            "serve",
+            "--script",
+            &script,
+            "--cache-rows",
+            "2",
+        ];
+        let out = run_strs(base).unwrap();
+        let trailer = out.lines().last().unwrap();
+        assert!(trailer.contains("evicted"), "{out}");
+        assert!(
+            !trailer.contains("0 evicted"),
+            "a 2-row budget must evict under this script: {out}"
+        );
+        // Served values are unaffected by eviction.
+        let unbounded =
+            run_strs(&["pqe", "--db", &db, "--mode", "serve", "--script", &script]).unwrap();
+        assert_eq!(
+            out.lines().take(3).collect::<Vec<_>>(),
+            unbounded.lines().take(3).collect::<Vec<_>>(),
+        );
+        // --cache-rows outside serve mode fails helpfully.
+        let err = run_strs(&[
+            "pqe",
+            "--query",
+            "Q() :- E(X,Y)",
+            "--db",
+            &db,
+            "--cache-rows",
+            "2",
         ])
         .unwrap_err();
         assert!(err.contains("--mode serve"), "{err}");

@@ -409,6 +409,20 @@ impl<R: ServingBackend<Ann = BudgetVec>> BsmSession<R> {
     pub fn session(&self) -> &ServingSession<BagMaxMonoid, R> {
         &self.session
     }
+
+    /// Bounds the session's node cache (see
+    /// [`ServingSession::set_cache_budget`]). Only the serving knobs
+    /// are forwarded mutably — the session itself stays behind the
+    /// wrapper so ψ-class validation cannot be bypassed.
+    pub fn set_cache_budget(&mut self, budget: Option<usize>) {
+        self.session.set_cache_budget(budget);
+    }
+
+    /// Sets the rebuild-fallback threshold (see
+    /// [`ServingSession::set_patch_fraction`]).
+    pub fn set_patch_fraction(&mut self, fraction: f64) {
+        self.session.set_patch_fraction(fraction);
+    }
 }
 
 /// A Bag-Set Maximization solution carrying an optimal repair per

@@ -548,17 +548,9 @@ where
                 let mut changed = BTreeSet::new();
                 for g in groups {
                     self.last_update.groups_refolded += 1;
-                    let mut acc: Option<M::Elem> = None;
-                    for ann in input.group_rows_key(&keep, &g) {
-                        self.last_update.rows_folded += 1;
-                        match acc.as_mut() {
-                            Some(a) => {
-                                self.last_update.add_ops += 1;
-                                self.monoid.add_assign(a, &ann);
-                            }
-                            None => acc = Some(ann),
-                        }
-                    }
+                    let (acc, rows) = refold_group(&self.monoid, input, &keep, &g);
+                    self.last_update.rows_folded += rows;
+                    self.last_update.add_ops += rows.saturating_sub(1) as u64;
                     let new = acc.filter(|v| !self.monoid.is_zero(v));
                     let old = out.get_key(&g);
                     if old != new {
@@ -690,6 +682,37 @@ where
         }
         stats
     }
+}
+
+/// Refolds one dirty Rule 1 group from its current members — the
+/// delta-indexed repair kernel shared by the incremental maintainer
+/// and the serving layer's cached-node patches. Members arrive from
+/// [`Storage::group_rows_key`] in ascending full-key order, so the ⊕
+/// sequence reproduces the batch engine's fold bit for bit (the
+/// per-group fold must stay sequential for exactly this reason).
+/// Returns the unpruned accumulator (`None` for an empty group) and
+/// the member-row count; the caller prunes zeros with the monoid's
+/// predicate and accounts the `rows − 1` ⊕ applications.
+pub(crate) fn refold_group<M, R>(
+    monoid: &M,
+    input: &R,
+    keep: &[usize],
+    group: &R::Key,
+) -> (Option<M::Elem>, usize)
+where
+    M: TwoMonoid,
+    R: Storage<Ann = M::Elem>,
+{
+    let anns = input.group_rows_key(keep, group);
+    let rows = anns.len();
+    let mut acc: Option<M::Elem> = None;
+    for ann in anns {
+        match acc.as_mut() {
+            Some(a) => monoid.add_assign(a, &ann),
+            None => acc = Some(ann),
+        }
+    }
+    (acc, rows)
 }
 
 /// Resolves the content of `slot` after the materialised step prefix

@@ -85,10 +85,26 @@ impl PlanIr {
 
     /// Interns `expr`, returning the existing id when a structurally
     /// identical node was interned before.
+    ///
+    /// Ids are assigned in interning order and a node can only refer
+    /// to already-interned inputs, so **every input id is smaller than
+    /// its consumer's**: ascending id order is a topological order of
+    /// the DAG. The serving layer's update walk patches cached nodes
+    /// in exactly that order, guaranteeing each node sees its inputs'
+    /// post-patch state and change sets.
     pub fn intern(&mut self, expr: PlanExpr) -> PlanId {
         if let Some(&id) = self.index.get(&expr) {
             return id;
         }
+        debug_assert!(
+            match &expr {
+                PlanExpr::Scan { .. } => true,
+                PlanExpr::Project { input, .. } => *input < self.nodes.len(),
+                PlanExpr::Join { left, right } =>
+                    *left < self.nodes.len() && *right < self.nodes.len(),
+            },
+            "plan nodes must be interned after their inputs"
+        );
         let deps = match &expr {
             PlanExpr::Scan { rel, .. } => BTreeSet::from([rel.clone()]),
             PlanExpr::Project { input, .. } => self.deps[*input].clone(),

@@ -540,6 +540,20 @@ impl<R: ServingBackend<Ann = f64>> PqeSession<R> {
     pub fn session(&self) -> &ServingSession<ProbMonoid, R> {
         &self.session
     }
+
+    /// Bounds the session's node cache (see
+    /// [`ServingSession::set_cache_budget`]). Only the serving knobs
+    /// are forwarded mutably — the session itself stays behind the
+    /// wrapper so probability validation cannot be bypassed.
+    pub fn set_cache_budget(&mut self, budget: Option<usize>) {
+        self.session.set_cache_budget(budget);
+    }
+
+    /// Sets the rebuild-fallback threshold (see
+    /// [`ServingSession::set_patch_fraction`]).
+    pub fn set_patch_fraction(&mut self, fraction: f64) {
+        self.session.set_patch_fraction(fraction);
+    }
 }
 
 #[cfg(test)]

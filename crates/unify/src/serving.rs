@@ -28,23 +28,40 @@
 //! writes (a `0` annotation deletes), bumps the touched relations'
 //! dirty epochs, delta-refreshes the [`EncodedDb`] (only changed
 //! relations re-encode; novel domain values extend the shared
-//! dictionary once), **delta-patches** cached scan nodes of the
-//! touched relations in place, and drops exactly the cached
-//! intermediates whose transitive inputs changed — everything else
-//! stays warm. The rare novel-value case clears the cache instead
-//! (the code space itself moved).
+//! dictionary once and surviving cached matrices are *translated*
+//! through the old→new code map — the code numbering moved, not the
+//! data), and then **delta-patches** the whole cached pipeline through
+//! the incremental refold machinery: cached scan nodes take point
+//! writes, dirty `Project` nodes refold exactly their dirty Rule 1
+//! groups ([`Storage::group_rows_key`], per-group folds sequential so
+//! the ⊕ sequence matches the batch kernels bit for bit), and dirty
+//! `Join` nodes re-derive exactly their dirty keys. Each patched
+//! node's recorded op counts are maintained to what a fresh evaluation
+//! would report, so replayed [`EngineStats`] stay exact. A delta
+//! touching more than [`ServingSession::patch_fraction`] of a node's
+//! groups falls back to dropping the node (it rebuilds lazily), and
+//! `0.0` restores the old drop-and-rebuild behaviour entirely.
+//!
+//! **Memoisation and eviction.** Lowering is memoised per query string
+//! (the IR is structural, so a lowering never invalidates), and the
+//! node cache can be bounded: [`ServingSession::set_cache_budget`]
+//! caps the total materialised rows, evicting cost-aware-LRU victims
+//! after each query ([`ServingSession::evictions`] counts them).
 
 use crate::annotated::AnnotateError;
 use crate::engine::EngineStats;
+use crate::incremental::refold_group;
 use crate::plan_ir::{lower, LoweredQuery, PlanExpr, PlanId, PlanIr};
 use crate::storage::{
     ColumnarRelation, EncodedDb, MapRelation, Parallelism, RefreshOutcome, ShardedColumnar, Storage,
 };
-use hq_db::{Database, Fact, Interner, Sym, Tuple, Value};
+use hq_db::{Database, Fact, Interner, RowCode, Sym, Tuple, Value, ValueDict};
 use hq_monoid::TwoMonoid;
 use hq_query::{plan, NotHierarchical, Query, Var};
+use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
+use std::sync::Arc;
 
 /// Errors from the serving session.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -85,16 +102,26 @@ pub struct UpdateOutcome {
     pub touched: Vec<String>,
     /// Cached scan nodes kept warm by in-place point patches.
     pub patched_scans: usize,
-    /// Cached intermediate nodes dropped because an input relation
-    /// changed (they rebuild lazily on the next query that needs them).
+    /// Cached `Project`/`Join` intermediates kept warm by refolding
+    /// only their dirty groups / re-deriving only their dirty keys.
+    pub patched_nodes: usize,
+    /// Cached intermediate nodes dropped — an unpatchable input, an
+    /// arity move, or a delta past the rebuild threshold (they rebuild
+    /// lazily on the next query that needs them).
     pub invalidated: usize,
+    /// Cached node matrices translated through a dictionary extension
+    /// (novel domain values). `0` when every written value was already
+    /// interned — in particular for updates that merely re-populate a
+    /// relation emptied by an earlier delete-only batch.
+    pub dict_extensions: usize,
     /// What the [`EncodedDb`] delta-refresh re-encoded.
     pub refresh: RefreshOutcome,
 }
 
 /// A materialised plan node: its annotated relation plus the exact
-/// ⊕/⊗ op counts its computation performed (replayed into every
-/// query's reported stats without re-executing them).
+/// ⊕/⊗ op counts a fresh evaluation of the node would report (replayed
+/// into every query's reported stats without re-executing them; kept
+/// exact across delta-patches by the update accounting).
 #[derive(Debug, Clone)]
 struct CachedNode<R> {
     rel: R,
@@ -102,7 +129,21 @@ struct CachedNode<R> {
     mul_ops: u64,
     /// Session epoch at which this node was (re)computed or patched.
     valid_at: u64,
+    /// Query tick of the last use — the LRU clock of the eviction
+    /// policy.
+    last_used: u64,
 }
+
+/// One patched key's movement: `(annotation before, annotation after)`
+/// — the change-set vocabulary the delta walk hands from a node to its
+/// dependents.
+type Change<E> = (Option<E>, Option<E>);
+
+/// The default [`ServingSession::patch_fraction`]: a delta touching up
+/// to half of a node's groups patches in place; beyond that a rebuild
+/// is assumed cheaper (the refold would visit most of the node anyway,
+/// with worse locality than the batch kernels).
+const DEFAULT_PATCH_FRACTION: f64 = 0.5;
 
 /// A backend that can materialise serving-session scan nodes. The
 /// three engine backends implement it; all stay bit-identical.
@@ -138,6 +179,14 @@ pub trait ServingBackend: Storage {
     /// aligns a cached node's variable labels with the consuming
     /// kernel's expectation without touching any data.
     fn relabel(&mut self, vars: Vec<Var>);
+
+    /// Re-expresses the node under an extended dictionary after a
+    /// novel-domain-value insert: `translation[old] == new` is the
+    /// order-preserving code map from [`ValueDict::extend_with`], so
+    /// remapped matrices stay sorted and the node's *data* is
+    /// untouched — only the code numbering moved. A no-op on the
+    /// ordered-map oracle (tuples carry their values directly).
+    fn translate_codes(&mut self, dict: &Arc<ValueDict>, translation: &[RowCode]);
 }
 
 /// Renders a duplicate scan key (an atom with repeated variables) in
@@ -190,6 +239,10 @@ impl<K: Clone + PartialEq + fmt::Debug + Send + Sync> ServingBackend for Columna
     fn relabel(&mut self, vars: Vec<Var>) {
         self.set_vars(vars);
     }
+
+    fn translate_codes(&mut self, dict: &Arc<ValueDict>, translation: &[RowCode]) {
+        self.remap_codes(dict, translation);
+    }
 }
 
 impl<K: Clone + PartialEq + fmt::Debug + Send + Sync> ServingBackend for ShardedColumnar<K> {
@@ -213,6 +266,10 @@ impl<K: Clone + PartialEq + fmt::Debug + Send + Sync> ServingBackend for Sharded
 
     fn relabel(&mut self, vars: Vec<Var>) {
         self.inner_mut().relabel(vars);
+    }
+
+    fn translate_codes(&mut self, dict: &Arc<ValueDict>, translation: &[RowCode]) {
+        self.inner_mut().remap_codes(dict, translation);
     }
 }
 
@@ -260,6 +317,11 @@ impl<K: Clone + PartialEq + fmt::Debug + Send + Sync> ServingBackend for MapRela
         debug_assert_eq!(vars.len(), self.vars.len());
         self.vars = vars;
     }
+
+    fn translate_codes(&mut self, _dict: &Arc<ValueDict>, _translation: &[RowCode]) {
+        // Tuples carry their values directly: there is no code space
+        // to move (and `USES_ENCODING` keeps this path unreached).
+    }
 }
 
 /// A multi-query serving session over one annotated database. See the
@@ -280,6 +342,12 @@ where
     enc: EncodedDb,
     /// The shared, hash-consed plan IR of every query seen so far.
     ir: PlanIr,
+    /// Memoised lowerings, keyed by query string. Lowered node ids are
+    /// structural and the arena never shrinks, so entries are *never*
+    /// invalidated — not even by updates.
+    lowered: HashMap<String, LoweredQuery>,
+    /// Queries served without re-planning/re-lowering.
+    lower_hits: u64,
     /// Materialised plan nodes, keyed by structural identity.
     cache: HashMap<PlanId, CachedNode<R>>,
     /// Monotone update counter.
@@ -287,9 +355,19 @@ where
     /// Per-relation dirty epoch: the session epoch of the last update
     /// that changed the relation.
     rel_epoch: HashMap<String, u64>,
-    /// ⊕/⊗ applications actually executed (cache misses only).
+    /// ⊕/⊗ applications actually executed (cache misses and delta
+    /// patches — cache hits replay without performing any).
     performed_add: u64,
     performed_mul: u64,
+    /// Rebuild-fallback knob: a delta touching more than this fraction
+    /// of a node's groups drops the node instead of patching it.
+    patch_fraction: f64,
+    /// Node-cache bound in materialised rows (`None`: unbounded).
+    cache_budget: Option<usize>,
+    /// Nodes evicted by the budget so far.
+    evictions: u64,
+    /// LRU clock: bumped once per query.
+    query_tick: u64,
 }
 
 impl<M, R> ServingSession<M, R>
@@ -370,11 +448,17 @@ where
             ann,
             enc,
             ir: PlanIr::new(),
+            lowered: HashMap::new(),
+            lower_hits: 0,
             cache: HashMap::new(),
             epoch: 0,
             rel_epoch: HashMap::new(),
             performed_add: 0,
             performed_mul: 0,
+            patch_fraction: DEFAULT_PATCH_FRACTION,
+            cache_budget: None,
+            evictions: 0,
+            query_tick: 0,
         })
     }
 
@@ -406,6 +490,58 @@ where
         self.cache.len()
     }
 
+    /// Total rows materialised across the cached plan nodes — the
+    /// quantity [`ServingSession::set_cache_budget`] bounds.
+    pub fn cached_rows(&self) -> usize {
+        self.cache.values().map(|n| n.rel.support_size()).sum()
+    }
+
+    /// Nodes evicted by the cache budget so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// The node-cache bound in materialised rows (`None`: unbounded).
+    pub fn cache_budget(&self) -> Option<usize> {
+        self.cache_budget
+    }
+
+    /// Bounds the node cache: when the materialised rows exceed
+    /// `budget`, cost-aware-LRU victims (stalest first; among equally
+    /// stale nodes the one freeing the most rows) are evicted after
+    /// each query until the cache fits. Evicted nodes rebuild lazily
+    /// when a query needs them again — correctness is unaffected, only
+    /// the sharing win shrinks.
+    pub fn set_cache_budget(&mut self, budget: Option<usize>) {
+        self.cache_budget = budget;
+        self.evict_to_budget();
+    }
+
+    /// The rebuild-fallback threshold: a delta touching more than this
+    /// fraction of a cached node's groups drops the node (it rebuilds
+    /// lazily) instead of patching it in place.
+    pub fn patch_fraction(&self) -> f64 {
+        self.patch_fraction
+    }
+
+    /// Sets the rebuild-fallback threshold. `0.0` disables
+    /// intermediate patching entirely (every dirty intermediate drops
+    /// — the old behaviour); `f64::INFINITY` always patches.
+    pub fn set_patch_fraction(&mut self, fraction: f64) {
+        self.patch_fraction = fraction.max(0.0);
+    }
+
+    /// Distinct query strings whose plan lowering is memoised.
+    pub fn memoised_queries(&self) -> usize {
+        self.lowered.len()
+    }
+
+    /// Queries served from the lowering memo (no re-plan, no
+    /// re-lower).
+    pub fn lower_hits(&self) -> u64 {
+        self.lower_hits
+    }
+
     /// Evaluates one query against the current state, sharing every
     /// sub-plan already materialised by earlier queries (or earlier
     /// calls) of this session. Returns the value and the [`EngineStats`]
@@ -422,12 +558,26 @@ where
         interner: &Interner,
         q: &Query,
     ) -> Result<(M::Elem, EngineStats), ServingError> {
-        let p = plan(q)?;
-        let lowered = lower(&mut self.ir, q, &p);
+        self.query_tick += 1;
+        // Lowering is memoised per query string: the IR is structural
+        // (node ids never change meaning), so a memoised lowering is
+        // valid forever — across updates, evictions, everything.
+        let key = q.to_string();
+        let lowered = if let Some(l) = self.lowered.get(&key) {
+            self.lower_hits += 1;
+            l.clone()
+        } else {
+            let p = plan(q)?;
+            let l = lower(&mut self.ir, q, &p);
+            self.lowered.insert(key, l.clone());
+            l
+        };
         for id in lowered.nodes().collect::<Vec<_>>() {
             self.ensure(id, interner)?;
         }
-        Ok(self.replay(&lowered))
+        let out = self.replay(&lowered);
+        self.evict_to_budget();
+        Ok(out)
     }
 
     /// Evaluates a batch of queries in order. Common sub-plans across
@@ -463,12 +613,17 @@ where
     /// Applies a batch of fact writes in order (later writes to the
     /// same fact win), then repairs the caches **incrementally**:
     /// touched relations get new dirty epochs, the [`EncodedDb`]
-    /// re-encodes only the changed relations, cached scan nodes of
-    /// touched relations are point-patched in place, and only the
-    /// cached intermediates whose transitive inputs changed are
-    /// dropped. Novel domain values (outside the shared dictionary)
-    /// extend the dictionary once and clear the node cache (the code
-    /// space itself moved).
+    /// re-encodes only the changed relations, cached scan nodes take
+    /// point patches, and dirty cached intermediates are
+    /// **delta-patched in place** through the incremental refold
+    /// machinery — `Project` nodes refold exactly their dirty Rule 1
+    /// groups, `Join` nodes re-derive exactly their dirty keys, with
+    /// recorded op counts maintained to fresh-evaluation-exact. A
+    /// delta touching more than [`ServingSession::patch_fraction`] of
+    /// a node's groups drops the node instead (lazy rebuild). Novel
+    /// domain values extend the shared dictionary once and surviving
+    /// cached matrices are *translated* through the old→new code map —
+    /// the cache survives; only the code numbering moved.
     ///
     /// # Errors
     /// Arity mismatch with the stored relation; resolution is
@@ -544,21 +699,29 @@ where
         };
         let mut outcome = UpdateOutcome {
             touched: touched.iter().cloned().collect(),
-            patched_scans: 0,
-            invalidated: 0,
             refresh,
+            ..UpdateOutcome::default()
         };
         if outcome.refresh.dict_extended {
-            // The code space moved under every cached matrix: drop the
-            // node cache wholesale (rare — only novel domain values).
-            outcome.invalidated = self.cache.len();
-            self.cache.clear();
-            return Ok(outcome);
+            // Novel domain values moved the code space under every
+            // cached matrix — but only the *numbering*, not the data:
+            // translate surviving nodes through the old→new code map
+            // instead of dropping them, so warm pipelines (including
+            // ones over entirely unrelated relations) survive a
+            // novel-value insert.
+            let dict = self.enc.shared_dict();
+            let translation = outcome
+                .refresh
+                .translation
+                .clone()
+                .expect("dict_extended implies a translation");
+            for node in self.cache.values_mut() {
+                node.rel.translate_codes(&dict, &translation);
+                outcome.dict_extensions += 1;
+            }
         }
-        // Delta-patch cached scans of touched relations; drop exactly
-        // the intermediates that transitively read a touched relation.
-        // Updates are grouped by relation name once, so patching costs
-        // the relevant updates per scan — not |cache| × |batch|.
+        // Group the batch by relation name once, so scan patching
+        // costs the relevant updates per scan — not |cache| × |batch|.
         let mut by_rel: BTreeMap<&str, Vec<(&Fact, &M::Elem)>> = BTreeMap::new();
         for (fact, value) in updates {
             by_rel
@@ -566,55 +729,308 @@ where
                 .or_default()
                 .push((fact, value));
         }
-        let ids: Vec<PlanId> = self.cache.keys().copied().collect();
+        // Walk the dirty cached nodes in arena order — interning
+        // guarantees every input id is smaller than its consumer's, so
+        // this is a topological walk of the cached DAG — delta-patching
+        // each node from its inputs' recorded change sets. `changes[id]`
+        // maps a patched node's native keys to `(old, new)` annotations;
+        // a dirty node that cannot be patched (missing input, arity
+        // move, or a delta past the rebuild threshold) is dropped, and
+        // so are its dependents.
+        let mut changes: HashMap<PlanId, BTreeMap<R::Key, Change<M::Elem>>> = HashMap::new();
+        let mut ids: Vec<PlanId> = self.cache.keys().copied().collect();
+        ids.sort_unstable();
         for id in ids {
-            let dirty = self.ir.deps(id).iter().any(|d| touched.contains(d));
-            if !dirty {
+            if !self.ir.deps(id).iter().any(|d| touched.contains(d)) {
                 continue;
             }
-            if let PlanExpr::Scan { rel, positions } = self.ir.node(id).clone() {
-                // A scan cached while the relation was absent carries
-                // the *query atom's* width; if the batch just declared
-                // the relation with a different arity, patching cannot
-                // repair it — drop it so the rebuild reports exactly
-                // what fresh evaluation would (an arity mismatch).
-                let arity_moved = interner
-                    .get(&rel)
-                    .and_then(|s| self.db.relation(s))
-                    .is_some_and(|r| r.arity() != positions.len());
-                if arity_moved {
-                    self.cache.remove(&id);
-                    outcome.invalidated += 1;
-                    continue;
-                }
-                let entry = self.cache.get_mut(&id).expect("iterating live ids");
-                for (fact, value) in by_rel.get(rel.as_str()).into_iter().flatten() {
-                    if fact.tuple.arity() != positions.len() {
-                        continue; // arity-mismatched delete: no-op
+            match self.ir.node(id).clone() {
+                PlanExpr::Scan { rel, positions } => {
+                    // A scan cached while the relation was absent
+                    // carries the *query atom's* width; if the batch
+                    // just declared the relation with a different
+                    // arity, patching cannot repair it — drop it so the
+                    // rebuild reports exactly what fresh evaluation
+                    // would (an arity mismatch).
+                    let arity_moved = interner
+                        .get(&rel)
+                        .and_then(|s| self.db.relation(s))
+                        .is_some_and(|r| r.arity() != positions.len());
+                    if arity_moved {
+                        self.cache.remove(&id);
+                        outcome.invalidated += 1;
+                        continue;
                     }
-                    let key = fact.tuple.project(&positions);
-                    let v = if self.monoid.is_zero(value) {
-                        None
-                    } else {
-                        Some((*value).clone())
-                    };
-                    entry.rel.set(&key, v);
+                    let mut entry = self.cache.remove(&id).expect("iterating live ids");
+                    // First-touch snapshots: the change set compares
+                    // each key's final value against its pre-batch one,
+                    // so intra-batch overwrites coalesce.
+                    let mut touched_keys: BTreeMap<R::Key, Option<M::Elem>> = BTreeMap::new();
+                    for (fact, value) in by_rel.get(rel.as_str()).into_iter().flatten() {
+                        if fact.tuple.arity() != positions.len() {
+                            continue; // arity-mismatched delete: no-op
+                        }
+                        let key = fact.tuple.project(&positions);
+                        let Some(native) = entry.rel.key_of(&key) else {
+                            // Only a delete can carry values outside
+                            // the (already refreshed) dictionary: the
+                            // key cannot be stored, nothing changes.
+                            debug_assert!(self.monoid.is_zero(value));
+                            continue;
+                        };
+                        touched_keys
+                            .entry(native.clone())
+                            .or_insert_with(|| entry.rel.get_key(&native));
+                        let v = if self.monoid.is_zero(value) {
+                            None
+                        } else {
+                            Some((*value).clone())
+                        };
+                        entry.rel.set_key(&native, v);
+                    }
+                    let mut ch = BTreeMap::new();
+                    for (k, old) in touched_keys {
+                        let new = entry.rel.get_key(&k);
+                        if old != new {
+                            ch.insert(k, (old, new));
+                        }
+                    }
+                    entry.valid_at = self.epoch;
+                    self.cache.insert(id, entry);
+                    changes.insert(id, ch);
+                    outcome.patched_scans += 1;
                 }
-                entry.valid_at = self.epoch;
-                outcome.patched_scans += 1;
-            } else {
-                self.cache.remove(&id);
-                outcome.invalidated += 1;
+                PlanExpr::Project { input, col } => {
+                    // A projection's deps equal its input's, so a dirty
+                    // projection has a dirty input — patchable only
+                    // when that input was itself patched this batch.
+                    let Some(cin) = changes.get(&input) else {
+                        self.cache.remove(&id);
+                        outcome.invalidated += 1;
+                        continue;
+                    };
+                    if cin.is_empty() {
+                        // Upstream writes cancelled out: already
+                        // consistent with the new state.
+                        let entry = self.cache.get_mut(&id).expect("iterating live ids");
+                        entry.valid_at = self.epoch;
+                        changes.insert(id, BTreeMap::new());
+                        continue;
+                    }
+                    let cin = cin.clone();
+                    let mut entry = self.cache.remove(&id).expect("iterating live ids");
+                    let input_rel = &self.cache[&input].rel;
+                    let keep: Vec<usize> =
+                        (0..input_rel.vars().len()).filter(|&i| i != col).collect();
+                    // Dirty output groups, plus the input's row movement
+                    // per group — the exact accounting that keeps the
+                    // cached op counts equal to a fresh evaluation's.
+                    let mut groups: BTreeMap<R::Key, (i64, i64)> = BTreeMap::new();
+                    let mut rows_delta = 0i64;
+                    for (k, (old, new)) in &cin {
+                        let g = R::project_key(k, &keep);
+                        let e = groups.entry(g).or_insert((0, 0));
+                        match (old.is_some(), new.is_some()) {
+                            (false, true) => {
+                                e.0 += 1;
+                                rows_delta += 1;
+                            }
+                            (true, false) => {
+                                e.1 += 1;
+                                rows_delta -= 1;
+                            }
+                            _ => {}
+                        }
+                    }
+                    if self.past_rebuild_threshold(groups.len(), entry.rel.support_size()) {
+                        outcome.invalidated += 1;
+                        continue; // entry already removed: rebuilds lazily
+                    }
+                    let mut ch = BTreeMap::new();
+                    let mut groups_delta = 0i64;
+                    for (g, (ins, del)) in groups {
+                        // The delta-indexed refold: the group's current
+                        // members in ascending full-key order, folded
+                        // sequentially — bit-identical to the batch
+                        // kernels on every backend and thread count.
+                        let (acc, rows) = refold_group(&self.monoid, input_rel, &keep, &g);
+                        self.performed_add += rows.saturating_sub(1) as u64;
+                        let old_rows = rows as i64 - ins + del;
+                        groups_delta += i64::from(rows > 0) - i64::from(old_rows > 0);
+                        let new = acc.filter(|v| !self.monoid.is_zero(v));
+                        let old = entry.rel.get_key(&g);
+                        if old != new {
+                            entry.rel.set_key(&g, new.clone());
+                            ch.insert(g, (old, new));
+                        }
+                    }
+                    // Fresh Rule 1 accounting is `rows − groups` (one ⊕
+                    // per combine into an existing group): maintain it
+                    // exactly from the batch's movement.
+                    entry.add_ops = (entry.add_ops as i64 + rows_delta - groups_delta)
+                        .try_into()
+                        .expect("Rule 1 op accounting stays non-negative");
+                    entry.valid_at = self.epoch;
+                    self.cache.insert(id, entry);
+                    changes.insert(id, ch);
+                    outcome.patched_nodes += 1;
+                }
+                PlanExpr::Join { left, right } => {
+                    let (cl, cr) = match (
+                        self.side_changes(left, &touched, &changes),
+                        self.side_changes(right, &touched, &changes),
+                    ) {
+                        (Some(l), Some(r)) => (l, r),
+                        _ => {
+                            self.cache.remove(&id);
+                            outcome.invalidated += 1;
+                            continue;
+                        }
+                    };
+                    if cl.is_empty() && cr.is_empty() {
+                        let entry = self.cache.get_mut(&id).expect("iterating live ids");
+                        entry.valid_at = self.epoch;
+                        changes.insert(id, BTreeMap::new());
+                        continue;
+                    }
+                    let mut entry = self.cache.remove(&id).expect("iterating live ids");
+                    let dirty_keys: BTreeSet<&R::Key> = cl.keys().chain(cr.keys()).collect();
+                    if self.past_rebuild_threshold(dirty_keys.len(), entry.rel.support_size()) {
+                        outcome.invalidated += 1;
+                        continue; // entry already removed: rebuilds lazily
+                    }
+                    let l = &self.cache[&left].rel;
+                    let r = &self.cache[&right].rel;
+                    let zero = self.monoid.zero();
+                    let annihilating = self.monoid.annihilating();
+                    let mut ch = BTreeMap::new();
+                    let (mut left_delta, mut right_delta, mut matches_delta) = (0i64, 0i64, 0i64);
+                    for k in dirty_keys {
+                        let lv = l.get_key(k);
+                        let rv = r.get_key(k);
+                        // Presence before the batch comes from the
+                        // side's change record; an untouched key's
+                        // presence did not move.
+                        let (old_l, new_l) = match cl.get(k) {
+                            Some((o, n)) => (o.is_some(), n.is_some()),
+                            None => (lv.is_some(), lv.is_some()),
+                        };
+                        let (old_r, new_r) = match cr.get(k) {
+                            Some((o, n)) => (o.is_some(), n.is_some()),
+                            None => (rv.is_some(), rv.is_some()),
+                        };
+                        left_delta += i64::from(new_l) - i64::from(old_l);
+                        right_delta += i64::from(new_r) - i64::from(old_r);
+                        matches_delta += i64::from(new_l && new_r) - i64::from(old_l && old_r);
+                        // Re-derive the key exactly as the batch merge
+                        // would: one ⊗ for a matched pair, 0-fill (or an
+                        // outright skip under an annihilating ⊗) for
+                        // one-sided rows, left operand first.
+                        let new = match (lv, rv) {
+                            (None, None) => None,
+                            (Some(a), Some(b)) => {
+                                self.performed_mul += 1;
+                                Some(self.monoid.mul(&a, &b))
+                            }
+                            (Some(_), None) | (None, Some(_)) if annihilating => None,
+                            (Some(a), None) => {
+                                self.performed_mul += 1;
+                                Some(self.monoid.mul(&a, &zero))
+                            }
+                            (None, Some(b)) => {
+                                self.performed_mul += 1;
+                                Some(self.monoid.mul(&zero, &b))
+                            }
+                        };
+                        let new = new.filter(|v| !self.monoid.is_zero(v));
+                        let old = entry.rel.get_key(k);
+                        if old != new {
+                            entry.rel.set_key(k, new.clone());
+                            ch.insert(k.clone(), (old, new));
+                        }
+                    }
+                    // Fresh Rule 2 accounting: `matches` under an
+                    // annihilating ⊗, `|L| + |R| − matches` with 0-fill
+                    // otherwise — maintained exactly from the movement.
+                    let mul_delta = if annihilating {
+                        matches_delta
+                    } else {
+                        left_delta + right_delta - matches_delta
+                    };
+                    entry.mul_ops = (entry.mul_ops as i64 + mul_delta)
+                        .try_into()
+                        .expect("Rule 2 op accounting stays non-negative");
+                    entry.valid_at = self.epoch;
+                    self.cache.insert(id, entry);
+                    changes.insert(id, ch);
+                    outcome.patched_nodes += 1;
+                }
             }
         }
         Ok(outcome)
+    }
+
+    /// One merge side's change set for the delta walk: the recorded
+    /// changes when the side is dirty (patched this batch), an empty
+    /// set when it is clean *and still cached* (probe-able), `None`
+    /// when the side cannot support patching — dirty-but-dropped, or
+    /// clean-but-evicted (nothing to probe against).
+    fn side_changes(
+        &self,
+        side: PlanId,
+        touched: &BTreeSet<String>,
+        changes: &HashMap<PlanId, BTreeMap<R::Key, Change<M::Elem>>>,
+    ) -> Option<BTreeMap<R::Key, Change<M::Elem>>> {
+        if self.ir.deps(side).iter().any(|d| touched.contains(d)) {
+            changes.get(&side).cloned()
+        } else if self.cache.contains_key(&side) {
+            Some(BTreeMap::new())
+        } else {
+            None
+        }
+    }
+
+    /// Whether a delta of `dirty` units should fall back to dropping
+    /// the node (rebuild lazily): more than
+    /// [`ServingSession::patch_fraction`] of the node's current groups.
+    fn past_rebuild_threshold(&self, dirty: usize, node_rows: usize) -> bool {
+        (dirty as f64) > self.patch_fraction * (node_rows.max(1) as f64)
+    }
+
+    /// Evicts cost-aware-LRU victims until the cache fits the budget:
+    /// stalest `last_used` first, the most rows freed among equally
+    /// stale nodes, node id as the deterministic tie-break. Empty
+    /// nodes are never evicted (they free nothing and cost nothing).
+    fn evict_to_budget(&mut self) {
+        let Some(budget) = self.cache_budget else {
+            return;
+        };
+        let mut total = self.cached_rows();
+        if total <= budget {
+            return;
+        }
+        let mut order: Vec<(u64, Reverse<usize>, PlanId)> = self
+            .cache
+            .iter()
+            .filter(|(_, n)| n.rel.support_size() > 0)
+            .map(|(&id, n)| (n.last_used, Reverse(n.rel.support_size()), id))
+            .collect();
+        order.sort_unstable();
+        for (_, Reverse(rows), id) in order {
+            if total <= budget {
+                break;
+            }
+            self.cache.remove(&id);
+            total -= rows;
+            self.evictions += 1;
+        }
     }
 
     /// Materialises node `id` if the cache does not hold a valid copy.
     /// Inputs are guaranteed to be materialised first because lowered
     /// node lists are in dependency order.
     fn ensure(&mut self, id: PlanId, interner: &Interner) -> Result<(), ServingError> {
-        if let Some(entry) = self.cache.get(&id) {
+        if let Some(entry) = self.cache.get_mut(&id) {
             // Backstop: eager invalidation should have removed stale
             // entries already.
             let fresh = self
@@ -624,6 +1040,7 @@ where
                 .all(|d| self.rel_epoch.get(d).copied().unwrap_or(0) <= entry.valid_at);
             debug_assert!(fresh, "stale cache entry survived invalidation");
             if fresh {
+                entry.last_used = self.query_tick;
                 return Ok(());
             }
         }
@@ -668,6 +1085,7 @@ where
                 add_ops: stats.add_ops,
                 mul_ops: stats.mul_ops,
                 valid_at: self.epoch,
+                last_used: self.query_tick,
             },
         );
         Ok(())
@@ -821,25 +1239,54 @@ mod tests {
     }
 
     #[test]
-    fn updates_invalidate_only_dependent_intermediates() {
+    fn updates_patch_dependent_intermediates_in_place() {
         let (tid, i) = chain_tid();
         let mut session: ServingSession<ProbMonoid, ColumnarRelation<f64>> =
             ServingSession::new(ProbMonoid, &i, tid.iter().cloned()).unwrap();
+        session.set_patch_fraction(f64::INFINITY); // tiny instance: always patch
         let q_e = parse_query("Q() :- E(X,Y)").unwrap();
         let q_f = parse_query("Q() :- F(Y,Z)").unwrap();
         session.query(&i, &q_e).unwrap();
         session.query(&i, &q_f).unwrap();
-        let ops_before = session.ops_performed();
         // Update an E fact (value already in the dictionary).
         let out = session.update(&i, &tid[0].0, 0.77).unwrap();
         assert_eq!(out.touched, vec!["E".to_owned()]);
         assert!(!out.refresh.dict_extended);
         assert_eq!(out.patched_scans, 1, "E's scan is patched in place");
-        assert!(out.invalidated >= 1, "E's fold chain is dropped");
-        // F's pipeline stayed warm: re-running q_f performs no ops.
+        assert!(out.patched_nodes >= 1, "E's fold chain is patched");
+        assert_eq!(out.invalidated, 0, "nothing rebuilds under patching");
+        // Both pipelines are already consistent: re-serving either
+        // performs zero additional monoid ops...
+        let after_patch = session.ops_performed();
         session.query(&i, &q_f).unwrap();
-        assert_eq!(session.ops_performed(), ops_before);
-        // And q_e recomputes only its folds, matching fresh evaluation.
+        let (got, stats) = session.query(&i, &q_e).unwrap();
+        assert_eq!(session.ops_performed(), after_patch);
+        // ...and the patched answer matches fresh evaluation exactly.
+        let mut current = tid.clone();
+        current[0].1 = 0.77;
+        let (want, want_stats) = independent(
+            &q_e,
+            &i,
+            &current,
+            Backend::Columnar,
+            Parallelism::default(),
+        );
+        assert_eq!(got.to_bits(), want.to_bits());
+        assert_eq!(stats, want_stats);
+    }
+
+    #[test]
+    fn rebuild_threshold_zero_restores_drop_semantics() {
+        let (tid, i) = chain_tid();
+        let mut session: ServingSession<ProbMonoid, ColumnarRelation<f64>> =
+            ServingSession::new(ProbMonoid, &i, tid.iter().cloned()).unwrap();
+        session.set_patch_fraction(0.0);
+        let q_e = parse_query("Q() :- E(X,Y)").unwrap();
+        session.query(&i, &q_e).unwrap();
+        let out = session.update(&i, &tid[0].0, 0.77).unwrap();
+        assert_eq!(out.patched_scans, 1, "scans always patch");
+        assert_eq!(out.patched_nodes, 0, "threshold 0: no intermediate patches");
+        assert!(out.invalidated >= 1, "E's fold chain is dropped");
         let mut current = tid.clone();
         current[0].1 = 0.77;
         let (want, want_stats) = independent(
@@ -855,25 +1302,41 @@ mod tests {
     }
 
     #[test]
-    fn novel_values_extend_dictionary_and_clear_cache() {
+    fn novel_values_extend_dictionary_and_keep_cache_warm() {
         let (tid, mut i) = chain_tid();
         let mut session: ServingSession<ProbMonoid, ColumnarRelation<f64>> =
             ServingSession::new(ProbMonoid, &i, tid.iter().cloned()).unwrap();
+        session.set_patch_fraction(f64::INFINITY);
         let q = parse_query("Q() :- E(X,Y), F(Y,Z)").unwrap();
         session.query(&i, &q).unwrap();
+        let nodes_before = session.cached_nodes();
         let e = i.intern("E");
         let novel = Fact::new(e, Tuple::ints(&[100, 200]));
         let out = session.update(&i, &novel, 0.5).unwrap();
         assert!(out.refresh.dict_extended);
-        assert_eq!(session.cached_nodes(), 0, "code space moved: cache cleared");
+        assert_eq!(
+            out.dict_extensions, nodes_before,
+            "every cached matrix is translated through the code map"
+        );
+        assert_eq!(
+            session.cached_nodes(),
+            nodes_before,
+            "only the code numbering moved: the cache survives"
+        );
         let mut current = tid.clone();
         current.push((novel, 0.5));
         current.sort_by(|a, b| a.0.cmp(&b.0));
         let (want, want_stats) =
             independent(&q, &i, &current, Backend::Columnar, Parallelism::default());
+        let before_query = session.ops_performed();
         let (got, stats) = session.query(&i, &q).unwrap();
         assert_eq!(got.to_bits(), want.to_bits());
         assert_eq!(stats, want_stats);
+        assert_eq!(
+            session.ops_performed(),
+            before_query,
+            "the patched pipeline re-serves without recomputation"
+        );
     }
 
     #[test]
@@ -1068,6 +1531,56 @@ mod tests {
         let (got, stats) = session.query(&i, &q_e).unwrap();
         assert_eq!(got.to_bits(), want.to_bits());
         assert_eq!(stats, want_stats);
+    }
+
+    #[test]
+    fn lowering_is_memoised_per_query_string() {
+        let (tid, i) = chain_tid();
+        let mut session: ServingSession<ProbMonoid, ColumnarRelation<f64>> =
+            ServingSession::new(ProbMonoid, &i, tid.iter().cloned()).unwrap();
+        let q = parse_query("Q() :- E(X,Y), F(Y,Z)").unwrap();
+        let q_sub = parse_query("Q() :- E(X,Y)").unwrap();
+        let (a, _) = session.query(&i, &q).unwrap();
+        assert_eq!(session.memoised_queries(), 1);
+        assert_eq!(session.lower_hits(), 0);
+        let (b, _) = session.query(&i, &q).unwrap();
+        assert_eq!(a.to_bits(), b.to_bits());
+        assert_eq!(session.lower_hits(), 1, "repeat query skips re-lowering");
+        session.query(&i, &q_sub).unwrap();
+        assert_eq!(session.memoised_queries(), 2);
+        // Updates never invalidate the memo (the IR is structural).
+        session.update(&i, &tid[0].0, 0.9).unwrap();
+        session.query(&i, &q).unwrap();
+        assert_eq!(session.lower_hits(), 2);
+        assert_eq!(session.memoised_queries(), 2);
+    }
+
+    #[test]
+    fn cache_budget_bounds_materialised_rows() {
+        let (tid, i) = chain_tid();
+        let mut session: ServingSession<ProbMonoid, ColumnarRelation<f64>> =
+            ServingSession::new(ProbMonoid, &i, tid.iter().cloned()).unwrap();
+        let q_e = parse_query("Q() :- E(X,Y)").unwrap();
+        let q_f = parse_query("Q() :- F(Y,Z)").unwrap();
+        session.query(&i, &q_e).unwrap();
+        session.query(&i, &q_f).unwrap();
+        let unbounded = session.cached_rows();
+        assert!(unbounded > 2, "warm cache materialises real rows");
+        session.set_cache_budget(Some(2));
+        assert!(session.evictions() > 0, "shrinking the budget evicts");
+        assert!(session.cached_rows() <= 2);
+        // Evicted nodes rebuild lazily and stay correct.
+        let (want, want_stats) =
+            independent(&q_e, &i, &tid, Backend::Columnar, Parallelism::default());
+        let (got, stats) = session.query(&i, &q_e).unwrap();
+        assert_eq!(got.to_bits(), want.to_bits());
+        assert_eq!(stats, want_stats);
+        assert!(session.cached_rows() <= 2, "budget holds after re-serving");
+        // Lifting the budget stops evictions.
+        session.set_cache_budget(None);
+        let before = session.evictions();
+        session.query(&i, &q_f).unwrap();
+        assert_eq!(session.evictions(), before);
     }
 
     #[test]

@@ -381,6 +381,20 @@ impl<R: ServingBackend<Ann = SatVec>> SatSession<R> {
     pub fn session(&self) -> &ServingSession<SatCountMonoid, R> {
         &self.session
     }
+
+    /// Bounds the session's node cache (see
+    /// [`ServingSession::set_cache_budget`]). Only the serving knobs
+    /// are forwarded mutably — the session itself stays behind the
+    /// wrapper so fact-role validation cannot be bypassed.
+    pub fn set_cache_budget(&mut self, budget: Option<usize>) {
+        self.session.set_cache_budget(budget);
+    }
+
+    /// Sets the rebuild-fallback threshold (see
+    /// [`ServingSession::set_patch_fraction`]).
+    pub fn set_patch_fraction(&mut self, fraction: f64) {
+        self.session.set_patch_fraction(fraction);
+    }
 }
 
 /// Computes the exact Shapley value of the endogenous fact `fact`.

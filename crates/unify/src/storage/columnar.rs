@@ -71,6 +71,21 @@ impl<K> ColumnarRelation<K> {
         debug_assert_eq!(vars.len(), self.width);
         self.vars = vars;
     }
+
+    /// Re-expresses the matrix under an extended dictionary:
+    /// `translation[old_code] == new_code` must come from
+    /// [`ValueDict::extend_with`] on this relation's current
+    /// dictionary, so the map is order-preserving and the remapped
+    /// rows stay sorted. This is how the serving layer keeps cached
+    /// plan nodes warm across a novel-domain-value insert instead of
+    /// dropping them: only the code *numbering* moved, not the data.
+    pub(crate) fn remap_codes(&mut self, dict: &Arc<ValueDict>, translation: &[RowCode]) {
+        debug_assert_eq!(self.dict.len(), translation.len());
+        for c in &mut self.keys {
+            *c = translation[*c as usize];
+        }
+        self.dict = Arc::clone(dict);
+    }
 }
 
 /// Order-preserving 65-bit encoding of a [`Value`] into a `u128`

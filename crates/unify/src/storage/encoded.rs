@@ -58,6 +58,14 @@ pub struct RefreshOutcome {
     /// Whether novel domain values forced a dictionary extension (and
     /// one remap of every cached matrix).
     pub dict_extended: bool,
+    /// The old→new code map of the dictionary extension
+    /// (`translation[old_code] == new_code`), present exactly when
+    /// `dict_extended`. Derived caches holding code matrices over the
+    /// pre-extension dictionary (the serving layer's plan-node cache)
+    /// remap themselves through this instead of rebuilding: the
+    /// translation is order-preserving, so remapped matrices stay
+    /// sorted and comparable under the extended dictionary.
+    pub translation: Option<Arc<Vec<RowCode>>>,
 }
 
 impl RefreshOutcome {
@@ -97,6 +105,13 @@ impl EncodedDb {
     /// The shared dictionary (tests and diagnostics).
     pub fn dict(&self) -> &ValueDict {
         &self.dict
+    }
+
+    /// The shared dictionary handle — derived caches that assemble
+    /// columnar slots from this encoding (the serving layer) clone it
+    /// so their matrices and the encoding stay code-compatible.
+    pub(crate) fn shared_dict(&self) -> Arc<ValueDict> {
+        Arc::clone(&self.dict)
     }
 
     /// The per-relation dirty epoch this encoding is valid at: the
@@ -141,6 +156,7 @@ impl EncodedDb {
             }
         }
         let dict_extended = !novel.is_empty();
+        let mut kept_translation = None;
         if dict_extended {
             let (dict, translation) = self.dict.extend_with(novel);
             // Remap only the *unchanged* matrices: the stale ones are
@@ -154,6 +170,9 @@ impl EncodedDb {
                 }
             }
             self.dict = Arc::new(dict);
+            // Surface the old→new map so derived code-matrix caches
+            // (serving plan nodes) can remap instead of rebuilding.
+            kept_translation = Some(Arc::new(translation));
         }
         for &sym in &stale {
             let rel = db.relation(sym).expect("stale relation exists");
@@ -163,6 +182,7 @@ impl EncodedDb {
         RefreshOutcome {
             changed: stale,
             dict_extended,
+            translation: kept_translation,
         }
     }
 

@@ -59,6 +59,15 @@ impl<M: TwoMonoid + Clone> Fleet<M> {
         }
     }
 
+    /// Applies one configuration knob to every session of the fleet.
+    fn configure(&mut self, f: impl Fn(&mut dyn SessionKnobs)) {
+        f(&mut self.map);
+        f(&mut self.columnar);
+        for s in &mut self.sharded {
+            f(s);
+        }
+    }
+
     /// Serves `q` from every session and asserts all agree; returns the
     /// shared `(value, stats)`.
     fn query(&mut self, interner: &Interner, q: &Query) -> (M::Elem, EngineStats) {
@@ -80,6 +89,22 @@ impl<M: TwoMonoid + Clone> Fleet<M> {
         for s in &mut self.sharded {
             s.update_batch(interner, batch).unwrap();
         }
+    }
+}
+
+/// Backend-erased access to the session knobs the differential suite
+/// sweeps (patch threshold, cache budget).
+trait SessionKnobs {
+    fn set_patch_fraction(&mut self, fraction: f64);
+    fn set_cache_budget(&mut self, budget: Option<usize>);
+}
+
+impl<M: TwoMonoid, R: ServingBackend<Ann = M::Elem>> SessionKnobs for ServingSession<M, R> {
+    fn set_patch_fraction(&mut self, fraction: f64) {
+        ServingSession::set_patch_fraction(self, fraction);
+    }
+    fn set_cache_budget(&mut self, budget: Option<usize>) {
+        ServingSession::set_cache_budget(self, budget);
     }
 }
 
@@ -240,6 +265,94 @@ proptest! {
                 prop_assert_eq!(&stats, &fresh_stats, "encoded stats on {}", q);
             }
             let batch = random_batch(&mut inst.rng, &facts, &rels, 3);
+            apply_to_model(&mut current, &batch);
+            let writes: Vec<(Fact, f64)> = batch
+                .iter()
+                .map(|(f, v)| (f.clone(), v.unwrap_or(0.0)))
+                .collect();
+            fleet.update_batch(&inst.interner, &writes);
+        }
+    }
+
+    /// Forced delta-patching (`patch_fraction = ∞`): every dirty
+    /// intermediate is repaired in place through the refold machinery
+    /// — never dropped — through drifts, deletions and novel-value
+    /// inserts, and every served answer (value, op counts, support
+    /// trajectory) stays bit-identical to fresh evaluation.
+    #[test]
+    fn patched_serving_matches_fresh_evaluation(seed in 0u64..1_000_000) {
+        let mut inst = random_instance(seed, 4, 4, 5, 3);
+        let rels = query_rels(&inst.query, &inst.interner);
+        if rels.is_empty() {
+            return Ok(());
+        }
+        let family = query_family(&inst.query);
+        let facts = inst.database.facts();
+        let mut current: std::collections::BTreeMap<Fact, f64> = facts
+            .iter()
+            .map(|f| (f.clone(), inst.rng.gen_range(0.01..=1.0)))
+            .collect();
+        let tid: Vec<(Fact, f64)> = current.clone().into_iter().collect();
+        let mut fleet = Fleet::build(&ProbMonoid, &inst.interner, &tid);
+        fleet.configure(|s| s.set_patch_fraction(f64::INFINITY));
+        for _ in 0..4 {
+            for q in &family {
+                let (got, stats) = fleet.query(&inst.interner, q);
+                let (fresh, fresh_stats) = fresh_encoded(&ProbMonoid, q, &inst.interner, &current);
+                prop_assert_eq!(got.to_bits(), fresh.to_bits(), "patched path on {}", q);
+                prop_assert_eq!(&stats, &fresh_stats, "patched stats on {}", q);
+            }
+            let batch = random_batch(&mut inst.rng, &facts, &rels, 3);
+            apply_to_model(&mut current, &batch);
+            let writes: Vec<(Fact, f64)> = batch
+                .iter()
+                .map(|(f, v)| (f.clone(), v.unwrap_or(0.0)))
+                .collect();
+            fleet.update_batch(&inst.interner, &writes);
+        }
+    }
+
+    /// Eviction pressure (a tiny cache budget) under delete-heavy
+    /// schedules: nodes constantly fall out of the cache and rebuild
+    /// lazily, yet every answer stays bit-identical to fresh
+    /// evaluation and the budget is honoured after every query.
+    #[test]
+    fn eviction_pressure_with_delete_heavy_schedules(seed in 0u64..1_000_000) {
+        let mut inst = random_instance(seed, 4, 4, 5, 3);
+        let rels = query_rels(&inst.query, &inst.interner);
+        if rels.is_empty() {
+            return Ok(());
+        }
+        let family = query_family(&inst.query);
+        let facts = inst.database.facts();
+        let mut current: std::collections::BTreeMap<Fact, f64> = facts
+            .iter()
+            .map(|f| (f.clone(), inst.rng.gen_range(0.01..=1.0)))
+            .collect();
+        let tid: Vec<(Fact, f64)> = current.clone().into_iter().collect();
+        let budget = 4usize;
+        let mut fleet = Fleet::build(&ProbMonoid, &inst.interner, &tid);
+        fleet.configure(|s| {
+            s.set_patch_fraction(f64::INFINITY);
+            s.set_cache_budget(Some(budget));
+        });
+        for _ in 0..3 {
+            for q in &family {
+                let (got, stats) = fleet.query(&inst.interner, q);
+                let (fresh, fresh_stats) = fresh_encoded(&ProbMonoid, q, &inst.interner, &current);
+                prop_assert_eq!(got.to_bits(), fresh.to_bits(), "evicting path on {}", q);
+                prop_assert_eq!(&stats, &fresh_stats, "evicting stats on {}", q);
+                prop_assert!(fleet.columnar.cached_rows() <= budget, "budget violated");
+                prop_assert!(fleet.map.cached_rows() <= budget, "budget violated (map)");
+            }
+            // Delete-heavy: every other write of the batch becomes a
+            // delete on top of random_batch's own deletions.
+            let mut batch = random_batch(&mut inst.rng, &facts, &rels, 3);
+            for (i, (_, w)) in batch.iter_mut().enumerate() {
+                if i % 2 == 0 {
+                    *w = None;
+                }
+            }
             apply_to_model(&mut current, &batch);
             let writes: Vec<(Fact, f64)> = batch
                 .iter()
@@ -463,9 +576,275 @@ fn cache_hit_performs_zero_ops_on_shared_prefix() {
     );
 }
 
+/// One step of the pinned interleaved serving script.
+enum ScriptStep {
+    Query(Query),
+    Update(Vec<(Fact, f64)>),
+}
+
+/// The pinned `|D| = 32k` instance of the acceptance criterion: two
+/// 16k-fact relations joining on a 251-value column.
+fn pinned_32k() -> (Vec<(Fact, f64)>, Interner) {
+    let mut interner = Interner::new();
+    let e = interner.intern("E");
+    let f = interner.intern("F");
+    let mut tid = Vec::with_capacity(32_000);
+    for k in 0..16_000i64 {
+        tid.push((
+            Fact::new(e, Tuple::ints(&[k, k % 251])),
+            0.02 + (k % 83) as f64 * 0.01,
+        ));
+        tid.push((
+            Fact::new(f, Tuple::ints(&[k % 251, k])),
+            0.98 - (k % 89) as f64 * 0.01,
+        ));
+    }
+    tid.sort_by(|a, b| a.0.cmp(&b.0));
+    (tid, interner)
+}
+
+/// The pinned interleaved query/update script: the overlapping query
+/// batch, then rounds of small update batches each followed by
+/// re-serving the dirty pipelines.
+fn pinned_script(tid: &[(Fact, f64)]) -> Vec<ScriptStep> {
+    let queries: Vec<Query> = [
+        "Q() :- E(X,Y), F(Y,Z)",
+        "Q() :- E(X,Y)",
+        "Q() :- F(Y,Z)",
+        "Q() :- E(X,Y), F(Y,Z)",
+    ]
+    .iter()
+    .map(|s| hq_query::parse_query(s).unwrap())
+    .collect();
+    let mut script: Vec<ScriptStep> = queries.iter().cloned().map(ScriptStep::Query).collect();
+    for round in 0..6usize {
+        let batch: Vec<(Fact, f64)> = (0..2)
+            .map(|j| {
+                let (f, _) = &tid[(round * 7919 + j * 131) % tid.len()];
+                (f.clone(), 0.05 + ((round * 2 + j) % 89) as f64 / 100.0)
+            })
+            .collect();
+        script.push(ScriptStep::Update(batch));
+        script.push(ScriptStep::Query(queries[0].clone()));
+        script.push(ScriptStep::Query(queries[1].clone()));
+    }
+    script
+}
+
+/// Drives one session through the script, returning every served
+/// `(value, stats)` and the total monoid ops the session executed.
+fn drive<R: ServingBackend<Ann = f64>>(
+    mut session: ServingSession<ProbMonoid, R>,
+    interner: &Interner,
+    script: &[ScriptStep],
+) -> (Vec<(f64, EngineStats)>, u64) {
+    let mut outs = Vec::new();
+    for step in script {
+        match step {
+            ScriptStep::Query(q) => outs.push(session.query(interner, q).unwrap()),
+            ScriptStep::Update(batch) => {
+                session.update_batch(interner, batch).unwrap();
+            }
+        }
+    }
+    let ops = session.ops_performed();
+    (outs, ops)
+}
+
+/// Acceptance criterion: on the pinned `|D| = 32k` interleaved
+/// query/update script, delta-patching the cached intermediates
+/// performs **strictly fewer** monoid ops than the drop-and-rebuild
+/// path (`patch_fraction = 0`), while every served value and
+/// [`EngineStats`] stays bit-identical to fresh evaluation — on
+/// map/columnar/sharded at threads 1, 2 and 8.
+#[test]
+fn delta_patching_beats_rebuild_on_the_pinned_32k_instance() {
+    let (tid, interner) = pinned_32k();
+    assert_eq!(tid.len(), 32_000);
+    let script = pinned_script(&tid);
+    // The fresh-evaluation baseline: replay the script against a model
+    // state, evaluating each query from scratch.
+    let mut current: std::collections::BTreeMap<Fact, f64> = tid.iter().cloned().collect();
+    let mut expected: Vec<(f64, EngineStats)> = Vec::new();
+    for step in &script {
+        match step {
+            ScriptStep::Query(q) => {
+                expected.push(fresh_encoded(&ProbMonoid, q, &interner, &current))
+            }
+            ScriptStep::Update(batch) => {
+                for (f, p) in batch {
+                    current.insert(f.clone(), *p);
+                }
+            }
+        }
+    }
+    let check = |label: &str, outs: &[(f64, EngineStats)]| {
+        assert_eq!(outs.len(), expected.len(), "{label}");
+        for (i, ((got, stats), (want, want_stats))) in outs.iter().zip(&expected).enumerate() {
+            assert_eq!(got.to_bits(), want.to_bits(), "{label}: value at step {i}");
+            assert_eq!(stats, want_stats, "{label}: stats at step {i}");
+        }
+    };
+    // One patch/rebuild session pair per backend × thread count; the
+    // patching session runs the *default* threshold (the win must not
+    // require tuning).
+    let run_pair = |label: &str, patched: u64, rebuilt: u64| {
+        assert!(
+            patched < rebuilt,
+            "{label}: patching must perform strictly fewer ops than rebuild \
+             ({patched} vs {rebuilt})"
+        );
+    };
+    {
+        let patch: ServingSession<ProbMonoid, MapRelation<f64>> =
+            ServingSession::new(ProbMonoid, &interner, tid.iter().cloned()).unwrap();
+        let mut rebuild: ServingSession<ProbMonoid, MapRelation<f64>> =
+            ServingSession::new(ProbMonoid, &interner, tid.iter().cloned()).unwrap();
+        rebuild.set_patch_fraction(0.0);
+        let (outs, patched) = drive(patch, &interner, &script);
+        check("map", &outs);
+        let (outs, rebuilt) = drive(rebuild, &interner, &script);
+        check("map(rebuild)", &outs);
+        run_pair("map", patched, rebuilt);
+    }
+    {
+        let patch: ServingSession<ProbMonoid, ColumnarRelation<f64>> =
+            ServingSession::new(ProbMonoid, &interner, tid.iter().cloned()).unwrap();
+        let mut rebuild: ServingSession<ProbMonoid, ColumnarRelation<f64>> =
+            ServingSession::new(ProbMonoid, &interner, tid.iter().cloned()).unwrap();
+        rebuild.set_patch_fraction(0.0);
+        let (outs, patched) = drive(patch, &interner, &script);
+        check("columnar(threads=1)", &outs);
+        let (outs, rebuilt) = drive(rebuild, &interner, &script);
+        check("columnar(rebuild)", &outs);
+        run_pair("columnar(threads=1)", patched, rebuilt);
+    }
+    for t in THREADS {
+        let patch: ServingSession<ProbMonoid, ShardedColumnar<f64>> =
+            ServingSession::with_parallelism(
+                ProbMonoid,
+                &interner,
+                tid.iter().cloned(),
+                Parallelism::new(t),
+            )
+            .unwrap();
+        let mut rebuild: ServingSession<ProbMonoid, ShardedColumnar<f64>> =
+            ServingSession::with_parallelism(
+                ProbMonoid,
+                &interner,
+                tid.iter().cloned(),
+                Parallelism::new(t),
+            )
+            .unwrap();
+        rebuild.set_patch_fraction(0.0);
+        let (outs, patched) = drive(patch, &interner, &script);
+        check(&format!("sharded(threads={t})"), &outs);
+        let (outs, rebuilt) = drive(rebuild, &interner, &script);
+        check(&format!("sharded(rebuild,threads={t})"), &outs);
+        run_pair(&format!("sharded(threads={t})"), patched, rebuilt);
+    }
+}
+
+/// Bugfix pin: re-populating a relation that an earlier delete-only
+/// batch emptied, with values that were already interned, must not
+/// report any dictionary extension — on the serving session *and* on
+/// the incremental run.
+#[test]
+fn repopulating_an_emptied_relation_reports_no_dict_extensions() {
+    let (tid, mut interner, _) = chain_instance();
+    let g = interner.intern("G");
+    let q_e = hq_query::parse_query("Q() :- E(X,Y)").unwrap();
+    let mut session: ServingSession<ProbMonoid, ColumnarRelation<f64>> =
+        ServingSession::new(ProbMonoid, &interner, tid.iter().cloned()).unwrap();
+    session.query(&interner, &q_e).unwrap();
+    let warm_ops = session.ops_performed();
+    // Declare G with already-interned values, then empty it again.
+    let g_fact = Fact::new(g, Tuple::ints(&[1, 2]));
+    let out = session.update(&interner, &g_fact, 0.5).unwrap();
+    assert!(!out.refresh.dict_extended, "values 1, 2 already interned");
+    assert_eq!(out.dict_extensions, 0);
+    let out = session.update(&interner, &g_fact, 0.0).unwrap();
+    assert_eq!(out.dict_extensions, 0, "delete-only batch extends nothing");
+    // Re-populate the (declared but empty) relation: still no
+    // extension, and the unrelated warm E pipeline is untouched.
+    let out = session
+        .update(&interner, &Fact::new(g, Tuple::ints(&[2, 3])), 0.4)
+        .unwrap();
+    assert!(!out.refresh.dict_extended);
+    assert_eq!(out.dict_extensions, 0);
+    assert_eq!(out.invalidated, 0, "no cached node reads G");
+    session.query(&interner, &q_e).unwrap();
+    assert_eq!(
+        session.ops_performed(),
+        warm_ops,
+        "E stayed warm throughout"
+    );
+    // The incremental maintainer agrees: emptying a query relation and
+    // re-inserting interned values pays zero dictionary extensions.
+    let q = hq_query::parse_query("Q() :- E(X,Y), F(Y,Z)").unwrap();
+    let mut run: hq_unify::IncrementalRun<ProbMonoid, ColumnarRelation<f64>> =
+        hq_unify::IncrementalRun::with_storage(ProbMonoid, &q, &interner, tid.iter().cloned())
+            .unwrap();
+    let e_facts: Vec<Fact> = tid
+        .iter()
+        .filter(|(f, _)| interner.resolve(f.rel) == "E")
+        .map(|(f, _)| f.clone())
+        .collect();
+    let empty_e: Vec<(Fact, f64)> = e_facts.iter().map(|f| (f.clone(), 0.0)).collect();
+    run.update_batch(&interner, &empty_e).unwrap();
+    assert_eq!(run.last_update_stats().dict_extensions, 0);
+    run.update(&interner, &e_facts[0], 0.5).unwrap();
+    assert_eq!(
+        run.last_update_stats().dict_extensions,
+        0,
+        "re-populating with interned values must not extend"
+    );
+}
+
+/// Bugfix pin: a novel-domain-value insert no longer clears the node
+/// cache — surviving matrices are translated through the old→new code
+/// map, so an *unrelated* warm pipeline keeps serving for free.
+#[test]
+fn unrelated_warm_pipeline_survives_novel_value_insert() {
+    let (tid, interner, _) = chain_instance();
+    let q_e = hq_query::parse_query("Q() :- E(X,Y)").unwrap();
+    let q_f = hq_query::parse_query("Q() :- F(Y,Z)").unwrap();
+    let mut session: ServingSession<ProbMonoid, ColumnarRelation<f64>> =
+        ServingSession::new(ProbMonoid, &interner, tid.iter().cloned()).unwrap();
+    session.set_patch_fraction(f64::INFINITY);
+    session.query(&interner, &q_e).unwrap();
+    session.query(&interner, &q_f).unwrap();
+    let nodes = session.cached_nodes();
+    // Values far outside the instance domain: the dictionary extends.
+    let e = interner.get("E").unwrap();
+    let out = session
+        .update(&interner, &Fact::new(e, Tuple::ints(&[9_999, 8_888])), 0.5)
+        .unwrap();
+    assert!(out.refresh.dict_extended);
+    assert_eq!(out.dict_extensions, nodes, "every matrix translated");
+    assert_eq!(session.cached_nodes(), nodes, "nothing was dropped");
+    // F's pipeline — which never read E — re-serves for free.
+    let after_patch = session.ops_performed();
+    let mut current: std::collections::BTreeMap<Fact, f64> = tid.iter().cloned().collect();
+    current.insert(Fact::new(e, Tuple::ints(&[9_999, 8_888])), 0.5);
+    let (want, want_stats) = fresh_encoded(&ProbMonoid, &q_f, &interner, &current);
+    let (got, stats) = session.query(&interner, &q_f).unwrap();
+    assert_eq!(got.to_bits(), want.to_bits());
+    assert_eq!(stats, want_stats);
+    assert_eq!(session.ops_performed(), after_patch, "F stayed warm");
+    // And the dirty E pipeline was patched, not rebuilt: serving it
+    // also costs nothing further.
+    let (want, want_stats) = fresh_encoded(&ProbMonoid, &q_e, &interner, &current);
+    let (got, stats) = session.query(&interner, &q_e).unwrap();
+    assert_eq!(got.to_bits(), want.to_bits());
+    assert_eq!(stats, want_stats);
+    assert_eq!(session.ops_performed(), after_patch, "E was fully patched");
+}
+
 /// Updates touching one relation leave the other relation's cached
 /// pipeline warm — re-serving it is free — while the dirty pipeline is
-/// recomputed and stays bit-identical to fresh evaluation.
+/// delta-patched in place during the update and re-serves without any
+/// further recomputation, bit-identical to fresh evaluation.
 #[test]
 fn update_invalidation_is_scoped_to_touched_relations() {
     let (tid, interner, _) = chain_instance();
@@ -473,9 +852,10 @@ fn update_invalidation_is_scoped_to_touched_relations() {
     let q_f = hq_query::parse_query("Q() :- F(Y,Z)").unwrap();
     let mut session: ServingSession<ProbMonoid, ColumnarRelation<f64>> =
         ServingSession::new(ProbMonoid, &interner, tid.iter().cloned()).unwrap();
+    session.set_patch_fraction(f64::INFINITY);
     session.query(&interner, &q_e).unwrap();
     session.query(&interner, &q_f).unwrap();
-    let before = session.ops_performed();
+    let warm = session.ops_performed();
     // Touch E only (existing domain values: the delta-patch path).
     let e_fact = tid
         .iter()
@@ -487,10 +867,17 @@ fn update_invalidation_is_scoped_to_touched_relations() {
     assert_eq!(out.touched, vec!["E".to_owned()]);
     assert!(!out.refresh.dict_extended);
     assert!(out.patched_scans >= 1, "E's scan stays warm via patching");
+    assert!(out.patched_nodes >= 1, "E's folds stay warm via patching");
+    assert_eq!(out.invalidated, 0);
+    let patch_cost = session.ops_performed() - warm;
+    assert!(patch_cost > 0, "the repair itself performs the dirty folds");
+    // Both pipelines now re-serve for free: F was never dirty, E was
+    // repaired during the update.
+    let after_patch = session.ops_performed();
     session.query(&interner, &q_f).unwrap();
     assert_eq!(
         session.ops_performed(),
-        before,
+        after_patch,
         "F's pipeline must stay warm across an E-only update"
     );
     let mut current: std::collections::BTreeMap<Fact, f64> = tid.iter().cloned().collect();
@@ -499,4 +886,15 @@ fn update_invalidation_is_scoped_to_touched_relations() {
     let (got, stats) = session.query(&interner, &q_e).unwrap();
     assert_eq!(got.to_bits(), want.to_bits());
     assert_eq!(stats, want_stats);
+    assert_eq!(
+        session.ops_performed(),
+        after_patch,
+        "the patched E pipeline re-serves without recomputation"
+    );
+    // And the repair cost a fraction of what the fresh pipeline costs.
+    assert!(
+        patch_cost < want_stats.total_ops(),
+        "patch ({patch_cost} ops) must undercut a fresh evaluation ({})",
+        want_stats.total_ops()
+    );
 }
