@@ -3,9 +3,13 @@
 //! budget cap θ. Both storage backends run every series — the
 //! algorithmic bound is identical, the columnar layout only shrinks
 //! the constants.
+//!
+//! With `HQ_BENCH_SMOKE` set (the CI smoke step) the workloads shrink
+//! to their smallest size and the wall-clock speedup gate is skipped —
+//! but every kernel and every curve-identity assertion still runs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use hq_bench::{bsm_workload, thread_sweep, write_bench_summary};
+use hq_bench::{bsm_workload, host_threads, smoke_mode, thread_sweep, write_bench_summary};
 use hq_unify::{bsm, Backend, Parallelism};
 use std::time::Duration;
 
@@ -15,8 +19,11 @@ fn bench_bsm(c: &mut Criterion) {
         .sample_size(10)
         .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_millis(600));
+    let smoke = smoke_mode();
+    let d_sizes: &[usize] = if smoke { &[500] } else { &[500, 2_000, 8_000] };
+    let thetas: &[usize] = if smoke { &[8] } else { &[8, 16, 32, 64] };
     // (a) sweep |D| at fixed θ.
-    for d_size in [500usize, 2_000, 8_000] {
+    for &d_size in d_sizes {
         let w = bsm_workload(d_size, 40, 17);
         group.throughput(Throughput::Elements(3 * d_size as u64));
         for backend in Backend::ALL {
@@ -32,7 +39,7 @@ fn bench_bsm(c: &mut Criterion) {
         }
     }
     // (b) sweep θ at fixed |D|.
-    for theta in [8usize, 16, 32, 64] {
+    for &theta in thetas {
         let w = bsm_workload(300, 200, 19);
         for backend in Backend::ALL {
             group.bench_with_input(
@@ -48,7 +55,7 @@ fn bench_bsm(c: &mut Criterion) {
         }
     }
     // Sanity: identical budget curves on the largest |D| sweep point.
-    let w = bsm_workload(8_000, 40, 17);
+    let w = bsm_workload(*d_sizes.last().unwrap(), 40, 17);
     let map = bsm::maximize_on(Backend::Map, &w.query, &w.interner, &w.d, &w.d_r, 10).unwrap();
     let col = bsm::maximize_on(Backend::Columnar, &w.query, &w.interner, &w.d, &w.d_r, 10).unwrap();
     assert_eq!(map.curve, col.curve, "backends disagreed");
@@ -60,6 +67,8 @@ fn bench_bsm(c: &mut Criterion) {
 /// at every count; emits `BENCH_bsm_scaling.json`.
 fn bench_bsm_threads(_c: &mut Criterion) {
     println!("\n== bsm_scaling/threads (sharded columnar)");
+    let smoke = smoke_mode();
+    let (d_size, theta_big) = if smoke { (500, 8) } else { (8_000, 64) };
     let max = Parallelism::available().threads;
     let mut counts = vec![1usize, 2, 4];
     if !counts.contains(&max) {
@@ -67,8 +76,16 @@ fn bench_bsm_threads(_c: &mut Criterion) {
     }
     let mut entries = Vec::new();
     for (label, w, theta) in [
-        ("sweep_d_24000", bsm_workload(8_000, 40, 17), 10usize),
-        ("sweep_theta_64", bsm_workload(300, 200, 19), 64),
+        (
+            format!("sweep_d_{}", 3 * d_size),
+            bsm_workload(d_size, 40, 17),
+            10usize,
+        ),
+        (
+            format!("sweep_theta_{theta_big}"),
+            bsm_workload(300, 200, 19),
+            theta_big,
+        ),
     ] {
         let seq = bsm::maximize_on(
             Backend::Columnar,
@@ -79,7 +96,7 @@ fn bench_bsm_threads(_c: &mut Criterion) {
             theta,
         )
         .unwrap();
-        entries.extend(thread_sweep(label, &counts, 3, |threads| {
+        entries.extend(thread_sweep(&label, &counts, 3, |threads| {
             let sol = bsm::maximize_par(
                 Backend::Columnar,
                 Parallelism::new(threads),
@@ -96,6 +113,23 @@ fn bench_bsm_threads(_c: &mut Criterion) {
             );
             sol.optimum()
         }));
+    }
+    // Acceptance gate: > 2x at 4 threads on the largest |D| sweep —
+    // the θ sweep's |D| is too small for sharding to pay, so only the
+    // sweep_d point is gated. Skipped in smoke mode and on hosts with
+    // fewer than 4 hardware threads.
+    if !smoke && host_threads() >= 4 {
+        for e in entries
+            .iter()
+            .filter(|e| e.threads == 4 && e.workload.starts_with("sweep_d"))
+        {
+            assert!(
+                e.speedup_vs_1 > 2.0,
+                "{}: expected >2x at 4 threads, got {:.2}x",
+                e.workload,
+                e.speedup_vs_1
+            );
+        }
     }
     let path = write_bench_summary("bsm_scaling", &entries).expect("summary written");
     println!("summary: {path}");

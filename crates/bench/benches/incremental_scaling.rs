@@ -8,7 +8,9 @@
 //! format as the other benches (skipped under CI).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use hq_bench::{chain_tid, thread_sweep, write_bench_summary, SummaryEntry, TidWorkload};
+use hq_bench::{
+    chain_tid, smoke_mode, thread_sweep, write_bench_summary, SummaryEntry, TidWorkload,
+};
 use hq_db::Fact;
 use hq_unify::{pqe, Backend, IncrementalPqe, Parallelism};
 use std::time::Duration;
@@ -30,7 +32,12 @@ fn bench_incremental(c: &mut Criterion) {
         .sample_size(10)
         .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_millis(600));
-    for n in [1_000usize, 4_000] {
+    let sizes: &[usize] = if smoke_mode() {
+        &[1_000]
+    } else {
+        &[1_000, 4_000]
+    };
+    for &n in sizes {
         let w = chain_tid(n, 31);
         let updates = update_stream(&w, 1024);
         group.throughput(Throughput::Elements(1));
@@ -74,7 +81,12 @@ fn bench_incremental_summary(_c: &mut Criterion) {
     println!("\n== incremental_scaling (per-update latency)");
     let mut entries: Vec<SummaryEntry> = Vec::new();
     let iters = 60usize;
-    for n in [1_000usize, 4_000, 16_000] {
+    let sizes: &[usize] = if smoke_mode() {
+        &[1_000]
+    } else {
+        &[1_000, 4_000, 16_000]
+    };
+    for &n in sizes {
         let w = chain_tid(n, 31);
         let updates = update_stream(&w, 4096);
         let d = w.tid.len();

@@ -3,9 +3,13 @@
 //! the ordered-map and columnar storage backends on identical
 //! workloads (they return bit-identical probabilities; only the
 //! constants differ).
+//!
+//! With `HQ_BENCH_SMOKE` set (the CI smoke step) the workloads shrink
+//! to their smallest size and the wall-clock speedup gate is skipped —
+//! but every kernel and every bit-identity assertion still runs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use hq_bench::{chain_tid, star_tid, thread_sweep, write_bench_summary};
+use hq_bench::{chain_tid, host_threads, smoke_mode, star_tid, thread_sweep, write_bench_summary};
 use hq_unify::{pqe, Backend, Parallelism};
 use std::time::Duration;
 
@@ -15,7 +19,12 @@ fn bench_pqe(c: &mut Criterion) {
         .sample_size(10)
         .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_millis(600));
-    for n in [1_000usize, 4_000, 16_000] {
+    let sizes: &[usize] = if smoke_mode() {
+        &[1_000]
+    } else {
+        &[1_000, 4_000, 16_000]
+    };
+    for &n in sizes {
         for backend in Backend::ALL {
             let w = chain_tid(n, 11);
             group.throughput(Throughput::Elements(w.tid.len() as u64));
@@ -38,7 +47,7 @@ fn bench_pqe(c: &mut Criterion) {
         }
     }
     // Sanity: the backends agree bit-for-bit on the largest workload.
-    let w = chain_tid(16_000, 11);
+    let w = chain_tid(*sizes.last().unwrap(), 11);
     let pm = pqe::probability_on(Backend::Map, &w.query, &w.interner, &w.tid).unwrap();
     let pc = pqe::probability_on(Backend::Columnar, &w.query, &w.interner, &w.tid).unwrap();
     assert_eq!(
@@ -55,6 +64,8 @@ fn bench_pqe(c: &mut Criterion) {
 /// trajectory.
 fn bench_pqe_threads(_c: &mut Criterion) {
     println!("\n== pqe_scaling/threads (sharded columnar)");
+    let smoke = smoke_mode();
+    let n = if smoke { 1_000 } else { 16_000 };
     let max = Parallelism::available().threads;
     let mut counts = vec![1usize, 2, 4];
     if !counts.contains(&max) {
@@ -62,11 +73,11 @@ fn bench_pqe_threads(_c: &mut Criterion) {
     }
     let mut entries = Vec::new();
     for (label, w) in [
-        ("chain_16000", chain_tid(16_000, 11)),
-        ("star_eq1_16000", star_tid(16_000, 12)),
+        (format!("chain_{n}"), chain_tid(n, 11)),
+        (format!("star_eq1_{n}"), star_tid(n, 12)),
     ] {
         let seq = pqe::probability_on(Backend::Columnar, &w.query, &w.interner, &w.tid).unwrap();
-        entries.extend(thread_sweep(label, &counts, 5, |threads| {
+        entries.extend(thread_sweep(&label, &counts, 5, |threads| {
             let p = pqe::probability_par(
                 Backend::Columnar,
                 Parallelism::new(threads),
@@ -82,6 +93,20 @@ fn bench_pqe_threads(_c: &mut Criterion) {
             );
             p
         }));
+    }
+    // Acceptance gate: > 2x at 4 threads on the largest workloads.
+    // Only meaningful on hosts with >= 4 hardware threads, and skipped
+    // in smoke mode (which shrinks the workloads below the point where
+    // sharding pays).
+    if !smoke && host_threads() >= 4 {
+        for e in entries.iter().filter(|e| e.threads == 4) {
+            assert!(
+                e.speedup_vs_1 > 2.0,
+                "{}: expected >2x at 4 threads, got {:.2}x",
+                e.workload,
+                e.speedup_vs_1
+            );
+        }
     }
     let path = write_bench_summary("pqe_scaling", &entries).expect("summary written");
     println!("summary: {path}");

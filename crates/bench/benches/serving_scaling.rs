@@ -13,7 +13,9 @@
 //! execute strictly fewer monoid ops than the independent total.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hq_bench::{chain_tid, thread_sweep, write_bench_summary, SummaryEntry, TidWorkload};
+use hq_bench::{
+    chain_tid, smoke_mode, thread_sweep, write_bench_summary, SummaryEntry, TidWorkload,
+};
 use hq_db::{Database, Fact};
 use hq_monoid::ProbMonoid;
 use hq_query::{parse_query, Query};
@@ -95,7 +97,12 @@ fn bench_serving_summary(_c: &mut Criterion) {
     println!("\n== serving_scaling (N=4 overlapping queries per iteration)");
     let mut entries: Vec<SummaryEntry> = Vec::new();
     let queries = query_batch();
-    for n in [1_000usize, 4_000, 16_000] {
+    let sizes: &[usize] = if smoke_mode() {
+        &[1_000]
+    } else {
+        &[1_000, 4_000, 16_000]
+    };
+    for &n in sizes {
         let w = chain_tid(n, 17);
         let d = w.tid.len();
         let ann: std::collections::BTreeMap<Fact, f64> = w.tid.iter().cloned().collect();

@@ -3,7 +3,7 @@
 //! Shapley value.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hq_bench::shapley_workload;
+use hq_bench::{shapley_workload, smoke_mode};
 use hq_unify::shapley;
 use std::time::Duration;
 
@@ -13,7 +13,8 @@ fn bench_shapley(c: &mut Criterion) {
         .sample_size(10)
         .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_millis(600));
-    for n_rel in [20usize, 40, 80] {
+    let sizes: &[usize] = if smoke_mode() { &[20] } else { &[20, 40, 80] };
+    for &n_rel in sizes {
         let w = shapley_workload(n_rel, 0.5, 29);
         group.bench_with_input(
             BenchmarkId::new("sat_counts", w.endogenous.len()),

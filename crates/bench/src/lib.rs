@@ -235,6 +235,21 @@ pub fn mean_ns<T>(iters: usize, mut f: impl FnMut() -> T) -> f64 {
     start.elapsed().as_secs_f64() * 1e9 / iters.max(1) as f64
 }
 
+/// Whether the CI bench smoke mode is on (`HQ_BENCH_SMOKE` set):
+/// benches shrink to their smallest size and skip wall-clock speedup
+/// assertions, but still execute every kernel — including the in-bench
+/// bit-identity checks across backends and thread counts.
+pub fn smoke_mode() -> bool {
+    std::env::var_os("HQ_BENCH_SMOKE").is_some()
+}
+
+/// Hardware threads of this host (1 when unknown).
+pub fn host_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
 /// One measured point of a machine-readable bench summary: a workload
 /// at a thread count.
 #[derive(Debug, Clone)]
@@ -247,6 +262,11 @@ pub struct SummaryEntry {
     pub mean_ns: f64,
     /// Wall-clock speedup versus the 1-thread run of the same workload.
     pub speedup_vs_1: f64,
+    /// Persistent-pool workers alive when the point was measured (the
+    /// submitting thread also executes tasks and is not counted).
+    pub pool_workers: usize,
+    /// Hardware threads of the measuring host.
+    pub host_threads: usize,
 }
 
 /// Writes `BENCH_<name>.json` at the workspace root so future PRs can
@@ -265,21 +285,20 @@ pub fn write_bench_summary(name: &str, entries: &[SummaryEntry]) -> std::io::Res
     if std::env::var_os("CI").is_some() {
         return Ok("(skipped: CI)".to_owned());
     }
-    let host_threads = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1);
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str(&format!("  \"bench\": \"{name}\",\n"));
-    json.push_str(&format!("  \"host_threads\": {host_threads},\n"));
+    json.push_str(&format!("  \"host_threads\": {},\n", host_threads()));
     json.push_str("  \"entries\": [\n");
     for (i, e) in entries.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"workload\": \"{}\", \"threads\": {}, \"mean_ns\": {:.0}, \"speedup_vs_1\": {:.3}}}{}\n",
+            "    {{\"workload\": \"{}\", \"threads\": {}, \"mean_ns\": {:.0}, \"speedup_vs_1\": {:.3}, \"pool_workers\": {}, \"host_threads\": {}}}{}\n",
             e.workload,
             e.threads,
             e.mean_ns,
             e.speedup_vs_1,
+            e.pool_workers,
+            e.host_threads,
             if i + 1 < entries.len() { "," } else { "" }
         ));
     }
@@ -302,11 +321,18 @@ pub fn thread_sweep<T>(
 ) -> Vec<SummaryEntry> {
     let mut entries: Vec<SummaryEntry> = thread_counts
         .iter()
-        .map(|&t| SummaryEntry {
-            workload: workload.to_owned(),
-            threads: t,
-            mean_ns: mean_ns(iters, || run(t)),
-            speedup_vs_1: 1.0,
+        .map(|&t| {
+            let measured = mean_ns(iters, || run(t));
+            SummaryEntry {
+                workload: workload.to_owned(),
+                threads: t,
+                mean_ns: measured,
+                speedup_vs_1: 1.0,
+                // Sampled after the runs: the resolved pool size the
+                // measurements actually executed on.
+                pool_workers: hq_unify::pool::workers(),
+                host_threads: host_threads(),
+            }
         })
         .collect();
     // Speedups are relative to the 1-thread run; when the sweep has no

@@ -109,11 +109,15 @@ fn backend_arg(args: &Args) -> Result<Backend, String> {
 
 /// The worker-thread count selected by `--threads` (1 by default;
 /// `max` = all hardware threads). Only the columnar backend shards.
+/// Warms the persistent worker pool immediately, so no evaluation —
+/// not even the first — spawns a thread on its own clock.
 fn threads_arg(args: &Args) -> Result<Parallelism, String> {
-    match args.get("threads") {
-        Some(n) => n.parse(),
-        None => Ok(Parallelism::default()),
-    }
+    let par: Parallelism = match args.get("threads") {
+        Some(n) => n.parse()?,
+        None => Parallelism::default(),
+    };
+    par.warm_pool();
+    Ok(par)
 }
 
 fn load_db(path: &str, interner: &mut Interner) -> Result<(Database, Vec<(Fact, f64)>), String> {

@@ -151,6 +151,7 @@ mod tests {
 
     /// (u64, +, ×): a genuine semiring — all laws hold, distributive,
     /// annihilating.
+    #[derive(Clone)]
     struct NatSemiring;
     impl TwoMonoid for NatSemiring {
         type Elem = u64;
@@ -169,6 +170,7 @@ mod tests {
     }
 
     /// A broken structure (subtraction is not commutative).
+    #[derive(Clone)]
     struct Broken;
     impl TwoMonoid for Broken {
         type Elem = i64;

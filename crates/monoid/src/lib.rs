@@ -37,4 +37,4 @@ pub use prob::{ExactProbMonoid, ProbMonoid};
 pub use provenance::{Prov, ProvMonoid};
 pub use satcount::{SatCountMonoid, SatVec};
 pub use semirings::{BoolMonoid, CountMonoid, RealSemiring, TropicalMinMonoid, TROPICAL_INF};
-pub use traits::{Semiring, TwoMonoid};
+pub use traits::{DenseFold, Semiring, TwoMonoid};

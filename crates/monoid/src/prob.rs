@@ -11,7 +11,7 @@
 //! benchmarks, and exact [`Rational`] ([`ExactProbMonoid`]) used as the
 //! correctness oracle in differential tests.
 
-use crate::traits::TwoMonoid;
+use crate::traits::{DenseFold, TwoMonoid};
 use hq_arith::Rational;
 
 /// Floating-point probability 2-monoid over `[0, 1]`.
@@ -61,6 +61,30 @@ impl TwoMonoid for ProbMonoid {
     /// the carrier and rejected by the front-ends).
     fn annihilating(&self) -> bool {
         true
+    }
+
+    fn fold_assign(&self, acc: &mut f64, run: &[f64]) {
+        self.fold_dense(acc, run);
+    }
+}
+
+impl DenseFold for ProbMonoid {
+    /// Dense ⊕-fold over a run of probabilities. Each step evaluates
+    /// the *same* IEEE-754 expression as [`TwoMonoid::add`]
+    /// (`acc = 1 − (1−acc)(1−x)`), in the same left-to-right order, so
+    /// the result is bit-identical to the generic `add_assign` loop.
+    /// A running-complement accumulator (`c *= 1−x`, complement once
+    /// at the end) would be faster still but is **not** bit-identical
+    /// — `1 − (1 − q) ≠ q` for tiny `q` in f64 — so it is
+    /// deliberately not used. The win here is the branch-free slice
+    /// loop: no group-boundary comparison per element, and LLVM can
+    /// unroll the fused multiply chain.
+    fn fold_dense(&self, acc: &mut f64, run: &[f64]) {
+        let mut a = *acc;
+        for x in run {
+            a = 1.0 - (1.0 - a) * (1.0 - x);
+        }
+        *acc = a;
     }
 }
 
@@ -186,6 +210,37 @@ mod tests {
             );
             assert!(approx_eq(&fm.add(&a, &b), &em.add(&ra, &rb).to_f64()));
             assert!(approx_eq(&fm.mul(&a, &b), &em.mul(&ra, &rb).to_f64()));
+        }
+    }
+
+    #[test]
+    fn dense_fold_bit_identical_to_generic_loop() {
+        // The DenseFold override must match the default add_assign
+        // loop bit-for-bit, including awkward magnitudes where a
+        // complement-accumulator shortcut would diverge.
+        let m = ProbMonoid;
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for len in [0usize, 1, 2, 3, 7, 64, 1000] {
+            let mut run: Vec<f64> = (0..len).map(|_| next()).collect();
+            // Stress the near-0/near-1 edges where rounding bites.
+            if len >= 3 {
+                run[0] = 1e-300;
+                run[1] = 1.0 - 1e-16;
+                run[2] = f64::MIN_POSITIVE;
+            }
+            let mut dense = next();
+            let mut generic = dense;
+            m.fold_dense(&mut dense, &run);
+            for x in &run {
+                m.add_assign(&mut generic, x);
+            }
+            assert_eq!(dense.to_bits(), generic.to_bits(), "len {len}");
         }
     }
 

@@ -17,7 +17,7 @@
 //! hard beyond hierarchical queries while semiring evaluation extends
 //! to all acyclic queries.
 
-use crate::traits::{Semiring, TwoMonoid};
+use crate::traits::{DenseFold, Semiring, TwoMonoid};
 
 /// The Boolean semiring `({⊥,⊤}, ∨, ∧)`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -75,6 +75,24 @@ impl TwoMonoid for CountMonoid {
     fn annihilating(&self) -> bool {
         true
     }
+
+    fn fold_assign(&self, acc: &mut u64, run: &[u64]) {
+        self.fold_dense(acc, run);
+    }
+}
+
+impl DenseFold for CountMonoid {
+    /// Dense saturating sum over a contiguous run. `saturating_add` is
+    /// associative and branch-predictable (the saturation branch never
+    /// fires on realistic counts), so LLVM vectorises the loop; the
+    /// per-element operation and order match the generic path exactly.
+    fn fold_dense(&self, acc: &mut u64, run: &[u64]) {
+        let mut a = *acc;
+        for x in run {
+            a = a.saturating_add(*x);
+        }
+        *acc = a;
+    }
 }
 
 impl Semiring for CountMonoid {}
@@ -117,6 +135,25 @@ impl TwoMonoid for RealSemiring {
 
     fn annihilating(&self) -> bool {
         true
+    }
+
+    fn fold_assign(&self, acc: &mut f64, run: &[f64]) {
+        self.fold_dense(acc, run);
+    }
+}
+
+impl DenseFold for RealSemiring {
+    /// Dense f64 sum in strict left-to-right order. Reassociating into
+    /// SIMD lanes would change the rounding sequence, so the loop keeps
+    /// the scalar dependency chain — the win over the generic path is
+    /// dropping the per-element group-boundary comparison, which LLVM
+    /// can then unroll.
+    fn fold_dense(&self, acc: &mut f64, run: &[f64]) {
+        let mut a = *acc;
+        for x in run {
+            a += x;
+        }
+        *acc = a;
     }
 }
 
@@ -225,6 +262,31 @@ mod tests {
             &reals,
             |a, b| a == b
         ));
+    }
+
+    #[test]
+    fn dense_folds_match_generic_loop() {
+        let counts: Vec<u64> = (0..257).map(|i| i * 31 % 97).collect();
+        let mut dense = 5u64;
+        let mut generic = 5u64;
+        CountMonoid.fold_dense(&mut dense, &counts);
+        for x in &counts {
+            CountMonoid.add_assign(&mut generic, x);
+        }
+        assert_eq!(dense, generic);
+        // Saturation is preserved by the dense path.
+        let mut sat = u64::MAX - 1;
+        CountMonoid.fold_dense(&mut sat, &[5, 7]);
+        assert_eq!(sat, u64::MAX);
+
+        let reals: Vec<f64> = (0..257).map(|i| (i as f64) * 0.1 + 1e-9).collect();
+        let mut dense = 0.25f64;
+        let mut generic = 0.25f64;
+        RealSemiring.fold_dense(&mut dense, &reals);
+        for x in &reals {
+            RealSemiring.add_assign(&mut generic, x);
+        }
+        assert_eq!(dense.to_bits(), generic.to_bits());
     }
 
     #[test]

@@ -27,13 +27,15 @@ use std::fmt::Debug;
 /// The [`crate::laws`] module provides generic checkers used by every
 /// instantiation's property tests.
 ///
-/// Monoids are shared by reference across shard workers (`Sync`) and
-/// carrier values move between threads (`Elem: Send`) in the engine's
-/// parallel execution mode; every instantiation is a plain owned value
-/// with no interior mutability, so the bounds are free.
-pub trait TwoMonoid: Sync {
+/// Monoids are shared by reference across shard workers (`Sync`),
+/// cloned into tasks submitted to the persistent worker pool
+/// (`Clone + Send + 'static`), and carrier values move between threads
+/// (`Elem: Send + 'static`) in the engine's parallel execution mode;
+/// every instantiation is a plain owned value with no interior
+/// mutability, so the bounds are free.
+pub trait TwoMonoid: Clone + Send + Sync + 'static {
     /// The carrier type `K`.
-    type Elem: Clone + PartialEq + Debug + Send + Sync;
+    type Elem: Clone + PartialEq + Debug + Send + Sync + 'static;
 
     /// The ⊕-identity `0`.
     fn zero(&self) -> Self::Elem;
@@ -54,6 +56,24 @@ pub trait TwoMonoid: Sync {
     /// allocation on the engine's grouped-fold hot path.
     fn add_assign(&self, acc: &mut Self::Elem, b: &Self::Elem) {
         *acc = self.add(acc, b);
+    }
+
+    /// In-place ⊕-fold of a dense run: `acc = acc ⊕ run[0] ⊕ run[1] ⊕ …`,
+    /// combining strictly left to right.
+    ///
+    /// The default loops [`TwoMonoid::add_assign`], so it is
+    /// *definitionally* bit-identical to the engine's one-at-a-time
+    /// grouped fold. Monoids whose ⊕ is a branch-free scalar operation
+    /// ([`crate::prob::ProbMonoid`], [`crate::semirings::CountMonoid`],
+    /// [`crate::semirings::RealSemiring`]) override it via
+    /// [`DenseFold`] with a tight slice loop the compiler can unroll
+    /// and auto-vectorise where the operation allows — executing the
+    /// *same* per-element expression in the *same* order, so values
+    /// and op counts never diverge from the generic path.
+    fn fold_assign(&self, acc: &mut Self::Elem, run: &[Self::Elem]) {
+        for x in run {
+            self.add_assign(acc, x);
+        }
     }
 
     /// Whether `a` is (semantically) the ⊕-identity `0` — the support
@@ -113,6 +133,27 @@ pub trait TwoMonoid: Sync {
     }
 }
 
+/// A 2-monoid whose ⊕ admits a dense SIMD-friendly fast path.
+///
+/// `fold_dense` must compute exactly the same value, in exactly the
+/// same element order, as the default [`TwoMonoid::fold_assign`] loop —
+/// it exists only to present the fold to the compiler as a tight loop
+/// over a contiguous slice of scalar carriers (no `Option` group
+/// state, no per-element prefix comparison), which is what lets LLVM
+/// unroll and, where the operation permits, vectorise it. Implementors
+/// also override [`TwoMonoid::fold_assign`] to delegate here, so every
+/// engine kernel picks the fast path up without a specialised call
+/// site. Heap-carried monoids (`BagMax`, `#Sat`, provenance) keep the
+/// generic path.
+///
+/// The equivalence `fold_dense ≡ fold_assign`-default is pinned by
+/// property tests in each implementing module.
+pub trait DenseFold: TwoMonoid {
+    /// Dense in-place ⊕-fold; must be element-for-element identical to
+    /// the default [`TwoMonoid::fold_assign`].
+    fn fold_dense(&self, acc: &mut Self::Elem, run: &[Self::Elem]);
+}
+
 /// Marker-style helper: a 2-monoid that *is* a commutative semiring
 /// (distributive, zero-annihilating). The classical semiring
 /// instantiations (Boolean, counting, tropical) implement this; the
@@ -124,6 +165,7 @@ mod tests {
     use super::*;
 
     /// A toy 2-monoid over (u32, max, +) for exercising the defaults.
+    #[derive(Clone)]
     struct MaxPlus;
     impl TwoMonoid for MaxPlus {
         type Elem = u32;
@@ -139,6 +181,21 @@ mod tests {
         fn mul(&self, a: &u32, b: &u32) -> u32 {
             a + b
         }
+    }
+
+    #[test]
+    fn fold_assign_default_matches_add_assign_loop() {
+        let m = MaxPlus;
+        let run = [3u32, 1, 4, 1, 5, 9, 2, 6];
+        let mut dense = 2u32;
+        m.fold_assign(&mut dense, &run);
+        let mut scalar = 2u32;
+        for x in &run {
+            m.add_assign(&mut scalar, x);
+        }
+        assert_eq!(dense, scalar);
+        m.fold_assign(&mut dense, &[]);
+        assert_eq!(dense, scalar, "empty run is a no-op");
     }
 
     #[test]

@@ -47,7 +47,7 @@ impl<R: Storage> AnnotatedDb<R> {
     }
 }
 
-impl<K: Clone + PartialEq + fmt::Debug + Send + Sync> AnnotatedDb<ColumnarRelation<K>> {
+impl<K: Clone + PartialEq + fmt::Debug + Send + Sync + 'static> AnnotatedDb<ColumnarRelation<K>> {
     /// Switches a columnar database into the sharded execution mode:
     /// every slot keeps its matrices and gains the given
     /// [`Parallelism`] degree. Results stay bit-identical at every
@@ -174,7 +174,7 @@ pub fn annotate_columnar<'a, K, I>(
     rows: I,
 ) -> Result<AnnotatedDb<ColumnarRelation<K>>, AnnotateError>
 where
-    K: Clone + PartialEq + fmt::Debug + Send + Sync,
+    K: Clone + PartialEq + fmt::Debug + Send + Sync + 'static,
     I: IntoIterator<Item = (Sym, &'a Tuple, K)>,
 {
     let mut by_rel: BTreeMap<Sym, usize> = BTreeMap::new();
@@ -248,7 +248,7 @@ pub(crate) fn duplicate_error(
 ///
 /// # Errors
 /// Returns [`AnnotateError`] on arity mismatches or duplicate facts.
-pub fn annotate<K: Clone + PartialEq + fmt::Debug + Send + Sync>(
+pub fn annotate<K: Clone + PartialEq + fmt::Debug + Send + Sync + 'static>(
     q: &Query,
     interner: &Interner,
     facts: impl IntoIterator<Item = (Fact, K)>,

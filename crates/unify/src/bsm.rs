@@ -95,7 +95,9 @@ pub fn maximize_on(
 }
 
 /// [`maximize`] on an explicit backend and [`Parallelism`] degree:
-/// identical curves and stats at every thread count.
+/// shard kernels run on the persistent worker [`pool`](crate::pool)
+/// (no per-call thread spawns), with identical curves and stats at
+/// every thread count.
 ///
 /// # Errors
 /// Same failure modes as [`maximize`].

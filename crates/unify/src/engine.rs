@@ -162,7 +162,8 @@ pub fn evaluate_on<M: TwoMonoid>(
 
 /// [`evaluate_on`] with an explicit [`Parallelism`] degree. When the
 /// columnar backend is selected and `par.threads > 1`, every Rule 1
-/// fold and Rule 2 merge runs shard-parallel on scoped workers
+/// fold and Rule 2 merge runs shard-parallel on the persistent worker
+/// [`pool`](crate::pool)
 /// ([`crate::storage::ShardedColumnar`]); results and stats stay
 /// bit-identical to the sequential run at every thread count. The
 /// ordered-map oracle ignores the knob (documented sequential).
@@ -193,7 +194,9 @@ pub fn evaluate_on_par<M: TwoMonoid>(
 /// Runs a compiled plan over an annotated columnar database at the
 /// given parallelism degree: sequential when `par.threads == 1`,
 /// sharded otherwise. This is the single dispatch point every columnar
-/// entry path funnels through.
+/// entry path funnels through; it warms the persistent worker
+/// [`pool`](crate::pool) up front, so the shard kernels themselves
+/// never spawn a thread.
 pub fn run_columnar_plan<M: TwoMonoid>(
     monoid: &M,
     plan: &EliminationPlan,
@@ -201,6 +204,7 @@ pub fn run_columnar_plan<M: TwoMonoid>(
     par: Parallelism,
 ) -> (M::Elem, EngineStats) {
     if par.is_parallel() {
+        par.warm_pool();
         run_plan(monoid, plan, db.into_sharded(par))
     } else {
         run_plan(monoid, plan, db)

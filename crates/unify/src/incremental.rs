@@ -57,6 +57,7 @@
 
 use crate::annotated::{annotate_with, AnnotateError, AnnotatedDb};
 use crate::engine::EngineStats;
+use crate::pool;
 use crate::storage::{ColumnarRelation, MapRelation, Parallelism, ShardedColumnar, Storage};
 use hq_db::{Fact, Interner, Sym, Tuple, Value};
 use hq_monoid::TwoMonoid;
@@ -131,6 +132,9 @@ where
     result: M::Elem,
     /// Work accounting of the latest batch.
     last_update: UpdateStats,
+    /// Parallelism degree for large cross-group refolds (per-group
+    /// folds stay sequential, so every degree is bit-identical).
+    par: Parallelism,
 }
 
 /// Errors constructing or updating an incremental run.
@@ -203,7 +207,9 @@ impl<M: TwoMonoid> IncrementalRun<M, ShardedColumnar<M::Elem>> {
         let db: AnnotatedDb<ColumnarRelation<M::Elem>> =
             annotate_with(q, interner, fact_list.iter().cloned())
                 .map_err(IncrementalError::Annotate)?;
-        Self::from_annotated(monoid, q, interner, &fact_list, db.into_sharded(par))
+        let mut run = Self::from_annotated(monoid, q, interner, &fact_list, db.into_sharded(par))?;
+        run.par = par;
+        Ok(run)
     }
 }
 
@@ -303,6 +309,7 @@ where
             slots,
             result,
             last_update: UpdateStats::default(),
+            par: Parallelism::sequential(),
         })
     }
 
@@ -543,12 +550,21 @@ where
                 // floats even under maintenance). Projection, lookup
                 // and write-back all run in the backend's native key
                 // space (code rows on the columnar layouts).
-                let groups: BTreeSet<R::Key> =
-                    keys.iter().map(|k| R::project_key(k, &keep)).collect();
+                let groups: Vec<R::Key> = keys
+                    .iter()
+                    .map(|k| R::project_key(k, &keep))
+                    .collect::<BTreeSet<R::Key>>()
+                    .into_iter()
+                    .collect();
+                // Large dirty sets refold *across* groups on the worker
+                // pool; each group's fold stays sequential in ascending
+                // full-key order and results are written back in group
+                // order, so the pass is bit-identical to the
+                // group-at-a-time loop at every thread count.
+                let folded = refold_groups(&self.monoid, input, &keep, &groups, self.par);
                 let mut changed = BTreeSet::new();
-                for g in groups {
+                for (g, (acc, rows)) in groups.into_iter().zip(folded) {
                     self.last_update.groups_refolded += 1;
-                    let (acc, rows) = refold_group(&self.monoid, input, &keep, &g);
                     self.last_update.rows_folded += rows;
                     self.last_update.add_ops += rows.saturating_sub(1) as u64;
                     let new = acc.filter(|v| !self.monoid.is_zero(v));
@@ -684,35 +700,84 @@ where
     }
 }
 
-/// Refolds one dirty Rule 1 group from its current members — the
-/// delta-indexed repair kernel shared by the incremental maintainer
-/// and the serving layer's cached-node patches. Members arrive from
-/// [`Storage::group_rows_key`] in ascending full-key order, so the ⊕
-/// sequence reproduces the batch engine's fold bit for bit (the
-/// per-group fold must stay sequential for exactly this reason).
-/// Returns the unpruned accumulator (`None` for an empty group) and
-/// the member-row count; the caller prunes zeros with the monoid's
+/// Folds one gathered group run with the monoid's (possibly dense)
+/// run fold: leader element out, tail via [`TwoMonoid::fold_assign`].
+/// Element-for-element identical to the `add_assign` loop. Returns
+/// the unpruned accumulator (`None` for an empty group) and the
+/// member-row count; the caller prunes zeros with the monoid's
 /// predicate and accounts the `rows − 1` ⊕ applications.
-pub(crate) fn refold_group<M, R>(
+fn fold_run<M: TwoMonoid>(monoid: &M, mut run: Vec<M::Elem>) -> (Option<M::Elem>, usize) {
+    let rows = run.len();
+    if rows == 0 {
+        return (None, 0);
+    }
+    let mut acc = std::mem::replace(&mut run[0], monoid.zero());
+    monoid.fold_assign(&mut acc, &run[1..]);
+    (Some(acc), rows)
+}
+
+/// Refolds a batch of dirty Rule 1 groups — the delta-indexed repair
+/// kernel shared by the incremental maintainer and the serving
+/// layer's cached-node patches — sharding the work across the
+/// persistent worker [`pool`](crate::pool) when the dirty set is
+/// large. Member rows are gathered sequentially on the caller's
+/// thread via [`Storage::group_rows_key`] in ascending full-key order
+/// (the storage borrow stays local); only the owned annotation runs
+/// move into pool tasks. Groups are chunked **contiguously in group
+/// order**, each group's fold stays sequential, and chunk results are
+/// flattened back in submission order — so the ⊕ sequence reproduces
+/// the batch engine's fold bit for bit at every thread count.
+/// One pool task's worth of refolded groups: `(fold, rows_folded)`
+/// per group, in group order.
+type FoldedChunk<E> = Vec<(Option<E>, usize)>;
+
+pub(crate) fn refold_groups<M, R>(
     monoid: &M,
     input: &R,
     keep: &[usize],
-    group: &R::Key,
-) -> (Option<M::Elem>, usize)
+    groups: &[R::Key],
+    par: Parallelism,
+) -> Vec<(Option<M::Elem>, usize)>
 where
     M: TwoMonoid,
     R: Storage<Ann = M::Elem>,
 {
-    let anns = input.group_rows_key(keep, group);
-    let rows = anns.len();
-    let mut acc: Option<M::Elem> = None;
-    for ann in anns {
-        match acc.as_mut() {
-            Some(a) => monoid.add_assign(a, &ann),
-            None => acc = Some(ann),
-        }
+    let runs: Vec<Vec<M::Elem>> = groups
+        .iter()
+        .map(|g| input.group_rows_key(keep, g))
+        .collect();
+    let total_rows: usize = runs.iter().map(Vec::len).sum();
+    let chunks = par
+        .threads
+        .min(groups.len())
+        .min((total_rows / par.min_shard_rows()).max(1));
+    if chunks <= 1 {
+        return runs.into_iter().map(|run| fold_run(monoid, run)).collect();
     }
-    (acc, rows)
+    // Whole-group chunks with the same balanced bounds as shard
+    // splitting; reverse split_off keeps every chunk contiguous.
+    let mut tail = runs;
+    let mut chunked: Vec<Vec<Vec<M::Elem>>> = Vec::with_capacity(chunks);
+    for c in (0..chunks).rev() {
+        chunked.push(tail.split_off(groups.len() * c / chunks));
+    }
+    chunked.reverse();
+    let tasks: Vec<pool::BatchTask<FoldedChunk<M::Elem>>> = chunked
+        .into_iter()
+        .map(|chunk| {
+            let monoid = monoid.clone();
+            Box::new(move || {
+                chunk
+                    .into_iter()
+                    .map(|run| fold_run(&monoid, run))
+                    .collect()
+            }) as pool::BatchTask<_>
+        })
+        .collect();
+    pool::run_batch(chunks, tasks)
+        .into_iter()
+        .flatten()
+        .collect()
 }
 
 /// Resolves the content of `slot` after the materialised step prefix

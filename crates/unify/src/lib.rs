@@ -52,10 +52,16 @@
 //! ([`pqe::probability_par`], [`bsm::maximize_par`],
 //! [`shapley::shapley_values_par`],
 //! [`IncrementalRun::with_parallelism`], …), and the CLI exposes
-//! `--threads N|max`. Shard outputs and per-shard op counts are
-//! recombined in fixed shard order, so **every thread count returns
-//! bit-identical results and identical [`EngineStats`]** — pinned by
-//! the `differential_parallel` suite.
+//! `--threads N|max`. Shard kernels run on a persistent process-wide
+//! work-stealing worker [`pool`] (warmed once, zero thread spawns per
+//! rule application afterwards); the general-column argsort runs as a
+//! parallel merge sort over the same pool, and the prob/count folds
+//! take a dense auto-vectorisable fast path
+//! ([`hq_monoid::DenseFold`]). Shard outputs and per-shard op counts
+//! are recombined in fixed shard order and per-group folds stay
+//! sequential, so **every thread count returns bit-identical results
+//! and identical [`EngineStats`]** — pinned by the
+//! `differential_parallel` suite.
 //!
 //! ## Batched multi-query serving
 //!
@@ -124,6 +130,7 @@ pub mod bsm;
 pub mod engine;
 pub mod incremental;
 pub mod plan_ir;
+pub mod pool;
 pub mod pqe;
 pub mod provenance;
 pub mod serving;

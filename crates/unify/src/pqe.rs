@@ -96,8 +96,10 @@ pub fn probability_with_stats_on(
 }
 
 /// [`probability_with_stats_on`] with an explicit [`Parallelism`]
-/// degree: probabilities and stats stay bit-identical at every thread
-/// count.
+/// degree: shard kernels run on the persistent worker
+/// [`pool`](crate::pool) (no per-call thread spawns) and the ψ-fold
+/// takes [`hq_monoid::DenseFold`]'s vectorisable fast path, yet
+/// probabilities and stats stay bit-identical at every thread count.
 ///
 /// # Errors
 /// See [`probability_with_stats`].

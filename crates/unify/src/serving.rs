@@ -50,7 +50,7 @@
 
 use crate::annotated::AnnotateError;
 use crate::engine::EngineStats;
-use crate::incremental::refold_group;
+use crate::incremental::refold_groups;
 use crate::plan_ir::{lower, LoweredQuery, PlanExpr, PlanId, PlanIr};
 use crate::storage::{
     ColumnarRelation, EncodedDb, MapRelation, Parallelism, RefreshOutcome, ShardedColumnar, Storage,
@@ -132,12 +132,34 @@ struct CachedNode<R> {
     /// Query tick of the last use — the LRU clock of the eviction
     /// policy.
     last_used: u64,
+    /// Measured refold cost: EWMA of input rows folded per dirty
+    /// group across this node's past patches (`0.0` until the first
+    /// patch measures it). Drives the adaptive patch-vs-rebuild
+    /// decision for Rule 1 nodes.
+    refold_rows_ewma: f64,
 }
 
 /// One patched key's movement: `(annotation before, annotation after)`
 /// — the change-set vocabulary the delta walk hands from a node to its
 /// dependents.
 type Change<E> = (Option<E>, Option<E>);
+
+/// The lowering-memo key: the query's atom list with variables as
+/// positional ids.
+type QueryShape = Vec<(String, Vec<usize>)>;
+
+/// Computes a query's memo key. [`hq_query::Var`] ids are assigned in
+/// first-occurrence order, so two queries that differ only in variable
+/// *names* (alpha-renaming) produce equal shapes — and, because the
+/// planner and the lowering see only ids, identical lowerings. Keying
+/// the memo on the shape instead of the rendered query string lets
+/// renamed restatements of one query share a single entry.
+fn query_shape(q: &Query) -> QueryShape {
+    q.atoms()
+        .iter()
+        .map(|a| (a.rel.clone(), a.vars.iter().map(|v| v.0).collect()))
+        .collect()
+}
 
 /// The default [`ServingSession::patch_fraction`]: a delta touching up
 /// to half of a node's groups patches in place; beyond that a rebuild
@@ -212,7 +234,9 @@ fn non_identity(positions: &[usize]) -> Option<&[usize]> {
     }
 }
 
-impl<K: Clone + PartialEq + fmt::Debug + Send + Sync> ServingBackend for ColumnarRelation<K> {
+impl<K: Clone + PartialEq + fmt::Debug + Send + Sync + 'static> ServingBackend
+    for ColumnarRelation<K>
+{
     const USES_ENCODING: bool = true;
 
     fn scan(
@@ -245,7 +269,9 @@ impl<K: Clone + PartialEq + fmt::Debug + Send + Sync> ServingBackend for Columna
     }
 }
 
-impl<K: Clone + PartialEq + fmt::Debug + Send + Sync> ServingBackend for ShardedColumnar<K> {
+impl<K: Clone + PartialEq + fmt::Debug + Send + Sync + 'static> ServingBackend
+    for ShardedColumnar<K>
+{
     const USES_ENCODING: bool = true;
 
     fn scan(
@@ -273,7 +299,7 @@ impl<K: Clone + PartialEq + fmt::Debug + Send + Sync> ServingBackend for Sharded
     }
 }
 
-impl<K: Clone + PartialEq + fmt::Debug + Send + Sync> ServingBackend for MapRelation<K> {
+impl<K: Clone + PartialEq + fmt::Debug + Send + Sync + 'static> ServingBackend for MapRelation<K> {
     const USES_ENCODING: bool = false;
 
     fn scan(
@@ -342,10 +368,11 @@ where
     enc: EncodedDb,
     /// The shared, hash-consed plan IR of every query seen so far.
     ir: PlanIr,
-    /// Memoised lowerings, keyed by query string. Lowered node ids are
+    /// Memoised lowerings, keyed by query *structure* ([`query_shape`])
+    /// so alpha-renamed queries share one entry. Lowered node ids are
     /// structural and the arena never shrinks, so entries are *never*
     /// invalidated — not even by updates.
-    lowered: HashMap<String, LoweredQuery>,
+    lowered: HashMap<QueryShape, LoweredQuery>,
     /// Queries served without re-planning/re-lowering.
     lower_hits: u64,
     /// Materialised plan nodes, keyed by structural identity.
@@ -359,9 +386,12 @@ where
     /// patches — cache hits replay without performing any).
     performed_add: u64,
     performed_mul: u64,
-    /// Rebuild-fallback knob: a delta touching more than this fraction
-    /// of a node's groups drops the node instead of patching it.
-    patch_fraction: f64,
+    /// Rebuild-fallback override: when set, a delta touching more than
+    /// this fraction of a node's groups drops the node instead of
+    /// patching it. When unset the session decides adaptively, using
+    /// each Rule 1 node's measured refold cost (rows-per-group EWMA)
+    /// where one exists and the default fraction elsewhere.
+    patch_fraction: Option<f64>,
     /// Node-cache bound in materialised rows (`None`: unbounded).
     cache_budget: Option<usize>,
     /// Nodes evicted by the budget so far.
@@ -455,7 +485,7 @@ where
             rel_epoch: HashMap::new(),
             performed_add: 0,
             performed_mul: 0,
-            patch_fraction: DEFAULT_PATCH_FRACTION,
+            patch_fraction: None,
             cache_budget: None,
             evictions: 0,
             query_tick: 0,
@@ -517,21 +547,25 @@ where
         self.evict_to_budget();
     }
 
-    /// The rebuild-fallback threshold: a delta touching more than this
-    /// fraction of a cached node's groups drops the node (it rebuilds
-    /// lazily) instead of patching it in place.
+    /// The rebuild-fallback fraction currently in force: the explicit
+    /// [`ServingSession::set_patch_fraction`] override if one was set,
+    /// [`DEFAULT_PATCH_FRACTION`] otherwise. Without an override,
+    /// Rule 1 nodes that have measured their refold cost replace the
+    /// fraction rule with a per-node cost estimate.
     pub fn patch_fraction(&self) -> f64 {
-        self.patch_fraction
+        self.patch_fraction.unwrap_or(DEFAULT_PATCH_FRACTION)
     }
 
-    /// Sets the rebuild-fallback threshold. `0.0` disables
-    /// intermediate patching entirely (every dirty intermediate drops
-    /// — the old behaviour); `f64::INFINITY` always patches.
+    /// Overrides the adaptive patch-vs-rebuild decision with a fixed
+    /// fraction threshold. `0.0` disables intermediate patching
+    /// entirely (every dirty intermediate drops — the old behaviour);
+    /// `f64::INFINITY` always patches.
     pub fn set_patch_fraction(&mut self, fraction: f64) {
-        self.patch_fraction = fraction.max(0.0);
+        self.patch_fraction = Some(fraction.max(0.0));
     }
 
-    /// Distinct query strings whose plan lowering is memoised.
+    /// Distinct query structures whose plan lowering is memoised
+    /// (alpha-renamed restatements of one query count once).
     pub fn memoised_queries(&self) -> usize {
         self.lowered.len()
     }
@@ -559,10 +593,11 @@ where
         q: &Query,
     ) -> Result<(M::Elem, EngineStats), ServingError> {
         self.query_tick += 1;
-        // Lowering is memoised per query string: the IR is structural
-        // (node ids never change meaning), so a memoised lowering is
-        // valid forever — across updates, evictions, everything.
-        let key = q.to_string();
+        // Lowering is memoised per query *shape* (alpha-renamed
+        // queries share an entry): the IR is structural (node ids
+        // never change meaning), so a memoised lowering is valid
+        // forever — across updates, evictions, everything.
+        let key = query_shape(q);
         let lowered = if let Some(l) = self.lowered.get(&key) {
             self.lower_hits += 1;
             l.clone()
@@ -842,19 +877,31 @@ where
                             _ => {}
                         }
                     }
-                    if self.past_rebuild_threshold(groups.len(), entry.rel.support_size()) {
+                    if self.past_project_threshold(
+                        groups.len(),
+                        entry.rel.support_size(),
+                        entry.refold_rows_ewma,
+                        input_rel.support_size(),
+                    ) {
                         outcome.invalidated += 1;
                         continue; // entry already removed: rebuilds lazily
                     }
                     let mut ch = BTreeMap::new();
                     let mut groups_delta = 0i64;
-                    for (g, (ins, del)) in groups {
-                        // The delta-indexed refold: the group's current
-                        // members in ascending full-key order, folded
-                        // sequentially — bit-identical to the batch
-                        // kernels on every backend and thread count.
-                        let (acc, rows) = refold_group(&self.monoid, input_rel, &keep, &g);
+                    let dirty_groups = groups.len();
+                    let group_keys: Vec<R::Key> = groups.keys().cloned().collect();
+                    // The delta-indexed refold: each group's current
+                    // members in ascending full-key order, folded
+                    // sequentially; large dirty sets shard *across*
+                    // groups on the worker pool with results returned
+                    // in group order — bit-identical to the batch
+                    // kernels on every backend and thread count.
+                    let folded =
+                        refold_groups(&self.monoid, input_rel, &keep, &group_keys, self.par);
+                    let mut rows_total = 0usize;
+                    for ((g, (ins, del)), (acc, rows)) in groups.into_iter().zip(folded) {
                         self.performed_add += rows.saturating_sub(1) as u64;
+                        rows_total += rows;
                         let old_rows = rows as i64 - ins + del;
                         groups_delta += i64::from(rows > 0) - i64::from(old_rows > 0);
                         let new = acc.filter(|v| !self.monoid.is_zero(v));
@@ -870,6 +917,14 @@ where
                     entry.add_ops = (entry.add_ops as i64 + rows_delta - groups_delta)
                         .try_into()
                         .expect("Rule 1 op accounting stays non-negative");
+                    // Fold the measured patch cost into the node's
+                    // rows-per-group estimate (equal-weight EWMA).
+                    let measured = rows_total as f64 / dirty_groups.max(1) as f64;
+                    entry.refold_rows_ewma = if entry.refold_rows_ewma == 0.0 {
+                        measured
+                    } else {
+                        0.5 * entry.refold_rows_ewma + 0.5 * measured
+                    };
                     entry.valid_at = self.epoch;
                     self.cache.insert(id, entry);
                     changes.insert(id, ch);
@@ -994,7 +1049,29 @@ where
     /// the node (rebuild lazily): more than
     /// [`ServingSession::patch_fraction`] of the node's current groups.
     fn past_rebuild_threshold(&self, dirty: usize, node_rows: usize) -> bool {
-        (dirty as f64) > self.patch_fraction * (node_rows.max(1) as f64)
+        (dirty as f64) > self.patch_fraction() * (node_rows.max(1) as f64)
+    }
+
+    /// The Rule 1 patch-vs-rebuild decision. With an explicit
+    /// [`ServingSession::set_patch_fraction`] override — or before the
+    /// node's first patch has measured anything — the fraction rule
+    /// decides. Otherwise the node's measured rows-per-group EWMA
+    /// estimates the patch at `dirty · ewma` input rows, and the node
+    /// rebuilds when that exceeds half the input's support — the
+    /// regime where the batch kernels' single-pass locality wins over
+    /// per-group binary searches.
+    fn past_project_threshold(
+        &self,
+        dirty_groups: usize,
+        node_rows: usize,
+        ewma: f64,
+        input_rows: usize,
+    ) -> bool {
+        if self.patch_fraction.is_none() && ewma > 0.0 {
+            dirty_groups as f64 * ewma > 0.5 * (input_rows.max(1) as f64)
+        } else {
+            self.past_rebuild_threshold(dirty_groups, node_rows)
+        }
     }
 
     /// Evicts cost-aware-LRU victims until the cache fits the budget:
@@ -1086,6 +1163,7 @@ where
                 mul_ops: stats.mul_ops,
                 valid_at: self.epoch,
                 last_used: self.query_tick,
+                refold_rows_ewma: 0.0,
             },
         );
         Ok(())
@@ -1273,6 +1351,34 @@ mod tests {
         );
         assert_eq!(got.to_bits(), want.to_bits());
         assert_eq!(stats, want_stats);
+    }
+
+    #[test]
+    fn adaptive_cost_model_patches_small_deltas_and_stays_exact() {
+        let (tid, i) = chain_tid();
+        // No set_patch_fraction call: the adaptive decision is in
+        // force. The first update measures the per-group refold cost;
+        // later updates decide on the EWMA instead of the group-count
+        // fraction. Small deltas on this instance stay patchable both
+        // ways, and every served answer must match fresh evaluation.
+        let mut session: ServingSession<ProbMonoid, ColumnarRelation<f64>> =
+            ServingSession::new(ProbMonoid, &i, tid.iter().cloned()).unwrap();
+        let q = parse_query("Q() :- E(X,Y), F(Y,Z)").unwrap();
+        session.query(&i, &q).unwrap();
+        let mut current = tid.clone();
+        for (round, value) in [(0usize, 0.66), (1, 0.71), (0, 0.23)] {
+            let out = session.update(&i, &current[round].0, value).unwrap();
+            assert!(
+                out.patched_nodes >= 1,
+                "small delta patches under the cost model (round {round})"
+            );
+            current[round].1 = value;
+            let (want, want_stats) =
+                independent(&q, &i, &current, Backend::Columnar, Parallelism::default());
+            let (got, stats) = session.query(&i, &q).unwrap();
+            assert_eq!(got.to_bits(), want.to_bits());
+            assert_eq!(stats, want_stats);
+        }
     }
 
     #[test]
@@ -1531,6 +1637,32 @@ mod tests {
         let (got, stats) = session.query(&i, &q_e).unwrap();
         assert_eq!(got.to_bits(), want.to_bits());
         assert_eq!(stats, want_stats);
+    }
+
+    #[test]
+    fn alpha_renamed_queries_share_one_memo_entry() {
+        let (tid, i) = chain_tid();
+        let mut session: ServingSession<ProbMonoid, ColumnarRelation<f64>> =
+            ServingSession::new(ProbMonoid, &i, tid.iter().cloned()).unwrap();
+        let q = parse_query("Q() :- E(X,Y), F(Y,Z)").unwrap();
+        let renamed = parse_query("Q() :- E(A,B), F(B,C)").unwrap();
+        let (a, stats_a) = session.query(&i, &q).unwrap();
+        assert_eq!(session.memoised_queries(), 1);
+        // The renamed restatement hits the same memo entry: the key is
+        // the query's structure, not its rendering.
+        let (b, stats_b) = session.query(&i, &renamed).unwrap();
+        assert_eq!(
+            session.memoised_queries(),
+            1,
+            "one entry for both spellings"
+        );
+        assert_eq!(session.lower_hits(), 1, "renamed query skips re-lowering");
+        assert_eq!(a.to_bits(), b.to_bits());
+        assert_eq!(stats_a, stats_b);
+        // A structurally different query still gets its own entry.
+        let q_sub = parse_query("Q() :- E(U,V)").unwrap();
+        session.query(&i, &q_sub).unwrap();
+        assert_eq!(session.memoised_queries(), 2);
     }
 
     #[test]

@@ -123,7 +123,9 @@ pub fn sat_counts_on(
     )
 }
 
-/// [`sat_counts`] on an explicit backend and [`Parallelism`] degree.
+/// [`sat_counts`] on an explicit backend and [`Parallelism`] degree
+/// (shard kernels run on the persistent worker [`pool`](crate::pool);
+/// counts are bit-identical at every thread count).
 ///
 /// # Errors
 /// Same failure modes as [`sat_counts`].
@@ -521,7 +523,8 @@ pub fn shapley_values_on(
 }
 
 /// [`shapley_values`] on an explicit backend and [`Parallelism`]
-/// degree (intra-query sharding; the per-fact loop stays sequential).
+/// degree (intra-query sharding on the persistent worker
+/// [`pool`](crate::pool); the per-fact loop stays sequential).
 ///
 /// # Errors
 /// Same failure modes as [`shapley_value`].

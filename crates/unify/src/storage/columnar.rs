@@ -278,7 +278,9 @@ impl<K: Clone + PartialEq + std::fmt::Debug + Send + Sync> ColumnarRelation<K> {
     }
 }
 
-impl<K: Clone + PartialEq + std::fmt::Debug + Send + Sync> Storage for ColumnarRelation<K> {
+impl<K: Clone + PartialEq + std::fmt::Debug + Send + Sync + 'static> Storage
+    for ColumnarRelation<K>
+{
     type Ann = K;
     /// A dictionary code row (`width` codes): comparable across every
     /// relation sharing the instance dictionary, 4 bytes per column,
@@ -533,6 +535,15 @@ impl<K: Clone + PartialEq + std::fmt::Debug + Send + Sync> Storage for ColumnarR
 /// pruned at flush (Lemma 6.6); one ⊕ is counted per combine into an
 /// existing group.
 ///
+/// The fold is run-structured: each group's run boundary is found
+/// first by prefix comparison, then the whole contiguous annotation
+/// run feeds [`TwoMonoid::fold_assign`] — whose default loops
+/// `add_assign` in the same left-to-right order as a one-at-a-time
+/// fold (bit-identical by construction), and whose
+/// [`hq_monoid::DenseFold`] overrides (prob, count, real) execute the
+/// same per-element expression as a tight auto-vectorisable slice
+/// loop.
+///
 /// This single implementation serves both the sequential projection
 /// (full range) and the sharded executor (one call per shard, with
 /// shard boundaries on group boundaries so no group straddles a
@@ -543,7 +554,7 @@ pub(super) fn fold_drop_last<M, K>(
     keys: &[RowCode],
     width: usize,
     base: usize,
-    anns: Vec<K>,
+    mut anns: Vec<K>,
     stats: &mut EngineStats,
 ) -> (Vec<RowCode>, Vec<K>)
 where
@@ -551,35 +562,31 @@ where
     K: Clone + PartialEq + std::fmt::Debug,
 {
     let nw = width - 1;
-    let mut out_keys: Vec<RowCode> = Vec::with_capacity(anns.len() * nw);
-    let mut out_anns: Vec<K> = Vec::with_capacity(anns.len().min(16));
-    let mut current: Option<(usize, K)> = None; // (absolute group row, acc)
-    macro_rules! flush {
-        ($group:expr, $acc:expr) => {
-            if !monoid.is_zero(&$acc) {
-                out_keys.extend_from_slice($group);
-                out_anns.push($acc);
+    let len = anns.len();
+    let mut out_keys: Vec<RowCode> = Vec::with_capacity(len * nw);
+    let mut out_anns: Vec<K> = Vec::with_capacity(len.min(16));
+    let mut start = 0usize;
+    while start < len {
+        let g = base + start;
+        let prefix = &keys[g * width..g * width + nw];
+        let mut end = start + 1;
+        while end < len {
+            let i = base + end;
+            if keys[i * width..i * width + nw] != *prefix {
+                break;
             }
-        };
-    }
-    for (off, ann) in anns.into_iter().enumerate() {
-        let i = base + off;
-        let prefix = &keys[i * width..i * width + nw];
-        match current {
-            Some((g, ref mut acc)) if keys[g * width..g * width + nw] == *prefix => {
-                stats.add_ops += 1;
-                monoid.add_assign(acc, &ann);
-            }
-            _ => {
-                if let Some((g, acc)) = current.take() {
-                    flush!(&keys[g * width..g * width + nw], acc);
-                }
-                current = Some((i, ann));
-            }
+            end += 1;
         }
-    }
-    if let Some((g, acc)) = current.take() {
-        flush!(&keys[g * width..g * width + nw], acc);
+        // Move the group leader out (a zero placeholder is never read
+        // again) and fold the rest of the run densely onto it.
+        let mut acc = std::mem::replace(&mut anns[start], monoid.zero());
+        monoid.fold_assign(&mut acc, &anns[start + 1..end]);
+        stats.add_ops += (end - start - 1) as u64;
+        if !monoid.is_zero(&acc) {
+            out_keys.extend_from_slice(prefix);
+            out_anns.push(acc);
+        }
+        start = end;
     }
     (out_keys, out_anns)
 }
@@ -593,6 +600,18 @@ pub(super) fn project_scratch(
     width: usize,
     pos: usize,
 ) -> (Vec<RowCode>, Vec<u32>) {
+    let scratch = project_scratch_matrix(keys, width, pos);
+    let nw = width - 1;
+    let len = keys.len() / width;
+    let mut order: Vec<u32> = (0..len as u32).collect();
+    order.sort_by(|&a, &b| scratch_row_cmp(&scratch, nw, a, b));
+    (scratch, order)
+}
+
+/// Builds only the projected scratch matrix of [`project_scratch`],
+/// leaving the argsort to the caller — the sharded executor sorts it
+/// in parallel over the worker pool instead.
+pub(super) fn project_scratch_matrix(keys: &[RowCode], width: usize, pos: usize) -> Vec<RowCode> {
     debug_assert!(width >= 2, "general column implies a non-last column");
     let len = keys.len() / width;
     let nw = width - 1;
@@ -604,12 +623,22 @@ pub(super) fn project_scratch(
             scratch.push(row[k]);
         }
     }
-    let mut order: Vec<u32> = (0..len as u32).collect();
-    order.sort_by(|&a, &b| {
-        let (a, b) = (a as usize, b as usize);
-        scratch[a * nw..(a + 1) * nw].cmp(&scratch[b * nw..(b + 1) * nw])
-    });
-    (scratch, order)
+    scratch
+}
+
+/// The argsort comparison of [`project_scratch`]: scratch rows `a`
+/// and `b` by their full `nw`-column prefix. Equal rows compare
+/// `Equal`, and every sort over this comparator must be *stable* so
+/// ties keep ascending original-row order — the fold sequence of the
+/// ordered-map backend.
+pub(super) fn scratch_row_cmp(
+    scratch: &[RowCode],
+    nw: usize,
+    a: u32,
+    b: u32,
+) -> std::cmp::Ordering {
+    let (a, b) = (a as usize, b as usize);
+    scratch[a * nw..(a + 1) * nw].cmp(&scratch[b * nw..(b + 1) * nw])
 }
 
 /// Rule 1, general-column case, step 2: the grouped ⊕-fold over a

@@ -248,7 +248,7 @@ impl EncodedDb {
         dup: impl FnOnce(Tuple) -> AnnotateError,
     ) -> Result<ColumnarRelation<K>, AnnotateError>
     where
-        K: Clone + PartialEq + fmt::Debug + Send + Sync,
+        K: Clone + PartialEq + fmt::Debug + Send + Sync + 'static,
         F: FnMut(Sym, &Tuple) -> K,
     {
         let width = sorted_vars.len();
@@ -356,7 +356,7 @@ impl EncodedDb {
         mut ann: F,
     ) -> Result<AnnotatedDb<ColumnarRelation<K>>, AnnotateError>
     where
-        K: Clone + PartialEq + fmt::Debug + Send + Sync,
+        K: Clone + PartialEq + fmt::Debug + Send + Sync + 'static,
         F: FnMut(Sym, &Tuple) -> K,
     {
         let mut slots = Vec::with_capacity(q.atom_count());

@@ -41,7 +41,7 @@ impl<K> MapRelation<K> {
     }
 }
 
-impl<K: Clone + PartialEq + std::fmt::Debug + Send + Sync> Storage for MapRelation<K> {
+impl<K: Clone + PartialEq + std::fmt::Debug + Send + Sync + 'static> Storage for MapRelation<K> {
     type Ann = K;
     /// The ordered map keys by tuple already; the native key *is* the
     /// tuple.

@@ -17,8 +17,9 @@
 //! * [`ShardedColumnar`] — the columnar backend in parallel execution
 //!   mode: the sorted matrices are cut into contiguous shards on
 //!   key/group boundaries and each rule runs the sequential kernels
-//!   per shard on scoped workers, recombining in fixed shard order
-//!   (degree set by [`Parallelism`]).
+//!   per shard on the persistent worker [`pool`](crate::pool),
+//!   recombining in fixed shard order (degree set by
+//!   [`Parallelism`]).
 //!
 //! All backends — and every thread count — perform **the same ⊕/⊗
 //! applications in the same order**, so results (including
@@ -102,14 +103,14 @@ pub struct Parallelism {
     pub threads: usize,
     /// Minimum rows a shard must carry before fanning out; relations
     /// below `2 × min_shard_rows` run sequentially, so parallel mode
-    /// never pessimizes small folds/merges with spawn overhead.
+    /// never pessimizes small folds/merges with scheduling overhead.
     min_shard_rows: usize,
 }
 
-/// Default work-size floor per shard: scoped-worker spawn/join costs
-/// tens of microseconds while the kernels process a row in well under
-/// a microsecond, so shards below a few thousand rows lose more to
-/// threading than they gain.
+/// Default work-size floor per shard: submitting, waking and joining
+/// pool tasks costs microseconds while the kernels process a row in
+/// well under a microsecond, so shards below a few thousand rows lose
+/// more to scheduling than they gain.
 const DEFAULT_MIN_SHARD_ROWS: usize = 4096;
 
 impl Parallelism {
@@ -160,6 +161,19 @@ impl Parallelism {
     /// The work-size floor: minimum rows per shard.
     pub fn min_shard_rows(&self) -> usize {
         self.min_shard_rows.max(1)
+    }
+
+    /// Resolves this degree to the shared persistent worker pool,
+    /// spawning any workers still missing for it (none, once warmed —
+    /// after this call no rule application at this degree ever spawns
+    /// a thread again). Sequential degrees are a no-op. Returns the
+    /// resolved pool handle for introspection.
+    pub fn warm_pool(&self) -> &'static crate::pool::WorkerPool {
+        let pool = crate::pool::global();
+        if self.is_parallel() {
+            pool.ensure_capacity(self.threads);
+        }
+        pool
     }
 }
 
@@ -212,14 +226,14 @@ pub type OwnedSlot<K> = (Vec<Var>, Vec<(Tuple, K)>);
 /// variable-id order, and must apply ⊕/⊗ in ascending key order so that
 /// all backends produce bit-identical results.
 ///
-/// The carrier is `Send` and monoids are shared as `&M` across worker
-/// threads (`Sync`), so that sharded backends ([`ShardedColumnar`]) can
-/// fan Rule 1/Rule 2 out over `std::thread::scope` workers. Every
-/// carrier and monoid in the workspace is a plain owned value (no
-/// interior mutability), so these bounds cost nothing.
+/// The carrier is `Send + 'static` and monoids clone into `'static`
+/// task closures, so that sharded backends ([`ShardedColumnar`]) can
+/// fan Rule 1/Rule 2 out over the persistent worker [`crate::pool`].
+/// Every carrier and monoid in the workspace is a plain owned value
+/// (no interior mutability, no borrows), so these bounds cost nothing.
 pub trait Storage: Clone + fmt::Debug + Sized {
     /// The annotation carrier `K`.
-    type Ann: Clone + PartialEq + fmt::Debug + Send + Sync;
+    type Ann: Clone + PartialEq + fmt::Debug + Send + Sync + 'static + 'static;
 
     /// The backend-native row key used by the incremental maintainer's
     /// dirty sets: [`Tuple`] on the ordered-map oracle, a dictionary

@@ -2,18 +2,24 @@
 //!
 //! [`ShardedColumnar`] wraps a [`ColumnarRelation`] with a
 //! [`Parallelism`] degree and fans each Rule 1 grouped fold and Rule 2
-//! sort-merge out over `std::thread::scope` workers. The row matrices
-//! are already sorted, which makes them *partition-ready*: cut them
-//! into `S` contiguous shards and every rule application decomposes
-//! into `S` independent sub-applications — **provided no logical unit
-//! of work straddles a cut**:
+//! sort-merge out over the persistent work-stealing worker pool
+//! ([`crate::pool`]) — tasks are submitted as `'static` closures over
+//! `Arc`-shared inputs, so a rule application spawns **zero** threads
+//! once the pool is warm. The row matrices are already sorted, which
+//! makes them *partition-ready*: cut them into `S` contiguous shards
+//! and every rule application decomposes into `S` independent
+//! sub-applications — **provided no logical unit of work straddles a
+//! cut**:
 //!
 //! * **Rule 1** (`project_out`): the unit is a ⊕-group. In the
 //!   least-significant-column case groups are runs of equal
 //!   `width − 1`-column prefixes, so cuts are only placed where the
 //!   prefix changes. In the general-column case the projected scratch
-//!   matrix is argsorted first (sequentially) and the *argsort order*
-//!   is cut on group boundaries.
+//!   matrix is argsorted first — a parallel merge sort over the same
+//!   pool: contiguous index ranges are stable-sorted concurrently,
+//!   then pairwise-merged left-preferring, which reproduces *the*
+//!   unique stable permutation `std`'s sequential sort yields, at any
+//!   chunk count — and the *argsort order* is cut on group boundaries.
 //! * **Rule 2** (`merge`): the unit is a key. Boundary keys are drawn
 //!   from the larger side at even row positions and **both** sides are
 //!   partitioned at the first row ≥ each boundary key, so equal keys
@@ -33,15 +39,17 @@
 use super::columnar::{self, ColumnarRelation};
 use super::{DuplicateRow, OwnedSlot, Parallelism, Storage};
 use crate::engine::EngineStats;
+use crate::pool::{self, BatchTask};
 use hq_db::{RowCode, Tuple, Value};
 use hq_monoid::TwoMonoid;
 use hq_query::Var;
 use std::fmt;
+use std::sync::Arc;
 
-/// A columnar relation executed shard-parallel: Rule 1 and Rule 2 run
-/// on up to [`Parallelism::threads`] scoped workers, with results
-/// bit-identical to the sequential [`ColumnarRelation`] at every
-/// thread count.
+/// A columnar relation executed shard-parallel: Rule 1 and Rule 2
+/// submit up to [`Parallelism::threads`] shard tasks to the
+/// persistent worker [`pool`](crate::pool), with results bit-identical
+/// to the sequential [`ColumnarRelation`] at every thread count.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ShardedColumnar<K> {
     inner: ColumnarRelation<K>,
@@ -187,7 +195,86 @@ fn concat_shards<K>(
     (out_keys, out_anns)
 }
 
-impl<K: Clone + PartialEq + fmt::Debug + Send + Sync> Storage for ShardedColumnar<K> {
+/// One shard task's output: its slice of the result matrix plus its
+/// private op counts, recombined in fixed shard order afterwards.
+type ShardPart<K> = (Vec<RowCode>, Vec<K>, EngineStats);
+
+/// Merges two argsorted index runs, preferring the **left** run on
+/// ties. Runs are contiguous ascending index ranges with the left run
+/// holding the smaller indices, so left-preference keeps equal rows in
+/// ascending original-index order — stability, preserved bottom-up.
+fn merge_sorted_runs(scratch: &[RowCode], nw: usize, left: &[u32], right: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(left.len() + right.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < left.len() && j < right.len() {
+        if columnar::scratch_row_cmp(scratch, nw, right[j], left[i]) == std::cmp::Ordering::Less {
+            out.push(right[j]);
+            j += 1;
+        } else {
+            out.push(left[i]);
+            i += 1;
+        }
+    }
+    out.extend_from_slice(&left[i..]);
+    out.extend_from_slice(&right[j..]);
+    out
+}
+
+/// Parallel stable argsort of the projected scratch matrix: `chunks`
+/// contiguous index ranges are stable-sorted as pool tasks, then
+/// adjacent runs are pairwise-merged (also as pool tasks) until one
+/// remains. The result is *the* unique permutation ordered by scratch
+/// row with ties ascending by original index — exactly what the
+/// sequential `sort_by` in [`columnar::project_scratch`] produces — so
+/// the argsort order, and everything folded from it, is independent of
+/// the chunk count and thread count.
+fn argsort_par(scratch: &Arc<Vec<RowCode>>, nw: usize, len: usize, chunks: usize) -> Vec<u32> {
+    if chunks <= 1 || len < 2 {
+        let mut order: Vec<u32> = (0..len as u32).collect();
+        order.sort_by(|&a, &b| columnar::scratch_row_cmp(scratch, nw, a, b));
+        return order;
+    }
+    let bounds: Vec<usize> = (0..=chunks).map(|c| len * c / chunks).collect();
+    let sort_tasks: Vec<BatchTask<Vec<u32>>> = bounds
+        .windows(2)
+        .filter(|w| w[0] < w[1])
+        .map(|w| {
+            let (a, b) = (w[0] as u32, w[1] as u32);
+            let scratch = Arc::clone(scratch);
+            Box::new(move || {
+                let mut order: Vec<u32> = (a..b).collect();
+                order.sort_by(|&x, &y| columnar::scratch_row_cmp(&scratch, nw, x, y));
+                order
+            }) as BatchTask<Vec<u32>>
+        })
+        .collect();
+    let mut runs = pool::run_batch(chunks, sort_tasks);
+    while runs.len() > 1 {
+        let mut tasks: Vec<BatchTask<Vec<u32>>> = Vec::with_capacity(runs.len() / 2);
+        let mut leftover = None;
+        let mut iter = runs.into_iter();
+        while let Some(left) = iter.next() {
+            match iter.next() {
+                Some(right) => {
+                    let scratch = Arc::clone(scratch);
+                    tasks.push(Box::new(move || {
+                        merge_sorted_runs(&scratch, nw, &left, &right)
+                    }));
+                }
+                None => leftover = Some(left),
+            }
+        }
+        let degree = tasks.len();
+        runs = pool::run_batch(degree, tasks);
+        // The odd run out is the highest index range; it stays last.
+        runs.extend(leftover);
+    }
+    runs.pop().unwrap_or_default()
+}
+
+impl<K: Clone + PartialEq + fmt::Debug + Send + Sync + 'static + 'static> Storage
+    for ShardedColumnar<K>
+{
     type Ann = K;
     /// Same code-row key as the wrapped sequential relation.
     type Key = Vec<RowCode>;
@@ -244,66 +331,59 @@ impl<K: Clone + PartialEq + fmt::Debug + Send + Sync> Storage for ShardedColumna
                 keys[(i - 1) * width..(i - 1) * width + nw] == keys[i * width..i * width + nw]
             });
             let chunks = split_by_bounds(anns, &bounds);
-            let keys_ref: &[RowCode] = &keys;
-            let parts: Vec<(Vec<RowCode>, Vec<K>, EngineStats)> = std::thread::scope(|s| {
-                let handles: Vec<_> = bounds
-                    .windows(2)
-                    .zip(chunks)
-                    .map(|(w, chunk)| {
-                        let base = w[0];
-                        s.spawn(move || {
-                            let mut st = EngineStats::default();
-                            let (ok, oa) = columnar::fold_drop_last(
-                                monoid, keys_ref, width, base, chunk, &mut st,
-                            );
-                            (ok, oa, st)
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("shard worker panicked"))
-                    .collect()
-            });
-            concat_shards(parts, stats)
+            let keys = Arc::new(keys);
+            let tasks: Vec<BatchTask<ShardPart<K>>> = bounds
+                .windows(2)
+                .zip(chunks)
+                .map(|(w, chunk)| {
+                    let base = w[0];
+                    let keys = Arc::clone(&keys);
+                    let monoid = monoid.clone();
+                    Box::new(move || {
+                        let mut st = EngineStats::default();
+                        let (ok, oa) =
+                            columnar::fold_drop_last(&monoid, &keys, width, base, chunk, &mut st);
+                        (ok, oa, st)
+                    }) as BatchTask<ShardPart<K>>
+                })
+                .collect();
+            concat_shards(pool::run_batch(shards, tasks), stats)
         } else {
-            // General column: sequential argsort (see ROADMAP for the
-            // parallel-sort follow-up), then shard the sorted order on
-            // group boundaries. Workers clone annotations from the
-            // shared column — exact values, so results stay identical.
-            let (scratch, order) = columnar::project_scratch(&keys, width, pos);
+            // General column: parallel merge-sort argsort over the
+            // pool, then shard the sorted order on group boundaries.
+            // Workers clone annotations from the shared column — exact
+            // values, so results stay identical.
+            let scratch = Arc::new(columnar::project_scratch_matrix(&keys, width, pos));
+            let order = Arc::new(argsort_par(&scratch, nw, len, shards));
             let bounds = split_points(len, shards, |i| {
                 let (a, b) = (order[i - 1] as usize, order[i] as usize);
                 scratch[a * nw..(a + 1) * nw] == scratch[b * nw..(b + 1) * nw]
             });
-            let (scratch_ref, order_ref, anns_ref): (&[RowCode], &[u32], &[K]) =
-                (&scratch, &order, &anns);
-            let parts: Vec<(Vec<RowCode>, Vec<K>, EngineStats)> = std::thread::scope(|s| {
-                let handles: Vec<_> = bounds
-                    .windows(2)
-                    .map(|w| {
-                        let (a, b) = (w[0], w[1]);
-                        s.spawn(move || {
-                            let mut st = EngineStats::default();
-                            let mut take = |idx: usize| anns_ref[idx].clone();
-                            let (ok, oa) = columnar::fold_sorted_groups(
-                                monoid,
-                                scratch_ref,
-                                nw,
-                                &order_ref[a..b],
-                                &mut take,
-                                &mut st,
-                            );
-                            (ok, oa, st)
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("shard worker panicked"))
-                    .collect()
-            });
-            concat_shards(parts, stats)
+            let anns = Arc::new(anns);
+            let tasks: Vec<BatchTask<ShardPart<K>>> = bounds
+                .windows(2)
+                .map(|w| {
+                    let (a, b) = (w[0], w[1]);
+                    let scratch = Arc::clone(&scratch);
+                    let order = Arc::clone(&order);
+                    let anns = Arc::clone(&anns);
+                    let monoid = monoid.clone();
+                    Box::new(move || {
+                        let mut st = EngineStats::default();
+                        let mut take = |idx: usize| anns[idx].clone();
+                        let (ok, oa) = columnar::fold_sorted_groups(
+                            &monoid,
+                            &scratch,
+                            nw,
+                            &order[a..b],
+                            &mut take,
+                            &mut st,
+                        );
+                        (ok, oa, st)
+                    }) as BatchTask<ShardPart<K>>
+                })
+                .collect();
+            concat_shards(pool::run_batch(shards, tasks), stats)
         };
         let out_len = out_anns.len();
         ShardedColumnar::new(
@@ -340,34 +420,31 @@ impl<K: Clone + PartialEq + fmt::Debug + Send + Sync> Storage for ShardedColumna
             "merged relations must share one instance dictionary"
         );
         let (lb, rb) = merge_bounds(&left, &rrel, shards);
-        let (left_ref, right_ref) = (&left, &rrel);
-        let parts: Vec<(Vec<RowCode>, Vec<K>, EngineStats)> = std::thread::scope(|s| {
-            let handles: Vec<_> = lb
-                .windows(2)
-                .zip(rb.windows(2))
-                .map(|(lw, rw)| {
-                    let (li, ri) = (lw[0]..lw[1], rw[0]..rw[1]);
-                    s.spawn(move || {
-                        let mut st = EngineStats::default();
-                        let (ok, oa) =
-                            columnar::merge_ranges(monoid, left_ref, right_ref, li, ri, &mut st);
-                        (ok, oa, st)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("shard worker panicked"))
-                .collect()
-        });
-        let (out_keys, out_anns) = concat_shards(parts, stats);
+        let (vars, width, dict) = (left.vars.clone(), left.width, Arc::clone(&left.dict));
+        let (left, rrel) = (Arc::new(left), Arc::new(rrel));
+        let tasks: Vec<BatchTask<ShardPart<K>>> = lb
+            .windows(2)
+            .zip(rb.windows(2))
+            .map(|(lw, rw)| {
+                let (li, ri) = (lw[0]..lw[1], rw[0]..rw[1]);
+                let left = Arc::clone(&left);
+                let rrel = Arc::clone(&rrel);
+                let monoid = monoid.clone();
+                Box::new(move || {
+                    let mut st = EngineStats::default();
+                    let (ok, oa) = columnar::merge_ranges(&monoid, &left, &rrel, li, ri, &mut st);
+                    (ok, oa, st)
+                }) as BatchTask<ShardPart<K>>
+            })
+            .collect();
+        let (out_keys, out_anns) = concat_shards(pool::run_batch(shards, tasks), stats);
         let len = out_anns.len();
         ShardedColumnar::new(
             ColumnarRelation {
-                vars: left.vars,
-                width: left.width,
+                vars,
+                width,
                 len,
-                dict: left.dict,
+                dict,
                 keys: out_keys,
                 anns: out_anns,
             },
@@ -432,13 +509,13 @@ mod tests {
     use super::*;
     use hq_monoid::{BagMaxMonoid, CountMonoid, ProbMonoid, SatCountMonoid};
 
-    fn columnar_slots<K: Clone + PartialEq + fmt::Debug + Send + Sync>(
+    fn columnar_slots<K: Clone + PartialEq + fmt::Debug + Send + Sync + 'static>(
         slots: Vec<OwnedSlot<K>>,
     ) -> Vec<ColumnarRelation<K>> {
         ColumnarRelation::build_slots(slots).unwrap()
     }
 
-    fn sharded<K: Clone + PartialEq + fmt::Debug + Send + Sync>(
+    fn sharded<K: Clone + PartialEq + fmt::Debug + Send + Sync + 'static>(
         rel: &ColumnarRelation<K>,
         threads: usize,
     ) -> ShardedColumnar<K> {

@@ -279,3 +279,116 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    // Each case pushes 4 submitters × 3 rounds × 3 thread counts
+    // through the shared pool, so fewer cases carry the same coverage.
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Pool contention: many rule applications pushed through the one
+    /// shared worker pool *concurrently* (several user threads, each
+    /// sweeping threads ∈ {2, 3, 8}) must each stay bit-identical to
+    /// the sequential oracles — values, op counts and support
+    /// trajectories. Interleaved batches from competing submitters are
+    /// exactly the regime where a non-order-preserving pool would leak
+    /// scheduling into results.
+    #[test]
+    fn pool_contention_stays_bit_identical(seed in 0u64..1_000_000) {
+        let mut inst = random_instance(seed, 5, 5, 6, 3);
+        let tid: Vec<(Fact, f64)> = inst
+            .database
+            .facts()
+            .into_iter()
+            .map(|f| {
+                let p = inst.rng.gen_range(0.0..=1.0);
+                (f, p)
+            })
+            .collect();
+        let (pm, sm) = pqe::probability_with_stats_on(
+            Backend::Map, &inst.query, &inst.interner, &tid,
+        ).unwrap();
+        let (pc, sc) = pqe::probability_with_stats_on(
+            Backend::Columnar, &inst.query, &inst.interner, &tid,
+        ).unwrap();
+        prop_assert_eq!(pm.to_bits(), pc.to_bits());
+        prop_assert_eq!(&sm, &sc);
+        // 4 submitters × {2,3,8} threads × 3 rounds, all concurrently
+        // on the global pool. Results come back to the main thread and
+        // are compared against the sequential runs.
+        let results: Vec<(usize, f64, hq_unify::EngineStats)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut out = Vec::new();
+                        for _round in 0..3 {
+                            for threads in [2usize, 3, 8] {
+                                let (p, s) = pqe::probability_with_stats_par(
+                                    Backend::Columnar,
+                                    Parallelism::fine_grained(threads),
+                                    &inst.query, &inst.interner, &tid,
+                                ).unwrap();
+                                out.push((threads, p, s));
+                            }
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+        });
+        for (threads, p, s) in results {
+            prop_assert_eq!(
+                pc.to_bits(), p.to_bits(),
+                "contended threads={} seq {} vs sharded {} on {}", threads, pc, p, inst.query
+            );
+            prop_assert_eq!(
+                &sc, &s,
+                "contended stats diverged at threads={} on {}", threads, inst.query
+            );
+        }
+    }
+}
+
+/// Pool reuse: after one warmup to the largest degree this binary ever
+/// requests, rule applications spawn **zero** further threads — the
+/// spawn counter is flat across whole evaluations at every thread
+/// count. (Every test in this binary requests at most 8-way
+/// parallelism, so nothing can out-grow the warmed pool and race this
+/// assertion.)
+#[test]
+fn pool_reuse_spawns_no_threads_after_warmup() {
+    Parallelism::fine_grained(8).warm_pool();
+    let spawned = hq_unify::pool::spawn_count();
+    assert!(spawned > 0, "warmup must have populated the pool");
+    let mut inst = random_instance(2026, 5, 5, 6, 3);
+    let tid: Vec<(Fact, f64)> = inst
+        .database
+        .facts()
+        .into_iter()
+        .map(|f| {
+            let p = inst.rng.gen_range(0.0..=1.0);
+            (f, p)
+        })
+        .collect();
+    let (seq, _) =
+        pqe::probability_with_stats_on(Backend::Columnar, &inst.query, &inst.interner, &tid)
+            .unwrap();
+    for _round in 0..5 {
+        for threads in [2usize, 3, 8] {
+            let (p, _) = pqe::probability_with_stats_par(
+                Backend::Columnar,
+                Parallelism::fine_grained(threads),
+                &inst.query,
+                &inst.interner,
+                &tid,
+            )
+            .unwrap();
+            assert_eq!(seq.to_bits(), p.to_bits());
+        }
+    }
+    assert_eq!(
+        hq_unify::pool::spawn_count(),
+        spawned,
+        "rule applications must not spawn threads once the pool is warm"
+    );
+}
