@@ -11,11 +11,14 @@
 //! Database files use the `hq-db` text format: one fact per line
 //! (`R(1, alice)`), optional probability after `@`, `#` comments.
 //!
-//! Solver commands accept `--backend map|columnar` to pick the
-//! annotated-relation storage layout (default: columnar, the fast
-//! path; both produce bit-identical answers) and `--threads N|max` to
-//! shard the columnar rules over worker threads (every thread count
-//! produces bit-identical answers too).
+//! Solver commands accept `--backend map|columnar|compressed` (alias
+//! `--storage`) to pick the annotated-relation storage layout
+//! (default: columnar, the fast path; all produce bit-identical
+//! answers) and `--threads N|max` to shard the columnar rules over
+//! worker threads (every thread count produces bit-identical answers
+//! too). The compressed tier keeps block-encoded matrices resident
+//! and, in serve mode, can spill evicted plan nodes to disk
+//! (`--spill`).
 
 use hq_arith::Rational;
 use hq_db::text::parse_database;
@@ -81,13 +84,19 @@ fn usage() -> String {
      \x20                                                  updates delta-patch them in place\n\
      \x20         [--cache-rows <n>]                       bound the serve-mode plan cache to n\n\
      \x20                                                  materialised rows (LRU eviction)\n\
+     \x20         [--spill]                                spill evicted plan nodes to a temp\n\
+     \x20                                                  segment file and reload instead of\n\
+     \x20                                                  recompute (compressed backend only)\n\
      \x20 bsm     --query <q> --db <file> --repair <file> --theta <n> [--witness]\n\
      \x20 expected --query <q> --db <file>                 expected bag-set value E[Q(D)]\n\
      \x20 provenance --query <q> --db <file>               provenance tree of Q over D\n\
      \x20 shapley --query <q> --db <file> [--exogenous <file>]\n\
      \n\
      solver options:\n\
-     \x20 --backend map|columnar    annotated-relation storage layout (default: columnar)\n\
+     \x20 --backend map|columnar|compressed\n\
+     \x20                           annotated-relation storage layout (default: columnar;\n\
+     \x20                           `compressed` = bit-packed/RLE block-encoded matrices;\n\
+     \x20                           `--storage` is an accepted alias)\n\
      \x20 --threads N|max           worker threads for the columnar backend (default: 1);\n\
      \x20                           every thread count returns bit-identical answers\n\
      \n\
@@ -100,8 +109,10 @@ fn parse_query_arg(src: &str) -> Result<Query, String> {
 }
 
 /// The storage backend selected by `--backend` (columnar by default).
+/// `--storage` is an accepted alias — the compressed tier makes the
+/// flag as much about physical layout as about algorithmic backend.
 fn backend_arg(args: &Args) -> Result<Backend, String> {
-    match args.get("backend") {
+    match args.get("backend").or_else(|| args.get("storage")) {
         Some(name) => name.parse(),
         None => Ok(Backend::default()),
     }
@@ -260,10 +271,13 @@ fn cmd_pqe(args: &Args) -> Result<String, String> {
         let p = weighted.get(&f).copied().unwrap_or(1.0);
         tid.push((f, p));
     }
-    // The plan cache only exists in serve mode: reject the knob
-    // everywhere else rather than silently ignoring it.
+    // The plan cache only exists in serve mode: reject the knobs
+    // everywhere else rather than silently ignoring them.
     if args.get("cache-rows").is_some() && args.get("mode") != Some("serve") {
         return Err("--cache-rows requires --mode serve".into());
+    }
+    if args.flag("spill") && args.get("mode") != Some("serve") {
+        return Err("--spill requires --mode serve".into());
     }
     match args.get("mode") {
         Some("incremental") => {
@@ -347,6 +361,7 @@ fn cmd_pqe_incremental(
         Map(hq_unify::IncrementalPqe),
         Columnar(hq_unify::IncrementalPqe<hq_unify::ColumnarRelation<f64>>),
         Sharded(hq_unify::IncrementalPqe<hq_unify::ShardedColumnar<f64>>),
+        Compressed(hq_unify::IncrementalPqe<hq_unify::CompressedColumnar<f64>>),
     }
     impl Maintained {
         fn apply(&mut self, i: &Interner, batch: &[(Fact, f64)]) -> Result<f64, String> {
@@ -354,6 +369,7 @@ fn cmd_pqe_incremental(
                 Maintained::Map(r) => r.update_batch(i, batch),
                 Maintained::Columnar(r) => r.update_batch(i, batch),
                 Maintained::Sharded(r) => r.update_batch(i, batch),
+                Maintained::Compressed(r) => r.update_batch(i, batch),
             }
             .map_err(|e| e.to_string())
         }
@@ -362,6 +378,7 @@ fn cmd_pqe_incremental(
                 Maintained::Map(r) => r.probability(),
                 Maintained::Columnar(r) => r.probability(),
                 Maintained::Sharded(r) => r.probability(),
+                Maintained::Compressed(r) => r.probability(),
             }
         }
     }
@@ -374,6 +391,11 @@ fn cmd_pqe_incremental(
         ),
         (Backend::Columnar, true) => Maintained::Sharded(
             hq_unify::IncrementalPqe::sharded(q, interner, tid, par).map_err(|e| e.to_string())?,
+        ),
+        // The compressed kernels are sequential; the thread count only
+        // affects the worker pool the other tiers shard over.
+        (Backend::Compressed, _) => Maintained::Compressed(
+            hq_unify::IncrementalPqe::compressed(q, interner, tid).map_err(|e| e.to_string())?,
         ),
     };
     let mut out = format!("P(Q) = {:.9}\n", run.probability());
@@ -439,6 +461,18 @@ fn cmd_pqe_serve(
         Map(PqeSession<hq_unify::MapRelation<f64>>),
         Columnar(PqeSession),
         Sharded(PqeSession<hq_unify::ShardedColumnar<f64>>),
+        Compressed(PqeSession<hq_unify::CompressedColumnar<f64>>),
+    }
+    /// Forwards one accessor through the four session variants.
+    macro_rules! on_session {
+        ($session:expr, $s:ident => $body:expr) => {
+            match $session {
+                Session::Map($s) => $body,
+                Session::Columnar($s) => $body,
+                Session::Sharded($s) => $body,
+                Session::Compressed($s) => $body,
+            }
+        };
     }
     impl Session {
         fn query(
@@ -446,62 +480,46 @@ fn cmd_pqe_serve(
             i: &Interner,
             q: &hq_query::Query,
         ) -> Result<(f64, hq_unify::EngineStats), String> {
-            match self {
-                Session::Map(s) => s.query(i, q),
-                Session::Columnar(s) => s.query(i, q),
-                Session::Sharded(s) => s.query(i, q),
-            }
-            .map_err(|e| e.to_string())
+            on_session!(self, s => s.query(i, q)).map_err(|e| e.to_string())
         }
         fn update_batch(&mut self, i: &Interner, batch: &[(Fact, f64)]) -> Result<(), String> {
-            match self {
-                Session::Map(s) => s.update_batch(i, batch).map(|_| ()),
-                Session::Columnar(s) => s.update_batch(i, batch).map(|_| ()),
-                Session::Sharded(s) => s.update_batch(i, batch).map(|_| ()),
-            }
-            .map_err(|e| e.to_string())
+            on_session!(self, s => s.update_batch(i, batch).map(|_| ())).map_err(|e| e.to_string())
         }
         fn ops_performed(&self) -> u64 {
-            match self {
-                Session::Map(s) => s.session().ops_performed(),
-                Session::Columnar(s) => s.session().ops_performed(),
-                Session::Sharded(s) => s.session().ops_performed(),
-            }
+            on_session!(self, s => s.session().ops_performed())
         }
         fn cached_nodes(&self) -> usize {
-            match self {
-                Session::Map(s) => s.session().cached_nodes(),
-                Session::Columnar(s) => s.session().cached_nodes(),
-                Session::Sharded(s) => s.session().cached_nodes(),
-            }
+            on_session!(self, s => s.session().cached_nodes())
         }
         fn set_cache_budget(&mut self, budget: usize) {
-            match self {
-                Session::Map(s) => s.set_cache_budget(Some(budget)),
-                Session::Columnar(s) => s.set_cache_budget(Some(budget)),
-                Session::Sharded(s) => s.set_cache_budget(Some(budget)),
-            }
+            on_session!(self, s => s.set_cache_budget(Some(budget)));
+        }
+        fn set_spill(&mut self, enabled: bool) -> bool {
+            on_session!(self, s => s.set_spill(enabled))
         }
         fn evictions(&self) -> u64 {
-            match self {
-                Session::Map(s) => s.session().evictions(),
-                Session::Columnar(s) => s.session().evictions(),
-                Session::Sharded(s) => s.session().evictions(),
-            }
+            on_session!(self, s => s.session().evictions())
         }
         fn cached_rows(&self) -> usize {
-            match self {
-                Session::Map(s) => s.session().cached_rows(),
-                Session::Columnar(s) => s.session().cached_rows(),
-                Session::Sharded(s) => s.session().cached_rows(),
-            }
+            on_session!(self, s => s.session().cached_rows())
+        }
+        fn cached_bytes(&self) -> usize {
+            on_session!(self, s => s.session().cached_bytes())
+        }
+        fn cached_dense_bytes(&self) -> usize {
+            on_session!(self, s => s.session().cached_dense_bytes())
+        }
+        fn spilled_bytes(&self) -> usize {
+            on_session!(self, s => s.session().spilled_bytes())
+        }
+        fn spill_writes(&self) -> u64 {
+            on_session!(self, s => s.session().spill_writes())
+        }
+        fn spill_reloads(&self) -> u64 {
+            on_session!(self, s => s.session().spill_reloads())
         }
         fn lower_hits(&self) -> u64 {
-            match self {
-                Session::Map(s) => s.session().lower_hits(),
-                Session::Columnar(s) => s.session().lower_hits(),
-                Session::Sharded(s) => s.session().lower_hits(),
-            }
+            on_session!(self, s => s.session().lower_hits())
         }
     }
     let mut session = match (backend, par.is_parallel()) {
@@ -514,6 +532,11 @@ fn cmd_pqe_serve(
         (Backend::Columnar, true) => {
             Session::Sharded(PqeSession::sharded(interner, tid, par).map_err(|e| e.to_string())?)
         }
+        // The compressed kernels are sequential; the thread count only
+        // affects the worker pool the other tiers shard over.
+        (Backend::Compressed, _) => {
+            Session::Compressed(PqeSession::compressed(interner, tid).map_err(|e| e.to_string())?)
+        }
     };
     if let Some(n) = args.get("cache-rows") {
         let budget: usize = n
@@ -521,6 +544,19 @@ fn cmd_pqe_serve(
             .map_err(|_| "cache-rows: expected a non-negative integer".to_string())?;
         session.set_cache_budget(budget);
     }
+    let spilling = if args.flag("spill") {
+        let effective = session.set_spill(true);
+        if !effective {
+            return Err(
+                "spill: only the compressed backend can spill evicted nodes \
+                 (use --backend compressed)"
+                    .to_string(),
+            );
+        }
+        true
+    } else {
+        false
+    };
     let mut out = String::new();
     let mut queries = 0usize;
     let mut replayed_ops = 0u64;
@@ -562,6 +598,26 @@ fn cmd_pqe_serve(
         session.ops_performed(),
         replayed_ops,
     ));
+    // Resident footprint and compression ratio: live cached bytes vs
+    // what the same nodes would occupy as dense columnar matrices.
+    let resident = session.cached_bytes();
+    let dense = session.cached_dense_bytes();
+    let ratio = if resident > 0 {
+        dense as f64 / resident as f64
+    } else {
+        1.0
+    };
+    out.push_str(&format!(
+        "cache resident: {resident} B vs {dense} B dense-equivalent ({ratio:.2}x compression)\n",
+    ));
+    if spilling {
+        out.push_str(&format!(
+            "spill: {} write(s), {} reload(s), {} B on disk\n",
+            session.spill_writes(),
+            session.spill_reloads(),
+            session.spilled_bytes(),
+        ));
+    }
     Ok(out)
 }
 
@@ -817,10 +873,14 @@ mod tests {
         let db = write_temp("backend.facts", "E(1,2) @ 0.5\nF(2,3) @ 0.5\n");
         let base = &["pqe", "--query", "Q() :- E(X,Y), F(Y,Z)", "--db", &db];
         let default_out = run_strs(base).unwrap();
-        for backend in ["map", "columnar"] {
+        for backend in ["map", "columnar", "compressed"] {
             let mut args: Vec<&str> = base.to_vec();
             args.extend(["--backend", backend]);
             assert_eq!(run_strs(&args).unwrap(), default_out, "{backend}");
+            // `--storage` is an alias for `--backend`.
+            let mut args: Vec<&str> = base.to_vec();
+            args.extend(["--storage", backend]);
+            assert_eq!(run_strs(&args).unwrap(), default_out, "storage={backend}");
         }
         let err = run_strs(&[
             "pqe",
@@ -858,7 +918,7 @@ mod tests {
     fn bsm_backend_flag_accepted() {
         let d = write_temp("bsmb_d.facts", "R(1,5)\nS(1,1)\nS(1,2)\nT(1,2,4)\n");
         let dr = write_temp("bsmb_dr.facts", "R(1,6)\nR(1,7)\nT(1,1,4)\nT(1,2,9)\n");
-        for backend in ["map", "columnar"] {
+        for backend in ["map", "columnar", "compressed"] {
             let out = run_strs(&[
                 "bsm",
                 "--query",
@@ -961,7 +1021,7 @@ mod tests {
         let base = &["pqe", "--db", &db, "--mode", "serve", "--script", &script];
         let out = run_strs(base).unwrap();
         let lines: Vec<&str> = out.lines().collect();
-        assert_eq!(lines.len(), 8, "{out}");
+        assert_eq!(lines.len(), 9, "{out}");
         assert!(lines[0].contains("P(Q) = 0.25"), "{out}");
         assert!(lines[1].contains("P(Q) = 0.5"), "{out}");
         assert!(lines[2].contains("applied 2 update(s)"), "{out}");
@@ -970,10 +1030,12 @@ mod tests {
         assert!(lines[5].contains("P(Q) = 0.45"), "{out}");
         assert!(lines[6].contains("P(Q) = 0.45"), "{out}");
         assert!(lines[7].contains("served 5 queries"), "{out}");
+        assert!(lines[8].contains("compression"), "{out}");
         // Identical on every backend and thread count.
         for extra in [
             vec!["--backend", "map"],
             vec!["--backend", "columnar"],
+            vec!["--backend", "compressed"],
             vec!["--threads", "4"],
         ] {
             let mut args: Vec<&str> = base.to_vec();
@@ -996,6 +1058,56 @@ mod tests {
             &script,
         ])
         .unwrap_err();
+        assert!(err.contains("--mode serve"), "{err}");
+    }
+
+    #[test]
+    fn pqe_serve_spill_reloads_evicted_nodes() {
+        // A tiny cache budget forces evictions between the alternating
+        // queries; with --spill the evicted nodes come back from the
+        // segment file, with answers identical to the spill-less run.
+        let db = write_temp("spill.facts", "E(1,2) @ 0.5\nE(1,3) @ 0.25\nF(2,3) @ 0.5\n");
+        let script = write_temp(
+            "spill.script",
+            "? Q() :- E(X,Y), F(Y,Z)\n\
+             ? Q() :- F(Y,Z)\n\
+             ? Q() :- E(X,Y), F(Y,Z)\n\
+             ? Q() :- F(Y,Z)\n",
+        );
+        let base = &[
+            "pqe",
+            "--db",
+            &db,
+            "--mode",
+            "serve",
+            "--script",
+            &script,
+            "--backend",
+            "compressed",
+            "--cache-rows",
+            "1",
+        ];
+        let plain = run_strs(base).unwrap();
+        let mut args: Vec<&str> = base.to_vec();
+        args.push("--spill");
+        let spilled = run_strs(&args).unwrap();
+        // Every served probability agrees; the spill run reports its
+        // disk traffic in an extra trailer line.
+        assert_eq!(
+            plain.lines().take(4).collect::<Vec<_>>(),
+            spilled.lines().take(4).collect::<Vec<_>>(),
+        );
+        assert!(spilled.contains("spill:"), "{spilled}");
+        // Spilling is a compressed-tier capability.
+        let mut args: Vec<&str> = base.to_vec();
+        let pos = args.iter().position(|a| *a == "compressed").unwrap();
+        args[pos] = "columnar";
+        args.push("--spill");
+        let err = run_strs(&args).unwrap_err();
+        assert!(err.contains("compressed"), "{err}");
+        // And a serve-mode knob.
+        let err =
+            run_strs(&["pqe", "--query", "Q() :- E(X,Y)", "--db", &db, "--spill"]).unwrap_err();
         assert!(err.contains("--mode serve"), "{err}");
     }
 
@@ -1100,7 +1212,10 @@ mod tests {
             "2",
         ];
         let out = run_strs(base).unwrap();
-        let trailer = out.lines().last().unwrap();
+        let trailer = out
+            .lines()
+            .find(|l| l.contains("served"))
+            .expect("serve trailer");
         assert!(trailer.contains("evicted"), "{out}");
         assert!(
             !trailer.contains("0 evicted"),

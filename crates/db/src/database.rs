@@ -110,6 +110,32 @@ impl Database {
         self.insert(Fact::new(rel, tuple))
     }
 
+    /// Inserts a batch of facts with one merge pass per touched
+    /// relation ([`Relation::insert_batch`]); returns how many were
+    /// new. Equivalent to inserting them one by one — including the
+    /// version accounting, which advances by the number of effective
+    /// inserts per relation.
+    ///
+    /// # Panics
+    /// Panics if a fact's arity conflicts with its (declared or
+    /// batch-established) relation arity.
+    pub fn insert_batch(&mut self, facts: impl IntoIterator<Item = Fact>) -> usize {
+        let mut by_rel: BTreeMap<Sym, Vec<Tuple>> = BTreeMap::new();
+        for f in facts {
+            by_rel.entry(f.rel).or_default().push(f.tuple);
+        }
+        let mut total = 0;
+        for (rel, tuples) in by_rel {
+            let arity = tuples[0].arity();
+            let added = self.declare(rel, arity).insert_batch(tuples);
+            if added > 0 {
+                *self.versions.entry(rel).or_insert(0) += added as u64;
+            }
+            total += added;
+        }
+        total
+    }
+
     /// Removes a fact. Returns `true` if it was present.
     pub fn remove(&mut self, fact: &Fact) -> bool {
         let removed = self

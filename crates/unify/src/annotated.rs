@@ -63,6 +63,25 @@ impl<K: Clone + PartialEq + fmt::Debug + Send + Sync + 'static> AnnotatedDb<Colu
     }
 }
 
+impl<K> AnnotatedDb<ColumnarRelation<K>>
+where
+    K: crate::storage::CompressedAnn + Clone + PartialEq + fmt::Debug + Send + Sync + 'static,
+{
+    /// Compresses every slot into the block-encoded tier
+    /// ([`crate::storage::CompressedColumnar`]); the dense matrices are
+    /// transient build scratch. Results stay bit-identical — the
+    /// compressed kernels replay the dense ⊕/⊗ sequence exactly.
+    pub fn into_compressed(self) -> AnnotatedDb<crate::storage::CompressedColumnar<K>> {
+        AnnotatedDb {
+            slots: self
+                .slots
+                .into_iter()
+                .map(|s| s.map(crate::storage::CompressedColumnar::from_columnar))
+                .collect(),
+        }
+    }
+}
+
 /// Errors building an annotated database from facts.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AnnotateError {

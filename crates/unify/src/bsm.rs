@@ -10,11 +10,14 @@
 //! in `D_r` with `★ = (0, 1, 1, …)` (multiplicity 1 after paying one
 //! budget unit), and everything else implicitly with `0`.
 
-use crate::engine::{evaluate_columnar_par, evaluate_on_par, EngineStats, UnifyError};
+use crate::engine::{
+    evaluate_columnar_par, evaluate_compressed_par, evaluate_on_par, EngineStats, UnifyError,
+};
 use crate::incremental::{IncrementalError, IncrementalRun};
 use crate::serving::{ServingBackend, ServingError, ServingSession, UpdateOutcome};
 use crate::storage::{
-    Backend, ColumnarRelation, MapRelation, Parallelism, ShardedColumnar, Storage,
+    Backend, ColumnarRelation, CompressedColumnar, MapRelation, Parallelism, ShardedColumnar,
+    Storage,
 };
 use hq_db::{Database, Fact, Interner};
 use hq_monoid::{BagMaxMonoid, BudgetVec, TwoMonoid};
@@ -118,7 +121,9 @@ pub fn maximize_par(
         // repair facts (annotation `★`) are two sorted streams; merging
         // them here keeps every slot's rows sorted, so the columnar
         // build skips its re-sort entirely.
-        Backend::Columnar => {
+        // The compressed tier shares the same fused stream; only the
+        // terminal evaluation call differs.
+        Backend::Columnar | Backend::Compressed => {
             let one = monoid.one();
             let star = monoid.star();
             let (one, star) = (&one, &star);
@@ -143,7 +148,11 @@ pub fn maximize_par(
                 }
                 .map(move |(t, k)| (sym, t, k))
             });
-            evaluate_columnar_par(par, &monoid, q, interner, rows)?
+            if backend == Backend::Compressed {
+                evaluate_compressed_par(par, &monoid, q, interner, rows)?
+            } else {
+                evaluate_columnar_par(par, &monoid, q, interner, rows)?
+            }
         }
         Backend::Map => {
             let facts = psi_encoding(&monoid, d, d_r);
@@ -243,6 +252,26 @@ impl IncrementalBsm<ColumnarRelation<BudgetVec>> {
     /// # Errors
     /// Rejects non-hierarchical queries and schema mismatches.
     pub fn columnar(
+        q: &Query,
+        interner: &Interner,
+        d: &Database,
+        d_r: &Database,
+        theta: usize,
+    ) -> Result<Self, IncrementalError> {
+        let monoid = BagMaxMonoid::new(theta);
+        let facts = psi_encoding(&monoid, d, d_r);
+        let run = IncrementalRun::with_storage(monoid, q, interner, facts)?;
+        Ok(IncrementalBsm { monoid, run })
+    }
+}
+
+impl IncrementalBsm<CompressedColumnar<BudgetVec>> {
+    /// Builds the maintained instance on the compressed columnar
+    /// backend (block-encoded code matrices).
+    ///
+    /// # Errors
+    /// Rejects non-hierarchical queries and schema mismatches.
+    pub fn compressed(
         q: &Query,
         interner: &Interner,
         d: &Database,
@@ -418,6 +447,12 @@ impl<R: ServingBackend<Ann = BudgetVec>> BsmSession<R> {
     /// wrapper so ψ-class validation cannot be bypassed.
     pub fn set_cache_budget(&mut self, budget: Option<usize>) {
         self.session.set_cache_budget(budget);
+    }
+
+    /// Enables or disables spill-on-evict (see
+    /// [`ServingSession::set_spill`]); returns the effective state.
+    pub fn set_spill(&mut self, enabled: bool) -> bool {
+        self.session.set_spill(enabled)
     }
 
     /// Sets the rebuild-fallback threshold (see

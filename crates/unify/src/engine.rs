@@ -24,7 +24,9 @@
 //! backend.
 
 use crate::annotated::{annotate_columnar, annotate_with, AnnotateError, AnnotatedDb, EncodedDb};
-use crate::storage::{Backend, ColumnarRelation, MapRelation, Parallelism, Storage};
+use crate::storage::{
+    Backend, ColumnarRelation, CompressedAnn, CompressedColumnar, MapRelation, Parallelism, Storage,
+};
 use hq_db::{Database, Fact, Interner, Sym, Tuple};
 use hq_monoid::TwoMonoid;
 use hq_query::{plan, EliminationPlan, NotHierarchical, Query, Step};
@@ -156,7 +158,10 @@ pub fn evaluate_on<M: TwoMonoid>(
     q: &Query,
     interner: &Interner,
     facts: impl IntoIterator<Item = (Fact, M::Elem)>,
-) -> Result<(M::Elem, EngineStats), UnifyError> {
+) -> Result<(M::Elem, EngineStats), UnifyError>
+where
+    M::Elem: CompressedAnn,
+{
     evaluate_on_par(backend, Parallelism::default(), monoid, q, interner, facts)
 }
 
@@ -177,7 +182,10 @@ pub fn evaluate_on_par<M: TwoMonoid>(
     q: &Query,
     interner: &Interner,
     facts: impl IntoIterator<Item = (Fact, M::Elem)>,
-) -> Result<(M::Elem, EngineStats), UnifyError> {
+) -> Result<(M::Elem, EngineStats), UnifyError>
+where
+    M::Elem: CompressedAnn,
+{
     let p = plan(q)?;
     match backend {
         Backend::Map => {
@@ -187,6 +195,10 @@ pub fn evaluate_on_par<M: TwoMonoid>(
         Backend::Columnar => {
             let db = annotate_with::<ColumnarRelation<M::Elem>>(q, interner, facts)?;
             Ok(run_columnar_plan(monoid, &p, db, par))
+        }
+        Backend::Compressed => {
+            let db = annotate_with::<CompressedColumnar<M::Elem>>(q, interner, facts)?;
+            Ok(run_plan(monoid, &p, db))
         }
     }
 }
@@ -243,6 +255,31 @@ pub fn evaluate_columnar_par<'a, M: TwoMonoid>(
     let p = plan(q)?;
     let db = annotate_columnar(q, interner, rows)?;
     Ok(run_columnar_plan(monoid, &p, db, par))
+}
+
+/// The borrowed-fact fast path on the compressed tier: the columnar
+/// build (instance dictionary, scatter encode) runs as usual, each
+/// slot is block-compressed immediately, and the plan executes the
+/// streaming kernels. The `par` degree is accepted for interface
+/// symmetry but ignored — the compressed kernels are sequential
+/// (documented; the tier trades CPU fan-out for memory footprint).
+///
+/// # Errors
+/// Same failure modes as [`evaluate`].
+pub fn evaluate_compressed_par<'a, M: TwoMonoid>(
+    par: Parallelism,
+    monoid: &M,
+    q: &Query,
+    interner: &Interner,
+    rows: impl IntoIterator<Item = (Sym, &'a Tuple, M::Elem)>,
+) -> Result<(M::Elem, EngineStats), UnifyError>
+where
+    M::Elem: CompressedAnn,
+{
+    let _ = par;
+    let p = plan(q)?;
+    let db = annotate_columnar(q, interner, rows)?;
+    Ok(run_plan(monoid, &p, db.into_compressed()))
 }
 
 /// Evaluates a query over a database whose dictionary encoding was

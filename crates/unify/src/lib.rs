@@ -144,7 +144,8 @@ pub use bsm::{
     maximize, maximize_with_repair, BsmRepairSolution, BsmSolution, IncrementalBsm, PsiClass,
 };
 pub use engine::{
-    evaluate, evaluate_encoded, evaluate_on, evaluate_on_par, run_plan, EngineStats, UnifyError,
+    evaluate, evaluate_compressed_par, evaluate_encoded, evaluate_on, evaluate_on_par, run_plan,
+    EngineStats, UnifyError,
 };
 pub use incremental::{IncrementalError, IncrementalRun, UpdateStats};
 pub use plan_ir::{lower, LoweredQuery, PlanExpr, PlanId, PlanIr};
@@ -155,6 +156,6 @@ pub use shapley::{
     sat_counts, shapley_value, shapley_values, FactRole, IncrementalSatCounts, ShapleyError,
 };
 pub use storage::{
-    Backend, ColumnarRelation, EncodedDb, MapRelation, Parallelism, RefreshOutcome,
-    ShardedColumnar, Storage,
+    Backend, ColumnarRelation, CompressedAnn, CompressedBuilder, CompressedColumnar, EncodedDb,
+    MapRelation, Parallelism, RefreshOutcome, ShardedColumnar, Storage,
 };

@@ -6,11 +6,14 @@
 //! in time `O(|D|)`. This instantiation of Algorithm 1 specialises
 //! exactly to the Dalvi–Suciu algorithm.
 
-use crate::engine::{evaluate_columnar_par, evaluate_on_par, EngineStats, UnifyError};
+use crate::engine::{
+    evaluate_columnar_par, evaluate_compressed_par, evaluate_on_par, EngineStats, UnifyError,
+};
 use crate::incremental::{IncrementalError, IncrementalRun};
 use crate::serving::{ServingBackend, ServingError, ServingSession, UpdateOutcome};
 use crate::storage::{
-    Backend, ColumnarRelation, MapRelation, Parallelism, ShardedColumnar, Storage,
+    Backend, ColumnarRelation, CompressedColumnar, MapRelation, Parallelism, ShardedColumnar,
+    Storage,
 };
 use hq_arith::Rational;
 use hq_db::{Fact, Interner};
@@ -119,6 +122,13 @@ pub fn probability_with_stats_par(
     // list — no per-fact tuple clone.
     let out = match backend {
         Backend::Columnar => evaluate_columnar_par(
+            par,
+            &ProbMonoid,
+            q,
+            interner,
+            tid.iter().map(|(f, p)| (f.rel, &f.tuple, *p)),
+        )?,
+        Backend::Compressed => evaluate_compressed_par(
             par,
             &ProbMonoid,
             q,
@@ -235,6 +245,13 @@ pub fn probability_exact_par(
             interner,
             tid.iter().map(|(f, p)| (f.rel, &f.tuple, p.clone())),
         )?,
+        Backend::Compressed => evaluate_compressed_par(
+            par,
+            &ExactProbMonoid,
+            q,
+            interner,
+            tid.iter().map(|(f, p)| (f.rel, &f.tuple, p.clone())),
+        )?,
         Backend::Map => evaluate_on_par(
             backend,
             par,
@@ -301,6 +318,13 @@ pub fn expected_count_par(
             interner,
             tid.iter().map(|(f, p)| (f.rel, &f.tuple, *p)),
         )?,
+        Backend::Compressed => evaluate_compressed_par(
+            par,
+            &hq_monoid::RealSemiring,
+            q,
+            interner,
+            tid.iter().map(|(f, p)| (f.rel, &f.tuple, *p)),
+        )?,
         Backend::Map => evaluate_on_par(
             backend,
             par,
@@ -352,6 +376,24 @@ impl IncrementalPqe<ColumnarRelation<f64>> {
     /// # Errors
     /// See [`IncrementalPqe::new`].
     pub fn columnar(q: &Query, interner: &Interner, tid: &[(Fact, f64)]) -> Result<Self, PqeError> {
+        validate(tid)?;
+        let run = IncrementalRun::with_storage(ProbMonoid, q, interner, tid.iter().cloned())?;
+        Ok(IncrementalPqe { run })
+    }
+}
+
+impl IncrementalPqe<CompressedColumnar<f64>> {
+    /// Builds the maintained instance on the compressed columnar
+    /// backend (block-encoded code matrices; point updates rewrite one
+    /// block at a time).
+    ///
+    /// # Errors
+    /// See [`IncrementalPqe::new`].
+    pub fn compressed(
+        q: &Query,
+        interner: &Interner,
+        tid: &[(Fact, f64)],
+    ) -> Result<Self, PqeError> {
         validate(tid)?;
         let run = IncrementalRun::with_storage(ProbMonoid, q, interner, tid.iter().cloned())?;
         Ok(IncrementalPqe { run })
@@ -456,6 +498,21 @@ impl PqeSession<ColumnarRelation<f64>> {
     }
 }
 
+impl PqeSession<CompressedColumnar<f64>> {
+    /// Builds the session on the compressed columnar backend: cached
+    /// nodes hold block-encoded matrices, and eviction victims may
+    /// spill to disk ([`PqeSession::set_spill`]).
+    ///
+    /// # Errors
+    /// Rejects probabilities outside `[0, 1]` and inconsistent arities.
+    pub fn compressed(interner: &Interner, tid: &[(Fact, f64)]) -> Result<Self, PqeError> {
+        validate(tid)?;
+        Ok(PqeSession {
+            session: ServingSession::new(ProbMonoid, interner, tid.iter().cloned())?,
+        })
+    }
+}
+
 impl PqeSession<ShardedColumnar<f64>> {
     /// Builds the session on the sharded columnar backend at the given
     /// [`Parallelism`] degree; results stay bit-identical.
@@ -549,6 +606,12 @@ impl<R: ServingBackend<Ann = f64>> PqeSession<R> {
     /// wrapper so probability validation cannot be bypassed.
     pub fn set_cache_budget(&mut self, budget: Option<usize>) {
         self.session.set_cache_budget(budget);
+    }
+
+    /// Enables or disables spill-on-evict (see
+    /// [`ServingSession::set_spill`]); returns the effective state.
+    pub fn set_spill(&mut self, enabled: bool) -> bool {
+        self.session.set_spill(enabled)
     }
 
     /// Sets the rebuild-fallback threshold (see

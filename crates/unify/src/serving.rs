@@ -53,7 +53,8 @@ use crate::engine::EngineStats;
 use crate::incremental::refold_groups;
 use crate::plan_ir::{lower, LoweredQuery, PlanExpr, PlanId, PlanIr};
 use crate::storage::{
-    ColumnarRelation, EncodedDb, MapRelation, Parallelism, RefreshOutcome, ShardedColumnar, Storage,
+    ColumnarRelation, CompressedAnn, CompressedColumnar, EncodedDb, MapRelation, Parallelism,
+    RefreshOutcome, ShardedColumnar, Storage,
 };
 use hq_db::{Database, Fact, Interner, RowCode, Sym, Tuple, Value, ValueDict};
 use hq_monoid::TwoMonoid;
@@ -61,6 +62,7 @@ use hq_query::{plan, NotHierarchical, Query, Var};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Errors from the serving session.
@@ -144,6 +146,78 @@ struct CachedNode<R> {
 /// dependents.
 type Change<E> = (Option<E>, Option<E>);
 
+/// A spilled eviction victim: where its bytes sit in the segment file,
+/// plus everything [`CachedNode`] tracked that bytes alone cannot
+/// restore (recorded op counts, validity epoch, refold estimate).
+#[derive(Debug, Clone, Copy)]
+struct SpilledNode {
+    offset: u64,
+    len: usize,
+    add_ops: u64,
+    mul_ops: u64,
+    valid_at: u64,
+    refold_rows_ewma: f64,
+}
+
+/// The append-only temp segment file backing spill-on-evict. Entries
+/// are only appended — a re-spill of an already-spilled node leaks the
+/// superseded bytes (the file lives for one session and eviction
+/// traffic is budget-bounded, so the leak is too). Dropped with the
+/// session, removing the file.
+struct SpillFile {
+    file: std::fs::File,
+    path: std::path::PathBuf,
+    tail: u64,
+}
+
+impl SpillFile {
+    /// Creates a fresh segment under the OS temp dir, named uniquely
+    /// per process and per session. `None` when the file cannot be
+    /// created — the caller degrades to plain (spill-less) eviction.
+    fn create() -> Option<SpillFile> {
+        static SEGMENT: AtomicU64 = AtomicU64::new(0);
+        let n = SEGMENT.fetch_add(1, Ordering::Relaxed);
+        let path =
+            std::env::temp_dir().join(format!("hq-serving-spill-{}-{n}.seg", std::process::id()));
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create_new(true)
+            .open(&path)
+            .ok()?;
+        Some(SpillFile {
+            file,
+            path,
+            tail: 0,
+        })
+    }
+
+    /// Appends one node's bytes, returning their `(offset, len)`.
+    fn append(&mut self, bytes: &[u8]) -> Option<(u64, usize)> {
+        use std::io::{Seek, SeekFrom, Write};
+        let offset = self.tail;
+        self.file.seek(SeekFrom::Start(offset)).ok()?;
+        self.file.write_all(bytes).ok()?;
+        self.tail += bytes.len() as u64;
+        Some((offset, bytes.len()))
+    }
+
+    /// Reads one record back.
+    fn read(&mut self, offset: u64, len: usize) -> Option<Vec<u8>> {
+        use std::io::{Read, Seek, SeekFrom};
+        self.file.seek(SeekFrom::Start(offset)).ok()?;
+        let mut buf = vec![0u8; len];
+        self.file.read_exact(&mut buf).ok()?;
+        Some(buf)
+    }
+}
+
+impl Drop for SpillFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
 /// The lowering-memo key: the query's atom list with variables as
 /// positional ids.
 type QueryShape = Vec<(String, Vec<usize>)>;
@@ -168,7 +242,7 @@ fn query_shape(q: &Query) -> QueryShape {
 const DEFAULT_PATCH_FRACTION: f64 = 0.5;
 
 /// A backend that can materialise serving-session scan nodes. The
-/// three engine backends implement it; all stay bit-identical.
+/// four engine backends implement it; all stay bit-identical.
 pub trait ServingBackend: Storage {
     /// Whether this backend's scans read the session's [`EncodedDb`].
     /// When `false` (the ordered-map oracle — tuples carry their
@@ -209,6 +283,27 @@ pub trait ServingBackend: Storage {
     /// untouched — only the code numbering moved. A no-op on the
     /// ordered-map oracle (tuples carry their values directly).
     fn translate_codes(&mut self, dict: &Arc<ValueDict>, translation: &[RowCode]);
+
+    /// Whether eviction victims of this backend can be serialised to a
+    /// spill segment and reloaded later ([`ServingSession::set_spill`]).
+    /// Only the compressed tier opts in — its blocks are already a
+    /// compact byte-oriented format — and only for annotation types
+    /// with an exact byte codec ([`CompressedAnn::SPILLABLE`]).
+    const SPILLABLE: bool = false;
+
+    /// Serialises the node for the spill segment. Never called unless
+    /// [`ServingBackend::SPILLABLE`]; the default spills nothing.
+    fn spill(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// Rebuilds a node from bytes written by [`ServingBackend::spill`]
+    /// under the session's current shared dictionary. `None` rejects
+    /// the bytes (malformed, or the backend does not spill) and the
+    /// caller falls back to recomputation.
+    fn unspill(_bytes: &[u8], _dict: &Arc<ValueDict>) -> Option<Self> {
+        None
+    }
 }
 
 /// Renders a duplicate scan key (an atom with repeated variables) in
@@ -296,6 +391,47 @@ impl<K: Clone + PartialEq + fmt::Debug + Send + Sync + 'static> ServingBackend
 
     fn translate_codes(&mut self, dict: &Arc<ValueDict>, translation: &[RowCode]) {
         self.inner_mut().remap_codes(dict, translation);
+    }
+}
+
+impl<K> ServingBackend for CompressedColumnar<K>
+where
+    K: CompressedAnn + Clone + PartialEq + fmt::Debug + Send + Sync + 'static,
+{
+    const USES_ENCODING: bool = true;
+    const SPILLABLE: bool = K::SPILLABLE;
+
+    fn scan(
+        enc: &EncodedDb,
+        db: &Database,
+        interner: &Interner,
+        rel: &str,
+        positions: &[usize],
+        vars: Vec<Var>,
+        ann: &mut dyn FnMut(Sym, &Tuple) -> K,
+        par: Parallelism,
+    ) -> Result<Self, AnnotateError> {
+        // Assemble the dense sorted matrix from the cached codes, then
+        // block-encode it — the same two-phase build as annotation.
+        Ok(CompressedColumnar::from_columnar(ColumnarRelation::scan(
+            enc, db, interner, rel, positions, vars, ann, par,
+        )?))
+    }
+
+    fn relabel(&mut self, vars: Vec<Var>) {
+        self.set_vars(vars);
+    }
+
+    fn translate_codes(&mut self, dict: &Arc<ValueDict>, translation: &[RowCode]) {
+        self.remap_codes(dict, translation);
+    }
+
+    fn spill(&self) -> Vec<u8> {
+        self.spill_bytes()
+    }
+
+    fn unspill(bytes: &[u8], dict: &Arc<ValueDict>) -> Option<Self> {
+        CompressedColumnar::from_spill(bytes, Arc::clone(dict))
     }
 }
 
@@ -398,6 +534,18 @@ where
     evictions: u64,
     /// LRU clock: bumped once per query.
     query_tick: u64,
+    /// The spill segment, created lazily by the first
+    /// [`ServingSession::set_spill`] enable.
+    spill: Option<SpillFile>,
+    /// Whether eviction victims spill (requires a live segment file and
+    /// a [`ServingBackend::SPILLABLE`] backend).
+    spill_enabled: bool,
+    /// Spilled victims by plan node, reloadable instead of recomputed.
+    spilled: HashMap<PlanId, SpilledNode>,
+    /// Victims written to the spill segment so far.
+    spill_writes: u64,
+    /// Cache misses served by reloading spilled bytes.
+    spill_reloads: u64,
 }
 
 impl<M, R> ServingSession<M, R>
@@ -489,6 +637,11 @@ where
             cache_budget: None,
             evictions: 0,
             query_tick: 0,
+            spill: None,
+            spill_enabled: false,
+            spilled: HashMap::new(),
+            spill_writes: 0,
+            spill_reloads: 0,
         })
     }
 
@@ -529,6 +682,92 @@ where
     /// Nodes evicted by the cache budget so far.
     pub fn evictions(&self) -> u64 {
         self.evictions
+    }
+
+    /// Approximate payload bytes of the **live** materialised node
+    /// cache ([`Storage::storage_bytes`] summed over the cached
+    /// nodes; the shared dictionary is excluded). On the compressed
+    /// tier this is the post-encoding footprint the block format
+    /// actually holds resident.
+    pub fn cached_bytes(&self) -> usize {
+        self.cache.values().map(|n| n.rel.storage_bytes()).sum()
+    }
+
+    /// What the same cached nodes would occupy as dense columnar
+    /// matrices (one [`RowCode`] per key column per row plus one
+    /// inline annotation per row) — the denominator of the
+    /// compression ratio the serve-mode trailer reports.
+    pub fn cached_dense_bytes(&self) -> usize {
+        self.cache
+            .values()
+            .map(|n| {
+                n.rel.support_size()
+                    * (n.rel.vars().len() * size_of::<RowCode>() + size_of::<M::Elem>())
+            })
+            .sum()
+    }
+
+    /// Bytes of spilled eviction victims currently reloadable from the
+    /// spill segment — reported distinctly from [`cached_rows`]
+    /// (live materialised rows) and [`cached_bytes`] (live resident
+    /// bytes): spilled nodes are on disk, not resident.
+    ///
+    /// [`cached_rows`]: ServingSession::cached_rows
+    /// [`cached_bytes`]: ServingSession::cached_bytes
+    pub fn spilled_bytes(&self) -> usize {
+        self.spilled.values().map(|s| s.len).sum()
+    }
+
+    /// Spilled nodes currently reloadable.
+    pub fn spilled_nodes(&self) -> usize {
+        self.spilled.len()
+    }
+
+    /// Eviction victims written to the spill segment so far.
+    pub fn spill_writes(&self) -> u64 {
+        self.spill_writes
+    }
+
+    /// Cache misses served by reloading spilled bytes instead of
+    /// recomputing the node (zero monoid operations either way — a
+    /// reload merely restores the node and its recorded op counts).
+    pub fn spill_reloads(&self) -> u64 {
+        self.spill_reloads
+    }
+
+    /// Enables or disables spill-on-evict. When enabled, cache-budget
+    /// eviction victims are serialised to an append-only temp segment
+    /// file before being dropped, and a later query that misses on the
+    /// node **reloads** it (bytes → blocks, recorded op counts
+    /// restored) instead of recomputing it — cheaper whenever decoding
+    /// beats re-running the node's ⊕/⊗ kernels, and bit-identical
+    /// either way. Spilled entries are dropped (never translated) when
+    /// a novel domain value extends the dictionary, and ignored when
+    /// their inputs changed since the spill; both fall back to the
+    /// ordinary lazy rebuild.
+    ///
+    /// Returns the effective state: spilling stays off on backends
+    /// whose nodes cannot be serialised ([`ServingBackend::SPILLABLE`]
+    /// is `false` everywhere but the compressed tier) and when the
+    /// segment file cannot be created. Disabling drops the segment and
+    /// every spilled entry.
+    pub fn set_spill(&mut self, enabled: bool) -> bool {
+        if !enabled || !R::SPILLABLE {
+            self.spill_enabled = false;
+            self.spill = None;
+            self.spilled.clear();
+            return false;
+        }
+        if self.spill.is_none() {
+            self.spill = SpillFile::create();
+        }
+        self.spill_enabled = self.spill.is_some();
+        self.spill_enabled
+    }
+
+    /// Whether spill-on-evict is in force.
+    pub fn spill_enabled(&self) -> bool {
+        self.spill_enabled
     }
 
     /// The node-cache bound in materialised rows (`None`: unbounded).
@@ -754,6 +993,13 @@ where
                 node.rel.translate_codes(&dict, &translation);
                 outcome.dict_extensions += 1;
             }
+            // Spilled bytes are fixed in the *old* code space and, on
+            // disk, cannot be translated: drop them (they would fail
+            // their freshness check anyway only if their own inputs
+            // changed — a dictionary extension moves every node's
+            // numbering regardless). The nodes rebuild lazily; rare in
+            // practice, novel domain values are the exception.
+            self.spilled.clear();
         }
         // Group the batch by relation name once, so scan patching
         // costs the relevant updates per scan — not |cache| × |batch|.
@@ -1097,10 +1343,64 @@ where
             if total <= budget {
                 break;
             }
-            self.cache.remove(&id);
+            let node = self.cache.remove(&id).expect("iterating live ids");
+            self.maybe_spill(id, &node);
             total -= rows;
             self.evictions += 1;
         }
+    }
+
+    /// Writes an eviction victim to the spill segment (when enabled).
+    /// Best-effort: a failed write, like a disabled spill, degrades to
+    /// a plain eviction — the node rebuilds lazily instead.
+    fn maybe_spill(&mut self, id: PlanId, node: &CachedNode<R>) {
+        if !self.spill_enabled || !R::SPILLABLE {
+            return;
+        }
+        if let Some(prev) = self.spilled.get(&id) {
+            if prev.valid_at == node.valid_at {
+                // The node was reloaded and never patched since: the
+                // bytes on disk are still exact, skip the rewrite.
+                return;
+            }
+        }
+        let Some(seg) = self.spill.as_mut() else {
+            return;
+        };
+        let Some((offset, len)) = seg.append(&node.rel.spill()) else {
+            return;
+        };
+        self.spilled.insert(
+            id,
+            SpilledNode {
+                offset,
+                len,
+                add_ops: node.add_ops,
+                mul_ops: node.mul_ops,
+                valid_at: node.valid_at,
+                refold_rows_ewma: node.refold_rows_ewma,
+            },
+        );
+        self.spill_writes += 1;
+    }
+
+    /// Restores a spilled node whose inputs have not changed since the
+    /// spill. The entry is kept (the bytes stay exact until the node
+    /// is patched), so a clean re-eviction skips the rewrite. `None`
+    /// on any read or decode failure — the caller recomputes.
+    fn reload_spilled(&mut self, id: PlanId) -> Option<CachedNode<R>> {
+        let entry = *self.spilled.get(&id)?;
+        let bytes = self.spill.as_mut()?.read(entry.offset, entry.len)?;
+        let rel = R::unspill(&bytes, &self.enc.shared_dict())?;
+        self.spill_reloads += 1;
+        Some(CachedNode {
+            rel,
+            add_ops: entry.add_ops,
+            mul_ops: entry.mul_ops,
+            valid_at: entry.valid_at,
+            last_used: self.query_tick,
+            refold_rows_ewma: entry.refold_rows_ewma,
+        })
     }
 
     /// Materialises node `id` if the cache does not hold a valid copy.
@@ -1119,6 +1419,27 @@ where
             if fresh {
                 entry.last_used = self.query_tick;
                 return Ok(());
+            }
+        }
+        if let Some(spilled) = self.spilled.get(&id) {
+            let fresh = self
+                .ir
+                .deps(id)
+                .iter()
+                .all(|d| self.rel_epoch.get(d).copied().unwrap_or(0) <= spilled.valid_at);
+            if fresh {
+                // Reload instead of recompute: the bytes are exact for
+                // the current state, and restoring the recorded op
+                // counts keeps replayed stats fresh-evaluation-exact
+                // while performing zero monoid operations.
+                if let Some(node) = self.reload_spilled(id) {
+                    self.cache.insert(id, node);
+                    return Ok(());
+                }
+            } else {
+                // Inputs moved since the spill: the bytes are stale
+                // and (unlike live nodes) cannot be delta-patched.
+                self.spilled.remove(&id);
             }
         }
         let node = self.ir.node(id).clone();

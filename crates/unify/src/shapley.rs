@@ -392,6 +392,12 @@ impl<R: ServingBackend<Ann = SatVec>> SatSession<R> {
         self.session.set_cache_budget(budget);
     }
 
+    /// Enables or disables spill-on-evict (see
+    /// [`ServingSession::set_spill`]); returns the effective state.
+    pub fn set_spill(&mut self, enabled: bool) -> bool {
+        self.session.set_spill(enabled)
+    }
+
     /// Sets the rebuild-fallback threshold (see
     /// [`ServingSession::set_patch_fraction`]).
     pub fn set_patch_fraction(&mut self, fraction: f64) {

@@ -527,6 +527,12 @@ impl<K: Clone + PartialEq + std::fmt::Debug + Send + Sync + 'static> Storage
         self.dict = Arc::new(dict);
         true
     }
+
+    fn storage_bytes(&self) -> usize {
+        self.vars.len() * std::mem::size_of::<Var>()
+            + self.keys.len() * std::mem::size_of::<RowCode>()
+            + self.anns.len() * std::mem::size_of::<K>()
+    }
 }
 
 /// Rule 1, least-significant-column case: the grouped ⊕-fold over the

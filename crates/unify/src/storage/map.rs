@@ -239,6 +239,16 @@ impl<K: Clone + PartialEq + std::fmt::Debug + Send + Sync + 'static> Storage for
     fn prepare_values(&mut self, _values: &[Value]) -> bool {
         false // no dictionary: tuples carry their values directly
     }
+
+    fn storage_bytes(&self) -> usize {
+        // Per entry: the boxed value row, the annotation, and the tree
+        // bookkeeping approximated by the entry struct itself.
+        let arity = self.vars.len();
+        self.map.len()
+            * (arity * std::mem::size_of::<Value>()
+                + std::mem::size_of::<Tuple>()
+                + std::mem::size_of::<K>())
+    }
 }
 
 #[cfg(test)]

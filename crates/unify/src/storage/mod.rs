@@ -32,11 +32,13 @@
 //! dominant cost (batched multi-query serving).
 
 mod columnar;
+mod compressed;
 mod encoded;
 mod map;
 mod sharded;
 
 pub use columnar::{BorrowedSlot, ColumnarRelation};
+pub use compressed::{CompressedAnn, CompressedBuilder, CompressedColumnar};
 pub use encoded::{EncodedDb, RefreshOutcome};
 pub use map::MapRelation;
 pub use sharded::ShardedColumnar;
@@ -56,11 +58,14 @@ pub enum Backend {
     /// Columnar backend (sorted code matrix + annotation column).
     #[default]
     Columnar,
+    /// Compressed columnar backend (bit-packed/RLE sorted blocks with
+    /// streaming kernels — see [`CompressedColumnar`]).
+    Compressed,
 }
 
 impl Backend {
     /// All backends, for exhaustive differential sweeps.
-    pub const ALL: [Backend; 2] = [Backend::Map, Backend::Columnar];
+    pub const ALL: [Backend; 3] = [Backend::Map, Backend::Columnar, Backend::Compressed];
 }
 
 impl fmt::Display for Backend {
@@ -68,6 +73,7 @@ impl fmt::Display for Backend {
         match self {
             Backend::Map => write!(f, "map"),
             Backend::Columnar => write!(f, "columnar"),
+            Backend::Compressed => write!(f, "compressed"),
         }
     }
 }
@@ -79,8 +85,9 @@ impl FromStr for Backend {
         match s {
             "map" => Ok(Backend::Map),
             "columnar" => Ok(Backend::Columnar),
+            "compressed" => Ok(Backend::Compressed),
             other => Err(format!(
-                "unknown backend '{other}' (expected 'map' or 'columnar')"
+                "unknown backend '{other}' (expected 'map', 'columnar' or 'compressed')"
             )),
         }
     }
@@ -365,6 +372,15 @@ pub trait Storage: Clone + fmt::Debug + Sized {
     /// `true` iff the dictionary actually grew (the ordered-map oracle
     /// has no dictionary and always returns `false`).
     fn prepare_values(&mut self, values: &[Value]) -> bool;
+
+    /// Approximate resident payload bytes of this relation — keys,
+    /// annotations and encoding metadata, excluding the shared value
+    /// dictionary. Vector-valued annotation carriers count at their
+    /// inline size (heap payloads behind them are not chased), so the
+    /// figure is an accounting estimate, not an allocator measurement;
+    /// it feeds the serving cache budget/compression-ratio reporting
+    /// and the memory-capped bench.
+    fn storage_bytes(&self) -> usize;
 }
 
 #[cfg(test)]
@@ -401,8 +417,13 @@ mod tests {
     fn backend_parses_and_displays() {
         assert_eq!("map".parse::<Backend>().unwrap(), Backend::Map);
         assert_eq!("columnar".parse::<Backend>().unwrap(), Backend::Columnar);
+        assert_eq!(
+            "compressed".parse::<Backend>().unwrap(),
+            Backend::Compressed
+        );
         assert!("btree".parse::<Backend>().is_err());
         assert_eq!(Backend::Columnar.to_string(), "columnar");
+        assert_eq!(Backend::Compressed.to_string(), "compressed");
         assert_eq!(Backend::default(), Backend::Columnar);
     }
 

@@ -502,6 +502,10 @@ impl<K: Clone + PartialEq + fmt::Debug + Send + Sync + 'static + 'static> Storag
     fn prepare_values(&mut self, values: &[Value]) -> bool {
         self.inner.prepare_values(values)
     }
+
+    fn storage_bytes(&self) -> usize {
+        self.inner.storage_bytes()
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Bench regression gate: working-tree BENCH_*.json vs git HEAD.
+
+Flow: regenerate the summaries on real hardware (`cargo bench -p
+hq-bench` without the CI env var, so `write_bench_summary` writes to
+the workspace root), then run this script. Every datapoint — keyed by
+(bench, workload, threads) — whose fresh mean_ns exceeds the HEAD
+baseline by more than the threshold is reported; any such slowdown
+fails the gate.
+
+Files or datapoints that exist on only one side are reported but never
+fail the gate (benches gain and lose workloads as they evolve).
+
+Under HQ_BENCH_SMOKE the comparison still runs and prints (so CI
+exercises the plumbing), but the exit code is forced to 0: smoke-sized
+numbers say nothing about real regressions, and CI hardware is not the
+hardware the baselines were recorded on.
+
+Stdlib only; exit 0 = gate passed (or advisory mode), 1 = regression,
+2 = usage/environment error.
+"""
+
+import glob
+import json
+import math
+import os
+import subprocess
+import sys
+
+THRESHOLD = float(os.environ.get("HQ_BENCH_GATE_THRESHOLD", "1.25"))
+
+
+def load_head(path):
+    """The checked-in (git HEAD) version of `path`, or None if new."""
+    proc = subprocess.run(
+        ["git", "show", f"HEAD:{path}"],
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    if proc.returncode != 0:
+        return None
+    return json.loads(proc.stdout)
+
+
+def datapoints(doc):
+    """{(workload, threads): mean_ns} for one summary document."""
+    out = {}
+    for e in doc.get("entries", []):
+        mean = e.get("mean_ns")
+        if isinstance(mean, (int, float)) and math.isfinite(mean) and mean > 0:
+            out[(e.get("workload"), e.get("threads"))] = float(mean)
+    return out
+
+
+def main():
+    root = subprocess.run(
+        ["git", "rev-parse", "--show-toplevel"],
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    if root.returncode != 0:
+        print("bench_gate: not inside a git repository", file=sys.stderr)
+        return 2
+    os.chdir(root.stdout.strip())
+
+    files = sorted(glob.glob("BENCH_*.json"))
+    if not files:
+        print("bench_gate: no BENCH_*.json summaries found", file=sys.stderr)
+        return 2
+
+    regressions = []
+    for path in files:
+        with open(path) as f:
+            fresh = json.load(f)
+        base = load_head(path)
+        if base is None:
+            print(f"{path}: new summary (no HEAD baseline) — skipped")
+            continue
+        fresh_points = datapoints(fresh)
+        base_points = datapoints(base)
+        compared = 0
+        for key, base_ns in sorted(base_points.items()):
+            if key not in fresh_points:
+                print(f"{path}: {key} dropped from fresh run — skipped")
+                continue
+            compared += 1
+            ratio = fresh_points[key] / base_ns
+            if ratio > THRESHOLD:
+                regressions.append((path, key, base_ns, fresh_points[key], ratio))
+        extra = set(fresh_points) - set(base_points)
+        note = f", {len(extra)} new" if extra else ""
+        print(f"{path}: {compared} datapoints compared{note}")
+
+    if regressions:
+        print(f"\nslowdowns beyond {THRESHOLD:.2f}x:")
+        for path, (workload, threads), base_ns, fresh_ns, ratio in regressions:
+            print(
+                f"  {path} {workload} (threads={threads}): "
+                f"{base_ns / 1e6:.3f} -> {fresh_ns / 1e6:.3f} ms ({ratio:.2f}x)"
+            )
+
+    if os.environ.get("HQ_BENCH_SMOKE"):
+        print("\nbench_gate: HQ_BENCH_SMOKE set — advisory only, exiting 0")
+        return 0
+    if regressions:
+        return 1
+    print("\nbench_gate: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,7 +1,8 @@
 //! Differential testing of the storage backends: the ordered-map
-//! oracle vs the columnar fast path must agree **exactly** — result
-//! value (bit-for-bit on floats), support trajectory, and ⊕/⊗ operation
-//! counts — on random hierarchical instances, for every monoid family.
+//! oracle vs the columnar fast path vs the compressed block tier must
+//! agree **exactly** — result value (bit-for-bit on floats), support
+//! trajectory, and ⊕/⊗ operation counts — on random hierarchical
+//! instances, for every monoid family.
 
 mod common;
 
@@ -35,14 +36,21 @@ proptest! {
         let (pc, sc) = pqe::probability_with_stats_on(
             Backend::Columnar, &inst.query, &inst.interner, &tid,
         ).unwrap();
+        let (pz, sz) = pqe::probability_with_stats_on(
+            Backend::Compressed, &inst.query, &inst.interner, &tid,
+        ).unwrap();
         prop_assert_eq!(pm.to_bits(), pc.to_bits(), "map {} vs columnar {}", pm, pc);
+        prop_assert_eq!(pm.to_bits(), pz.to_bits(), "map {} vs compressed {}", pm, pz);
         prop_assert_eq!(&sm, &sc, "stats diverged on {}", inst.query);
+        prop_assert_eq!(&sm, &sz, "compressed stats diverged on {}", inst.query);
         prop_assert!(sm.support_never_grew());
         prop_assert_eq!(sm.total_ops(), sc.total_ops());
     }
 
     /// The counting semiring (annihilating: one-sided merges skip ⊗)
-    /// agrees on value and op accounting.
+    /// agrees on value and op accounting — including the compressed
+    /// merge's block-skip path, which must skip rows without ops
+    /// exactly as the dense merge steps past them.
     #[test]
     fn count_backends_agree(seed in 0u64..1_000_000) {
         let mut inst = random_instance(seed, 5, 5, 6, 3);
@@ -59,10 +67,15 @@ proptest! {
             Backend::Map, &CountMonoid, &inst.query, &inst.interner, facts.clone(),
         ).unwrap();
         let (vc, sc) = evaluate_on(
-            Backend::Columnar, &CountMonoid, &inst.query, &inst.interner, facts,
+            Backend::Columnar, &CountMonoid, &inst.query, &inst.interner, facts.clone(),
+        ).unwrap();
+        let (vz, sz) = evaluate_on(
+            Backend::Compressed, &CountMonoid, &inst.query, &inst.interner, facts,
         ).unwrap();
         prop_assert_eq!(vm, vc, "{}", inst.query);
-        prop_assert_eq!(sm, sc);
+        prop_assert_eq!(vm, vz, "compressed diverged on {}", inst.query);
+        prop_assert_eq!(&sm, &sc);
+        prop_assert_eq!(&sm, &sz);
     }
 
     /// Bag-Set Maximization (non-annihilating monoid, 0-filled merges,
@@ -92,8 +105,13 @@ proptest! {
         let col = bsm::maximize_on(
             Backend::Columnar, &inst.query, &inst.interner, &d, &d_r, theta,
         ).unwrap();
+        let cmp = bsm::maximize_on(
+            Backend::Compressed, &inst.query, &inst.interner, &d, &d_r, theta,
+        ).unwrap();
         prop_assert_eq!(&map.curve, &col.curve, "{} θ={}", inst.query, theta);
+        prop_assert_eq!(&map.curve, &cmp.curve, "compressed: {} θ={}", inst.query, theta);
         prop_assert_eq!(&map.stats, &col.stats);
+        prop_assert_eq!(&map.stats, &cmp.stats);
         prop_assert!(map.stats.support_never_grew());
     }
 
@@ -119,14 +137,20 @@ proptest! {
             Backend::Map, &monoid, &inst.query, &inst.interner, annotated.clone(),
         ).unwrap();
         let (vc, sc) = evaluate_on(
-            Backend::Columnar, &monoid, &inst.query, &inst.interner, annotated,
+            Backend::Columnar, &monoid, &inst.query, &inst.interner, annotated.clone(),
         ).unwrap();
-        prop_assert_eq!(vm, vc, "{}", inst.query);
-        prop_assert_eq!(sm, sc);
+        let (vz, sz) = evaluate_on(
+            Backend::Compressed, &monoid, &inst.query, &inst.interner, annotated,
+        ).unwrap();
+        prop_assert_eq!(&vm, &vc, "{}", inst.query);
+        prop_assert_eq!(&vm, &vz, "compressed diverged on {}", inst.query);
+        prop_assert_eq!(&sm, &sc);
+        prop_assert_eq!(&sm, &sz);
     }
 
     /// The incremental maintainer stays bit-identical across backends
-    /// through a random update schedule.
+    /// through a random update schedule (the compressed tier's point
+    /// writes go through block edits).
     #[test]
     fn incremental_backends_agree(seed in 0u64..1_000_000) {
         let mut inst = random_instance(seed, 4, 4, 4, 3);
@@ -144,9 +168,13 @@ proptest! {
         let mut map_run =
             IncrementalRun::new(ProbMonoid, &inst.query, &inst.interner, tid.clone()).unwrap();
         let mut col_run: IncrementalRun<ProbMonoid, hq_unify::ColumnarRelation<f64>> =
+            IncrementalRun::with_storage(ProbMonoid, &inst.query, &inst.interner, tid.clone())
+                .unwrap();
+        let mut cmp_run: IncrementalRun<ProbMonoid, hq_unify::CompressedColumnar<f64>> =
             IncrementalRun::with_storage(ProbMonoid, &inst.query, &inst.interner, tid)
                 .unwrap();
         prop_assert_eq!(map_run.result().to_bits(), col_run.result().to_bits());
+        prop_assert_eq!(map_run.result().to_bits(), cmp_run.result().to_bits());
         for _ in 0..6 {
             let f = &facts[inst.rng.gen_range(0..facts.len())];
             let p = if inst.rng.gen_bool(0.25) {
@@ -156,7 +184,9 @@ proptest! {
             };
             let a = *map_run.update(&inst.interner, f, p).unwrap();
             let b = *col_run.update(&inst.interner, f, p).unwrap();
+            let c = *cmp_run.update(&inst.interner, f, p).unwrap();
             prop_assert_eq!(a.to_bits(), b.to_bits(), "after {} := {}", f.display(&inst.interner), p);
+            prop_assert_eq!(a.to_bits(), c.to_bits(), "compressed after {} := {}", f.display(&inst.interner), p);
         }
     }
 
@@ -183,8 +213,41 @@ proptest! {
             Backend::Map, &m, &inst.query, &inst.interner, annotated.clone(),
         ).unwrap();
         let (_, sc) = evaluate_on(
-            Backend::Columnar, &m, &inst.query, &inst.interner, annotated,
+            Backend::Columnar, &m, &inst.query, &inst.interner, annotated.clone(),
+        ).unwrap();
+        let (_, sz) = evaluate_on(
+            Backend::Compressed, &m, &inst.query, &inst.interner, annotated,
         ).unwrap();
         prop_assert_eq!(&sm.support_sizes, &sc.support_sizes, "{}", inst.query);
+        prop_assert_eq!(&sm.support_sizes, &sz.support_sizes, "{}", inst.query);
     }
+}
+
+/// Pathological-for-RLE pin: every key and every annotation distinct,
+/// so run-length and dictionary encodings win nothing anywhere — key
+/// columns fall back to Delta/FOR bit-packing, annotation columns to
+/// the dense layout — and the answer still matches the oracle bit for
+/// bit across several block boundaries (> [`BLOCK_ROWS`] rows).
+#[test]
+fn all_distinct_columns_stay_bit_identical() {
+    use hq_db::Tuple;
+    let q = hq_query::parse_query("Q() :- E(X,Y), F(Y,Z)").unwrap();
+    let mut interner = hq_db::Interner::new();
+    let e = interner.intern("E");
+    let f = interner.intern("F");
+    let n = 10_000i64;
+    let mut tid: Vec<(Fact, f64)> = Vec::new();
+    for i in 0..n {
+        // Distinct first columns, distinct join keys, and a distinct
+        // probability per fact (strictly increasing, no two equal).
+        let p_e = 0.25 + (i as f64) * 1e-5;
+        let p_f = 0.50 + (i as f64) * 1e-5;
+        tid.push((Fact::new(e, Tuple::ints(&[i, n + i])), p_e));
+        tid.push((Fact::new(f, Tuple::ints(&[n + i, 2 * n + i])), p_f));
+    }
+    let (pm, sm) = pqe::probability_with_stats_on(Backend::Map, &q, &interner, &tid).unwrap();
+    let (pz, sz) =
+        pqe::probability_with_stats_on(Backend::Compressed, &q, &interner, &tid).unwrap();
+    assert_eq!(pm.to_bits(), pz.to_bits(), "map {pm} vs compressed {pz}");
+    assert_eq!(sm, sz);
 }

@@ -6,8 +6,8 @@
 //! evaluation of the current state: values bit-for-bit on floats, and
 //! the reported [`EngineStats`] (⊕/⊗ op counts *and* support
 //! trajectory) equal to the fresh run's — on the ordered-map oracle,
-//! the sequential columnar backend, and the sharded backend at thread
-//! counts 2 and 8.
+//! the sequential columnar backend, the compressed block tier, and the
+//! sharded backend at thread counts 2 and 8.
 //!
 //! Non-prop pins: a batch of overlapping queries must perform strictly
 //! fewer monoid operations than independent `evaluate_encoded` calls
@@ -22,8 +22,8 @@ use hq_monoid::{BagMaxMonoid, CountMonoid, ProbMonoid, TwoMonoid};
 use hq_query::Query;
 use hq_unify::engine::EngineStats;
 use hq_unify::{
-    evaluate_encoded, evaluate_on, ColumnarRelation, EncodedDb, MapRelation, Parallelism,
-    ServingBackend, ServingSession, ShardedColumnar,
+    evaluate_encoded, evaluate_on, ColumnarRelation, CompressedAnn, CompressedColumnar, EncodedDb,
+    MapRelation, Parallelism, ServingBackend, ServingSession, ShardedColumnar,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -33,17 +33,26 @@ use rand::Rng;
 const THREADS: [usize; 2] = [2, 8];
 
 /// One serving session per backend flavour, all fed the same script.
-struct Fleet<M: TwoMonoid> {
+struct Fleet<M: TwoMonoid>
+where
+    M::Elem: CompressedAnn,
+{
     map: ServingSession<M, MapRelation<M::Elem>>,
     columnar: ServingSession<M, ColumnarRelation<M::Elem>>,
+    compressed: ServingSession<M, CompressedColumnar<M::Elem>>,
     sharded: Vec<ServingSession<M, ShardedColumnar<M::Elem>>>,
 }
 
-impl<M: TwoMonoid + Clone> Fleet<M> {
+impl<M: TwoMonoid + Clone> Fleet<M>
+where
+    M::Elem: CompressedAnn,
+{
     fn build(monoid: &M, interner: &Interner, facts: &[(Fact, M::Elem)]) -> Self {
         Fleet {
             map: ServingSession::new(monoid.clone(), interner, facts.iter().cloned()).unwrap(),
             columnar: ServingSession::new(monoid.clone(), interner, facts.iter().cloned()).unwrap(),
+            compressed: ServingSession::new(monoid.clone(), interner, facts.iter().cloned())
+                .unwrap(),
             sharded: THREADS
                 .iter()
                 .map(|&t| {
@@ -63,6 +72,7 @@ impl<M: TwoMonoid + Clone> Fleet<M> {
     fn configure(&mut self, f: impl Fn(&mut dyn SessionKnobs)) {
         f(&mut self.map);
         f(&mut self.columnar);
+        f(&mut self.compressed);
         for s in &mut self.sharded {
             f(s);
         }
@@ -75,6 +85,9 @@ impl<M: TwoMonoid + Clone> Fleet<M> {
         let (got, stats) = self.columnar.query(interner, q).unwrap();
         assert_eq!(want, got, "columnar session diverged on {q}");
         assert_eq!(want_stats, stats, "columnar stats diverged on {q}");
+        let (got, stats) = self.compressed.query(interner, q).unwrap();
+        assert_eq!(want, got, "compressed session diverged on {q}");
+        assert_eq!(want_stats, stats, "compressed stats diverged on {q}");
         for s in &mut self.sharded {
             let (got, stats) = s.query(interner, q).unwrap();
             assert_eq!(want, got, "sharded session diverged on {q}");
@@ -86,6 +99,7 @@ impl<M: TwoMonoid + Clone> Fleet<M> {
     fn update_batch(&mut self, interner: &Interner, batch: &[(Fact, M::Elem)]) {
         self.map.update_batch(interner, batch).unwrap();
         self.columnar.update_batch(interner, batch).unwrap();
+        self.compressed.update_batch(interner, batch).unwrap();
         for s in &mut self.sharded {
             s.update_batch(interner, batch).unwrap();
         }
@@ -344,6 +358,10 @@ proptest! {
                 prop_assert_eq!(&stats, &fresh_stats, "evicting stats on {}", q);
                 prop_assert!(fleet.columnar.cached_rows() <= budget, "budget violated");
                 prop_assert!(fleet.map.cached_rows() <= budget, "budget violated (map)");
+                prop_assert!(
+                    fleet.compressed.cached_rows() <= budget,
+                    "budget violated (compressed)"
+                );
             }
             // Delete-heavy: every other write of the batch becomes a
             // delete on top of random_batch's own deletions.
@@ -527,6 +545,19 @@ fn shared_serving_beats_independent_evaluation_on_every_backend() {
         &independent,
         independent_total,
         "columnar(threads=1)",
+    );
+    check(
+        ServingSession::<_, CompressedColumnar<f64>>::new(
+            ProbMonoid,
+            &interner,
+            tid.iter().cloned(),
+        )
+        .unwrap(),
+        &interner,
+        &queries,
+        &independent,
+        independent_total,
+        "compressed",
     );
     for t in THREADS {
         check(
@@ -839,6 +870,89 @@ fn unrelated_warm_pipeline_survives_novel_value_insert() {
     assert_eq!(got.to_bits(), want.to_bits());
     assert_eq!(stats, want_stats);
     assert_eq!(session.ops_performed(), after_patch, "E was fully patched");
+}
+
+/// Spill-on-evict pin: with a tiny cache budget and spilling enabled,
+/// evicted compressed nodes round-trip through the temp segment file —
+/// after one warm round, alternating between two disjoint pipelines is
+/// served *entirely* from reloads (zero further monoid ops), while
+/// every answer (value, op counts, support trajectory) stays
+/// bit-identical to fresh evaluation.
+#[test]
+fn spilled_nodes_reload_bit_identical_instead_of_recomputing() {
+    let (tid, interner, _) = chain_instance();
+    let current: std::collections::BTreeMap<Fact, f64> = tid.iter().cloned().collect();
+    let q_e = hq_query::parse_query("Q() :- E(X,Y)").unwrap();
+    let q_f = hq_query::parse_query("Q() :- F(Y,Z)").unwrap();
+    let mut session: ServingSession<ProbMonoid, CompressedColumnar<f64>> =
+        ServingSession::new(ProbMonoid, &interner, tid.iter().cloned()).unwrap();
+    assert!(session.set_spill(true), "the f64 carrier is spillable");
+    assert!(session.spill_enabled());
+    // One cached row at most: each pipeline's eviction pressure pushes
+    // the other pipeline's nodes out (and, spilling, onto disk).
+    session.set_cache_budget(Some(1));
+    let mut after_round = Vec::new();
+    for _ in 0..3 {
+        for q in [&q_e, &q_f] {
+            let (got, stats) = session.query(&interner, q).unwrap();
+            let (want, want_stats) = fresh_encoded(&ProbMonoid, q, &interner, &current);
+            assert_eq!(got.to_bits(), want.to_bits(), "spilling session on {q}");
+            assert_eq!(stats, want_stats, "spilled stats on {q}");
+        }
+        after_round.push(session.ops_performed());
+    }
+    assert!(
+        session.spill_writes() >= 1,
+        "evictions must hit the segment"
+    );
+    assert!(
+        session.spill_reloads() >= 1,
+        "re-served queries must come back from disk, not recompute"
+    );
+    assert!(session.spilled_bytes() > 0);
+    assert_eq!(
+        after_round[0], after_round[2],
+        "after the warm round, reloads perform zero monoid ops \
+         (recompute would pay the full pipeline each round)"
+    );
+    // The spilled bytes stay exact across an update touching them: the
+    // stale entries are dropped, not reloaded.
+    let e_fact = tid
+        .iter()
+        .find(|(f, _)| interner.resolve(f.rel) == "E")
+        .unwrap()
+        .0
+        .clone();
+    session.update(&interner, &e_fact, 0.123).unwrap();
+    let mut current = current;
+    current.insert(e_fact, 0.123);
+    let (got, stats) = session.query(&interner, &q_e).unwrap();
+    let (want, want_stats) = fresh_encoded(&ProbMonoid, &q_e, &interner, &current);
+    assert_eq!(got.to_bits(), want.to_bits(), "post-update reload");
+    assert_eq!(stats, want_stats);
+}
+
+/// Spilling is an opt-in that only the compressed tier with a
+/// byte-codable carrier can honour: `set_spill(true)` reports `false`
+/// (and stays off) on dense columnar nodes and on heap-carried
+/// annotations with no stable byte encoding.
+#[test]
+fn spill_is_refused_off_the_compressed_tier_and_for_heap_carriers() {
+    let (tid, interner, _) = chain_instance();
+    let mut col: ServingSession<ProbMonoid, ColumnarRelation<f64>> =
+        ServingSession::new(ProbMonoid, &interner, tid.iter().cloned()).unwrap();
+    assert!(!col.set_spill(true), "dense columnar nodes never spill");
+    assert!(!col.spill_enabled());
+    let monoid = hq_monoid::SatCountMonoid::new(tid.len());
+    let sat_facts: Vec<(Fact, hq_monoid::SatVec)> =
+        tid.iter().map(|(f, _)| (f.clone(), monoid.one())).collect();
+    let mut sat: ServingSession<hq_monoid::SatCountMonoid, CompressedColumnar<hq_monoid::SatVec>> =
+        ServingSession::new(monoid, &interner, sat_facts).unwrap();
+    assert!(
+        !sat.set_spill(true),
+        "#Sat vectors are heap-carried: compressed nodes hold them but cannot spill them"
+    );
+    assert!(!sat.spill_enabled());
 }
 
 /// Updates touching one relation leave the other relation's cached
