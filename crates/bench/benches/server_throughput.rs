@@ -1,0 +1,286 @@
+//! Multi-tenant serving throughput: queries/sec vs concurrent client
+//! count over one shared [`hq_unify::Server`].
+//!
+//! Two variants at growing `|D|`:
+//!
+//! * **warm-cache** — N clients replay the overlapping query batch
+//!   against a fully materialised shared cache (every evaluation is a
+//!   zero-op replay; throughput measures the concurrent read path);
+//! * **update-interleaved** — the same N clients evaluate against
+//!   pinned epochs while a writer publishes a drift batch per round
+//!   (snapshot isolation keeps every answer deterministic).
+//!
+//! For each client count c the `serialised_*` baseline performs the
+//! same total work on one thread through c sessions taken in turn.
+//! Emits `BENCH_server_throughput.json` keyed by client count (the
+//! `threads` field). Bit-identity is asserted in-bench: every reply,
+//! concurrent or serial, pinned or current, must equal its serial
+//! oracle bit for bit — and the persistent pool must spawn **zero**
+//! threads per request after warmup.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hq_bench::{
+    chain_tid, host_threads, smoke_mode, thread_sweep, write_bench_summary, SummaryEntry,
+    TidWorkload,
+};
+use hq_db::Fact;
+use hq_monoid::ProbMonoid;
+use hq_query::{parse_query, Query};
+use hq_unify::{ColumnarRelation, Parallelism, Server, ServingSession};
+use std::collections::BTreeMap;
+
+/// Concurrent client counts — the `threads` axis of the summary.
+const CLIENTS: [usize; 4] = [1, 2, 4, 8];
+
+/// The overlapping query batch every client serves per round.
+fn query_batch() -> Vec<Query> {
+    [
+        "Q() :- E(X,Y), F(Y,Z)",
+        "Q() :- E(X,Y)",
+        "Q() :- F(Y,Z)",
+        "Q() :- E(X,Y), F(Y,Z)",
+    ]
+    .iter()
+    .map(|s| parse_query(s).unwrap())
+    .collect()
+}
+
+/// Serial oracle: the expected bits for every query at one state.
+fn oracle_bits(w: &TidWorkload, state: &BTreeMap<Fact, f64>, queries: &[Query]) -> Vec<u64> {
+    let mut session: ServingSession<ProbMonoid, ColumnarRelation<f64>> = ServingSession::new(
+        ProbMonoid,
+        &w.interner,
+        state.iter().map(|(f, p)| (f.clone(), *p)),
+    )
+    .unwrap();
+    queries
+        .iter()
+        .map(|q| session.query(&w.interner, q).unwrap().0.to_bits())
+        .collect()
+}
+
+/// One concurrent round: `c` pinned reader sessions each serve the
+/// whole batch on their own thread; every reply must match `expect`.
+fn concurrent_round(
+    server: &Server<ProbMonoid, ColumnarRelation<f64>>,
+    w: &TidWorkload,
+    queries: &[Query],
+    expect: &[u64],
+    c: usize,
+    reps: usize,
+) {
+    let mut sessions: Vec<_> = (0..c)
+        .map(|_| {
+            let mut s = server.session();
+            s.pin();
+            s
+        })
+        .collect();
+    std::thread::scope(|scope| {
+        for session in &mut sessions {
+            scope.spawn(move || {
+                for _ in 0..reps {
+                    for (q, want) in queries.iter().zip(expect.iter()) {
+                        let (got, _) = session.query(&w.interner, q).unwrap();
+                        assert_eq!(got.to_bits(), *want, "concurrent reply diverged on {q}");
+                    }
+                }
+            });
+        }
+    });
+}
+
+/// The serialised baseline: the same `c × |queries|` evaluations on
+/// one thread, through `c` distinct sessions taken in turn.
+fn serial_round(
+    server: &Server<ProbMonoid, ColumnarRelation<f64>>,
+    w: &TidWorkload,
+    queries: &[Query],
+    expect: &[u64],
+    c: usize,
+    reps: usize,
+) {
+    let mut sessions: Vec<_> = (0..c)
+        .map(|_| {
+            let mut s = server.session();
+            s.pin();
+            s
+        })
+        .collect();
+    for session in &mut sessions {
+        for _ in 0..reps {
+            for (q, want) in queries.iter().zip(expect.iter()) {
+                let (got, _) = session.query(&w.interner, q).unwrap();
+                assert_eq!(got.to_bits(), *want, "serial reply diverged on {q}");
+            }
+        }
+    }
+}
+
+fn bench_server(c: &mut Criterion) {
+    let mut group = c.benchmark_group("server_throughput");
+    group.sample_size(10);
+    let w = chain_tid(1_000, 17);
+    let queries = query_batch();
+    let state: BTreeMap<Fact, f64> = w.tid.iter().cloned().collect();
+    let expect = oracle_bits(&w, &state, &queries);
+    let server: Server<ProbMonoid, ColumnarRelation<f64>> =
+        Server::new(ProbMonoid, &w.interner, w.tid.iter().cloned()).unwrap();
+    server.session().query(&w.interner, &queries[0]).unwrap();
+    for c_n in [1usize, 4] {
+        group.bench_function(BenchmarkId::new("warm_concurrent", c_n), |b| {
+            b.iter(|| concurrent_round(&server, &w, &queries, &expect, c_n, 8))
+        });
+        group.bench_function(BenchmarkId::new("warm_serialised", c_n), |b| {
+            b.iter(|| serial_round(&server, &w, &queries, &expect, c_n, 8))
+        });
+    }
+    group.finish();
+}
+
+fn bench_server_summary(_c: &mut Criterion) {
+    println!("\n== server_throughput (4 queries per client per round)");
+    let mut entries: Vec<SummaryEntry> = Vec::new();
+    let queries = query_batch();
+    let sizes: &[usize] = if smoke_mode() {
+        &[1_000]
+    } else {
+        &[1_000, 4_000]
+    };
+    let iters = if smoke_mode() { 3 } else { 8 };
+    // Repetitions of the query batch per client per measured round:
+    // enough work per scoped thread that spawn overhead cannot mask
+    // the concurrency win the acceptance assertion looks for.
+    let reps = if smoke_mode() { 4 } else { 64 };
+    let mut warm_at_largest: Vec<(usize, f64, f64)> = Vec::new(); // (c, concurrent, serial)
+    for (si, &n) in sizes.iter().enumerate() {
+        let w = chain_tid(n, 17);
+        let d = w.tid.len();
+        let state: BTreeMap<Fact, f64> = w.tid.iter().cloned().collect();
+        let expect = oracle_bits(&w, &state, &queries);
+        // The server warms the persistent pool at construction; after
+        // the first query materialises the shared nodes, no request —
+        // concurrent or not — may spawn a pool thread.
+        let server: Server<ProbMonoid, ColumnarRelation<f64>> = Server::with_parallelism(
+            ProbMonoid,
+            &w.interner,
+            w.tid.iter().cloned(),
+            Parallelism::default(),
+        )
+        .unwrap();
+        server.session().query(&w.interner, &queries[0]).unwrap();
+        let spawned = hq_unify::pool::spawn_count();
+
+        // --- Warm cache: replays only.
+        for &c in &CLIENTS {
+            let conc = thread_sweep(&format!("warm_concurrent_{d}"), &[c], iters, |_| {
+                concurrent_round(&server, &w, &queries, &expect, c, reps);
+            });
+            let ser = thread_sweep(&format!("warm_serialised_{d}"), &[c], iters, |_| {
+                serial_round(&server, &w, &queries, &expect, c, reps);
+            });
+            if si + 1 == sizes.len() {
+                warm_at_largest.push((c, conc[0].mean_ns, ser[0].mean_ns));
+            }
+            entries.extend(conc);
+            entries.extend(ser);
+        }
+
+        // --- Update-interleaved: pinned readers race a writer that
+        // publishes one drift batch per measured round. Oracles are
+        // precomputed per epoch, so every pinned reply is still
+        // checked bit-for-bit.
+        // `mean_ns` runs one warmup call plus `iters` measured calls
+        // per sweep entry; the +8 is slack so the oracle table can
+        // never run out ahead of the epoch counter.
+        let rounds = (iters + 1) * CLIENTS.len() + 8;
+        let mut model = state.clone();
+        let mut epoch_expect: Vec<Vec<u64>> = vec![expect.clone()];
+        let batches: Vec<Vec<(Fact, f64)>> = (0..rounds)
+            .map(|j| {
+                let (f, _) = &w.tid[(j * 7919) % w.tid.len()];
+                let p = 0.05 + 0.9 * ((j % 89) as f64) / 89.0;
+                vec![(f.clone(), p)]
+            })
+            .collect();
+        for b in &batches {
+            for (f, p) in b {
+                model.insert(f.clone(), *p);
+            }
+            epoch_expect.push(oracle_bits(&w, &model, &queries));
+        }
+        let upd_server: Server<ProbMonoid, ColumnarRelation<f64>> =
+            Server::new(ProbMonoid, &w.interner, w.tid.iter().cloned()).unwrap();
+        upd_server
+            .session()
+            .query(&w.interner, &queries[0])
+            .unwrap();
+        let mut round = 0usize;
+        for &c in &CLIENTS {
+            entries.extend(thread_sweep(
+                &format!("upd_concurrent_{d}"),
+                &[c],
+                iters,
+                |_| {
+                    let (w, queries) = (&w, &queries);
+                    let expect = &epoch_expect[upd_server.current_epoch() as usize];
+                    let batch = &batches[round % batches.len()];
+                    round += 1;
+                    let mut sessions: Vec<_> = (0..c)
+                        .map(|_| {
+                            let mut s = upd_server.session();
+                            s.pin();
+                            s
+                        })
+                        .collect();
+                    std::thread::scope(|scope| {
+                        for session in &mut sessions {
+                            let expect = &expect;
+                            scope.spawn(move || {
+                                for _ in 0..reps {
+                                    for (q, want) in queries.iter().zip(expect.iter()) {
+                                        let (got, _) = session.query(&w.interner, q).unwrap();
+                                        assert_eq!(
+                                            got.to_bits(),
+                                            *want,
+                                            "pinned reply diverged on {q}"
+                                        );
+                                    }
+                                }
+                            });
+                        }
+                        scope.spawn(|| {
+                            upd_server.update_batch(&w.interner, batch).unwrap();
+                        });
+                    });
+                },
+            ));
+        }
+        assert_eq!(
+            hq_unify::pool::spawn_count(),
+            spawned,
+            "serving spawned pool threads per request at |D| = {d}"
+        );
+    }
+    // The acceptance bar: on a host with real parallelism, concurrent
+    // readers must beat the serialised baseline at the largest size
+    // for the widest client count the host can actually run.
+    if !smoke_mode() && host_threads() >= 4 {
+        let (c, conc, ser) = warm_at_largest
+            .iter()
+            .filter(|(c, _, _)| *c <= host_threads())
+            .max_by_key(|(c, _, _)| *c)
+            .copied()
+            .expect("at least one client count measured");
+        assert!(
+            conc < ser,
+            "{c} concurrent readers did not beat the serialised baseline: \
+             {conc:.0} ns vs {ser:.0} ns"
+        );
+    }
+    let path = write_bench_summary("server_throughput", &entries).expect("summary written");
+    println!("summary: {path}");
+}
+
+criterion_group!(benches, bench_server, bench_server_summary);
+criterion_main!(benches);

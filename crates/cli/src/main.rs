@@ -26,10 +26,14 @@ use hq_db::{Database, Fact, Interner};
 use hq_query::{
     is_hierarchical, non_hierarchical_witness, parse_query, plan, witness_forest, Query,
 };
+use hq_unify::script::{
+    parse_command, parse_script, render_command, strip_comment, ScriptCommand, UpdateAction,
+};
 use hq_unify::{bsm, pqe, shapley, Backend, Parallelism};
 use std::process::ExitCode;
 
 mod args;
+mod serve;
 use args::Args;
 
 fn main() -> ExitCode {
@@ -59,6 +63,7 @@ fn run(argv: &[String]) -> Result<String, String> {
         "bsm" => cmd_bsm(&Args::parse(rest)?),
         "expected" => cmd_expected(&Args::parse(rest)?),
         "provenance" => cmd_provenance(&Args::parse(rest)?),
+        "serve" => serve::cmd_serve(&Args::parse(rest)?),
         "shapley" => cmd_shapley(&Args::parse(rest)?),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(format!("unknown command '{other}'; try 'hq help'")),
@@ -90,6 +95,22 @@ fn usage() -> String {
      \x20 bsm     --query <q> --db <file> --repair <file> --theta <n> [--witness]\n\
      \x20 expected --query <q> --db <file>                 expected bag-set value E[Q(D)]\n\
      \x20 provenance --query <q> --db <file>               provenance tree of Q over D\n\
+     \x20 serve   --db <file> --listen <addr:port>         multi-tenant serving server: each\n\
+     \x20                                                  connection is a snapshot-isolated\n\
+     \x20                                                  session over one shared plan cache;\n\
+     \x20                                                  the wire protocol is the script\n\
+     \x20                                                  grammar, one command per line\n\
+     \x20                                                  (`? <query>`, `R(..) [@ p]`,\n\
+     \x20                                                  `!R(..)`, plus `pin`/`unpin`/\n\
+     \x20                                                  `stats`/`quit`/`shutdown`)\n\
+     \x20         [--max-sessions <n>]                     refuse connections beyond n\n\
+     \x20                                                  concurrent sessions (default 64)\n\
+     \x20         [--global-cache-rows <n>]                memory governor: bound the rows\n\
+     \x20                                                  materialised across ALL sessions\n\
+     \x20                                                  (cost-aware-LRU eviction)\n\
+     \x20         [--max-live-epochs <n>]                  admission-control update bursts:\n\
+     \x20                                                  a writer blocks while n epochs\n\
+     \x20                                                  are still pinned by readers\n\
      \x20 shapley --query <q> --db <file> [--exogenous <file>]\n\
      \n\
      solver options:\n\
@@ -111,7 +132,7 @@ fn parse_query_arg(src: &str) -> Result<Query, String> {
 /// The storage backend selected by `--backend` (columnar by default).
 /// `--storage` is an accepted alias — the compressed tier makes the
 /// flag as much about physical layout as about algorithmic backend.
-fn backend_arg(args: &Args) -> Result<Backend, String> {
+pub(crate) fn backend_arg(args: &Args) -> Result<Backend, String> {
     match args.get("backend").or_else(|| args.get("storage")) {
         Some(name) => name.parse(),
         None => Ok(Backend::default()),
@@ -122,7 +143,7 @@ fn backend_arg(args: &Args) -> Result<Backend, String> {
 /// `max` = all hardware threads). Only the columnar backend shards.
 /// Warms the persistent worker pool immediately, so no evaluation —
 /// not even the first — spawns a thread on its own clock.
-fn threads_arg(args: &Args) -> Result<Parallelism, String> {
+pub(crate) fn threads_arg(args: &Args) -> Result<Parallelism, String> {
     let par: Parallelism = match args.get("threads") {
         Some(n) => n.parse()?,
         None => Parallelism::default(),
@@ -131,80 +152,13 @@ fn threads_arg(args: &Args) -> Result<Parallelism, String> {
     Ok(par)
 }
 
-fn load_db(path: &str, interner: &mut Interner) -> Result<(Database, Vec<(Fact, f64)>), String> {
+pub(crate) fn load_db(
+    path: &str,
+    interner: &mut Interner,
+) -> Result<(Database, Vec<(Fact, f64)>), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let parsed = parse_database(&text, interner).map_err(|e| format!("{path}: {e}"))?;
     Ok((parsed.database, parsed.weights))
-}
-
-/// One script line with `#` comments stripped, or `None` when nothing
-/// remains — the shared line discipline of the incremental and serve
-/// script readers.
-fn script_line(raw: &str) -> Option<&str> {
-    let line = match raw.split_once('#') {
-        Some((before, _)) => before.trim(),
-        None => raw.trim(),
-    };
-    if line.is_empty() {
-        None
-    } else {
-        Some(line)
-    }
-}
-
-/// What one update-script line asks for. The explicit delete stays
-/// distinguishable from a `0`-weight upsert so future monoid-sensitive
-/// script modes (#Sat/Shapley roles, where a zero-weight exogenous
-/// fact is meaningful) can consume the same grammar.
-enum UpdateAction {
-    /// `!R(v1, …)` — explicit delete.
-    Delete,
-    /// `R(v1, …) [@ p]` — upsert (a missing weight means `1`).
-    Weight(f64),
-}
-
-impl UpdateAction {
-    /// The probability-monoid annotation: under PQE a delete and a
-    /// zero weight coincide (`0` means absent), which is exactly why
-    /// `@ 0` survives as a deprecated delete alias in these modes.
-    fn prob_weight(&self) -> f64 {
-        match self {
-            UpdateAction::Delete => 0.0,
-            UpdateAction::Weight(w) => *w,
-        }
-    }
-}
-
-/// Parses one update line, with the shared error formatting of both
-/// script modes. The grammar:
-///
-/// * `R(v1, …) [@ p]` — upsert; a missing weight means `1`.
-/// * `!R(v1, …)` — **explicit delete**. This is the canonical delete
-///   form: it names the intent, not a weight.
-/// * `R(v1, …) @ 0` — *deprecated* delete alias, kept for existing
-///   prob-monoid scripts where a zero weight and an absent fact
-///   coincide. (Under other monoids a `0`-weight exogenous fact can be
-///   meaningful — new scripts should write `!R(…)`.)
-fn parse_update_line(
-    line: &str,
-    lineno: usize,
-    path: &str,
-    interner: &mut Interner,
-) -> Result<(Fact, UpdateAction), String> {
-    if let Some(rest) = line.strip_prefix('!') {
-        if rest.contains('@') {
-            return Err(format!(
-                "{path}: line {}: the delete form `!R(…)` takes no `@ weight`",
-                lineno + 1
-            ));
-        }
-        let (fact, _) = hq_db::text::parse_fact_line(rest.trim(), lineno + 1, interner)
-            .map_err(|e| format!("{path}: {e}"))?;
-        return Ok((fact, UpdateAction::Delete));
-    }
-    let (fact, weight) = hq_db::text::parse_fact_line(line, lineno + 1, interner)
-        .map_err(|e| format!("{path}: {e}"))?;
-    Ok((fact, UpdateAction::Weight(weight.unwrap_or(1.0))))
 }
 
 fn cmd_check(rest: &[String]) -> Result<String, String> {
@@ -350,10 +304,19 @@ fn cmd_pqe_incremental(
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let mut updates: Vec<(Fact, UpdateAction)> = Vec::new();
     for (lineno, raw) in text.lines().enumerate() {
-        let Some(line) = script_line(raw) else {
+        let Some(line) = strip_comment(raw) else {
             continue;
         };
-        updates.push(parse_update_line(line, lineno, path, interner)?);
+        match parse_command(line, lineno, path, interner)? {
+            ScriptCommand::Update(fact, action) => updates.push((fact, action)),
+            ScriptCommand::Query(_) => {
+                return Err(format!(
+                    "{path}: line {}: queries (`? …`) belong to --mode serve scripts; \
+                     --updates files take only fact updates",
+                    lineno + 1
+                ))
+            }
+        }
     }
     // The three maintained-run flavours share only their update loop;
     // a tiny closure-based dispatch keeps the trajectory logic single.
@@ -407,10 +370,7 @@ fn cmd_pqe_incremental(
         let p = run.apply(interner, &writes)?;
         let label: Vec<String> = batch
             .iter()
-            .map(|(f, a)| match a {
-                UpdateAction::Delete => format!("!{}", f.display(interner)),
-                UpdateAction::Weight(w) => format!("{} @ {w}", f.display(interner)),
-            })
+            .map(|(f, a)| render_command(&ScriptCommand::Update(f.clone(), a.clone()), interner))
             .collect();
         out.push_str(&format!("{} -> P(Q) = {p:.9}\n", label.join(", ")));
     }
@@ -437,26 +397,11 @@ fn cmd_pqe_serve(
     use hq_unify::pqe::PqeSession;
     let path = args.require("script")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    enum Line {
-        Query(hq_query::Query),
-        Update(Fact, f64),
-    }
-    let mut script: Vec<Line> = Vec::new();
-    for (lineno, raw) in text.lines().enumerate() {
-        let Some(line) = script_line(raw) else {
-            continue;
-        };
-        if let Some(q_src) = line.strip_prefix('?') {
-            let q = parse_query(q_src.trim())
-                .map_err(|e| format!("{path}:{}: query: {e}", lineno + 1))?;
-            script.push(Line::Query(q));
-        } else {
-            let (fact, action) = parse_update_line(line, lineno, path, interner)?;
-            // The serving session is probability-monoid: a delete and
-            // a zero weight coincide (`0` means absent).
-            script.push(Line::Update(fact, action.prob_weight()));
-        }
-    }
+    // The shared script grammar (`hq_unify::script`) — the same parser
+    // the incremental mode and the `hq serve --listen` wire protocol
+    // consume. The serving session is probability-monoid: a delete and
+    // a zero weight coincide (`0` means absent).
+    let script: Vec<ScriptCommand> = parse_script(&text, path, interner)?;
     enum Session {
         Map(PqeSession<hq_unify::MapRelation<f64>>),
         Columnar(PqeSession),
@@ -576,8 +521,8 @@ fn cmd_pqe_serve(
     };
     for line in script {
         match line {
-            Line::Update(fact, p) => pending.push((fact, p)),
-            Line::Query(q) => {
+            ScriptCommand::Update(fact, action) => pending.push((fact, action.prob_weight())),
+            ScriptCommand::Query(q) => {
                 flush(&mut session, &mut pending, &mut out, interner)?;
                 let (p, stats) = session.query(interner, &q)?;
                 queries += 1;

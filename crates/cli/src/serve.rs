@@ -1,0 +1,496 @@
+//! `hq serve --listen` — the multi-tenant wire front-end.
+//!
+//! Each TCP connection becomes one snapshot-isolated
+//! [`hq_unify::Session`] over a single shared [`hq_unify::Server`]
+//! (one `EncodedDb`, one plan-node cache, one writer). The wire
+//! protocol **is** the script grammar of [`hq_unify::script`], one
+//! command per line, one response line per command:
+//!
+//! * `? <query>` → `<query> -> P(Q) = <p>` — evaluated against the
+//!   epoch current when the query starts (or the pinned one);
+//! * `R(v1, …) [@ p]` / `!R(v1, …)` → `ok epoch <e>` — a write,
+//!   serialised through the single-writer master and published as a
+//!   new epoch;
+//! * `pin` → `pinned epoch <e>` / `unpin` → `ok` — hold one snapshot
+//!   across writer activity;
+//! * `stats` → one line of server counters;
+//! * `quit` (close this session), `shutdown` (stop the server);
+//! * `# …` comments and blank lines are skipped without a response.
+//!
+//! Errors answer `error: …` and keep the connection open. Connections
+//! beyond `--max-sessions` are refused with `error: server full`.
+
+use crate::args::Args;
+use hq_db::{Fact, Interner};
+use hq_monoid::ProbMonoid;
+use hq_unify::script::{parse_command, strip_comment, ScriptCommand};
+use hq_unify::{
+    ColumnarRelation, CompressedColumnar, MapRelation, Server, ServingBackend, Session,
+    ShardedColumnar,
+};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// The four storage tiers behind one wire server. Mirrors the serve
+/// mode's `Session` dispatch: `--backend` + `--threads` select the
+/// variant once at startup.
+enum WireServer {
+    Map(Server<ProbMonoid, MapRelation<f64>>),
+    Columnar(Server<ProbMonoid, ColumnarRelation<f64>>),
+    Sharded(Server<ProbMonoid, ShardedColumnar<f64>>),
+    Compressed(Server<ProbMonoid, CompressedColumnar<f64>>),
+}
+
+/// One connection's session, matching its server's variant.
+enum WireSession {
+    Map(Session<ProbMonoid, MapRelation<f64>>),
+    Columnar(Session<ProbMonoid, ColumnarRelation<f64>>),
+    Sharded(Session<ProbMonoid, ShardedColumnar<f64>>),
+    Compressed(Session<ProbMonoid, CompressedColumnar<f64>>),
+}
+
+/// Forwards one accessor through the four variants.
+macro_rules! on_wire {
+    ($value:expr, $s:ident => $body:expr) => {
+        match $value {
+            WireServer::Map($s) => $body,
+            WireServer::Columnar($s) => $body,
+            WireServer::Sharded($s) => $body,
+            WireServer::Compressed($s) => $body,
+        }
+    };
+}
+
+macro_rules! on_wire_session {
+    ($value:expr, $s:ident => $body:expr) => {
+        match $value {
+            WireSession::Map($s) => $body,
+            WireSession::Columnar($s) => $body,
+            WireSession::Sharded($s) => $body,
+            WireSession::Compressed($s) => $body,
+        }
+    };
+}
+
+impl Clone for WireServer {
+    fn clone(&self) -> Self {
+        match self {
+            WireServer::Map(s) => WireServer::Map(s.clone()),
+            WireServer::Columnar(s) => WireServer::Columnar(s.clone()),
+            WireServer::Sharded(s) => WireServer::Sharded(s.clone()),
+            WireServer::Compressed(s) => WireServer::Compressed(s.clone()),
+        }
+    }
+}
+
+impl WireServer {
+    fn build(
+        backend: hq_unify::Backend,
+        par: hq_unify::Parallelism,
+        interner: &Interner,
+        tid: &[(Fact, f64)],
+    ) -> Result<WireServer, String> {
+        fn mk<R: ServingBackend<Ann = f64>>(
+            interner: &Interner,
+            tid: &[(Fact, f64)],
+            par: hq_unify::Parallelism,
+        ) -> Result<Server<ProbMonoid, R>, String> {
+            Server::with_parallelism(ProbMonoid, interner, tid.iter().cloned(), par)
+                .map_err(|e| e.to_string())
+        }
+        Ok(match (backend, par.is_parallel()) {
+            (hq_unify::Backend::Map, _) => WireServer::Map(mk(interner, tid, par)?),
+            (hq_unify::Backend::Columnar, false) => WireServer::Columnar(mk(interner, tid, par)?),
+            (hq_unify::Backend::Columnar, true) => WireServer::Sharded(mk(interner, tid, par)?),
+            // The compressed kernels are sequential; the thread count
+            // only affects the worker pool the other tiers shard over.
+            (hq_unify::Backend::Compressed, _) => WireServer::Compressed(mk(interner, tid, par)?),
+        })
+    }
+
+    fn session(&self) -> WireSession {
+        match self {
+            WireServer::Map(s) => WireSession::Map(s.session()),
+            WireServer::Columnar(s) => WireSession::Columnar(s.session()),
+            WireServer::Sharded(s) => WireSession::Sharded(s.session()),
+            WireServer::Compressed(s) => WireSession::Compressed(s.session()),
+        }
+    }
+
+    fn set_global_cache_rows(&self, budget: Option<usize>) {
+        on_wire!(self, s => s.set_global_cache_rows(budget));
+    }
+
+    fn set_max_live_epochs(&self, max: Option<usize>) {
+        on_wire!(self, s => s.set_max_live_epochs(max));
+    }
+
+    fn current_epoch(&self) -> u64 {
+        on_wire!(self, s => s.current_epoch())
+    }
+
+    fn stats_line(&self) -> String {
+        on_wire!(self, s => format!(
+            "epoch {}; {} live epoch(s); {} cached node(s), {} rows, {} B; \
+             {} evicted; {} ops performed; {} plan hit(s)",
+            s.current_epoch(),
+            s.live_epochs(),
+            s.cached_nodes(),
+            s.materialised_rows(),
+            s.storage_bytes(),
+            s.evictions(),
+            s.ops_performed(),
+            s.plan_hits(),
+        ))
+    }
+}
+
+impl WireSession {
+    fn query(&self, i: &Interner, q: &hq_query::Query) -> Result<f64, String> {
+        on_wire_session!(self, s => s.query(i, q).map(|(p, _)| p)).map_err(|e| e.to_string())
+    }
+
+    fn update(&self, i: &Interner, fact: Fact, weight: f64) -> Result<(), String> {
+        on_wire_session!(self, s => s.update_batch(i, &[(fact, weight)]).map(|_| ()))
+            .map_err(|e| e.to_string())
+    }
+
+    fn pin(&mut self) -> u64 {
+        on_wire_session!(self, s => s.pin())
+    }
+
+    fn unpin(&mut self) {
+        on_wire_session!(self, s => s.unpin());
+    }
+}
+
+/// `hq serve --db FILE --listen ADDR [--backend B] [--threads N]
+/// [--max-sessions N] [--global-cache-rows N] [--max-live-epochs N]`.
+/// Binds, prints the bound address to stderr (so `--listen 127.0.0.1:0`
+/// is scriptable), and serves until a connection sends `shutdown`.
+pub(crate) fn cmd_serve(args: &Args) -> Result<String, String> {
+    let backend = crate::backend_arg(args)?;
+    let par = crate::threads_arg(args)?;
+    let mut interner = Interner::new();
+    let (db, weights) = crate::load_db(args.require("db")?, &mut interner)?;
+    let weighted: std::collections::BTreeMap<&Fact, f64> =
+        weights.iter().map(|(f, w)| (f, *w)).collect();
+    let tid: Vec<(Fact, f64)> = db
+        .facts()
+        .into_iter()
+        .map(|f| {
+            let p = weighted.get(&f).copied().unwrap_or(1.0);
+            (f, p)
+        })
+        .collect();
+    let listen = args.require("listen")?;
+    let max_sessions: usize = match args.get("max-sessions") {
+        Some(n) => n
+            .parse()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| "max-sessions: expected a positive integer".to_string())?,
+        None => 64,
+    };
+    let server = WireServer::build(backend, par, &interner, &tid)?;
+    if let Some(n) = args.get("global-cache-rows") {
+        let budget: usize = n
+            .parse()
+            .map_err(|_| "global-cache-rows: expected a non-negative integer".to_string())?;
+        server.set_global_cache_rows(Some(budget));
+    }
+    if let Some(n) = args.get("max-live-epochs") {
+        let max: usize = n
+            .parse()
+            .ok()
+            .filter(|&n| n >= 2)
+            .ok_or_else(|| "max-live-epochs: expected an integer >= 2".to_string())?;
+        server.set_max_live_epochs(Some(max));
+    }
+    let listener = TcpListener::bind(listen).map_err(|e| format!("{listen}: {e}"))?;
+    let addr = listener.local_addr().map_err(|e| e.to_string())?;
+    eprintln!("hq serve: listening on {addr} ({max_sessions} session(s) max)");
+    let interner = Arc::new(RwLock::new(interner));
+    let served = serve_loop(listener, &server, &interner, max_sessions)?;
+    Ok(format!(
+        "served {served} connection(s); final epoch {}\n",
+        server.current_epoch()
+    ))
+}
+
+/// Accepts connections until a handler observes `shutdown`. One thread
+/// per **connection** — never per request; all query evaluation inside
+/// a connection fans out over the shared worker pool warmed at server
+/// construction. Split from [`cmd_serve`] so tests can drive a bound
+/// `127.0.0.1:0` listener directly.
+fn serve_loop(
+    listener: TcpListener,
+    server: &WireServer,
+    interner: &Arc<RwLock<Interner>>,
+    max_sessions: usize,
+) -> Result<usize, String> {
+    let addr = listener.local_addr().map_err(|e| e.to_string())?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let active = Arc::new(AtomicUsize::new(0));
+    let mut handles = Vec::new();
+    let mut served = 0usize;
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        if active.load(Ordering::SeqCst) >= max_sessions {
+            let mut stream = stream;
+            let _ = writeln!(stream, "error: server full ({max_sessions} session(s) max)");
+            continue;
+        }
+        served += 1;
+        active.fetch_add(1, Ordering::SeqCst);
+        let session = server.session();
+        let server = server.clone();
+        let interner = interner.clone();
+        let stop = stop.clone();
+        let active = active.clone();
+        handles.push(std::thread::spawn(move || {
+            let _ = handle_conn(stream, &server, session, &interner, &stop);
+            active.fetch_sub(1, Ordering::SeqCst);
+            if stop.load(Ordering::SeqCst) {
+                // Wake the acceptor so it observes the stop flag.
+                let _ = TcpStream::connect(addr);
+            }
+        }));
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+    Ok(served)
+}
+
+/// Serves one connection: parse each line through the shared script
+/// grammar, answer one line per command. Parsing takes the interner
+/// write lock (fact values may intern novel symbols); evaluation and
+/// updates run under the read lock, so concurrent sessions evaluate
+/// in parallel.
+fn handle_conn(
+    stream: TcpStream,
+    server: &WireServer,
+    mut session: WireSession,
+    interner: &Arc<RwLock<Interner>>,
+    stop: &AtomicBool,
+) -> std::io::Result<()> {
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut out = stream;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let Some(cmd) = strip_comment(&line) else {
+            continue;
+        };
+        let reply = match cmd {
+            "quit" | "exit" => break,
+            "shutdown" => {
+                stop.store(true, Ordering::SeqCst);
+                writeln!(out, "ok: shutting down")?;
+                break;
+            }
+            "pin" => format!("pinned epoch {}", session.pin()),
+            "unpin" => {
+                session.unpin();
+                "ok".to_owned()
+            }
+            "stats" => server.stats_line(),
+            _ => {
+                let parsed = {
+                    let mut i = interner.write().expect("interner lock");
+                    parse_command(cmd, lineno, "wire", &mut i)
+                };
+                match parsed {
+                    Err(e) => format!("error: {e}"),
+                    Ok(ScriptCommand::Query(q)) => {
+                        let i = interner.read().expect("interner lock");
+                        match session.query(&i, &q) {
+                            Ok(p) => format!("{q} -> P(Q) = {p:.9}"),
+                            Err(e) => format!("error: {e}"),
+                        }
+                    }
+                    Ok(ScriptCommand::Update(fact, action)) => {
+                        // Probability monoid: a delete and a zero
+                        // weight coincide.
+                        let i = interner.read().expect("interner lock");
+                        match session.update(&i, fact, action.prob_weight()) {
+                            Ok(()) => format!("ok epoch {}", server.current_epoch()),
+                            Err(e) => format!("error: {e}"),
+                        }
+                    }
+                }
+            }
+        };
+        writeln!(out, "{reply}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufRead;
+
+    fn boot(
+        db_lines: &str,
+        extra: &[(&str, &str)],
+    ) -> (
+        std::net::SocketAddr,
+        std::thread::JoinHandle<Result<usize, String>>,
+    ) {
+        static NEXT_DB: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join("hq-serve-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!(
+            "db_{}_{}.facts",
+            std::process::id(),
+            NEXT_DB.fetch_add(1, Ordering::SeqCst)
+        ));
+        std::fs::write(&path, db_lines).unwrap();
+        let mut interner = Interner::new();
+        let (db, weights) = crate::load_db(path.to_str().unwrap(), &mut interner).unwrap();
+        let weighted: std::collections::BTreeMap<&Fact, f64> =
+            weights.iter().map(|(f, w)| (f, *w)).collect();
+        let tid: Vec<(Fact, f64)> = db
+            .facts()
+            .into_iter()
+            .map(|f| (f.clone(), weighted.get(&f).copied().unwrap_or(1.0)))
+            .collect();
+        let server = WireServer::build(
+            hq_unify::Backend::Columnar,
+            hq_unify::Parallelism::default(),
+            &interner,
+            &tid,
+        )
+        .unwrap();
+        for (k, v) in extra {
+            match *k {
+                "global-cache-rows" => server.set_global_cache_rows(Some(v.parse().unwrap())),
+                "max-live-epochs" => server.set_max_live_epochs(Some(v.parse().unwrap())),
+                _ => unreachable!(),
+            }
+        }
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let interner = Arc::new(RwLock::new(interner));
+        let handle = std::thread::spawn(move || serve_loop(listener, &server, &interner, 2));
+        (addr, handle)
+    }
+
+    fn roundtrip(addr: std::net::SocketAddr, lines: &[&str]) -> Vec<String> {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        for l in lines {
+            // A refused connection may already be closed server-side;
+            // the refusal line is still readable below.
+            let _ = writeln!(stream, "{l}");
+        }
+        let reader = BufReader::new(stream);
+        reader.lines().map(|l| l.unwrap()).collect()
+    }
+
+    #[test]
+    fn wire_protocol_serves_queries_updates_and_verbs() {
+        let (addr, handle) = boot("E(1,2) @ 0.5\nF(2,3) @ 0.5\n", &[]);
+        let replies = roundtrip(
+            addr,
+            &[
+                "? Q() :- E(X,Y), F(Y,Z)",
+                "# a comment line draws no response",
+                "E(1,2) @ 0.9",
+                "? Q() :- E(X,Y), F(Y,Z)",
+                "!F(2,3)",
+                "? Q() :- E(X,Y), F(Y,Z)",
+                "stats",
+                "nonsense(((",
+                "quit",
+            ],
+        );
+        assert_eq!(replies.len(), 7, "{replies:?}");
+        assert!(replies[0].contains("P(Q) = 0.25"), "{replies:?}");
+        assert!(replies[1].starts_with("ok epoch"), "{replies:?}");
+        assert!(replies[2].contains("P(Q) = 0.45"), "{replies:?}");
+        assert!(replies[3].starts_with("ok epoch"), "{replies:?}");
+        assert!(replies[4].contains("P(Q) = 0.0"), "{replies:?}");
+        assert!(replies[5].contains("cached node(s)"), "{replies:?}");
+        assert!(replies[6].starts_with("error:"), "{replies:?}");
+        let shut = roundtrip(addr, &["shutdown"]);
+        assert_eq!(shut, vec!["ok: shutting down".to_owned()]);
+        let served = handle.join().unwrap().unwrap();
+        assert_eq!(served, 2);
+    }
+
+    #[test]
+    fn pinned_wire_session_is_isolated_and_server_full_refuses() {
+        let (addr, handle) = boot("E(1,2) @ 0.5\nF(2,3) @ 0.5\n", &[]);
+        // Reader A pins, reader B writes; A still sees the snapshot.
+        let mut a = TcpStream::connect(addr).unwrap();
+        writeln!(a, "pin").unwrap();
+        let mut a_reader = BufReader::new(a.try_clone().unwrap());
+        let mut line = String::new();
+        a_reader.read_line(&mut line).unwrap();
+        assert!(line.starts_with("pinned epoch"), "{line}");
+        let b_replies = roundtrip(addr, &["E(1,2) @ 0.9", "? Q() :- E(X,Y), F(Y,Z)", "quit"]);
+        assert!(b_replies[1].contains("P(Q) = 0.45"), "{b_replies:?}");
+        // A third connection is refused: both slots are taken (the
+        // pinned session plus the acceptor's bookkeeping lags B's
+        // close) — retry until the pinned session is the only one.
+        writeln!(a, "? Q() :- E(X,Y), F(Y,Z)").unwrap();
+        line.clear();
+        a_reader.read_line(&mut line).unwrap();
+        assert!(
+            line.contains("P(Q) = 0.25"),
+            "pinned read saw the write: {line}"
+        );
+        writeln!(a, "unpin").unwrap();
+        line.clear();
+        a_reader.read_line(&mut line).unwrap();
+        assert_eq!(line.trim(), "ok");
+        writeln!(a, "? Q() :- E(X,Y), F(Y,Z)").unwrap();
+        line.clear();
+        a_reader.read_line(&mut line).unwrap();
+        assert!(
+            line.contains("P(Q) = 0.45"),
+            "unpinned read is current: {line}"
+        );
+        writeln!(a, "shutdown").unwrap();
+        drop(a);
+        drop(a_reader);
+        let _ = handle.join().unwrap();
+    }
+
+    #[test]
+    fn server_full_refusal() {
+        let (addr, handle) = boot("E(1,2) @ 0.5\n", &[]);
+        // Hold both session slots open.
+        let mut s1 = TcpStream::connect(addr).unwrap();
+        writeln!(s1, "pin").unwrap();
+        let mut r1 = BufReader::new(s1.try_clone().unwrap());
+        let mut line = String::new();
+        r1.read_line(&mut line).unwrap();
+        let mut s2 = TcpStream::connect(addr).unwrap();
+        writeln!(s2, "pin").unwrap();
+        let mut r2 = BufReader::new(s2.try_clone().unwrap());
+        line.clear();
+        r2.read_line(&mut line).unwrap();
+        // The third is refused. Read without writing first: the server
+        // answers and closes on accept, and a close with unread inbound
+        // bytes would RST away the refusal line.
+        let third = TcpStream::connect(addr).unwrap();
+        let replies: Vec<String> = BufReader::new(third).lines().map(|l| l.unwrap()).collect();
+        assert_eq!(replies.len(), 1, "{replies:?}");
+        assert!(replies[0].contains("server full"), "{replies:?}");
+        writeln!(s1, "shutdown").unwrap();
+        // `try_clone` readers share the fd: the handlers only see EOF
+        // once both halves drop.
+        drop(s1);
+        drop(r1);
+        drop(s2);
+        drop(r2);
+        let _ = handle.join().unwrap();
+    }
+}

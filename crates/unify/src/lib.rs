@@ -133,6 +133,8 @@ pub mod plan_ir;
 pub mod pool;
 pub mod pqe;
 pub mod provenance;
+pub mod script;
+pub mod server;
 pub mod serving;
 pub mod shapley;
 pub mod storage;
@@ -151,6 +153,8 @@ pub use incremental::{IncrementalError, IncrementalRun, UpdateStats};
 pub use plan_ir::{lower, LoweredQuery, PlanExpr, PlanId, PlanIr};
 pub use pqe::{expected_count, probability, probability_exact, IncrementalPqe, PqeError};
 pub use provenance::{provenance_tree, Provenance};
+pub use script::{parse_command, parse_script, render_command, ScriptCommand, UpdateAction};
+pub use server::{EpochState, Server, Session};
 pub use serving::{ServingBackend, ServingError, ServingSession, UpdateOutcome};
 pub use shapley::{
     sat_counts, shapley_value, shapley_values, FactRole, IncrementalSatCounts, ShapleyError,

@@ -1,0 +1,222 @@
+//! The update/query script grammar shared by every front-end.
+//!
+//! One line-oriented grammar serves three consumers: the CLI's
+//! `--mode serve --script` files, the `--mode incremental --updates`
+//! files, and the `hq serve --listen` wire protocol (the script
+//! grammar *is* the wire format — a socket connection is just a script
+//! whose lines arrive one at a time). The grammar:
+//!
+//! * `? <query>` — serve a query (e.g. `? Q() :- E(X,Y), F(Y,Z)`);
+//! * `R(v1, …) [@ p]` — upsert a fact (a missing weight means `1`);
+//! * `!R(v1, …)` — **explicit delete** (the canonical delete form; it
+//!   takes no `@ weight`);
+//! * `R(v1, …) @ 0` — *deprecated* delete alias, kept for existing
+//!   prob-monoid scripts where a zero weight and an absent fact
+//!   coincide;
+//! * `# …` — comment (also allowed after a command); blank lines are
+//!   skipped.
+//!
+//! [`parse_command`] and [`render_command`] round-trip: rendering a
+//! parsed command and re-parsing it yields the same command (pinned by
+//! a proptest in the root differential suite). Fact values render
+//! through the shared [`Interner`], weights through `f64`'s shortest
+//! round-trippable display form.
+
+use hq_db::{Fact, Interner};
+use hq_query::{parse_query, Query};
+use std::fmt;
+
+/// What one update line asks for. The explicit delete stays
+/// distinguishable from a `0`-weight upsert so monoid-sensitive script
+/// modes (#Sat/Shapley roles, where a zero-weight exogenous fact is
+/// meaningful) can consume the same grammar.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UpdateAction {
+    /// `!R(v1, …)` — explicit delete.
+    Delete,
+    /// `R(v1, …) [@ p]` — upsert (a missing weight means `1`).
+    Weight(f64),
+}
+
+impl UpdateAction {
+    /// The probability-monoid annotation: under PQE a delete and a
+    /// zero weight coincide (`0` means absent), which is exactly why
+    /// `@ 0` survives as a deprecated delete alias in these modes.
+    pub fn prob_weight(&self) -> f64 {
+        match self {
+            UpdateAction::Delete => 0.0,
+            UpdateAction::Weight(w) => *w,
+        }
+    }
+}
+
+/// One parsed script command.
+#[derive(Debug, Clone)]
+pub enum ScriptCommand {
+    /// `? <query>` — serve the query.
+    Query(Query),
+    /// A fact write: upsert or explicit delete.
+    Update(Fact, UpdateAction),
+}
+
+impl fmt::Display for ScriptCommand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScriptCommand::Query(q) => write!(f, "? {q}"),
+            ScriptCommand::Update(..) => {
+                write!(f, "<update>") // facts need an interner: see render_command
+            }
+        }
+    }
+}
+
+/// Strips the `#` comment from one raw script line, returning the
+/// remaining command text — or `None` when nothing remains. The shared
+/// line discipline of every script consumer.
+pub fn strip_comment(raw: &str) -> Option<&str> {
+    let line = match raw.split_once('#') {
+        Some((before, _)) => before.trim(),
+        None => raw.trim(),
+    };
+    if line.is_empty() {
+        None
+    } else {
+        Some(line)
+    }
+}
+
+/// Parses one comment-stripped command line. `lineno` is zero-based
+/// (error messages report it one-based, like every file diagnostic);
+/// `source` names the script (a path, or e.g. `wire` for socket
+/// input).
+///
+/// # Errors
+/// A formatted message for malformed facts, weights, queries, and a
+/// delete form carrying an `@ weight`.
+pub fn parse_command(
+    line: &str,
+    lineno: usize,
+    source: &str,
+    interner: &mut Interner,
+) -> Result<ScriptCommand, String> {
+    if let Some(q_src) = line.strip_prefix('?') {
+        let q = parse_query(q_src.trim())
+            .map_err(|e| format!("{source}:{}: query: {e}", lineno + 1))?;
+        return Ok(ScriptCommand::Query(q));
+    }
+    if let Some(rest) = line.strip_prefix('!') {
+        if rest.contains('@') {
+            return Err(format!(
+                "{source}: line {}: the delete form `!R(…)` takes no `@ weight`",
+                lineno + 1
+            ));
+        }
+        let (fact, _) = hq_db::text::parse_fact_line(rest.trim(), lineno + 1, interner)
+            .map_err(|e| format!("{source}: {e}"))?;
+        return Ok(ScriptCommand::Update(fact, UpdateAction::Delete));
+    }
+    let (fact, weight) = hq_db::text::parse_fact_line(line, lineno + 1, interner)
+        .map_err(|e| format!("{source}: {e}"))?;
+    Ok(ScriptCommand::Update(
+        fact,
+        UpdateAction::Weight(weight.unwrap_or(1.0)),
+    ))
+}
+
+/// Parses a whole script text: comments stripped, blank lines skipped,
+/// one [`ScriptCommand`] per remaining line.
+///
+/// # Errors
+/// The first malformed line's [`parse_command`] message.
+pub fn parse_script(
+    text: &str,
+    source: &str,
+    interner: &mut Interner,
+) -> Result<Vec<ScriptCommand>, String> {
+    let mut out = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let Some(line) = strip_comment(raw) else {
+            continue;
+        };
+        out.push(parse_command(line, lineno, source, interner)?);
+    }
+    Ok(out)
+}
+
+/// Renders a command back into the line grammar. `render_command` and
+/// [`parse_command`] round-trip: weights use `f64`'s shortest exact
+/// display form, facts resolve their symbols through `interner`.
+pub fn render_command(cmd: &ScriptCommand, interner: &Interner) -> String {
+    match cmd {
+        ScriptCommand::Query(q) => format!("? {q}"),
+        ScriptCommand::Update(fact, UpdateAction::Delete) => {
+            format!("!{}", fact.display(interner))
+        }
+        ScriptCommand::Update(fact, UpdateAction::Weight(w)) => {
+            format!("{} @ {w}", fact.display(interner))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hq_db::{Tuple, Value};
+
+    #[test]
+    fn comments_and_blanks_are_stripped() {
+        assert_eq!(strip_comment("  # all comment"), None);
+        assert_eq!(strip_comment("   "), None);
+        assert_eq!(strip_comment("R(1) @ 0.5 # trailing"), Some("R(1) @ 0.5"));
+    }
+
+    #[test]
+    fn grammar_round_trips_through_render() {
+        let mut i = Interner::new();
+        let text = "? Q() :- E(X,Y)\nE(1, alice) @ 0.25\n!E(2, bob)\nE(3)\n";
+        let script = parse_script(text, "test", &mut i).unwrap();
+        assert_eq!(script.len(), 4);
+        let rendered: Vec<String> = script.iter().map(|c| render_command(c, &i)).collect();
+        assert_eq!(rendered[0], "? Q() :- E(X, Y)");
+        assert_eq!(rendered[1], "E(1, alice) @ 0.25");
+        assert_eq!(rendered[2], "!E(2, bob)");
+        assert_eq!(rendered[3], "E(3) @ 1");
+        // Re-parsing the rendered forms yields the same commands.
+        for (cmd, line) in script.iter().zip(&rendered) {
+            let again = parse_command(line, 0, "test", &mut i).unwrap();
+            match (cmd, &again) {
+                (ScriptCommand::Query(a), ScriptCommand::Query(b)) => {
+                    assert_eq!(a.to_string(), b.to_string());
+                }
+                (ScriptCommand::Update(fa, aa), ScriptCommand::Update(fb, ab)) => {
+                    assert_eq!(fa, fb);
+                    assert_eq!(aa, ab);
+                }
+                _ => panic!("command kind changed across the round trip"),
+            }
+        }
+    }
+
+    #[test]
+    fn delete_with_weight_is_rejected() {
+        let mut i = Interner::new();
+        let err = parse_command("!E(1) @ 0.5", 4, "s.txt", &mut i).unwrap_err();
+        assert!(err.contains("line 5"), "{err}");
+        assert!(err.contains("takes no `@ weight`"), "{err}");
+    }
+
+    #[test]
+    fn string_values_resolve_through_the_interner() {
+        let mut i = Interner::new();
+        let cmd = parse_command("E(alice, 7)", 0, "s", &mut i).unwrap();
+        let ScriptCommand::Update(fact, UpdateAction::Weight(w)) = cmd else {
+            panic!("expected an upsert");
+        };
+        assert_eq!(w, 1.0);
+        assert_eq!(fact.tuple.get(1), Value::int(7));
+        assert_eq!(fact.tuple, {
+            let a = i.intern("alice");
+            Tuple::from(vec![Value::Str(a), Value::int(7)])
+        });
+    }
+}

@@ -1,0 +1,1021 @@
+//! Multi-tenant serving server: N snapshot-isolated reader sessions
+//! and one writer over a single shared plan-node cache.
+//!
+//! A [`Server`] owns one **master** [`ServingSession`] (the writer's
+//! state: the hash-consed plan IR, the lowering memo, and the
+//! delta-patch/refold machinery of [`crate::serving`]) and multiplexes
+//! any number of reader [`Session`] handles over it. The concurrency
+//! model is **single-writer / multi-reader snapshot isolation**:
+//!
+//! * **Epochs.** Every committed [`Server::update_batch`] publishes an
+//!   immutable [`EpochState`] — a copy-on-write snapshot of the
+//!   database, the annotation map, the [`EncodedDb`] code matrices and
+//!   the per-relation dirty epochs. Readers evaluate against the
+//!   epoch current when their query starts (or one explicitly pinned
+//!   with [`Session::pin`]); the writer patches the master in place
+//!   and publishes the next epoch without ever touching a published
+//!   one. An epoch retires (its matrices free) when its last reader
+//!   drops.
+//! * **Shared node cache.** Materialised plan nodes live in one
+//!   process-wide cache keyed by `(plan node, code generation, dep
+//!   stamp)`, where the *stamp* is the maximum dirty epoch over the
+//!   node's input relations and the *code generation* counts
+//!   dictionary extensions (a novel domain value renumbers every
+//!   cached matrix without touching any stamp, so the generation must
+//!   be part of the key). Stamps are injective along the single
+//!   writer history: every epoch in which a node's inputs carry the
+//!   same stamps holds bit-identical input relations, so a cache hit
+//!   is exact regardless of which session — at which epoch — computed
+//!   the entry. Cache hits on shared sub-plans are **zero-op across
+//!   clients**; two sessions racing to materialise the same key both
+//!   compute bit-identical nodes and the first insert wins.
+//! * **Write path.** The writer first *adopts* any reader-materialised
+//!   nodes that are current for the master state into the master
+//!   cache, so [`ServingSession::update_batch`]'s delta-patch
+//!   machinery patches warm nodes instead of recomputing them; it
+//!   then *exports* the patched nodes back to the shared cache at
+//!   their post-batch stamps and publishes the new epoch.
+//! * **Memory governor.** [`Server::set_global_cache_rows`] bounds the
+//!   total materialised rows across all sessions (cost-aware-LRU
+//!   eviction, like the per-session budget of
+//!   [`ServingSession::set_cache_budget`]);
+//!   [`Session::set_cache_budget`] additionally bounds the rows a
+//!   single session may keep materialised; and
+//!   [`Server::set_max_live_epochs`] admission-controls update bursts
+//!   — a writer blocks until enough pinned epochs retire.
+//!
+//! **Determinism contract.** Unchanged from [`crate::serving`]: every
+//! query's value and reported [`EngineStats`] are bit-identical to an
+//! independent fresh evaluation over its epoch's state, on every
+//! backend and thread count. Concurrency never enters the numerics:
+//! per-query stats are *replayed* from recorded per-node op counts,
+//! and all kernel execution fans out over the persistent
+//! [`crate::pool`] (zero thread spawns per request once
+//! [`Server::with_parallelism`] has warmed it). The
+//! `tests/differential_server.rs` suite pins N concurrent readers + 1
+//! writer against a serial replay of the same interleaved script.
+
+use crate::engine::EngineStats;
+use crate::plan_ir::{LoweredQuery, PlanExpr, PlanId};
+use crate::serving::{
+    query_shape, QueryShape, ServingBackend, ServingError, ServingSession, UpdateOutcome,
+};
+use crate::storage::{ColumnarRelation, EncodedDb, Parallelism};
+use hq_db::{Database, Fact, Interner, Sym, Tuple};
+use hq_monoid::TwoMonoid;
+use hq_query::{Query, Var};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock, Weak};
+use std::time::Duration;
+
+/// The writer's session id in shared-cache owner tags (real sessions
+/// start at 1).
+const WRITER: u64 = 0;
+
+/// One immutable published snapshot: everything a reader needs to
+/// evaluate queries without taking the master lock. Readers holding an
+/// `Arc<EpochState>` (pinned, or just for the duration of one query)
+/// keep the epoch's copy-on-write matrices alive; dropping the last
+/// reference retires the epoch and wakes any writer blocked on
+/// [`Server::set_max_live_epochs`] admission.
+pub struct EpochState<M: TwoMonoid> {
+    epoch: u64,
+    code_gen: u64,
+    db: Database,
+    ann: BTreeMap<Fact, M::Elem>,
+    enc: EncodedDb,
+    rel_epoch: HashMap<String, u64>,
+    retire: Weak<RetireSignal>,
+}
+
+impl<M: TwoMonoid> EpochState<M> {
+    /// The monotone update-batch counter this snapshot was published
+    /// at (`0` is the construction state).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
+impl<M: TwoMonoid> Drop for EpochState<M> {
+    fn drop(&mut self) {
+        // Retirement: wake a writer waiting for epoch-count admission.
+        if let Some(sig) = self.retire.upgrade() {
+            sig.notify();
+        }
+    }
+}
+
+/// Wakes admission-blocked writers when an epoch retires or a pinned
+/// session closes.
+struct RetireSignal {
+    lock: Mutex<()>,
+    cvar: Condvar,
+}
+
+impl RetireSignal {
+    fn notify(&self) {
+        let _guard = self.lock.lock().unwrap();
+        self.cvar.notify_all();
+    }
+}
+
+/// One immutable materialised plan node in the shared cache. `rel` is
+/// never mutated after insertion — epochs that need a different
+/// version of the node live under a different `(generation, stamp)`
+/// key — so readers clone relations out of it without locks.
+struct SharedNode<R> {
+    rel: R,
+    add_ops: u64,
+    mul_ops: u64,
+    rows: usize,
+    /// Base relations the node transitively reads (stamp vocabulary).
+    deps: Arc<BTreeSet<String>>,
+    /// Session that materialised the node (per-session budgets evict
+    /// a session's own nodes first).
+    owner: u64,
+    /// Global LRU clock value of the last touch.
+    last_used: AtomicU64,
+}
+
+/// Shared-cache key: `(plan node, code generation, dep stamp)`.
+type NodeKey = (PlanId, u64, u64);
+
+/// One node the writer exports into the shared cache after a batch:
+/// `(plan node, relation, ⊕ ops, ⊗ ops, dependency set)`.
+type Export<R> = (PlanId, R, u64, u64, Arc<BTreeSet<String>>);
+
+/// A query resolved against the master IR once and memoised for every
+/// session: the lowering plus each node's structural expression and
+/// dep set, so reader evaluation never takes the master lock on a
+/// plan-memo hit.
+struct ResolvedPlan {
+    lowered: LoweredQuery,
+    exprs: HashMap<PlanId, PlanExpr>,
+    deps: HashMap<PlanId, Arc<BTreeSet<String>>>,
+}
+
+/// Memory-governor knobs (see [`Server::set_global_cache_rows`],
+/// [`Server::set_max_live_epochs`]).
+struct Governor {
+    global_rows: Option<usize>,
+    max_live_epochs: Option<usize>,
+}
+
+/// The shared state behind every [`Server`] and [`Session`] handle.
+struct ServerShared<M, R>
+where
+    M: TwoMonoid,
+    R: ServingBackend<Ann = M::Elem>,
+{
+    monoid: M,
+    par: Parallelism,
+    /// The writer's state: plan IR, lowering memo, delta-patch
+    /// machinery. Readers lock it only on a plan-memo miss.
+    master: Mutex<ServingSession<M, R>>,
+    /// The latest published snapshot.
+    current: RwLock<Arc<EpochState<M>>>,
+    /// The shared materialised-node cache.
+    cache: Mutex<HashMap<NodeKey, Arc<SharedNode<R>>>>,
+    /// Cross-session resolved-plan memo (structural key: alpha-renamed
+    /// restatements share one entry, exactly like the master's
+    /// lowering memo).
+    plans: RwLock<HashMap<QueryShape, Arc<ResolvedPlan>>>,
+    /// Every epoch ever published (weak; pruned by [`gc`]).
+    ///
+    /// [`gc`]: ServerShared::gc
+    epochs: Mutex<Vec<Weak<EpochState<M>>>>,
+    retire: Arc<RetireSignal>,
+    governor: Mutex<Governor>,
+    performed_add: AtomicU64,
+    performed_mul: AtomicU64,
+    plan_hits: AtomicU64,
+    evictions: AtomicU64,
+    /// Global LRU clock, bumped once per query.
+    tick: AtomicU64,
+    next_session: AtomicU64,
+}
+
+/// The dep stamp of a node under one epoch's per-relation dirty
+/// epochs: the maximum dirty epoch over the node's base relations.
+fn stamp(rel_epoch: &HashMap<String, u64>, deps: &BTreeSet<String>) -> u64 {
+    deps.iter()
+        .map(|d| rel_epoch.get(d).copied().unwrap_or(0))
+        .max()
+        .unwrap_or(0)
+}
+
+impl<M, R> ServerShared<M, R>
+where
+    M: TwoMonoid,
+    R: ServingBackend<Ann = M::Elem>,
+{
+    /// Snapshots the master state as a new immutable epoch.
+    fn snapshot(&self, master: &ServingSession<M, R>, code_gen: u64) -> Arc<EpochState<M>> {
+        Arc::new(EpochState {
+            epoch: master.session_epoch(),
+            code_gen,
+            db: master.database().clone(),
+            ann: master.annotations().clone(),
+            enc: master.encoded_db().clone(),
+            rel_epoch: master.rel_epochs().clone(),
+            retire: Arc::downgrade(&self.retire),
+        })
+    }
+
+    /// Resolves a query against the master IR, memoised per query
+    /// shape. Only a memo miss locks the master.
+    fn resolve(&self, q: &Query) -> Result<Arc<ResolvedPlan>, ServingError> {
+        let key = query_shape(q);
+        if let Some(p) = self.plans.read().unwrap().get(&key) {
+            self.plan_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(p.clone());
+        }
+        let resolved = {
+            let mut master = self.master.lock().unwrap();
+            let lowered = master.lower_query(q)?;
+            let mut exprs = HashMap::new();
+            let mut deps = HashMap::new();
+            for id in lowered.nodes() {
+                exprs.insert(id, master.plan_node(id));
+                deps.insert(id, Arc::new(master.node_deps(id).clone()));
+            }
+            Arc::new(ResolvedPlan {
+                lowered,
+                exprs,
+                deps,
+            })
+        };
+        // Racing resolutions of one shape produce structurally equal
+        // plans (the master lowering memo hands both the same node
+        // ids); first insert wins.
+        let mut plans = self.plans.write().unwrap();
+        let entry = plans.entry(key).or_insert(resolved);
+        Ok(entry.clone())
+    }
+
+    /// Materialises (or fetches) one plan node for `epoch`, recording
+    /// it in the query's `local` node map. Inputs are present in
+    /// `local` first because lowered node lists are in dependency
+    /// order. The cache lock is never held across kernel execution.
+    #[allow(clippy::too_many_arguments)]
+    fn ensure_node(
+        &self,
+        epoch: &EpochState<M>,
+        plan: &ResolvedPlan,
+        id: PlanId,
+        interner: &Interner,
+        tick: u64,
+        owner: u64,
+        local: &mut HashMap<PlanId, Arc<SharedNode<R>>>,
+    ) -> Result<(), ServingError> {
+        let deps = &plan.deps[&id];
+        let key = (id, epoch.code_gen, stamp(&epoch.rel_epoch, deps));
+        if let Some(node) = self.cache.lock().unwrap().get(&key) {
+            node.last_used.store(tick, Ordering::Relaxed);
+            local.insert(id, node.clone());
+            return Ok(());
+        }
+        let mut stats = EngineStats::default();
+        let rel = match &plan.exprs[&id] {
+            PlanExpr::Scan { rel, positions } => {
+                let vars: Vec<Var> = (0..positions.len()).map(Var).collect();
+                let ann_map = &epoch.ann;
+                let mut ann = |sym: Sym, t: &Tuple| -> M::Elem {
+                    ann_map
+                        .get(&Fact::new(sym, t.clone()))
+                        .cloned()
+                        .expect("epoch database and annotation map stay in sync")
+                };
+                R::scan(
+                    &epoch.enc, &epoch.db, interner, rel, positions, vars, &mut ann, self.par,
+                )?
+            }
+            PlanExpr::Project { input, col } => {
+                let input_rel = local[input].rel.clone();
+                let var = input_rel.vars()[*col];
+                input_rel.project_out(&self.monoid, var, &mut stats)
+            }
+            PlanExpr::Join { left, right } => {
+                let l = local[left].rel.clone();
+                let mut r = local[right].rel.clone();
+                // Shared nodes are label-free; align labels as pure
+                // metadata (see `ServingSession::ensure`).
+                r.relabel(l.vars().to_vec());
+                l.merge(&self.monoid, r, &mut stats)
+            }
+        };
+        self.performed_add
+            .fetch_add(stats.add_ops, Ordering::Relaxed);
+        self.performed_mul
+            .fetch_add(stats.mul_ops, Ordering::Relaxed);
+        let node = Arc::new(SharedNode {
+            rows: rel.support_size(),
+            rel,
+            add_ops: stats.add_ops,
+            mul_ops: stats.mul_ops,
+            deps: deps.clone(),
+            owner,
+            last_used: AtomicU64::new(tick),
+        });
+        // Insert-if-absent: a racing session may have materialised the
+        // key meanwhile — its node is bit-identical (same immutable
+        // inputs, same kernels, deterministic at every thread count),
+        // so adopting whichever Arc won keeps every session serving
+        // literally the same node.
+        let entry = self
+            .cache
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_insert(node)
+            .clone();
+        entry.last_used.store(tick, Ordering::Relaxed);
+        local.insert(id, entry);
+        Ok(())
+    }
+
+    /// Replays a lowered query's value, op counts and support
+    /// trajectory from the query's node map — zero monoid operations,
+    /// same walk as `ServingSession::replay`.
+    fn replay(
+        &self,
+        lowered: &LoweredQuery,
+        nodes: &HashMap<PlanId, Arc<SharedNode<R>>>,
+    ) -> (M::Elem, EngineStats) {
+        let mut stats = EngineStats::default();
+        let mut slot_nodes = lowered.scans.clone();
+        let mut alive = vec![true; slot_nodes.len()];
+        let support = |slot_nodes: &[PlanId], alive: &[bool]| -> usize {
+            slot_nodes
+                .iter()
+                .zip(alive)
+                .filter(|&(_, &a)| a)
+                .map(|(id, _)| nodes[id].rel.support_size())
+                .sum()
+        };
+        stats.support_sizes.push(support(&slot_nodes, &alive));
+        for step in &lowered.steps {
+            let n = &nodes[&step.node];
+            stats.add_ops += n.add_ops;
+            stats.mul_ops += n.mul_ops;
+            if let Some(k) = step.killed {
+                alive[k] = false;
+            }
+            slot_nodes[step.touched] = step.node;
+            stats.support_sizes.push(support(&slot_nodes, &alive));
+        }
+        let value = nodes[&lowered.root].rel.nullary_value(&self.monoid);
+        (value, stats)
+    }
+
+    /// Prunes dead epochs from the registry and drops shared-cache
+    /// entries no live epoch can ever hit again (their `(generation,
+    /// stamp)` matches no surviving snapshot) — this is what actually
+    /// frees a retired epoch's copy-on-write matrices.
+    fn gc(&self) {
+        let live: Vec<Arc<EpochState<M>>> = {
+            let mut epochs = self.epochs.lock().unwrap();
+            epochs.retain(|w| w.strong_count() > 0);
+            epochs.iter().filter_map(Weak::upgrade).collect()
+        };
+        let mut cache = self.cache.lock().unwrap();
+        cache.retain(|&(_, gen, s), node| {
+            live.iter()
+                .any(|e| e.code_gen == gen && stamp(&e.rel_epoch, &node.deps) == s)
+        });
+    }
+
+    /// Live (still referenced) published epochs, the current one
+    /// included.
+    fn live_epochs(&self) -> usize {
+        self.epochs
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|w| w.strong_count() > 0)
+            .count()
+    }
+
+    /// Blocks a writer until the live-epoch count admits one more
+    /// publication (no-op without a [`Server::set_max_live_epochs`]
+    /// bound). Woken by epoch retirements; re-polls on a short timeout
+    /// so a pin released without a drop notification cannot wedge it.
+    fn admit_writer(&self) {
+        loop {
+            let Some(max) = self.governor.lock().unwrap().max_live_epochs else {
+                return;
+            };
+            self.gc();
+            if self.live_epochs() < max {
+                return;
+            }
+            let guard = self.retire.lock.lock().unwrap();
+            let _ = self
+                .retire
+                .cvar
+                .wait_timeout(guard, Duration::from_millis(25))
+                .unwrap();
+        }
+    }
+
+    /// Evicts cost-aware-LRU victims (stalest first; among equally
+    /// stale, the node freeing the most rows) from the set selected by
+    /// `mine` until their total rows fit `budget`. In-flight queries
+    /// hold `Arc`s to their nodes, so eviction never invalidates a
+    /// running evaluation — evicted nodes rebuild lazily.
+    fn evict_where(&self, budget: usize, mine: impl Fn(&SharedNode<R>) -> bool) {
+        let mut cache = self.cache.lock().unwrap();
+        let mut total: usize = cache.values().filter(|n| mine(n)).map(|n| n.rows).sum();
+        if total <= budget {
+            return;
+        }
+        let mut order: Vec<(u64, Reverse<usize>, NodeKey)> = cache
+            .iter()
+            .filter(|(_, n)| mine(n) && n.rows > 0)
+            .map(|(k, n)| (n.last_used.load(Ordering::Relaxed), Reverse(n.rows), *k))
+            .collect();
+        order.sort_unstable();
+        for (_, _, key) in order {
+            if total <= budget {
+                break;
+            }
+            if let Some(n) = cache.remove(&key) {
+                total -= n.rows;
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Enforces the global-rows governor bound, if one is set.
+    fn evict_global(&self) {
+        if let Some(budget) = self.governor.lock().unwrap().global_rows {
+            self.evict_where(budget, |_| true);
+        }
+    }
+}
+
+/// The multi-tenant serving server. Cheap to clone (a shared handle);
+/// hand out reader [`Session`]s with [`Server::session`] and apply
+/// writes through [`Server::update_batch`].
+pub struct Server<M, R = ColumnarRelation<<M as TwoMonoid>::Elem>>
+where
+    M: TwoMonoid,
+    R: ServingBackend<Ann = M::Elem>,
+{
+    shared: Arc<ServerShared<M, R>>,
+}
+
+impl<M, R> Clone for Server<M, R>
+where
+    M: TwoMonoid,
+    R: ServingBackend<Ann = M::Elem>,
+{
+    fn clone(&self) -> Self {
+        Server {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<M, R> Server<M, R>
+where
+    M: TwoMonoid,
+    R: ServingBackend<Ann = M::Elem>,
+{
+    /// Builds a server over `(fact, annotation)` pairs. See
+    /// [`ServingSession::new`] for the input contract.
+    ///
+    /// # Errors
+    /// Rejects fact lists that give one relation two different
+    /// arities.
+    pub fn new(
+        monoid: M,
+        interner: &Interner,
+        facts: impl IntoIterator<Item = (Fact, M::Elem)>,
+    ) -> Result<Self, ServingError> {
+        Self::with_parallelism(monoid, interner, facts, Parallelism::default())
+    }
+
+    /// [`Server::new`] with an explicit [`Parallelism`] degree. The
+    /// worker pool is warmed here, once: no request served afterwards
+    /// ever spawns a thread (pinned by the differential suite via
+    /// [`crate::pool::WorkerPool::spawn_count`]).
+    ///
+    /// # Errors
+    /// Rejects fact lists that give one relation two different
+    /// arities.
+    pub fn with_parallelism(
+        monoid: M,
+        interner: &Interner,
+        facts: impl IntoIterator<Item = (Fact, M::Elem)>,
+        par: Parallelism,
+    ) -> Result<Self, ServingError> {
+        par.warm_pool();
+        let master = ServingSession::with_parallelism(monoid.clone(), interner, facts, par)?;
+        let retire = Arc::new(RetireSignal {
+            lock: Mutex::new(()),
+            cvar: Condvar::new(),
+        });
+        let shared = ServerShared {
+            monoid,
+            par,
+            current: RwLock::new(Arc::new(EpochState {
+                epoch: 0,
+                code_gen: 0,
+                db: master.database().clone(),
+                ann: master.annotations().clone(),
+                enc: master.encoded_db().clone(),
+                rel_epoch: master.rel_epochs().clone(),
+                retire: Arc::downgrade(&retire),
+            })),
+            master: Mutex::new(master),
+            cache: Mutex::new(HashMap::new()),
+            plans: RwLock::new(HashMap::new()),
+            epochs: Mutex::new(Vec::new()),
+            retire,
+            governor: Mutex::new(Governor {
+                global_rows: None,
+                max_live_epochs: None,
+            }),
+            performed_add: AtomicU64::new(0),
+            performed_mul: AtomicU64::new(0),
+            plan_hits: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            tick: AtomicU64::new(0),
+            next_session: AtomicU64::new(1),
+        };
+        shared
+            .epochs
+            .lock()
+            .unwrap()
+            .push(Arc::downgrade(&shared.current.read().unwrap().clone()));
+        Ok(Server {
+            shared: Arc::new(shared),
+        })
+    }
+
+    /// Opens a reader session. Sessions are independent handles (one
+    /// per client/thread); their queries share the one node cache.
+    pub fn session(&self) -> Session<M, R> {
+        Session {
+            shared: self.shared.clone(),
+            id: self.shared.next_session.fetch_add(1, Ordering::Relaxed),
+            budget_rows: None,
+            pinned: None,
+        }
+    }
+
+    /// Applies one fact write. See [`Server::update_batch`].
+    ///
+    /// # Errors
+    /// Arity mismatch with the stored relation.
+    pub fn update(
+        &self,
+        interner: &Interner,
+        fact: &Fact,
+        value: M::Elem,
+    ) -> Result<UpdateOutcome, ServingError> {
+        self.update_batch(interner, &[(fact.clone(), value)])
+    }
+
+    /// The write path: waits for epoch admission, adopts current
+    /// reader-materialised nodes into the master cache, delta-patches
+    /// the master through [`ServingSession::update_batch`], exports
+    /// the patched nodes to the shared cache at their new stamps, and
+    /// publishes the next epoch. In-flight readers keep evaluating
+    /// against their pinned snapshots throughout; a no-op batch
+    /// (nothing changed) publishes nothing.
+    ///
+    /// # Errors
+    /// Arity mismatch with the stored relation; all-or-nothing, as in
+    /// the underlying session.
+    pub fn update_batch(
+        &self,
+        interner: &Interner,
+        updates: &[(Fact, M::Elem)],
+    ) -> Result<UpdateOutcome, ServingError> {
+        let shared = &self.shared;
+        shared.admit_writer();
+        let mut master = shared.master.lock().unwrap();
+        let gen = shared.current.read().unwrap().code_gen;
+        // Adopt: shared nodes current for the master state (same code
+        // generation, same dep stamps) feed the delta-patcher, so
+        // nodes warmed by *any* reader stay warm across the write
+        // instead of dropping to a cold rebuild.
+        {
+            let rel_epoch = master.rel_epochs().clone();
+            let adopt: Vec<(PlanId, R, u64, u64)> = {
+                let cache = shared.cache.lock().unwrap();
+                cache
+                    .iter()
+                    .filter(|&(&(id, g, s), node)| {
+                        g == gen && s == stamp(&rel_epoch, &node.deps) && !master.has_cached(id)
+                    })
+                    .map(|(&(id, _, _), node)| (id, node.rel.clone(), node.add_ops, node.mul_ops))
+                    .collect()
+            };
+            for (id, rel, add_ops, mul_ops) in adopt {
+                master.adopt_node(id, rel, add_ops, mul_ops);
+            }
+        }
+        let outcome = master.update_batch(interner, updates)?;
+        if outcome.touched.is_empty() {
+            return Ok(outcome);
+        }
+        // A dictionary extension renumbered every cached matrix (the
+        // master's were translated in place) without moving any stamp:
+        // bump the code generation so the renumbered exports can never
+        // collide with entries pinned epochs still read.
+        let gen = gen + u64::from(outcome.refresh.dict_extended);
+        let rel_epoch = master.rel_epochs().clone();
+        let exports: Vec<Export<R>> = master
+            .cache_entries()
+            .map(|(id, rel, add_ops, mul_ops)| {
+                (
+                    id,
+                    rel.clone(),
+                    add_ops,
+                    mul_ops,
+                    Arc::new(master.node_deps(id).clone()),
+                )
+            })
+            .collect();
+        let state = shared.snapshot(&master, gen);
+        drop(master);
+        {
+            let tick = shared.tick.load(Ordering::Relaxed);
+            let mut cache = shared.cache.lock().unwrap();
+            for (id, rel, add_ops, mul_ops, deps) in exports {
+                let key = (id, gen, stamp(&rel_epoch, &deps));
+                cache.entry(key).or_insert_with(|| {
+                    Arc::new(SharedNode {
+                        rows: rel.support_size(),
+                        rel,
+                        add_ops,
+                        mul_ops,
+                        deps,
+                        owner: WRITER,
+                        last_used: AtomicU64::new(tick),
+                    })
+                });
+            }
+        }
+        *shared.current.write().unwrap() = state.clone();
+        shared.epochs.lock().unwrap().push(Arc::downgrade(&state));
+        drop(state);
+        shared.gc();
+        shared.evict_global();
+        Ok(outcome)
+    }
+
+    /// The latest published epoch counter.
+    pub fn current_epoch(&self) -> u64 {
+        self.shared.current.read().unwrap().epoch
+    }
+
+    /// Published epochs still referenced (the current one included).
+    pub fn live_epochs(&self) -> usize {
+        self.shared.gc();
+        self.shared.live_epochs()
+    }
+
+    /// Total rows materialised across the shared node cache — the
+    /// quantity the global governor bounds.
+    pub fn materialised_rows(&self) -> usize {
+        self.shared
+            .cache
+            .lock()
+            .unwrap()
+            .values()
+            .map(|n| n.rows)
+            .sum()
+    }
+
+    /// Approximate payload bytes of the shared node cache
+    /// ([`crate::storage::Storage::storage_bytes`] summed; the shared
+    /// dictionary is excluded).
+    pub fn storage_bytes(&self) -> usize {
+        self.shared
+            .cache
+            .lock()
+            .unwrap()
+            .values()
+            .map(|n| n.rel.storage_bytes())
+            .sum()
+    }
+
+    /// Materialised plan nodes currently in the shared cache.
+    pub fn cached_nodes(&self) -> usize {
+        self.shared.cache.lock().unwrap().len()
+    }
+
+    /// Nodes evicted by the governor or per-session budgets so far.
+    pub fn evictions(&self) -> u64 {
+        self.shared.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Total ⊕/⊗ applications actually executed by reader misses
+    /// (writer delta-patches execute inside the master session and are
+    /// counted by it). Cache hits replay recorded counts without
+    /// performing any — the cross-client sharing win is
+    /// `Σ reported stats − ops_performed`.
+    pub fn ops_performed(&self) -> u64 {
+        self.shared.performed_add.load(Ordering::Relaxed)
+            + self.shared.performed_mul.load(Ordering::Relaxed)
+    }
+
+    /// Queries served from the cross-session resolved-plan memo
+    /// without taking the master lock.
+    pub fn plan_hits(&self) -> u64 {
+        self.shared.plan_hits.load(Ordering::Relaxed)
+    }
+
+    /// Bounds the total rows materialised across all sessions
+    /// (`None`: unbounded). Enforced after every query and every
+    /// update publication with cost-aware-LRU eviction; evicted nodes
+    /// rebuild lazily, so only the sharing win shrinks.
+    pub fn set_global_cache_rows(&self, budget: Option<usize>) {
+        self.shared.governor.lock().unwrap().global_rows = budget;
+        self.shared.evict_global();
+    }
+
+    /// Admission-controls update bursts: a writer blocks until fewer
+    /// than `max` published epochs are still referenced. The current
+    /// epoch always counts, so the floor is 2 (`max` is clamped up) —
+    /// `Some(2)` means "at most one retired-but-pinned epoch at a
+    /// time". `None` (the default) never blocks the writer.
+    pub fn set_max_live_epochs(&self, max: Option<usize>) {
+        self.shared.governor.lock().unwrap().max_live_epochs = max.map(|m| m.max(2));
+        self.shared.retire.notify();
+    }
+
+    /// Forwards [`ServingSession::set_patch_fraction`] to the master
+    /// (the writer's patch-vs-rebuild policy).
+    pub fn set_patch_fraction(&self, fraction: f64) {
+        self.shared
+            .master
+            .lock()
+            .unwrap()
+            .set_patch_fraction(fraction);
+    }
+
+    /// Prunes retired epochs and the shared-cache entries only they
+    /// could hit — freeing their copy-on-write matrices. Runs
+    /// automatically after every publication; exposed for tests and
+    /// idle housekeeping.
+    pub fn gc(&self) {
+        self.shared.gc();
+    }
+}
+
+/// One reader's handle on a [`Server`]: snapshot-isolated queries, an
+/// optional long-lived pin, and a per-session cache budget. Open one
+/// per client (sessions are `Send`; share the server handle, not the
+/// session).
+pub struct Session<M, R>
+where
+    M: TwoMonoid,
+    R: ServingBackend<Ann = M::Elem>,
+{
+    shared: Arc<ServerShared<M, R>>,
+    id: u64,
+    budget_rows: Option<usize>,
+    pinned: Option<Arc<EpochState<M>>>,
+}
+
+impl<M, R> Session<M, R>
+where
+    M: TwoMonoid,
+    R: ServingBackend<Ann = M::Elem>,
+{
+    /// This session's id (stable for its lifetime; `1`-based — `0` is
+    /// the writer's owner tag).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The epoch the next query will read: the pinned one, else the
+    /// latest published.
+    fn read_epoch(&self) -> Arc<EpochState<M>> {
+        self.pinned
+            .clone()
+            .unwrap_or_else(|| self.shared.current.read().unwrap().clone())
+    }
+
+    /// Pins the current epoch: every subsequent query reads this
+    /// snapshot — regardless of writer activity — until
+    /// [`Session::unpin`]. Returns the pinned epoch counter.
+    pub fn pin(&mut self) -> u64 {
+        let state = self.shared.current.read().unwrap().clone();
+        let epoch = state.epoch;
+        self.pinned = Some(state);
+        epoch
+    }
+
+    /// Releases the pin; the epoch retires when its last reader
+    /// drops. Subsequent queries read the latest published epoch.
+    pub fn unpin(&mut self) {
+        self.pinned = None;
+        self.shared.gc();
+    }
+
+    /// The pinned epoch counter, if a pin is in force.
+    pub fn pinned_epoch(&self) -> Option<u64> {
+        self.pinned.as_ref().map(|s| s.epoch)
+    }
+
+    /// Bounds the rows this session's own materialisations may keep in
+    /// the shared cache (`None`: unbounded). Nodes materialised by
+    /// other sessions (or exported by the writer) never count against
+    /// it.
+    pub fn set_cache_budget(&mut self, budget: Option<usize>) {
+        self.budget_rows = budget;
+        if let Some(b) = budget {
+            let id = self.id;
+            self.shared.evict_where(b, |n| n.owner == id);
+        }
+    }
+
+    /// Evaluates one query against this session's read epoch, sharing
+    /// every sub-plan any session already materialised for compatible
+    /// state. Returns the value and the [`EngineStats`] an independent
+    /// fresh evaluation over the epoch's state would report —
+    /// bit-identical, support trajectory included.
+    ///
+    /// # Errors
+    /// Non-hierarchical queries and annotation failures.
+    pub fn query(
+        &self,
+        interner: &Interner,
+        q: &Query,
+    ) -> Result<(M::Elem, EngineStats), ServingError> {
+        let epoch = self.read_epoch();
+        let plan = self.shared.resolve(q)?;
+        let tick = self.shared.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut local = HashMap::new();
+        for id in plan.lowered.nodes().collect::<Vec<_>>() {
+            self.shared
+                .ensure_node(&epoch, &plan, id, interner, tick, self.id, &mut local)?;
+        }
+        let out = self.shared.replay(&plan.lowered, &local);
+        drop(local);
+        drop(epoch);
+        if let Some(b) = self.budget_rows {
+            let id = self.id;
+            self.shared.evict_where(b, |n| n.owner == id);
+        }
+        self.shared.evict_global();
+        Ok(out)
+    }
+
+    /// Evaluates a batch of queries in order against one consistent
+    /// snapshot (the epoch current when the batch starts, or the
+    /// pinned one).
+    ///
+    /// # Errors
+    /// Fails on the first erroneous query.
+    pub fn query_batch(
+        &mut self,
+        interner: &Interner,
+        queries: &[Query],
+    ) -> Result<Vec<(M::Elem, EngineStats)>, ServingError> {
+        let had_pin = self.pinned.is_some();
+        if !had_pin {
+            self.pin();
+        }
+        let out = queries.iter().map(|q| self.query(interner, q)).collect();
+        if !had_pin {
+            self.unpin();
+        }
+        out
+    }
+
+    /// Applies a write through the server (writes are serialised by
+    /// the master lock; this is a convenience for single-connection
+    /// scripts that mix reads and writes).
+    ///
+    /// # Errors
+    /// See [`Server::update_batch`].
+    pub fn update_batch(
+        &self,
+        interner: &Interner,
+        updates: &[(Fact, M::Elem)],
+    ) -> Result<UpdateOutcome, ServingError> {
+        Server {
+            shared: self.shared.clone(),
+        }
+        .update_batch(interner, updates)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::{MapRelation, ShardedColumnar};
+    use hq_db::db_from_ints;
+    use hq_monoid::ProbMonoid;
+    use hq_query::parse_query;
+
+    fn chain_tid() -> (Vec<(Fact, f64)>, Interner) {
+        let (db, i) = db_from_ints(&[
+            ("E", &[&[1, 2], &[1, 3], &[4, 3], &[5, 5]]),
+            ("F", &[&[2, 9], &[3, 8], &[3, 9], &[5, 1]]),
+        ]);
+        let tid = db
+            .facts()
+            .into_iter()
+            .enumerate()
+            .map(|(j, f)| (f, 0.15 + 0.09 * j as f64))
+            .collect();
+        (tid, i)
+    }
+
+    fn serial_expect(tid: &[(Fact, f64)], i: &Interner, q: &Query) -> (f64, EngineStats) {
+        let mut s: ServingSession<ProbMonoid, ColumnarRelation<f64>> =
+            ServingSession::new(ProbMonoid, i, tid.iter().cloned()).unwrap();
+        s.query(i, q).unwrap()
+    }
+
+    #[test]
+    fn single_session_matches_serial_serving() {
+        let (tid, i) = chain_tid();
+        let q = parse_query("Q() :- E(X,Y), F(Y,Z)").unwrap();
+        let (want, want_stats) = serial_expect(&tid, &i, &q);
+        let server: Server<ProbMonoid> = Server::new(ProbMonoid, &i, tid.iter().cloned()).unwrap();
+        let s = server.session();
+        let (got, stats) = s.query(&i, &q).unwrap();
+        assert_eq!(got.to_bits(), want.to_bits());
+        assert_eq!(stats, want_stats);
+        // Second session: full cache hit, zero additional ops.
+        let performed = server.ops_performed();
+        let s2 = server.session();
+        let (got2, stats2) = s2.query(&i, &q).unwrap();
+        assert_eq!(got2.to_bits(), want.to_bits());
+        assert_eq!(stats2, want_stats);
+        assert_eq!(server.ops_performed(), performed, "hit must be zero-op");
+        assert_eq!(server.plan_hits(), 1);
+    }
+
+    #[test]
+    fn pinned_reader_is_isolated_from_writer() {
+        let (tid, mut i) = chain_tid();
+        let q = parse_query("Q() :- E(X,Y), F(Y,Z)").unwrap();
+        let server: Server<ProbMonoid, ShardedColumnar<f64>> = Server::with_parallelism(
+            ProbMonoid,
+            &i,
+            tid.iter().cloned(),
+            Parallelism::fine_grained(2),
+        )
+        .unwrap();
+        let mut pinned = server.session();
+        let (before, before_stats) = pinned.query(&i, &q).unwrap();
+        pinned.pin();
+        // The writer inserts a novel domain value (dictionary
+        // extension: every cached matrix renumbers).
+        let e = i.intern("E");
+        let novel = Fact::new(e, Tuple::ints(&[77, 78]));
+        server.update(&i, &novel, 0.5).unwrap();
+        // The pinned reader still sees the old state, bit-identically.
+        let (got, stats) = pinned.query(&i, &q).unwrap();
+        assert_eq!(got.to_bits(), before.to_bits());
+        assert_eq!(stats, before_stats);
+        // An unpinned session sees the new state — and matches a
+        // serial session replaying the same history.
+        let fresh = server.session();
+        let (new_got, new_stats) = fresh.query(&i, &q).unwrap();
+        let mut serial: ServingSession<ProbMonoid, ShardedColumnar<f64>> =
+            ServingSession::with_parallelism(
+                ProbMonoid,
+                &i,
+                tid.iter().cloned(),
+                Parallelism::fine_grained(2),
+            )
+            .unwrap();
+        serial.query(&i, &q).unwrap();
+        serial.update(&i, &novel, 0.5).unwrap();
+        let (serial_got, serial_stats) = serial.query(&i, &q).unwrap();
+        assert_eq!(new_got.to_bits(), serial_got.to_bits());
+        assert_eq!(new_stats, serial_stats);
+        // Unpinning retires the old epoch; gc frees its nodes.
+        assert!(server.live_epochs() >= 2);
+        pinned.unpin();
+        server.gc();
+        assert_eq!(server.live_epochs(), 1);
+    }
+
+    #[test]
+    fn governor_bounds_global_rows() {
+        let (tid, i) = chain_tid();
+        let server: Server<ProbMonoid, MapRelation<f64>> =
+            Server::new(ProbMonoid, &i, tid.iter().cloned()).unwrap();
+        server.set_global_cache_rows(Some(3));
+        let s = server.session();
+        for src in ["Q() :- E(X,Y), F(Y,Z)", "Q() :- E(X,Y)", "Q() :- F(Y,Z)"] {
+            s.query(&i, &parse_query(src).unwrap()).unwrap();
+        }
+        assert!(server.materialised_rows() <= 3);
+        assert!(server.evictions() > 0);
+    }
+}

@@ -219,8 +219,9 @@ impl Drop for SpillFile {
 }
 
 /// The lowering-memo key: the query's atom list with variables as
-/// positional ids.
-type QueryShape = Vec<(String, Vec<usize>)>;
+/// positional ids. Shared with [`crate::server`], whose cross-session
+/// lowering memo uses the same structural key.
+pub(crate) type QueryShape = Vec<(String, Vec<usize>)>;
 
 /// Computes a query's memo key. [`hq_query::Var`] ids are assigned in
 /// first-occurrence order, so two queries that differ only in variable
@@ -228,7 +229,7 @@ type QueryShape = Vec<(String, Vec<usize>)>;
 /// planner and the lowering see only ids, identical lowerings. Keying
 /// the memo on the shape instead of the rendered query string lets
 /// renamed restatements of one query share a single entry.
-fn query_shape(q: &Query) -> QueryShape {
+pub(crate) fn query_shape(q: &Query) -> QueryShape {
     q.atoms()
         .iter()
         .map(|a| (a.rel.clone(), a.vars.iter().map(|v| v.0).collect()))
@@ -832,20 +833,7 @@ where
         q: &Query,
     ) -> Result<(M::Elem, EngineStats), ServingError> {
         self.query_tick += 1;
-        // Lowering is memoised per query *shape* (alpha-renamed
-        // queries share an entry): the IR is structural (node ids
-        // never change meaning), so a memoised lowering is valid
-        // forever — across updates, evictions, everything.
-        let key = query_shape(q);
-        let lowered = if let Some(l) = self.lowered.get(&key) {
-            self.lower_hits += 1;
-            l.clone()
-        } else {
-            let p = plan(q)?;
-            let l = lower(&mut self.ir, q, &p);
-            self.lowered.insert(key, l.clone());
-            l
-        };
+        let lowered = self.lower_query(q)?;
         for id in lowered.nodes().collect::<Vec<_>>() {
             self.ensure(id, interner)?;
         }
@@ -1269,6 +1257,90 @@ where
             }
         }
         Ok(outcome)
+    }
+
+    /// Plans and lowers `q` onto the session's shared IR, memoised per
+    /// query *shape* (alpha-renamed queries share an entry): the IR is
+    /// structural (node ids never change meaning), so a memoised
+    /// lowering is valid forever — across updates, evictions,
+    /// everything.
+    pub(crate) fn lower_query(&mut self, q: &Query) -> Result<LoweredQuery, ServingError> {
+        let key = query_shape(q);
+        if let Some(l) = self.lowered.get(&key) {
+            self.lower_hits += 1;
+            return Ok(l.clone());
+        }
+        let p = plan(q)?;
+        let l = lower(&mut self.ir, q, &p);
+        self.lowered.insert(key, l.clone());
+        Ok(l)
+    }
+
+    /// The structural expression of one interned plan node.
+    pub(crate) fn plan_node(&self, id: PlanId) -> PlanExpr {
+        self.ir.node(id).clone()
+    }
+
+    /// The base relations node `id` transitively reads.
+    pub(crate) fn node_deps(&self, id: PlanId) -> &BTreeSet<String> {
+        self.ir.deps(id)
+    }
+
+    /// Per-relation dirty epochs (the session epoch of each relation's
+    /// last change) — the stamps [`crate::server`] keys its shared
+    /// cache on.
+    pub(crate) fn rel_epochs(&self) -> &HashMap<String, u64> {
+        &self.rel_epoch
+    }
+
+    /// The monotone update-batch counter.
+    pub(crate) fn session_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The cached dictionary encoding of the current state.
+    pub(crate) fn encoded_db(&self) -> &EncodedDb {
+        &self.enc
+    }
+
+    /// The current set database.
+    pub(crate) fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The current annotation map.
+    pub(crate) fn annotations(&self) -> &BTreeMap<Fact, M::Elem> {
+        &self.ann
+    }
+
+    /// Iterates the materialised node cache as
+    /// `(id, relation, add_ops, mul_ops)` — the export surface the
+    /// multi-tenant server promotes patched nodes from.
+    pub(crate) fn cache_entries(&self) -> impl Iterator<Item = (PlanId, &R, u64, u64)> {
+        self.cache
+            .iter()
+            .map(|(&id, n)| (id, &n.rel, n.add_ops, n.mul_ops))
+    }
+
+    /// Whether node `id` is materialised.
+    pub(crate) fn has_cached(&self, id: PlanId) -> bool {
+        self.cache.contains_key(&id)
+    }
+
+    /// Adopts an externally materialised node as current. The caller
+    /// guarantees `rel` (and its recorded op counts) are exactly what
+    /// this session's `ensure` would compute for `id` at the current
+    /// state — the server checks this by stamping cache entries with
+    /// the per-relation dirty epochs before handing them over.
+    pub(crate) fn adopt_node(&mut self, id: PlanId, rel: R, add_ops: u64, mul_ops: u64) {
+        self.cache.entry(id).or_insert(CachedNode {
+            rel,
+            add_ops,
+            mul_ops,
+            valid_at: self.epoch,
+            last_used: self.query_tick,
+            refold_rows_ewma: 0.0,
+        });
     }
 
     /// One merge side's change set for the delta walk: the recorded

@@ -20,6 +20,7 @@ Stdlib only; exit 0 = gate passed (or advisory mode), 1 = regression,
 2 = usage/environment error.
 """
 
+import fnmatch
 import glob
 import json
 import math
@@ -28,6 +29,24 @@ import subprocess
 import sys
 
 THRESHOLD = float(os.environ.get("HQ_BENCH_GATE_THRESHOLD", "1.25"))
+
+# Per-workload tolerance overrides: (bench name, workload glob,
+# threshold). First match wins; datapoints with no match use the
+# global THRESHOLD. Multi-client serving rounds spawn OS threads per
+# measured round, so their wall clock carries scheduler noise that the
+# single-thread kernel benches do not — hold them to a looser bar
+# rather than letting timer jitter fail the gate.
+OVERRIDES = [
+    ("server_throughput", "*", 1.60),
+]
+
+
+def threshold_for(bench, workload):
+    """(threshold, override?) for one datapoint."""
+    for b, pattern, t in OVERRIDES:
+        if b == bench and fnmatch.fnmatch(workload or "", pattern):
+            return t, True
+    return THRESHOLD, False
 
 
 def load_head(path):
@@ -80,25 +99,34 @@ def main():
             continue
         fresh_points = datapoints(fresh)
         base_points = datapoints(base)
+        bench = fresh.get("bench", "")
         compared = 0
+        overridden = set()
         for key, base_ns in sorted(base_points.items()):
             if key not in fresh_points:
                 print(f"{path}: {key} dropped from fresh run — skipped")
                 continue
             compared += 1
+            bar, is_override = threshold_for(bench, key[0])
+            if is_override:
+                overridden.add(bar)
             ratio = fresh_points[key] / base_ns
-            if ratio > THRESHOLD:
-                regressions.append((path, key, base_ns, fresh_points[key], ratio))
+            if ratio > bar:
+                regressions.append((path, key, base_ns, fresh_points[key], ratio, bar))
         extra = set(fresh_points) - set(base_points)
         note = f", {len(extra)} new" if extra else ""
+        if overridden:
+            bars = ", ".join(f"{b:.2f}x" for b in sorted(overridden))
+            note += f" (tolerance override: {bars})"
         print(f"{path}: {compared} datapoints compared{note}")
 
     if regressions:
-        print(f"\nslowdowns beyond {THRESHOLD:.2f}x:")
-        for path, (workload, threads), base_ns, fresh_ns, ratio in regressions:
+        print("\nslowdowns beyond their threshold:")
+        for path, (workload, threads), base_ns, fresh_ns, ratio, bar in regressions:
             print(
                 f"  {path} {workload} (threads={threads}): "
-                f"{base_ns / 1e6:.3f} -> {fresh_ns / 1e6:.3f} ms ({ratio:.2f}x)"
+                f"{base_ns / 1e6:.3f} -> {fresh_ns / 1e6:.3f} ms "
+                f"({ratio:.2f}x > {bar:.2f}x)"
             )
 
     if os.environ.get("HQ_BENCH_SMOKE"):

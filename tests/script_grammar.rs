@@ -1,0 +1,132 @@
+//! Property tests for the shared script grammar (`hq_unify::script`):
+//! rendering a parsed command and re-parsing it yields the same
+//! command, for random queries, facts, weights, and delete forms. One
+//! grammar feeds three consumers — `--mode serve --script` files,
+//! `--mode incremental --updates` files, and the `hq serve --listen`
+//! wire protocol — so the round-trip property is what keeps a script
+//! captured from a wire session replayable as a file and vice versa.
+
+use hq_db::{Fact, Interner, Tuple, Value};
+use hq_query::gen::random_hierarchical;
+use hq_unify::script::{parse_command, render_command, strip_comment, ScriptCommand, UpdateAction};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+const RELS: [&str; 6] = ["R", "E", "F", "Edge", "Weights", "T_2"];
+
+/// One random fact value: an `i64`, or an alphabetic-prefixed string
+/// (the prefix guarantees it never re-parses as an int).
+#[derive(Debug, Clone)]
+enum FactValue {
+    Int(i64),
+    Str(String),
+}
+
+fn value_strategy() -> impl Strategy<Value = FactValue> {
+    (any::<bool>(), any::<u64>()).prop_map(|(is_str, bits)| {
+        if is_str {
+            FactValue::Str(format!("v{}", bits % 10_000))
+        } else {
+            FactValue::Int(bits as i64)
+        }
+    })
+}
+
+fn fact_strategy() -> impl Strategy<Value = (usize, Vec<FactValue>)> {
+    (
+        0..RELS.len(),
+        proptest::collection::vec(value_strategy(), 1..4),
+    )
+}
+
+fn build_fact(interner: &mut Interner, rel: usize, values: &[FactValue]) -> Fact {
+    let sym = interner.intern(RELS[rel]);
+    let vals: Vec<Value> = values
+        .iter()
+        .map(|v| match v {
+            FactValue::Int(i) => Value::int(*i),
+            FactValue::Str(s) => Value::Str(interner.intern(s)),
+        })
+        .collect();
+    Fact::new(sym, Tuple::from(vals))
+}
+
+/// Deletes, the implicit weight 1, probabilities, and arbitrary finite
+/// magnitudes (the grammar is not probability-specific — counting and
+/// tropical scripts use it too).
+fn action_strategy() -> impl Strategy<Value = UpdateAction> {
+    (0usize..4, 0.0..=1.0f64, any::<u64>()).prop_map(|(kind, p, bits)| match kind {
+        0 => UpdateAction::Delete,
+        1 => UpdateAction::Weight(1.0),
+        2 => UpdateAction::Weight(p),
+        _ => {
+            let magnitude = (bits % 2_000_000_000) as f64 / 1_000.0 - 1_000_000.0;
+            UpdateAction::Weight(magnitude)
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// Update lines: parse ∘ render = id on (fact, action), and
+    /// render ∘ parse = id on the rendered text.
+    #[test]
+    fn update_commands_round_trip((rel, values) in fact_strategy(), action in action_strategy()) {
+        let mut interner = Interner::new();
+        let fact = build_fact(&mut interner, rel, &values);
+        let cmd = ScriptCommand::Update(fact.clone(), action.clone());
+        let line = render_command(&cmd, &interner);
+        prop_assert_eq!(strip_comment(&line), Some(line.as_str()), "render emitted comment/blank");
+        let reparsed = parse_command(&line, 0, "prop", &mut interner).unwrap();
+        let ScriptCommand::Update(got_fact, got_action) = reparsed else {
+            return Err(TestCaseError::fail("update re-parsed as a query"));
+        };
+        prop_assert_eq!(&got_fact, &fact, "fact changed across the round trip: {}", line);
+        match (&action, &got_action) {
+            (UpdateAction::Delete, UpdateAction::Delete) => {}
+            (UpdateAction::Weight(a), UpdateAction::Weight(b)) => {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "weight drifted: {} vs {}", a, b);
+            }
+            _ => return Err(TestCaseError::fail(format!(
+                "action kind changed: {action:?} vs {got_action:?}"
+            ))),
+        }
+        // Second render is a fixed point.
+        let again = render_command(&ScriptCommand::Update(got_fact, got_action), &interner);
+        prop_assert_eq!(line, again);
+    }
+
+    /// Query lines: `? <query>` re-parses to a query with the same
+    /// display form (queries are compared by their canonical render —
+    /// the parser does not keep incidental whitespace).
+    #[test]
+    fn query_commands_round_trip(seed in 0u64..1_000_000) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let q = random_hierarchical(&mut rng, 4, 4);
+        let mut interner = Interner::new();
+        let cmd = ScriptCommand::Query(q.clone());
+        let line = render_command(&cmd, &interner);
+        let reparsed = parse_command(&line, 0, "prop", &mut interner).unwrap();
+        let ScriptCommand::Query(got) = reparsed else {
+            return Err(TestCaseError::fail("query re-parsed as an update"));
+        };
+        prop_assert_eq!(got.to_string(), q.to_string(), "query changed: {}", line);
+        prop_assert_eq!(render_command(&ScriptCommand::Query(got), &interner), line);
+    }
+
+    /// Trailing comments never change what a line parses to.
+    #[test]
+    fn trailing_comments_are_inert((rel, values) in fact_strategy(), action in action_strategy()) {
+        let mut interner = Interner::new();
+        let fact = build_fact(&mut interner, rel, &values);
+        let line = render_command(&ScriptCommand::Update(fact.clone(), action), &interner);
+        let commented = format!("{line}   # trailing note");
+        let stripped = strip_comment(&commented).unwrap();
+        let reparsed = parse_command(stripped, 0, "prop", &mut interner).unwrap();
+        let ScriptCommand::Update(got_fact, _) = reparsed else {
+            return Err(TestCaseError::fail("comment changed the command kind"));
+        };
+        prop_assert_eq!(got_fact, fact);
+    }
+}
