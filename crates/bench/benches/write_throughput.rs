@@ -1,0 +1,311 @@
+//! Group-commit write throughput: updates/sec vs concurrent writer
+//! count over one shared [`hq_unify::Server`].
+//!
+//! Two variants at growing `|D|` for each writer count c ∈ {1,2,4,8}:
+//!
+//! * **grouped** — c writer threads each submit their batches through
+//!   [`Server::commit_batch`], so concurrent submissions coalesce into
+//!   shared group commits (one delta-patch/refold pass and one epoch
+//!   publish per group);
+//! * **serialised** — the same batches applied one at a time on one
+//!   thread, one commit per batch (the pre-group-commit write path).
+//!
+//! Writers own disjoint fact subsets during the throughput rounds, so
+//! the final state is deterministic no matter how the scheduler groups
+//! the submissions; after every sweep the served answer is asserted
+//! bit-identical to a fresh evaluation of the model state.
+//!
+//! A separate deterministic **overlap** section submits k batches that
+//! all touch the same facts, flushes them as one group, and asserts the
+//! pipeline's reason to exist: grouped commit publishes **strictly
+//! fewer epochs** and performs **strictly fewer monoid ops** than
+//! committing the same batches one by one. Those four counters are
+//! deterministic and are emitted into `BENCH_write_throughput.json`
+//! alongside the wall-clock entries (keyed by writer count in the
+//! `threads` field).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hq_bench::{
+    chain_tid, host_threads, smoke_mode, thread_sweep, write_bench_summary, SummaryEntry,
+    TidWorkload,
+};
+use hq_db::Fact;
+use hq_monoid::ProbMonoid;
+use hq_unify::{ColumnarRelation, Server, ServingSession};
+use std::collections::BTreeMap;
+
+/// Concurrent writer counts — the `threads` axis of the summary.
+const WRITERS: [usize; 4] = [1, 2, 4, 8];
+
+/// Facts per writer batch.
+const BATCH: usize = 8;
+
+/// Batches each writer commits per measured round.
+const ROUNDS_PER_CALL: usize = 4;
+
+type ProbServer = Server<ProbMonoid, ColumnarRelation<f64>>;
+
+/// The batch writer `i` of `c` commits at `round`: [`BATCH`] facts from
+/// the writer's own residue class (disjoint across writers for every
+/// `c` dividing `|D|`), with a probability that varies by round so
+/// every commit actually dirties the fold.
+fn writer_batch(w: &TidWorkload, c: usize, i: usize, round: usize) -> Vec<(Fact, f64)> {
+    (0..BATCH)
+        .map(|j| {
+            let (f, _) = &w.tid[(i + j * c) % w.tid.len()];
+            let p = 0.05 + 0.9 * (((round * 131 + i * 17 + j * 7) % 97) as f64) / 97.0;
+            (f.clone(), p)
+        })
+        .collect()
+}
+
+/// Serial oracle: the expected answer bits at one model state.
+fn oracle_bits(w: &TidWorkload, state: &BTreeMap<Fact, f64>) -> u64 {
+    let mut session: ServingSession<ProbMonoid, ColumnarRelation<f64>> = ServingSession::new(
+        ProbMonoid,
+        &w.interner,
+        state.iter().map(|(f, p)| (f.clone(), *p)),
+    )
+    .unwrap();
+    session.query(&w.interner, &w.query).unwrap().0.to_bits()
+}
+
+/// One grouped round: `c` writer threads, each committing
+/// `ROUNDS_PER_CALL` of its own batches through the group-commit
+/// queue. Within a writer the order is the submission order
+/// (`commit_batch` is synchronous); across writers the subsets are
+/// disjoint, so the final state is round-deterministic.
+fn grouped_round(server: &ProbServer, w: &TidWorkload, c: usize, base_round: usize) {
+    std::thread::scope(|scope| {
+        for i in 0..c {
+            scope.spawn(move || {
+                for b in 0..ROUNDS_PER_CALL {
+                    let batch = writer_batch(w, c, i, base_round + b);
+                    server.commit_batch(&w.interner, &batch).unwrap();
+                }
+            });
+        }
+    });
+}
+
+/// The serialised baseline: the same `c × ROUNDS_PER_CALL` batches
+/// applied one at a time on one thread — one commit per batch.
+fn serial_round(server: &ProbServer, w: &TidWorkload, c: usize, base_round: usize) {
+    for b in 0..ROUNDS_PER_CALL {
+        for i in 0..c {
+            let batch = writer_batch(w, c, i, base_round + b);
+            server.update_batch(&w.interner, &batch).unwrap();
+        }
+    }
+}
+
+/// Folds the round's batches into the model (last write per fact wins;
+/// writer subsets are disjoint, so application order is immaterial).
+fn apply_round(model: &mut BTreeMap<Fact, f64>, w: &TidWorkload, c: usize, base_round: usize) {
+    for b in 0..ROUNDS_PER_CALL {
+        for i in 0..c {
+            for (f, p) in writer_batch(w, c, i, base_round + b) {
+                model.insert(f, p);
+            }
+        }
+    }
+}
+
+/// The served answer must be bit-identical to fresh evaluation of the
+/// model state, however the scheduler grouped the commits.
+fn assert_state(server: &ProbServer, w: &TidWorkload, model: &BTreeMap<Fact, f64>, label: &str) {
+    let s = server.session();
+    let (got, _) = s.query(&w.interner, &w.query).unwrap();
+    assert_eq!(
+        got.to_bits(),
+        oracle_bits(w, model),
+        "{label}: served answer diverged from the fresh oracle"
+    );
+}
+
+/// The overlap acceptance check: `k` batches all touching the same
+/// facts, committed as one group vs one by one. Returns
+/// `(grouped_epochs, serial_epochs, grouped_ops, serial_ops)` —
+/// deterministic counters, asserted strictly ordered.
+fn grouped_vs_serial_overlap(w: &TidWorkload, k: usize) -> (u64, u64, u64, u64) {
+    let facts: Vec<Fact> = w.tid.iter().take(4).map(|(f, _)| f.clone()).collect();
+    let batches: Vec<Vec<(Fact, f64)>> = (0..k)
+        .map(|j| {
+            facts
+                .iter()
+                .map(|f| (f.clone(), 0.1 + 0.8 * (j as f64) / (k as f64)))
+                .collect()
+        })
+        .collect();
+
+    let build = || -> ProbServer {
+        let server = Server::new(ProbMonoid, &w.interner, w.tid.iter().cloned()).unwrap();
+        // Materialise the plan so every commit below pays the real
+        // delta-patch/refold cost the counters compare.
+        server.session().query(&w.interner, &w.query).unwrap();
+        server
+    };
+
+    // Grouped: enqueue all k batches, then flush them as one group.
+    let grouped = build();
+    let (epoch0, ops0) = (grouped.current_epoch(), grouped.writer_ops_performed());
+    let tickets: Vec<_> = batches
+        .iter()
+        .map(|b| grouped.submit_batch(&w.interner, b).unwrap())
+        .collect();
+    assert_eq!(grouped.flush_writes(&w.interner), k, "all batches flushed");
+    for t in tickets {
+        let receipt = t.wait(&w.interner).unwrap();
+        assert_eq!(receipt.group_batches, k, "every ticket saw the whole group");
+        assert_eq!(receipt.epoch, epoch0 + 1, "one shared epoch per group");
+    }
+    let grouped_epochs = grouped.current_epoch() - epoch0;
+    let grouped_ops = grouped.writer_ops_performed() - ops0;
+
+    // Serialised: the same batches, one commit each.
+    let serial = build();
+    let (epoch0, ops0) = (serial.current_epoch(), serial.writer_ops_performed());
+    for b in &batches {
+        serial.update_batch(&w.interner, b).unwrap();
+    }
+    let serial_epochs = serial.current_epoch() - epoch0;
+    let serial_ops = serial.writer_ops_performed() - ops0;
+
+    assert!(
+        grouped_epochs < serial_epochs,
+        "grouped commit must publish strictly fewer epochs on overlapping \
+         batches: {grouped_epochs} vs {serial_epochs}"
+    );
+    assert!(
+        grouped_ops < serial_ops,
+        "grouped commit must perform strictly fewer monoid ops on \
+         overlapping batches: {grouped_ops} vs {serial_ops}"
+    );
+    // Both write paths land on the same state, bit for bit.
+    let model: BTreeMap<Fact, f64> = w
+        .tid
+        .iter()
+        .cloned()
+        .chain(batches.last().unwrap().iter().cloned())
+        .collect();
+    assert_state(&grouped, w, &model, "overlap grouped");
+    assert_state(&serial, w, &model, "overlap serialised");
+    (grouped_epochs, serial_epochs, grouped_ops, serial_ops)
+}
+
+fn bench_write(c: &mut Criterion) {
+    let mut group = c.benchmark_group("write_throughput");
+    group.sample_size(10);
+    let w = chain_tid(1_000, 23);
+    let grouped = Server::new(ProbMonoid, &w.interner, w.tid.iter().cloned()).unwrap();
+    grouped.session().query(&w.interner, &w.query).unwrap();
+    let serial: ProbServer = Server::new(ProbMonoid, &w.interner, w.tid.iter().cloned()).unwrap();
+    serial.session().query(&w.interner, &w.query).unwrap();
+    let mut round = 0usize;
+    for c_n in [1usize, 4] {
+        group.bench_function(BenchmarkId::new("grouped", c_n), |b| {
+            b.iter(|| {
+                grouped_round(&grouped, &w, c_n, round);
+                round += ROUNDS_PER_CALL;
+            })
+        });
+        group.bench_function(BenchmarkId::new("serialised", c_n), |b| {
+            b.iter(|| {
+                serial_round(&serial, &w, c_n, round);
+                round += ROUNDS_PER_CALL;
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_write_summary(_c: &mut Criterion) {
+    println!(
+        "\n== write_throughput ({BATCH} facts x {ROUNDS_PER_CALL} batches per writer per round)"
+    );
+    let mut entries: Vec<SummaryEntry> = Vec::new();
+    let sizes: &[usize] = if smoke_mode() {
+        &[1_000]
+    } else {
+        &[1_000, 4_000]
+    };
+    let iters = if smoke_mode() { 2 } else { 6 };
+    for &n in sizes {
+        let w = chain_tid(n, 23);
+        let d = w.tid.len();
+        let grouped: ProbServer =
+            Server::new(ProbMonoid, &w.interner, w.tid.iter().cloned()).unwrap();
+        grouped.session().query(&w.interner, &w.query).unwrap();
+        let serial: ProbServer =
+            Server::new(ProbMonoid, &w.interner, w.tid.iter().cloned()).unwrap();
+        serial.session().query(&w.interner, &w.query).unwrap();
+        let spawned = hq_unify::pool::spawn_count();
+        let mut g_model: BTreeMap<Fact, f64> = w.tid.iter().cloned().collect();
+        let mut s_model = g_model.clone();
+        let (mut g_round, mut s_round) = (0usize, 0usize);
+        for &c in &WRITERS {
+            entries.extend(thread_sweep(
+                &format!("grouped_upd_{d}"),
+                &[c],
+                iters,
+                |_| {
+                    grouped_round(&grouped, &w, c, g_round);
+                    apply_round(&mut g_model, &w, c, g_round);
+                    g_round += ROUNDS_PER_CALL;
+                },
+            ));
+            entries.extend(thread_sweep(
+                &format!("serial_upd_{d}"),
+                &[c],
+                iters,
+                |_| {
+                    serial_round(&serial, &w, c, s_round);
+                    apply_round(&mut s_model, &w, c, s_round);
+                    s_round += ROUNDS_PER_CALL;
+                },
+            ));
+            assert_state(&grouped, &w, &g_model, "grouped sweep");
+            assert_state(&serial, &w, &s_model, "serialised sweep");
+        }
+        let ws = grouped.write_stats();
+        println!(
+            "   |D| = {d}: grouped committed {} batch(es) in {} commit(s), max group {}",
+            ws.batches_committed, ws.commits, ws.max_group
+        );
+        assert_eq!(
+            hq_unify::pool::spawn_count(),
+            spawned,
+            "committing spawned pool threads per request at |D| = {d}"
+        );
+    }
+
+    // The acceptance bar (always on, smoke included): on overlapping
+    // batches, grouped commit must publish strictly fewer epochs and
+    // perform strictly fewer monoid ops than per-batch serial commits.
+    let w = chain_tid(1_000, 23);
+    let k = WRITERS[WRITERS.len() - 1];
+    let (ge, se, go, so) = grouped_vs_serial_overlap(&w, k);
+    println!("   overlap x{k}: grouped {ge} epoch(s) / {go} ops, serial {se} epoch(s) / {so} ops");
+    // Deterministic counters, emitted so the summary itself shows the
+    // grouped-vs-serial gap (mean_ns carries the raw count).
+    for (workload, count) in [
+        ("overlap_grouped_epochs", ge),
+        ("overlap_serial_epochs", se),
+        ("overlap_grouped_ops", go),
+        ("overlap_serial_ops", so),
+    ] {
+        entries.push(SummaryEntry {
+            workload: workload.to_owned(),
+            threads: k,
+            mean_ns: count as f64,
+            speedup_vs_1: 1.0,
+            pool_workers: hq_unify::pool::workers(),
+            host_threads: host_threads(),
+        });
+    }
+    let path = write_bench_summary("write_throughput", &entries).expect("summary written");
+    println!("summary: {path}");
+}
+
+criterion_group!(benches, bench_write, bench_write_summary);
+criterion_main!(benches);

@@ -111,6 +111,10 @@ fn usage() -> String {
      \x20         [--max-live-epochs <n>]                  admission-control update bursts:\n\
      \x20                                                  a writer blocks while n epochs\n\
      \x20                                                  are still pinned by readers\n\
+     \x20         [--write-queue <n>]                      bound the group-commit queue to\n\
+     \x20                                                  n pending writer batches\n\
+     \x20         [--write-policy block|refuse]            what a full write queue does to\n\
+     \x20                                                  new submissions (default: block)\n\
      \x20 shapley --query <q> --db <file> [--exogenous <file>]\n\
      \n\
      solver options:\n\

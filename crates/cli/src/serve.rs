@@ -9,16 +9,23 @@
 //! * `? <query>` → `<query> -> P(Q) = <p>` — evaluated against the
 //!   epoch current when the query starts (or the pinned one);
 //! * `R(v1, …) [@ p]` / `!R(v1, …)` → `ok epoch <e>` — a write,
-//!   serialised through the single-writer master and published as a
-//!   new epoch;
+//!   submitted to the server's group-commit queue; concurrent
+//!   connections' writes coalesce into one delta-patch pass and one
+//!   epoch publication, and `<e>` is the **ticket's** epoch (the one
+//!   this write's commit group published), not whatever epoch happens
+//!   to be current by reply time;
 //! * `pin` → `pinned epoch <e>` / `unpin` → `ok` — hold one snapshot
 //!   across writer activity;
-//! * `stats` → one line of server counters;
+//! * `stats` → one line of server counters, write pipeline included
+//!   (group commits, coalesced batches, queue depth/high-water,
+//!   rejected batches);
 //! * `quit` (close this session), `shutdown` (stop the server);
 //! * `# …` comments and blank lines are skipped without a response.
 //!
-//! Errors answer `error: …` and keep the connection open. Connections
-//! beyond `--max-sessions` are refused with `error: server full`.
+//! Errors answer `error: …` and keep the connection open — including
+//! `error: write queue full …` when `--write-queue N --write-policy
+//! refuse` backpressure refuses a burst. Connections beyond
+//! `--max-sessions` are refused with `error: server full`.
 
 use crate::args::Args;
 use hq_db::{Fact, Interner};
@@ -127,23 +134,39 @@ impl WireServer {
         on_wire!(self, s => s.set_max_live_epochs(max));
     }
 
+    fn set_write_queue(&self, depth: Option<usize>, policy: hq_unify::WritePolicy) {
+        on_wire!(self, s => s.set_write_queue(depth, policy));
+    }
+
     fn current_epoch(&self) -> u64 {
         on_wire!(self, s => s.current_epoch())
     }
 
     fn stats_line(&self) -> String {
-        on_wire!(self, s => format!(
-            "epoch {}; {} live epoch(s); {} cached node(s), {} rows, {} B; \
-             {} evicted; {} ops performed; {} plan hit(s)",
-            s.current_epoch(),
-            s.live_epochs(),
-            s.cached_nodes(),
-            s.materialised_rows(),
-            s.storage_bytes(),
-            s.evictions(),
-            s.ops_performed(),
-            s.plan_hits(),
-        ))
+        on_wire!(self, s => {
+            let w = s.write_stats();
+            format!(
+                "epoch {}; {} live epoch(s); {} cached node(s), {} rows, {} B; \
+                 {} evicted; {} ops performed; {} plan hit(s); \
+                 writes: {} commit(s), {} batch(es), max group {}, \
+                 queue {} (hw {}), rejected {} invalid / {} full",
+                s.current_epoch(),
+                s.live_epochs(),
+                s.cached_nodes(),
+                s.materialised_rows(),
+                s.storage_bytes(),
+                s.evictions(),
+                s.ops_performed(),
+                s.plan_hits(),
+                w.commits,
+                w.batches_committed,
+                w.max_group,
+                w.queue_depth,
+                w.queue_high_water,
+                w.rejected_invalid,
+                w.rejected_full,
+            )
+        })
     }
 }
 
@@ -152,8 +175,10 @@ impl WireSession {
         on_wire_session!(self, s => s.query(i, q).map(|(p, _)| p)).map_err(|e| e.to_string())
     }
 
-    fn update(&self, i: &Interner, fact: Fact, weight: f64) -> Result<(), String> {
-        on_wire_session!(self, s => s.update_batch(i, &[(fact, weight)]).map(|_| ()))
+    /// Commits one write through the group-commit queue, returning the
+    /// epoch the write's commit group published.
+    fn update(&self, i: &Interner, fact: Fact, weight: f64) -> Result<u64, String> {
+        on_wire_session!(self, s => s.commit_batch(i, &[(fact, weight)]).map(|r| r.epoch))
             .map_err(|e| e.to_string())
     }
 
@@ -167,7 +192,8 @@ impl WireSession {
 }
 
 /// `hq serve --db FILE --listen ADDR [--backend B] [--threads N]
-/// [--max-sessions N] [--global-cache-rows N] [--max-live-epochs N]`.
+/// [--max-sessions N] [--global-cache-rows N] [--max-live-epochs N]
+/// [--write-queue N] [--write-policy block|refuse]`.
 /// Binds, prints the bound address to stderr (so `--listen 127.0.0.1:0`
 /// is scriptable), and serves until a connection sends `shutdown`.
 pub(crate) fn cmd_serve(args: &Args) -> Result<String, String> {
@@ -208,6 +234,23 @@ pub(crate) fn cmd_serve(args: &Args) -> Result<String, String> {
             .filter(|&n| n >= 2)
             .ok_or_else(|| "max-live-epochs: expected an integer >= 2".to_string())?;
         server.set_max_live_epochs(Some(max));
+    }
+    let write_policy: hq_unify::WritePolicy = match args.get("write-policy") {
+        Some(p) => p.parse().map_err(|e| format!("write-policy: {e}"))?,
+        None => hq_unify::WritePolicy::default(),
+    };
+    match args.get("write-queue") {
+        Some(n) => {
+            let depth: usize = n
+                .parse()
+                .ok()
+                .filter(|&n| n >= 1)
+                .ok_or_else(|| "write-queue: expected a positive integer".to_string())?;
+            server.set_write_queue(Some(depth), write_policy);
+        }
+        // A policy without a bound still applies (it matters once a
+        // bound is set later via future admin surface; harmless now).
+        None => server.set_write_queue(None, write_policy),
     }
     let listener = TcpListener::bind(listen).map_err(|e| format!("{listen}: {e}"))?;
     let addr = listener.local_addr().map_err(|e| e.to_string())?;
@@ -319,7 +362,7 @@ fn handle_conn(
                         // weight coincide.
                         let i = interner.read().expect("interner lock");
                         match session.update(&i, fact, action.prob_weight()) {
-                            Ok(()) => format!("ok epoch {}", server.current_epoch()),
+                            Ok(epoch) => format!("ok epoch {epoch}"),
                             Err(e) => format!("error: {e}"),
                         }
                     }
@@ -372,6 +415,9 @@ mod tests {
             match *k {
                 "global-cache-rows" => server.set_global_cache_rows(Some(v.parse().unwrap())),
                 "max-live-epochs" => server.set_max_live_epochs(Some(v.parse().unwrap())),
+                "write-queue" => {
+                    server.set_write_queue(Some(v.parse().unwrap()), Default::default());
+                }
                 _ => unreachable!(),
             }
         }
@@ -460,6 +506,37 @@ mod tests {
         writeln!(a, "shutdown").unwrap();
         drop(a);
         drop(a_reader);
+        let _ = handle.join().unwrap();
+    }
+
+    #[test]
+    fn wire_updates_report_ticket_epochs_and_write_stats() {
+        let (addr, handle) = boot("E(1,2) @ 0.5\nF(2,3) @ 0.5\n", &[("write-queue", "4")]);
+        let replies = roundtrip(
+            addr,
+            &[
+                "E(1,2) @ 0.9",
+                "E(1,2) @ 0.9", // no-op: state unchanged, epoch stays
+                "F(2,3) @ 0.8",
+                "E(1,2,3) @ 0.4", // arity mismatch: rejected at enqueue
+                "stats",
+                "quit",
+            ],
+        );
+        assert_eq!(replies.len(), 5, "{replies:?}");
+        assert_eq!(replies[0], "ok epoch 1", "{replies:?}");
+        assert_eq!(replies[1], "ok epoch 1", "{replies:?}");
+        assert_eq!(replies[2], "ok epoch 2", "{replies:?}");
+        assert!(replies[3].starts_with("error:"), "{replies:?}");
+        assert!(replies[3].contains("arity"), "{replies:?}");
+        let stats = &replies[4];
+        assert!(
+            stats.contains("writes: 3 commit(s), 3 batch(es)"),
+            "{stats}"
+        );
+        assert!(stats.contains("rejected 1 invalid / 0 full"), "{stats}");
+        let shut = roundtrip(addr, &["shutdown"]);
+        assert_eq!(shut, vec!["ok: shutting down".to_owned()]);
         let _ = handle.join().unwrap();
     }
 

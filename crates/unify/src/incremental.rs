@@ -101,6 +101,31 @@ pub struct UpdateStats {
     pub dict_extensions: usize,
 }
 
+/// Coalesces several update batches into one serial-replay-equivalent
+/// batch: for every fact the **last** write across the concatenation
+/// wins, and the surviving entries keep the order of each fact's first
+/// occurrence (deterministic regardless of how the batches were
+/// produced). This is the per-batch dirty-key coalescing of
+/// [`IncrementalRun::update_batch`] lifted *across* batches — the
+/// server's group-commit pipeline ([`crate::server::Server`]) uses it
+/// to merge every queued writer's batch into a single delta-patch
+/// pass, so a fact overwritten by a later batch in the group is
+/// refolded once at its final value instead of once per batch.
+pub fn coalesce_batches<E: Clone>(batches: &[&[(Fact, E)]]) -> Vec<(Fact, E)> {
+    let mut index: BTreeMap<&Fact, usize> = BTreeMap::new();
+    let mut out: Vec<(Fact, E)> = Vec::new();
+    for (fact, value) in batches.iter().flat_map(|b| b.iter()) {
+        match index.get(fact) {
+            Some(&at) => out[at].1 = value.clone(),
+            None => {
+                index.insert(fact, out.len());
+                out.push((fact.clone(), value.clone()));
+            }
+        }
+    }
+    out
+}
+
 /// A materialised Algorithm 1 run that supports annotation updates,
 /// batched updates, and dynamic fact inserts.
 pub struct IncrementalRun<M, R = MapRelation<<M as TwoMonoid>::Elem>>
@@ -355,6 +380,23 @@ where
     ) -> Result<&M::Elem, IncrementalError> {
         let pair = [(fact.clone(), value)];
         self.update_batch(interner, &pair)
+    }
+
+    /// Applies several batches as **one** coalesced propagation pass:
+    /// [`coalesce_batches`] merges them last-write-wins and the plan
+    /// is walked once for the union of their dirty sets — equivalent
+    /// to applying the batches in order, at the cost of one.
+    ///
+    /// # Errors
+    /// See [`IncrementalRun::update_batch`]; all-or-nothing across the
+    /// whole group.
+    pub fn update_batches(
+        &mut self,
+        interner: &Interner,
+        batches: &[&[(Fact, M::Elem)]],
+    ) -> Result<&M::Elem, IncrementalError> {
+        let merged = coalesce_batches(batches);
+        self.update_batch(interner, &merged)
     }
 
     /// Applies a batch of annotation updates in one propagation pass:

@@ -149,12 +149,14 @@ pub use engine::{
     evaluate, evaluate_compressed_par, evaluate_encoded, evaluate_on, evaluate_on_par, run_plan,
     EngineStats, UnifyError,
 };
-pub use incremental::{IncrementalError, IncrementalRun, UpdateStats};
+pub use incremental::{coalesce_batches, IncrementalError, IncrementalRun, UpdateStats};
 pub use plan_ir::{lower, LoweredQuery, PlanExpr, PlanId, PlanIr};
 pub use pqe::{expected_count, probability, probability_exact, IncrementalPqe, PqeError};
 pub use provenance::{provenance_tree, Provenance};
 pub use script::{parse_command, parse_script, render_command, ScriptCommand, UpdateAction};
-pub use server::{EpochState, Server, Session};
+pub use server::{
+    CommitReceipt, CommitTicket, EpochState, Server, Session, WritePolicy, WriteStats,
+};
 pub use serving::{ServingBackend, ServingError, ServingSession, UpdateOutcome};
 pub use shapley::{
     sat_counts, shapley_value, shapley_values, FactRole, IncrementalSatCounts, ShapleyError,

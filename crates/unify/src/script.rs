@@ -4,7 +4,11 @@
 //! `--mode serve --script` files, the `--mode incremental --updates`
 //! files, and the `hq serve --listen` wire protocol (the script
 //! grammar *is* the wire format — a socket connection is just a script
-//! whose lines arrive one at a time). The grammar:
+//! whose lines arrive one at a time; parsed update commands are
+//! submitted to the server's group-commit queue, so concurrent
+//! connections' writes coalesce into one commit and each `ok epoch`
+//! reply carries the submitting batch's own commit-ticket epoch). The
+//! grammar:
 //!
 //! * `? <query>` — serve a query (e.g. `? Q() :- E(X,Y), F(Y,Z)`);
 //! * `R(v1, …) [@ p]` — upsert a fact (a missing weight means `1`);

@@ -29,12 +29,28 @@
 //!   the entry. Cache hits on shared sub-plans are **zero-op across
 //!   clients**; two sessions racing to materialise the same key both
 //!   compute bit-identical nodes and the first insert wins.
-//! * **Write path.** The writer first *adopts* any reader-materialised
-//!   nodes that are current for the master state into the master
-//!   cache, so [`ServingSession::update_batch`]'s delta-patch
-//!   machinery patches warm nodes instead of recomputing them; it
-//!   then *exports* the patched nodes back to the shared cache at
-//!   their post-batch stamps and publishes the new epoch.
+//! * **Write path: group commit.** Writers never take the master
+//!   mutex directly. [`Server::submit_batch`] validates a batch's
+//!   arities at enqueue time (against a grow-only registry, so a bad
+//!   batch fails on its own [`CommitTicket`] without poisoning
+//!   anyone) and pushes it onto a bounded commit queue; the first
+//!   ticket-waiter to acquire commit leadership drains *every*
+//!   pending batch, coalesces them last-write-wins
+//!   ([`crate::incremental::coalesce_batches`] — the per-batch
+//!   dirty-key coalescing lifted across sessions), runs **one**
+//!   delta-patch pass and publishes **one** epoch for the whole
+//!   group. Within the pass the committer first *adopts* any
+//!   reader-materialised nodes that are current for the master state,
+//!   so nodes warmed by any reader stay warm across the write, then
+//!   *exports* the patched nodes back to the shared cache at their
+//!   post-batch stamps. Groups commit in arrival-sequence order, so
+//!   the final state equals a serial replay of the batches in `seq`
+//!   order ([`CommitReceipt::seq`]).
+//! * **Burst backpressure.** Above the epoch admission bound,
+//!   [`Server::set_write_queue`] bounds the commit-queue depth with a
+//!   blocking or refusing policy ([`WritePolicy`]), and
+//!   [`Server::write_stats`] exposes commits, coalesced batches,
+//!   queue depth/high-water and rejected-batch counters.
 //! * **Memory governor.** [`Server::set_global_cache_rows`] bounds the
 //!   total materialised rows across all sessions (cost-aware-LRU
 //!   eviction, like the per-session budget of
@@ -55,7 +71,9 @@
 //! `tests/differential_server.rs` suite pins N concurrent readers + 1
 //! writer against a serial replay of the same interleaved script.
 
+use crate::annotated::AnnotateError;
 use crate::engine::EngineStats;
+use crate::incremental::coalesce_batches;
 use crate::plan_ir::{LoweredQuery, PlanExpr, PlanId};
 use crate::serving::{
     query_shape, QueryShape, ServingBackend, ServingError, ServingSession, UpdateOutcome,
@@ -65,9 +83,9 @@ use hq_db::{Database, Fact, Interner, Sym, Tuple};
 use hq_monoid::TwoMonoid;
 use hq_query::{Query, Var};
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, RwLock, Weak};
+use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock, Weak};
 use std::time::Duration;
 
 /// The writer's session id in shared-cache owner tags (real sessions
@@ -163,6 +181,118 @@ struct Governor {
     max_live_epochs: Option<usize>,
 }
 
+/// How a full commit queue treats a new submission (see
+/// [`Server::set_write_queue`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum WritePolicy {
+    /// Block the submitter until the committer drains space free.
+    #[default]
+    Block,
+    /// Refuse immediately with [`ServingError::WriteQueueFull`].
+    Refuse,
+}
+
+impl std::str::FromStr for WritePolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "block" => Ok(WritePolicy::Block),
+            "refuse" => Ok(WritePolicy::Refuse),
+            other => Err(format!("unknown write policy `{other}` (block|refuse)")),
+        }
+    }
+}
+
+impl std::fmt::Display for WritePolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            WritePolicy::Block => "block",
+            WritePolicy::Refuse => "refuse",
+        })
+    }
+}
+
+/// What one group commit told a submitter about its batch: delivered
+/// through the batch's [`CommitTicket`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommitReceipt {
+    /// The epoch the batch's group published — or the epoch already
+    /// current when the whole group turned out to be a no-op.
+    pub epoch: u64,
+    /// The batch's arrival sequence number (assigned at enqueue;
+    /// groups commit in sequence order, so sorting receipts by `seq`
+    /// reconstructs the serial-replay order).
+    pub seq: u64,
+    /// How many batches the group coalesced into the one commit.
+    pub group_batches: usize,
+    /// The *group's* combined [`UpdateOutcome`] (one delta-patch pass
+    /// serves every batch in the group).
+    pub outcome: UpdateOutcome,
+}
+
+/// Writer-side pipeline counters (see [`Server::write_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WriteStats {
+    /// Group commits performed (each is one delta-patch pass and at
+    /// most one epoch publication).
+    pub commits: u64,
+    /// Batches those commits coalesced (`batches_committed / commits`
+    /// is the mean group size — the amortisation win).
+    pub batches_committed: u64,
+    /// Largest group coalesced into a single commit so far.
+    pub max_group: usize,
+    /// Batches currently waiting in the commit queue.
+    pub queue_depth: usize,
+    /// High-water mark of the queue depth.
+    pub queue_high_water: usize,
+    /// Batches rejected by enqueue-time arity validation.
+    pub rejected_invalid: u64,
+    /// Batches refused by a full queue under [`WritePolicy::Refuse`].
+    pub rejected_full: u64,
+}
+
+/// One enqueued-but-uncommitted writer batch.
+struct PendingBatch<M: TwoMonoid> {
+    seq: u64,
+    updates: Vec<(Fact, M::Elem)>,
+    done: mpsc::Sender<Result<CommitReceipt, ServingError>>,
+}
+
+/// The commit queue plus its policy knobs, counters, and the grow-only
+/// relation→arity registry enqueue-time validation checks against
+/// (declared arities are monotone: [`Database`] keeps a relation's
+/// arity even after every fact is deleted, so the registry never has
+/// to shrink and validation never takes the master lock).
+struct WriteState<M: TwoMonoid> {
+    pending: VecDeque<PendingBatch<M>>,
+    queue_cap: Option<usize>,
+    policy: WritePolicy,
+    declared: HashMap<Sym, usize>,
+    next_seq: u64,
+    commits: u64,
+    batches_committed: u64,
+    max_group: usize,
+    queue_high_water: usize,
+    rejected_invalid: u64,
+    rejected_full: u64,
+}
+
+/// One submitted batch's handle on the group-commit pipeline: redeem
+/// it with [`CommitTicket::wait`] to learn the batch's epoch. Tickets
+/// are independent per submitter — an invalid batch was already
+/// rejected at [`Server::submit_batch`] time, so a ticket only ever
+/// resolves to its group's shared commit result.
+pub struct CommitTicket<M, R>
+where
+    M: TwoMonoid,
+    R: ServingBackend<Ann = M::Elem>,
+{
+    shared: Arc<ServerShared<M, R>>,
+    seq: u64,
+    rx: mpsc::Receiver<Result<CommitReceipt, ServingError>>,
+}
+
 /// The shared state behind every [`Server`] and [`Session`] handle.
 struct ServerShared<M, R>
 where
@@ -188,6 +318,16 @@ where
     epochs: Mutex<Vec<Weak<EpochState<M>>>>,
     retire: Arc<RetireSignal>,
     governor: Mutex<Governor>,
+    /// The group-commit queue (see [`Server::submit_batch`]).
+    writes: Mutex<WriteState<M>>,
+    /// Paired with `writes`: wakes submitters blocked on queue space.
+    space: Condvar,
+    /// Group-commit leadership: the ticket-waiter (or
+    /// [`Server::flush_writes`] caller) holding it drains and commits
+    /// every pending batch. Receipts are delivered before it is
+    /// released, so a waiter that acquires it and still has no receipt
+    /// knows its batch is in the queue it is now leader of.
+    commit_lock: Mutex<()>,
     performed_add: AtomicU64,
     performed_mul: AtomicU64,
     plan_hits: AtomicU64,
@@ -454,6 +594,175 @@ where
             self.evict_where(budget, |_| true);
         }
     }
+
+    /// Enqueue-time arity validation against the grow-only registry:
+    /// the same all-or-nothing check [`ServingSession::update_batch`]
+    /// performs, run before queue admission so a malformed batch is
+    /// rejected on its own ticket and never poisons a commit group.
+    /// Returns the brand-new `(relation, arity)` declarations the
+    /// batch introduces; the caller records them only once the batch
+    /// is actually admitted. Deletes are exempt, exactly as in the
+    /// session (an arity-mismatched fact can never be stored, so
+    /// deleting it is a no-op).
+    fn validate_for_enqueue(
+        &self,
+        declared: &HashMap<Sym, usize>,
+        interner: &Interner,
+        updates: &[(Fact, M::Elem)],
+    ) -> Result<Vec<(Sym, usize)>, ServingError> {
+        let mut fresh: Vec<(Sym, usize)> = Vec::new();
+        for (fact, value) in updates {
+            if self.monoid.is_zero(value) {
+                continue;
+            }
+            let expected = declared
+                .get(&fact.rel)
+                .copied()
+                .or_else(|| fresh.iter().find(|(r, _)| *r == fact.rel).map(|&(_, a)| a));
+            match expected {
+                Some(arity) if arity != fact.tuple.arity() => {
+                    return Err(ServingError::Annotate(AnnotateError::ArityMismatch {
+                        rel: interner.resolve(fact.rel).to_owned(),
+                        atom_arity: arity,
+                        fact_arity: fact.tuple.arity(),
+                    }));
+                }
+                Some(_) => {}
+                None => fresh.push((fact.rel, fact.tuple.arity())),
+            }
+        }
+        Ok(fresh)
+    }
+
+    /// Drains every pending batch and commits the whole group as one
+    /// coalesced `update_batch` — one delta-patch pass, at most one
+    /// epoch publication — then delivers each drained ticket its
+    /// receipt. Returns the number of batches committed (`0`: the
+    /// queue was empty). **Caller must hold `commit_lock`.**
+    fn commit_group(&self, interner: &Interner) -> usize {
+        let drained: Vec<PendingBatch<M>> = {
+            let mut writes = self.writes.lock().unwrap();
+            writes.pending.drain(..).collect()
+        };
+        if drained.is_empty() {
+            return 0;
+        }
+        // Space freed: wake submitters blocked on the queue cap.
+        self.space.notify_all();
+        let batches: Vec<&[(Fact, M::Elem)]> =
+            drained.iter().map(|b| b.updates.as_slice()).collect();
+        // Cross-session coalescing: the group's batches merge
+        // last-write-wins into one batch, so a key every writer
+        // touched refolds once at its final value.
+        let merged = coalesce_batches(&batches);
+        let result = self.commit_updates(interner, &merged);
+        let epoch = self.current.read().unwrap().epoch;
+        let n = drained.len();
+        {
+            let mut writes = self.writes.lock().unwrap();
+            writes.commits += 1;
+            writes.batches_committed += n as u64;
+            writes.max_group = writes.max_group.max(n);
+        }
+        for batch in drained {
+            // Enqueue validation already vetted every batch, so a
+            // commit error here is group-level (and in practice
+            // unreachable); each ticket receives the shared result.
+            let receipt = result.clone().map(|outcome| CommitReceipt {
+                epoch,
+                seq: batch.seq,
+                group_batches: n,
+                outcome,
+            });
+            let _ = batch.done.send(receipt);
+        }
+        n
+    }
+
+    /// The actual write path (one commit group's merged batch): waits
+    /// for epoch admission, adopts current reader-materialised nodes
+    /// into the master cache, delta-patches the master through
+    /// [`ServingSession::update_batch`], exports the patched nodes to
+    /// the shared cache at their new stamps, and publishes the next
+    /// epoch. In-flight readers keep evaluating against their pinned
+    /// snapshots throughout; a no-op batch publishes nothing.
+    fn commit_updates(
+        &self,
+        interner: &Interner,
+        updates: &[(Fact, M::Elem)],
+    ) -> Result<UpdateOutcome, ServingError> {
+        self.admit_writer();
+        let mut master = self.master.lock().unwrap();
+        let gen = self.current.read().unwrap().code_gen;
+        // Adopt: shared nodes current for the master state (same code
+        // generation, same dep stamps) feed the delta-patcher, so
+        // nodes warmed by *any* reader stay warm across the write
+        // instead of dropping to a cold rebuild.
+        {
+            let rel_epoch = master.rel_epochs().clone();
+            let adopt: Vec<(PlanId, R, u64, u64)> = {
+                let cache = self.cache.lock().unwrap();
+                cache
+                    .iter()
+                    .filter(|&(&(id, g, s), node)| {
+                        g == gen && s == stamp(&rel_epoch, &node.deps) && !master.has_cached(id)
+                    })
+                    .map(|(&(id, _, _), node)| (id, node.rel.clone(), node.add_ops, node.mul_ops))
+                    .collect()
+            };
+            for (id, rel, add_ops, mul_ops) in adopt {
+                master.adopt_node(id, rel, add_ops, mul_ops);
+            }
+        }
+        let outcome = master.update_batch(interner, updates)?;
+        if outcome.touched.is_empty() {
+            return Ok(outcome);
+        }
+        // A dictionary extension renumbered every cached matrix (the
+        // master's were translated in place) without moving any stamp:
+        // bump the code generation so the renumbered exports can never
+        // collide with entries pinned epochs still read.
+        let gen = gen + u64::from(outcome.refresh.dict_extended);
+        let rel_epoch = master.rel_epochs().clone();
+        let exports: Vec<Export<R>> = master
+            .cache_entries()
+            .map(|(id, rel, add_ops, mul_ops)| {
+                (
+                    id,
+                    rel.clone(),
+                    add_ops,
+                    mul_ops,
+                    Arc::new(master.node_deps(id).clone()),
+                )
+            })
+            .collect();
+        let state = self.snapshot(&master, gen);
+        drop(master);
+        {
+            let tick = self.tick.load(Ordering::Relaxed);
+            let mut cache = self.cache.lock().unwrap();
+            for (id, rel, add_ops, mul_ops, deps) in exports {
+                let key = (id, gen, stamp(&rel_epoch, &deps));
+                cache.entry(key).or_insert_with(|| {
+                    Arc::new(SharedNode {
+                        rows: rel.support_size(),
+                        rel,
+                        add_ops,
+                        mul_ops,
+                        deps,
+                        owner: WRITER,
+                        last_used: AtomicU64::new(tick),
+                    })
+                });
+            }
+        }
+        *self.current.write().unwrap() = state.clone();
+        self.epochs.lock().unwrap().push(Arc::downgrade(&state));
+        drop(state);
+        self.gc();
+        self.evict_global();
+        Ok(outcome)
+    }
 }
 
 /// The multi-tenant serving server. Cheap to clone (a shared handle);
@@ -518,6 +827,13 @@ where
             lock: Mutex::new(()),
             cvar: Condvar::new(),
         });
+        // Seed the enqueue-validation registry with the construction
+        // state's declared arities.
+        let declared: HashMap<Sym, usize> = master
+            .database()
+            .relations()
+            .map(|(sym, rel)| (sym, rel.arity()))
+            .collect();
         let shared = ServerShared {
             monoid,
             par,
@@ -539,6 +855,21 @@ where
                 global_rows: None,
                 max_live_epochs: None,
             }),
+            writes: Mutex::new(WriteState {
+                pending: VecDeque::new(),
+                queue_cap: None,
+                policy: WritePolicy::default(),
+                declared,
+                next_seq: 0,
+                commits: 0,
+                batches_committed: 0,
+                max_group: 0,
+                queue_high_water: 0,
+                rejected_invalid: 0,
+                rejected_full: 0,
+            }),
+            space: Condvar::new(),
+            commit_lock: Mutex::new(()),
             performed_add: AtomicU64::new(0),
             performed_mul: AtomicU64::new(0),
             plan_hits: AtomicU64::new(0),
@@ -580,94 +911,160 @@ where
         self.update_batch(interner, &[(fact.clone(), value)])
     }
 
-    /// The write path: waits for epoch admission, adopts current
-    /// reader-materialised nodes into the master cache, delta-patches
-    /// the master through [`ServingSession::update_batch`], exports
-    /// the patched nodes to the shared cache at their new stamps, and
-    /// publishes the next epoch. In-flight readers keep evaluating
-    /// against their pinned snapshots throughout; a no-op batch
-    /// (nothing changed) publishes nothing.
+    /// The write path: submits the batch to the group-commit queue and
+    /// waits for its commit. Equivalent to
+    /// `submit_batch(…)?.wait(…)` — concurrent callers' batches
+    /// coalesce into one delta-patch pass and one epoch publication
+    /// (see [`Server::submit_batch`]).
     ///
     /// # Errors
-    /// Arity mismatch with the stored relation; all-or-nothing, as in
-    /// the underlying session.
+    /// Arity mismatch with the stored relation (all-or-nothing, as in
+    /// the underlying session — checked at enqueue time, before the
+    /// batch can join a commit group); a full queue under
+    /// [`WritePolicy::Refuse`].
     pub fn update_batch(
         &self,
         interner: &Interner,
         updates: &[(Fact, M::Elem)],
     ) -> Result<UpdateOutcome, ServingError> {
+        Ok(self.commit_batch(interner, updates)?.outcome)
+    }
+
+    /// [`Server::update_batch`], returning the full [`CommitReceipt`]
+    /// (the batch's epoch and group size) instead of just the outcome.
+    ///
+    /// # Errors
+    /// See [`Server::update_batch`].
+    pub fn commit_batch(
+        &self,
+        interner: &Interner,
+        updates: &[(Fact, M::Elem)],
+    ) -> Result<CommitReceipt, ServingError> {
+        self.submit_batch(interner, updates)?.wait(interner)
+    }
+
+    /// Enqueues one writer batch into the bounded commit queue and
+    /// returns its [`CommitTicket`] without waiting for the commit.
+    ///
+    /// The batch is **validated here**, against a grow-only
+    /// relation→arity registry (the committed declarations plus every
+    /// already-admitted pending batch's), so a malformed batch fails
+    /// on its own ticket and can never poison a commit group. A full
+    /// queue blocks or refuses per [`Server::set_write_queue`]. The
+    /// commit itself is driven by whichever ticket-waiter acquires
+    /// commit leadership first (or by [`Server::flush_writes`]): the
+    /// leader drains *every* pending batch, coalesces them
+    /// last-write-wins into one batch, runs a single delta-patch pass
+    /// and publishes **one** epoch for the whole group.
+    ///
+    /// # Errors
+    /// Arity mismatch (enqueue validation);
+    /// [`ServingError::WriteQueueFull`] under [`WritePolicy::Refuse`].
+    pub fn submit_batch(
+        &self,
+        interner: &Interner,
+        updates: &[(Fact, M::Elem)],
+    ) -> Result<CommitTicket<M, R>, ServingError> {
         let shared = &self.shared;
-        shared.admit_writer();
-        let mut master = shared.master.lock().unwrap();
-        let gen = shared.current.read().unwrap().code_gen;
-        // Adopt: shared nodes current for the master state (same code
-        // generation, same dep stamps) feed the delta-patcher, so
-        // nodes warmed by *any* reader stay warm across the write
-        // instead of dropping to a cold rebuild.
-        {
-            let rel_epoch = master.rel_epochs().clone();
-            let adopt: Vec<(PlanId, R, u64, u64)> = {
-                let cache = shared.cache.lock().unwrap();
-                cache
-                    .iter()
-                    .filter(|&(&(id, g, s), node)| {
-                        g == gen && s == stamp(&rel_epoch, &node.deps) && !master.has_cached(id)
-                    })
-                    .map(|(&(id, _, _), node)| (id, node.rel.clone(), node.add_ops, node.mul_ops))
-                    .collect()
+        let mut writes = shared.writes.lock().unwrap();
+        let fresh = loop {
+            // (Re-)validate under the queue lock: while a blocked
+            // submitter waited, admitted batches may have declared new
+            // relations its batch must agree with — exactly as if it
+            // had been submitted serially after them.
+            let fresh = match shared.validate_for_enqueue(&writes.declared, interner, updates) {
+                Ok(fresh) => fresh,
+                Err(e) => {
+                    writes.rejected_invalid += 1;
+                    return Err(e);
+                }
             };
-            for (id, rel, add_ops, mul_ops) in adopt {
-                master.adopt_node(id, rel, add_ops, mul_ops);
+            let full = writes
+                .queue_cap
+                .is_some_and(|cap| writes.pending.len() >= cap);
+            if !full {
+                break fresh;
             }
-        }
-        let outcome = master.update_batch(interner, updates)?;
-        if outcome.touched.is_empty() {
-            return Ok(outcome);
-        }
-        // A dictionary extension renumbered every cached matrix (the
-        // master's were translated in place) without moving any stamp:
-        // bump the code generation so the renumbered exports can never
-        // collide with entries pinned epochs still read.
-        let gen = gen + u64::from(outcome.refresh.dict_extended);
-        let rel_epoch = master.rel_epochs().clone();
-        let exports: Vec<Export<R>> = master
-            .cache_entries()
-            .map(|(id, rel, add_ops, mul_ops)| {
-                (
-                    id,
-                    rel.clone(),
-                    add_ops,
-                    mul_ops,
-                    Arc::new(master.node_deps(id).clone()),
-                )
-            })
-            .collect();
-        let state = shared.snapshot(&master, gen);
-        drop(master);
-        {
-            let tick = shared.tick.load(Ordering::Relaxed);
-            let mut cache = shared.cache.lock().unwrap();
-            for (id, rel, add_ops, mul_ops, deps) in exports {
-                let key = (id, gen, stamp(&rel_epoch, &deps));
-                cache.entry(key).or_insert_with(|| {
-                    Arc::new(SharedNode {
-                        rows: rel.support_size(),
-                        rel,
-                        add_ops,
-                        mul_ops,
-                        deps,
-                        owner: WRITER,
-                        last_used: AtomicU64::new(tick),
-                    })
-                });
+            match writes.policy {
+                WritePolicy::Refuse => {
+                    writes.rejected_full += 1;
+                    return Err(ServingError::WriteQueueFull {
+                        pending: writes.pending.len(),
+                    });
+                }
+                WritePolicy::Block => writes = shared.space.wait(writes).unwrap(),
             }
+        };
+        // Admission: the batch's new declarations become visible to
+        // every later submission (committed or not — all-or-nothing
+        // already held above, so they are final).
+        writes.declared.extend(fresh);
+        let seq = writes.next_seq;
+        writes.next_seq += 1;
+        let (done, rx) = mpsc::channel();
+        writes.pending.push_back(PendingBatch {
+            seq,
+            updates: updates.to_vec(),
+            done,
+        });
+        writes.queue_high_water = writes.queue_high_water.max(writes.pending.len());
+        drop(writes);
+        Ok(CommitTicket {
+            shared: shared.clone(),
+            seq,
+            rx,
+        })
+    }
+
+    /// Commits every batch currently in the queue as one group without
+    /// submitting anything — acts as the commit leader on behalf of
+    /// outstanding [`CommitTicket`]s (their `wait` calls then find
+    /// their receipts already delivered). Returns the number of
+    /// batches committed (`0`: the queue was empty).
+    pub fn flush_writes(&self, interner: &Interner) -> usize {
+        let _leader = self.shared.commit_lock.lock().unwrap();
+        self.shared.commit_group(interner)
+    }
+
+    /// Bounds the commit-queue depth (`None`: unbounded, the default;
+    /// `Some(n)` is clamped up to 1) and sets what a full queue does
+    /// to new submissions: [`WritePolicy::Block`] parks the submitter
+    /// until the committer drains space free, [`WritePolicy::Refuse`]
+    /// fails fast with [`ServingError::WriteQueueFull`]. This is the
+    /// burst backpressure *above* [`Server::set_max_live_epochs`]: the
+    /// epoch bound throttles publication, the queue bound throttles
+    /// admission.
+    pub fn set_write_queue(&self, depth: Option<usize>, policy: WritePolicy) {
+        let mut writes = self.shared.writes.lock().unwrap();
+        writes.queue_cap = depth.map(|d| d.max(1));
+        writes.policy = policy;
+        drop(writes);
+        // A raised (or removed) cap admits blocked submitters.
+        self.shared.space.notify_all();
+    }
+
+    /// Writer-side pipeline counters: group commits, coalesced
+    /// batches, queue depth and high-water mark, rejected batches.
+    pub fn write_stats(&self) -> WriteStats {
+        let writes = self.shared.writes.lock().unwrap();
+        WriteStats {
+            commits: writes.commits,
+            batches_committed: writes.batches_committed,
+            max_group: writes.max_group,
+            queue_depth: writes.pending.len(),
+            queue_high_water: writes.queue_high_water,
+            rejected_invalid: writes.rejected_invalid,
+            rejected_full: writes.rejected_full,
         }
-        *shared.current.write().unwrap() = state.clone();
-        shared.epochs.lock().unwrap().push(Arc::downgrade(&state));
-        drop(state);
-        shared.gc();
-        shared.evict_global();
-        Ok(outcome)
+    }
+
+    /// Total ⊕/⊗ applications the *writer* has executed delta-patching
+    /// the master across all commits (the reader-side counterpart is
+    /// [`Server::ops_performed`]). Grouped commits make this grow
+    /// strictly slower than per-batch serial commits on overlapping
+    /// batches — the write_throughput bench asserts it.
+    pub fn writer_ops_performed(&self) -> u64 {
+        self.shared.master.lock().unwrap().ops_performed()
     }
 
     /// The latest published epoch counter.
@@ -767,6 +1164,58 @@ where
     /// idle housekeeping.
     pub fn gc(&self) {
         self.shared.gc();
+    }
+}
+
+impl<M, R> std::fmt::Debug for CommitTicket<M, R>
+where
+    M: TwoMonoid,
+    R: ServingBackend<Ann = M::Elem>,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CommitTicket")
+            .field("seq", &self.seq)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<M, R> CommitTicket<M, R>
+where
+    M: TwoMonoid,
+    R: ServingBackend<Ann = M::Elem>,
+{
+    /// The batch's arrival sequence number (commit order).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Waits for the batch's group to commit and returns its receipt.
+    ///
+    /// There is no dedicated committer thread: the first waiter to
+    /// acquire commit leadership drains and commits the whole queue on
+    /// everyone's behalf (its receipt included), so a group of k
+    /// concurrent writers pays one delta-patch pass and one epoch
+    /// publication, and nobody waits on a thread that might not exist.
+    ///
+    /// # Errors
+    /// The group's commit error, delivered to every ticket of the
+    /// group (enqueue validation makes this unreachable in practice).
+    pub fn wait(self, interner: &Interner) -> Result<CommitReceipt, ServingError> {
+        if let Ok(result) = self.rx.try_recv() {
+            return result;
+        }
+        let leader = self.shared.commit_lock.lock().unwrap();
+        // A previous leader may have committed this batch's group
+        // while we waited for leadership — receipts are delivered
+        // before the lock is released, so check again.
+        if let Ok(result) = self.rx.try_recv() {
+            return result;
+        }
+        self.shared.commit_group(interner);
+        drop(leader);
+        self.rx
+            .recv()
+            .expect("the commit group just drained included this ticket's batch")
     }
 }
 
@@ -892,9 +1341,9 @@ where
         out
     }
 
-    /// Applies a write through the server (writes are serialised by
-    /// the master lock; this is a convenience for single-connection
-    /// scripts that mix reads and writes).
+    /// Applies a write through the server's group-commit queue (a
+    /// convenience for single-connection scripts that mix reads and
+    /// writes; see [`Server::update_batch`]).
     ///
     /// # Errors
     /// See [`Server::update_batch`].
@@ -903,10 +1352,25 @@ where
         interner: &Interner,
         updates: &[(Fact, M::Elem)],
     ) -> Result<UpdateOutcome, ServingError> {
+        Ok(self.commit_batch(interner, updates)?.outcome)
+    }
+
+    /// [`Session::update_batch`], returning the full
+    /// [`CommitReceipt`] — the wire front-end uses the receipt's epoch
+    /// so each writer reports *its* commit, not whatever epoch is
+    /// current by the time it replies.
+    ///
+    /// # Errors
+    /// See [`Server::update_batch`].
+    pub fn commit_batch(
+        &self,
+        interner: &Interner,
+        updates: &[(Fact, M::Elem)],
+    ) -> Result<CommitReceipt, ServingError> {
         Server {
             shared: self.shared.clone(),
         }
-        .update_batch(interner, updates)
+        .commit_batch(interner, updates)
     }
 }
 

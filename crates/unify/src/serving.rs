@@ -72,6 +72,12 @@ pub enum ServingError {
     NotHierarchical(NotHierarchical),
     /// Annotation failed (arity mismatch, duplicate key).
     Annotate(AnnotateError),
+    /// The server's bounded commit queue is full and the write policy
+    /// is `refuse` (see [`crate::server::Server::set_write_queue`]).
+    WriteQueueFull {
+        /// Batches pending in the queue when the submission arrived.
+        pending: usize,
+    },
 }
 
 impl fmt::Display for ServingError {
@@ -79,6 +85,9 @@ impl fmt::Display for ServingError {
         match self {
             ServingError::NotHierarchical(e) => write!(f, "{e}"),
             ServingError::Annotate(e) => write!(f, "{e}"),
+            ServingError::WriteQueueFull { pending } => {
+                write!(f, "write queue full ({pending} batches pending)")
+            }
         }
     }
 }

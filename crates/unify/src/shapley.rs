@@ -327,6 +327,11 @@ impl<R: ServingBackend<Ann = SatVec>> SatSession<R> {
                 ServingError::NotHierarchical(n) => {
                     ShapleyError::Unify(UnifyError::NotHierarchical(n))
                 }
+                // Construction never routes through a server write
+                // queue; the session is built directly.
+                e @ ServingError::WriteQueueFull { .. } => {
+                    unreachable!("session construction cannot hit the write queue: {e}")
+                }
             },
         )?;
         Ok(SatSession { session, monoid })

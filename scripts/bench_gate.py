@@ -38,6 +38,11 @@ THRESHOLD = float(os.environ.get("HQ_BENCH_GATE_THRESHOLD", "1.25"))
 # rather than letting timer jitter fail the gate.
 OVERRIDES = [
     ("server_throughput", "*", 1.60),
+    # Grouped-commit rounds spawn c writer threads per measured round
+    # and their group sizes depend on scheduler interleaving, so the
+    # wall clock is noisier still. The overlap_* counter datapoints are
+    # deterministic and effectively gate at 1.0x regardless of the bar.
+    ("write_throughput", "*", 1.60),
 ]
 
 

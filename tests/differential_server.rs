@@ -11,12 +11,20 @@
 //! columnar backend, the compressed block tier, and the sharded
 //! backend at thread counts 2 and 8.
 //!
+//! Concurrent writers go through the group-commit pipeline
+//! ([`Server::submit_batch`]): N writer threads' batches coalesce into
+//! group commits, and the final state must equal a serial replay of
+//! the batches in commit order — each [`CommitReceipt::seq`] tells the
+//! oracle where its batch landed.
+//!
 //! Non-prop pins: zero pool-thread spawns per request after warmup,
 //! the global memory governor bounding total cached rows across
-//! sessions under eviction pressure, and the epoch lifecycle edge
-//! cases (a reader pinned across a novel-value dictionary extension, a
-//! writer batch racing a session close, epoch retirement actually
-//! freeing copy-on-write matrices).
+//! sessions under eviction pressure, the epoch lifecycle edge cases (a
+//! reader pinned across a novel-value dictionary extension, a writer
+//! batch racing a session close, epoch retirement actually freeing
+//! copy-on-write matrices), and the write pipeline (overlapping
+//! batches coalescing into one refold + one epoch, enqueue-validation
+//! ticket isolation, queue-full refuse/block backpressure).
 
 mod common;
 
@@ -39,6 +47,9 @@ const THREADS: [usize; 2] = [2, 8];
 
 /// Concurrent reader sessions per server per round.
 const READERS: usize = 3;
+
+/// Concurrent writer threads in the group-commit rounds.
+const WRITERS: usize = 3;
 
 /// Fresh `evaluate_encoded` over a model state — the serial-replay
 /// oracle each epoch-tagged query is compared against.
@@ -238,6 +249,84 @@ fn drive<R>(
     }
 }
 
+/// One concurrent-writer round: `READERS` sessions pinned at the
+/// pre-round epoch evaluate the family **while** `WRITERS` threads
+/// race their batches through the group-commit queue. Pinned answers
+/// must match the pre-round serial replay bit-for-bit; afterwards the
+/// final state must equal the batches replayed serially in **commit
+/// order** (the receipts' `seq`), whatever grouping the race produced.
+fn drive_concurrent<R>(
+    server: &Server<ProbMonoid, R>,
+    interner: &Interner,
+    family: &[Query],
+    mut current: BTreeMap<Fact, f64>,
+    batches: &[Vec<(Fact, f64)>],
+) where
+    R: ServingBackend<Ann = f64> + Send + Sync,
+{
+    let expect: Vec<(u64, EngineStats)> = family
+        .iter()
+        .map(|q| {
+            let (v, s) = fresh_encoded(q, interner, &current);
+            (v.to_bits(), s)
+        })
+        .collect();
+    let mut sessions: Vec<_> = (0..READERS)
+        .map(|_| {
+            let mut s = server.session();
+            s.pin();
+            s
+        })
+        .collect();
+    let order: std::sync::Mutex<Vec<(u64, usize)>> = std::sync::Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for (r, session) in sessions.iter_mut().enumerate() {
+            let (family, expect) = (&family, &expect);
+            scope.spawn(move || {
+                for (q, (want_bits, want_stats)) in family.iter().zip(expect.iter()) {
+                    let (got, stats) = session.query(interner, q).unwrap();
+                    assert_eq!(
+                        got.to_bits(),
+                        *want_bits,
+                        "reader {r} diverged from serial replay on {q}: {got}"
+                    );
+                    assert_eq!(&stats, want_stats, "reader {r} stats diverged on {q}");
+                }
+            });
+        }
+        for (b, batch) in batches.iter().enumerate() {
+            let order = &order;
+            scope.spawn(move || {
+                let receipt = server.commit_batch(interner, batch).unwrap();
+                order.lock().unwrap().push((receipt.seq, b));
+            });
+        }
+    });
+    drop(sessions);
+    server.gc();
+    // Commit-order-determinised serial replay: groups drain the queue
+    // FIFO and coalesce last-write-wins, so replaying the batches in
+    // arrival-sequence order reproduces the committed state exactly.
+    let mut order = order.into_inner().unwrap();
+    order.sort_unstable();
+    for &(_, b) in &order {
+        apply_to_model(&mut current, &batches[b]);
+    }
+    assert_current_state(server, interner, family, &current);
+    let ws = server.write_stats();
+    assert_eq!(
+        ws.batches_committed,
+        batches.len() as u64,
+        "every submitted batch must be committed exactly once"
+    );
+    assert!(
+        ws.commits >= 1 && ws.commits <= batches.len() as u64,
+        "{} commits for {} batches",
+        ws.commits,
+        batches.len()
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
 
@@ -284,6 +373,54 @@ proptest! {
             )
             .unwrap();
             drive(&server, &inst.interner, &family, current.clone(), &batches);
+        }
+    }
+
+    /// Group-commit acceptance bar: `WRITERS` threads racing batches
+    /// through the commit queue while pinned readers evaluate, on
+    /// every backend × thread count — pinned reads bit-identical to
+    /// the pre-round replay, the final state bit-identical (values,
+    /// op counts, support trajectories) to a commit-order serial
+    /// replay, every batch committed exactly once.
+    #[test]
+    fn concurrent_writers_match_commit_order_replay(seed in 0u64..1_000_000) {
+        let mut inst = random_instance(seed, 4, 4, 5, 3);
+        let rels = query_rels(&inst.query, &inst.interner);
+        if rels.is_empty() {
+            return Ok(());
+        }
+        let family = query_family(&inst.query);
+        let facts = inst.database.facts();
+        let current: BTreeMap<Fact, f64> = facts
+            .iter()
+            .map(|f| (f.clone(), inst.rng.gen_range(0.01..=1.0)))
+            .collect();
+        let tid: Vec<(Fact, f64)> = current.clone().into_iter().collect();
+        let batches: Vec<Vec<(Fact, f64)>> = (0..WRITERS)
+            .map(|_| random_batch(&mut inst.rng, &facts, &rels, 3))
+            .collect();
+
+        let server: Server<ProbMonoid, MapRelation<f64>> =
+            Server::new(ProbMonoid, &inst.interner, tid.iter().cloned()).unwrap();
+        drive_concurrent(&server, &inst.interner, &family, current.clone(), &batches);
+
+        let server: Server<ProbMonoid, ColumnarRelation<f64>> =
+            Server::new(ProbMonoid, &inst.interner, tid.iter().cloned()).unwrap();
+        drive_concurrent(&server, &inst.interner, &family, current.clone(), &batches);
+
+        let server: Server<ProbMonoid, CompressedColumnar<f64>> =
+            Server::new(ProbMonoid, &inst.interner, tid.iter().cloned()).unwrap();
+        drive_concurrent(&server, &inst.interner, &family, current.clone(), &batches);
+
+        for &t in &THREADS {
+            let server: Server<ProbMonoid, ShardedColumnar<f64>> = Server::with_parallelism(
+                ProbMonoid,
+                &inst.interner,
+                tid.iter().cloned(),
+                Parallelism::fine_grained(t),
+            )
+            .unwrap();
+            drive_concurrent(&server, &inst.interner, &family, current.clone(), &batches);
         }
     }
 }
@@ -545,4 +682,205 @@ fn cache_hits_are_zero_op_across_sessions() {
         performed,
         "cache hits across sessions performed monoid ops"
     );
+}
+
+/// Group coalescing: three overlapping single-key batches submitted
+/// together commit as **one** group — one epoch publication and one
+/// refold of the shared dirty key at its final value — and must beat a
+/// serial per-batch replay on both epoch publishes and writer monoid
+/// ops while producing the bit-identical final state.
+#[test]
+fn overlapping_batches_coalesce_into_one_refold_and_one_epoch() {
+    let (interner, tid, q) = small_instance();
+    let grouped: Server<ProbMonoid, ColumnarRelation<f64>> =
+        Server::new(ProbMonoid, &interner, tid.iter().cloned()).unwrap();
+    let serial: Server<ProbMonoid, ColumnarRelation<f64>> =
+        Server::new(ProbMonoid, &interner, tid.iter().cloned()).unwrap();
+    // Always patch (never rebuild): the comparison is refold passes.
+    grouped.set_patch_fraction(f64::INFINITY);
+    serial.set_patch_fraction(f64::INFINITY);
+    // Warm both caches so the committer has nodes to delta-patch.
+    grouped.session().query(&interner, &q).unwrap();
+    serial.session().query(&interner, &q).unwrap();
+    let e = interner.get("E").unwrap();
+    let batches: Vec<Vec<(Fact, f64)>> = [0.3, 0.6, 0.9]
+        .iter()
+        .map(|&w| vec![(Fact::new(e, Tuple::ints(&[1, 2])), w)])
+        .collect();
+    let grouped_ops_before = grouped.writer_ops_performed();
+    let tickets: Vec<_> = batches
+        .iter()
+        .map(|b| grouped.submit_batch(&interner, b).unwrap())
+        .collect();
+    assert_eq!(grouped.flush_writes(&interner), 3);
+    for ticket in tickets {
+        let receipt = ticket.wait(&interner).unwrap();
+        assert_eq!(receipt.epoch, 1, "the group published more than one epoch");
+        assert_eq!(receipt.group_batches, 3);
+    }
+    let grouped_ops = grouped.writer_ops_performed() - grouped_ops_before;
+    let serial_ops_before = serial.writer_ops_performed();
+    for b in &batches {
+        serial.update_batch(&interner, b).unwrap();
+    }
+    let serial_ops = serial.writer_ops_performed() - serial_ops_before;
+    assert_eq!(grouped.current_epoch(), 1, "grouped: one epoch publish");
+    assert_eq!(serial.current_epoch(), 3, "serial: one publish per batch");
+    assert!(
+        grouped_ops < serial_ops,
+        "coalesced refold ({grouped_ops} ops) must beat per-batch refolds ({serial_ops} ops)"
+    );
+    let ws = grouped.write_stats();
+    assert_eq!(ws.commits, 1);
+    assert_eq!(ws.batches_committed, 3);
+    assert_eq!(ws.max_group, 3);
+    assert_eq!(ws.queue_high_water, 3);
+    assert_eq!(ws.queue_depth, 0);
+    // Both servers end bit-identical to the fresh-evaluation oracle.
+    let mut model = model_of(&tid);
+    for b in &batches {
+        apply_to_model(&mut model, b);
+    }
+    let family = query_family(&q);
+    assert_current_state(&grouped, &interner, &family, &model);
+    assert_current_state(&serial, &interner, &family, &model);
+}
+
+/// Ticket error isolation: a batch failing enqueue-time arity
+/// validation errors on its **own** ticket — immediately, before it
+/// can join a group — and the valid batches of the same burst commit
+/// untouched. Pending declarations count: a batch declaring a new
+/// relation makes a conflicting later submission invalid even before
+/// the declaration commits.
+#[test]
+fn invalid_batch_is_rejected_at_enqueue_without_poisoning_the_group() {
+    let (mut interner, tid, q) = small_instance();
+    let g = interner.intern("G");
+    let server: Server<ProbMonoid, ColumnarRelation<f64>> =
+        Server::new(ProbMonoid, &interner, tid.iter().cloned()).unwrap();
+    let e = interner.get("E").unwrap();
+    let good = server
+        .submit_batch(&interner, &[(Fact::new(e, Tuple::ints(&[9, 9])), 0.7)])
+        .unwrap();
+    // E is declared at arity 2: a 3-tuple insert is rejected here.
+    let err = server
+        .submit_batch(&interner, &[(Fact::new(e, Tuple::ints(&[1, 2, 3])), 0.4)])
+        .unwrap_err();
+    assert!(matches!(err, hq_unify::ServingError::Annotate(_)), "{err}");
+    // All-or-nothing per ticket: one bad fact rejects the whole batch.
+    let err = server
+        .submit_batch(
+            &interner,
+            &[
+                (Fact::new(e, Tuple::ints(&[8, 8])), 0.2),
+                (Fact::new(e, Tuple::ints(&[1, 2, 3])), 0.4),
+            ],
+        )
+        .unwrap_err();
+    assert!(matches!(err, hq_unify::ServingError::Annotate(_)), "{err}");
+    // A pending (uncommitted) declaration already binds: G enters the
+    // registry at arity 2 here...
+    let declares = server
+        .submit_batch(&interner, &[(Fact::new(g, Tuple::ints(&[1, 1])), 0.5)])
+        .unwrap();
+    // ...so a conflicting arity-1 insert is invalid at enqueue.
+    let err = server
+        .submit_batch(&interner, &[(Fact::new(g, Tuple::ints(&[1])), 0.5)])
+        .unwrap_err();
+    assert!(matches!(err, hq_unify::ServingError::Annotate(_)), "{err}");
+    // Deletes stay exempt, exactly as in the serial session.
+    let harmless_delete = server
+        .submit_batch(&interner, &[(Fact::new(e, Tuple::ints(&[1, 2, 3])), 0.0)])
+        .unwrap();
+    assert_eq!(server.flush_writes(&interner), 3);
+    let receipt = good.wait(&interner).unwrap();
+    assert_eq!(receipt.epoch, 1);
+    assert_eq!(receipt.group_batches, 3);
+    declares.wait(&interner).unwrap();
+    harmless_delete.wait(&interner).unwrap();
+    let ws = server.write_stats();
+    assert_eq!(ws.rejected_invalid, 3);
+    assert_eq!(ws.commits, 1);
+    assert_eq!(ws.batches_committed, 3);
+    // The surviving writes landed; the state matches fresh evaluation.
+    let mut model = model_of(&tid);
+    model.insert(Fact::new(e, Tuple::ints(&[9, 9])), 0.7);
+    model.insert(Fact::new(g, Tuple::ints(&[1, 1])), 0.5);
+    assert_current_state(&server, &interner, &query_family(&q), &model);
+}
+
+/// Queue-full backpressure, refuse policy: with the commit queue
+/// bounded at one pending batch, a second submission fails fast with
+/// `WriteQueueFull`, the rejection is counted, and the queued batch
+/// commits normally once a waiter drains the queue.
+#[test]
+fn full_queue_refuses_and_counts_under_refuse_policy() {
+    let (interner, tid, _q) = small_instance();
+    let server: Server<ProbMonoid, ColumnarRelation<f64>> =
+        Server::new(ProbMonoid, &interner, tid.iter().cloned()).unwrap();
+    server.set_write_queue(Some(1), hq_unify::WritePolicy::Refuse);
+    let e = interner.get("E").unwrap();
+    let queued = server
+        .submit_batch(&interner, &[(Fact::new(e, Tuple::ints(&[1, 2])), 0.9)])
+        .unwrap();
+    let err = server
+        .submit_batch(&interner, &[(Fact::new(e, Tuple::ints(&[3, 4])), 0.8)])
+        .unwrap_err();
+    assert!(
+        matches!(err, hq_unify::ServingError::WriteQueueFull { pending: 1 }),
+        "{err}"
+    );
+    let ws = server.write_stats();
+    assert_eq!(ws.rejected_full, 1);
+    assert_eq!(ws.queue_depth, 1);
+    assert_eq!(ws.queue_high_water, 1);
+    let receipt = queued.wait(&interner).unwrap();
+    assert_eq!(receipt.epoch, 1);
+    assert_eq!(server.write_stats().queue_depth, 0);
+    // Space freed: the queue admits again.
+    server
+        .update_batch(&interner, &[(Fact::new(e, Tuple::ints(&[3, 4])), 0.8)])
+        .unwrap();
+    assert_eq!(server.current_epoch(), 2);
+}
+
+/// Queue-full backpressure, block policy: a submitter over the bound
+/// parks until the committer drains space free, then commits normally
+/// — no refusal, no lost batch, no deadlock.
+#[test]
+fn full_queue_blocks_then_admits_under_block_policy() {
+    let (interner, tid, _q) = small_instance();
+    let server: Server<ProbMonoid, ColumnarRelation<f64>> =
+        Server::new(ProbMonoid, &interner, tid.iter().cloned()).unwrap();
+    server.set_write_queue(Some(1), hq_unify::WritePolicy::Block);
+    let e = interner.get("E").unwrap();
+    let queued = server
+        .submit_batch(&interner, &[(Fact::new(e, Tuple::ints(&[1, 2])), 0.9)])
+        .unwrap();
+    std::thread::scope(|scope| {
+        let blocked = scope.spawn(|| {
+            // Over the bound: parks on the space condvar until the
+            // flush below drains the queue, then commits normally.
+            server
+                .update_batch(&interner, &[(Fact::new(e, Tuple::ints(&[3, 4])), 0.8)])
+                .unwrap();
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        assert!(
+            !blocked.is_finished(),
+            "submitter failed to block on the full queue"
+        );
+        assert_eq!(server.flush_writes(&interner), 1);
+    });
+    let receipt = queued.wait(&interner).unwrap();
+    assert_eq!(receipt.epoch, 1);
+    assert_eq!(server.current_epoch(), 2, "the blocked batch committed");
+    let ws = server.write_stats();
+    assert_eq!(ws.rejected_full, 0);
+    assert_eq!(ws.batches_committed, 2);
+    let mut model = model_of(&tid);
+    model.insert(Fact::new(e, Tuple::ints(&[1, 2])), 0.9);
+    model.insert(Fact::new(e, Tuple::ints(&[3, 4])), 0.8);
+    let q = Query::new(&[("E", &["X", "Y"]), ("F", &["Y", "Z"])]).unwrap();
+    assert_current_state(&server, &interner, &[q], &model);
 }
