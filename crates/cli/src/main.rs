@@ -313,7 +313,7 @@ fn cmd_pqe_incremental(
         };
         match parse_command(line, lineno, path, interner)? {
             ScriptCommand::Update(fact, action) => updates.push((fact, action)),
-            ScriptCommand::Query(_) => {
+            ScriptCommand::Query(_) | ScriptCommand::Fix { .. } => {
                 return Err(format!(
                     "{path}: line {}: queries (`? …`) belong to --mode serve scripts; \
                      --updates files take only fact updates",
@@ -431,6 +431,15 @@ fn cmd_pqe_serve(
         ) -> Result<(f64, hq_unify::EngineStats), String> {
             on_session!(self, s => s.query(i, q)).map_err(|e| e.to_string())
         }
+        fn reachability(
+            &mut self,
+            i: &Interner,
+            rel: &str,
+            src: Option<hq_db::Value>,
+            dst: Option<hq_db::Value>,
+        ) -> Result<(f64, hq_unify::EngineStats), String> {
+            on_session!(self, s => s.reachability(i, rel, src, dst)).map_err(|e| e.to_string())
+        }
         fn update_batch(&mut self, i: &Interner, batch: &[(Fact, f64)]) -> Result<(), String> {
             on_session!(self, s => s.update_batch(i, batch).map(|_| ())).map_err(|e| e.to_string())
         }
@@ -532,6 +541,17 @@ fn cmd_pqe_serve(
                 queries += 1;
                 replayed_ops += stats.total_ops();
                 out.push_str(&format!("{q} -> P(Q) = {p:.9}\n"));
+            }
+            ref fix_cmd @ ScriptCommand::Fix { ref rel, src, dst } => {
+                flush(&mut session, &mut pending, &mut out, interner)?;
+                let echo = hq_unify::script::render_command(fix_cmd, interner);
+                let (p, stats) = session.reachability(interner, rel, src, dst)?;
+                queries += 1;
+                replayed_ops += stats.total_ops();
+                out.push_str(&format!(
+                    "{} -> P(Q) = {p:.9}\n",
+                    echo.trim_start_matches("? ")
+                ));
             }
         }
     }

@@ -28,9 +28,9 @@
 //! `--max-sessions` are refused with `error: server full`.
 
 use crate::args::Args;
-use hq_db::{Fact, Interner};
+use hq_db::{Fact, Interner, Value};
 use hq_monoid::ProbMonoid;
-use hq_unify::script::{parse_command, strip_comment, ScriptCommand};
+use hq_unify::script::{parse_command, render_command, strip_comment, ScriptCommand};
 use hq_unify::{
     ColumnarRelation, CompressedColumnar, MapRelation, Server, ServingBackend, Session,
     ShardedColumnar,
@@ -173,6 +173,18 @@ impl WireServer {
 impl WireSession {
     fn query(&self, i: &Interner, q: &hq_query::Query) -> Result<f64, String> {
         on_wire_session!(self, s => s.query(i, q).map(|(p, _)| p)).map_err(|e| e.to_string())
+    }
+
+    /// Serves a `? fix` recursive reachability query.
+    fn query_fix(
+        &self,
+        i: &Interner,
+        rel: &str,
+        src: Option<Value>,
+        dst: Option<Value>,
+    ) -> Result<f64, String> {
+        on_wire_session!(self, s => s.query_fix(i, rel, src, dst).map(|(p, _)| p))
+            .map_err(|e| e.to_string())
     }
 
     /// Commits one write through the group-commit queue, returning the
@@ -357,6 +369,16 @@ fn handle_conn(
                             Err(e) => format!("error: {e}"),
                         }
                     }
+                    Ok(ref fix_cmd @ ScriptCommand::Fix { ref rel, src, dst }) => {
+                        let i = interner.read().expect("interner lock");
+                        let echo = render_command(fix_cmd, &i);
+                        match session.query_fix(&i, rel, src, dst) {
+                            Ok(p) => {
+                                format!("{} -> P(Q) = {p:.9}", echo.trim_start_matches("? "))
+                            }
+                            Err(e) => format!("error: {e}"),
+                        }
+                    }
                     Ok(ScriptCommand::Update(fact, action)) => {
                         // Probability monoid: a delete and a zero
                         // weight coincide.
@@ -468,6 +490,46 @@ mod tests {
         assert_eq!(shut, vec!["ok: shutting down".to_owned()]);
         let served = handle.join().unwrap().unwrap();
         assert_eq!(served, 2);
+    }
+
+    #[test]
+    fn wire_protocol_serves_recursive_fix_queries() {
+        let (addr, handle) = boot("E(1,2) @ 0.5\nE(2,3) @ 0.5\n", &[]);
+        let replies = roundtrip(
+            addr,
+            &[
+                "? fix E 1 3",  // one 2-hop path: 0.25
+                "? fix E 1 2",  // the direct edge
+                "? fix E 3 1",  // unreachable
+                "E(1,3) @ 0.5", // short-circuit edge joins round 0
+                "? fix E 1 3",  // direct edge now freezes the pair
+                "? fix",        // malformed: no relation
+                "quit",
+            ],
+        );
+        assert_eq!(replies.len(), 6, "{replies:?}");
+        assert!(
+            replies[0].contains("fix E 1 3 -> P(Q) = 0.25"),
+            "{replies:?}"
+        );
+        assert!(
+            replies[1].contains("fix E 1 2 -> P(Q) = 0.5"),
+            "{replies:?}"
+        );
+        assert!(
+            replies[2].contains("fix E 3 1 -> P(Q) = 0.0"),
+            "{replies:?}"
+        );
+        assert!(replies[3].starts_with("ok epoch"), "{replies:?}");
+        // Min-round semantics: the direct edge derives (1,3) at round
+        // 0, so the round-1 two-hop derivation no longer folds in.
+        assert!(
+            replies[4].contains("fix E 1 3 -> P(Q) = 0.5"),
+            "{replies:?}"
+        );
+        assert!(replies[5].starts_with("error:"), "{replies:?}");
+        let _ = roundtrip(addr, &["shutdown"]);
+        let _ = handle.join().unwrap();
     }
 
     #[test]

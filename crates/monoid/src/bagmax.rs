@@ -258,6 +258,14 @@ impl TwoMonoid for BagMaxMonoid {
     fn mul(&self, a: &BudgetVec, b: &BudgetVec) -> BudgetVec {
         self.convolve(a, b, |x, y| x.saturating_mul(y))
     }
+
+    /// `x ⊗ 0̄` is the all-zeros vector (every max-times term hits a
+    /// zero factor), so fixpoints over BSM terminate — even though
+    /// [`TwoMonoid::annihilating`] stays `false` to keep ⊗ counts on
+    /// the Theorem 5.11 curve.
+    fn fixpoint_convergent(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]

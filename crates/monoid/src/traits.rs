@@ -106,6 +106,24 @@ pub trait TwoMonoid: Clone + Send + Sync + 'static {
         false
     }
 
+    /// Whether a semi-naive fixpoint over this monoid is guaranteed to
+    /// terminate — i.e. whether `0` truly annihilates under ⊗ so that
+    /// tuples absent from a delta contribute nothing to the next round
+    /// and the round-stratified accumulator converges on the finite
+    /// active domain.
+    ///
+    /// This is a *semantic* property, deliberately separate from
+    /// [`TwoMonoid::annihilating`] (which doubles as an op-counting
+    /// knob): the BSM monoid keeps `annihilating() = false` to stay on
+    /// the Theorem 5.11 ⊗-count curve yet satisfies the annihilation
+    /// law, so it overrides this to `true` and participates in
+    /// fixpoints. The Shapley `#Sat` monoid genuinely violates the law
+    /// (`⋆ ⊗ 0 ≠ 0`) and keeps the default `false`: the engine rejects
+    /// a fixpoint over it as a validation error rather than hanging.
+    fn fixpoint_convergent(&self) -> bool {
+        self.annihilating()
+    }
+
     /// Folds ⊕ over an iterator (`0` for an empty iterator).
     fn sum<'a, I>(&self, items: I) -> Self::Elem
     where

@@ -128,6 +128,7 @@
 pub mod annotated;
 pub mod bsm;
 pub mod engine;
+pub mod fixpoint;
 pub mod incremental;
 pub mod plan_ir;
 pub mod pool;
@@ -149,9 +150,16 @@ pub use engine::{
     evaluate, evaluate_compressed_par, evaluate_encoded, evaluate_on, evaluate_on_par, run_plan,
     EngineStats, UnifyError,
 };
+pub use fixpoint::{
+    patch_inserts, semi_naive, transitive_closure, transitive_closure_on, validate_fixpoint,
+    FixSpec, FixpointError, FixpointRun, PatchOutcome, PatchStats, StepShape,
+};
 pub use incremental::{coalesce_batches, IncrementalError, IncrementalRun, UpdateStats};
 pub use plan_ir::{lower, LoweredQuery, PlanExpr, PlanId, PlanIr};
-pub use pqe::{expected_count, probability, probability_exact, IncrementalPqe, PqeError};
+pub use pqe::{
+    expected_count, probability, probability_exact, reachability, reachability_on, IncrementalPqe,
+    PqeError,
+};
 pub use provenance::{provenance_tree, Provenance};
 pub use script::{parse_command, parse_script, render_command, ScriptCommand, UpdateAction};
 pub use server::{

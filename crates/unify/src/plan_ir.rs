@@ -64,6 +64,34 @@ pub enum PlanExpr {
         /// Right operand (the slot the step kills).
         right: PlanId,
     },
+    /// The loop variable of an enclosing [`PlanExpr::Fixpoint`]: stands
+    /// for "the previous round's delta" inside the recursive step plan.
+    /// It has no payload (one recursion at a time; mutual recursion is
+    /// a ROADMAP follow-up) and no base-relation deps of its own.
+    Rec,
+    /// Relational composition of two binary relations:
+    /// `T(x, z) = ⊕_y L(x, y) ⊗ R(y, z)` — the one join shape a linear
+    /// recursive step needs (it is *not* a Rule 2 equal-schema join,
+    /// which is why it is a distinct node kind).
+    Compose {
+        /// Left operand `L(x, y)`.
+        left: PlanId,
+        /// Right operand `R(y, z)`.
+        right: PlanId,
+    },
+    /// Datalog-style recursion: the least fixpoint of
+    /// `acc = base ⊕ step(acc)`, evaluated semi-naively — each round
+    /// runs `step` over the previous round's *delta* only (the
+    /// [`PlanExpr::Rec`] placeholder inside `step`), ⊕-merges novel
+    /// tuples into the accumulator, and terminates when a round's
+    /// delta annihilates (produces no tuple absent from the
+    /// accumulator's support).
+    Fixpoint {
+        /// The round-0 plan (also the round-0 delta).
+        base: PlanId,
+        /// The recursive step, containing exactly one [`PlanExpr::Rec`].
+        step: PlanId,
+    },
 }
 
 /// A hash-consing arena of [`PlanExpr`] nodes shared by every query
@@ -98,19 +126,29 @@ impl PlanIr {
         }
         debug_assert!(
             match &expr {
-                PlanExpr::Scan { .. } => true,
+                PlanExpr::Scan { .. } | PlanExpr::Rec => true,
                 PlanExpr::Project { input, .. } => *input < self.nodes.len(),
-                PlanExpr::Join { left, right } =>
+                PlanExpr::Join { left, right } | PlanExpr::Compose { left, right } =>
                     *left < self.nodes.len() && *right < self.nodes.len(),
+                PlanExpr::Fixpoint { base, step } =>
+                    *base < self.nodes.len() && *step < self.nodes.len(),
             },
             "plan nodes must be interned after their inputs"
         );
         let deps = match &expr {
             PlanExpr::Scan { rel, .. } => BTreeSet::from([rel.clone()]),
+            // The loop variable is bound by the enclosing Fixpoint; it
+            // reads no base relation by itself.
+            PlanExpr::Rec => BTreeSet::new(),
             PlanExpr::Project { input, .. } => self.deps[*input].clone(),
-            PlanExpr::Join { left, right } => {
+            PlanExpr::Join { left, right } | PlanExpr::Compose { left, right } => {
                 let mut d = self.deps[*left].clone();
                 d.extend(self.deps[*right].iter().cloned());
+                d
+            }
+            PlanExpr::Fixpoint { base, step } => {
+                let mut d = self.deps[*base].clone();
+                d.extend(self.deps[*step].iter().cloned());
                 d
             }
         };

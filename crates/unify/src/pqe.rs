@@ -9,6 +9,7 @@
 use crate::engine::{
     evaluate_columnar_par, evaluate_compressed_par, evaluate_on_par, EngineStats, UnifyError,
 };
+use crate::fixpoint::{transitive_closure, transitive_closure_on, FixpointRun};
 use crate::incremental::{IncrementalError, IncrementalRun};
 use crate::serving::{ServingBackend, ServingError, ServingSession, UpdateOutcome};
 use crate::storage::{
@@ -16,8 +17,8 @@ use crate::storage::{
     Storage,
 };
 use hq_arith::Rational;
-use hq_db::{Fact, Interner};
-use hq_monoid::{ExactProbMonoid, ProbMonoid};
+use hq_db::{Fact, Interner, Tuple, Value};
+use hq_monoid::{ExactProbMonoid, ProbMonoid, TwoMonoid};
 use hq_query::Query;
 use std::fmt;
 
@@ -346,6 +347,81 @@ fn validate(tid: &[(Fact, f64)]) -> Result<(), PqeError> {
     Ok(())
 }
 
+/// The probability readout of a recursive [`FixpointRun`]: both
+/// endpoints fixed → that pair's reachability probability; one fixed →
+/// the noisy-or fold over its slice; neither → the run's ⊕-total.
+fn fix_readout(run: &FixpointRun<f64>, src: Option<Value>, dst: Option<Value>) -> f64 {
+    match (src, dst) {
+        (Some(s), Some(d)) => run.get(s, d).copied().unwrap_or(0.0),
+        (Some(s), None) => ProbMonoid.sum(
+            run.acc
+                .range((s, Value::Int(i64::MIN))..)
+                .take_while(|(&(a, _), _)| a == s)
+                .map(|(_, (k, _))| k),
+        ),
+        (None, Some(d)) => ProbMonoid.sum(
+            run.acc
+                .iter()
+                .filter(|(&(_, b), _)| b == d)
+                .map(|(_, (k, _))| k),
+        ),
+        (None, None) => run.total,
+    }
+}
+
+/// Recursive reachability over an independent probabilistic edge
+/// relation: the left-linear transitive-closure fixpoint
+/// `T = E ⊕ (T ∘ E)` under the probability 2-monoid, read out at the
+/// requested endpoints (`None` = any; see [`fix_readout`] semantics in
+/// the return description). Returns the probability and the kernel's
+/// [`EngineStats`].
+///
+/// **Semantics.** Exact probabilistic reachability is `#P`-hard, so
+/// the fixpoint computes the paper-consistent *min-round* relaxation:
+/// each pair's annotation freezes at its first derivation round, and ⊕
+/// (noisy-or) folds over that round's derivations in ascending
+/// join-value order — a deterministic, backend- and thread-independent
+/// value, bit-identical everywhere the differential suite looks.
+///
+/// # Errors
+/// Rejects probabilities outside `[0, 1]`, non-binary edge tuples, and
+/// duplicate edge keys.
+pub fn reachability(
+    edges: &[(Tuple, f64)],
+    src: Option<Value>,
+    dst: Option<Value>,
+) -> Result<(f64, EngineStats), PqeError> {
+    for &(_, p) in edges {
+        if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+            return Err(PqeError::InvalidProbability { value: p });
+        }
+    }
+    let run = transitive_closure(&ProbMonoid, edges).map_err(ServingError::from)?;
+    Ok((fix_readout(&run, src, dst), run.stats))
+}
+
+/// [`reachability`] with the edges and the accumulator round-tripped
+/// through an explicit storage [`Backend`]
+/// ([`transitive_closure_on`]) — values, trajectories and stats are
+/// bit-identical to the oracle form by construction.
+///
+/// # Errors
+/// See [`reachability`].
+pub fn reachability_on(
+    backend: Backend,
+    edges: &[(Tuple, f64)],
+    src: Option<Value>,
+    dst: Option<Value>,
+) -> Result<(f64, EngineStats), PqeError> {
+    for &(_, p) in edges {
+        if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+            return Err(PqeError::InvalidProbability { value: p });
+        }
+    }
+    let run = transitive_closure_on(backend, &ProbMonoid, edges).map_err(ServingError::from)?;
+    Ok((fix_readout(&run, src, dst), run.stats))
+}
+
 /// An incrementally-maintained PQE instance: build once over a
 /// tuple-independent database, then stream probability updates,
 /// deletions (probability `0`) and genuinely new facts, each served in
@@ -548,6 +624,25 @@ impl<R: ServingBackend<Ann = f64>> PqeSession<R> {
         q: &Query,
     ) -> Result<(f64, EngineStats), PqeError> {
         Ok(self.session.query(interner, q)?)
+    }
+
+    /// Serves the recursive reachability query over binary relation
+    /// `rel` (see [`reachability`] for the min-round noisy-or
+    /// semantics). The materialised fixpoint is cached and maintained
+    /// incrementally under [`PqeSession::update_batch`]; repeats
+    /// replay it with zero monoid operations.
+    ///
+    /// # Errors
+    /// Rejects non-binary relations (and, structurally, non-convergent
+    /// monoids — never the case for probabilities).
+    pub fn reachability(
+        &mut self,
+        interner: &Interner,
+        rel: &str,
+        src: Option<Value>,
+        dst: Option<Value>,
+    ) -> Result<(f64, EngineStats), PqeError> {
+        Ok(self.session.query_fix(interner, rel, src, dst)?)
     }
 
     /// Evaluates a batch of queries; common sub-plans are evaluated

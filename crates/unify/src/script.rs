@@ -11,6 +11,13 @@
 //! grammar:
 //!
 //! * `? <query>` — serve a query (e.g. `? Q() :- E(X,Y), F(Y,Z)`);
+//! * `? fix <rel> [<src> [<dst>]]` — serve the recursive reachability
+//!   query over binary relation `<rel>` ([`PlanExpr::Fixpoint`]):
+//!   both endpoints → one pair's annotation, one endpoint → the
+//!   ⊕-fold over its slice, neither → the ⊕-total; `_` is the
+//!   wildcard (`? fix E _ 4` folds everything reaching `4`);
+//!
+//!   [`PlanExpr::Fixpoint`]: crate::plan_ir::PlanExpr::Fixpoint
 //! * `R(v1, …) [@ p]` — upsert a fact (a missing weight means `1`);
 //! * `!R(v1, …)` — **explicit delete** (the canonical delete form; it
 //!   takes no `@ weight`);
@@ -26,7 +33,7 @@
 //! through the shared [`Interner`], weights through `f64`'s shortest
 //! round-trippable display form.
 
-use hq_db::{Fact, Interner};
+use hq_db::{Fact, Interner, Value};
 use hq_query::{parse_query, Query};
 use std::fmt;
 
@@ -59,6 +66,16 @@ impl UpdateAction {
 pub enum ScriptCommand {
     /// `? <query>` — serve the query.
     Query(Query),
+    /// `? fix <rel> [<src> [<dst>]]` — serve the recursive
+    /// reachability query over binary relation `rel`.
+    Fix {
+        /// The edge relation the fixpoint closes over.
+        rel: String,
+        /// Restrict to paths from this source (`None`: any source).
+        src: Option<Value>,
+        /// Restrict to paths into this target (`None`: any target).
+        dst: Option<Value>,
+    },
     /// A fact write: upsert or explicit delete.
     Update(Fact, UpdateAction),
 }
@@ -67,6 +84,9 @@ impl fmt::Display for ScriptCommand {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ScriptCommand::Query(q) => write!(f, "? {q}"),
+            ScriptCommand::Fix { rel, .. } => {
+                write!(f, "? fix {rel} …") // values need an interner: see render_command
+            }
             ScriptCommand::Update(..) => {
                 write!(f, "<update>") // facts need an interner: see render_command
             }
@@ -104,8 +124,14 @@ pub fn parse_command(
     interner: &mut Interner,
 ) -> Result<ScriptCommand, String> {
     if let Some(q_src) = line.strip_prefix('?') {
-        let q = parse_query(q_src.trim())
-            .map_err(|e| format!("{source}:{}: query: {e}", lineno + 1))?;
+        let q_src = q_src.trim();
+        if let Some(fix_src) = q_src.strip_prefix("fix ").or(match q_src {
+            "fix" => Some(""),
+            _ => None,
+        }) {
+            return parse_fix(fix_src, lineno, source, interner);
+        }
+        let q = parse_query(q_src).map_err(|e| format!("{source}:{}: query: {e}", lineno + 1))?;
         return Ok(ScriptCommand::Query(q));
     }
     if let Some(rest) = line.strip_prefix('!') {
@@ -125,6 +151,48 @@ pub fn parse_command(
         fact,
         UpdateAction::Weight(weight.unwrap_or(1.0)),
     ))
+}
+
+/// Parses the operand list of a `? fix` command: a relation name and
+/// up to two endpoint values (`_` is the any-endpoint wildcard;
+/// integer tokens parse as [`Value::Int`], anything else interns as a
+/// string value).
+fn parse_fix(
+    rest: &str,
+    lineno: usize,
+    source: &str,
+    interner: &mut Interner,
+) -> Result<ScriptCommand, String> {
+    let mut tokens = rest.split_whitespace();
+    let Some(rel) = tokens.next() else {
+        return Err(format!(
+            "{source}: line {}: `? fix` needs a relation name",
+            lineno + 1
+        ));
+    };
+    let mut endpoint = |tok: Option<&str>| -> Option<Value> {
+        let tok = tok?;
+        if tok == "_" {
+            return None;
+        }
+        Some(match tok.parse::<i64>() {
+            Ok(n) => Value::Int(n),
+            Err(_) => Value::Str(interner.intern(tok)),
+        })
+    };
+    let src = endpoint(tokens.next());
+    let dst = endpoint(tokens.next());
+    if tokens.next().is_some() {
+        return Err(format!(
+            "{source}: line {}: `? fix` takes at most `rel src dst`",
+            lineno + 1
+        ));
+    }
+    Ok(ScriptCommand::Fix {
+        rel: rel.to_owned(),
+        src,
+        dst,
+    })
 }
 
 /// Parses a whole script text: comments stripped, blank lines skipped,
@@ -153,6 +221,19 @@ pub fn parse_script(
 pub fn render_command(cmd: &ScriptCommand, interner: &Interner) -> String {
     match cmd {
         ScriptCommand::Query(q) => format!("? {q}"),
+        ScriptCommand::Fix { rel, src, dst } => {
+            let mut out = format!("? fix {rel}");
+            // `_` only where a later operand forces the position.
+            match (src, dst) {
+                (None, None) => {}
+                (Some(s), None) => out = format!("{out} {}", s.display(interner)),
+                (None, Some(d)) => out = format!("{out} _ {}", d.display(interner)),
+                (Some(s), Some(d)) => {
+                    out = format!("{out} {} {}", s.display(interner), d.display(interner));
+                }
+            }
+            out
+        }
         ScriptCommand::Update(fact, UpdateAction::Delete) => {
             format!("!{}", fact.display(interner))
         }
@@ -199,6 +280,46 @@ mod tests {
                 _ => panic!("command kind changed across the round trip"),
             }
         }
+    }
+
+    #[test]
+    fn fix_commands_round_trip() {
+        let mut i = Interner::new();
+        for line in [
+            "? fix E",
+            "? fix E 1",
+            "? fix E 1 4",
+            "? fix E _ 4",
+            "? fix E alice _",
+        ] {
+            let cmd = parse_command(line, 0, "t", &mut i).unwrap();
+            let rendered = render_command(&cmd, &i);
+            let again = parse_command(&rendered, 0, "t", &mut i).unwrap();
+            let (
+                ScriptCommand::Fix { rel, src, dst },
+                ScriptCommand::Fix {
+                    rel: r2,
+                    src: s2,
+                    dst: d2,
+                },
+            ) = (&cmd, &again)
+            else {
+                panic!("expected fix commands");
+            };
+            assert_eq!((rel, src, dst), (r2, s2, d2), "{line} → {rendered}");
+        }
+        // A trailing-wildcard render drops the `_`.
+        let cmd = parse_command("? fix E alice _", 0, "t", &mut i).unwrap();
+        assert_eq!(render_command(&cmd, &i), "? fix E alice");
+    }
+
+    #[test]
+    fn fix_command_operands_are_validated() {
+        let mut i = Interner::new();
+        let err = parse_command("? fix", 2, "s", &mut i).unwrap_err();
+        assert!(err.contains("needs a relation name"), "{err}");
+        let err = parse_command("? fix E 1 2 3", 0, "s", &mut i).unwrap_err();
+        assert!(err.contains("at most"), "{err}");
     }
 
     #[test]

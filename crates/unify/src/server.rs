@@ -73,13 +73,14 @@
 
 use crate::annotated::AnnotateError;
 use crate::engine::EngineStats;
+use crate::fixpoint::{semi_naive, validate_fixpoint_in, FixpointError, FixpointRun};
 use crate::incremental::coalesce_batches;
 use crate::plan_ir::{LoweredQuery, PlanExpr, PlanId};
 use crate::serving::{
     query_shape, QueryShape, ServingBackend, ServingError, ServingSession, UpdateOutcome,
 };
 use crate::storage::{ColumnarRelation, EncodedDb, Parallelism};
-use hq_db::{Database, Fact, Interner, Sym, Tuple};
+use hq_db::{Database, Fact, Interner, RowCode, Sym, Tuple, Value};
 use hq_monoid::TwoMonoid;
 use hq_query::{Query, Var};
 use std::cmp::Reverse;
@@ -143,7 +144,7 @@ impl RetireSignal {
 /// never mutated after insertion — epochs that need a different
 /// version of the node live under a different `(generation, stamp)`
 /// key — so readers clone relations out of it without locks.
-struct SharedNode<R> {
+struct SharedNode<R: ServingBackend> {
     rel: R,
     add_ops: u64,
     mul_ops: u64,
@@ -155,14 +156,38 @@ struct SharedNode<R> {
     owner: u64,
     /// Global LRU clock value of the last touch.
     last_used: AtomicU64,
+    /// The recorded kernel run of a [`PlanExpr::Fixpoint`] node —
+    /// replayed for recursive readouts and handed back to the master
+    /// on adoption so the writer keeps delta-patching across commits.
+    /// `None` for every non-recursive node.
+    fix: Option<FixpointRun<R::Ann>>,
 }
 
 /// Shared-cache key: `(plan node, code generation, dep stamp)`.
 type NodeKey = (PlanId, u64, u64);
 
 /// One node the writer exports into the shared cache after a batch:
-/// `(plan node, relation, ⊕ ops, ⊗ ops, dependency set)`.
-type Export<R> = (PlanId, R, u64, u64, Arc<BTreeSet<String>>);
+/// `(plan node, relation, ⊕ ops, ⊗ ops, dependency set, fixpoint
+/// run)`.
+type Export<R> = (
+    PlanId,
+    R,
+    u64,
+    u64,
+    Arc<BTreeSet<String>>,
+    Option<FixpointRun<<R as crate::storage::Storage>::Ann>>,
+);
+
+/// One reader-warmed node adopted back into the master before a write:
+/// `(plan node, relation, ⊕ ops, ⊗ ops, fixpoint run)` — the dep set
+/// is recomputed master-side.
+type Adopted<R> = (
+    PlanId,
+    R,
+    u64,
+    u64,
+    Option<FixpointRun<<R as crate::storage::Storage>::Ann>>,
+);
 
 /// A query resolved against the master IR once and memoised for every
 /// session: the lowering plus each node's structural expression and
@@ -312,6 +337,9 @@ where
     /// restatements share one entry, exactly like the master's
     /// lowering memo).
     plans: RwLock<HashMap<QueryShape, Arc<ResolvedPlan>>>,
+    /// Cross-session resolved-plan memo for recursive
+    /// (transitive-closure) queries, keyed by relation name.
+    fix_plans: RwLock<HashMap<String, Arc<ResolvedPlan>>>,
     /// Every epoch ever published (weak; pruned by [`gc`]).
     ///
     /// [`gc`]: ServerShared::gc
@@ -395,6 +423,56 @@ where
         Ok(entry.clone())
     }
 
+    /// Resolves the transitive-closure plan for `rel` against the
+    /// master IR, memoised per relation name — the recursive
+    /// counterpart of [`resolve`].
+    ///
+    /// [`resolve`]: ServerShared::resolve
+    fn resolve_fix(&self, rel: &str) -> Arc<ResolvedPlan> {
+        if let Some(p) = self.fix_plans.read().unwrap().get(rel) {
+            self.plan_hits.fetch_add(1, Ordering::Relaxed);
+            return p.clone();
+        }
+        let resolved = {
+            let mut master = self.master.lock().unwrap();
+            let root = master.lower_fix(rel);
+            let mut exprs = HashMap::new();
+            let mut deps = HashMap::new();
+            let mut todo = vec![root];
+            while let Some(id) = todo.pop() {
+                if exprs.contains_key(&id) {
+                    continue;
+                }
+                let expr = master.plan_node(id);
+                match &expr {
+                    PlanExpr::Fixpoint { base, step } => todo.extend([*base, *step]),
+                    PlanExpr::Compose { left, right } | PlanExpr::Join { left, right } => {
+                        todo.extend([*left, *right]);
+                    }
+                    PlanExpr::Project { input, .. } => todo.push(*input),
+                    PlanExpr::Scan { .. } | PlanExpr::Rec => {}
+                }
+                deps.insert(id, Arc::new(master.node_deps(id).clone()));
+                exprs.insert(id, expr);
+            }
+            let scan = match &exprs[&root] {
+                PlanExpr::Fixpoint { base, .. } => *base,
+                _ => unreachable!("lower_fix returns a fixpoint node"),
+            };
+            Arc::new(ResolvedPlan {
+                lowered: LoweredQuery {
+                    scans: vec![scan],
+                    steps: vec![],
+                    root,
+                },
+                exprs,
+                deps,
+            })
+        };
+        let mut plans = self.fix_plans.write().unwrap();
+        plans.entry(rel.to_owned()).or_insert(resolved).clone()
+    }
+
     /// Materialises (or fetches) one plan node for `epoch`, recording
     /// it in the query's `local` node map. Inputs are present in
     /// `local` first because lowered node lists are in dependency
@@ -418,6 +496,7 @@ where
             return Ok(());
         }
         let mut stats = EngineStats::default();
+        let mut fix = None;
         let rel = match &plan.exprs[&id] {
             PlanExpr::Scan { rel, positions } => {
                 let vars: Vec<Var> = (0..positions.len()).map(Var).collect();
@@ -445,6 +524,54 @@ where
                 r.relabel(l.vars().to_vec());
                 l.merge(&self.monoid, r, &mut stats)
             }
+            PlanExpr::Rec | PlanExpr::Compose { .. } => {
+                unreachable!("loop variables and compose steps are never materialised")
+            }
+            PlanExpr::Fixpoint { .. } => {
+                let spec = validate_fixpoint_in(&|n| plan.exprs[&n].clone(), id)?;
+                self.ensure_node(epoch, plan, spec.base, interner, tick, owner, local)?;
+                self.ensure_node(epoch, plan, spec.edges, interner, tick, owner, local)?;
+                let base_rows = local[&spec.base].rel.rows();
+                let edge_rows = if spec.edges == spec.base {
+                    base_rows.clone()
+                } else {
+                    local[&spec.edges].rel.rows()
+                };
+                let run = semi_naive(&self.monoid, &base_rows, &edge_rows, spec.shape)?;
+                stats.add_ops = run.stats.add_ops;
+                stats.mul_ops = run.stats.mul_ops;
+                // Materialise the accumulator in the backend's layout,
+                // then move it into the epoch's *shared* dictionary
+                // numbering (`build_slots` encodes against a private
+                // dict), exactly like `ServingSession::ensure` — the
+                // node must renumber like every other cached matrix.
+                let rows = run.rows();
+                let mut rel = R::build_slots(vec![(vec![Var(0), Var(1)], rows.clone())])
+                    .map_err(|d| FixpointError::DuplicateKey { key: d.key })?
+                    .into_iter()
+                    .next()
+                    .expect("one slot in, one slot out");
+                if R::USES_ENCODING {
+                    let mut values: Vec<Value> = rows
+                        .iter()
+                        .flat_map(|(t, _)| t.values().iter().copied())
+                        .collect();
+                    values.sort_unstable();
+                    values.dedup();
+                    let shared = epoch.enc.shared_dict();
+                    let translation: Vec<RowCode> = values
+                        .iter()
+                        .map(|&v| {
+                            shared
+                                .code(v)
+                                .expect("accumulator values are instance values")
+                        })
+                        .collect();
+                    rel.translate_codes(&shared, &translation);
+                }
+                fix = Some(run);
+                rel
+            }
         };
         self.performed_add
             .fetch_add(stats.add_ops, Ordering::Relaxed);
@@ -458,6 +585,7 @@ where
             deps: deps.clone(),
             owner,
             last_used: AtomicU64::new(tick),
+            fix,
         });
         // Insert-if-absent: a racing session may have materialised the
         // key meanwhile — its node is bit-identical (same immutable
@@ -700,18 +828,31 @@ where
         // instead of dropping to a cold rebuild.
         {
             let rel_epoch = master.rel_epochs().clone();
-            let adopt: Vec<(PlanId, R, u64, u64)> = {
+            let adopt: Vec<Adopted<R>> = {
                 let cache = self.cache.lock().unwrap();
                 cache
                     .iter()
                     .filter(|&(&(id, g, s), node)| {
                         g == gen && s == stamp(&rel_epoch, &node.deps) && !master.has_cached(id)
                     })
-                    .map(|(&(id, _, _), node)| (id, node.rel.clone(), node.add_ops, node.mul_ops))
+                    .map(|(&(id, _, _), node)| {
+                        (
+                            id,
+                            node.rel.clone(),
+                            node.add_ops,
+                            node.mul_ops,
+                            node.fix.clone(),
+                        )
+                    })
                     .collect()
             };
-            for (id, rel, add_ops, mul_ops) in adopt {
-                master.adopt_node(id, rel, add_ops, mul_ops);
+            for (id, rel, add_ops, mul_ops, fix) in adopt {
+                match fix {
+                    // A fixpoint node travels with its kernel run so
+                    // the master can delta-patch it in place.
+                    Some(run) => master.adopt_fix_node(id, rel, run),
+                    None => master.adopt_node(id, rel, add_ops, mul_ops),
+                }
             }
         }
         let outcome = master.update_batch(interner, updates)?;
@@ -733,6 +874,7 @@ where
                     add_ops,
                     mul_ops,
                     Arc::new(master.node_deps(id).clone()),
+                    master.fix_run(id).cloned(),
                 )
             })
             .collect();
@@ -741,7 +883,7 @@ where
         {
             let tick = self.tick.load(Ordering::Relaxed);
             let mut cache = self.cache.lock().unwrap();
-            for (id, rel, add_ops, mul_ops, deps) in exports {
+            for (id, rel, add_ops, mul_ops, deps, fix) in exports {
                 let key = (id, gen, stamp(&rel_epoch, &deps));
                 cache.entry(key).or_insert_with(|| {
                     Arc::new(SharedNode {
@@ -752,6 +894,7 @@ where
                         deps,
                         owner: WRITER,
                         last_used: AtomicU64::new(tick),
+                        fix,
                     })
                 });
             }
@@ -849,6 +992,7 @@ where
             master: Mutex::new(master),
             cache: Mutex::new(HashMap::new()),
             plans: RwLock::new(HashMap::new()),
+            fix_plans: RwLock::new(HashMap::new()),
             epochs: Mutex::new(Vec::new()),
             retire,
             governor: Mutex::new(Governor {
@@ -1319,6 +1463,72 @@ where
         Ok(out)
     }
 
+    /// Evaluates the recursive reachability query over binary relation
+    /// `rel` against this session's read epoch — the multi-tenant
+    /// counterpart of [`ServingSession::query_fix`], with the same
+    /// readout semantics (both endpoints → the pair's annotation;
+    /// one → an ⊕-fold over the matching slice; neither → the ⊕-total)
+    /// and the same replayed [`EngineStats`]. The materialised
+    /// fixpoint node lives in the shared cache: a second session
+    /// querying the same relation at the same epoch replays it with
+    /// zero monoid operations.
+    ///
+    /// # Errors
+    /// [`ServingError::Fixpoint`] on a non-convergent monoid or a
+    /// non-binary relation.
+    pub fn query_fix(
+        &self,
+        interner: &Interner,
+        rel: &str,
+        src: Option<Value>,
+        dst: Option<Value>,
+    ) -> Result<(M::Elem, EngineStats), ServingError> {
+        let epoch = self.read_epoch();
+        let plan = self.shared.resolve_fix(rel);
+        let tick = self.shared.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut local = HashMap::new();
+        self.shared.ensure_node(
+            &epoch,
+            &plan,
+            plan.lowered.root,
+            interner,
+            tick,
+            self.id,
+            &mut local,
+        )?;
+        let node = &local[&plan.lowered.root];
+        let run = node
+            .fix
+            .as_ref()
+            .expect("fixpoint nodes always carry their kernel run");
+        let monoid = &self.shared.monoid;
+        let value = match (src, dst) {
+            (Some(s), Some(d)) => run.get(s, d).cloned().unwrap_or_else(|| monoid.zero()),
+            (Some(s), None) => monoid.sum(
+                run.acc
+                    .range((s, Value::Int(i64::MIN))..)
+                    .take_while(|(&(a, _), _)| a == s)
+                    .map(|(_, (k, _))| k),
+            ),
+            (None, Some(d)) => monoid.sum(
+                run.acc
+                    .iter()
+                    .filter(|(&(_, b), _)| b == d)
+                    .map(|(_, (k, _))| k),
+            ),
+            (None, None) => run.total.clone(),
+        };
+        let stats = run.stats.clone();
+        drop(local);
+        drop(epoch);
+        if let Some(b) = self.budget_rows {
+            let id = self.id;
+            self.shared.evict_where(b, |n| n.owner == id);
+        }
+        self.shared.evict_global();
+        Ok((value, stats))
+    }
+
     /// Evaluates a batch of queries in order against one consistent
     /// snapshot (the epoch current when the batch starts, or the
     /// pinned one).
@@ -1467,6 +1677,59 @@ mod tests {
         pinned.unpin();
         server.gc();
         assert_eq!(server.live_epochs(), 1);
+    }
+
+    #[test]
+    fn recursive_query_matches_serial_and_survives_commit() {
+        let (db, mut i) = db_from_ints(&[("E", &[&[1, 2], &[2, 3], &[3, 4], &[5, 1]])]);
+        let tid: Vec<(Fact, f64)> = db
+            .facts()
+            .into_iter()
+            .enumerate()
+            .map(|(j, f)| (f, 0.2 + 0.07 * j as f64))
+            .collect();
+        let mut serial: ServingSession<ProbMonoid, ShardedColumnar<f64>> =
+            ServingSession::with_parallelism(
+                ProbMonoid,
+                &i,
+                tid.iter().cloned(),
+                Parallelism::fine_grained(2),
+            )
+            .unwrap();
+        let server: Server<ProbMonoid, ShardedColumnar<f64>> = Server::with_parallelism(
+            ProbMonoid,
+            &i,
+            tid.iter().cloned(),
+            Parallelism::fine_grained(2),
+        )
+        .unwrap();
+        let s = server.session();
+        for (src, dst) in [
+            (None, None),
+            (Some(Value::Int(1)), None),
+            (Some(Value::Int(1)), Some(Value::Int(4))),
+            (None, Some(Value::Int(3))),
+        ] {
+            let (want, want_stats) = serial.query_fix(&i, "E", src, dst).unwrap();
+            let (got, stats) = s.query_fix(&i, "E", src, dst).unwrap();
+            assert_eq!(got.to_bits(), want.to_bits());
+            assert_eq!(stats, want_stats);
+        }
+        // A second session replays the shared fixpoint node zero-op.
+        let performed = server.ops_performed();
+        let s2 = server.session();
+        s2.query_fix(&i, "E", None, None).unwrap();
+        assert_eq!(server.ops_performed(), performed, "hit must be zero-op");
+        // A commit publishes a new epoch; recursive queries against it
+        // still match a serial session replaying the same history.
+        let e = i.intern("E");
+        let novel = Fact::new(e, Tuple::ints(&[4, 6]));
+        serial.update(&i, &novel, 0.5).unwrap();
+        server.update(&i, &novel, 0.5).unwrap();
+        let (want, want_stats) = serial.query_fix(&i, "E", None, None).unwrap();
+        let (got, stats) = s.query_fix(&i, "E", None, None).unwrap();
+        assert_eq!(got.to_bits(), want.to_bits());
+        assert_eq!(stats, want_stats);
     }
 
     #[test]

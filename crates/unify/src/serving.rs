@@ -50,6 +50,9 @@
 
 use crate::annotated::AnnotateError;
 use crate::engine::EngineStats;
+use crate::fixpoint::{
+    patch_inserts, semi_naive, validate_fixpoint, FixpointError, FixpointRun, PatchOutcome,
+};
 use crate::incremental::refold_groups;
 use crate::plan_ir::{lower, LoweredQuery, PlanExpr, PlanId, PlanIr};
 use crate::storage::{
@@ -78,6 +81,9 @@ pub enum ServingError {
         /// Batches pending in the queue when the submission arrived.
         pending: usize,
     },
+    /// A recursive query failed fixpoint validation (non-convergent
+    /// monoid, non-binary relation, malformed step).
+    Fixpoint(FixpointError),
 }
 
 impl fmt::Display for ServingError {
@@ -88,6 +94,7 @@ impl fmt::Display for ServingError {
             ServingError::WriteQueueFull { pending } => {
                 write!(f, "write queue full ({pending} batches pending)")
             }
+            ServingError::Fixpoint(e) => write!(f, "{e}"),
         }
     }
 }
@@ -103,6 +110,12 @@ impl From<NotHierarchical> for ServingError {
 impl From<AnnotateError> for ServingError {
     fn from(e: AnnotateError) -> Self {
         ServingError::Annotate(e)
+    }
+}
+
+impl From<FixpointError> for ServingError {
+    fn from(e: FixpointError) -> Self {
+        ServingError::Fixpoint(e)
     }
 }
 
@@ -556,6 +569,11 @@ where
     spill_writes: u64,
     /// Cache misses served by reloading spilled bytes.
     spill_reloads: u64,
+    /// Kernel state of every cached [`PlanExpr::Fixpoint`] node: the
+    /// round-stratified accumulator, per-round deltas and fresh-exact
+    /// stats that [`patch_inserts`] needs to keep the node warm under
+    /// pure-insert updates. Lives and dies with the node's cache entry.
+    fix_state: HashMap<PlanId, FixpointRun<M::Elem>>,
 }
 
 impl<M, R> ServingSession<M, R>
@@ -652,6 +670,7 @@ where
             spilled: HashMap::new(),
             spill_writes: 0,
             spill_reloads: 0,
+            fix_state: HashMap::new(),
         })
     }
 
@@ -851,6 +870,70 @@ where
         Ok(out)
     }
 
+    /// Evaluates the recursive reachability query over the binary
+    /// relation `rel` — the left-linear transitive-closure fixpoint
+    /// `T = E ⊕ (T ∘ E)` — against the session's caches. The
+    /// materialised accumulator is a plan node like any other: shared
+    /// across queries (a repeat query performs zero monoid
+    /// operations), kept warm under pure-insert updates by semi-naive
+    /// patching in [`ServingSession::update_batch`], and subject to
+    /// the same cache budget and eviction policy.
+    ///
+    /// The readout depends on the bound arguments: `src` and `dst`
+    /// both given → the annotation of that pair (`0` outside the
+    /// support); only `src` → the ⊕-fold over every pair reachable
+    /// from `src` in ascending target order; only `dst` → the ⊕-fold
+    /// over every pair reaching `dst` in ascending source order;
+    /// neither → the ⊕-fold over the whole accumulator. Folds are
+    /// readouts (not op-counted), like the nullary readout of
+    /// non-recursive queries; the reported stats replay the recorded
+    /// fixpoint run — ⊕/⊗ counts plus the per-round support
+    /// trajectory.
+    ///
+    /// # Errors
+    /// [`ServingError::Fixpoint`] on a non-convergent monoid or a
+    /// non-binary relation.
+    pub fn query_fix(
+        &mut self,
+        interner: &Interner,
+        rel: &str,
+        src: Option<Value>,
+        dst: Option<Value>,
+    ) -> Result<(M::Elem, EngineStats), ServingError> {
+        self.query_tick += 1;
+        let fix = self.lower_fix(rel);
+        self.ensure(fix, interner)?;
+        if !self.fix_state.contains_key(&fix) {
+            // The node was adopted from outside (server promotion)
+            // without its kernel state: recompute both together.
+            self.cache.remove(&fix);
+            self.ensure(fix, interner)?;
+        }
+        let run = &self.fix_state[&fix];
+        let value = match (src, dst) {
+            (Some(s), Some(d)) => run.get(s, d).cloned().unwrap_or_else(|| self.monoid.zero()),
+            (Some(s), None) => self.monoid.sum(
+                run.acc
+                    .range((s, Value::Int(i64::MIN))..)
+                    .take_while(|(&(a, _), _)| a == s)
+                    .map(|(_, (k, _))| k),
+            ),
+            (None, Some(d)) => self.monoid.sum(
+                run.acc
+                    .iter()
+                    .filter(|(&(_, b), _)| b == d)
+                    .map(|(_, (k, _))| k),
+            ),
+            (None, None) => run.total.clone(),
+        };
+        let stats = run.stats.clone();
+        if let Some(entry) = self.cache.get_mut(&fix) {
+            entry.last_used = self.query_tick;
+        }
+        self.evict_to_budget();
+        Ok((value, stats))
+    }
+
     /// Evaluates a batch of queries in order. Common sub-plans across
     /// the batch (and across earlier calls) are evaluated once; each
     /// query's `(value, stats)` is indistinguishable from its
@@ -937,7 +1020,23 @@ where
             }
         }
         let mut touched: BTreeSet<String> = BTreeSet::new();
+        // Fact-space net movement per relation: first-touch old value
+        // vs last-write new value, intra-batch overwrites coalesced.
+        // This is what fixpoint patching consumes — it classifies the
+        // batch as pure-insert (patchable) or not (drop and rebuild)
+        // and extracts the inserted delta in value space.
+        let mut fact_changes: BTreeMap<Sym, BTreeMap<Tuple, Change<M::Elem>>> = BTreeMap::new();
         for (fact, value) in updates {
+            let slot = fact_changes
+                .entry(fact.rel)
+                .or_default()
+                .entry(fact.tuple.clone())
+                .or_insert_with(|| (self.ann.get(fact).cloned(), None));
+            slot.1 = if self.monoid.is_zero(value) {
+                None
+            } else {
+                Some(value.clone())
+            };
             let changed = if self.monoid.is_zero(value) {
                 // Arity-mismatched deletes are harmless no-ops here:
                 // Relation::remove matches by tuple and never declares.
@@ -954,6 +1053,9 @@ where
         }
         if touched.is_empty() {
             return Ok(UpdateOutcome::default());
+        }
+        for rel in fact_changes.values_mut() {
+            rel.retain(|_, (old, new)| old != new);
         }
         self.epoch += 1;
         for rel in &touched {
@@ -1263,6 +1365,110 @@ where
                     changes.insert(id, ch);
                     outcome.patched_nodes += 1;
                 }
+                PlanExpr::Rec | PlanExpr::Compose { .. } => {
+                    unreachable!("loop variables and compose steps are never materialised")
+                }
+                PlanExpr::Fixpoint { .. } => {
+                    // Semi-naive maintenance: a pure-insert batch
+                    // re-enters the loop as a round-0 delta and
+                    // propagates through the stratified accumulator
+                    // ([`patch_inserts`]). Anything else — deletes,
+                    // value modifications, missing kernel state, a
+                    // restratifying insert, or a delta past the rebuild
+                    // threshold — drops the node (lazy rebuild).
+                    let mut entry = self.cache.remove(&id).expect("iterating live ids");
+                    let Some(mut run) = self.fix_state.remove(&id) else {
+                        outcome.invalidated += 1;
+                        continue;
+                    };
+                    let Ok(spec) = validate_fixpoint(&self.ir, id) else {
+                        outcome.invalidated += 1;
+                        continue;
+                    };
+                    // Both input scans must have survived the walk: a
+                    // dirty scan patched in place this epoch, an
+                    // untouched one still cached from before.
+                    let mut inputs = vec![spec.edges];
+                    if spec.base != spec.edges {
+                        inputs.push(spec.base);
+                    }
+                    let inputs_live = inputs.iter().all(|sid| {
+                        self.cache.contains_key(sid)
+                            && (!self.ir.deps(*sid).iter().any(|d| touched.contains(d))
+                                || changes.contains_key(sid))
+                    });
+                    if !inputs_live {
+                        outcome.invalidated += 1;
+                        continue;
+                    }
+                    // Classify the batch against each input relation:
+                    // every net movement must be a pure insert.
+                    let mut deltas: HashMap<PlanId, Vec<(Tuple, M::Elem)>> = HashMap::new();
+                    let mut patchable = true;
+                    'inputs: for &sid in &inputs {
+                        let PlanExpr::Scan { rel, positions } = self.ir.node(sid).clone() else {
+                            patchable = false;
+                            break;
+                        };
+                        let moved = interner
+                            .get(&rel)
+                            .and_then(|s| fact_changes.get(&s))
+                            .map(|m| m.iter().collect::<Vec<_>>())
+                            .unwrap_or_default();
+                        let mut new_rows = Vec::new();
+                        for (tuple, (old, new)) in moved {
+                            match (old, new) {
+                                (None, Some(v)) if tuple.arity() == positions.len() => {
+                                    new_rows.push((tuple.project(&positions), v.clone()));
+                                }
+                                _ => {
+                                    patchable = false;
+                                    break 'inputs;
+                                }
+                            }
+                        }
+                        deltas.insert(sid, new_rows);
+                    }
+                    let dirty: usize = deltas.values().map(Vec::len).sum();
+                    if !patchable || self.past_rebuild_threshold(dirty, entry.rel.support_size()) {
+                        outcome.invalidated += 1;
+                        continue;
+                    }
+                    let new_edges = deltas.remove(&spec.edges).unwrap_or_default();
+                    let new_base = if spec.base == spec.edges {
+                        new_edges.clone()
+                    } else {
+                        deltas.remove(&spec.base).unwrap_or_default()
+                    };
+                    let edge_rows = self.cache[&spec.edges].rel.rows();
+                    match patch_inserts(
+                        &self.monoid,
+                        &mut run,
+                        &edge_rows,
+                        &new_edges,
+                        &new_base,
+                        spec.shape,
+                    ) {
+                        Ok(PatchOutcome::Patched(patch)) => {
+                            self.performed_add += patch.performed_add;
+                            self.performed_mul += patch.performed_mul;
+                            // Point-patch the cached accumulator copy:
+                            // exactly the rows the kernel wrote.
+                            for ((a, b), v) in &patch.written {
+                                entry.rel.set(&Tuple::new([*a, *b]), Some(v.clone()));
+                            }
+                            entry.add_ops = run.stats.add_ops;
+                            entry.mul_ops = run.stats.mul_ops;
+                            entry.valid_at = self.epoch;
+                            self.cache.insert(id, entry);
+                            self.fix_state.insert(id, run);
+                            outcome.patched_nodes += 1;
+                        }
+                        Ok(PatchOutcome::Rebuild) | Err(_) => {
+                            outcome.invalidated += 1;
+                        }
+                    }
+                }
             }
         }
         Ok(outcome)
@@ -1283,6 +1489,32 @@ where
         let l = lower(&mut self.ir, q, &p);
         self.lowered.insert(key, l.clone());
         Ok(l)
+    }
+
+    /// Interns the left-linear transitive-closure plan for `rel` into
+    /// the session's shared IR: `Fixpoint { base: Scan(rel), step:
+    /// Compose(Rec, Scan(rel)) }`. Hash-consing makes this idempotent,
+    /// and the scan node is shared with non-recursive queries over the
+    /// same relation.
+    pub(crate) fn lower_fix(&mut self, rel: &str) -> PlanId {
+        let scan = self.ir.intern(PlanExpr::Scan {
+            rel: rel.to_owned(),
+            positions: vec![0, 1],
+        });
+        let rec = self.ir.intern(PlanExpr::Rec);
+        let step = self.ir.intern(PlanExpr::Compose {
+            left: rec,
+            right: scan,
+        });
+        self.ir.intern(PlanExpr::Fixpoint { base: scan, step })
+    }
+
+    /// The recorded kernel run of a cached fixpoint node — what the
+    /// server replicates into its shared epoch caches alongside the
+    /// materialised relation, and hands back on adoption so the writer
+    /// keeps delta-patching instead of rebuilding.
+    pub(crate) fn fix_run(&self, id: PlanId) -> Option<&FixpointRun<M::Elem>> {
+        self.fix_state.get(&id)
     }
 
     /// The structural expression of one interned plan node.
@@ -1350,6 +1582,28 @@ where
             last_used: self.query_tick,
             refold_rows_ewma: 0.0,
         });
+    }
+
+    /// [`ServingSession::adopt_node`] for a fixpoint node: the
+    /// materialised accumulator arrives together with its recorded
+    /// kernel [`FixpointRun`], so the next `update_batch` can
+    /// delta-patch the adopted node instead of invalidating it.
+    pub(crate) fn adopt_fix_node(&mut self, id: PlanId, rel: R, run: FixpointRun<M::Elem>) {
+        if self.cache.contains_key(&id) {
+            return;
+        }
+        self.cache.insert(
+            id,
+            CachedNode {
+                rel,
+                add_ops: run.stats.add_ops,
+                mul_ops: run.stats.mul_ops,
+                valid_at: self.epoch,
+                last_used: self.query_tick,
+                refold_rows_ewma: 0.0,
+            },
+        );
+        self.fix_state.insert(id, run);
     }
 
     /// One merge side's change set for the delta walk: the recorded
@@ -1426,6 +1680,10 @@ where
             }
             let node = self.cache.remove(&id).expect("iterating live ids");
             self.maybe_spill(id, &node);
+            // An evicted fixpoint node's kernel state goes with it: the
+            // run rebuilds together with the node on the next recursive
+            // query that needs it.
+            self.fix_state.remove(&id);
             total -= rows;
             self.evictions += 1;
         }
@@ -1436,6 +1694,12 @@ where
     /// a plain eviction — the node rebuilds lazily instead.
     fn maybe_spill(&mut self, id: PlanId, node: &CachedNode<R>) {
         if !self.spill_enabled || !R::SPILLABLE {
+            return;
+        }
+        if self.fix_state.contains_key(&id) {
+            // Spilled bytes restore only the relation — not the kernel
+            // state a fixpoint node needs to patch or answer point
+            // reads — so fixpoint victims always rebuild instead.
             return;
         }
         if let Some(prev) = self.spilled.get(&id) {
@@ -1553,6 +1817,54 @@ where
                 // column j corresponds to column j).
                 r.relabel(l.vars().to_vec());
                 l.merge(&self.monoid, r, &mut stats)
+            }
+            PlanExpr::Rec | PlanExpr::Compose { .. } => {
+                unreachable!("loop variables and compose steps are never materialised")
+            }
+            PlanExpr::Fixpoint { .. } => {
+                let spec = validate_fixpoint(&self.ir, id)?;
+                self.ensure(spec.base, interner)?;
+                self.ensure(spec.edges, interner)?;
+                let base_rows = self.cache[&spec.base].rel.rows();
+                let edge_rows = if spec.edges == spec.base {
+                    base_rows.clone()
+                } else {
+                    self.cache[&spec.edges].rel.rows()
+                };
+                let run = semi_naive(&self.monoid, &base_rows, &edge_rows, spec.shape)?;
+                stats.add_ops = run.stats.add_ops;
+                stats.mul_ops = run.stats.mul_ops;
+                // Materialise the accumulator in the backend's layout,
+                // then move it into the session's *shared* dictionary
+                // numbering (`build_slots` encodes against a private
+                // dict): dictionary extensions must keep translating
+                // this node exactly like every other cached node.
+                let rows = run.rows();
+                let mut rel = R::build_slots(vec![(vec![Var(0), Var(1)], rows.clone())])
+                    .map_err(|d| FixpointError::DuplicateKey { key: d.key })?
+                    .into_iter()
+                    .next()
+                    .expect("one slot in, one slot out");
+                if R::USES_ENCODING {
+                    let mut values: Vec<Value> = rows
+                        .iter()
+                        .flat_map(|(t, _)| t.values().iter().copied())
+                        .collect();
+                    values.sort_unstable();
+                    values.dedup();
+                    let shared = self.enc.shared_dict();
+                    let translation: Vec<RowCode> = values
+                        .iter()
+                        .map(|&v| {
+                            shared
+                                .code(v)
+                                .expect("accumulator values are instance values")
+                        })
+                        .collect();
+                    rel.translate_codes(&shared, &translation);
+                }
+                self.fix_state.insert(id, run);
+                rel
             }
         };
         self.performed_add += stats.add_ops;

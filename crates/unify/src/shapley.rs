@@ -328,9 +328,10 @@ impl<R: ServingBackend<Ann = SatVec>> SatSession<R> {
                     ShapleyError::Unify(UnifyError::NotHierarchical(n))
                 }
                 // Construction never routes through a server write
-                // queue; the session is built directly.
-                e @ ServingError::WriteQueueFull { .. } => {
-                    unreachable!("session construction cannot hit the write queue: {e}")
+                // queue and evaluates no recursive plan; the session
+                // is built directly.
+                e @ (ServingError::WriteQueueFull { .. } | ServingError::Fixpoint(_)) => {
+                    unreachable!("session construction cannot fail this way: {e}")
                 }
             },
         )?;
